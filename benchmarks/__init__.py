@@ -1,0 +1,12 @@
+"""Benchmark harness reproducing every table and figure of the paper's evaluation.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each module regenerates one figure of Section 7 (or an ablation that backs a
+design choice listed in DESIGN.md): it computes the same series the paper
+plots, prints the rows, saves them under ``benchmarks/results/`` and feeds a
+representative computation to pytest-benchmark so wall-clock numbers are
+tracked as well.
+"""

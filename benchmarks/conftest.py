@@ -1,0 +1,60 @@
+"""Shared fixtures and report helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Mapping, Sequence
+
+import pytest
+
+from repro.datasets.chicago import CHICAGO_BOUNDING_BOX, generate_chicago_crime_dataset
+from repro.grid.geometry import haversine_distance
+from repro.grid.grid import Grid
+from repro.probability.crime_model import CellLikelihoodModel
+
+#: Where rendered result tables are written (one text file per figure).
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def render_table(title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of row dictionaries as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r[c])) for r in rows)) for c in columns}
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def publish_table(name: str, title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """Print a result table and persist it under ``benchmarks/results/``."""
+    text = render_table(title, rows)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def chicago_grid() -> Grid:
+    """The 32x32 grid overlaid on the Chicago bounding box (Section 7.1)."""
+    return Grid(rows=32, cols=32, bounding_box=CHICAGO_BOUNDING_BOX, distance=haversine_distance)
+
+
+@pytest.fixture(scope="session")
+def chicago_likelihoods(chicago_grid) -> tuple[list[float], float]:
+    """Per-cell alert likelihoods from the crime model, plus the model accuracy."""
+    dataset = generate_chicago_crime_dataset(seed=2015)
+    model = CellLikelihoodModel(rows=chicago_grid.rows, cols=chicago_grid.cols).fit(
+        dataset.cell_month_matrix(chicago_grid)
+    )
+    return model.cell_probabilities(), float(model.accuracy_ or 0.0)
+
+
+@pytest.fixture(scope="session")
+def chicago_dataset():
+    """The canonical synthetic Chicago crime dataset used across benchmarks."""
+    return generate_chicago_crime_dataset(seed=2015)

@@ -1,0 +1,50 @@
+"""Ablation: communication overhead of each encoding (Section 5 in bytes).
+
+Section 5 analyses the padding-induced length overhead of variable-length
+codes analytically; this benchmark measures the resulting wire payloads with
+the actual serialization format: public-key size, per-report ciphertext size
+and per-alert token traffic, for every encoding scheme, on the standard
+synthetic scenario.
+"""
+
+from benchmarks.conftest import publish_table
+from repro.analysis.communication import profile_encoding
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.encoding.balanced import BalancedTreeEncodingScheme
+from repro.encoding.bary import BaryHuffmanEncodingScheme
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.encoding.sgo import ScaledGrayEncodingScheme
+
+
+def test_ablation_communication_overhead(benchmark):
+    scenario = make_synthetic_scenario(rows=16, cols=16, sigmoid_a=0.95, sigmoid_b=100.0, seed=2050, extent_meters=1600.0)
+    zone = scenario.workloads.triggered_radius_workload(150.0, 1).zones[0]
+    schemes = {
+        "fixed": FixedLengthEncodingScheme(),
+        "sgo": ScaledGrayEncodingScheme(),
+        "balanced": BalancedTreeEncodingScheme(),
+        "huffman": HuffmanEncodingScheme(),
+        "huffman-3ary": BaryHuffmanEncodingScheme(3),
+    }
+
+    def run():
+        profiles = []
+        for name, scheme in schemes.items():
+            encoding = scheme.build(scenario.probabilities)
+            profiles.append(profile_encoding(encoding, list(zone.cell_ids), prime_bits=64, seed=2051))
+        return profiles
+
+    profiles = benchmark(run)
+    publish_table(
+        "ablation_communication",
+        "Ablation - wire payload sizes per encoding (one compact alert zone)",
+        [profile.as_row() for profile in profiles],
+    )
+
+    by_name = {profile.scheme: profile for profile in profiles}
+    # The fixed-length code has the narrowest ciphertexts; the Huffman padding
+    # makes ciphertexts larger (the Section 5 trade-off) while its per-alert
+    # token traffic is no larger than the fixed scheme's for compact zones.
+    assert by_name["fixed"].ciphertext_bytes <= by_name["huffman"].ciphertext_bytes
+    assert by_name["huffman"].hve_width_bits >= by_name["fixed"].hve_width_bits

@@ -1,0 +1,81 @@
+"""Ablation: how much does token minimization itself contribute?
+
+DESIGN.md calls out two design choices whose impact should be quantified:
+
+* the deterministic minimization of Algorithm 3 versus issuing one token per
+  alerted cell (no aggregation) for the Huffman encoding;
+* the Quine-McCluskey aggregation versus no aggregation for the fixed-length
+  baseline ([14] without minimization would pay RL non-star bits per cell).
+
+Both are measured on the standard synthetic compact-zone workload.
+"""
+
+from benchmarks.conftest import publish_table
+from repro.crypto.counting import pairing_cost_of_tokens
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+
+RADII = (20.0, 100.0, 300.0)
+NUM_ZONES = 15
+
+
+def _unminimized_cost_variable(encoding, zones) -> int:
+    """Cost of issuing one full leaf-codeword token per alerted cell."""
+    total = 0
+    for zone in zones:
+        codewords = [encoding.artifacts.leaf_codeword_by_cell[c] for c in zone.cell_ids]
+        total += pairing_cost_of_tokens(codewords)
+    return total
+
+
+def _unminimized_cost_fixed(encoding, zones) -> int:
+    """Cost of issuing one full-length token per alerted cell (no aggregation)."""
+    width = encoding.reference_length
+    total = 0
+    for zone in zones:
+        total += len(zone.cell_ids) * (1 + 2 * width)
+    return total
+
+
+def test_ablation_minimization(benchmark):
+    scenario = make_synthetic_scenario(rows=32, cols=32, sigmoid_a=0.95, sigmoid_b=100.0, seed=2030)
+    huffman = HuffmanEncodingScheme().build(scenario.probabilities)
+    fixed = FixedLengthEncodingScheme().build(scenario.probabilities)
+
+    def run():
+        rows = []
+        for radius in RADII:
+            workload = scenario.workloads.triggered_radius_workload(radius, NUM_ZONES)
+            zones = list(workload)
+            huffman_min = sum(
+                pairing_cost_of_tokens(huffman.token_patterns(list(zone.cell_ids))) for zone in zones
+            )
+            fixed_min = sum(
+                pairing_cost_of_tokens(fixed.token_patterns(list(zone.cell_ids))) for zone in zones
+            )
+            rows.append(
+                {
+                    "radius_m": int(radius),
+                    "huffman_minimized": huffman_min,
+                    "huffman_per_cell_tokens": _unminimized_cost_variable(huffman, zones),
+                    "fixed_minimized": fixed_min,
+                    "fixed_per_cell_tokens": _unminimized_cost_fixed(fixed, zones),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    publish_table(
+        "ablation_minimization",
+        "Ablation - token minimization (Algorithm 3 / Quine-McCluskey) vs one token per alerted cell",
+        rows,
+    )
+
+    for row in rows:
+        # Minimization never increases cost and the Huffman encoding stays
+        # cheaper than the fixed-length one even without aggregation (shorter
+        # codes for the likely-alerted cells).
+        assert row["huffman_minimized"] <= row["huffman_per_cell_tokens"]
+        assert row["fixed_minimized"] <= row["fixed_per_cell_tokens"]
+        assert row["huffman_per_cell_tokens"] < row["fixed_per_cell_tokens"]

@@ -1,0 +1,34 @@
+"""Fig. 7: upper bound of L_E for binary Huffman codes (numerical vs analytical).
+
+The paper plots, for increasing cell counts (sigmoid likelihoods with a=0.95,
+b=20), the numerically observed extra code length ``L_E = RL - ceil(log2 n)``
+against the analytical golden-ratio bound of Eq. 13.  The reproduced series
+must keep the numerical value at or below the analytical bound everywhere.
+"""
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import le_bound_sweep
+
+CELL_COUNTS = (16, 32, 64, 128, 256, 512, 1024)
+
+
+def test_fig07_le_bound(benchmark):
+    points = benchmark(le_bound_sweep, cell_counts=CELL_COUNTS, sigmoid_a=0.95, sigmoid_b=20.0, seed=19)
+
+    rows = [
+        {
+            "n_cells": point.n_cells,
+            "numerical_LE": point.numerical,
+            "analytical_bound": round(point.analytical_bound, 2),
+            "loose_bound_eq11": point.loose_bound,
+        }
+        for point in points
+    ]
+    publish_table("fig07_le_bound", "Fig. 7 - encryption overhead L_E (binary Huffman, a=0.95, b=20)", rows)
+
+    # Shape checks: the numerical overhead never exceeds either bound, and the
+    # analytical bound is far tighter than the loose Eq. 11 bound for large n.
+    for point in points:
+        assert point.numerical <= point.analytical_bound + 1e-9
+        assert point.numerical <= point.loose_bound
+    assert points[-1].analytical_bound < points[-1].loose_bound

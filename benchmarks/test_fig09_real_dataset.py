@@ -1,0 +1,57 @@
+"""Fig. 9: evaluation on the (Chicago crime) real dataset.
+
+Panels (a) and (b) of Fig. 9 report, per alert-zone radius, the pairing cost
+and the improvement over the fixed-length baseline of [14] for the Huffman
+scheme, the SGO baseline of [23] and the balanced-tree baseline, on a 32x32
+grid whose cell likelihoods come from a logistic-regression model trained on
+the crime data.
+
+Expected shape (paper): Huffman achieves the best improvement for small radii
+(up to ~15%); the balanced tree provides essentially no improvement; SGO does
+not help for small radii.
+"""
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import radius_sweep_comparison
+
+#: Radii in meters.  Chicago cells are roughly 1.1 x 1.3 km, so this sweep
+#: spans single-cell zones up to zones of a few dozen cells.
+RADII = (100.0, 250.0, 500.0, 1000.0, 1500.0, 2000.0, 3000.0)
+NUM_ZONES = 20
+SCHEMES = ("huffman", "sgo", "balanced")
+
+
+def test_fig09_real_dataset_sweep(benchmark, chicago_grid, chicago_likelihoods):
+    probabilities, _ = chicago_likelihoods
+
+    def run():
+        return radius_sweep_comparison(
+            chicago_grid,
+            probabilities,
+            radii=RADII,
+            num_zones=NUM_ZONES,
+            seed=2021,
+        )
+
+    sweep = benchmark(run)
+
+    rows = []
+    for radius, comparison in zip(sweep.radii, sweep.comparisons):
+        row = {"radius_m": int(radius), "fixed_pairings": comparison.cost_of("fixed").pairings}
+        for scheme in SCHEMES:
+            row[f"{scheme}_pairings"] = comparison.cost_of(scheme).pairings
+            row[f"{scheme}_improvement_pct"] = round(comparison.improvement_of(scheme), 1)
+        rows.append(row)
+    publish_table("fig09_real_dataset", "Fig. 9 - Chicago crime dataset, improvement vs alert-zone radius", rows)
+
+    huffman = sweep.improvement_series("huffman")
+    balanced = sweep.improvement_series("balanced")
+    sgo = sweep.improvement_series("sgo")
+
+    # Shape checks mirroring the paper's observations.
+    # 1. Huffman provides a positive improvement for compact zones.
+    assert max(huffman[:3]) > 0.0
+    # 2. Huffman dominates the balanced-tree baseline on average.
+    assert sum(huffman) / len(huffman) > sum(balanced) / len(balanced)
+    # 3. SGO yields no improvement for the smallest radii.
+    assert abs(sgo[0]) < 10.0

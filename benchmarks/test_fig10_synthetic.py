@@ -1,0 +1,86 @@
+"""Fig. 10: performance evaluation on the synthetic dataset (12 panels).
+
+The paper sweeps the sigmoid parameters a in {0.90, 0.99} and b in {10, 100,
+200} on a 32x32 grid and reports, per alert-zone radius, the pairing cost and
+the improvement over the fixed-length baseline for Huffman, SGO and the
+balanced tree.
+
+Expected shapes (paper):
+* Huffman achieves large improvements for compact zones (tens of percent, up
+  to ~50% for the most skewed settings);
+* the improvement grows with the inflection point ``a`` and with the gradient
+  ``b`` (more skew -> more benefit);
+* the balanced tree yields little to no improvement.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import radius_sweep_comparison
+from repro.datasets.synthetic import make_synthetic_scenario
+
+RADII = (20.0, 50.0, 100.0, 200.0, 300.0, 450.0, 600.0)
+NUM_ZONES = 15
+PANELS = [
+    (0.90, 10.0),
+    (0.90, 100.0),
+    (0.90, 200.0),
+    (0.99, 10.0),
+    (0.99, 100.0),
+    (0.99, 200.0),
+]
+
+
+def _run_panel(a: float, b: float):
+    scenario = make_synthetic_scenario(rows=32, cols=32, sigmoid_a=a, sigmoid_b=b, seed=2021)
+    sweep = radius_sweep_comparison(
+        scenario.grid, scenario.probabilities, radii=RADII, num_zones=NUM_ZONES, seed=2022
+    )
+    return sweep
+
+
+@pytest.mark.parametrize("a,b", PANELS, ids=[f"a={a:g}-b={b:g}" for a, b in PANELS])
+def test_fig10_synthetic_panel(benchmark, a, b):
+    sweep = benchmark(_run_panel, a, b)
+
+    rows = []
+    for radius, comparison in zip(sweep.radii, sweep.comparisons):
+        rows.append(
+            {
+                "radius_m": int(radius),
+                "fixed_pairings": comparison.cost_of("fixed").pairings,
+                "huffman_pairings": comparison.cost_of("huffman").pairings,
+                "huffman_improvement_pct": round(comparison.improvement_of("huffman"), 1),
+                "sgo_improvement_pct": round(comparison.improvement_of("sgo"), 1),
+                "balanced_improvement_pct": round(comparison.improvement_of("balanced"), 1),
+            }
+        )
+    publish_table(
+        f"fig10_synthetic_a{a:g}_b{b:g}",
+        f"Fig. 10 - synthetic dataset, sigmoid(a={a:g}, b={b:g})",
+        rows,
+    )
+
+    huffman = sweep.improvement_series("huffman")
+    balanced = sweep.improvement_series("balanced")
+    # Huffman provides positive improvement for compact zones in every panel.
+    assert max(huffman[:3]) > 0.0
+    # Huffman dominates the balanced-tree baseline on average.
+    assert sum(huffman) > sum(balanced)
+
+
+def test_fig10_improvement_grows_with_skew(benchmark):
+    """Cross-panel shape: more skew (higher a) -> larger Huffman improvement."""
+    mild = benchmark.pedantic(lambda: _run_panel(0.90, 100.0), rounds=1, iterations=1)
+    skewed = _run_panel(0.99, 100.0)
+    mild_average = sum(mild.improvement_series("huffman")) / len(RADII)
+    skewed_average = sum(skewed.improvement_series("huffman")) / len(RADII)
+    publish_table(
+        "fig10_skew_effect",
+        "Fig. 10 - effect of the inflection point a on the mean Huffman improvement",
+        [
+            {"sigmoid": "a=0.90, b=100", "mean_huffman_improvement_pct": round(mild_average, 1)},
+            {"sigmoid": "a=0.99, b=100", "mean_huffman_improvement_pct": round(skewed_average, 1)},
+        ],
+    )
+    assert skewed_average > mild_average

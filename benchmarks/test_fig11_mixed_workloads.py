@@ -1,0 +1,55 @@
+"""Fig. 11: mixed workloads W1-W4 on the synthetic dataset.
+
+The paper mixes short-radius (20 m) and long-radius (300 m) alert zones in
+ratios 90/10 (W1), 75/25 (W2), 25/75 (W3) and 10/90 (W4) for sigmoid settings
+(a=0.9, b=100) and (a=0.99, b=100).
+
+Expected shape (paper): the Huffman scheme outperforms SGO in every mix, with
+the largest margin for the mostly-compact mix W1 (absolute improvements of up
+to ~40%).
+"""
+
+import pytest
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import mixed_workload_comparison
+from repro.datasets.synthetic import make_synthetic_scenario
+
+NUM_ZONES = 40
+PANELS = [(0.90, 100.0), (0.99, 100.0)]
+
+
+@pytest.mark.parametrize("a,b", PANELS, ids=[f"a={a:g}-b={b:g}" for a, b in PANELS])
+def test_fig11_mixed_workloads(benchmark, a, b):
+    scenario = make_synthetic_scenario(rows=32, cols=32, sigmoid_a=a, sigmoid_b=b, seed=2023)
+
+    def run():
+        return mixed_workload_comparison(
+            scenario.grid, scenario.probabilities, num_zones=NUM_ZONES, seed=2024
+        )
+
+    comparisons = benchmark(run)
+
+    rows = []
+    for comparison in comparisons:
+        rows.append(
+            {
+                "workload": comparison.workload,
+                "fixed_pairings": comparison.cost_of("fixed").pairings,
+                "huffman_improvement_pct": round(comparison.improvement_of("huffman"), 1),
+                "sgo_improvement_pct": round(comparison.improvement_of("sgo"), 1),
+                "balanced_improvement_pct": round(comparison.improvement_of("balanced"), 1),
+            }
+        )
+    publish_table(
+        f"fig11_mixed_a{a:g}_b{b:g}",
+        f"Fig. 11 - mixed workloads W1-W4, sigmoid(a={a:g}, b={b:g})",
+        rows,
+    )
+
+    # Shape checks mirroring the paper: Huffman beats SGO on every mix, and the
+    # mostly-compact W1 mix achieves a positive improvement.
+    for comparison in comparisons:
+        assert comparison.improvement_of("huffman") >= comparison.improvement_of("sgo")
+    w1 = comparisons[0]
+    assert w1.improvement_of("huffman") > 0.0

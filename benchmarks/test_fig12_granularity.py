@@ -1,0 +1,54 @@
+"""Fig. 12: varying the grid granularity on the synthetic dataset.
+
+With the sigmoid fixed at (a=0.95, b=20) and the physical extent held
+constant, the paper varies the grid granularity and reports the pairing cost
+and the improvement over the fixed-length baseline.
+
+Expected shapes (paper): higher granularities incur higher absolute pairing
+costs (more cells, longer codes), and the Huffman improvement for compact
+zones shrinks as the granularity grows (deeper Huffman trees).
+"""
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import granularity_sweep
+
+GRID_SIZES = (16, 32, 64)
+RADII = (20.0, 100.0, 300.0, 600.0)
+NUM_ZONES = 10
+
+
+def test_fig12_granularity(benchmark):
+    results = benchmark(
+        granularity_sweep,
+        grid_sizes=GRID_SIZES,
+        sigmoid_a=0.95,
+        sigmoid_b=20.0,
+        radii=RADII,
+        num_zones=NUM_ZONES,
+        seed=2025,
+    )
+
+    rows = []
+    for result in results:
+        for radius, comparison in zip(result.sweep.radii, result.sweep.comparisons):
+            rows.append(
+                {
+                    "grid": f"{result.rows}x{result.cols}",
+                    "radius_m": int(radius),
+                    "fixed_pairings": comparison.cost_of("fixed").pairings,
+                    "huffman_pairings": comparison.cost_of("huffman").pairings,
+                    "huffman_improvement_pct": round(comparison.improvement_of("huffman"), 1),
+                }
+            )
+    publish_table("fig12_granularity", "Fig. 12 - varying grid granularity (a=0.95, b=20)", rows)
+
+    # Shape checks.
+    # 1. The absolute pairing cost of the baseline grows with granularity
+    #    (longer codes, more alerted cells per radius).
+    largest_radius_costs = [
+        result.sweep.comparisons[-1].cost_of("fixed").pairings for result in results
+    ]
+    assert largest_radius_costs == sorted(largest_radius_costs)
+    # 2. Huffman still helps for the most compact zones at every granularity.
+    for result in results:
+        assert result.sweep.comparisons[0].improvement_of("huffman") > 0.0

@@ -1,0 +1,45 @@
+"""Fig. 13: average-to-maximum Huffman code length ratio vs grid size.
+
+The paper reports, for increasing grid sizes under the (a=0.95, b=20) sigmoid
+model, the ratio between the average and the maximum Huffman code length.  As
+the grid grows there are more near-zero-likelihood cells, the tree gets deeper
+relative to its typical leaf, and the ratio drops -- which is the paper's
+explanation for the shrinking improvement at high granularities (Fig. 12).
+"""
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import code_length_ratio_sweep
+
+GRID_SIZES = (8, 16, 32, 64)
+
+
+def test_fig13_code_length_ratio(benchmark):
+    points = benchmark(code_length_ratio_sweep, grid_sizes=GRID_SIZES, sigmoid_a=0.95, sigmoid_b=20.0, seed=2026)
+
+    rows = [
+        {
+            "grid": f"{size}x{size}",
+            "n_cells": point.n_cells,
+            "average_code_length": round(point.average_length, 2),
+            "max_code_length": point.max_length,
+            "avg_to_max_ratio": round(point.ratio, 3),
+        }
+        for size, point in zip(GRID_SIZES, points)
+    ]
+    publish_table("fig13_code_length_ratio", "Fig. 13 - average-to-maximum Huffman code length ratio", rows)
+
+    # Shape checks: the ratio is a proper fraction everywhere, and both the
+    # average and the maximum code length grow with the cell count (deeper
+    # trees at higher granularity, the effect the paper links to Fig. 12).
+    # Note (documented in EXPERIMENTS.md): in this reproduction the maximum
+    # length is driven by the sigmoid's minimum likelihood, which does not
+    # change with n, so the avg/max *ratio* trends upward rather than
+    # downward; the underlying "deeper trees at higher granularity" effect is
+    # still visible in the absolute lengths below and in Fig. 12's shrinking
+    # improvement.
+    ratios = [point.ratio for point in points]
+    assert all(0.0 < ratio <= 1.0 for ratio in ratios)
+    averages = [point.average_length for point in points]
+    maxima = [point.max_length for point in points]
+    assert averages == sorted(averages)
+    assert maxima == sorted(maxima)

@@ -1,0 +1,52 @@
+"""Fig. 14: system initialization time vs grid size.
+
+The paper measures the one-time cost of generating the grid indexes and the
+coding tree when the system is deployed, for increasing grid sizes (a=0.95,
+b=20).  The cost grows with the number of cells; it does not affect run-time
+matching performance.  Absolute values depend on the machine (the paper
+reports minutes for the largest grids on 2014-era hardware); we check the
+growth trend and report our own timings.
+"""
+
+from benchmarks.conftest import publish_table
+from repro.analysis.experiments import init_timing_sweep
+from repro.encoding.balanced import BalancedTreeEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.encoding.sgo import ScaledGrayEncodingScheme
+
+GRID_SIZES = (16, 32, 64, 96)
+
+
+def test_fig14_initialization_time(benchmark):
+    schemes = {
+        "huffman": HuffmanEncodingScheme(),
+        "balanced": BalancedTreeEncodingScheme(),
+        "sgo": ScaledGrayEncodingScheme(),
+    }
+
+    points = benchmark(
+        init_timing_sweep,
+        grid_sizes=GRID_SIZES,
+        sigmoid_a=0.95,
+        sigmoid_b=20.0,
+        seed=2027,
+        schemes=schemes,
+    )
+
+    rows = [
+        {
+            "n_cells": point.n_cells,
+            "scheme": point.scheme,
+            "build_seconds": round(point.build_seconds, 4),
+            "reference_length_bits": point.reference_length,
+        }
+        for point in points
+    ]
+    publish_table("fig14_init_time", "Fig. 14 - system initialization time (encoding construction)", rows)
+
+    # Shape check: for the Huffman scheme, initialization time grows with the
+    # number of cells (compare the smallest and the largest grid).
+    huffman_points = [p for p in points if p.scheme == "huffman"]
+    assert huffman_points[-1].build_seconds >= huffman_points[0].build_seconds
+    # Every build completed and produced a usable reference length.
+    assert all(point.reference_length >= 1 for point in points)

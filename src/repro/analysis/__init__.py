@@ -1,0 +1,73 @@
+"""Analysis: bounds, cost metrics and the experiment harness of Section 7.
+
+* :mod:`repro.analysis.bounds` -- the encryption-overhead analysis of
+  Section 5: Theorem 3's depth bound for B-ary Huffman trees, the
+  golden-ratio bound of Theorem 4, and the ``L_E`` extra-length quantities
+  plotted in Fig. 7.
+* :mod:`repro.analysis.metrics` -- pairing-cost and improvement metrics used
+  in every evaluation figure.
+* :mod:`repro.analysis.experiments` -- reusable experiment drivers: radius
+  sweeps, mixed workloads, granularity sweeps, code-length ratios and
+  initialization timings.  The ``benchmarks/`` directory is a thin layer over
+  these drivers.
+"""
+
+from repro.analysis.bounds import (
+    GOLDEN_RATIO,
+    bary_depth_upper_bound,
+    encryption_overhead_binary,
+    encryption_overhead_bary,
+    golden_ratio_length_bound,
+    minimum_fixed_length,
+)
+from repro.analysis.metrics import (
+    SchemeCost,
+    WorkloadComparison,
+    improvement_percentage,
+    workload_pairing_cost,
+)
+from repro.analysis.communication import CommunicationProfile, profile_encoding
+from repro.analysis.experiments import (
+    CodeLengthPoint,
+    GranularityResult,
+    InitTimingPoint,
+    LEBoundPoint,
+    RadiusSweepResult,
+    code_length_ratio_sweep,
+    compare_schemes_on_workload,
+    default_scheme_suite,
+    init_timing_sweep,
+    le_bound_sweep,
+    granularity_sweep,
+    mixed_workload_comparison,
+    radius_sweep_comparison,
+)
+
+__all__ = [
+    "CommunicationProfile",
+    "profile_encoding",
+
+    "GOLDEN_RATIO",
+    "bary_depth_upper_bound",
+    "encryption_overhead_binary",
+    "encryption_overhead_bary",
+    "golden_ratio_length_bound",
+    "minimum_fixed_length",
+    "SchemeCost",
+    "WorkloadComparison",
+    "improvement_percentage",
+    "workload_pairing_cost",
+    "CodeLengthPoint",
+    "GranularityResult",
+    "InitTimingPoint",
+    "LEBoundPoint",
+    "RadiusSweepResult",
+    "code_length_ratio_sweep",
+    "compare_schemes_on_workload",
+    "default_scheme_suite",
+    "init_timing_sweep",
+    "le_bound_sweep",
+    "granularity_sweep",
+    "mixed_workload_comparison",
+    "radius_sweep_comparison",
+]

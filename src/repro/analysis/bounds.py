@@ -1,0 +1,113 @@
+"""Encryption-overhead analysis (Section 5 of the paper).
+
+Variable-length codes make the matching at the service provider cheaper, but
+they lengthen the ciphertexts users must encrypt: all indexes are padded to
+the *reference length* RL, which for a Huffman tree can exceed the
+``ceil(log_B n)`` length a fixed-length code would use.  Section 5 bounds this
+extra length ``L_E``:
+
+* Theorem 3: the depth of a B-ary Huffman tree with ``n`` leaves is at most
+  ``ceil((n - 1) / (B - 1))``;
+* Theorem 4 (Buro, 1993): for binary Huffman trees, the deepest leaf is at
+  most ``log_phi(1 / p_min)`` where ``phi`` is the golden ratio and ``p_min``
+  the smallest leaf probability;
+* Equations 11-15 combine these into upper bounds for ``L_E``, verified
+  numerically in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "GOLDEN_RATIO",
+    "minimum_fixed_length",
+    "bary_depth_upper_bound",
+    "golden_ratio_length_bound",
+    "encryption_overhead_binary",
+    "encryption_overhead_bary",
+    "loose_overhead_bound_binary",
+]
+
+#: The golden ratio ``phi = (1 + sqrt(5)) / 2`` of Theorem 4.
+GOLDEN_RATIO = (1.0 + math.sqrt(5.0)) / 2.0
+
+
+def minimum_fixed_length(n_cells: int, alphabet_size: int = 2) -> int:
+    """Length ``ceil(log_B n)`` of an optimal fixed-length code for ``n`` cells."""
+    if n_cells < 1:
+        raise ValueError("n_cells must be at least 1")
+    if alphabet_size < 2:
+        raise ValueError("alphabet_size must be at least 2")
+    if n_cells == 1:
+        return 1
+    return math.ceil(math.log(n_cells, alphabet_size) - 1e-12)
+
+
+def bary_depth_upper_bound(n_cells: int, alphabet_size: int = 2) -> int:
+    """Theorem 3: maximum possible depth of a B-ary Huffman tree with ``n`` leaves."""
+    if n_cells < 1:
+        raise ValueError("n_cells must be at least 1")
+    if alphabet_size < 2:
+        raise ValueError("alphabet_size must be at least 2")
+    if n_cells == 1:
+        return 1
+    return math.ceil((n_cells - 1) / (alphabet_size - 1))
+
+
+def golden_ratio_length_bound(min_probability: float) -> float:
+    """Theorem 4: upper bound ``log_phi(1 / p_min)`` on the deepest Huffman leaf.
+
+    ``min_probability`` must be the smallest *normalised* leaf probability and
+    strictly positive (a zero-probability leaf can be arbitrarily deep).
+    """
+    if not 0.0 < min_probability <= 1.0:
+        raise ValueError("min_probability must be in (0, 1]")
+    return math.log(1.0 / min_probability, GOLDEN_RATIO)
+
+
+def loose_overhead_bound_binary(n_cells: int) -> int:
+    """The loose bound of Eq. 11: ``L_E <= n - 1 - ceil(log2 n)``."""
+    if n_cells < 1:
+        raise ValueError("n_cells must be at least 1")
+    return max(0, (n_cells - 1) - minimum_fixed_length(n_cells, 2))
+
+
+def encryption_overhead_binary(reference_length: int, n_cells: int) -> int:
+    """Numerical ``L_E`` for a binary tree: achieved RL minus the fixed-length RL (Eq. 11)."""
+    if reference_length < 1:
+        raise ValueError("reference_length must be at least 1")
+    return reference_length - minimum_fixed_length(n_cells, 2)
+
+
+def encryption_overhead_bary(reference_length: int, n_cells: int, alphabet_size: int) -> int:
+    """Numerical ``L_E`` for a B-ary tree, in bits after expansion (Eq. 14).
+
+    The factor ``B`` accounts for the one-hot expansion mapping each symbol to
+    ``B`` bits before encryption.
+    """
+    if reference_length < 1:
+        raise ValueError("reference_length must be at least 1")
+    if alphabet_size < 2:
+        raise ValueError("alphabet_size must be at least 2")
+    return alphabet_size * (reference_length - minimum_fixed_length(n_cells, alphabet_size))
+
+
+def analytical_overhead_bound_binary(probabilities: Sequence[float]) -> float:
+    """The tighter analytical bound of Eq. 13: ``log_phi(1/p_min) - ceil(log2 n)``.
+
+    ``probabilities`` is the raw per-cell likelihood vector; it is normalised
+    internally and zero entries are excluded from the minimum (they would make
+    the bound infinite, while Huffman construction places them at depth
+    bounded by the non-zero mass structure anyway).
+    """
+    positive = [p for p in probabilities if p > 0]
+    if not positive:
+        raise ValueError("at least one probability must be positive")
+    total = sum(positive)
+    min_probability = min(positive) / total
+    return golden_ratio_length_bound(min_probability) - minimum_fixed_length(len(probabilities), 2)
+
+
+__all__.append("analytical_overhead_bound_binary")

@@ -1,0 +1,99 @@
+"""Communication overhead analysis (complements Section 5).
+
+Section 5 analyses the *length* overhead introduced by padding variable-length
+codes to the reference length; in a deployment this shows up as larger
+ciphertexts uploaded by every user and larger tokens shipped to the service
+provider.  This module quantifies those payloads in bytes using the wire
+format of :mod:`repro.crypto.serialization`, per encoding scheme:
+
+* ciphertext size (what each user uploads per location report);
+* public-key size (one-time download per user);
+* token-batch size for a given alert zone (TA -> SP traffic per alert).
+
+The figures depend on the group-element encoding of the backend, so absolute
+bytes are backend-specific; the *relative* comparison between schemes (driven
+by the HVE width RL) is what matters and is backend-independent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.crypto.serialization import (
+    payload_size_bytes,
+    serialize_ciphertext,
+    serialize_public_key,
+    serialize_token,
+)
+from repro.encoding.base import GridEncoding
+
+__all__ = ["CommunicationProfile", "profile_encoding"]
+
+
+@dataclass(frozen=True)
+class CommunicationProfile:
+    """Byte-level payload sizes for one encoding scheme."""
+
+    scheme: str
+    hve_width_bits: int
+    public_key_bytes: int
+    ciphertext_bytes: int
+    token_bytes_per_alert: int
+    tokens_per_alert: int
+
+    def as_row(self) -> dict[str, object]:
+        """Tabular form for reports."""
+        return {
+            "scheme": self.scheme,
+            "hve_width_bits": self.hve_width_bits,
+            "public_key_bytes": self.public_key_bytes,
+            "ciphertext_bytes": self.ciphertext_bytes,
+            "tokens_per_alert": self.tokens_per_alert,
+            "token_bytes_per_alert": self.token_bytes_per_alert,
+        }
+
+
+def profile_encoding(
+    encoding: GridEncoding,
+    alert_cells: Sequence[int],
+    prime_bits: int = 64,
+    seed: Optional[int] = 7,
+    sample_cell: int = 0,
+) -> CommunicationProfile:
+    """Measure the payload sizes a deployment of ``encoding`` would incur.
+
+    Parameters
+    ----------
+    encoding:
+        The grid encoding to profile; its reference length sets the HVE width.
+    alert_cells:
+        A representative alert zone used to size the token batch.
+    prime_bits:
+        Prime size of the profiling group (relative sizes are unaffected).
+    seed:
+        RNG seed for reproducible key material.
+    sample_cell:
+        Cell whose index is encrypted to measure the ciphertext size (all
+        ciphertexts of a given width have identical size by construction).
+    """
+    rng = random.Random(seed)
+    group = BilinearGroup(prime_bits=prime_bits, rng=rng)
+    hve = HVE(width=encoding.reference_length, group=group, rng=rng)
+    keys = hve.setup()
+
+    ciphertext = hve.encrypt(keys.public, encoding.index_of(sample_cell))
+    patterns = encoding.token_patterns(list(alert_cells))
+    tokens = hve.generate_tokens(keys.secret, patterns)
+
+    return CommunicationProfile(
+        scheme=encoding.name,
+        hve_width_bits=encoding.reference_length,
+        public_key_bytes=payload_size_bytes(serialize_public_key(keys.public)),
+        ciphertext_bytes=payload_size_bytes(serialize_ciphertext(ciphertext)),
+        token_bytes_per_alert=sum(payload_size_bytes(serialize_token(token)) for token in tokens),
+        tokens_per_alert=len(tokens),
+    )

@@ -1,0 +1,345 @@
+"""Reusable experiment drivers reproducing the evaluation of Section 7.
+
+Every figure of the paper's evaluation maps to one driver here; the modules
+under ``benchmarks/`` call these drivers and print the resulting tables.  The
+drivers work purely at the token-pattern level (costs are analytic pairing
+counts), which keeps sweeps fast; the integration tests separately confirm
+that analytic counts equal the pairing counter of the real crypto layer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.bounds import (
+    analytical_overhead_bound_binary,
+    encryption_overhead_binary,
+    loose_overhead_bound_binary,
+)
+from repro.analysis.metrics import WorkloadComparison, compare_costs
+from repro.encoding.balanced import BalancedTreeEncodingScheme
+from repro.encoding.base import EncodingScheme, GridEncoding
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme, build_huffman_tree
+from repro.encoding.sgo import ScaledGrayEncodingScheme
+from repro.grid.grid import Grid
+from repro.grid.workloads import AlertWorkload, MixedWorkloadSpec, STANDARD_MIXED_WORKLOADS, WorkloadGenerator
+from repro.probability.sigmoid import SigmoidProbabilityModel
+
+__all__ = [
+    "BASELINE_SCHEME",
+    "default_scheme_suite",
+    "build_encodings",
+    "compare_schemes_on_workload",
+    "RadiusSweepResult",
+    "radius_sweep_comparison",
+    "mixed_workload_comparison",
+    "GranularityResult",
+    "granularity_sweep",
+    "CodeLengthPoint",
+    "code_length_ratio_sweep",
+    "LEBoundPoint",
+    "le_bound_sweep",
+    "InitTimingPoint",
+    "init_timing_sweep",
+]
+
+#: The reference scheme improvements are measured against ([14]).
+BASELINE_SCHEME = "fixed"
+
+#: Radii (meters) used for the radius sweeps; spans the compact zones the
+#: paper emphasises up to large zones where fixed-length aggregation shines.
+DEFAULT_RADII: tuple[float, ...] = (20.0, 50.0, 100.0, 200.0, 300.0, 450.0, 600.0)
+
+
+def default_scheme_suite() -> dict[str, EncodingScheme]:
+    """The four schemes compared throughout the evaluation."""
+    return {
+        "fixed": FixedLengthEncodingScheme(),
+        "sgo": ScaledGrayEncodingScheme(),
+        "balanced": BalancedTreeEncodingScheme(),
+        "huffman": HuffmanEncodingScheme(),
+    }
+
+
+def build_encodings(
+    probabilities: Sequence[float],
+    schemes: Optional[Mapping[str, EncodingScheme]] = None,
+) -> dict[str, GridEncoding]:
+    """Instantiate every scheme's encoding for one probability vector."""
+    schemes = dict(schemes) if schemes is not None else default_scheme_suite()
+    return {name: scheme.build(list(probabilities)) for name, scheme in schemes.items()}
+
+
+def compare_schemes_on_workload(
+    probabilities: Sequence[float],
+    workload: AlertWorkload,
+    schemes: Optional[Mapping[str, EncodingScheme]] = None,
+    baseline: str = BASELINE_SCHEME,
+) -> WorkloadComparison:
+    """Build all encodings and compare their pairing cost on one workload."""
+    encodings = build_encodings(probabilities, schemes)
+    return compare_costs(encodings, workload, baseline=baseline)
+
+
+# ----------------------------------------------------------------------
+# Radius sweeps (Figs. 9, 10, 12)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RadiusSweepResult:
+    """Results of a radius sweep: one comparison per radius."""
+
+    radii: tuple[float, ...]
+    comparisons: tuple[WorkloadComparison, ...]
+
+    def improvement_series(self, scheme: str) -> list[float]:
+        """Improvement (%) of ``scheme`` over the baseline, per radius."""
+        return [comparison.improvement_of(scheme) for comparison in self.comparisons]
+
+    def pairings_series(self, scheme: str) -> list[int]:
+        """Absolute pairing counts of ``scheme``, per radius."""
+        return [comparison.cost_of(scheme).pairings for comparison in self.comparisons]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Long-format rows (radius x scheme) for report printing."""
+        rows: list[dict[str, object]] = []
+        for radius, comparison in zip(self.radii, self.comparisons):
+            for row in comparison.as_rows():
+                rows.append({"radius": radius, **row})
+        return rows
+
+
+def radius_sweep_comparison(
+    grid: Grid,
+    probabilities: Sequence[float],
+    radii: Sequence[float] = DEFAULT_RADII,
+    num_zones: int = 20,
+    seed: int = 7,
+    schemes: Optional[Mapping[str, EncodingScheme]] = None,
+    baseline: str = BASELINE_SCHEME,
+    triggered: bool = True,
+) -> RadiusSweepResult:
+    """Compare all schemes over alert zones of increasing radius.
+
+    Reproduces the structure of Figs. 9 and 10: for each radius, ``num_zones``
+    zones are drawn with probability-weighted epicenters and the total pairing
+    cost of each scheme is accumulated.
+
+    ``triggered=True`` (default) uses probability-triggered zones: candidate
+    cells within the radius become alerted according to their own likelihood,
+    matching the paper's definition of ``p(v_i)`` as the likelihood of a cell
+    *being alerted* (see ``WorkloadGenerator.triggered_radius_workload``).
+    ``triggered=False`` alerts every cell inside the circle regardless of
+    likelihood (a purely geometric zone), which is kept as an ablation.
+    """
+    encodings = build_encodings(probabilities, schemes)
+    generator = WorkloadGenerator(grid, probabilities, rng=random.Random(seed))
+    comparisons = []
+    for radius in radii:
+        if triggered:
+            workload = generator.triggered_radius_workload(radius, num_zones)
+        else:
+            workload = generator.radius_workload(radius, num_zones)
+        comparisons.append(compare_costs(encodings, workload, baseline=baseline))
+    return RadiusSweepResult(radii=tuple(radii), comparisons=tuple(comparisons))
+
+
+# ----------------------------------------------------------------------
+# Mixed workloads (Fig. 11)
+# ----------------------------------------------------------------------
+def mixed_workload_comparison(
+    grid: Grid,
+    probabilities: Sequence[float],
+    specs: Sequence[MixedWorkloadSpec] = STANDARD_MIXED_WORKLOADS,
+    num_zones: int = 40,
+    seed: int = 11,
+    schemes: Optional[Mapping[str, EncodingScheme]] = None,
+    baseline: str = BASELINE_SCHEME,
+    triggered: bool = True,
+) -> list[WorkloadComparison]:
+    """Compare all schemes on the W1-W4 short/long radius mixes (Fig. 11)."""
+    encodings = build_encodings(probabilities, schemes)
+    generator = WorkloadGenerator(grid, probabilities, rng=random.Random(seed))
+    comparisons = []
+    for spec in specs:
+        if triggered:
+            workload = generator.triggered_mixed_workload(spec, num_zones)
+        else:
+            workload = generator.mixed_workload(spec, num_zones)
+        comparisons.append(compare_costs(encodings, workload, baseline=baseline))
+    return comparisons
+
+
+# ----------------------------------------------------------------------
+# Grid granularity (Fig. 12)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GranularityResult:
+    """Radius-sweep results for one grid granularity."""
+
+    rows: int
+    cols: int
+    sweep: RadiusSweepResult
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells at this granularity."""
+        return self.rows * self.cols
+
+
+def granularity_sweep(
+    grid_sizes: Sequence[int] = (16, 32, 64),
+    sigmoid_a: float = 0.95,
+    sigmoid_b: float = 20.0,
+    radii: Sequence[float] = DEFAULT_RADII,
+    num_zones: int = 10,
+    seed: int = 13,
+    extent_meters: float = 3200.0,
+    schemes: Optional[Mapping[str, EncodingScheme]] = None,
+) -> list[GranularityResult]:
+    """Vary the grid granularity at fixed domain size (Fig. 12).
+
+    The physical extent is kept constant, so higher granularities mean smaller
+    cells and longer codes -- the regime where the paper observes the Huffman
+    improvement for compact zones shrinking.
+    """
+    from repro.grid.geometry import BoundingBox  # local import to avoid a cycle at module load
+
+    results = []
+    for size in grid_sizes:
+        grid = Grid(rows=size, cols=size, bounding_box=BoundingBox(0.0, 0.0, extent_meters, extent_meters))
+        model = SigmoidProbabilityModel(a=sigmoid_a, b=sigmoid_b, seed=seed)
+        probabilities = model.cell_probabilities(grid.n_cells)
+        sweep = radius_sweep_comparison(
+            grid,
+            probabilities,
+            radii=radii,
+            num_zones=num_zones,
+            seed=seed,
+            schemes=schemes,
+        )
+        results.append(GranularityResult(rows=size, cols=size, sweep=sweep))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Code-length ratio (Fig. 13)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CodeLengthPoint:
+    """Average and maximum Huffman code length for one grid size."""
+
+    n_cells: int
+    average_length: float
+    max_length: int
+
+    @property
+    def ratio(self) -> float:
+        """Average-to-maximum code length ratio (the Fig. 13 y-axis)."""
+        return self.average_length / float(self.max_length)
+
+
+def code_length_ratio_sweep(
+    grid_sizes: Sequence[int] = (8, 16, 32, 64),
+    sigmoid_a: float = 0.95,
+    sigmoid_b: float = 20.0,
+    seed: int = 17,
+) -> list[CodeLengthPoint]:
+    """Average-to-maximum Huffman code length over increasing grid sizes."""
+    points = []
+    for size in grid_sizes:
+        n_cells = size * size
+        model = SigmoidProbabilityModel(a=sigmoid_a, b=sigmoid_b, seed=seed)
+        probabilities = model.cell_probabilities(n_cells)
+        tree = build_huffman_tree(probabilities)
+        points.append(
+            CodeLengthPoint(
+                n_cells=n_cells,
+                average_length=tree.average_code_length(),
+                max_length=tree.reference_length,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Encryption-overhead bound (Fig. 7)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LEBoundPoint:
+    """Numerical vs analytical extra-length ``L_E`` for one cell count."""
+
+    n_cells: int
+    numerical: int
+    analytical_bound: float
+    loose_bound: int
+
+
+def le_bound_sweep(
+    cell_counts: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
+    sigmoid_a: float = 0.95,
+    sigmoid_b: float = 20.0,
+    seed: int = 19,
+) -> list[LEBoundPoint]:
+    """Numerical ``L_E`` of binary Huffman codes against the analytical bounds (Fig. 7)."""
+    points = []
+    for n_cells in cell_counts:
+        model = SigmoidProbabilityModel(a=sigmoid_a, b=sigmoid_b, seed=seed)
+        probabilities = model.cell_probabilities(n_cells)
+        tree = build_huffman_tree(probabilities)
+        numerical = encryption_overhead_binary(tree.reference_length, n_cells)
+        analytical = analytical_overhead_bound_binary(probabilities)
+        points.append(
+            LEBoundPoint(
+                n_cells=n_cells,
+                numerical=numerical,
+                analytical_bound=analytical,
+                loose_bound=loose_overhead_bound_binary(n_cells),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Initialization time (Fig. 14)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InitTimingPoint:
+    """One-time setup cost for one grid size."""
+
+    n_cells: int
+    scheme: str
+    build_seconds: float
+    reference_length: int
+
+
+def init_timing_sweep(
+    grid_sizes: Sequence[int] = (16, 32, 64),
+    sigmoid_a: float = 0.95,
+    sigmoid_b: float = 20.0,
+    seed: int = 23,
+    schemes: Optional[Mapping[str, EncodingScheme]] = None,
+) -> list[InitTimingPoint]:
+    """Time the index / coding-tree generation for increasing grid sizes (Fig. 14)."""
+    schemes = dict(schemes) if schemes is not None else {"huffman": HuffmanEncodingScheme()}
+    points = []
+    for size in grid_sizes:
+        n_cells = size * size
+        model = SigmoidProbabilityModel(a=sigmoid_a, b=sigmoid_b, seed=seed)
+        probabilities = model.cell_probabilities(n_cells)
+        for name, scheme in schemes.items():
+            start = time.perf_counter()
+            encoding = scheme.build(probabilities)
+            elapsed = time.perf_counter() - start
+            points.append(
+                InitTimingPoint(
+                    n_cells=n_cells,
+                    scheme=name,
+                    build_seconds=elapsed,
+                    reference_length=encoding.reference_length,
+                )
+            )
+    return points

@@ -1,0 +1,161 @@
+"""Cost metrics for comparing encoding schemes (the y-axes of Figs. 9-12).
+
+The paper reports two quantities per technique:
+
+* the absolute number of bilinear-pairing operations the service provider
+  performs, and
+* the percentage improvement over the uniform fixed-length baseline of [14].
+
+Both are computed here from token patterns alone (a token with ``k`` non-star
+symbols costs ``1 + 2k`` pairings per stored ciphertext), so experiment sweeps
+do not need to run the actual cryptography -- although they can, and the
+integration tests confirm the analytic counts agree with the pairing counter
+of the crypto layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.crypto.counting import non_star_count, pairing_cost_of_tokens
+from repro.encoding.base import GridEncoding
+from repro.grid.workloads import AlertWorkload
+
+__all__ = [
+    "SchemeCost",
+    "WorkloadComparison",
+    "improvement_percentage",
+    "workload_pairing_cost",
+    "workload_token_stats",
+]
+
+
+def improvement_percentage(baseline_cost: float, cost: float) -> float:
+    """Relative saving of ``cost`` against ``baseline_cost`` in percent.
+
+    Positive values mean fewer pairings than the baseline; a zero baseline
+    yields zero improvement by convention.
+    """
+    if baseline_cost < 0 or cost < 0:
+        raise ValueError("costs must be non-negative")
+    if baseline_cost == 0:
+        return 0.0
+    return 100.0 * (baseline_cost - cost) / baseline_cost
+
+
+def workload_pairing_cost(encoding: GridEncoding, workload: AlertWorkload, num_ciphertexts: int = 1) -> int:
+    """Total pairings to serve every zone in ``workload`` under ``encoding``."""
+    if num_ciphertexts < 0:
+        raise ValueError("num_ciphertexts must be non-negative")
+    total = 0
+    for zone in workload:
+        total += pairing_cost_of_tokens(encoding.token_patterns(list(zone.cell_ids))) * num_ciphertexts
+    return total
+
+
+def workload_token_stats(encoding: GridEncoding, workload: AlertWorkload) -> dict[str, float]:
+    """Aggregate token statistics for a workload under one encoding.
+
+    Returns counts useful for ablation reporting: number of tokens, total
+    non-star symbols and per-zone averages.
+    """
+    n_tokens = 0
+    non_star_total = 0
+    for zone in workload:
+        patterns = encoding.token_patterns(list(zone.cell_ids))
+        n_tokens += len(patterns)
+        non_star_total += sum(non_star_count(p) for p in patterns)
+    n_zones = len(workload)
+    return {
+        "zones": float(n_zones),
+        "tokens": float(n_tokens),
+        "non_star_symbols": float(non_star_total),
+        "tokens_per_zone": n_tokens / n_zones,
+        "non_star_per_zone": non_star_total / n_zones,
+    }
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Cost of one scheme on one workload."""
+
+    scheme: str
+    pairings: int
+    tokens: int
+    non_star_symbols: int
+
+    @property
+    def pairings_per_zone(self) -> float:
+        """Average pairings per alert zone (requires the comparison context for zone count)."""
+        return float(self.pairings)
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """All schemes' costs on one workload, with improvements over the baseline.
+
+    ``baseline`` names the scheme against which improvements are computed (the
+    paper uses the uniform fixed-length encoding of [14]).
+    """
+
+    workload: str
+    baseline: str
+    costs: tuple[SchemeCost, ...]
+
+    def cost_of(self, scheme: str) -> SchemeCost:
+        """The cost record of a scheme by name."""
+        for cost in self.costs:
+            if cost.scheme == scheme:
+                return cost
+        raise KeyError(f"scheme {scheme!r} not part of this comparison")
+
+    def improvement_of(self, scheme: str) -> float:
+        """Improvement (%) of ``scheme`` over the baseline on this workload."""
+        baseline_cost = self.cost_of(self.baseline).pairings
+        return improvement_percentage(baseline_cost, self.cost_of(scheme).pairings)
+
+    def improvements(self) -> dict[str, float]:
+        """Improvement (%) of every scheme over the baseline."""
+        return {cost.scheme: self.improvement_of(cost.scheme) for cost in self.costs}
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Tabular form used by the benchmark reports."""
+        return [
+            {
+                "workload": self.workload,
+                "scheme": cost.scheme,
+                "pairings": cost.pairings,
+                "tokens": cost.tokens,
+                "non_star_symbols": cost.non_star_symbols,
+                "improvement_pct": round(self.improvement_of(cost.scheme), 2),
+            }
+            for cost in self.costs
+        ]
+
+
+def compare_costs(
+    encodings: Mapping[str, GridEncoding],
+    workload: AlertWorkload,
+    baseline: str,
+    num_ciphertexts: int = 1,
+) -> WorkloadComparison:
+    """Evaluate every encoding on ``workload`` and package the comparison."""
+    if baseline not in encodings:
+        raise KeyError(f"baseline scheme {baseline!r} missing from encodings")
+    costs = []
+    for name, encoding in encodings.items():
+        stats = workload_token_stats(encoding, workload)
+        pairings = workload_pairing_cost(encoding, workload, num_ciphertexts=num_ciphertexts)
+        costs.append(
+            SchemeCost(
+                scheme=name,
+                pairings=pairings,
+                tokens=int(stats["tokens"]),
+                non_star_symbols=int(stats["non_star_symbols"]),
+            )
+        )
+    return WorkloadComparison(workload=workload.name, baseline=baseline, costs=tuple(costs))
+
+
+__all__.append("compare_costs")

@@ -1,0 +1,208 @@
+"""Command-line interface for the secure location-alert library.
+
+Provides quick access to the experiment drivers and to small demonstration
+runs without writing Python::
+
+    python -m repro compare   --rows 32 --cols 32 --sigmoid-a 0.99 --sigmoid-b 100 --radius 100
+    python -m repro experiment fig07
+    python -m repro experiment fig13 --grid-sizes 8 16 32
+    python -m repro simulate  --users 30 --steps 10
+    python -m repro info
+
+The CLI is intentionally a thin layer over :mod:`repro.analysis.experiments`,
+:mod:`repro.protocol.simulation` and the public pipeline API; anything it can
+do is equally available as a library call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Mapping, Optional, Sequence
+
+from repro import __version__
+from repro.analysis.experiments import (
+    code_length_ratio_sweep,
+    compare_schemes_on_workload,
+    default_scheme_suite,
+    init_timing_sweep,
+    le_bound_sweep,
+    radius_sweep_comparison,
+)
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def _format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as a fixed-width table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r[c])) for r in rows)) for c in columns}
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} - secure location-based alerts (EDBT 2021 reproduction)")
+    print("Encoding schemes:", ", ".join(sorted(default_scheme_suite())))
+    print("See DESIGN.md for the system inventory and EXPERIMENTS.md for results.")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = make_synthetic_scenario(
+        rows=args.rows,
+        cols=args.cols,
+        sigmoid_a=args.sigmoid_a,
+        sigmoid_b=args.sigmoid_b,
+        seed=args.seed,
+    )
+    workload = scenario.workloads.triggered_radius_workload(args.radius, args.zones)
+    comparison = compare_schemes_on_workload(scenario.probabilities, workload)
+    print(scenario.describe())
+    print(f"workload: {args.zones} triggered zones of radius {args.radius:g} m")
+    print(_format_table(comparison.as_rows()))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name == "fig07":
+        points = le_bound_sweep(cell_counts=tuple(args.cell_counts))
+        rows = [
+            {
+                "n_cells": p.n_cells,
+                "numerical_LE": p.numerical,
+                "analytical_bound": round(p.analytical_bound, 2),
+                "loose_bound": p.loose_bound,
+            }
+            for p in points
+        ]
+    elif name in ("fig09", "fig10"):
+        scenario = make_synthetic_scenario(
+            rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+        )
+        sweep = radius_sweep_comparison(
+            scenario.grid, scenario.probabilities, radii=tuple(args.radii), num_zones=args.zones, seed=args.seed
+        )
+        rows = sweep.as_rows()
+    elif name == "fig13":
+        points = code_length_ratio_sweep(grid_sizes=tuple(args.grid_sizes))
+        rows = [
+            {
+                "n_cells": p.n_cells,
+                "average_length": round(p.average_length, 2),
+                "max_length": p.max_length,
+                "ratio": round(p.ratio, 3),
+            }
+            for p in points
+        ]
+    elif name == "fig14":
+        points = init_timing_sweep(grid_sizes=tuple(args.grid_sizes))
+        rows = [
+            {
+                "n_cells": p.n_cells,
+                "scheme": p.scheme,
+                "build_seconds": round(p.build_seconds, 4),
+                "reference_length": p.reference_length,
+            }
+            for p in points
+        ]
+    else:
+        print(
+            f"unknown experiment {args.name!r}; available: fig07, fig09, fig10, fig13, fig14 "
+            "(the full evaluation lives under benchmarks/)",
+            file=sys.stderr,
+        )
+        return 2
+    print(_format_table(rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = make_synthetic_scenario(
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+    )
+    config = SimulationConfig(
+        num_users=args.users,
+        alert_rate_per_step=args.alert_rate,
+        alert_radius=args.radius,
+        seed=args.seed,
+        prime_bits=args.prime_bits,
+    )
+    simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
+    result = simulation.run(args.steps)
+    print(_format_table(result.as_rows()))
+    print(
+        f"totals: {result.total_reports} reports, {result.total_alerts} alerts, "
+        f"{result.total_notifications} notifications, {result.total_pairings} pairings"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description="Secure location-based alerts (EDBT 2021 reproduction)")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    info = subparsers.add_parser("info", help="show library information")
+    info.set_defaults(handler=_cmd_info)
+
+    def add_scenario_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--rows", type=int, default=32, help="grid rows (default 32)")
+        sub.add_argument("--cols", type=int, default=32, help="grid columns (default 32)")
+        sub.add_argument("--sigmoid-a", type=float, default=0.95, help="sigmoid inflection point")
+        sub.add_argument("--sigmoid-b", type=float, default=100.0, help="sigmoid gradient")
+        sub.add_argument("--seed", type=int, default=7, help="random seed")
+
+    compare = subparsers.add_parser("compare", help="compare all encoding schemes on one workload")
+    add_scenario_options(compare)
+    compare.add_argument("--radius", type=float, default=100.0, help="alert-zone radius in meters")
+    compare.add_argument("--zones", type=int, default=20, help="number of alert zones")
+    compare.set_defaults(handler=_cmd_compare)
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", help="experiment id: fig07, fig09, fig10, fig13 or fig14")
+    add_scenario_options(experiment)
+    experiment.add_argument("--radii", type=float, nargs="+", default=[20.0, 100.0, 300.0, 600.0])
+    experiment.add_argument("--zones", type=int, default=10)
+    experiment.add_argument("--cell-counts", type=int, nargs="+", default=[16, 64, 256, 1024])
+    experiment.add_argument("--grid-sizes", type=int, nargs="+", default=[8, 16, 32])
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    simulate = subparsers.add_parser("simulate", help="run a small end-to-end service simulation")
+    add_scenario_options(simulate)
+    simulate.add_argument("--users", type=int, default=30, help="number of subscribed users")
+    simulate.add_argument("--steps", type=int, default=10, help="number of simulated time steps")
+    simulate.add_argument("--alert-rate", type=float, default=0.5, help="expected alerts per step")
+    simulate.add_argument("--radius", type=float, default=100.0, help="alert radius in meters")
+    simulate.add_argument("--prime-bits", type=int, default=48, help="prime size of the HVE group")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 1
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

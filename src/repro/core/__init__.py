@@ -1,0 +1,12 @@
+"""High-level public API for the secure location-alert library.
+
+Most applications only need :class:`~repro.core.pipeline.SecureAlertPipeline`,
+which packages grid construction, probability modelling, encoding selection,
+key setup and the user / alert workflow behind a handful of methods.  Lower
+layers (crypto, encoding, minimization, protocol) remain importable for
+advanced use and for the experiments.
+"""
+
+from repro.core.pipeline import PipelineConfig, SecureAlertPipeline
+
+__all__ = ["PipelineConfig", "SecureAlertPipeline"]

@@ -1,0 +1,186 @@
+"""The :class:`SecureAlertPipeline`: the library's front door.
+
+A pipeline bundles everything a deployment needs:
+
+* a :class:`~repro.grid.grid.Grid` over the served area,
+* a per-cell alert-likelihood vector (from any source: sigmoid model, trained
+  crime model, domain knowledge),
+* an encoding scheme (Huffman by default -- the paper's proposal),
+* the HVE key material and the three protocol parties.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    pipeline = SecureAlertPipeline.from_probabilities(grid, probabilities)
+    pipeline.subscribe("alice", Point(120.0, 80.0))
+    report = pipeline.raise_alert_at(Point(110.0, 90.0), radius=25.0, alert_id="leak-1")
+    print(report.notified_users)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.encoding.balanced import BalancedTreeEncodingScheme
+from repro.encoding.bary import BaryHuffmanEncodingScheme
+from repro.encoding.base import EncodingScheme
+from repro.encoding.canonical import CanonicalHuffmanEncodingScheme
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.encoding.sgo import ScaledGrayEncodingScheme
+from repro.grid.alert_zone import AlertZone, circular_alert_zone
+from repro.grid.geometry import Point
+from repro.grid.grid import Grid
+from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
+from repro.protocol.messages import Notification
+
+__all__ = ["PipelineConfig", "AlertReport", "SecureAlertPipeline", "scheme_by_name"]
+
+
+def scheme_by_name(name: str, alphabet_size: int = 3) -> EncodingScheme:
+    """Resolve an encoding scheme from a short name.
+
+    Recognised names: ``"huffman"`` (default proposal), ``"huffman-bary"``
+    (Section 4 extension, using ``alphabet_size``), ``"huffman-canonical"``
+    (publication-friendly canonical codewords), ``"balanced"``, ``"fixed"``
+    ([14] baseline) and ``"sgo"`` ([23] baseline).
+    """
+    normalized = name.strip().lower()
+    if normalized == "huffman":
+        return HuffmanEncodingScheme()
+    if normalized in ("huffman-canonical", "canonical"):
+        return CanonicalHuffmanEncodingScheme()
+    if normalized in ("huffman-bary", "bary", "b-ary"):
+        return BaryHuffmanEncodingScheme(alphabet_size)
+    if normalized == "balanced":
+        return BalancedTreeEncodingScheme()
+    if normalized == "fixed":
+        return FixedLengthEncodingScheme()
+    if normalized == "sgo":
+        return ScaledGrayEncodingScheme()
+    raise ValueError(f"unknown encoding scheme {name!r}")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunables of a :class:`SecureAlertPipeline`."""
+
+    scheme: str = "huffman"
+    alphabet_size: int = 3
+    prime_bits: int = 64
+    seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AlertReport:
+    """Outcome of one alert declaration."""
+
+    alert_id: str
+    zone: AlertZone
+    notified_users: tuple[str, ...]
+    tokens_issued: int
+    pairings_spent: int
+
+
+class SecureAlertPipeline:
+    """End-to-end secure location alerts behind a minimal API."""
+
+    def __init__(self, system: SecureAlertSystem, config: PipelineConfig):
+        self._system = system
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_probabilities(
+        cls,
+        grid: Grid,
+        probabilities: Sequence[float],
+        config: Optional[PipelineConfig] = None,
+    ) -> "SecureAlertPipeline":
+        """Build a pipeline from a grid and per-cell alert likelihoods."""
+        config = config or PipelineConfig()
+        scheme = scheme_by_name(config.scheme, config.alphabet_size)
+        rng = random.Random(config.seed)
+        system = SecureAlertSystem(
+            grid=grid,
+            probabilities=probabilities,
+            scheme=scheme,
+            prime_bits=config.prime_bits,
+            rng=rng,
+        )
+        return cls(system, config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> Grid:
+        """The spatial grid served by this deployment."""
+        return self._system.grid
+
+    @property
+    def init_stats(self) -> SystemInitStats:
+        """Timing of the one-time initialization (encoding + key setup)."""
+        return self._system.init_stats
+
+    @property
+    def pairing_count(self) -> int:
+        """Total bilinear pairings evaluated so far."""
+        return self._system.pairing_count
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of users with a stored encrypted location."""
+        return self._system.provider.subscriber_count
+
+    def encoding_name(self) -> str:
+        """Name of the deployed encoding scheme."""
+        return self._system.authority.encoding.name
+
+    # ------------------------------------------------------------------
+    # User lifecycle
+    # ------------------------------------------------------------------
+    def subscribe(self, user_id: str, location: Point) -> None:
+        """Register a user and upload their first encrypted location."""
+        self._system.register_user(user_id, location)
+
+    def report_location(self, user_id: str, location: Point) -> None:
+        """Record a user's movement (uploads a fresh ciphertext)."""
+        self._system.move_user(user_id, location)
+
+    # ------------------------------------------------------------------
+    # Alerts
+    # ------------------------------------------------------------------
+    def raise_alert(self, zone: AlertZone, alert_id: str, description: str = "") -> AlertReport:
+        """Declare an alert over an explicit set of cells."""
+        pairings_before = self._system.pairing_count
+        batch = self._system.issue_token_batch(zone, alert_id)
+        notifications = self._system.provider.process_alert(batch, description=description)
+        return AlertReport(
+            alert_id=alert_id,
+            zone=zone,
+            notified_users=tuple(sorted(n.user_id for n in notifications)),
+            tokens_issued=len(batch.tokens),
+            pairings_spent=self._system.pairing_count - pairings_before,
+        )
+
+    def raise_alert_at(
+        self,
+        epicenter: Point,
+        radius: float,
+        alert_id: str,
+        description: str = "",
+    ) -> AlertReport:
+        """Declare a circular alert zone around an event epicenter."""
+        zone = circular_alert_zone(self.grid, epicenter, radius, label=alert_id)
+        return self.raise_alert(zone, alert_id, description=description)
+
+    # ------------------------------------------------------------------
+    # Ground truth (testing / demo support)
+    # ------------------------------------------------------------------
+    def users_actually_in_zone(self, zone: AlertZone) -> list[str]:
+        """Plaintext ground truth of which subscribed users are inside ``zone``."""
+        return self._system.users_in_zone(zone)

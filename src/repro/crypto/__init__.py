@@ -1,0 +1,50 @@
+"""Cryptographic substrate for the secure location-based alert protocol.
+
+This package implements the searchable-encryption machinery the paper builds
+on:
+
+* :mod:`repro.crypto.primes` -- probabilistic prime generation (Miller-Rabin)
+  used to build composite-order groups.
+* :mod:`repro.crypto.group` -- a composite-order symmetric bilinear group
+  ``e: G x G -> GT`` in the *ideal group model*: elements are represented by
+  their discrete logarithms modulo ``N = P * Q``, so every algebraic identity
+  of a real pairing group holds exactly, while remaining implementable in pure
+  Python.  See ``DESIGN.md`` (substitution 1) for why this preserves the
+  behaviour the paper measures.
+* :mod:`repro.crypto.hve` -- Hidden Vector Encryption (Boneh-Waters style) with
+  ``Setup``, ``Encrypt``, ``GenToken`` and ``Query`` exactly as laid out in
+  Section 2.1 of the paper.
+* :mod:`repro.crypto.counting` -- pairing-operation accounting, the paper's
+  cost metric.
+* :mod:`repro.crypto.serialization` -- stable byte-level serialization of keys,
+  ciphertexts and tokens (what would travel on the wire between users, the TA
+  and the SP).
+"""
+
+from repro.crypto.counting import PairingCounter, pairing_cost_of_token, pairing_cost_of_tokens
+from repro.crypto.group import BilinearGroup, GroupElement, GTElement
+from repro.crypto.hve import (
+    HVE,
+    HVECiphertext,
+    HVEKeyPair,
+    HVEPublicKey,
+    HVESecretKey,
+    HVEToken,
+    STAR,
+)
+
+__all__ = [
+    "BilinearGroup",
+    "GroupElement",
+    "GTElement",
+    "HVE",
+    "HVECiphertext",
+    "HVEKeyPair",
+    "HVEPublicKey",
+    "HVESecretKey",
+    "HVEToken",
+    "STAR",
+    "PairingCounter",
+    "pairing_cost_of_token",
+    "pairing_cost_of_tokens",
+]

@@ -1,0 +1,109 @@
+"""Probabilistic prime generation for composite-order group construction.
+
+The HVE construction of Boneh-Waters operates in a bilinear group whose order
+is a product of two large primes ``N = P * Q``.  This module provides the
+prime machinery: Miller-Rabin primality testing and random prime generation of
+a requested bit length, with a deterministic mode (seeded RNG) so experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["is_probable_prime", "generate_prime", "generate_distinct_primes"]
+
+# Small primes used for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+# Deterministic witness set valid for all 64-bit integers.
+_DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """Run one Miller-Rabin round; return True if ``n`` passes for witness ``a``."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 24, rng: Optional[random.Random] = None) -> bool:
+    """Return True if ``n`` is (very probably) prime.
+
+    Uses trial division by small primes followed by Miller-Rabin.  For values
+    below 2**64 the deterministic witness set is used and the answer is exact.
+
+    Parameters
+    ----------
+    n:
+        Candidate integer.
+    rounds:
+        Number of random Miller-Rabin rounds for large candidates.
+    rng:
+        Optional random source (for reproducibility of witness choice).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    if n < 1 << 64:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    else:
+        rng = rng or random.Random()
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+
+    return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+
+
+def generate_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """Generate a random prime of exactly ``bits`` bits.
+
+    Parameters
+    ----------
+    bits:
+        Bit length of the prime; must be at least 8.
+    rng:
+        Random source.  Pass a seeded :class:`random.Random` for reproducible
+        key material in tests and experiments.
+    """
+    if bits < 8:
+        raise ValueError(f"prime bit length must be >= 8, got {bits}")
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits)
+        # Force exact bit length and oddness.
+        candidate |= (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_distinct_primes(bits: int, count: int = 2, rng: Optional[random.Random] = None) -> list[int]:
+    """Generate ``count`` distinct primes of ``bits`` bits each."""
+    rng = rng or random.Random()
+    primes: list[int] = []
+    while len(primes) < count:
+        p = generate_prime(bits, rng=rng)
+        if p not in primes:
+            primes.append(p)
+    return primes

@@ -1,0 +1,29 @@
+"""Workload datasets for the evaluation.
+
+* :mod:`repro.datasets.chicago` -- a synthetic stand-in for the Chicago Crime
+  2015 dataset used in Section 7.1 (hot-spot mixture over the Chicago bounding
+  box, four crime categories, monthly seasonality).  See DESIGN.md,
+  substitution 2.
+* :mod:`repro.datasets.synthetic` -- convenience constructors bundling the
+  sigmoid probability model with a grid, matching the synthetic configurations
+  of Section 7.2.
+"""
+
+from repro.datasets.chicago import (
+    CHICAGO_BOUNDING_BOX,
+    CRIME_CATEGORIES,
+    ChicagoCrimeDataset,
+    CrimeIncident,
+    generate_chicago_crime_dataset,
+)
+from repro.datasets.synthetic import SyntheticScenario, make_synthetic_scenario
+
+__all__ = [
+    "CHICAGO_BOUNDING_BOX",
+    "CRIME_CATEGORIES",
+    "ChicagoCrimeDataset",
+    "CrimeIncident",
+    "generate_chicago_crime_dataset",
+    "SyntheticScenario",
+    "make_synthetic_scenario",
+]

@@ -1,0 +1,60 @@
+"""Grid encodings: how cells are mapped to the bit strings HVE operates on.
+
+This package implements every encoding evaluated in the paper:
+
+* :mod:`repro.encoding.prefix_tree` -- prefix-tree data structure (nodes with
+  children, parent, weight and code) shared by all variable-length schemes.
+* :mod:`repro.encoding.huffman` -- the binary Huffman tree of Algorithm 2 (the
+  paper's core contribution).
+* :mod:`repro.encoding.bary` -- the B-ary Huffman extension of Section 4.
+* :mod:`repro.encoding.balanced` -- the balanced-tree variable-length baseline.
+* :mod:`repro.encoding.coding_scheme` -- Algorithm 1: turning a prefix tree
+  into zero-padded grid indexes and the star-padded coding tree, packaged as a
+  :class:`VariableLengthEncoding`.
+* :mod:`repro.encoding.expansion` -- the character-to-bit expansion used by
+  non-binary alphabets (Section 4) and the granularity-refinement helper.
+* :mod:`repro.encoding.fixed_length` -- the uniform fixed-length baseline of
+  [14] (row-major binary codes + logic minimization).
+* :mod:`repro.encoding.sgo` -- the probability-aware fixed-length baseline
+  modelled after the Scaled Gray Optimizer of [23].
+* :mod:`repro.encoding.base` -- the :class:`GridEncoding` interface every
+  scheme implements, so the protocol and experiments are encoding-agnostic.
+"""
+
+from repro.encoding.balanced import BalancedTreeEncodingScheme, build_balanced_tree
+from repro.encoding.bary import BaryHuffmanEncodingScheme, build_bary_huffman_tree
+from repro.encoding.base import EncodingScheme, GridEncoding
+from repro.encoding.coding_scheme import CodingTree, VariableLengthEncoding, build_coding_artifacts
+from repro.encoding.expansion import expand_codeword, expand_index, refine_cell_indexes
+from repro.encoding.fixed_length import FixedLengthEncoding, FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme, build_huffman_tree
+from repro.encoding.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.encoding.sgo import ScaledGrayEncoding, ScaledGrayEncodingScheme
+from repro.encoding.quadtree import QuadtreeEncoding, QuadtreeEncodingScheme, morton_code
+
+__all__ = [
+    "QuadtreeEncoding",
+    "QuadtreeEncodingScheme",
+    "morton_code",
+
+    "EncodingScheme",
+    "GridEncoding",
+    "PrefixTree",
+    "PrefixTreeNode",
+    "build_huffman_tree",
+    "HuffmanEncodingScheme",
+    "build_bary_huffman_tree",
+    "BaryHuffmanEncodingScheme",
+    "build_balanced_tree",
+    "BalancedTreeEncodingScheme",
+    "CodingTree",
+    "VariableLengthEncoding",
+    "build_coding_artifacts",
+    "expand_codeword",
+    "expand_index",
+    "refine_cell_indexes",
+    "FixedLengthEncoding",
+    "FixedLengthEncodingScheme",
+    "ScaledGrayEncoding",
+    "ScaledGrayEncodingScheme",
+]

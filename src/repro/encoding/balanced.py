@@ -1,0 +1,67 @@
+"""Balanced prefix tree baseline (Section 3.2, "balanced tree").
+
+The paper uses a *balanced tree* as the baseline to isolate the benefit of the
+Huffman construction from the benefit of merely using a prefix tree: the
+balanced tree is a complete binary tree built in ``log2(n)`` pairing steps
+over the probability-sorted priority queue, so every leaf ends up at (nearly)
+the same depth.  Because code lengths barely vary, it behaves much like a
+fixed-length code and -- as the evaluation confirms -- yields little to no
+improvement, in contrast with the Huffman tree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.coding_scheme import VariableLengthEncoding, build_coding_artifacts
+from repro.encoding.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.probability.distributions import validate_probability_vector
+
+__all__ = ["build_balanced_tree", "BalancedTreeEncodingScheme"]
+
+
+def build_balanced_tree(probabilities: Sequence[float]) -> PrefixTree:
+    """Build the balanced prefix tree described in Section 3.2.
+
+    The cells are sorted ascending by probability and placed in a queue; at
+    each step consecutive pairs ``(Q[2i], Q[2i+1])`` are replaced by a parent
+    whose weight is the sum of its children's.  When the queue has odd length
+    the last node is carried over unpaired, so after ``ceil(log2(n))`` steps a
+    single root remains.
+    """
+    validate_probability_vector(probabilities, allow_zero_sum=True)
+    n = len(probabilities)
+
+    nodes = [PrefixTreeNode(weight=float(p), cell_id=cell_id) for cell_id, p in enumerate(probabilities)]
+    if n == 1:
+        root = PrefixTreeNode(weight=nodes[0].weight)
+        root.add_child(nodes[0])
+        return PrefixTree(root)
+
+    # Sort ascending by weight (stable, so ties keep cell order).
+    queue = sorted(nodes, key=lambda node: node.weight)
+    while len(queue) > 1:
+        next_queue: list[PrefixTreeNode] = []
+        for i in range(0, len(queue) - 1, 2):
+            parent = PrefixTreeNode(weight=queue[i].weight + queue[i + 1].weight)
+            parent.add_child(queue[i])
+            parent.add_child(queue[i + 1])
+            next_queue.append(parent)
+        if len(queue) % 2 == 1:
+            next_queue.append(queue[-1])
+        queue = next_queue
+
+    return PrefixTree(queue[0])
+
+
+class BalancedTreeEncodingScheme(EncodingScheme):
+    """Variable-length baseline: balanced prefix tree + Algorithm 3 minimization."""
+
+    name = "balanced"
+
+    def build(self, probabilities: Sequence[float]) -> VariableLengthEncoding:
+        """Build the balanced-tree grid encoding for a likelihood vector."""
+        tree = build_balanced_tree(probabilities)
+        artifacts = build_coding_artifacts(tree)
+        return VariableLengthEncoding(name=self.name, tree=tree, artifacts=artifacts)

@@ -1,0 +1,99 @@
+"""B-ary Huffman encoding (Section 4 of the paper).
+
+Extending the alphabet from ``{0, 1}`` to ``{0, ..., B-1}`` produces shallower
+trees (Theorem 3 bounds the depth by ``ceil((n-1)/(B-1))``), shorter symbol
+codes and -- after the one-hot bit expansion -- tokens with a single non-star
+bit per real symbol.  The construction groups the ``B`` least probable nodes
+at every step; as in the classic B-ary Huffman algorithm, dummy zero-weight
+nodes are added so that the final merge combines exactly ``B`` nodes, which
+keeps the code optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.coding_scheme import VariableLengthEncoding, build_coding_artifacts
+from repro.encoding.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.probability.distributions import validate_probability_vector
+
+__all__ = ["build_bary_huffman_tree", "BaryHuffmanEncodingScheme"]
+
+
+def build_bary_huffman_tree(probabilities: Sequence[float], alphabet_size: int) -> PrefixTree:
+    """Build a B-ary Huffman prefix tree.
+
+    Parameters
+    ----------
+    probabilities:
+        Per-cell alert likelihoods (need not be normalised).
+    alphabet_size:
+        The alphabet size ``B``; must be at least 2.  ``B = 2`` reduces to the
+        binary construction of Algorithm 2.
+    """
+    validate_probability_vector(probabilities, allow_zero_sum=True)
+    if alphabet_size < 2:
+        raise ValueError(f"alphabet_size must be >= 2, got {alphabet_size}")
+    n = len(probabilities)
+
+    leaves = [PrefixTreeNode(weight=float(p), cell_id=cell_id) for cell_id, p in enumerate(probabilities)]
+    if n == 1:
+        root = PrefixTreeNode(weight=leaves[0].weight)
+        root.add_child(leaves[0])
+        return PrefixTree(root, alphabet_size=alphabet_size)
+
+    heap: list[tuple[float, int, PrefixTreeNode]] = []
+    counter = 0
+    for node in leaves:
+        heapq.heappush(heap, (node.weight, counter, node))
+        counter += 1
+
+    # Pad with zero-weight dummy nodes so that (n_total - 1) % (B - 1) == 0,
+    # guaranteeing every merge (including the last) takes exactly B nodes.
+    n_dummies = (1 - n) % (alphabet_size - 1)
+    for _ in range(n_dummies):
+        dummy = PrefixTreeNode(weight=0.0, cell_id=None)
+        heapq.heappush(heap, (0.0, counter, dummy))
+        counter += 1
+
+    while len(heap) > 1:
+        group = [heapq.heappop(heap) for _ in range(min(alphabet_size, len(heap)))]
+        parent = PrefixTreeNode(weight=sum(weight for weight, _, _ in group))
+        for _, _, child in group:
+            parent.add_child(child)
+        heapq.heappush(heap, (parent.weight, counter, parent))
+        counter += 1
+
+    root = heap[0][2]
+    _prune_dummy_leaves(root)
+    return PrefixTree(root, alphabet_size=alphabet_size)
+
+
+def _prune_dummy_leaves(node: PrefixTreeNode) -> bool:
+    """Remove dummy (cell-less) leaves introduced for arity padding.
+
+    Returns True if ``node`` itself should be removed from its parent.
+    """
+    if node.is_leaf:
+        return node.cell_id is None
+    node.children = [child for child in node.children if not _prune_dummy_leaves(child)]
+    # An internal node can lose all children only if all were dummies.
+    return not node.children
+
+
+class BaryHuffmanEncodingScheme(EncodingScheme):
+    """B-ary Huffman tree + Algorithm 3 minimization + Section 4 bit expansion."""
+
+    def __init__(self, alphabet_size: int):
+        if alphabet_size < 2:
+            raise ValueError(f"alphabet_size must be >= 2, got {alphabet_size}")
+        self.alphabet_size = alphabet_size
+        self.name = f"huffman-{alphabet_size}ary"
+
+    def build(self, probabilities: Sequence[float]) -> VariableLengthEncoding:
+        """Build the B-ary Huffman grid encoding for a likelihood vector."""
+        tree = build_bary_huffman_tree(probabilities, self.alphabet_size)
+        artifacts = build_coding_artifacts(tree)
+        return VariableLengthEncoding(name=self.name, tree=tree, artifacts=artifacts)

@@ -1,0 +1,132 @@
+"""Common interface implemented by every grid encoding.
+
+The protocol layer, the experiment harness and the benchmarks only ever talk
+to encodings through this interface, so fixed-length baselines and the
+proposed variable-length schemes are interchangeable:
+
+* :class:`GridEncoding` -- a concrete assignment of binary indexes to cells
+  for one probability vector, able to produce minimized token patterns for any
+  alert zone;
+* :class:`EncodingScheme` -- a factory that builds a :class:`GridEncoding`
+  from a per-cell alert-likelihood vector (one scheme per paper technique).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.crypto.counting import pairing_cost_of_tokens
+
+__all__ = ["GridEncoding", "EncodingScheme", "pattern_matches_index"]
+
+
+def pattern_matches_index(pattern: str, index: str) -> bool:
+    """HVE match semantics: every non-star pattern symbol equals the index symbol.
+
+    Both strings must have the same length (the reference length RL).
+    """
+    if len(pattern) != len(index):
+        raise ValueError(f"pattern length {len(pattern)} != index length {len(index)}")
+    return all(p == "*" or p == i for p, i in zip(pattern, index))
+
+
+class GridEncoding(ABC):
+    """A concrete cell-to-index assignment plus its token-minimization rule.
+
+    Subclasses must populate :attr:`name` and implement the three abstract
+    methods; everything else (cost accounting, correctness auditing) is
+    derived behaviour shared by all schemes.
+    """
+
+    #: Human-readable scheme name used in experiment reports.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Abstract interface
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def n_cells(self) -> int:
+        """Number of cells covered by this encoding."""
+
+    @property
+    @abstractmethod
+    def reference_length(self) -> int:
+        """Length RL of every padded index -- the HVE width to set up."""
+
+    @abstractmethod
+    def index_of(self, cell_id: int) -> str:
+        """The padded binary index the user in ``cell_id`` encrypts."""
+
+    @abstractmethod
+    def token_patterns(self, alert_cells: Sequence[int]) -> list[str]:
+        """Minimized token patterns covering exactly ``alert_cells``."""
+
+    # ------------------------------------------------------------------
+    # Derived behaviour
+    # ------------------------------------------------------------------
+    def indexes(self) -> dict[int, str]:
+        """Mapping of every cell id to its padded index."""
+        return {cell_id: self.index_of(cell_id) for cell_id in range(self.n_cells)}
+
+    def cell_of_index(self, index: str) -> int:
+        """Inverse lookup: which cell an index belongs to.
+
+        Raises ``KeyError`` for strings that are not assigned to any cell.
+        """
+        for cell_id in range(self.n_cells):
+            if self.index_of(cell_id) == index:
+                return cell_id
+        raise KeyError(f"index {index!r} is not assigned to any cell")
+
+    def cells_matching_pattern(self, pattern: str) -> list[int]:
+        """All cells whose index satisfies ``pattern`` (used by correctness audits)."""
+        return [cell_id for cell_id in range(self.n_cells) if pattern_matches_index(pattern, self.index_of(cell_id))]
+
+    def covered_cells(self, patterns: Iterable[str]) -> set[int]:
+        """Union of cells matched by a set of token patterns."""
+        covered: set[int] = set()
+        for pattern in patterns:
+            covered.update(self.cells_matching_pattern(pattern))
+        return covered
+
+    def audit_tokens(self, alert_cells: Sequence[int], patterns: Sequence[str]) -> None:
+        """Raise ``AssertionError`` if ``patterns`` do not cover exactly ``alert_cells``.
+
+        "Exactly" matters in both directions: a missed cell means an alerted
+        user is never notified; an extra cell means a user outside the zone is
+        falsely notified (and the SP learns a wrong containment fact).
+        """
+        expected = set(alert_cells)
+        actual = self.covered_cells(patterns)
+        missing = expected - actual
+        extra = actual - expected
+        if missing or extra:
+            raise AssertionError(
+                f"{self.name}: token cover mismatch; missing cells {sorted(missing)[:5]}, "
+                f"extra cells {sorted(extra)[:5]}"
+            )
+
+    def pairing_cost(self, alert_cells: Sequence[int], num_ciphertexts: int = 1) -> int:
+        """Pairings to evaluate this zone's tokens against ``num_ciphertexts`` ciphertexts."""
+        if num_ciphertexts < 0:
+            raise ValueError("num_ciphertexts must be non-negative")
+        return pairing_cost_of_tokens(self.token_patterns(alert_cells)) * num_ciphertexts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, n_cells={self.n_cells}, RL={self.reference_length})"
+
+
+class EncodingScheme(ABC):
+    """Factory turning a per-cell likelihood vector into a :class:`GridEncoding`."""
+
+    #: Scheme name; concrete classes override it.
+    name: str = "abstract"
+
+    @abstractmethod
+    def build(self, probabilities: Sequence[float]) -> GridEncoding:
+        """Build the encoding for ``probabilities`` (one entry per cell)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

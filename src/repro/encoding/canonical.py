@@ -1,0 +1,110 @@
+"""Canonical Huffman codes: compact publication of the grid encoding.
+
+In the deployed system the trusted authority must publish the cell-to-index
+assignment to every subscriber (Fig. 3: "grid indexes" flow to the users).
+Shipping the full codebook costs one codeword per cell; *canonical* Huffman
+codes remove that cost almost entirely: once codeword **lengths** are fixed,
+the canonical form assigns codewords in a deterministic way (sorted by length,
+then by cell id), so the authority only needs to publish the per-cell code
+lengths -- a few bits per cell -- and every subscriber reconstructs the exact
+same codebook locally.
+
+The canonical transformation preserves code lengths, so the pairing-cost
+behaviour of the encoding is unchanged; only the *shape* of the tree (and
+therefore which specific internal nodes exist for token aggregation) may
+differ from the weight-built Huffman tree.  Both variants are exposed so the
+codebook-size / aggregation trade-off can be measured.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.coding_scheme import VariableLengthEncoding, build_coding_artifacts
+from repro.encoding.huffman import build_huffman_tree
+from repro.encoding.prefix_tree import PrefixTree
+
+__all__ = [
+    "canonical_codes_from_lengths",
+    "canonicalize_tree",
+    "CanonicalHuffmanEncodingScheme",
+    "codebook_publication_bits",
+]
+
+
+def canonical_codes_from_lengths(lengths: Mapping[int, int]) -> dict[int, str]:
+    """Assign canonical binary codewords given per-cell code lengths.
+
+    Cells are processed by increasing code length (ties broken by cell id);
+    each receives the next available codeword of its length, obtained by
+    incrementing a counter and left-shifting when the length grows -- the
+    standard canonical Huffman construction.
+
+    Raises ``ValueError`` if the lengths violate the Kraft inequality (no
+    prefix code with those lengths exists).
+    """
+    if not lengths:
+        raise ValueError("at least one code length is required")
+    for cell_id, length in lengths.items():
+        if length < 1:
+            raise ValueError(f"cell {cell_id} has non-positive code length {length}")
+
+    kraft = sum(2.0 ** -length for length in lengths.values())
+    if kraft > 1.0 + 1e-12:
+        raise ValueError(f"code lengths violate the Kraft inequality (sum 2^-l = {kraft:.4f} > 1)")
+
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: dict[int, str] = {}
+    code = 0
+    previous_length = ordered[0][1]
+    for position, (cell_id, length) in enumerate(ordered):
+        if position > 0:
+            code = (code + 1) << (length - previous_length)
+        codes[cell_id] = format(code, f"0{length}b")
+        previous_length = length
+    return codes
+
+
+def canonicalize_tree(tree: PrefixTree) -> PrefixTree:
+    """Rebuild a prefix tree in canonical form (same code lengths, canonical codewords)."""
+    lengths = {cell_id: len(code) for cell_id, code in tree.leaf_codes().items()}
+    weights = {leaf.cell_id: leaf.weight for leaf in tree.leaves() if leaf.cell_id is not None}
+    codes = canonical_codes_from_lengths(lengths)
+    return PrefixTree.from_codes(codes, weights=weights, alphabet_size=2)
+
+
+def codebook_publication_bits(encoding_lengths: Sequence[int], explicit_codeword_bits: int | None = None) -> dict[str, int]:
+    """Size (bits) of publishing the codebook explicitly vs canonically.
+
+    ``explicit_codeword_bits`` defaults to the reference length (every
+    codeword padded, as stored by users); the canonical form only ships each
+    cell's length, encoded in ``ceil(log2(max_length + 1))`` bits.
+    """
+    if not encoding_lengths:
+        raise ValueError("at least one code length is required")
+    max_length = max(encoding_lengths)
+    if explicit_codeword_bits is None:
+        explicit_codeword_bits = max_length
+    length_field_bits = max(1, (max_length + 1).bit_length())
+    return {
+        "explicit_bits": explicit_codeword_bits * len(encoding_lengths),
+        "canonical_bits": length_field_bits * len(encoding_lengths),
+    }
+
+
+class CanonicalHuffmanEncodingScheme(EncodingScheme):
+    """Huffman code lengths + canonical codeword assignment (publication-friendly).
+
+    Builds the ordinary Huffman tree to obtain optimal code lengths, then
+    replaces the codewords by their canonical assignment before deriving the
+    grid indexes and coding tree of Algorithm 1.
+    """
+
+    name = "huffman-canonical"
+
+    def build(self, probabilities: Sequence[float]) -> VariableLengthEncoding:
+        """Build the canonical-Huffman grid encoding for a likelihood vector."""
+        tree = canonicalize_tree(build_huffman_tree(probabilities))
+        artifacts = build_coding_artifacts(tree)
+        return VariableLengthEncoding(name=self.name, tree=tree, artifacts=artifacts)

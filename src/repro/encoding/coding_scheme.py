@@ -1,0 +1,195 @@
+"""Algorithm 1: grid indexes and the coding tree, packaged as an encoding.
+
+Given any prefix tree (Huffman, B-ary Huffman or balanced), Algorithm 1 of the
+paper derives the two artefacts the protocol needs:
+
+* **grid indexes** -- each leaf's prefix code padded on the right with zeros
+  up to the reference length RL.  These are the strings mobile users encrypt.
+  All indexes share the same length so ciphertexts are indistinguishable.
+* the **coding tree** -- *every* tree node's code padded on the right with
+  stars up to RL.  The trusted authority uses it to minimize tokens: a token
+  for an internal node covers exactly the leaves of its subtree.
+
+:class:`VariableLengthEncoding` wires those artefacts to the deterministic
+minimization of Algorithm 3 and, for non-binary alphabets, to the bit
+expansion of Section 4, presenting the uniform :class:`GridEncoding` interface
+used by the protocol, experiments and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.encoding.base import GridEncoding
+from repro.encoding.expansion import expand_codeword, expand_index
+from repro.encoding.prefix_tree import PrefixTree
+from repro.minimization.deterministic import DeterministicMinimizer
+
+__all__ = ["CodingTree", "build_coding_artifacts", "VariableLengthEncoding"]
+
+
+@dataclass(frozen=True)
+class CodingTree:
+    """The artefacts produced by Algorithm 1 for one prefix tree.
+
+    Attributes
+    ----------
+    reference_length:
+        Tree depth RL; every index and codeword has exactly this many symbols.
+    alphabet_size:
+        Size ``B`` of the symbol alphabet (2 for binary Huffman).
+    prefix_code_by_cell:
+        The raw (unpadded) prefix code of each cell -- the leaf codes.
+    index_by_cell:
+        Zero-padded prefix codes: the grid indexes users encrypt.
+    leaf_codeword_by_cell:
+        Star-padded prefix codes: the leaf entries of the coding tree.
+    leaf_order:
+        Position of each leaf codeword in the tree's left-to-right leaf list
+        (the ``leaves`` list of Algorithm 3).
+    subtree_leaf_counts:
+        ``parentDict`` of Algorithm 3: for every node codeword, how many
+        leaves its subtree contains.
+    """
+
+    reference_length: int
+    alphabet_size: int
+    prefix_code_by_cell: dict[int, str]
+    index_by_cell: dict[int, str]
+    leaf_codeword_by_cell: dict[int, str]
+    leaf_order: dict[str, int]
+    subtree_leaf_counts: dict[str, int]
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells (leaves)."""
+        return len(self.index_by_cell)
+
+    def cell_of_codeword(self, codeword: str) -> int:
+        """Inverse of ``leaf_codeword_by_cell`` (bijective by Theorem 2)."""
+        for cell_id, candidate in self.leaf_codeword_by_cell.items():
+            if candidate == codeword:
+                return cell_id
+        raise KeyError(f"codeword {codeword!r} does not correspond to any leaf")
+
+
+def build_coding_artifacts(tree: PrefixTree) -> CodingTree:
+    """Run Algorithm 1 on ``tree`` and return the grid indexes and coding tree."""
+    reference_length = tree.reference_length
+    alphabet_size = tree.alphabet_size
+
+    prefix_code_by_cell: dict[int, str] = {}
+    index_by_cell: dict[int, str] = {}
+    leaf_codeword_by_cell: dict[int, str] = {}
+    leaf_order: dict[str, int] = {}
+
+    for position, leaf in enumerate(tree.leaves()):
+        if leaf.cell_id is None:
+            raise ValueError("every leaf must carry a cell id")
+        code = leaf.code
+        prefix_code_by_cell[leaf.cell_id] = code
+        index_by_cell[leaf.cell_id] = code + "0" * (reference_length - len(code))
+        codeword = code + "*" * (reference_length - len(code))
+        leaf_codeword_by_cell[leaf.cell_id] = codeword
+        leaf_order[codeword] = position
+
+    subtree_leaf_counts: dict[str, int] = {}
+    for node in tree.nodes():
+        codeword = node.code + "*" * (reference_length - len(node.code))
+        subtree_leaf_counts[codeword] = node.leaf_count()
+
+    return CodingTree(
+        reference_length=reference_length,
+        alphabet_size=alphabet_size,
+        prefix_code_by_cell=prefix_code_by_cell,
+        index_by_cell=index_by_cell,
+        leaf_codeword_by_cell=leaf_codeword_by_cell,
+        leaf_order=leaf_order,
+        subtree_leaf_counts=subtree_leaf_counts,
+    )
+
+
+class VariableLengthEncoding(GridEncoding):
+    """A prefix-code grid encoding with coding-tree token minimization.
+
+    For binary alphabets the symbol strings are already bit strings; for
+    ``B``-ary alphabets indexes and token patterns are expanded to bits as per
+    Section 4, so the HVE layer always sees plain ``{0, 1, *}`` strings.
+    """
+
+    def __init__(self, name: str, tree: PrefixTree, artifacts: CodingTree):
+        self.name = name
+        self.tree = tree
+        self.artifacts = artifacts
+        self._minimizer = DeterministicMinimizer(
+            leaf_order=artifacts.leaf_order,
+            subtree_leaf_counts=artifacts.subtree_leaf_counts,
+            reference_length=artifacts.reference_length,
+        )
+        self._expanded = artifacts.alphabet_size > 2
+
+    # ------------------------------------------------------------------
+    # GridEncoding interface
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Number of cells covered by the encoding."""
+        return self.artifacts.n_cells
+
+    @property
+    def reference_length(self) -> int:
+        """HVE width in bits (symbol RL, expanded for non-binary alphabets)."""
+        if self._expanded:
+            return self.artifacts.reference_length * self.artifacts.alphabet_size
+        return self.artifacts.reference_length
+
+    def index_of(self, cell_id: int) -> str:
+        """The padded binary index encrypted by a user located in ``cell_id``."""
+        if cell_id not in self.artifacts.index_by_cell:
+            raise KeyError(f"unknown cell id {cell_id}")
+        if self._expanded:
+            return expand_index(
+                self.artifacts.prefix_code_by_cell[cell_id],
+                self.artifacts.reference_length,
+                self.artifacts.alphabet_size,
+            )
+        return self.artifacts.index_by_cell[cell_id]
+
+    def token_patterns(self, alert_cells: Sequence[int]) -> list[str]:
+        """Algorithm 3 minimization (plus Section 4 expansion for B > 2)."""
+        patterns = self.symbol_token_patterns(alert_cells)
+        if self._expanded:
+            return [expand_codeword(p, self.artifacts.alphabet_size) for p in patterns]
+        return patterns
+
+    # ------------------------------------------------------------------
+    # Symbol-level accessors (analysis / ablations)
+    # ------------------------------------------------------------------
+    def symbol_index_of(self, cell_id: int) -> str:
+        """The unexpanded (symbol alphabet) index of a cell."""
+        return self.artifacts.index_by_cell[cell_id]
+
+    def symbol_token_patterns(self, alert_cells: Sequence[int]) -> list[str]:
+        """Minimized token patterns at the symbol level (before bit expansion)."""
+        codewords = []
+        for cell_id in alert_cells:
+            if cell_id not in self.artifacts.leaf_codeword_by_cell:
+                raise KeyError(f"unknown cell id {cell_id}")
+            codewords.append(self.artifacts.leaf_codeword_by_cell[cell_id])
+        return self._minimizer.minimize(codewords)
+
+    # ------------------------------------------------------------------
+    # Code-length statistics (Fig. 13)
+    # ------------------------------------------------------------------
+    def average_code_length(self) -> float:
+        """Probability-weighted average prefix-code length."""
+        return self.tree.average_code_length()
+
+    def max_code_length(self) -> int:
+        """Longest prefix-code length (the symbol-level RL)."""
+        return self.artifacts.reference_length
+
+    def average_to_max_length_ratio(self) -> float:
+        """The Fig. 13 metric: average code length divided by the maximum."""
+        return self.average_code_length() / float(self.max_code_length())

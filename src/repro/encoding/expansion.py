@@ -1,0 +1,101 @@
+"""Non-binary symbol expansion (Section 4 of the paper).
+
+HVE operates on bit vectors, so when the encoding alphabet is extended to
+``Sigma = {0, 1, ..., B-1}`` each symbol must be expanded into ``B`` bits
+before encryption / token generation:
+
+* a **codeword** symbol ``i`` becomes ``B`` characters with the ``(i+1)``-th
+  set to ``1`` and every other position a star -- one non-star bit per real
+  symbol, which is what makes larger alphabets cheaper to match;
+* the **star** symbol of a codeword becomes ``B`` stars;
+* an **index** is expanded the same way and then every remaining star is
+  turned into ``0``, except that symbols introduced by the zero-padding step
+  map to ``B`` zero bits outright.  The zero positions left behind by real
+  symbols are what later allows the trusted authority to *refine* a cell into
+  ``2^k`` sub-cells without re-encoding the grid (Fig. 5 / end of Section 4).
+
+For the binary alphabet (``B = 2``) the paper applies no expansion -- symbols
+already are bits -- and these helpers are simply not used by the encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["expand_symbol", "expand_codeword", "expand_index", "refine_cell_indexes"]
+
+
+def expand_symbol(symbol: str, alphabet_size: int) -> str:
+    """Expand one codeword symbol to ``alphabet_size`` characters.
+
+    ``"*"`` expands to all stars; symbol ``i`` expands to a string with ``1``
+    at position ``i`` and stars elsewhere.
+    """
+    if alphabet_size < 2:
+        raise ValueError("alphabet_size must be at least 2")
+    if symbol == "*":
+        return "*" * alphabet_size
+    value = int(symbol)
+    if not 0 <= value < alphabet_size:
+        raise ValueError(f"symbol {symbol!r} outside alphabet of size {alphabet_size}")
+    return "".join("1" if position == value else "*" for position in range(alphabet_size))
+
+
+def expand_codeword(codeword: str, alphabet_size: int) -> str:
+    """Expand a star-padded codeword (token pattern) to its binary/star form."""
+    return "".join(expand_symbol(symbol, alphabet_size) for symbol in codeword)
+
+
+def expand_index(prefix_code: str, reference_length: int, alphabet_size: int) -> str:
+    """Expand a cell's (unpadded) prefix code into its binary index.
+
+    The prefix code is first zero-padded to ``reference_length`` symbols; real
+    symbols expand to one-hot bit groups, padding symbols expand to all-zero
+    groups, and any remaining star positions are set to ``0`` (Section 4,
+    "Indexes").  The result has ``reference_length * alphabet_size`` bits.
+    """
+    if len(prefix_code) > reference_length:
+        raise ValueError(
+            f"prefix code {prefix_code!r} longer than reference length {reference_length}"
+        )
+    groups = []
+    for symbol in prefix_code:
+        groups.append(expand_symbol(symbol, alphabet_size).replace("*", "0"))
+    for _ in range(reference_length - len(prefix_code)):
+        groups.append("0" * alphabet_size)
+    return "".join(groups)
+
+
+def refine_cell_indexes(prefix_code: str, reference_length: int, alphabet_size: int) -> list[str]:
+    """Indexes available for refining one cell into sub-cells (end of Section 4).
+
+    The expansion of the cell's own (non-padding) symbols leaves
+    ``alphabet_size - 1`` zero bits per symbol that carry no information; the
+    trusted authority can later enumerate those positions to split the cell
+    into finer sub-cells while existing tokens and the coding tree keep
+    working.  Returns every refined index, in lexicographic order of the
+    enumerated bits; the first entry is the cell's current index.
+
+    For the paper's example (``prefix_code="2"``, RL 2, B = 3) this yields
+    ``['001000', '011000', '101000', '111000']``.
+    """
+    base = expand_index(prefix_code, reference_length, alphabet_size)
+    # Free positions: the star positions of the *codeword* expansion of the
+    # real symbols (they were forced to zero in the index).
+    free_positions = []
+    for group_index, symbol in enumerate(prefix_code):
+        expanded = expand_symbol(symbol, alphabet_size)
+        for offset, char in enumerate(expanded):
+            if char == "*":
+                free_positions.append(group_index * alphabet_size + offset)
+
+    if not free_positions:
+        return [base]
+
+    refined = []
+    for assignment in range(1 << len(free_positions)):
+        bits = list(base)
+        for bit_index, position in enumerate(free_positions):
+            bits[position] = "1" if (assignment >> (len(free_positions) - 1 - bit_index)) & 1 else "0"
+        refined.append("".join(bits))
+    return refined

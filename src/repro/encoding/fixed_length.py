@@ -1,0 +1,110 @@
+"""Uniform fixed-length encoding: the baseline of [14].
+
+The earliest secure alert-zone system (Ghinita & Rughinis [14]) assigns every
+cell a fixed-length binary identifier -- all cells are treated as equally
+likely to be alerted -- and aggregates the identifiers of an alert zone's
+cells through Karnaugh-map style logic minimization before token generation.
+This module implements that baseline with:
+
+* row-major code assignment (cell ``i`` gets the ``RL``-bit binary
+  representation of ``i``, ``RL = ceil(log2 n)``), and
+* Quine-McCluskey minimization, treating unassigned codewords (when ``n`` is
+  not a power of two) as don't-cares.
+
+This scheme is also the *reference* of the evaluation: the improvement
+percentages of Figs. 9-12 are computed against its pairing counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.encoding.base import EncodingScheme, GridEncoding
+from repro.minimization.quine_mccluskey import QuineMcCluskeyMinimizer
+
+__all__ = ["FixedLengthEncoding", "FixedLengthEncodingScheme"]
+
+
+class FixedLengthEncoding(GridEncoding):
+    """Fixed-length binary grid encoding with logic-minimized tokens.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of grid cells.
+    code_by_cell:
+        Optional explicit assignment of integer codewords to cells; defaults
+        to the identity (row-major) assignment of [14].  The SGO baseline
+        reuses this class with a probability-aware assignment.
+    name:
+        Scheme name for reports.
+    """
+
+    def __init__(self, n_cells: int, code_by_cell: Sequence[int] | None = None, name: str = "fixed"):
+        if n_cells < 1:
+            raise ValueError("n_cells must be at least 1")
+        self.name = name
+        self._n_cells = n_cells
+        self._width = max(1, math.ceil(math.log2(n_cells)))
+        if code_by_cell is None:
+            code_by_cell = list(range(n_cells))
+        if len(code_by_cell) != n_cells:
+            raise ValueError("code_by_cell must assign exactly one code per cell")
+        if len(set(code_by_cell)) != n_cells:
+            raise ValueError("cell codes must be distinct")
+        upper = 1 << self._width
+        for code in code_by_cell:
+            if not 0 <= code < upper:
+                raise ValueError(f"code {code} does not fit in {self._width} bits")
+        self._code_by_cell = list(code_by_cell)
+        used = set(code_by_cell)
+        dont_cares = frozenset(code for code in range(upper) if code not in used)
+        self._minimizer = QuineMcCluskeyMinimizer(width=self._width, dont_cares=dont_cares)
+
+    # ------------------------------------------------------------------
+    # GridEncoding interface
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Number of cells covered by the encoding."""
+        return self._n_cells
+
+    @property
+    def reference_length(self) -> int:
+        """Fixed code length ``RL = ceil(log2 n)`` -- the HVE width."""
+        return self._width
+
+    def index_of(self, cell_id: int) -> str:
+        """The RL-bit binary index of ``cell_id``."""
+        if not 0 <= cell_id < self._n_cells:
+            raise KeyError(f"unknown cell id {cell_id}")
+        return format(self._code_by_cell[cell_id], f"0{self._width}b")
+
+    def token_patterns(self, alert_cells: Sequence[int]) -> list[str]:
+        """Minimized token patterns via Quine-McCluskey aggregation."""
+        codes = []
+        for cell_id in set(alert_cells):
+            if not 0 <= cell_id < self._n_cells:
+                raise KeyError(f"unknown cell id {cell_id}")
+            codes.append(self._code_by_cell[cell_id])
+        if not codes:
+            return []
+        return self._minimizer.minimize(codes)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def code_of(self, cell_id: int) -> int:
+        """The integer codeword assigned to a cell."""
+        return self._code_by_cell[cell_id]
+
+
+class FixedLengthEncodingScheme(EncodingScheme):
+    """The probability-oblivious baseline of [14] (row-major fixed-length codes)."""
+
+    name = "fixed"
+
+    def build(self, probabilities: Sequence[float]) -> FixedLengthEncoding:
+        """Build the fixed-length encoding; ``probabilities`` only fixes the cell count."""
+        return FixedLengthEncoding(n_cells=len(probabilities), name=self.name)

@@ -1,0 +1,98 @@
+"""Binary Huffman tree construction (Algorithm 2 of the paper).
+
+The Huffman mechanism builds the variable-length prefix code at the heart of
+the paper's contribution: one leaf per grid cell, weighted by the cell's alert
+likelihood; the two lightest nodes in a priority queue are repeatedly merged
+under a new internal node until a single root remains.  Cells that are likely
+to be alerted end up close to the root and therefore receive short codes,
+which directly reduces the number of non-star symbols in the search tokens the
+trusted authority issues for compact alert zones.
+
+The construction runs in ``O(n log n)`` using a binary heap, matching the
+complexity stated in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.encoding.base import EncodingScheme
+from repro.encoding.coding_scheme import VariableLengthEncoding, build_coding_artifacts
+from repro.encoding.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.probability.distributions import validate_probability_vector
+
+__all__ = ["build_huffman_tree", "HuffmanEncodingScheme"]
+
+
+def build_huffman_tree(probabilities: Sequence[float]) -> PrefixTree:
+    """Build the binary Huffman prefix tree for a per-cell likelihood vector.
+
+    Parameters
+    ----------
+    probabilities:
+        ``probabilities[i]`` is the likelihood of cell ``i`` becoming part of
+        an alert zone.  Values need not be normalised; zero-likelihood cells
+        are allowed (they simply sink to the deepest leaves).
+
+    Returns
+    -------
+    PrefixTree
+        The Huffman tree; leaves carry ``cell_id`` values ``0..n-1``.
+
+    Notes
+    -----
+    Ties between equal weights are broken by insertion order, which makes the
+    construction deterministic for a fixed input vector -- important for
+    reproducible experiments and for the trusted authority and users agreeing
+    on the same code assignment.
+
+    A single-cell domain degenerates to a root with one child, so the cell
+    still receives a one-symbol code (HVE width of at least one is required).
+    """
+    validate_probability_vector(probabilities, allow_zero_sum=True)
+    n = len(probabilities)
+
+    leaves = [PrefixTreeNode(weight=float(p), cell_id=cell_id) for cell_id, p in enumerate(probabilities)]
+    if n == 1:
+        root = PrefixTreeNode(weight=leaves[0].weight)
+        root.add_child(leaves[0])
+        return PrefixTree(root)
+
+    # Heap entries are (weight, tiebreak, node); the monotonically increasing
+    # tiebreak keeps the construction deterministic and avoids comparing nodes.
+    heap: list[tuple[float, int, PrefixTreeNode]] = []
+    counter = 0
+    for node in leaves:
+        heapq.heappush(heap, (node.weight, counter, node))
+        counter += 1
+
+    while len(heap) > 1:
+        weight_left, _, left = heapq.heappop(heap)
+        weight_right, _, right = heapq.heappop(heap)
+        parent = PrefixTreeNode(weight=weight_left + weight_right)
+        parent.add_child(left)
+        parent.add_child(right)
+        heapq.heappush(heap, (parent.weight, counter, parent))
+        counter += 1
+
+    root = heap[0][2]
+    return PrefixTree(root)
+
+
+class HuffmanEncodingScheme(EncodingScheme):
+    """The paper's proposed scheme: Huffman prefix tree + coding-tree minimization.
+
+    ``build`` runs Algorithm 2 (Huffman tree) followed by Algorithm 1
+    (index/coding-tree generation) and returns a
+    :class:`~repro.encoding.coding_scheme.VariableLengthEncoding` whose token
+    generation applies the deterministic minimization of Algorithm 3.
+    """
+
+    name = "huffman"
+
+    def build(self, probabilities: Sequence[float]) -> VariableLengthEncoding:
+        """Build the Huffman-based grid encoding for a likelihood vector."""
+        tree = build_huffman_tree(probabilities)
+        artifacts = build_coding_artifacts(tree)
+        return VariableLengthEncoding(name=self.name, tree=tree, artifacts=artifacts)

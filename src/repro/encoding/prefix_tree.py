@@ -1,0 +1,272 @@
+"""Prefix-tree data structure underlying every variable-length encoding.
+
+Section 3.1 of the paper represents a prefix code by its *prefix tree*: a
+(possibly non-binary) tree whose leaves carry the prefix codes and whose
+internal nodes carry the codes' common prefixes.  The paper's Algorithms 1-3
+need, for every node: its children, its parent, its *weight* (the probability
+mass of the leaves below it) and its *code* (the symbol string on the path
+from the root).  The tree's depth is the *reference length* (RL), the padded
+length of every index and codeword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+__all__ = ["PrefixTreeNode", "PrefixTree"]
+
+
+@dataclass(eq=False)
+class PrefixTreeNode:
+    """One node of a prefix tree.
+
+    Attributes
+    ----------
+    weight:
+        For a leaf, the alert likelihood of the cell it represents; for an
+        internal node, the sum of its children's weights (the Huffman
+        mechanism).
+    code:
+        Symbol string on the path from the root ("" for the root).  Symbols
+        are single characters drawn from the alphabet ``{0, ..., B-1}``.
+    cell_id:
+        The grid cell the leaf stands for; ``None`` on internal nodes.
+    children:
+        Ordered child list (index ``i`` corresponds to edge symbol ``i``).
+    parent:
+        Parent node, ``None`` for the root.
+    """
+
+    weight: float
+    code: str = ""
+    cell_id: Optional[int] = None
+    children: list["PrefixTreeNode"] = field(default_factory=list)
+    parent: Optional["PrefixTreeNode"] = None
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True if the node has no children (and therefore carries a cell)."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """True if the node has no parent."""
+        return self.parent is None
+
+    @property
+    def depth(self) -> int:
+        """Number of edges from the root to this node."""
+        return len(self.code)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_child(self, child: "PrefixTreeNode") -> None:
+        """Attach ``child`` as the next ordered child of this node."""
+        child.parent = self
+        self.children.append(child)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["PrefixTreeNode"]:
+        """Pre-order traversal of this node's subtree (children left-to-right)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def leaves(self) -> list["PrefixTreeNode"]:
+        """Leaves of this subtree in left-to-right tree order.
+
+        This ordering is what Algorithm 3 calls the ``leaves`` list: "ordered
+        as they appear on the tree while traversing; no two edges of the tree
+        cross path".
+        """
+        return [node for node in self.iter_subtree() if node.is_leaf]
+
+    def leaf_count(self) -> int:
+        """Number of leaves below (and including) this node."""
+        return sum(1 for _ in self.leaves())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"PrefixTreeNode({kind}, code={self.code!r}, weight={self.weight:g}, cell={self.cell_id})"
+
+
+class PrefixTree:
+    """A rooted prefix tree with the queries Algorithms 1 and 3 rely on.
+
+    The tree is usually produced by :func:`repro.encoding.huffman.build_huffman_tree`,
+    :func:`repro.encoding.bary.build_bary_huffman_tree` or
+    :func:`repro.encoding.balanced.build_balanced_tree`; it can also be built
+    directly from explicit code assignments (see :meth:`from_codes`), which is
+    how tests construct the paper's running example verbatim.
+    """
+
+    def __init__(self, root: PrefixTreeNode, alphabet_size: int = 2, assign_codes: bool = True):
+        if alphabet_size < 2:
+            raise ValueError(f"alphabet size must be >= 2, got {alphabet_size}")
+        self.root = root
+        self.alphabet_size = alphabet_size
+        if assign_codes:
+            self.assign_codes()
+
+    # ------------------------------------------------------------------
+    # Code assignment (the Traverse() routine of Algorithm 1)
+    # ------------------------------------------------------------------
+    def assign_codes(self) -> None:
+        """(Re)compute every node's code from the tree topology.
+
+        Follows Algorithm 1's recursive traversal: a node's ``i``-th child
+        gets the parent's code extended by symbol ``i``.
+        """
+
+        def visit(node: PrefixTreeNode) -> None:
+            for symbol, child in enumerate(node.children):
+                if symbol >= self.alphabet_size:
+                    raise ValueError(
+                        f"node {node.code!r} has {len(node.children)} children, "
+                        f"exceeding alphabet size {self.alphabet_size}"
+                    )
+                child.code = node.code + str(symbol)
+                visit(child)
+
+        self.root.code = ""
+        visit(self.root)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def reference_length(self) -> int:
+        """The tree depth RL: the length every index/codeword is padded to."""
+        return max(leaf.depth for leaf in self.leaves())
+
+    def nodes(self) -> list[PrefixTreeNode]:
+        """All nodes in pre-order."""
+        return list(self.root.iter_subtree())
+
+    def internal_nodes(self) -> list[PrefixTreeNode]:
+        """All internal (non-leaf) nodes in pre-order; includes the root."""
+        return [node for node in self.root.iter_subtree() if not node.is_leaf]
+
+    def leaves(self) -> list[PrefixTreeNode]:
+        """Leaves in left-to-right tree order."""
+        return self.root.leaves()
+
+    def leaf_codes(self) -> dict[int, str]:
+        """Mapping from cell id to (unpadded) prefix code."""
+        mapping: dict[int, str] = {}
+        for leaf in self.leaves():
+            if leaf.cell_id is None:
+                raise ValueError("every leaf must carry a cell_id to produce a grid encoding")
+            mapping[leaf.cell_id] = leaf.code
+        return mapping
+
+    def average_code_length(self, probabilities: Optional[Sequence[float]] = None) -> float:
+        """Expected codeword length ``sum_i p(v_i) * len(c_i)``.
+
+        With ``probabilities`` omitted, the leaves' own weights are used
+        (normalised); passing an explicit vector lets callers evaluate a tree
+        under a distribution different from the one it was built for.
+        """
+        leaves = self.leaves()
+        if probabilities is None:
+            weights = [leaf.weight for leaf in leaves]
+        else:
+            weights = []
+            for leaf in leaves:
+                if leaf.cell_id is None or leaf.cell_id >= len(probabilities):
+                    raise ValueError("probabilities vector does not cover every leaf cell id")
+                weights.append(probabilities[leaf.cell_id])
+        total = sum(weights)
+        if total <= 0:
+            return float(self.reference_length)
+        return sum(w * leaf.depth for w, leaf in zip(weights, leaves)) / total
+
+    def max_code_length(self) -> int:
+        """Length of the longest codeword (equals the reference length)."""
+        return self.reference_length
+
+    def check_prefix_property(self) -> None:
+        """Raise ``ValueError`` if any leaf code is a prefix of another.
+
+        For a tree built from parent/child links this holds by construction;
+        the check exists as a safety net for hand-constructed trees and is
+        exercised by the property-based tests.
+        """
+        codes = sorted(code for code in (leaf.code for leaf in self.leaves()))
+        for first, second in zip(codes, codes[1:]):
+            if second.startswith(first):
+                raise ValueError(f"prefix property violated: {first!r} is a prefix of {second!r}")
+
+    def satisfies_kraft_inequality(self) -> bool:
+        """True if the leaf code lengths satisfy the Kraft inequality (Eq. 5)."""
+        return sum(self.alphabet_size ** (-leaf.depth) for leaf in self.leaves()) <= 1.0 + 1e-12
+
+    # ------------------------------------------------------------------
+    # Alternative constructor
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_codes(
+        cls,
+        codes: dict[int, str],
+        weights: Optional[dict[int, float]] = None,
+        alphabet_size: int = 2,
+    ) -> "PrefixTree":
+        """Build a tree from explicit ``cell_id -> code`` assignments.
+
+        Raises ``ValueError`` if the codes do not form a prefix code (a code
+        equal to or extending another, or a code colliding with an internal
+        node position).
+        """
+        if not codes:
+            raise ValueError("at least one code is required")
+        weights = weights or {}
+        root = PrefixTreeNode(weight=0.0, code="")
+        # Children are kept in symbol order but only symbols that actually
+        # occur are materialised, so sparse prefix codes (e.g. a single code
+        # "1") do not create phantom leaves.
+        children_by_symbol: dict[int, dict[int, PrefixTreeNode]] = {}
+
+        def child_for(node: PrefixTreeNode, symbol: int) -> PrefixTreeNode:
+            table = children_by_symbol.setdefault(id(node), {})
+            if symbol not in table:
+                child = PrefixTreeNode(weight=0.0, code=node.code + str(symbol))
+                child.parent = node
+                table[symbol] = child
+                node.children = [table[s] for s in sorted(table)]
+            return table[symbol]
+
+        for cell_id, code in sorted(codes.items(), key=lambda kv: kv[1]):
+            if not code:
+                raise ValueError("the empty string cannot be a leaf code")
+            node = root
+            for symbol_char in code:
+                symbol = int(symbol_char)
+                if symbol < 0 or symbol >= alphabet_size:
+                    raise ValueError(f"symbol {symbol_char!r} outside alphabet of size {alphabet_size}")
+                if node.cell_id is not None:
+                    raise ValueError(f"code {code!r} extends existing leaf code {node.code!r}")
+                node = child_for(node, symbol)
+            if node.children or node.cell_id is not None:
+                raise ValueError(f"code {code!r} collides with an existing code")
+            node.cell_id = cell_id
+            node.weight = float(weights.get(cell_id, 0.0))
+
+        tree = cls(root, alphabet_size=alphabet_size, assign_codes=False)
+
+        # Recompute internal weights bottom-up.
+        def accumulate(node: PrefixTreeNode) -> float:
+            if node.is_leaf:
+                return node.weight
+            node.weight = sum(accumulate(child) for child in node.children)
+            return node.weight
+
+        accumulate(root)
+        tree.check_prefix_property()
+        return tree

@@ -1,0 +1,38 @@
+"""Spatial substrate: the map partitioning the alert protocol operates on.
+
+The paper (Section 2) models the data domain as a map divided into ``n``
+non-overlapping cells arranged in a grid.  This package provides:
+
+* :mod:`repro.grid.geometry` -- planar points, bounding boxes and geodesic
+  helpers (the Chicago experiments use a real-world bounding box).
+* :mod:`repro.grid.grid` -- the :class:`Grid` partitioning with cell lookup,
+  neighbourhoods and range queries.
+* :mod:`repro.grid.alert_zone` -- alert zones: sets of alerted cells, circular
+  zones around an epicenter, and zone statistics.
+* :mod:`repro.grid.workloads` -- alert-zone workload generators used by the
+  evaluation (radius sweeps, the W1-W4 mixed workloads, Poisson zone counts).
+"""
+
+from repro.grid.alert_zone import AlertZone, circular_alert_zone
+from repro.grid.geometry import BoundingBox, Point, euclidean_distance, haversine_distance
+from repro.grid.grid import Cell, Grid
+from repro.grid.workloads import AlertWorkload, MixedWorkloadSpec, WorkloadGenerator
+from repro.grid.spread import SpreadEvent, delta_cells, spread_zone_sequence
+
+__all__ = [
+    "SpreadEvent",
+    "delta_cells",
+    "spread_zone_sequence",
+
+    "AlertZone",
+    "circular_alert_zone",
+    "BoundingBox",
+    "Point",
+    "euclidean_distance",
+    "haversine_distance",
+    "Cell",
+    "Grid",
+    "AlertWorkload",
+    "MixedWorkloadSpec",
+    "WorkloadGenerator",
+]

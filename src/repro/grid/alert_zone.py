@@ -1,0 +1,100 @@
+"""Alert zones: the sets of cells for which the trusted authority issues tokens.
+
+When an event of interest occurs (a contagious patient's visit, a gas leak, an
+active-shooter situation), an *alert zone* is created that spans a number of
+grid cells (Section 2).  Subscribed users located in any of the zone's cells
+must be notified.  This module represents zones, builds circular zones around
+an epicenter, and computes basic zone statistics used by the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.grid.geometry import Point
+from repro.grid.grid import Grid
+
+__all__ = ["AlertZone", "circular_alert_zone", "union_zone"]
+
+
+@dataclass(frozen=True)
+class AlertZone:
+    """A set of alerted cells, optionally annotated with its generating event.
+
+    Attributes
+    ----------
+    cell_ids:
+        Sorted tuple of alerted cell ids (the "alert cells" of the paper).
+    epicenter:
+        The event location the zone was generated from, when applicable.
+    radius:
+        The generation radius in domain units, when applicable.
+    label:
+        Free-form tag (e.g. ``"contact-trace"`` or ``"gas-leak"``) used by the
+        workload generators to describe mixed workloads.
+    """
+
+    cell_ids: tuple[int, ...]
+    epicenter: Optional[Point] = None
+    radius: Optional[float] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.cell_ids)))
+        if not ordered:
+            raise ValueError("an alert zone must contain at least one cell")
+        object.__setattr__(self, "cell_ids", ordered)
+
+    @property
+    def size(self) -> int:
+        """Number of alerted cells."""
+        return len(self.cell_ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cell_ids)
+
+    def __contains__(self, cell_id: int) -> bool:
+        return cell_id in set(self.cell_ids)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def intersection(self, other: "AlertZone") -> tuple[int, ...]:
+        """Cell ids alerted by both zones."""
+        return tuple(sorted(set(self.cell_ids) & set(other.cell_ids)))
+
+    def covers_cell(self, cell_id: int) -> bool:
+        """True if ``cell_id`` is part of this zone (ground truth for matching tests)."""
+        return cell_id in set(self.cell_ids)
+
+
+def circular_alert_zone(
+    grid: Grid,
+    epicenter: Point,
+    radius: float,
+    label: str = "",
+) -> AlertZone:
+    """Build the alert zone of all cells within ``radius`` of ``epicenter``.
+
+    This is the zone shape used throughout the evaluation: the x-axis of
+    Figs. 9, 10 and 12 is exactly this radius.
+    """
+    cells = grid.cells_within_radius(epicenter, radius)
+    return AlertZone(cell_ids=tuple(cells), epicenter=epicenter, radius=radius, label=label)
+
+
+def union_zone(zones: Iterable[AlertZone], label: str = "union") -> AlertZone:
+    """Union of several zones (e.g. all sites visited by one infected patient).
+
+    The contact-tracing scenario of the introduction produces one such union:
+    a number of distinct, individually compact zones whose cells are alerted
+    together.
+    """
+    cells: set[int] = set()
+    materialised = list(zones)
+    if not materialised:
+        raise ValueError("union_zone requires at least one zone")
+    for zone in materialised:
+        cells.update(zone.cell_ids)
+    return AlertZone(cell_ids=tuple(sorted(cells)), label=label)

@@ -1,0 +1,128 @@
+"""Planar and geodesic geometry primitives for the spatial grid.
+
+The evaluation uses two kinds of coordinate frames:
+
+* a **planar frame** in meters for the synthetic experiments, where alert-zone
+  radii such as "20 meters" or "300 meters" are interpreted directly; and
+* a **geographic frame** (latitude / longitude) for the Chicago crime
+  experiments, where the city bounding box is overlaid with a 32x32 grid.
+
+Both frames share the same :class:`Point` / :class:`BoundingBox` types; the
+distance function in use is decided by the caller (Euclidean for planar,
+haversine for geographic coordinates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Point",
+    "BoundingBox",
+    "euclidean_distance",
+    "haversine_distance",
+    "EARTH_RADIUS_METERS",
+]
+
+#: Mean Earth radius, used by the haversine distance.
+EARTH_RADIUS_METERS = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point.
+
+    ``x``/``y`` are meters in the planar frame; in the geographic frame ``x``
+    is the longitude and ``y`` the latitude (both in degrees), matching the
+    conventional (lon, lat) = (x, y) mapping.
+    """
+
+    x: float
+    y: float
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. ({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along ``x``."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along ``y``."""
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        """The rectangle's center point."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Area in squared coordinate units."""
+        return self.width * self.height
+
+    def contains(self, point: Point) -> bool:
+        """True if ``point`` lies inside or on the boundary of the box."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the box (nearest point inside it)."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corner points (counter-clockwise from min corner)."""
+        yield Point(self.min_x, self.min_y)
+        yield Point(self.max_x, self.min_y)
+        yield Point(self.max_x, self.max_y)
+        yield Point(self.min_x, self.max_y)
+
+    @classmethod
+    def square(cls, center: Point, side: float) -> "BoundingBox":
+        """Create a square box of side length ``side`` centered at ``center``."""
+        if side <= 0:
+            raise ValueError("side must be positive")
+        half = side / 2.0
+        return cls(center.x - half, center.y - half, center.x + half, center.y + half)
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Straight-line distance between two planar points (same units as input)."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def haversine_distance(a: Point, b: Point) -> float:
+    """Great-circle distance in meters between two (lon, lat) points in degrees."""
+    lon1, lat1 = math.radians(a.x), math.radians(a.y)
+    lon2, lat2 = math.radians(b.x), math.radians(b.y)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    inner = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_METERS * math.asin(math.sqrt(inner))

@@ -1,0 +1,244 @@
+"""The spatial grid: the map partitioning of Section 2.
+
+A :class:`Grid` divides a rectangular data domain into ``rows x cols``
+equal-size cells ``V = {v_1, ..., v_n}``.  Cells are identified by an integer
+``cell_id`` in row-major order; the encoding subsystem later assigns each cell
+a binary *index* (codeword) according to the chosen encoding scheme.
+
+The grid supports the spatial queries the alert protocol needs:
+
+* locating the cell enclosing a point (what a mobile user does before
+  encrypting its location);
+* enumerating the cells intersecting a circular range (how an alert zone of a
+  given radius around an epicenter is materialised);
+* neighbourhood queries used by workload generators and by the correlation
+  experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.grid.geometry import BoundingBox, Point, euclidean_distance
+
+__all__ = ["Cell", "Grid"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell ``v_i``.
+
+    Attributes
+    ----------
+    cell_id:
+        Row-major integer identifier in ``[0, n)``.
+    row, col:
+        Grid coordinates (row 0 is the ``min_y`` edge).
+    box:
+        The cell's spatial extent.
+    """
+
+    cell_id: int
+    row: int
+    col: int
+    box: BoundingBox
+
+    @property
+    def center(self) -> Point:
+        """Center point of the cell."""
+        return self.box.center
+
+
+class Grid:
+    """A regular ``rows x cols`` partitioning of a rectangular domain.
+
+    Parameters
+    ----------
+    rows, cols:
+        Number of cells along each axis; the total cell count is ``rows * cols``.
+    bounding_box:
+        Spatial extent of the domain.  Defaults to a square planar domain of
+        ``default_extent_meters`` per side, which matches the synthetic
+        experiments where radii are expressed in meters.
+    distance:
+        Distance function between points; Euclidean by default.  Pass
+        :func:`repro.grid.geometry.haversine_distance` for geographic frames.
+
+    Example
+    -------
+    >>> grid = Grid(rows=4, cols=4, bounding_box=BoundingBox(0, 0, 400, 400))
+    >>> grid.n_cells
+    16
+    >>> grid.cell_at(Point(50, 50)).cell_id
+    0
+    """
+
+    #: Side length (meters) of the default planar domain; chosen so that a
+    #: 32x32 grid has ~100 m cells, consistent with the paper's alert radii
+    #: (tens to hundreds of meters).
+    default_extent_meters: float = 3200.0
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        bounding_box: Optional[BoundingBox] = None,
+        distance: Callable[[Point, Point], float] = euclidean_distance,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"grid must have at least one row and column, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.box = bounding_box or BoundingBox(0.0, 0.0, self.default_extent_meters, self.default_extent_meters)
+        self.distance = distance
+        self._cell_width = self.box.width / cols
+        self._cell_height = self.box.height / rows
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells ``n``."""
+        return self.rows * self.cols
+
+    @property
+    def cell_width(self) -> float:
+        """Width of each cell in domain units."""
+        return self._cell_width
+
+    @property
+    def cell_height(self) -> float:
+        """Height of each cell in domain units."""
+        return self._cell_height
+
+    def __len__(self) -> int:
+        return self.n_cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Grid({self.rows}x{self.cols}, box={self.box})"
+
+    # ------------------------------------------------------------------
+    # Cell addressing
+    # ------------------------------------------------------------------
+    def cell_id(self, row: int, col: int) -> int:
+        """Row-major cell id for grid coordinates ``(row, col)``."""
+        self._check_coords(row, col)
+        return row * self.cols + col
+
+    def coords(self, cell_id: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` for a cell id."""
+        self._check_cell_id(cell_id)
+        return divmod(cell_id, self.cols)
+
+    def cell(self, cell_id: int) -> Cell:
+        """Materialise the :class:`Cell` record for ``cell_id``."""
+        row, col = self.coords(cell_id)
+        box = BoundingBox(
+            self.box.min_x + col * self._cell_width,
+            self.box.min_y + row * self._cell_height,
+            self.box.min_x + (col + 1) * self._cell_width,
+            self.box.min_y + (row + 1) * self._cell_height,
+        )
+        return Cell(cell_id=cell_id, row=row, col=col, box=box)
+
+    def cells(self) -> Iterator[Cell]:
+        """Iterate over all cells in row-major order."""
+        for cell_id in range(self.n_cells):
+            yield self.cell(cell_id)
+
+    def cell_center(self, cell_id: int) -> Point:
+        """Center point of cell ``cell_id``."""
+        return self.cell(cell_id).center
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+    def cell_at(self, point: Point) -> Cell:
+        """The cell enclosing ``point`` (points outside the domain are clamped).
+
+        Clamping mirrors what a deployed system does with GPS fixes slightly
+        outside the registered service area: they are attributed to the border
+        cell rather than rejected.
+        """
+        clamped = self.box.clamp(point)
+        col = min(int((clamped.x - self.box.min_x) / self._cell_width), self.cols - 1)
+        row = min(int((clamped.y - self.box.min_y) / self._cell_height), self.rows - 1)
+        return self.cell(self.cell_id(row, col))
+
+    def cells_within_radius(self, center: Point, radius: float) -> list[int]:
+        """Cell ids whose *center* lies within ``radius`` of ``center``.
+
+        The paper expresses alert zones as "all cells within radius r of the
+        event epicenter"; using cell centers gives the same zone sizes as a
+        coverage-based definition for radii at or above the cell size while
+        keeping single-cell zones for very small radii (the contact-tracing
+        case the paper emphasises).
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        enclosing = self.cell_at(center)
+        # Restrict the scan to the bounding square of the circle for efficiency.
+        col_reach = int(math.ceil(radius / self._cell_width)) + 1
+        row_reach = int(math.ceil(radius / self._cell_height)) + 1
+        result: list[int] = []
+        for row in range(max(0, enclosing.row - row_reach), min(self.rows, enclosing.row + row_reach + 1)):
+            for col in range(max(0, enclosing.col - col_reach), min(self.cols, enclosing.col + col_reach + 1)):
+                cell = self.cell(self.cell_id(row, col))
+                if self.distance(cell.center, center) <= radius:
+                    result.append(cell.cell_id)
+        if not result:
+            # A radius smaller than half a cell still alerts the enclosing cell.
+            result.append(enclosing.cell_id)
+        return sorted(result)
+
+    def neighbors(self, cell_id: int, diagonal: bool = True) -> list[int]:
+        """Ids of the cells adjacent to ``cell_id``.
+
+        ``diagonal=True`` returns the Moore neighbourhood (up to 8 cells),
+        ``diagonal=False`` the von Neumann neighbourhood (up to 4).
+        """
+        row, col = self.coords(cell_id)
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        if diagonal:
+            offsets += [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+        result = []
+        for dr, dc in offsets:
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                result.append(self.cell_id(r, c))
+        return sorted(result)
+
+    def manhattan_distance(self, cell_a: int, cell_b: int) -> int:
+        """Grid (Manhattan) distance between two cells."""
+        ra, ca = self.coords(cell_a)
+        rb, cb = self.coords(cell_b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def validate_probabilities(self, probabilities: Sequence[float]) -> None:
+        """Check that a per-cell probability vector is usable for this grid.
+
+        Probabilities must have one entry per cell and be non-negative; they
+        do not need to sum to one (the paper treats them as independent
+        likelihoods of each cell becoming alerted, cf. Theorem 1).
+        """
+        if len(probabilities) != self.n_cells:
+            raise ValueError(
+                f"expected {self.n_cells} probabilities (one per cell), got {len(probabilities)}"
+            )
+        negative = [i for i, p in enumerate(probabilities) if p < 0]
+        if negative:
+            raise ValueError(f"probabilities must be non-negative; negative at cells {negative[:5]}")
+
+    def _check_coords(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell coordinates ({row}, {col}) outside {self.rows}x{self.cols} grid")
+
+    def _check_cell_id(self, cell_id: int) -> None:
+        if not (0 <= cell_id < self.n_cells):
+            raise IndexError(f"cell id {cell_id} outside [0, {self.n_cells})")

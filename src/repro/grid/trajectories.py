@@ -1,0 +1,175 @@
+"""User trajectories: movement histories over the grid.
+
+The contact-tracing scenario in the paper's introduction starts from "the set
+of locations visited by an infected patient in the last week".  This module
+models those histories:
+
+* :class:`TrajectoryPoint` / :class:`Trajectory` -- a time-stamped sequence of
+  positions with the derived cell sequence, dwell times and visited set;
+* :class:`TrajectoryGenerator` -- a popularity-biased random-waypoint model:
+  users dwell at a place for a while, then move to another place chosen
+  proportionally to cell popularity (people visit popular places more often);
+* :func:`exposure_zone_from_trajectory` -- turns a patient's trajectory into
+  the union of compact alert zones around the visited sites, i.e. exactly the
+  workload the paper's Huffman encoding is designed for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.grid.alert_zone import AlertZone, circular_alert_zone, union_zone
+from repro.grid.geometry import Point
+from repro.grid.grid import Grid
+
+__all__ = [
+    "TrajectoryPoint",
+    "Trajectory",
+    "TrajectoryGenerator",
+    "exposure_zone_from_trajectory",
+]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One time-stamped position of a user."""
+
+    timestamp: float
+    location: Point
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A user's movement history, ordered by time."""
+
+    user_id: str
+    points: tuple[TrajectoryPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a trajectory must contain at least one point")
+        timestamps = [p.timestamp for p in self.points]
+        if timestamps != sorted(timestamps):
+            raise ValueError("trajectory points must be ordered by timestamp")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def duration(self) -> float:
+        """Time spanned by the trajectory."""
+        return self.points[-1].timestamp - self.points[0].timestamp
+
+    def cells(self, grid: Grid) -> list[int]:
+        """The cell id of every trajectory point, in order (with repeats)."""
+        return [grid.cell_at(p.location).cell_id for p in self.points]
+
+    def visited_cells(self, grid: Grid) -> list[int]:
+        """Distinct visited cells, in order of first visit."""
+        seen: list[int] = []
+        for cell in self.cells(grid):
+            if cell not in seen:
+                seen.append(cell)
+        return seen
+
+    def dwell_time_by_cell(self, grid: Grid) -> dict[int, float]:
+        """Total time spent in each cell (the last point contributes zero)."""
+        dwell: dict[int, float] = {}
+        cells = self.cells(grid)
+        for i in range(len(self.points) - 1):
+            interval = self.points[i + 1].timestamp - self.points[i].timestamp
+            dwell[cells[i]] = dwell.get(cells[i], 0.0) + interval
+        dwell.setdefault(cells[-1], 0.0)
+        return dwell
+
+
+class TrajectoryGenerator:
+    """Popularity-biased random-waypoint trajectories over a grid.
+
+    Parameters
+    ----------
+    grid:
+        The spatial grid.
+    popularity:
+        Per-cell popularity weights steering destination choice (the same
+        vector that drives the encoding works well).
+    mean_dwell:
+        Mean dwell time at a destination (exponentially distributed).
+    rng:
+        Random source; seed for reproducible trajectories.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        popularity: Sequence[float],
+        mean_dwell: float = 600.0,
+        rng: Optional[random.Random] = None,
+    ):
+        grid.validate_probabilities(popularity)
+        if sum(popularity) <= 0:
+            raise ValueError("at least one cell must have positive popularity")
+        if mean_dwell <= 0:
+            raise ValueError("mean_dwell must be positive")
+        self.grid = grid
+        self.popularity = list(popularity)
+        self.mean_dwell = mean_dwell
+        self.rng = rng or random.Random()
+
+    def _random_destination(self) -> Point:
+        cell_id = self.rng.choices(range(self.grid.n_cells), weights=self.popularity, k=1)[0]
+        cell = self.grid.cell(cell_id)
+        return Point(
+            self.rng.uniform(cell.box.min_x, cell.box.max_x),
+            self.rng.uniform(cell.box.min_y, cell.box.max_y),
+        )
+
+    def generate(self, user_id: str, num_visits: int, start_time: float = 0.0) -> Trajectory:
+        """Generate a trajectory visiting ``num_visits`` destinations."""
+        if num_visits < 1:
+            raise ValueError("num_visits must be at least 1")
+        timestamp = start_time
+        points = []
+        for _ in range(num_visits):
+            points.append(TrajectoryPoint(timestamp=timestamp, location=self._random_destination()))
+            timestamp += self.rng.expovariate(1.0 / self.mean_dwell)
+        return Trajectory(user_id=user_id, points=tuple(points))
+
+
+def exposure_zone_from_trajectory(
+    grid: Grid,
+    trajectory: Trajectory,
+    radius: float,
+    min_dwell: float = 0.0,
+    label: Optional[str] = None,
+) -> AlertZone:
+    """The exposure zone of a patient's trajectory.
+
+    Every visited site where the patient dwelt for at least ``min_dwell``
+    becomes a compact circular zone of the given ``radius``; the exposure zone
+    is their union.  Sites with shorter dwell times (pass-throughs) are
+    excluded, mirroring how health authorities discount brief contacts.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if min_dwell < 0:
+        raise ValueError("min_dwell must be non-negative")
+    dwell = trajectory.dwell_time_by_cell(grid)
+    sites = []
+    for i, point in enumerate(trajectory.points):
+        cell = grid.cell_at(point.location).cell_id
+        is_last = i == len(trajectory.points) - 1
+        if dwell.get(cell, 0.0) >= min_dwell or (is_last and min_dwell == 0.0):
+            sites.append(circular_alert_zone(grid, point.location, radius, label=f"visit-{i}"))
+    if not sites:
+        # Every visit was a pass-through; fall back to the longest-dwell cell
+        # so the zone is never empty (the authority always traces something).
+        longest = max(dwell, key=dwell.get)
+        sites.append(circular_alert_zone(grid, grid.cell_center(longest), radius, label="longest-dwell"))
+    return union_zone(sites, label=label or f"exposure-{trajectory.user_id}")

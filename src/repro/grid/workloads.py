@@ -1,0 +1,241 @@
+"""Alert-zone workload generators for the evaluation of Section 7.
+
+Three families of workloads appear in the paper:
+
+* **Radius sweeps** (Figs. 9, 10, 12): alert zones of a fixed radius whose
+  epicenters are drawn according to the per-cell alert likelihoods, repeated
+  over a sweep of radii.
+* **Mixed workloads** W1-W4 (Fig. 11): mixes of short-radius (20 m) and
+  long-radius (300 m) zones in ratios 90/10, 75/25, 25/75 and 10/90.
+* **Poisson zone sizes** (Theorem 1): the number of alerted cells in a zone
+  approximately follows ``Pois(1)``; the generator below draws zones whose
+  cell count follows that law, used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.grid.alert_zone import AlertZone, circular_alert_zone
+from repro.grid.geometry import Point
+from repro.grid.grid import Grid
+from repro.probability.poisson import poisson_sample
+
+__all__ = [
+    "AlertWorkload",
+    "MixedWorkloadSpec",
+    "WorkloadGenerator",
+    "STANDARD_MIXED_WORKLOADS",
+]
+
+
+@dataclass(frozen=True)
+class AlertWorkload:
+    """A named collection of alert zones fed to an experiment."""
+
+    name: str
+    zones: tuple[AlertZone, ...]
+
+    def __post_init__(self) -> None:
+        if not self.zones:
+            raise ValueError("a workload must contain at least one alert zone")
+
+    def __iter__(self) -> Iterator[AlertZone]:
+        return iter(self.zones)
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    @property
+    def total_alert_cells(self) -> int:
+        """Total number of alerted cells over all zones (with multiplicity)."""
+        return sum(zone.size for zone in self.zones)
+
+    @property
+    def mean_zone_size(self) -> float:
+        """Average number of alerted cells per zone."""
+        return self.total_alert_cells / len(self.zones)
+
+
+@dataclass(frozen=True)
+class MixedWorkloadSpec:
+    """Specification of a short/long radius mix (Fig. 11).
+
+    ``short_fraction`` is the fraction of zones generated with
+    ``short_radius``; the rest use ``long_radius``.
+    """
+
+    name: str
+    short_fraction: float
+    short_radius: float = 20.0
+    long_radius: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.short_fraction <= 1.0:
+            raise ValueError("short_fraction must be in [0, 1]")
+        if self.short_radius <= 0 or self.long_radius <= 0:
+            raise ValueError("radii must be positive")
+
+
+#: The four mixes evaluated in Fig. 11.
+STANDARD_MIXED_WORKLOADS: tuple[MixedWorkloadSpec, ...] = (
+    MixedWorkloadSpec(name="W1", short_fraction=0.90),
+    MixedWorkloadSpec(name="W2", short_fraction=0.75),
+    MixedWorkloadSpec(name="W3", short_fraction=0.25),
+    MixedWorkloadSpec(name="W4", short_fraction=0.10),
+)
+
+
+class WorkloadGenerator:
+    """Draws alert-zone workloads over a grid from per-cell alert likelihoods.
+
+    Parameters
+    ----------
+    grid:
+        The spatial grid.
+    probabilities:
+        Per-cell likelihood of becoming alerted; epicenters are sampled
+        proportionally to these weights, so popular cells host more events,
+        exactly the situation variable-length encoding exploits.
+    rng:
+        Random source; seed it for reproducible experiments.
+    """
+
+    def __init__(self, grid: Grid, probabilities: Sequence[float], rng: Optional[random.Random] = None):
+        grid.validate_probabilities(probabilities)
+        total = float(sum(probabilities))
+        if total <= 0:
+            raise ValueError("at least one cell must have a positive alert probability")
+        self.grid = grid
+        self.probabilities = list(probabilities)
+        self._weights = [p / total for p in self.probabilities]
+        self.rng = rng or random.Random()
+
+    # ------------------------------------------------------------------
+    # Epicenter sampling
+    # ------------------------------------------------------------------
+    def sample_epicenter(self) -> Point:
+        """Draw an event epicenter: a probability-weighted cell, jittered uniformly inside it."""
+        cell_id = self.rng.choices(range(self.grid.n_cells), weights=self._weights, k=1)[0]
+        cell = self.grid.cell(cell_id)
+        x = self.rng.uniform(cell.box.min_x, cell.box.max_x)
+        y = self.rng.uniform(cell.box.min_y, cell.box.max_y)
+        return Point(x, y)
+
+    # ------------------------------------------------------------------
+    # Workload constructors
+    # ------------------------------------------------------------------
+    def radius_workload(self, radius: float, num_zones: int, name: Optional[str] = None) -> AlertWorkload:
+        """``num_zones`` circular zones of fixed ``radius`` (Figs. 9, 10, 12)."""
+        if num_zones < 1:
+            raise ValueError("num_zones must be at least 1")
+        zones = tuple(
+            circular_alert_zone(self.grid, self.sample_epicenter(), radius, label=f"r={radius:g}")
+            for _ in range(num_zones)
+        )
+        return AlertWorkload(name=name or f"radius-{radius:g}", zones=zones)
+
+    def radius_sweep(self, radii: Sequence[float], num_zones: int) -> list[AlertWorkload]:
+        """One workload per radius in ``radii``."""
+        return [self.radius_workload(radius, num_zones) for radius in radii]
+
+    def mixed_workload(self, spec: MixedWorkloadSpec, num_zones: int) -> AlertWorkload:
+        """A short/long radius mix according to ``spec`` (Fig. 11)."""
+        if num_zones < 1:
+            raise ValueError("num_zones must be at least 1")
+        num_short = round(spec.short_fraction * num_zones)
+        zones: list[AlertZone] = []
+        for i in range(num_zones):
+            radius = spec.short_radius if i < num_short else spec.long_radius
+            label = "short" if i < num_short else "long"
+            zones.append(circular_alert_zone(self.grid, self.sample_epicenter(), radius, label=label))
+        self.rng.shuffle(zones)
+        return AlertWorkload(name=spec.name, zones=tuple(zones))
+
+    def triggered_radius_workload(
+        self,
+        radius: float,
+        num_zones: int,
+        name: Optional[str] = None,
+    ) -> AlertWorkload:
+        """Probability-triggered zones of a given radius (the evaluation workload).
+
+        The per-cell values ``p(v_i)`` are, by definition (Section 2), the
+        likelihood of each cell *becoming alerted*; an alert event therefore
+        alerts the cells around its epicenter **according to their own
+        likelihood**, not indiscriminately.  Each zone is built as:
+
+        1. draw an epicenter weighted by the cell likelihoods (events happen
+           where they are likely);
+        2. take all cells within ``radius`` of the epicenter as candidates;
+        3. alert each candidate with probability ``min(1, p(v_i))``
+           (independent Bernoulli draws), always including the epicenter's own
+           cell so a zone is never empty.
+
+        With a skewed likelihood field this yields the compact, sparse alert
+        sets the paper argues dominate in practice (Theorem 1), while larger
+        radii still produce progressively larger alerted sets.
+        """
+        if num_zones < 1:
+            raise ValueError("num_zones must be at least 1")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        zones = []
+        for _ in range(num_zones):
+            epicenter = self.sample_epicenter()
+            epicenter_cell = self.grid.cell_at(epicenter).cell_id
+            candidates = self.grid.cells_within_radius(epicenter, radius)
+            alerted = {
+                cell_id
+                for cell_id in candidates
+                if self.rng.random() < min(1.0, self.probabilities[cell_id])
+            }
+            alerted.add(epicenter_cell)
+            zones.append(
+                AlertZone(
+                    cell_ids=tuple(sorted(alerted)),
+                    epicenter=epicenter,
+                    radius=radius,
+                    label=f"triggered-r={radius:g}",
+                )
+            )
+        return AlertWorkload(name=name or f"triggered-radius-{radius:g}", zones=tuple(zones))
+
+    def triggered_mixed_workload(self, spec: MixedWorkloadSpec, num_zones: int) -> AlertWorkload:
+        """Probability-triggered version of the W1-W4 short/long mixes (Fig. 11)."""
+        if num_zones < 1:
+            raise ValueError("num_zones must be at least 1")
+        num_short = round(spec.short_fraction * num_zones)
+        zones: list[AlertZone] = []
+        for i in range(num_zones):
+            radius = spec.short_radius if i < num_short else spec.long_radius
+            sub = self.triggered_radius_workload(radius, 1)
+            zones.append(sub.zones[0])
+        self.rng.shuffle(zones)
+        return AlertWorkload(name=spec.name, zones=tuple(zones))
+
+    def poisson_workload(self, num_zones: int, rate: float = 1.0, name: str = "poisson") -> AlertWorkload:
+        """Zones whose cell count follows ``Pois(rate)`` (Theorem 1), grown from a seed cell.
+
+        The zone is grown by repeatedly adding an unalerted neighbour of the
+        current zone, producing connected, compact zones like the ones the
+        paper argues dominate in practice.  A draw of zero cells is promoted
+        to one cell (an alert event always alerts at least its own cell).
+        """
+        if num_zones < 1:
+            raise ValueError("num_zones must be at least 1")
+        zones = []
+        for _ in range(num_zones):
+            target_size = max(1, poisson_sample(rate, self.rng))
+            seed = self.grid.cell_at(self.sample_epicenter()).cell_id
+            selected = {seed}
+            frontier = set(self.grid.neighbors(seed))
+            while len(selected) < target_size and frontier:
+                nxt = self.rng.choice(sorted(frontier))
+                selected.add(nxt)
+                frontier.update(self.grid.neighbors(nxt))
+                frontier -= selected
+            zones.append(AlertZone(cell_ids=tuple(sorted(selected)), label="poisson"))
+        return AlertWorkload(name=name, zones=tuple(zones))

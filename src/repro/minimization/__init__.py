@@ -1,0 +1,32 @@
+"""Token minimization: turning an alert zone into few, cheap HVE tokens.
+
+Whenever an alert zone is declared, the trusted authority must issue search
+tokens covering exactly the zone's cells.  Naively issuing one full-length
+token per cell costs ``RL`` non-star symbols per cell; minimization aggregates
+cells so that fewer tokens with fewer non-star symbols are needed, which
+directly reduces the service provider's pairing workload.
+
+Two minimization strategies are implemented, matching the paper:
+
+* :mod:`repro.minimization.deterministic` -- Algorithm 3: the paper's
+  coding-tree-driven minimization for variable-length (prefix-code) encodings.
+  Tokens correspond to maximal fully-alerted subtrees of the coding tree.
+* :mod:`repro.minimization.quine_mccluskey` -- classic two-level logic
+  minimization used by the fixed-length baselines ([14] uses Karnaugh-map
+  style minimization; Quine-McCluskey is its algorithmic form), optionally
+  exploiting unused codewords as don't-cares.
+* :mod:`repro.minimization.clusters` -- the consecutive-leaf clustering helper
+  shared by Algorithm 3 and the analysis code.
+"""
+
+from repro.minimization.clusters import consecutive_clusters
+from repro.minimization.deterministic import DeterministicMinimizer, deterministic_minimization
+from repro.minimization.quine_mccluskey import QuineMcCluskeyMinimizer, minimize_boolean_function
+
+__all__ = [
+    "consecutive_clusters",
+    "DeterministicMinimizer",
+    "deterministic_minimization",
+    "QuineMcCluskeyMinimizer",
+    "minimize_boolean_function",
+]

@@ -1,0 +1,54 @@
+"""Clustering of alerted leaves into consecutive runs (used by Algorithm 3).
+
+After mapping the alerted cells to their leaf codewords, Algorithm 3 groups
+codewords that appear *consecutively* in the coding tree's left-to-right leaf
+order (lines 11-20).  Only consecutive leaves can share a fully-alerted
+subtree root, so clustering bounds the search for common roots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["consecutive_clusters"]
+
+T = TypeVar("T")
+
+
+def consecutive_clusters(items: Sequence[T], positions: Sequence[int]) -> list[list[T]]:
+    """Split ``items`` into runs whose ``positions`` are consecutive integers.
+
+    Parameters
+    ----------
+    items:
+        The objects to cluster (leaf codewords in Algorithm 3).
+    positions:
+        The integer position of each item in the underlying order (its index
+        in the coding tree's leaf list).  Must be the same length as
+        ``items``, sorted ascending and free of duplicates.
+
+    Returns
+    -------
+    list[list[T]]
+        The clusters, preserving the input order.
+
+    Example
+    -------
+    >>> consecutive_clusters(["a", "b", "c"], [1, 3, 4])
+    [['a'], ['b', 'c']]
+    """
+    if len(items) != len(positions):
+        raise ValueError("items and positions must have the same length")
+    if not items:
+        return []
+    for earlier, later in zip(positions, positions[1:]):
+        if later <= earlier:
+            raise ValueError("positions must be strictly increasing")
+
+    clusters: list[list[T]] = [[items[0]]]
+    for i in range(1, len(items)):
+        if positions[i] == positions[i - 1] + 1:
+            clusters[-1].append(items[i])
+        else:
+            clusters.append([items[i]])
+    return clusters

@@ -1,0 +1,153 @@
+"""Deterministic token minimization over a coding tree (Algorithm 3).
+
+Given the set of alerted cells and the coding tree produced by Algorithm 1,
+the trusted authority derives search tokens as follows:
+
+1. map every alerted cell to its leaf codeword (the star-padded prefix code --
+   a bijection by Theorem 2);
+2. sort the codewords by their position in the tree's left-to-right leaf order
+   and split them into *clusters* of consecutive leaves;
+3. inside each cluster, repeatedly find the deepest subtree root whose leaves
+   are *all* alerted and emit its (star-padded) codeword as a token; cells
+   that cannot be grouped are emitted as their own leaf codeword.
+
+Only fully-alerted subtrees may be used: a token covering a non-alerted leaf
+would falsely notify users located there (a correctness violation, not just a
+performance issue).  The resulting token set therefore matches exactly the
+alerted cells.
+
+This module implements the algorithm faithfully, with one correction to the
+pseudo-code: a cluster consisting of a single codeword never enters the
+``while L > 1`` loop in the paper's listing, so the implementation emits such
+singleton clusters directly (otherwise the corresponding cell would silently
+receive no token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.minimization.clusters import consecutive_clusters
+
+__all__ = ["deterministic_minimization", "DeterministicMinimizer"]
+
+
+def _common_prefix(codewords: Sequence[str]) -> str:
+    """Longest common prefix of the non-star parts of ``codewords``."""
+    stripped = [code.rstrip("*") for code in codewords]
+    if not stripped:
+        return ""
+    shortest = min(stripped, key=len)
+    prefix_length = 0
+    for i, symbol in enumerate(shortest):
+        if all(code[i] == symbol for code in stripped):
+            prefix_length = i + 1
+        else:
+            break
+    return shortest[:prefix_length]
+
+
+def _pad_with_stars(code: str, reference_length: int) -> str:
+    """Right-pad ``code`` with stars to the reference length."""
+    if len(code) > reference_length:
+        raise ValueError(f"code {code!r} longer than reference length {reference_length}")
+    return code + "*" * (reference_length - len(code))
+
+
+def deterministic_minimization(
+    alert_codewords: Sequence[str],
+    leaf_order: Mapping[str, int],
+    subtree_leaf_counts: Mapping[str, int],
+    reference_length: int,
+) -> list[str]:
+    """Run Algorithm 3 and return the minimized token patterns.
+
+    Parameters
+    ----------
+    alert_codewords:
+        Leaf codewords (star-padded prefix codes) of the alerted cells.
+        Duplicates are ignored.
+    leaf_order:
+        Mapping from each leaf codeword to its position in the coding tree's
+        left-to-right leaf order.
+    subtree_leaf_counts:
+        Mapping from every node codeword (star-padded) to the number of leaves
+        in its subtree -- the ``parentDict`` of the paper.
+    reference_length:
+        The coding tree depth RL; every returned pattern has this length.
+
+    Returns
+    -------
+    list[str]
+        Token patterns over the tree's symbol alphabet plus ``*``.  Their
+        union of matching leaves equals exactly the alerted set.
+    """
+    unique = sorted(set(alert_codewords), key=lambda code: _position_of(code, leaf_order))
+    if not unique:
+        return []
+    positions = [_position_of(code, leaf_order) for code in unique]
+    clusters = consecutive_clusters(unique, positions)
+
+    tokens: list[str] = []
+    for cluster in clusters:
+        tokens.extend(_minimize_cluster(cluster, subtree_leaf_counts, reference_length))
+    return tokens
+
+
+def _position_of(codeword: str, leaf_order: Mapping[str, int]) -> int:
+    if codeword not in leaf_order:
+        raise KeyError(f"codeword {codeword!r} is not a leaf of the coding tree")
+    return leaf_order[codeword]
+
+
+def _minimize_cluster(
+    cluster: Sequence[str],
+    subtree_leaf_counts: Mapping[str, int],
+    reference_length: int,
+) -> list[str]:
+    """Minimize one cluster of consecutive alerted leaves (lines 23-37)."""
+    tokens: list[str] = []
+    remaining = list(cluster)
+    while remaining:
+        if len(remaining) == 1:
+            tokens.append(remaining[0])
+            break
+        emitted = False
+        length = len(remaining)
+        while length > 1:
+            candidate = _pad_with_stars(_common_prefix(remaining[:length]), reference_length)
+            if subtree_leaf_counts.get(candidate) == length:
+                tokens.append(candidate)
+                remaining = remaining[length:]
+                emitted = True
+                break
+            length -= 1
+        if not emitted:
+            # No multi-leaf subtree root is fully alerted; emit the first leaf
+            # on its own and keep going with the rest of the cluster.
+            tokens.append(remaining[0])
+            remaining = remaining[1:]
+    return tokens
+
+
+@dataclass(frozen=True)
+class DeterministicMinimizer:
+    """Object-style wrapper around :func:`deterministic_minimization`.
+
+    Binding the coding-tree artefacts once is convenient for the trusted
+    authority, which minimizes many alert zones against the same tree.
+    """
+
+    leaf_order: Mapping[str, int]
+    subtree_leaf_counts: Mapping[str, int]
+    reference_length: int
+
+    def minimize(self, alert_codewords: Sequence[str]) -> list[str]:
+        """Minimize one alert zone given its leaf codewords."""
+        return deterministic_minimization(
+            alert_codewords,
+            leaf_order=self.leaf_order,
+            subtree_leaf_counts=self.subtree_leaf_counts,
+            reference_length=self.reference_length,
+        )

@@ -1,0 +1,186 @@
+"""Quine-McCluskey logic minimization for fixed-length encodings.
+
+The fixed-length baselines ([14] and the SGO-style scheme of [23]) aggregate
+alert-cell codes through two-level boolean minimization: the alerted cells'
+binary codes are the function's minterms, unused codewords (when the cell
+count is not a power of two) are don't-cares, and every implicant of the
+minimized cover becomes one HVE token whose dashes are star symbols.
+
+The implementation is the textbook Quine-McCluskey procedure:
+
+1. group minterms by popcount and iteratively combine pairs differing in one
+   bit to obtain all prime implicants;
+2. pick all essential prime implicants;
+3. cover the remaining minterms greedily (largest coverage first, ties broken
+   by fewer literals) -- exact minimum cover is NP-hard and unnecessary here,
+   since the paper's own Karnaugh-style minimization is heuristic as well.
+
+Correctness guarantee: the returned cover contains every alerted minterm and
+no codeword outside ``minterms ∪ dont_cares``; users in non-alerted cells can
+therefore never be falsely notified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Implicant", "minimize_boolean_function", "QuineMcCluskeyMinimizer"]
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term over ``width`` variables.
+
+    ``value`` holds the fixed bit values, ``mask`` has a 1 for every position
+    that is a dash (star); masked positions of ``value`` are zero.
+    """
+
+    value: int
+    mask: int
+    width: int
+
+    def covers(self, minterm: int) -> bool:
+        """True if the implicant covers the given minterm."""
+        return (minterm & ~self.mask) == self.value
+
+    def pattern(self) -> str:
+        """Render as a pattern string over ``{0, 1, *}``, most-significant bit first."""
+        symbols = []
+        for position in range(self.width - 1, -1, -1):
+            bit = 1 << position
+            if self.mask & bit:
+                symbols.append("*")
+            else:
+                symbols.append("1" if self.value & bit else "0")
+        return "".join(symbols)
+
+    @property
+    def literal_count(self) -> int:
+        """Number of non-star positions (the HVE pairing cost driver)."""
+        return self.width - bin(self.mask).count("1")
+
+
+def _combine(a: Implicant, b: Implicant) -> Optional[Implicant]:
+    """Combine two implicants differing in exactly one non-masked bit, if possible."""
+    if a.mask != b.mask:
+        return None
+    difference = a.value ^ b.value
+    if difference == 0 or (difference & (difference - 1)) != 0:
+        return None
+    new_mask = a.mask | difference
+    return Implicant(value=a.value & ~new_mask, mask=new_mask, width=a.width)
+
+
+def _prime_implicants(width: int, terms: set[int]) -> list[Implicant]:
+    """All prime implicants of the function whose ON+DC set is ``terms``."""
+    current = {Implicant(value=t, mask=0, width=width) for t in terms}
+    primes: set[Implicant] = set()
+    while current:
+        combined: set[Implicant] = set()
+        used: set[Implicant] = set()
+        # Group by (mask, popcount of value) so only plausible pairs are tried.
+        groups: dict[tuple[int, int], list[Implicant]] = {}
+        for implicant in current:
+            key = (implicant.mask, bin(implicant.value).count("1"))
+            groups.setdefault(key, []).append(implicant)
+        for (mask, ones), group in groups.items():
+            partner_group = groups.get((mask, ones + 1), [])
+            for a in group:
+                for b in partner_group:
+                    merged = _combine(a, b)
+                    if merged is not None:
+                        combined.add(merged)
+                        used.add(a)
+                        used.add(b)
+        primes.update(current - used)
+        current = combined
+    return sorted(primes, key=lambda imp: (imp.literal_count, imp.pattern()))
+
+
+def minimize_boolean_function(
+    width: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
+) -> list[Implicant]:
+    """Minimize the boolean function defined by ``minterms`` (ON) and ``dont_cares`` (DC).
+
+    Parameters
+    ----------
+    width:
+        Number of input bits (the fixed-length code width, RL).
+    minterms:
+        Codes that must evaluate to true -- the alerted cells.
+    dont_cares:
+        Codes that may evaluate to either value -- codewords not assigned to
+        any cell.  They may be absorbed into implicants but are never required
+        to be covered.
+
+    Returns
+    -------
+    list[Implicant]
+        A cover of all minterms using prime implicants only.
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    on_set = set(minterms)
+    dc_set = set(dont_cares) - on_set
+    upper = 1 << width
+    for term in on_set | dc_set:
+        if not 0 <= term < upper:
+            raise ValueError(f"term {term} does not fit in {width} bits")
+    if not on_set:
+        return []
+
+    primes = _prime_implicants(width, on_set | dc_set)
+
+    # Chart: which prime implicants cover each ON minterm.
+    coverage: dict[int, list[Implicant]] = {m: [p for p in primes if p.covers(m)] for m in on_set}
+
+    chosen: list[Implicant] = []
+    covered: set[int] = set()
+
+    # Essential prime implicants first.
+    for minterm, covering in coverage.items():
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for implicant in chosen:
+        covered.update(m for m in on_set if implicant.covers(m))
+
+    # Greedy cover of the remainder: most new minterms, then fewest literals.
+    remaining = on_set - covered
+    candidates = [p for p in primes if p not in chosen]
+    while remaining:
+        best = max(
+            candidates,
+            key=lambda p: (len([m for m in remaining if p.covers(m)]), -p.literal_count),
+        )
+        newly = {m for m in remaining if best.covers(m)}
+        if not newly:
+            raise RuntimeError("prime implicants fail to cover all minterms (internal error)")
+        chosen.append(best)
+        candidates.remove(best)
+        remaining -= newly
+
+    return chosen
+
+
+@dataclass(frozen=True)
+class QuineMcCluskeyMinimizer:
+    """Token minimizer for fixed-length encodings.
+
+    Parameters
+    ----------
+    width:
+        Code width (RL) in bits.
+    dont_cares:
+        Unassigned codewords that may be absorbed by tokens.
+    """
+
+    width: int
+    dont_cares: frozenset[int] = frozenset()
+
+    def minimize(self, alert_codes: Sequence[int]) -> list[str]:
+        """Return minimized token patterns for the given alerted codewords."""
+        implicants = minimize_boolean_function(self.width, alert_codes, self.dont_cares)
+        return [implicant.pattern() for implicant in implicants]

@@ -1,0 +1,44 @@
+"""Probabilistic models feeding the encoding schemes.
+
+The coding schemes of the paper are driven by a per-cell likelihood of
+becoming part of an alert zone (step I of Section 3.2).  This package
+provides every likelihood source used in the evaluation:
+
+* :mod:`repro.probability.sigmoid` -- the synthetic sigmoid-activation model
+  of Section 7 with inflection parameter ``a`` and gradient ``b``.
+* :mod:`repro.probability.poisson` -- the Poisson alert-count model of
+  Theorem 1 plus sampling helpers.
+* :mod:`repro.probability.crime_model` -- a logistic-regression likelihood
+  model trained on (synthetic) crime incidents, mirroring the Chicago
+  experiment of Section 7.1.
+* :mod:`repro.probability.distributions` -- normalisation, skew metrics and
+  entropy helpers shared by the analysis modules.
+"""
+
+from repro.probability.distributions import (
+    entropy_bits,
+    normalize,
+    probability_skew,
+    validate_probability_vector,
+)
+from repro.probability.poisson import poisson_pmf, poisson_sample, alert_count_distribution
+from repro.probability.sigmoid import SigmoidProbabilityModel, sigmoid
+from repro.probability.crime_model import LogisticRegressionModel, CellLikelihoodModel
+from repro.probability.markov import GridMarkovModel, spatially_correlated_probabilities
+
+__all__ = [
+    "GridMarkovModel",
+    "spatially_correlated_probabilities",
+
+    "entropy_bits",
+    "normalize",
+    "probability_skew",
+    "validate_probability_vector",
+    "poisson_pmf",
+    "poisson_sample",
+    "alert_count_distribution",
+    "SigmoidProbabilityModel",
+    "sigmoid",
+    "LogisticRegressionModel",
+    "CellLikelihoodModel",
+]

@@ -1,0 +1,85 @@
+"""Shared helpers for per-cell probability vectors.
+
+The encoding schemes only care about the *relative ordering* and skew of the
+per-cell alert likelihoods (Section 9 of the paper notes exact values are not
+required).  These helpers normalise raw likelihood scores, quantify skew and
+compute the Shannon entropy -- the information-theoretic lower bound on the
+average Huffman code length, used by the analysis and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "validate_probability_vector",
+    "normalize",
+    "entropy_bits",
+    "probability_skew",
+    "top_k_mass",
+]
+
+
+def validate_probability_vector(values: Sequence[float], allow_zero_sum: bool = False) -> None:
+    """Validate a raw likelihood vector.
+
+    Values must be finite and non-negative.  Unless ``allow_zero_sum`` is
+    set, at least one value must be strictly positive (otherwise there is no
+    information to drive the encoding).
+    """
+    if len(values) == 0:
+        raise ValueError("probability vector must not be empty")
+    for i, v in enumerate(values):
+        if not math.isfinite(v):
+            raise ValueError(f"probability at index {i} is not finite: {v!r}")
+        if v < 0:
+            raise ValueError(f"probability at index {i} is negative: {v!r}")
+    if not allow_zero_sum and sum(values) <= 0:
+        raise ValueError("probability vector sums to zero; at least one cell must be likely to alert")
+
+
+def normalize(values: Sequence[float]) -> list[float]:
+    """Scale a non-negative likelihood vector so it sums to one.
+
+    Cells with zero likelihood stay at zero.  A vector of all zeros is mapped
+    to the uniform distribution (no information means every cell is equally
+    likely), which is also how the fixed-length baseline of [14] treats the
+    domain.
+    """
+    validate_probability_vector(values, allow_zero_sum=True)
+    total = float(sum(values))
+    if total <= 0:
+        return [1.0 / len(values)] * len(values)
+    return [v / total for v in values]
+
+
+def entropy_bits(values: Sequence[float]) -> float:
+    """Shannon entropy (bits) of the normalised distribution.
+
+    This is the lower bound on the expected Huffman codeword length; the gap
+    between the achieved average length and the entropy is at most one bit.
+    """
+    probabilities = normalize(values)
+    return -sum(p * math.log2(p) for p in probabilities if p > 0)
+
+
+def probability_skew(values: Sequence[float]) -> float:
+    """A simple skew measure: max probability divided by mean probability.
+
+    Equals 1.0 for the uniform distribution and grows as the mass concentrates
+    on few cells.  Used by experiments to report how "peaked" a sigmoid
+    configuration is (higher inflection point ``a`` -> higher skew -> larger
+    Huffman gains, cf. Section 7.2).
+    """
+    probabilities = normalize(values)
+    mean = 1.0 / len(probabilities)
+    return max(probabilities) / mean
+
+
+def top_k_mass(values: Sequence[float], k: int) -> float:
+    """Fraction of total probability mass carried by the ``k`` most likely cells."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    probabilities = sorted(normalize(values), reverse=True)
+    return sum(probabilities[: min(k, len(probabilities))])

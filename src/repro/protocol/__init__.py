@@ -1,0 +1,36 @@
+"""The location-based alert protocol: users, trusted authority and service provider.
+
+This package implements the system model of Section 2.2 (Fig. 1) and the
+variable-length workflow of Fig. 3:
+
+* :mod:`repro.protocol.messages` -- the payloads exchanged between parties
+  (location updates, token batches, notifications).
+* :mod:`repro.protocol.entities` -- the three parties: mobile users encrypt
+  their grid index under the HVE public key; the trusted authority owns the
+  secret key, builds the encoding from public per-cell likelihoods and issues
+  minimized tokens; the service provider stores ciphertexts and performs the
+  matching.
+* :mod:`repro.protocol.alert_system` -- :class:`SecureAlertSystem`, the
+  end-to-end orchestration used by the examples and the Fig. 14 benchmark.
+"""
+
+from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
+from repro.protocol.entities import MobileUser, ServiceProvider, TrustedAuthority
+from repro.protocol.messages import AlertDeclaration, LocationUpdate, Notification, TokenBatch
+from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig, SimulationResult
+
+__all__ = [
+    "AlertServiceSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+
+    "SecureAlertSystem",
+    "SystemInitStats",
+    "MobileUser",
+    "ServiceProvider",
+    "TrustedAuthority",
+    "AlertDeclaration",
+    "LocationUpdate",
+    "Notification",
+    "TokenBatch",
+]

@@ -1,0 +1,91 @@
+"""Messages exchanged by the protocol parties (Fig. 1 / Fig. 3).
+
+Four payload kinds flow through the system:
+
+* :class:`LocationUpdate` -- a user's encrypted location, uploaded to the
+  service provider.  It carries *only* the ciphertext and the sender's
+  pseudonym: the grid index itself never leaves the device in clear.
+* :class:`AlertDeclaration` -- the plaintext description of an event handed to
+  the trusted authority (e.g. by a health agency): the affected cells plus a
+  label.  This is the only place cleartext spatial information appears, and it
+  concerns the *event*, never a user.
+* :class:`TokenBatch` -- the minimized HVE search tokens the trusted authority
+  sends to the service provider for one alert.
+* :class:`Notification` -- what the service provider sends back to a matched
+  user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crypto.hve import HVECiphertext, HVEToken
+from repro.grid.alert_zone import AlertZone
+
+__all__ = ["LocationUpdate", "AlertDeclaration", "TokenBatch", "Notification"]
+
+
+@dataclass(frozen=True)
+class LocationUpdate:
+    """An encrypted location report from one user.
+
+    ``sequence_number`` lets the provider keep only the latest update per
+    pseudonym (users report periodically as they move).
+    """
+
+    user_id: str
+    ciphertext: HVECiphertext
+    sequence_number: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+        if self.sequence_number < 0:
+            raise ValueError("sequence_number must be non-negative")
+
+
+@dataclass(frozen=True)
+class AlertDeclaration:
+    """A plaintext alert-zone declaration submitted to the trusted authority."""
+
+    zone: AlertZone
+    alert_id: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.alert_id:
+            raise ValueError("alert_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class TokenBatch:
+    """The minimized search tokens for one alert, sent by the TA to the SP."""
+
+    alert_id: str
+    tokens: tuple[HVEToken, ...]
+
+    def __post_init__(self) -> None:
+        if not self.alert_id:
+            raise ValueError("alert_id must be non-empty")
+        if not self.tokens:
+            raise ValueError("a token batch must contain at least one token")
+
+    @property
+    def total_non_star_bits(self) -> int:
+        """Total non-star symbols over all tokens (the cost driver)."""
+        return sum(token.non_star_count for token in self.tokens)
+
+    @property
+    def pairing_cost_per_ciphertext(self) -> int:
+        """Pairings needed to evaluate the whole batch against one ciphertext."""
+        return sum(token.pairing_cost for token in self.tokens)
+
+
+@dataclass(frozen=True)
+class Notification:
+    """Delivered to a user whose latest ciphertext matched an alert's tokens."""
+
+    user_id: str
+    alert_id: str
+    description: str = ""

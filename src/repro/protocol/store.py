@@ -1,0 +1,186 @@
+"""Ciphertext store and batch alert processing for the service provider.
+
+The in-memory :class:`~repro.protocol.entities.ServiceProvider` keeps exactly
+one ciphertext per user; a production deployment additionally needs
+
+* **freshness management** -- location reports age out: a user who stopped
+  reporting should not be matched against (and notified for) zones they left
+  hours ago;
+* **persistence** -- the provider must survive restarts without asking every
+  subscriber to re-upload;
+* **batch alert processing** -- several alerts declared together (e.g. all
+  sites of one contact-tracing case, or a backlog accumulated during
+  maintenance) should be matched in one pass over the store, with
+  per-user short-circuiting across the whole batch.
+
+This module adds those capabilities on top of the same HVE matching path.  The
+persistence format stores only what the provider legitimately holds anyway:
+pseudonyms, ciphertext components and timestamps -- never plaintext locations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE, HVECiphertext
+from repro.crypto.serialization import deserialize_ciphertext, serialize_ciphertext
+from repro.protocol.messages import LocationUpdate, Notification, TokenBatch
+
+__all__ = ["StoredReport", "CiphertextStore", "BatchMatcher"]
+
+
+@dataclass(frozen=True)
+class StoredReport:
+    """One user's latest encrypted location report plus its metadata."""
+
+    user_id: str
+    ciphertext: HVECiphertext
+    sequence_number: int
+    reported_at: float
+
+    def age(self, now: float) -> float:
+        """Seconds elapsed since the report was received."""
+        return max(0.0, now - self.reported_at)
+
+
+class CiphertextStore:
+    """The service provider's database of encrypted location reports.
+
+    Parameters
+    ----------
+    max_age_seconds:
+        Reports older than this are considered stale and excluded from
+        matching (and can be purged).  ``None`` disables expiry.
+    """
+
+    def __init__(self, max_age_seconds: Optional[float] = None):
+        if max_age_seconds is not None and max_age_seconds <= 0:
+            raise ValueError("max_age_seconds must be positive (or None to disable expiry)")
+        self.max_age_seconds = max_age_seconds
+        self._reports: dict[str, StoredReport] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, update: LocationUpdate, received_at: float) -> bool:
+        """Store an update; returns True if it replaced / created the user's record.
+
+        Stale updates (an older sequence number than what is stored) are
+        ignored, which makes ingestion idempotent under re-delivery.
+        """
+        existing = self._reports.get(update.user_id)
+        if existing is not None and update.sequence_number < existing.sequence_number:
+            return False
+        self._reports[update.user_id] = StoredReport(
+            user_id=update.user_id,
+            ciphertext=update.ciphertext,
+            sequence_number=update.sequence_number,
+            reported_at=received_at,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._reports
+
+    def report_for(self, user_id: str) -> StoredReport:
+        """The stored report of one user (KeyError if absent)."""
+        return self._reports[user_id]
+
+    def fresh_reports(self, now: float) -> list[StoredReport]:
+        """All reports that are still fresh at time ``now``, sorted by user id."""
+        reports = sorted(self._reports.values(), key=lambda r: r.user_id)
+        if self.max_age_seconds is None:
+            return reports
+        return [r for r in reports if r.age(now) <= self.max_age_seconds]
+
+    def stale_users(self, now: float) -> list[str]:
+        """Users whose latest report has expired."""
+        if self.max_age_seconds is None:
+            return []
+        return sorted(r.user_id for r in self._reports.values() if r.age(now) > self.max_age_seconds)
+
+    def purge_stale(self, now: float) -> int:
+        """Drop expired reports; returns how many were removed."""
+        stale = self.stale_users(now)
+        for user_id in stale:
+            del self._reports[user_id]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist the store as JSON (ciphertexts in wire format)."""
+        payload = {
+            "max_age_seconds": self.max_age_seconds,
+            "reports": [
+                {
+                    "user_id": report.user_id,
+                    "sequence_number": report.sequence_number,
+                    "reported_at": report.reported_at,
+                    "ciphertext": serialize_ciphertext(report.ciphertext),
+                }
+                for report in sorted(self._reports.values(), key=lambda r: r.user_id)
+            ],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path, group: BilinearGroup) -> "CiphertextStore":
+        """Restore a store previously written by :meth:`save`."""
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        store = cls(max_age_seconds=payload.get("max_age_seconds"))
+        for entry in payload.get("reports", []):
+            report = StoredReport(
+                user_id=entry["user_id"],
+                ciphertext=deserialize_ciphertext(group, entry["ciphertext"]),
+                sequence_number=int(entry["sequence_number"]),
+                reported_at=float(entry["reported_at"]),
+            )
+            store._reports[report.user_id] = report
+        return store
+
+
+class BatchMatcher:
+    """Matches batches of alerts against a ciphertext store in one pass."""
+
+    def __init__(self, hve: HVE, store: CiphertextStore):
+        self.hve = hve
+        self.store = store
+
+    def process(self, batches: Sequence[TokenBatch], now: float, descriptions: Optional[dict[str, str]] = None) -> list[Notification]:
+        """Evaluate every alert batch against every fresh report.
+
+        For each user, alerts are evaluated in order and each alert
+        short-circuits on its first matching token; a user can be notified for
+        several distinct alerts (they are independent events), but only once
+        per alert.
+        """
+        descriptions = descriptions or {}
+        notifications: list[Notification] = []
+        for report in self.store.fresh_reports(now):
+            for batch in batches:
+                if self.hve.matches_any(report.ciphertext, list(batch.tokens)):
+                    notifications.append(
+                        Notification(
+                            user_id=report.user_id,
+                            alert_id=batch.alert_id,
+                            description=descriptions.get(batch.alert_id, ""),
+                        )
+                    )
+        return notifications
+
+    def pairing_cost_upper_bound(self, batches: Iterable[TokenBatch], now: float) -> int:
+        """Worst-case pairings (no short-circuiting) for matching the batches."""
+        per_ciphertext = sum(batch.pairing_cost_per_ciphertext for batch in batches)
+        return per_ciphertext * len(self.store.fresh_reports(now))

@@ -1,0 +1,127 @@
+"""Tests for the Section 5 bounds (Theorems 3 and 4, L_E)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    GOLDEN_RATIO,
+    analytical_overhead_bound_binary,
+    bary_depth_upper_bound,
+    encryption_overhead_bary,
+    encryption_overhead_binary,
+    golden_ratio_length_bound,
+    loose_overhead_bound_binary,
+    minimum_fixed_length,
+)
+from repro.encoding.bary import build_bary_huffman_tree
+from repro.encoding.huffman import build_huffman_tree
+from repro.probability.distributions import normalize
+
+
+class TestMinimumFixedLength:
+    def test_powers_of_two(self):
+        assert minimum_fixed_length(8) == 3
+        assert minimum_fixed_length(1024) == 10
+
+    def test_non_powers(self):
+        assert minimum_fixed_length(5) == 3
+        assert minimum_fixed_length(1025) == 11
+
+    def test_other_alphabets(self):
+        assert minimum_fixed_length(9, alphabet_size=3) == 2
+        assert minimum_fixed_length(10, alphabet_size=3) == 3
+
+    def test_single_cell(self):
+        assert minimum_fixed_length(1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_fixed_length(0)
+        with pytest.raises(ValueError):
+            minimum_fixed_length(4, alphabet_size=1)
+
+
+class TestTheorem3:
+    def test_binary_bound(self):
+        assert bary_depth_upper_bound(5, 2) == 4
+        assert bary_depth_upper_bound(1024, 2) == 1023
+
+    def test_bary_bound(self):
+        assert bary_depth_upper_bound(5, 3) == 2
+        assert bary_depth_upper_bound(10, 4) == 3
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=48),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_actual_trees_respect_the_bound(self, probabilities, arity):
+        tree = build_bary_huffman_tree(probabilities, arity)
+        assert tree.reference_length <= bary_depth_upper_bound(len(probabilities), arity)
+
+
+class TestTheorem4:
+    def test_golden_ratio_value(self):
+        assert GOLDEN_RATIO == pytest.approx((1 + math.sqrt(5)) / 2)
+
+    def test_bound_for_uniform_distribution(self):
+        # p_min = 1/n -> bound log_phi(n) >= log2(n) >= actual depth.
+        n = 32
+        bound = golden_ratio_length_bound(1.0 / n)
+        tree = build_huffman_tree([1.0 / n] * n)
+        assert tree.reference_length <= bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            golden_ratio_length_bound(0.0)
+        with pytest.raises(ValueError):
+            golden_ratio_length_bound(1.5)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_deepest_leaf_respects_golden_ratio_bound(self, probabilities):
+        tree = build_huffman_tree(probabilities)
+        p_min = min(normalize(probabilities))
+        assert tree.reference_length <= golden_ratio_length_bound(p_min) + 1e-9
+
+
+class TestEncryptionOverhead:
+    def test_numerical_le_binary(self):
+        assert encryption_overhead_binary(reference_length=12, n_cells=1024) == 2
+        assert encryption_overhead_binary(reference_length=10, n_cells=1024) == 0
+
+    def test_numerical_le_bary_scales_by_alphabet(self):
+        assert encryption_overhead_bary(reference_length=4, n_cells=27, alphabet_size=3) == 3 * (4 - 3)
+
+    def test_loose_bound(self):
+        assert loose_overhead_bound_binary(8) == 8 - 1 - 3
+        assert loose_overhead_bound_binary(1) == 0
+
+    def test_analytical_bound_dominates_numerical(self):
+        probabilities = [0.4, 0.3, 0.2, 0.05, 0.03, 0.02]
+        tree = build_huffman_tree(probabilities)
+        numerical = encryption_overhead_binary(tree.reference_length, len(probabilities))
+        analytical = analytical_overhead_bound_binary(probabilities)
+        assert numerical <= analytical + 1e-9
+
+    def test_analytical_bound_requires_positive_mass(self):
+        with pytest.raises(ValueError):
+            analytical_overhead_bound_binary([0.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encryption_overhead_binary(0, 4)
+        with pytest.raises(ValueError):
+            encryption_overhead_bary(3, 8, 1)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_fig7_invariant_numerical_below_analytical(self, probabilities):
+        # The relationship plotted in Fig. 7 holds for arbitrary inputs.
+        tree = build_huffman_tree(probabilities)
+        numerical = encryption_overhead_binary(tree.reference_length, len(probabilities))
+        analytical = analytical_overhead_bound_binary(probabilities)
+        assert numerical <= analytical + 1e-9

@@ -1,0 +1,56 @@
+"""Tests for the communication-overhead profiling."""
+
+import pytest
+
+from repro.analysis.communication import CommunicationProfile, profile_encoding
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+
+PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6, 0.05, 0.3, 0.15]
+
+
+class TestProfileEncoding:
+    def test_profile_fields(self):
+        encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+        profile = profile_encoding(encoding, alert_cells=[2, 4], prime_bits=32)
+        assert isinstance(profile, CommunicationProfile)
+        assert profile.scheme == "huffman"
+        assert profile.hve_width_bits == encoding.reference_length
+        assert profile.public_key_bytes > 0
+        assert profile.ciphertext_bytes > 0
+        assert profile.token_bytes_per_alert > 0
+        assert profile.tokens_per_alert == len(encoding.token_patterns([2, 4]))
+
+    def test_wider_encoding_has_larger_ciphertexts(self):
+        # The Huffman encoding pads to a longer reference length than the
+        # fixed-length code, so its ciphertexts (and public key) are larger --
+        # the trade-off analysed in Section 5.
+        huffman = HuffmanEncodingScheme().build(PROBABILITIES)
+        fixed = FixedLengthEncodingScheme().build(PROBABILITIES)
+        huffman_profile = profile_encoding(huffman, alert_cells=[0], prime_bits=32, seed=3)
+        fixed_profile = profile_encoding(fixed, alert_cells=[0], prime_bits=32, seed=3)
+        assert huffman.reference_length >= fixed.reference_length
+        assert huffman_profile.ciphertext_bytes >= fixed_profile.ciphertext_bytes
+        assert huffman_profile.public_key_bytes >= fixed_profile.public_key_bytes
+
+    def test_token_bytes_scale_with_non_star_count(self):
+        encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+        # Alerting the most popular cell produces a short token; alerting the
+        # least popular one produces a longer token and thus a larger payload.
+        popular = max(range(len(PROBABILITIES)), key=PROBABILITIES.__getitem__)
+        rare = min(range(len(PROBABILITIES)), key=PROBABILITIES.__getitem__)
+        popular_profile = profile_encoding(encoding, alert_cells=[popular], prime_bits=32, seed=5)
+        rare_profile = profile_encoding(encoding, alert_cells=[rare], prime_bits=32, seed=5)
+        assert popular_profile.token_bytes_per_alert <= rare_profile.token_bytes_per_alert
+
+    def test_as_row(self):
+        encoding = FixedLengthEncodingScheme().build(PROBABILITIES)
+        row = profile_encoding(encoding, alert_cells=[1], prime_bits=32).as_row()
+        assert set(row) == {
+            "scheme",
+            "hve_width_bits",
+            "public_key_bytes",
+            "ciphertext_bytes",
+            "tokens_per_alert",
+            "token_bytes_per_alert",
+        }

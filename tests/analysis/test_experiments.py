@@ -1,0 +1,131 @@
+"""Tests for the Section 7 experiment drivers."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    BASELINE_SCHEME,
+    build_encodings,
+    code_length_ratio_sweep,
+    compare_schemes_on_workload,
+    default_scheme_suite,
+    granularity_sweep,
+    init_timing_sweep,
+    le_bound_sweep,
+    mixed_workload_comparison,
+    radius_sweep_comparison,
+)
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.grid.workloads import MixedWorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(rows=12, cols=12, sigmoid_a=0.95, sigmoid_b=50, seed=31, extent_meters=1200.0)
+
+
+class TestSchemeSuite:
+    def test_default_suite_contains_all_paper_schemes(self):
+        suite = default_scheme_suite()
+        assert set(suite) == {"fixed", "sgo", "balanced", "huffman"}
+        assert BASELINE_SCHEME in suite
+
+    def test_build_encodings(self, scenario):
+        encodings = build_encodings(scenario.probabilities)
+        assert set(encodings) == {"fixed", "sgo", "balanced", "huffman"}
+        assert all(e.n_cells == scenario.n_cells for e in encodings.values())
+
+
+class TestRadiusSweep:
+    def test_sweep_structure(self, scenario):
+        sweep = radius_sweep_comparison(
+            scenario.grid, scenario.probabilities, radii=[50.0, 200.0], num_zones=4, seed=1
+        )
+        assert sweep.radii == (50.0, 200.0)
+        assert len(sweep.comparisons) == 2
+        assert len(sweep.improvement_series("huffman")) == 2
+        assert len(sweep.pairings_series("fixed")) == 2
+        rows = sweep.as_rows()
+        assert len(rows) == 2 * 4  # two radii x four schemes
+        assert {row["radius"] for row in rows} == {50.0, 200.0}
+
+    def test_baseline_improvement_is_zero(self, scenario):
+        sweep = radius_sweep_comparison(
+            scenario.grid, scenario.probabilities, radii=[100.0], num_zones=4, seed=2
+        )
+        assert sweep.improvement_series("fixed") == [0.0]
+
+    def test_huffman_beats_baseline_for_compact_zones(self, scenario):
+        # The paper's headline effect: positive improvement for small radii on
+        # a skewed likelihood field.
+        sweep = radius_sweep_comparison(
+            scenario.grid, scenario.probabilities, radii=[20.0, 50.0], num_zones=15, seed=3
+        )
+        improvements = sweep.improvement_series("huffman")
+        assert all(value > 0.0 for value in improvements)
+
+    def test_geometric_zone_ablation_runs(self, scenario):
+        sweep = radius_sweep_comparison(
+            scenario.grid, scenario.probabilities, radii=[100.0], num_zones=3, seed=4, triggered=False
+        )
+        assert len(sweep.comparisons) == 1
+
+    def test_compare_schemes_on_explicit_workload(self, scenario):
+        workload = scenario.workloads.triggered_radius_workload(100.0, 5)
+        comparison = compare_schemes_on_workload(scenario.probabilities, workload)
+        assert comparison.baseline == "fixed"
+        assert {cost.scheme for cost in comparison.costs} == {"fixed", "sgo", "balanced", "huffman"}
+
+
+class TestMixedWorkloads:
+    def test_default_specs(self, scenario):
+        comparisons = mixed_workload_comparison(
+            scenario.grid, scenario.probabilities, num_zones=8, seed=5
+        )
+        assert [c.workload for c in comparisons] == ["W1", "W2", "W3", "W4"]
+
+    def test_custom_specs(self, scenario):
+        spec = MixedWorkloadSpec(name="custom", short_fraction=0.5)
+        comparisons = mixed_workload_comparison(
+            scenario.grid, scenario.probabilities, specs=[spec], num_zones=6, seed=6
+        )
+        assert len(comparisons) == 1
+        assert comparisons[0].workload == "custom"
+
+
+class TestGranularitySweep:
+    def test_structure_and_cost_growth(self):
+        results = granularity_sweep(grid_sizes=(8, 16), radii=[100.0, 300.0], num_zones=4, seed=7)
+        assert [r.n_cells for r in results] == [64, 256]
+        # Higher granularity -> more cells to encode -> the baseline pairing
+        # cost of a radius-300 zone does not shrink.
+        small_cost = results[0].sweep.comparisons[1].cost_of("fixed").pairings
+        large_cost = results[1].sweep.comparisons[1].cost_of("fixed").pairings
+        assert large_cost >= small_cost
+
+
+class TestCodeLengthRatio:
+    def test_points_and_monotonicity(self):
+        points = code_length_ratio_sweep(grid_sizes=(4, 8, 16), seed=8)
+        assert [p.n_cells for p in points] == [16, 64, 256]
+        for point in points:
+            assert 0.0 < point.ratio <= 1.0
+            assert point.average_length <= point.max_length
+
+
+class TestLEBoundSweep:
+    def test_numerical_below_analytical(self):
+        points = le_bound_sweep(cell_counts=(16, 64, 256), seed=9)
+        assert [p.n_cells for p in points] == [16, 64, 256]
+        for point in points:
+            assert point.numerical <= point.analytical_bound + 1e-9
+            assert point.numerical <= point.loose_bound
+
+
+class TestInitTiming:
+    def test_timings_are_recorded(self):
+        points = init_timing_sweep(grid_sizes=(8, 16), seed=10)
+        assert [p.n_cells for p in points] == [64, 256]
+        for point in points:
+            assert point.build_seconds >= 0.0
+            assert point.scheme == "huffman"
+            assert point.reference_length >= 1

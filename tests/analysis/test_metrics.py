@@ -1,0 +1,98 @@
+"""Tests for the cost / improvement metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    SchemeCost,
+    WorkloadComparison,
+    compare_costs,
+    improvement_percentage,
+    workload_pairing_cost,
+    workload_token_stats,
+)
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.grid.alert_zone import AlertZone
+from repro.grid.workloads import AlertWorkload
+
+PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+@pytest.fixture
+def workload() -> AlertWorkload:
+    return AlertWorkload(
+        name="test",
+        zones=(AlertZone(cell_ids=(0, 2, 4)), AlertZone(cell_ids=(2,))),
+    )
+
+
+class TestImprovementPercentage:
+    def test_basic_values(self):
+        assert improvement_percentage(100, 80) == pytest.approx(20.0)
+        assert improvement_percentage(100, 120) == pytest.approx(-20.0)
+        assert improvement_percentage(100, 100) == 0.0
+
+    def test_zero_baseline_convention(self):
+        assert improvement_percentage(0, 50) == 0.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percentage(-1, 5)
+        with pytest.raises(ValueError):
+            improvement_percentage(5, -1)
+
+
+class TestWorkloadCosts:
+    def test_pairing_cost_matches_manual_computation(self, workload):
+        encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+        # Zone 1 -> tokens {001, 1**} -> 7 + 3 = 10; zone 2 -> token 10* -> 5.
+        assert workload_pairing_cost(encoding, workload) == 15
+        assert workload_pairing_cost(encoding, workload, num_ciphertexts=4) == 60
+
+    def test_token_stats(self, workload):
+        encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+        stats = workload_token_stats(encoding, workload)
+        assert stats["zones"] == 2
+        assert stats["tokens"] == 3
+        assert stats["non_star_symbols"] == 3 + 1 + 2
+        assert stats["tokens_per_zone"] == pytest.approx(1.5)
+
+    def test_negative_population_rejected(self, workload):
+        encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+        with pytest.raises(ValueError):
+            workload_pairing_cost(encoding, workload, num_ciphertexts=-1)
+
+
+class TestWorkloadComparison:
+    def test_compare_costs_and_improvements(self, workload):
+        encodings = {
+            "fixed": FixedLengthEncodingScheme().build(PROBABILITIES),
+            "huffman": HuffmanEncodingScheme().build(PROBABILITIES),
+        }
+        comparison = compare_costs(encodings, workload, baseline="fixed")
+        assert comparison.workload == "test"
+        assert comparison.improvement_of("fixed") == 0.0
+        fixed_cost = comparison.cost_of("fixed").pairings
+        huffman_cost = comparison.cost_of("huffman").pairings
+        expected = 100.0 * (fixed_cost - huffman_cost) / fixed_cost
+        assert comparison.improvement_of("huffman") == pytest.approx(expected)
+        assert set(comparison.improvements()) == {"fixed", "huffman"}
+
+    def test_unknown_scheme_and_baseline_rejected(self, workload):
+        encodings = {"huffman": HuffmanEncodingScheme().build(PROBABILITIES)}
+        with pytest.raises(KeyError):
+            compare_costs(encodings, workload, baseline="fixed")
+        comparison = compare_costs(encodings, workload, baseline="huffman")
+        with pytest.raises(KeyError):
+            comparison.cost_of("missing")
+
+    def test_as_rows_structure(self, workload):
+        encodings = {
+            "fixed": FixedLengthEncodingScheme().build(PROBABILITIES),
+            "huffman": HuffmanEncodingScheme().build(PROBABILITIES),
+        }
+        rows = compare_costs(encodings, workload, baseline="fixed").as_rows()
+        assert len(rows) == 2
+        assert {row["scheme"] for row in rows} == {"fixed", "huffman"}
+        for row in rows:
+            assert set(row) == {"workload", "scheme", "pairings", "tokens", "non_star_symbols", "improvement_pct"}

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Crypto-heavy fixtures use small prime sizes (32 bits per factor) so the suite
+stays fast; the algebra exercised is identical to full-size groups.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.grid.geometry import BoundingBox
+from repro.grid.grid import Grid
+
+#: The running example of Fig. 4: five cells v1..v5 (cell ids 0..4) with the
+#: alert probabilities listed in Section 3.2.
+PAPER_EXAMPLE_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+@pytest.fixture
+def paper_probabilities() -> list[float]:
+    """Per-cell probabilities of the paper's running example (v1..v5)."""
+    return list(PAPER_EXAMPLE_PROBABILITIES)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source."""
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def small_group() -> BilinearGroup:
+    """A small (fast) composite-order bilinear group shared across tests."""
+    return BilinearGroup(prime_bits=32, rng=random.Random(99))
+
+
+@pytest.fixture
+def small_hve(small_group: BilinearGroup) -> HVE:
+    """An HVE engine of width 4 over the shared small group."""
+    return HVE(width=4, group=small_group, rng=random.Random(7))
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """An 8x8 planar grid over an 800 m x 800 m domain (100 m cells)."""
+    return Grid(rows=8, cols=8, bounding_box=BoundingBox(0.0, 0.0, 800.0, 800.0))
+
+
+@pytest.fixture
+def small_scenario():
+    """A compact synthetic scenario (8x8 grid) for protocol-level tests."""
+    return make_synthetic_scenario(rows=8, cols=8, sigmoid_a=0.9, sigmoid_b=20, seed=11, extent_meters=800.0)

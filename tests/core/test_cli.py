@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("info", "compare", "experiment", "simulate"):
+            args = parser.parse_args([command] if command != "experiment" else [command, "fig07"])
+            assert args.command == command
+
+    def test_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["compare"])
+        assert args.rows == 32 and args.cols == 32
+        assert args.radius == 100.0
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro" in output
+        assert "huffman" in output
+
+    def test_compare_small_grid(self, capsys):
+        code = main(
+            ["compare", "--rows", "8", "--cols", "8", "--radius", "100", "--zones", "3", "--seed", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "huffman" in output and "fixed" in output
+        assert "improvement_pct" in output
+
+    def test_experiment_fig07(self, capsys):
+        assert main(["experiment", "fig07", "--cell-counts", "16", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "numerical_LE" in output
+
+    def test_experiment_fig13(self, capsys):
+        assert main(["experiment", "fig13", "--grid-sizes", "4", "8"]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_experiment_fig10_small(self, capsys):
+        code = main(
+            [
+                "experiment", "fig10",
+                "--rows", "8", "--cols", "8",
+                "--radii", "50", "150",
+                "--zones", "3",
+            ]
+        )
+        assert code == 0
+        assert "radius" in capsys.readouterr().out
+
+    def test_experiment_fig14(self, capsys):
+        assert main(["experiment", "fig14", "--grid-sizes", "4", "8"]) == 0
+        assert "build_seconds" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "6", "--cols", "6",
+                "--users", "4", "--steps", "2",
+                "--alert-rate", "1.0", "--radius", "80",
+                "--prime-bits", "32",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "totals:" in output
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out

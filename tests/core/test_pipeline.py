@@ -1,0 +1,90 @@
+"""Tests for the high-level SecureAlertPipeline API."""
+
+import pytest
+
+from repro.core.pipeline import AlertReport, PipelineConfig, SecureAlertPipeline, scheme_by_name
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.encoding.balanced import BalancedTreeEncodingScheme
+from repro.encoding.bary import BaryHuffmanEncodingScheme
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.encoding.sgo import ScaledGrayEncodingScheme
+from repro.grid.alert_zone import AlertZone
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=41, extent_meters=600.0)
+
+
+@pytest.fixture(scope="module")
+def pipeline(scenario):
+    config = PipelineConfig(scheme="huffman", prime_bits=32, seed=7)
+    pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+    pipeline.subscribe("alice", scenario.grid.cell_center(7))
+    pipeline.subscribe("bob", scenario.grid.cell_center(28))
+    return pipeline
+
+
+class TestSchemeByName:
+    def test_known_schemes(self):
+        assert isinstance(scheme_by_name("huffman"), HuffmanEncodingScheme)
+        assert isinstance(scheme_by_name("balanced"), BalancedTreeEncodingScheme)
+        assert isinstance(scheme_by_name("fixed"), FixedLengthEncodingScheme)
+        assert isinstance(scheme_by_name("sgo"), ScaledGrayEncodingScheme)
+        assert isinstance(scheme_by_name("bary", alphabet_size=4), BaryHuffmanEncodingScheme)
+
+    def test_name_normalisation(self):
+        assert isinstance(scheme_by_name("  Huffman "), HuffmanEncodingScheme)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("quadtree")
+
+
+class TestPipeline:
+    def test_properties(self, pipeline, scenario):
+        assert pipeline.grid is scenario.grid
+        assert pipeline.subscriber_count == 2
+        assert pipeline.encoding_name() == "huffman"
+        assert pipeline.init_stats.n_cells == 36
+
+    def test_alert_by_zone(self, pipeline):
+        report = pipeline.raise_alert(AlertZone(cell_ids=(7, 8)), alert_id="zone-alert")
+        assert isinstance(report, AlertReport)
+        assert report.notified_users == ("alice",)
+        assert report.tokens_issued >= 1
+        assert report.pairings_spent > 0
+
+    def test_alert_by_epicenter(self, pipeline, scenario):
+        report = pipeline.raise_alert_at(scenario.grid.cell_center(28), radius=30.0, alert_id="epicenter")
+        assert "bob" in report.notified_users
+
+    def test_notifications_match_ground_truth(self, pipeline, scenario):
+        zone = AlertZone(cell_ids=(7, 28))
+        report = pipeline.raise_alert(zone, alert_id="both")
+        assert list(report.notified_users) == pipeline.users_actually_in_zone(zone)
+
+    def test_location_report_changes_outcome(self, scenario):
+        config = PipelineConfig(scheme="huffman", prime_bits=32, seed=9)
+        pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+        pipeline.subscribe("carol", scenario.grid.cell_center(0))
+        pipeline.report_location("carol", scenario.grid.cell_center(35))
+        report = pipeline.raise_alert(AlertZone(cell_ids=(35,)), alert_id="moved")
+        assert report.notified_users == ("carol",)
+
+    def test_pairing_counter_accumulates(self, pipeline):
+        before = pipeline.pairing_count
+        pipeline.raise_alert(AlertZone(cell_ids=(1,)), alert_id="counter")
+        assert pipeline.pairing_count > before
+
+
+class TestPipelineWithOtherSchemes:
+    @pytest.mark.parametrize("scheme", ["fixed", "sgo", "balanced", "bary"])
+    def test_end_to_end_per_scheme(self, scenario, scheme):
+        config = PipelineConfig(scheme=scheme, alphabet_size=3, prime_bits=32, seed=13)
+        pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+        pipeline.subscribe("user-in", scenario.grid.cell_center(14))
+        pipeline.subscribe("user-out", scenario.grid.cell_center(30))
+        report = pipeline.raise_alert(AlertZone(cell_ids=(14, 15)), alert_id=f"{scheme}-alert")
+        assert report.notified_users == ("user-in",)

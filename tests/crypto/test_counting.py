@@ -1,0 +1,67 @@
+"""Tests for pairing-cost accounting."""
+
+import pytest
+
+from repro.crypto.counting import (
+    PairingCounter,
+    matching_cost,
+    non_star_count,
+    pairing_cost_of_token,
+    pairing_cost_of_tokens,
+)
+
+
+class TestPairingCounter:
+    def test_records_and_totals(self):
+        counter = PairingCounter()
+        counter.record_pairing()
+        counter.record_pairing(3)
+        assert counter.total == 4
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            PairingCounter().record_pairing(-1)
+
+    def test_checkpoints(self):
+        counter = PairingCounter()
+        counter.record_pairing(2)
+        counter.checkpoint("after-setup")
+        counter.record_pairing(5)
+        assert counter.since("after-setup") == 5
+        assert counter.checkpoints() == {"after-setup": 2}
+
+    def test_unknown_checkpoint_raises(self):
+        with pytest.raises(KeyError):
+            PairingCounter().since("missing")
+
+    def test_reset_clears_everything(self):
+        counter = PairingCounter()
+        counter.record_pairing(10)
+        counter.checkpoint("x")
+        counter.reset()
+        assert counter.total == 0
+        assert counter.checkpoints() == {}
+
+
+class TestTokenCosts:
+    def test_non_star_count(self):
+        assert non_star_count("0*1*") == 2
+        assert non_star_count("****") == 0
+        assert non_star_count("1010") == 4
+
+    def test_single_token_cost_formula(self):
+        # 1 pairing for C0/K0 plus 2 per non-star position.
+        assert pairing_cost_of_token("***") == 1
+        assert pairing_cost_of_token("0**") == 3
+        assert pairing_cost_of_token("010") == 7
+
+    def test_token_batch_cost(self):
+        assert pairing_cost_of_tokens(["0**", "010"]) == 3 + 7
+
+    def test_matching_cost_scales_with_ciphertexts(self):
+        assert matching_cost(["0**"], num_ciphertexts=10) == 30
+        assert matching_cost(["0**"], num_ciphertexts=0) == 0
+
+    def test_matching_cost_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            matching_cost(["0*"], num_ciphertexts=-1)

@@ -1,0 +1,148 @@
+"""Tests for the composite-order bilinear group simulation."""
+
+import random
+
+import pytest
+
+from repro.crypto.counting import PairingCounter
+from repro.crypto.group import BilinearGroup, GroupElement, GTElement
+
+
+@pytest.fixture(scope="module")
+def group() -> BilinearGroup:
+    return BilinearGroup(prime_bits=32, rng=random.Random(2024))
+
+
+class TestGroupParameters:
+    def test_order_is_product_of_primes(self, group):
+        assert group.order == group.p * group.q
+        assert group.p != group.q
+
+    def test_params_exposes_only_public_data(self, group):
+        params = group.params()
+        assert params.n == group.order
+        assert params.prime_bits == 32
+        assert params.modulus_bits == group.order.bit_length()
+
+    def test_rejects_tiny_primes(self):
+        with pytest.raises(ValueError):
+            BilinearGroup(prime_bits=8)
+
+    def test_reproducible_with_seed(self):
+        a = BilinearGroup(prime_bits=32, rng=random.Random(5))
+        b = BilinearGroup(prime_bits=32, rng=random.Random(5))
+        assert a.order == b.order
+
+
+class TestGroupOperations:
+    def test_identity_behaviour(self, group):
+        g = group.random_g()
+        assert (g * group.identity()) == g
+        assert group.identity().is_identity()
+
+    def test_multiplication_is_commutative_and_associative(self, group):
+        a, b, c = group.random_g(), group.random_g(), group.random_g()
+        assert a * b == b * a
+        assert (a * b) * c == a * (b * c)
+
+    def test_inverse_cancels(self, group):
+        a = group.random_g()
+        assert (a * a.inverse()).is_identity()
+
+    def test_division_matches_inverse(self, group):
+        a, b = group.random_g(), group.random_g()
+        assert a / b == a * b.inverse()
+
+    def test_exponentiation_matches_repeated_multiplication(self, group):
+        a = group.random_g()
+        product = group.identity()
+        for _ in range(5):
+            product = product * a
+        assert a**5 == product
+
+    def test_exponent_by_group_order_is_identity(self, group):
+        a = group.random_g()
+        assert (a ** group.order).is_identity()
+
+    def test_elements_of_different_groups_do_not_mix(self, group):
+        other = BilinearGroup(prime_bits=32, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            _ = group.random_g() * other.random_g()
+
+    def test_gt_operations(self, group):
+        x, y = group.random_gt(), group.random_gt()
+        assert x * y == y * x
+        assert (x / x).is_identity()
+        assert (x**3) == x * x * x
+
+
+class TestSubgroups:
+    def test_gp_elements_have_order_p(self, group):
+        element = group.random_gp()
+        assert (element ** group.p).is_identity()
+        assert group.in_gp(element)
+
+    def test_gq_elements_have_order_q(self, group):
+        element = group.random_gq()
+        assert (element ** group.q).is_identity()
+        assert group.in_gq(element)
+
+    def test_subgroup_generators(self, group):
+        assert group.in_gp(group.gp_generator())
+        assert group.in_gq(group.gq_generator())
+
+    def test_random_message_lives_in_gt_p(self, group):
+        message = group.random_message()
+        assert (message ** group.p).is_identity()
+
+
+class TestPairing:
+    def test_bilinearity(self, group):
+        a, b = group.random_g(), group.random_g()
+        u, v = 7, 13
+        assert group.pair(a**u, b**v) == group.pair(a, b) ** (u * v)
+
+    def test_symmetry(self, group):
+        a, b = group.random_g(), group.random_g()
+        assert group.pair(a, b) == group.pair(b, a)
+
+    def test_pairing_of_orthogonal_subgroups_is_identity(self, group):
+        # The G_p / G_q orthogonality is what makes HVE blinding factors vanish.
+        gp, gq = group.random_gp(), group.random_gq()
+        assert group.pair(gp, gq).is_identity()
+
+    def test_pairing_generator_nondegenerate(self, group):
+        assert not group.pair(group.generator, group.generator).is_identity()
+
+    def test_pairing_counts_are_recorded(self):
+        counter = PairingCounter()
+        group = BilinearGroup(prime_bits=32, rng=random.Random(3), counter=counter)
+        a, b = group.random_g(), group.random_g()
+        group.pair(a, b)
+        group.pair(a, b)
+        assert counter.total == 2
+
+    def test_rejects_foreign_elements(self, group):
+        other = BilinearGroup(prime_bits=32, rng=random.Random(4))
+        with pytest.raises(ValueError):
+            group.pair(group.random_g(), other.random_g())
+
+    def test_pairing_work_factor_runs(self):
+        group = BilinearGroup(prime_bits=32, rng=random.Random(5), pairing_work_factor=2)
+        result = group.pair(group.random_g(), group.random_g())
+        assert isinstance(result, GTElement)
+
+
+class TestElementConstructors:
+    def test_element_from_exponent_round_trip(self, group):
+        element = group.element_from_exponent(12345)
+        assert element == group.generator ** 12345
+
+    def test_gt_element_from_exponent_round_trip(self, group):
+        element = group.gt_element_from_exponent(777)
+        assert element == group.gt_generator ** 777
+
+    def test_random_sampling_ranges(self, group):
+        assert 1 <= group.random_zn() < group.order
+        assert 1 <= group.random_zp() < group.p
+        assert 1 <= group.random_zq() < group.q

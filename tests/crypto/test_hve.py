@@ -1,0 +1,182 @@
+"""Tests for Hidden Vector Encryption: the Fig. 2 match / non-match semantics."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE, STAR
+
+
+@pytest.fixture(scope="module")
+def hve() -> HVE:
+    group = BilinearGroup(prime_bits=32, rng=random.Random(314))
+    return HVE(width=4, group=group, rng=random.Random(42))
+
+
+@pytest.fixture(scope="module")
+def keys(hve):
+    return hve.setup()
+
+
+class TestSetup:
+    def test_key_widths(self, hve, keys):
+        assert keys.width == 4
+        assert len(keys.public.u_blinded) == 4
+        assert len(keys.secret.u) == 4
+
+    def test_secret_components_live_in_gp(self, hve, keys):
+        group = hve.group
+        assert group.in_gp(keys.secret.g)
+        assert group.in_gp(keys.secret.v)
+        assert all(group.in_gp(element) for element in keys.secret.u)
+        assert all(group.in_gp(element) for element in keys.secret.h)
+        assert all(group.in_gp(element) for element in keys.secret.w)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            HVE(width=0, prime_bits=32)
+
+
+class TestEncryptionValidation:
+    def test_rejects_wrong_length_index(self, hve, keys):
+        with pytest.raises(ValueError):
+            hve.encrypt(keys.public, "101")
+
+    def test_rejects_non_binary_index(self, hve, keys):
+        with pytest.raises(ValueError):
+            hve.encrypt(keys.public, "10*1")
+
+    def test_ciphertext_shape_is_uniform(self, hve, keys):
+        # Ciphertext component counts must not depend on the index content
+        # (size indistinguishability, Section 5).
+        ct_a = hve.encrypt(keys.public, "0000")
+        ct_b = hve.encrypt(keys.public, "1111")
+        assert len(ct_a.c1) == len(ct_b.c1) == 4
+        assert len(ct_a.c2) == len(ct_b.c2) == 4
+
+    def test_rejects_foreign_message(self, hve, keys):
+        other_group = BilinearGroup(prime_bits=32, rng=random.Random(999))
+        with pytest.raises(ValueError):
+            hve.encrypt(keys.public, "1010", message=other_group.random_gt())
+
+
+class TestTokenGeneration:
+    def test_rejects_invalid_pattern_symbols(self, hve, keys):
+        with pytest.raises(ValueError):
+            hve.generate_token(keys.secret, "10x*")
+
+    def test_rejects_wrong_length_pattern(self, hve, keys):
+        with pytest.raises(ValueError):
+            hve.generate_token(keys.secret, "10")
+
+    def test_token_key_material_only_on_non_star_positions(self, hve, keys):
+        token = hve.generate_token(keys.secret, "1**0")
+        assert set(token.k1) == {0, 3}
+        assert set(token.k2) == {0, 3}
+        assert token.non_star_positions == (0, 3)
+        assert token.non_star_count == 2
+        assert token.pairing_cost == 5
+
+    def test_generate_tokens_batch(self, hve, keys):
+        tokens = hve.generate_tokens(keys.secret, ["1***", "00**"])
+        assert [t.pattern for t in tokens] == ["1***", "00**"]
+
+
+class TestMatchingSemantics:
+    def test_match_when_pattern_agrees(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "1010")
+        token = hve.generate_token(keys.secret, "1*1*")
+        assert hve.matches(ciphertext, token)
+
+    def test_non_match_on_single_bit_difference(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "1010")
+        token = hve.generate_token(keys.secret, "0*1*")
+        assert not hve.matches(ciphertext, token)
+
+    def test_all_star_token_matches_everything(self, hve, keys):
+        token = hve.generate_token(keys.secret, "****")
+        for index in ("0000", "1111", "0101"):
+            assert hve.matches(hve.encrypt(keys.public, index), token)
+
+    def test_exact_token_matches_only_its_index(self, hve, keys):
+        token = hve.generate_token(keys.secret, "0110")
+        assert hve.matches(hve.encrypt(keys.public, "0110"), token)
+        assert not hve.matches(hve.encrypt(keys.public, "0111"), token)
+        assert not hve.matches(hve.encrypt(keys.public, "1110"), token)
+
+    def test_exhaustive_width_3_truth_table(self):
+        # Check HVE agrees with plaintext pattern matching on every
+        # (index, pattern) combination of width 3.
+        group = BilinearGroup(prime_bits=32, rng=random.Random(77))
+        hve3 = HVE(width=3, group=group, rng=random.Random(78))
+        keys3 = hve3.setup()
+        indexes = ["".join(bits) for bits in itertools.product("01", repeat=3)]
+        patterns = ["".join(symbols) for symbols in itertools.product("01*", repeat=3)]
+        ciphertexts = {index: hve3.encrypt(keys3.public, index) for index in indexes}
+        for pattern in patterns:
+            token = hve3.generate_token(keys3.secret, pattern)
+            for index in indexes:
+                expected = all(p == STAR or p == i for p, i in zip(pattern, index))
+                assert hve3.matches(ciphertexts[index], token) == expected
+
+    def test_query_recovers_custom_message_on_match(self, hve, keys):
+        message = hve.group.random_message()
+        ciphertext = hve.encrypt(keys.public, "0011", message=message)
+        token = hve.generate_token(keys.secret, "0***")
+        assert hve.query(ciphertext, token) == message
+
+    def test_query_returns_garbage_on_non_match(self, hve, keys):
+        message = hve.group.random_message()
+        ciphertext = hve.encrypt(keys.public, "0011", message=message)
+        token = hve.generate_token(keys.secret, "1***")
+        assert hve.query(ciphertext, token) != message
+
+    def test_matches_any_short_circuits(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "0101")
+        tokens = hve.generate_tokens(keys.secret, ["0***", "1***"])
+        before = hve.group.counter.total
+        assert hve.matches_any(ciphertext, tokens)
+        spent = hve.group.counter.total - before
+        # Only the first (matching) token should have been evaluated: 1 + 2*1.
+        assert spent == 3
+
+
+class TestPairingCostAccounting:
+    def test_query_cost_matches_formula(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "1010")
+        token = hve.generate_token(keys.secret, "10**")
+        counter = hve.group.counter
+        before = counter.total
+        hve.query(ciphertext, token)
+        assert counter.total - before == token.pairing_cost == 5
+
+    def test_all_star_token_costs_one_pairing(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "1010")
+        token = hve.generate_token(keys.secret, "****")
+        before = hve.group.counter.total
+        hve.query(ciphertext, token)
+        assert hve.group.counter.total - before == 1
+
+
+class TestRandomizedMatching:
+    @given(st.integers(min_value=0, max_value=2**6 - 1), st.integers(min_value=0, max_value=3**6 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_index_pattern_pairs(self, index_bits, pattern_code):
+        group = BilinearGroup(prime_bits=24, rng=random.Random(5))
+        engine = HVE(width=6, group=group, rng=random.Random(6))
+        keys = engine.setup()
+        index = format(index_bits, "06b")
+        symbols = "01*"
+        pattern = ""
+        code = pattern_code
+        for _ in range(6):
+            pattern += symbols[code % 3]
+            code //= 3
+        expected = all(p == "*" or p == i for p, i in zip(pattern, index))
+        ciphertext = engine.encrypt(keys.public, index)
+        token = engine.generate_token(keys.secret, pattern)
+        assert engine.matches(ciphertext, token) == expected

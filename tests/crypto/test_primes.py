@@ -1,0 +1,68 @@
+"""Tests for Miller-Rabin primality testing and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import generate_distinct_primes, generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 104729, 65537, 2_147_483_647]
+KNOWN_COMPOSITES = [1, 4, 6, 9, 100, 561, 341, 645, 2_147_483_649, 104729 * 65537]
+
+
+class TestIsProbablePrime:
+    def test_rejects_values_below_two(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(-7)
+
+    @pytest.mark.parametrize("value", KNOWN_PRIMES)
+    def test_accepts_known_primes(self, value):
+        assert is_probable_prime(value)
+
+    @pytest.mark.parametrize("value", KNOWN_COMPOSITES)
+    def test_rejects_known_composites(self, value):
+        assert not is_probable_prime(value)
+
+    def test_rejects_carmichael_numbers(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(carmichael)
+
+    def test_large_prime_accepted(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime((1 << 127) - 1)
+
+    def test_large_composite_rejected(self):
+        assert not is_probable_prime((1 << 127) - 3)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, value):
+        by_division = all(value % d for d in range(2, int(value**0.5) + 1)) and value >= 2
+        assert is_probable_prime(value) == by_division
+
+
+class TestGeneratePrime:
+    def test_respects_bit_length(self):
+        rng = random.Random(5)
+        for bits in (16, 24, 48, 64):
+            prime = generate_prime(bits, rng=rng)
+            assert prime.bit_length() == bits
+            assert is_probable_prime(prime)
+
+    def test_rejects_tiny_bit_lengths(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_deterministic_with_seeded_rng(self):
+        first = generate_prime(32, rng=random.Random(77))
+        second = generate_prime(32, rng=random.Random(77))
+        assert first == second
+
+    def test_distinct_primes_are_distinct(self):
+        primes = generate_distinct_primes(32, count=3, rng=random.Random(3))
+        assert len(set(primes)) == 3
+        assert all(is_probable_prime(p) for p in primes)

@@ -1,0 +1,124 @@
+"""Failure-injection tests: tampered or mismatched cryptographic material.
+
+The service provider is honest-but-curious in the paper's model, but a robust
+implementation must still behave sanely when components are corrupted in
+transit, replayed against the wrong key material, or mangled during
+serialization: a tampered ciphertext must not silently decrypt to the match
+message, and malformed payloads must be rejected loudly rather than
+misinterpreted.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE, HVECiphertext, HVEToken
+from repro.crypto.serialization import (
+    deserialize_ciphertext,
+    from_json,
+    serialize_ciphertext,
+    serialize_token,
+    to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def material():
+    group = BilinearGroup(prime_bits=32, rng=random.Random(401))
+    hve = HVE(width=4, group=group, rng=random.Random(402))
+    keys = hve.setup()
+    ciphertext = hve.encrypt(keys.public, "1010")
+    token = hve.generate_token(keys.secret, "1*1*")
+    return group, hve, keys, ciphertext, token
+
+
+class TestTamperedCiphertexts:
+    def test_corrupted_c_prime_breaks_the_match(self, material):
+        group, hve, keys, ciphertext, token = material
+        tampered = HVECiphertext(
+            width=ciphertext.width,
+            c_prime=ciphertext.c_prime * group.gt_generator,
+            c0=ciphertext.c0,
+            c1=ciphertext.c1,
+            c2=ciphertext.c2,
+        )
+        assert hve.matches(ciphertext, token)
+        assert not hve.matches(tampered, token)
+
+    def test_corrupted_attribute_component_breaks_the_match(self, material):
+        group, hve, keys, ciphertext, token = material
+        corrupted_c1 = list(ciphertext.c1)
+        corrupted_c1[0] = corrupted_c1[0] * group.gp_generator()
+        tampered = HVECiphertext(
+            width=ciphertext.width,
+            c_prime=ciphertext.c_prime,
+            c0=ciphertext.c0,
+            c1=tuple(corrupted_c1),
+            c2=ciphertext.c2,
+        )
+        assert not hve.matches(tampered, token)
+
+    def test_swapped_components_between_users_do_not_match(self, material):
+        group, hve, keys, ciphertext, token = material
+        other = hve.encrypt(keys.public, "0101")
+        frankenstein = HVECiphertext(
+            width=ciphertext.width,
+            c_prime=ciphertext.c_prime,
+            c0=other.c0,
+            c1=ciphertext.c1,
+            c2=ciphertext.c2,
+        )
+        assert not hve.matches(frankenstein, token)
+
+
+class TestMismatchedKeyMaterial:
+    def test_token_from_other_authority_never_matches(self, material):
+        group, hve, keys, ciphertext, token = material
+        other_group = BilinearGroup(prime_bits=32, rng=random.Random(403))
+        other_hve = HVE(width=4, group=other_group, rng=random.Random(404))
+        other_keys = other_hve.setup()
+        other_ciphertext = other_hve.encrypt(other_keys.public, "1010")
+        foreign_token = other_hve.generate_token(other_keys.secret, "1*1*")
+        # Same pattern, same index -- but issued under a different secret key
+        # (in a different group); mixing groups is rejected outright.
+        with pytest.raises(ValueError):
+            hve.matches(ciphertext, foreign_token)
+        # Within the other deployment the token of course still works.
+        assert other_hve.matches(other_ciphertext, foreign_token)
+
+    def test_token_from_fresh_keys_in_same_group_does_not_match(self, material):
+        group, hve, keys, ciphertext, _ = material
+        fresh_keys = hve.setup()
+        impostor_token = hve.generate_token(fresh_keys.secret, "1*1*")
+        assert not hve.matches(ciphertext, impostor_token)
+
+
+class TestMalformedSerializedPayloads:
+    def test_truncated_ciphertext_payload_is_rejected(self, material):
+        group, hve, keys, ciphertext, _ = material
+        payload = serialize_ciphertext(ciphertext)
+        del payload["c0"]
+        with pytest.raises(KeyError):
+            deserialize_ciphertext(group, payload)
+
+    def test_wrong_kind_is_rejected(self, material):
+        group, hve, keys, ciphertext, token = material
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(group, serialize_token(token))
+
+    def test_corrupted_json_is_rejected(self, material):
+        group, hve, keys, ciphertext, _ = material
+        text = to_json(serialize_ciphertext(ciphertext))
+        with pytest.raises(ValueError):
+            from_json(text[: len(text) // 2])
+
+    def test_bit_flipped_component_changes_match_outcome_not_crash(self, material):
+        group, hve, keys, ciphertext, token = material
+        payload = serialize_ciphertext(ciphertext)
+        # Flip the low bit of one attribute component.
+        original = int(payload["c1"][0], 16)
+        payload["c1"][0] = hex(original ^ 1)
+        tampered = deserialize_ciphertext(group, payload)
+        assert isinstance(hve.matches(tampered, token), bool)
+        assert not hve.matches(tampered, token)

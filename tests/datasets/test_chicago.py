@@ -1,0 +1,84 @@
+"""Tests for the synthetic Chicago-crime-like dataset generator."""
+
+import pytest
+
+from repro.datasets.chicago import (
+    CATEGORY_ANNUAL_VOLUME,
+    CHICAGO_BOUNDING_BOX,
+    CRIME_CATEGORIES,
+    ChicagoCrimeDataset,
+    CrimeIncident,
+    generate_chicago_crime_dataset,
+)
+from repro.grid.geometry import Point
+from repro.grid.grid import Grid
+
+
+@pytest.fixture(scope="module")
+def dataset() -> ChicagoCrimeDataset:
+    return generate_chicago_crime_dataset(seed=2015, volume_scale=0.25)
+
+
+class TestCrimeIncident:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrimeIncident(category="ARSON", month=1, location=Point(-87.7, 41.9))
+        with pytest.raises(ValueError):
+            CrimeIncident(category="HOMICIDE", month=0, location=Point(-87.7, 41.9))
+
+
+class TestGenerator:
+    def test_volumes_match_configuration(self, dataset):
+        counts = dataset.category_counts()
+        assert set(counts) == set(CRIME_CATEGORIES)
+        for category in CRIME_CATEGORIES:
+            assert counts[category] == round(CATEGORY_ANNUAL_VOLUME[category] * 0.25)
+
+    def test_all_incidents_inside_bounding_box(self, dataset):
+        for incident in dataset.incidents:
+            assert CHICAGO_BOUNDING_BOX.contains(incident.location)
+
+    def test_reproducible_with_seed(self):
+        a = generate_chicago_crime_dataset(seed=7, volume_scale=0.1)
+        b = generate_chicago_crime_dataset(seed=7, volume_scale=0.1)
+        assert [(i.category, i.month, i.location) for i in a.incidents] == [
+            (i.category, i.month, i.location) for i in b.incidents
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_chicago_crime_dataset(seed=1, volume_scale=0.1)
+        b = generate_chicago_crime_dataset(seed=2, volume_scale=0.1)
+        assert [i.location for i in a.incidents] != [i.location for i in b.incidents]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_chicago_crime_dataset(background_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_chicago_crime_dataset(volume_scale=0.0)
+
+    def test_incidents_are_spatially_clustered(self, dataset):
+        # Hot-spot mixture: the busiest grid cell should hold far more than a
+        # uniform share of incidents.
+        grid = Grid(rows=16, cols=16, bounding_box=CHICAGO_BOUNDING_BOX)
+        counts = dataset.cell_counts(grid)
+        assert max(counts) > 4 * (len(dataset) / grid.n_cells)
+
+
+class TestDatasetViews:
+    def test_monthly_counts_sum_to_totals(self, dataset):
+        monthly = dataset.monthly_counts()
+        totals = dataset.monthly_totals()
+        for month_index in range(12):
+            assert sum(monthly[c][month_index] for c in CRIME_CATEGORIES) == totals[month_index]
+        assert sum(totals) == len(dataset)
+
+    def test_cell_month_matrix_shape_and_mass(self, dataset):
+        grid = Grid(rows=8, cols=8, bounding_box=CHICAGO_BOUNDING_BOX)
+        matrix = dataset.cell_month_matrix(grid)
+        assert matrix.shape == (64, 12)
+        assert int(matrix.sum()) == len(dataset)
+
+    def test_cell_counts_match_matrix(self, dataset):
+        grid = Grid(rows=8, cols=8, bounding_box=CHICAGO_BOUNDING_BOX)
+        matrix = dataset.cell_month_matrix(grid)
+        assert dataset.cell_counts(grid) == [int(v) for v in matrix.sum(axis=1)]

@@ -1,0 +1,38 @@
+"""Tests for the bundled synthetic scenarios."""
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_scenario
+
+
+class TestMakeSyntheticScenario:
+    def test_default_configuration(self):
+        scenario = make_synthetic_scenario(rows=16, cols=16, seed=3)
+        assert scenario.n_cells == 256
+        assert len(scenario.probabilities) == 256
+        assert scenario.grid.cell_width == pytest.approx(200.0)
+        assert "16x16" in scenario.describe()
+
+    def test_reproducibility(self):
+        a = make_synthetic_scenario(rows=8, cols=8, seed=11)
+        b = make_synthetic_scenario(rows=8, cols=8, seed=11)
+        assert a.probabilities == b.probabilities
+        # Workload generators draw identical zones for identical seeds.
+        za = a.workloads.radius_workload(150.0, 5)
+        zb = b.workloads.radius_workload(150.0, 5)
+        assert [z.cell_ids for z in za] == [z.cell_ids for z in zb]
+
+    def test_sigmoid_parameters_are_respected(self):
+        skewed = make_synthetic_scenario(rows=16, cols=16, sigmoid_a=0.99, sigmoid_b=200, seed=5)
+        soft = make_synthetic_scenario(rows=16, cols=16, sigmoid_a=0.9, sigmoid_b=10, seed=5)
+        hot_skewed = sum(1 for p in skewed.probabilities if p > 0.5)
+        hot_soft = sum(1 for p in soft.probabilities if p > 0.5)
+        assert hot_skewed < hot_soft
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            make_synthetic_scenario(extent_meters=0.0)
+
+    def test_custom_name(self):
+        scenario = make_synthetic_scenario(rows=4, cols=4, name="demo")
+        assert scenario.name == "demo"

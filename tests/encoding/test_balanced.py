@@ -1,0 +1,65 @@
+"""Tests for the balanced-tree baseline."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.balanced import BalancedTreeEncodingScheme, build_balanced_tree
+
+PAPER_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+class TestBuildBalancedTree:
+    def test_power_of_two_input_is_perfectly_balanced(self):
+        tree = build_balanced_tree([0.1, 0.2, 0.3, 0.4])
+        lengths = [len(code) for code in tree.leaf_codes().values()]
+        assert lengths == [2, 2, 2, 2]
+
+    def test_depths_differ_by_at_most_log_factor(self):
+        tree = build_balanced_tree(PAPER_PROBABILITIES)
+        lengths = sorted(len(code) for code in tree.leaf_codes().values())
+        # A balanced tree over 5 leaves has depths 3,3,3,3,1 or similar small spread.
+        assert lengths[-1] <= math.ceil(math.log2(5)) + 1
+
+    def test_single_cell(self):
+        tree = build_balanced_tree([0.7])
+        assert tree.leaf_codes() == {0: "0"}
+
+    def test_prefix_and_kraft_properties(self):
+        tree = build_balanced_tree(PAPER_PROBABILITIES)
+        tree.check_prefix_property()
+        assert tree.satisfies_kraft_inequality()
+
+    def test_rejects_invalid_input(self):
+        with pytest.raises(ValueError):
+            build_balanced_tree([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_always_covers_every_cell_exactly_once(self, probabilities):
+        tree = build_balanced_tree(probabilities)
+        codes = tree.leaf_codes()
+        assert set(codes) == set(range(len(probabilities)))
+        tree.check_prefix_property()
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_depth_is_logarithmic(self, probabilities):
+        tree = build_balanced_tree(probabilities)
+        assert tree.reference_length <= math.ceil(math.log2(len(probabilities))) + 1
+
+
+class TestBalancedScheme:
+    def test_name_and_interface(self):
+        encoding = BalancedTreeEncodingScheme().build(PAPER_PROBABILITIES)
+        assert encoding.name == "balanced"
+        assert encoding.n_cells == 5
+        patterns = encoding.token_patterns([0, 1])
+        encoding.audit_tokens([0, 1], patterns)
+
+    def test_reference_length_close_to_fixed_length(self):
+        probabilities = [0.01] * 60 + [0.9] * 4
+        encoding = BalancedTreeEncodingScheme().build(probabilities)
+        assert encoding.reference_length <= math.ceil(math.log2(64)) + 1

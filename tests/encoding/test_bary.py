@@ -1,0 +1,124 @@
+"""Tests for the B-ary Huffman extension (Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import bary_depth_upper_bound
+from repro.encoding.bary import BaryHuffmanEncodingScheme, build_bary_huffman_tree
+
+PAPER_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+class TestBuildBaryHuffmanTree:
+    def test_ternary_paper_example_depth(self):
+        # Fig. 6a: the 3-ary tree over the running example has depth 2
+        # (prefix codes: v2, v1, v4 at depth 2; v3, v5 at depth 1).
+        tree = build_bary_huffman_tree(PAPER_PROBABILITIES, alphabet_size=3)
+        assert tree.reference_length == 2
+        lengths = {cell: len(code) for cell, code in tree.leaf_codes().items()}
+        assert lengths[2] == 1 and lengths[4] == 1  # v3 and v5 (likelier cells)
+        assert lengths[0] == 2 and lengths[1] == 2  # v1 and v2 (rarer cells)
+
+    def test_binary_arity_matches_algorithm_2_shape(self):
+        binary = build_bary_huffman_tree(PAPER_PROBABILITIES, alphabet_size=2)
+        assert binary.reference_length == 3
+
+    def test_larger_alphabets_give_shallower_trees(self):
+        probabilities = [1.0 / 64] * 64
+        depth_by_arity = {
+            arity: build_bary_huffman_tree(probabilities, arity).reference_length for arity in (2, 4, 8)
+        }
+        assert depth_by_arity[8] <= depth_by_arity[4] <= depth_by_arity[2]
+
+    def test_depth_respects_theorem_3_bound(self):
+        for arity in (2, 3, 5):
+            tree = build_bary_huffman_tree(PAPER_PROBABILITIES, arity)
+            assert tree.reference_length <= bary_depth_upper_bound(len(PAPER_PROBABILITIES), arity)
+
+    def test_single_cell(self):
+        tree = build_bary_huffman_tree([0.4], alphabet_size=3)
+        assert tree.leaf_codes() == {0: "0"}
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ValueError):
+            build_bary_huffman_tree(PAPER_PROBABILITIES, alphabet_size=1)
+
+    def test_no_dummy_leaves_survive(self):
+        # Arity padding inserts zero-weight dummies; none may remain as leaves.
+        tree = build_bary_huffman_tree([0.5, 0.3, 0.2, 0.1], alphabet_size=3)
+        assert all(leaf.cell_id is not None for leaf in tree.leaves())
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=40),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_structure_invariants(self, probabilities, arity):
+        tree = build_bary_huffman_tree(probabilities, arity)
+        codes = tree.leaf_codes()
+        assert set(codes) == set(range(len(probabilities)))
+        assert len(set(codes.values())) == len(probabilities)
+        tree.check_prefix_property()
+        assert tree.reference_length <= bary_depth_upper_bound(len(probabilities), arity)
+
+
+class TestBaryScheme:
+    def test_indexes_are_expanded_to_bits(self):
+        scheme = BaryHuffmanEncodingScheme(alphabet_size=3)
+        encoding = scheme.build(PAPER_PROBABILITIES)
+        assert encoding.name == "huffman-3ary"
+        # RL(symbols)=2, expanded width = 2 * 3 = 6 bits.
+        assert encoding.reference_length == 6
+        for cell_id in range(5):
+            index = encoding.index_of(cell_id)
+            assert len(index) == 6
+            assert set(index) <= {"0", "1"}
+
+    def test_expansion_of_single_symbol_codes(self):
+        # Section 4: a one-symbol prefix code is zero-padded to RL and then
+        # expanded (one-hot for the real symbol, all-zero for the padding);
+        # e.g. code '1' at RL 2 becomes the 6-bit index 010000.
+        scheme = BaryHuffmanEncodingScheme(alphabet_size=3)
+        encoding = scheme.build(PAPER_PROBABILITIES)
+        prefix_codes = encoding.artifacts.prefix_code_by_cell
+        # The two likeliest cells (v3, v5) get one-symbol ternary codes.
+        assert sorted(len(prefix_codes[c]) for c in (2, 4)) == [1, 1]
+        for cell_id in (2, 4):
+            code = prefix_codes[cell_id]
+            expected = {"0": "100000", "1": "010000", "2": "001000"}[code]
+            assert encoding.index_of(cell_id) == expected
+
+    def test_tokens_cover_exactly_alerted_cells_after_expansion(self):
+        scheme = BaryHuffmanEncodingScheme(alphabet_size=3)
+        encoding = scheme.build(PAPER_PROBABILITIES)
+        for alert_cells in ([0], [1, 2], [0, 1, 2, 3, 4], [2, 4]):
+            patterns = encoding.token_patterns(alert_cells)
+            encoding.audit_tokens(alert_cells, patterns)
+            assert all(len(p) == 6 for p in patterns)
+
+    def test_token_cost_is_lower_than_binary_for_popular_cells(self):
+        binary = BaryHuffmanEncodingScheme(alphabet_size=2).build(PAPER_PROBABILITIES)
+        ternary = BaryHuffmanEncodingScheme(alphabet_size=3).build(PAPER_PROBABILITIES)
+        # v5 (cell 4) is the most popular cell; its one-symbol ternary token
+        # expands to a single non-star bit versus two bits in binary.
+        assert ternary.pairing_cost([4]) <= binary.pairing_cost([4])
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            BaryHuffmanEncodingScheme(alphabet_size=1)
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=24),
+        st.integers(min_value=3, max_value=5),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_expanded_cover_property(self, probabilities, arity, data):
+        encoding = BaryHuffmanEncodingScheme(alphabet_size=arity).build(probabilities)
+        n = len(probabilities)
+        alert_cells = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=min(n, 8), unique=True)
+        )
+        patterns = encoding.token_patterns(alert_cells)
+        encoding.audit_tokens(alert_cells, patterns)

@@ -1,0 +1,106 @@
+"""Tests for canonical Huffman codes and codebook publication sizing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.canonical import (
+    CanonicalHuffmanEncodingScheme,
+    canonical_codes_from_lengths,
+    canonicalize_tree,
+    codebook_publication_bits,
+)
+from repro.encoding.huffman import HuffmanEncodingScheme, build_huffman_tree
+
+PAPER_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+class TestCanonicalCodesFromLengths:
+    def test_textbook_example(self):
+        # Lengths (2, 2, 2, 2) -> the four 2-bit codewords in order.
+        codes = canonical_codes_from_lengths({0: 2, 1: 2, 2: 2, 3: 2})
+        assert codes == {0: "00", 1: "01", 2: "10", 3: "11"}
+
+    def test_mixed_lengths(self):
+        codes = canonical_codes_from_lengths({0: 1, 1: 2, 2: 3, 3: 3})
+        assert codes == {0: "0", 1: "10", 2: "110", 3: "111"}
+
+    def test_result_is_prefix_free(self):
+        codes = canonical_codes_from_lengths({0: 2, 1: 2, 2: 3, 3: 3, 4: 2})
+        values = sorted(codes.values())
+        for first, second in zip(values, values[1:]):
+            assert not second.startswith(first)
+
+    def test_rejects_kraft_violations(self):
+        with pytest.raises(ValueError):
+            canonical_codes_from_lengths({0: 1, 1: 1, 2: 1})
+        with pytest.raises(ValueError):
+            canonical_codes_from_lengths({})
+        with pytest.raises(ValueError):
+            canonical_codes_from_lengths({0: 0})
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_huffman_lengths_always_canonicalize(self, probabilities):
+        tree = build_huffman_tree(probabilities)
+        lengths = {cell: len(code) for cell, code in tree.leaf_codes().items()}
+        codes = canonical_codes_from_lengths(lengths)
+        assert {cell: len(code) for cell, code in codes.items()} == lengths
+        ordered = sorted(codes.values())
+        for first, second in zip(ordered, ordered[1:]):
+            assert not second.startswith(first)
+
+
+class TestCanonicalizeTree:
+    def test_lengths_preserved(self):
+        tree = build_huffman_tree(PAPER_PROBABILITIES)
+        canonical = canonicalize_tree(tree)
+        original_lengths = {c: len(code) for c, code in tree.leaf_codes().items()}
+        canonical_lengths = {c: len(code) for c, code in canonical.leaf_codes().items()}
+        assert canonical_lengths == original_lengths
+        assert canonical.reference_length == tree.reference_length
+
+    def test_weights_preserved(self):
+        tree = build_huffman_tree(PAPER_PROBABILITIES)
+        canonical = canonicalize_tree(tree)
+        weights = {leaf.cell_id: leaf.weight for leaf in canonical.leaves()}
+        assert weights == {i: p for i, p in enumerate(PAPER_PROBABILITIES)}
+
+    def test_canonical_assignment_is_deterministic(self):
+        a = canonicalize_tree(build_huffman_tree(PAPER_PROBABILITIES)).leaf_codes()
+        b = canonicalize_tree(build_huffman_tree(PAPER_PROBABILITIES)).leaf_codes()
+        assert a == b
+
+
+class TestCanonicalScheme:
+    def test_same_pairing_cost_profile_as_huffman_for_single_cells(self):
+        canonical = CanonicalHuffmanEncodingScheme().build(PAPER_PROBABILITIES)
+        huffman = HuffmanEncodingScheme().build(PAPER_PROBABILITIES)
+        # Code lengths are identical, so single-cell token costs agree.
+        for cell in range(5):
+            assert canonical.pairing_cost([cell]) == huffman.pairing_cost([cell])
+
+    def test_token_cover_exactness(self):
+        encoding = CanonicalHuffmanEncodingScheme().build(PAPER_PROBABILITIES)
+        for alert_cells in ([0], [1, 3], [0, 1, 2, 3, 4]):
+            patterns = encoding.token_patterns(alert_cells)
+            encoding.audit_tokens(alert_cells, patterns)
+
+    def test_scheme_name(self):
+        assert CanonicalHuffmanEncodingScheme().build(PAPER_PROBABILITIES).name == "huffman-canonical"
+
+
+class TestCodebookPublicationBits:
+    def test_canonical_publication_is_smaller(self):
+        tree = build_huffman_tree([0.01] * 200 + [0.9] * 4)
+        lengths = [len(code) for code in tree.leaf_codes().values()]
+        sizes = codebook_publication_bits(lengths)
+        assert sizes["canonical_bits"] < sizes["explicit_bits"]
+
+    def test_explicit_override(self):
+        sizes = codebook_publication_bits([2, 2, 3], explicit_codeword_bits=10)
+        assert sizes["explicit_bits"] == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            codebook_publication_bits([])

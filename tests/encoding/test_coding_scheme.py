@@ -1,0 +1,147 @@
+"""Tests for Algorithm 1 (indexes + coding tree) and the variable-length encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.base import pattern_matches_index
+from repro.encoding.coding_scheme import build_coding_artifacts
+from repro.encoding.huffman import HuffmanEncodingScheme, build_huffman_tree
+
+PAPER_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+@pytest.fixture(scope="module")
+def paper_artifacts():
+    return build_coding_artifacts(build_huffman_tree(PAPER_PROBABILITIES))
+
+
+@pytest.fixture(scope="module")
+def paper_encoding():
+    return HuffmanEncodingScheme().build(PAPER_PROBABILITIES)
+
+
+class TestBuildCodingArtifacts:
+    def test_reference_length(self, paper_artifacts):
+        assert paper_artifacts.reference_length == 3
+        assert paper_artifacts.alphabet_size == 2
+        assert paper_artifacts.n_cells == 5
+
+    def test_indexes_are_zero_padded_prefix_codes(self, paper_artifacts):
+        # Section 3.2 step III.
+        assert paper_artifacts.index_by_cell == {0: "001", 1: "000", 2: "100", 3: "010", 4: "110"}
+
+    def test_leaf_codewords_are_star_padded(self, paper_artifacts):
+        # Section 3.2 step IV / Fig. 4d.
+        assert paper_artifacts.leaf_codeword_by_cell == {0: "001", 1: "000", 2: "10*", 3: "01*", 4: "11*"}
+
+    def test_leaf_order_matches_tree_traversal(self, paper_artifacts):
+        # Algorithm 3's leaves list: [v2:000, v1:001, v4:01*, v3:10*, v5:11*].
+        order = sorted(paper_artifacts.leaf_order, key=paper_artifacts.leaf_order.get)
+        assert order == ["000", "001", "01*", "10*", "11*"]
+
+    def test_parent_dict_counts(self, paper_artifacts):
+        # Section 3.3: [00*: 2, 0**: 3, 1**: 2, ***: 5] plus the leaves themselves.
+        counts = paper_artifacts.subtree_leaf_counts
+        assert counts["00*"] == 2
+        assert counts["0**"] == 3
+        assert counts["1**"] == 2
+        assert counts["***"] == 5
+        assert counts["001"] == 1
+
+    def test_cell_of_codeword_bijection(self, paper_artifacts):
+        # Theorem 2: the mapping between indexes and leaf codewords is bijective.
+        for cell_id, codeword in paper_artifacts.leaf_codeword_by_cell.items():
+            assert paper_artifacts.cell_of_codeword(codeword) == cell_id
+        with pytest.raises(KeyError):
+            paper_artifacts.cell_of_codeword("0**")
+
+
+class TestVariableLengthEncoding:
+    def test_every_index_has_reference_length(self, paper_encoding):
+        for cell_id in range(paper_encoding.n_cells):
+            assert len(paper_encoding.index_of(cell_id)) == paper_encoding.reference_length
+
+    def test_indexes_are_unique(self, paper_encoding):
+        indexes = [paper_encoding.index_of(c) for c in range(paper_encoding.n_cells)]
+        assert len(set(indexes)) == paper_encoding.n_cells
+
+    def test_cell_of_index_round_trip(self, paper_encoding):
+        for cell_id in range(paper_encoding.n_cells):
+            assert paper_encoding.cell_of_index(paper_encoding.index_of(cell_id)) == cell_id
+        with pytest.raises(KeyError):
+            paper_encoding.cell_of_index("111")
+
+    def test_unknown_cell_rejected(self, paper_encoding):
+        with pytest.raises(KeyError):
+            paper_encoding.index_of(99)
+        with pytest.raises(KeyError):
+            paper_encoding.token_patterns([99])
+
+    def test_paper_minimization_example(self, paper_encoding):
+        # Alert cells with indexes 001, 100, 110 (v1, v3, v5) minimize to
+        # tokens 001 and 1** (Section 3.3).
+        alert_cells = [0, 2, 4]
+        patterns = paper_encoding.token_patterns(alert_cells)
+        assert sorted(patterns) == ["001", "1**"]
+
+    def test_leaf_codeword_matches_only_its_own_cell(self, paper_encoding):
+        # A token for one cell's codeword must never match another cell's index.
+        artifacts = paper_encoding.artifacts
+        for cell_id, codeword in artifacts.leaf_codeword_by_cell.items():
+            matched = paper_encoding.cells_matching_pattern(codeword)
+            assert matched == [cell_id]
+
+    def test_internal_node_token_matches_exactly_its_subtree(self, paper_encoding):
+        # Token 0** covers cells with indexes 000, 001, 010 (v2, v1, v4).
+        assert set(paper_encoding.cells_matching_pattern("0**")) == {0, 1, 3}
+
+    def test_code_length_statistics(self, paper_encoding):
+        assert paper_encoding.max_code_length() == 3
+        assert 0.0 < paper_encoding.average_to_max_length_ratio() <= 1.0
+
+    def test_pairing_cost_uses_minimized_tokens(self, paper_encoding):
+        # Tokens 001 and 1** -> (1 + 2*3) + (1 + 2*1) = 10 pairings.
+        assert paper_encoding.pairing_cost([0, 2, 4]) == 10
+        assert paper_encoding.pairing_cost([0, 2, 4], num_ciphertexts=3) == 30
+
+
+class TestTokenCoverProperty:
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tokens_cover_exactly_the_alerted_cells(self, probabilities, data):
+        # The critical correctness property of the whole scheme: for any
+        # probability vector and any alert set, the minimized tokens match the
+        # alerted cells and nothing else (no missed alerts, no false alerts).
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        n = len(probabilities)
+        alert_cells = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n, unique=True)
+        )
+        patterns = encoding.token_patterns(alert_cells)
+        encoding.audit_tokens(alert_cells, patterns)
+        # Every pattern has the reference length.
+        assert all(len(p) == encoding.reference_length for p in patterns)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_all_cells_alerted_collapses_to_single_root_token(self, probabilities):
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        patterns = encoding.token_patterns(list(range(len(probabilities))))
+        assert patterns == ["*" * encoding.reference_length]
+
+
+class TestPatternMatchesIndex:
+    def test_basic_semantics(self):
+        assert pattern_matches_index("0*1", "001")
+        assert pattern_matches_index("0*1", "011")  # the star position is free
+        assert not pattern_matches_index("0*1", "010")  # last position differs
+        assert pattern_matches_index("***", "101")
+        assert not pattern_matches_index("1**", "011")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_matches_index("0*", "011")

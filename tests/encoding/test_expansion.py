@@ -1,0 +1,84 @@
+"""Tests for the non-binary symbol expansion (Section 4, Fig. 5)."""
+
+import pytest
+
+from repro.encoding.expansion import expand_codeword, expand_index, expand_symbol, refine_cell_indexes
+
+
+class TestExpandSymbol:
+    def test_one_hot_with_stars(self):
+        assert expand_symbol("0", 3) == "1**"
+        assert expand_symbol("1", 3) == "*1*"
+        assert expand_symbol("2", 3) == "**1"
+
+    def test_star_symbol(self):
+        assert expand_symbol("*", 3) == "***"
+        assert expand_symbol("*", 5) == "*****"
+
+    def test_binary_alphabet(self):
+        assert expand_symbol("0", 2) == "1*"
+        assert expand_symbol("1", 2) == "*1"
+
+    def test_out_of_alphabet_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            expand_symbol("3", 3)
+        with pytest.raises(ValueError):
+            expand_symbol("0", 1)
+
+
+class TestExpandCodeword:
+    def test_paper_figure_5a(self):
+        # Fig. 5a: codeword '2*' expands to '**1***'.
+        assert expand_codeword("2*", 3) == "**1***"
+
+    def test_length_is_multiplied_by_arity(self):
+        assert len(expand_codeword("012", 3)) == 9
+
+    def test_non_star_count_is_one_per_real_symbol(self):
+        expanded = expand_codeword("01*2", 3)
+        assert sum(1 for c in expanded if c != "*") == 3
+
+
+class TestExpandIndex:
+    def test_paper_figure_5b(self):
+        # Fig. 5b: prefix code '2' padded to RL 2 expands to index '001000'.
+        assert expand_index("2", reference_length=2, alphabet_size=3) == "001000"
+
+    def test_full_length_code(self):
+        assert expand_index("02", reference_length=2, alphabet_size=3) == "100001"
+
+    def test_padding_symbols_become_zero_groups(self):
+        assert expand_index("1", reference_length=3, alphabet_size=3) == "010" + "000" + "000"
+
+    def test_code_longer_than_reference_rejected(self):
+        with pytest.raises(ValueError):
+            expand_index("012", reference_length=2, alphabet_size=3)
+
+    def test_result_is_pure_binary(self):
+        index = expand_index("10", reference_length=4, alphabet_size=4)
+        assert set(index) <= {"0", "1"}
+        assert len(index) == 16
+
+
+class TestRefinement:
+    def test_paper_refinement_example(self):
+        # End of Section 4: cell '2' can later be split into four sub-cells.
+        refined = refine_cell_indexes("2", reference_length=2, alphabet_size=3)
+        assert refined == ["001000", "011000", "101000", "111000"]
+
+    def test_first_refined_index_is_the_original(self):
+        refined = refine_cell_indexes("1", reference_length=2, alphabet_size=3)
+        assert refined[0] == expand_index("1", 2, 3)
+
+    def test_refined_indexes_still_match_the_cells_codeword(self):
+        # All refined indexes must satisfy the cell's original codeword pattern,
+        # so existing tokens keep working after the split.
+        codeword = expand_codeword("2*", 3)
+        for index in refine_cell_indexes("2", reference_length=2, alphabet_size=3):
+            assert all(p == "*" or p == i for p, i in zip(codeword, index))
+
+    def test_refinement_count_is_power_of_two(self):
+        refined = refine_cell_indexes("21", reference_length=2, alphabet_size=3)
+        # Two real symbols -> 2 free positions each -> 2^4 refined indexes.
+        assert len(refined) == 16
+        assert len(set(refined)) == 16

@@ -1,0 +1,98 @@
+"""Tests for the fixed-length baseline of [14]."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.fixed_length import FixedLengthEncoding, FixedLengthEncodingScheme
+
+
+class TestFixedLengthEncoding:
+    def test_reference_length_is_ceil_log2(self):
+        assert FixedLengthEncoding(5).reference_length == 3
+        assert FixedLengthEncoding(8).reference_length == 3
+        assert FixedLengthEncoding(9).reference_length == 4
+        assert FixedLengthEncoding(1).reference_length == 1
+
+    def test_row_major_indexes(self):
+        encoding = FixedLengthEncoding(5)
+        assert encoding.index_of(0) == "000"
+        assert encoding.index_of(4) == "100"
+        assert encoding.code_of(3) == 3
+
+    def test_all_indexes_distinct_and_fixed_width(self):
+        encoding = FixedLengthEncoding(10)
+        indexes = [encoding.index_of(c) for c in range(10)]
+        assert len(set(indexes)) == 10
+        assert all(len(i) == 4 for i in indexes)
+
+    def test_unknown_cell_rejected(self):
+        encoding = FixedLengthEncoding(4)
+        with pytest.raises(KeyError):
+            encoding.index_of(4)
+        with pytest.raises(KeyError):
+            encoding.token_patterns([7])
+
+    def test_custom_code_assignment_validation(self):
+        with pytest.raises(ValueError):
+            FixedLengthEncoding(3, code_by_cell=[0, 1])  # wrong length
+        with pytest.raises(ValueError):
+            FixedLengthEncoding(3, code_by_cell=[0, 1, 1])  # duplicate code
+        with pytest.raises(ValueError):
+            FixedLengthEncoding(3, code_by_cell=[0, 1, 9])  # does not fit in 2 bits
+
+    def test_single_cell_token(self):
+        encoding = FixedLengthEncoding(8)
+        assert encoding.token_patterns([5]) == ["101"]
+
+    def test_adjacent_codes_aggregate(self):
+        encoding = FixedLengthEncoding(8)
+        patterns = encoding.token_patterns([4, 5])  # 100 and 101 -> 10*
+        assert patterns == ["10*"]
+
+    def test_power_of_two_block_collapses_to_one_token(self):
+        encoding = FixedLengthEncoding(16)
+        patterns = encoding.token_patterns(list(range(8)))  # 0xxx
+        assert patterns == ["0***"]
+
+    def test_unused_codes_act_as_dont_cares(self):
+        # With 5 cells (3-bit codes), codes 101..111 are unassigned; alerting
+        # cell 4 (100) may therefore be covered by a coarser implicant.
+        encoding = FixedLengthEncoding(5)
+        patterns = encoding.token_patterns([4])
+        covered = encoding.covered_cells(patterns)
+        assert covered == {4}
+
+    def test_whole_domain_collapses_to_all_star(self):
+        encoding = FixedLengthEncoding(16)
+        assert encoding.token_patterns(list(range(16))) == ["****"]
+
+    def test_empty_alert_set_gives_no_tokens(self):
+        assert FixedLengthEncoding(8).token_patterns([]) == []
+
+    @given(st.integers(min_value=2, max_value=40), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_token_cover_exactness(self, n_cells, data):
+        encoding = FixedLengthEncoding(n_cells)
+        alert_cells = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n_cells - 1), min_size=1, max_size=n_cells, unique=True)
+        )
+        patterns = encoding.token_patterns(alert_cells)
+        encoding.audit_tokens(alert_cells, patterns)
+
+    def test_pairing_cost_never_exceeds_unminimized_cost(self):
+        encoding = FixedLengthEncoding(32)
+        alert_cells = [0, 1, 2, 3, 17, 21]
+        naive = len(alert_cells) * (1 + 2 * encoding.reference_length)
+        assert encoding.pairing_cost(alert_cells) <= naive
+
+
+class TestFixedLengthScheme:
+    def test_build_ignores_probability_values(self):
+        scheme = FixedLengthEncodingScheme()
+        uniform = scheme.build([0.5] * 6)
+        skewed = scheme.build([0.9, 0.01, 0.01, 0.01, 0.01, 0.01])
+        assert uniform.indexes() == skewed.indexes()
+        assert scheme.name == "fixed"

@@ -1,0 +1,100 @@
+"""Tests for the binary Huffman construction (Algorithm 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.huffman import HuffmanEncodingScheme, build_huffman_tree
+from repro.probability.distributions import entropy_bits, normalize
+
+PAPER_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]  # v1..v5 of Fig. 4
+
+
+class TestBuildHuffmanTree:
+    def test_paper_running_example_codes(self):
+        # Fig. 4b: v1 -> 001, v2 -> 000, v3 -> 10, v4 -> 01, v5 -> 11.
+        tree = build_huffman_tree(PAPER_PROBABILITIES)
+        assert tree.leaf_codes() == {0: "001", 1: "000", 2: "10", 3: "01", 4: "11"}
+        assert tree.reference_length == 3
+
+    def test_root_weight_is_total_mass(self):
+        tree = build_huffman_tree(PAPER_PROBABILITIES)
+        assert tree.root.weight == pytest.approx(sum(PAPER_PROBABILITIES))
+
+    def test_single_cell_gets_one_symbol_code(self):
+        tree = build_huffman_tree([1.0])
+        assert tree.leaf_codes() == {0: "0"}
+        assert tree.reference_length == 1
+
+    def test_two_cells(self):
+        tree = build_huffman_tree([0.3, 0.7])
+        assert sorted(tree.leaf_codes().values()) == ["0", "1"]
+
+    def test_uniform_distribution_gives_balanced_depths(self):
+        tree = build_huffman_tree([1.0] * 8)
+        lengths = [len(code) for code in tree.leaf_codes().values()]
+        assert lengths == [3] * 8
+
+    def test_high_probability_cells_get_shorter_codes(self):
+        probabilities = [0.01] * 15 + [0.85]
+        tree = build_huffman_tree(probabilities)
+        codes = tree.leaf_codes()
+        hot_length = len(codes[15])
+        cold_lengths = [len(codes[i]) for i in range(15)]
+        assert hot_length < min(cold_lengths)
+
+    def test_rejects_invalid_probability_vectors(self):
+        with pytest.raises(ValueError):
+            build_huffman_tree([])
+        with pytest.raises(ValueError):
+            build_huffman_tree([0.5, -0.1])
+
+    def test_deterministic_for_equal_weights(self):
+        a = build_huffman_tree([0.25, 0.25, 0.25, 0.25]).leaf_codes()
+        b = build_huffman_tree([0.25, 0.25, 0.25, 0.25]).leaf_codes()
+        assert a == b
+
+    def test_optimality_average_length_within_one_bit_of_entropy(self):
+        probabilities = [0.4, 0.2, 0.15, 0.1, 0.08, 0.05, 0.02]
+        tree = build_huffman_tree(probabilities)
+        entropy = entropy_bits(probabilities)
+        average = tree.average_code_length()
+        assert entropy <= average + 1e-9
+        assert average < entropy + 1.0
+
+    def test_beats_or_matches_fixed_length_on_skewed_input(self):
+        probabilities = [0.9] + [0.1 / 31] * 31
+        tree = build_huffman_tree(probabilities)
+        fixed_length = math.ceil(math.log2(len(probabilities)))
+        assert tree.average_code_length() < fixed_length
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_structure_invariants_hold_for_arbitrary_inputs(self, probabilities):
+        tree = build_huffman_tree(probabilities)
+        codes = tree.leaf_codes()
+        # One code per cell, all distinct, prefix-free, Kraft-satisfying.
+        assert set(codes) == set(range(len(probabilities)))
+        assert len(set(codes.values())) == len(probabilities)
+        tree.check_prefix_property()
+        assert tree.satisfies_kraft_inequality()
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_average_length_never_beats_entropy(self, probabilities):
+        tree = build_huffman_tree(probabilities)
+        assert tree.average_code_length(normalize(probabilities)) >= entropy_bits(probabilities) - 1e-9
+
+
+class TestHuffmanEncodingScheme:
+    def test_scheme_name_and_reference_length(self):
+        encoding = HuffmanEncodingScheme().build(PAPER_PROBABILITIES)
+        assert encoding.name == "huffman"
+        assert encoding.reference_length == 3
+
+    def test_paper_grid_indexes(self):
+        # Fig. 4c after zero padding.
+        encoding = HuffmanEncodingScheme().build(PAPER_PROBABILITIES)
+        assert encoding.indexes() == {0: "001", 1: "000", 2: "100", 3: "010", 4: "110"}

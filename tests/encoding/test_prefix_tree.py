@@ -1,0 +1,113 @@
+"""Tests for the prefix-tree data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.huffman import build_huffman_tree
+from repro.encoding.prefix_tree import PrefixTree, PrefixTreeNode
+
+
+class TestPrefixTreeNode:
+    def test_leaf_and_root_predicates(self):
+        root = PrefixTreeNode(weight=1.0)
+        child = PrefixTreeNode(weight=0.5, cell_id=0)
+        root.add_child(child)
+        assert root.is_root and not root.is_leaf
+        assert child.is_leaf and not child.is_root
+        assert child.parent is root
+
+    def test_depth_follows_code(self):
+        node = PrefixTreeNode(weight=0.1, code="0110")
+        assert node.depth == 4
+
+    def test_subtree_iteration_and_leaf_count(self):
+        root = PrefixTreeNode(weight=1.0)
+        a, b = PrefixTreeNode(weight=0.4, cell_id=0), PrefixTreeNode(weight=0.6)
+        c, d = PrefixTreeNode(weight=0.3, cell_id=1), PrefixTreeNode(weight=0.3, cell_id=2)
+        root.add_child(a)
+        root.add_child(b)
+        b.add_child(c)
+        b.add_child(d)
+        assert len(list(root.iter_subtree())) == 5
+        assert root.leaf_count() == 3
+        assert [leaf.cell_id for leaf in root.leaves()] == [0, 1, 2]
+
+
+class TestPrefixTree:
+    def test_code_assignment_follows_child_order(self):
+        root = PrefixTreeNode(weight=1.0)
+        left, right = PrefixTreeNode(weight=0.5, cell_id=0), PrefixTreeNode(weight=0.5)
+        right_left, right_right = PrefixTreeNode(weight=0.25, cell_id=1), PrefixTreeNode(weight=0.25, cell_id=2)
+        root.add_child(left)
+        root.add_child(right)
+        right.add_child(right_left)
+        right.add_child(right_right)
+        tree = PrefixTree(root)
+        assert tree.leaf_codes() == {0: "0", 1: "10", 2: "11"}
+        assert tree.reference_length == 2
+
+    def test_rejects_small_alphabet(self):
+        with pytest.raises(ValueError):
+            PrefixTree(PrefixTreeNode(weight=1.0), alphabet_size=1)
+
+    def test_too_many_children_for_alphabet(self):
+        root = PrefixTreeNode(weight=1.0)
+        for i in range(3):
+            root.add_child(PrefixTreeNode(weight=0.3, cell_id=i))
+        with pytest.raises(ValueError):
+            PrefixTree(root, alphabet_size=2)
+
+    def test_from_codes_round_trip(self):
+        codes = {0: "00", 1: "01", 2: "1"}
+        tree = PrefixTree.from_codes(codes, weights={0: 0.2, 1: 0.2, 2: 0.6})
+        assert tree.leaf_codes() == codes
+        assert tree.reference_length == 2
+        assert tree.root.weight == pytest.approx(1.0)
+
+    def test_from_codes_sparse_code(self):
+        tree = PrefixTree.from_codes({0: "1"})
+        assert tree.leaf_codes() == {0: "1"}
+
+    def test_from_codes_rejects_prefix_violations(self):
+        with pytest.raises(ValueError):
+            PrefixTree.from_codes({0: "0", 1: "01"})
+        with pytest.raises(ValueError):
+            PrefixTree.from_codes({0: "01", 1: "01"})
+        with pytest.raises(ValueError):
+            PrefixTree.from_codes({0: ""})
+
+    def test_from_codes_rejects_foreign_symbols(self):
+        with pytest.raises(ValueError):
+            PrefixTree.from_codes({0: "02"})
+
+    def test_check_prefix_property_on_valid_tree(self):
+        tree = PrefixTree.from_codes({0: "000", 1: "001", 2: "01", 3: "10", 4: "11"})
+        tree.check_prefix_property()  # must not raise
+
+    def test_kraft_inequality_for_complete_code(self):
+        tree = PrefixTree.from_codes({0: "00", 1: "01", 2: "10", 3: "11"})
+        assert tree.satisfies_kraft_inequality()
+
+    def test_average_code_length_weighted(self):
+        tree = PrefixTree.from_codes({0: "0", 1: "10", 2: "11"}, weights={0: 0.5, 1: 0.25, 2: 0.25})
+        assert tree.average_code_length() == pytest.approx(1.5)
+        # Override with an explicit distribution.
+        assert tree.average_code_length([1.0, 0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_internal_nodes_listing(self):
+        tree = PrefixTree.from_codes({0: "00", 1: "01", 2: "1"})
+        internal_codes = {node.code for node in tree.internal_nodes()}
+        assert internal_codes == {"", "0"}
+
+
+class TestPrefixPropertyWithHypothesis:
+    @given(st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_huffman_trees_always_satisfy_invariants(self, probabilities):
+        tree = build_huffman_tree(probabilities)
+        tree.check_prefix_property()
+        assert tree.satisfies_kraft_inequality()
+        codes = tree.leaf_codes()
+        assert len(codes) == len(probabilities)
+        assert tree.reference_length == max(len(code) for code in codes.values())

@@ -1,0 +1,115 @@
+"""Tests for the quadtree / Morton-order fixed-length baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.quadtree import QuadtreeEncoding, QuadtreeEncodingScheme, interleave_bits, morton_code
+
+
+class TestMortonCode:
+    def test_interleave_bits(self):
+        assert interleave_bits(0b11, 2) == 0b0101
+        assert interleave_bits(0b10, 2) == 0b0100
+        assert interleave_bits(0, 4) == 0
+        with pytest.raises(ValueError):
+            interleave_bits(-1, 2)
+
+    def test_known_values(self):
+        # (row, col) quadrant order for a 2-bit (4x4) quadtree.
+        assert morton_code(0, 0, 2) == 0
+        assert morton_code(0, 1, 2) == 1
+        assert morton_code(1, 0, 2) == 2
+        assert morton_code(1, 1, 2) == 3
+        assert morton_code(3, 3, 2) == 15
+
+    def test_codes_are_unique(self):
+        codes = {morton_code(r, c, 3) for r in range(8) for c in range(8)}
+        assert len(codes) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            morton_code(4, 0, 2)
+        with pytest.raises(ValueError):
+            morton_code(-1, 0, 2)
+
+    @given(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+    @settings(max_examples=60)
+    def test_spatially_adjacent_quadrant_blocks_share_prefixes(self, row, col):
+        # Cells within the same 2x2 block share all but the last 2 bits.
+        code = morton_code(row, col, 5)
+        sibling = morton_code(row ^ 1, col ^ 1, 5)
+        assert code >> 2 == sibling >> 2
+
+
+class TestQuadtreeEncoding:
+    def test_power_of_two_square_grid(self):
+        encoding = QuadtreeEncoding(rows=8, cols=8)
+        assert encoding.n_cells == 64
+        assert encoding.reference_length == 6
+        indexes = [encoding.index_of(c) for c in range(64)]
+        assert len(set(indexes)) == 64
+
+    def test_quadrant_blocks_aggregate_to_single_token(self):
+        encoding = QuadtreeEncoding(rows=8, cols=8)
+        # The 2x2 block at rows 0-1, cols 0-1 is one quadtree node.
+        block = [0, 1, 8, 9]
+        patterns = encoding.token_patterns(block)
+        assert len(patterns) == 1
+        encoding.audit_tokens(block, patterns)
+
+    def test_larger_aligned_block(self):
+        encoding = QuadtreeEncoding(rows=8, cols=8)
+        block = [r * 8 + c for r in range(4) for c in range(4)]
+        patterns = encoding.token_patterns(block)
+        assert len(patterns) == 1
+        assert sum(1 for s in patterns[0] if s != "*") == 2
+
+    def test_non_power_of_two_grid(self):
+        encoding = QuadtreeEncoding(rows=6, cols=5)
+        assert encoding.n_cells == 30
+        indexes = [encoding.index_of(c) for c in range(30)]
+        assert len(set(indexes)) == 30
+        patterns = encoding.token_patterns([0, 1, 5, 6])
+        encoding.audit_tokens([0, 1, 5, 6], patterns)
+
+    def test_quadrant_prefix(self):
+        encoding = QuadtreeEncoding(rows=8, cols=8)
+        assert encoding.quadrant_prefix(0, 0) == ""
+        assert len(encoding.quadrant_prefix(0, 2)) == 4
+        with pytest.raises(ValueError):
+            encoding.quadrant_prefix(0, 99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadtreeEncoding(rows=0, cols=4)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_token_cover_exactness(self, rows, cols, data):
+        encoding = QuadtreeEncoding(rows=rows, cols=cols)
+        n = rows * cols
+        alert_cells = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=min(n, 12), unique=True)
+        )
+        patterns = encoding.token_patterns(alert_cells)
+        encoding.audit_tokens(alert_cells, patterns)
+
+
+class TestQuadtreeScheme:
+    def test_build_checks_cell_count(self):
+        scheme = QuadtreeEncodingScheme(rows=4, cols=4)
+        encoding = scheme.build([0.1] * 16)
+        assert encoding.name == "quadtree"
+        with pytest.raises(ValueError):
+            scheme.build([0.1] * 15)
+
+    def test_contiguous_geometric_zone_cheaper_than_row_major(self):
+        # The hierarchy's selling point: an aligned square block of cells
+        # costs no more (and usually less) than under row-major codes.
+        from repro.encoding.fixed_length import FixedLengthEncoding
+
+        quadtree = QuadtreeEncoding(rows=16, cols=16)
+        row_major = FixedLengthEncoding(256)
+        block = [r * 16 + c for r in range(4, 8) for c in range(4, 8)]
+        assert quadtree.pairing_cost(block) <= row_major.pairing_cost(block)

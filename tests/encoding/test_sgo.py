@@ -1,0 +1,79 @@
+"""Tests for the SGO-style probability-aware fixed-length baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.sgo import ScaledGrayEncoding, ScaledGrayEncodingScheme, gray_code
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_consecutive_codes_differ_in_one_bit(self):
+        for i in range(255):
+            assert bin(gray_code(i) ^ gray_code(i + 1)).count("1") == 1
+
+    def test_gray_codes_are_distinct(self):
+        values = [gray_code(i) for i in range(256)]
+        assert len(set(values)) == 256
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+
+
+class TestScaledGrayEncoding:
+    def test_most_probable_cell_gets_rank_zero_code(self):
+        probabilities = [0.1, 0.9, 0.3, 0.2]
+        encoding = ScaledGrayEncoding(probabilities)
+        assert encoding.code_of(1) == gray_code(0)
+        assert encoding.code_of(2) == gray_code(1)
+
+    def test_ties_broken_by_cell_id(self):
+        probabilities = [0.5, 0.5, 0.1]
+        encoding = ScaledGrayEncoding(probabilities)
+        assert encoding.code_of(0) == gray_code(0)
+        assert encoding.code_of(1) == gray_code(1)
+
+    def test_codes_are_distinct_and_fixed_width(self):
+        probabilities = [0.1 * (i % 7 + 1) for i in range(20)]
+        encoding = ScaledGrayEncoding(probabilities)
+        indexes = [encoding.index_of(c) for c in range(20)]
+        assert len(set(indexes)) == 20
+        assert all(len(i) == encoding.reference_length for i in indexes)
+
+    def test_top_ranked_cells_aggregate_well(self):
+        # The four most probable cells hold Gray ranks 0..3, a contiguous
+        # subcube, so alerting them together needs a single compact token.
+        probabilities = [0.01] * 16
+        for hot in (3, 7, 9, 12):
+            probabilities[hot] = 0.9 - 0.01 * hot
+        encoding = ScaledGrayEncoding(probabilities)
+        patterns = encoding.token_patterns([3, 7, 9, 12])
+        encoding.audit_tokens([3, 7, 9, 12], patterns)
+        assert len(patterns) == 1
+
+    def test_name_override(self):
+        assert ScaledGrayEncoding([0.1, 0.2], name="custom").name == "custom"
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=32), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_token_cover_exactness(self, probabilities, data):
+        encoding = ScaledGrayEncoding(probabilities)
+        n = len(probabilities)
+        alert_cells = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n, unique=True)
+        )
+        patterns = encoding.token_patterns(alert_cells)
+        encoding.audit_tokens(alert_cells, patterns)
+
+
+class TestScaledGrayScheme:
+    def test_build(self):
+        scheme = ScaledGrayEncodingScheme()
+        encoding = scheme.build([0.2, 0.8, 0.5, 0.1])
+        assert scheme.name == "sgo"
+        assert encoding.name == "sgo"
+        assert encoding.n_cells == 4

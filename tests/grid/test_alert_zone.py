@@ -1,0 +1,80 @@
+"""Tests for alert zones."""
+
+import pytest
+
+from repro.grid.alert_zone import AlertZone, circular_alert_zone, union_zone
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.grid import Grid
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(rows=6, cols=6, bounding_box=BoundingBox(0.0, 0.0, 600.0, 600.0))
+
+
+class TestAlertZone:
+    def test_cells_are_sorted_and_deduplicated(self):
+        zone = AlertZone(cell_ids=(5, 3, 5, 1))
+        assert zone.cell_ids == (1, 3, 5)
+        assert zone.size == 3
+        assert len(zone) == 3
+
+    def test_rejects_empty_zone(self):
+        with pytest.raises(ValueError):
+            AlertZone(cell_ids=())
+
+    def test_membership_and_iteration(self):
+        zone = AlertZone(cell_ids=(2, 4))
+        assert 2 in zone and 3 not in zone
+        assert list(zone) == [2, 4]
+        assert zone.covers_cell(4)
+
+    def test_intersection(self):
+        a = AlertZone(cell_ids=(1, 2, 3))
+        b = AlertZone(cell_ids=(3, 4))
+        assert a.intersection(b) == (3,)
+
+
+class TestCircularZone:
+    def test_zone_around_cell_center(self, grid):
+        center = grid.cell_center(grid.cell_id(2, 2))
+        zone = circular_alert_zone(grid, center, radius=100.0)
+        assert grid.cell_id(2, 2) in zone
+        assert zone.size == 5  # center plus the four axis neighbours
+        assert zone.radius == 100.0
+        assert zone.epicenter == center
+
+    def test_tiny_radius_single_cell(self, grid):
+        zone = circular_alert_zone(grid, Point(50, 50), radius=1.0)
+        assert zone.cell_ids == (0,)
+
+    def test_zone_grows_with_radius(self, grid):
+        center = grid.box.center
+        small = circular_alert_zone(grid, center, radius=100.0)
+        large = circular_alert_zone(grid, center, radius=300.0)
+        assert set(small.cell_ids) <= set(large.cell_ids)
+        assert large.size > small.size
+
+    def test_label_is_preserved(self, grid):
+        zone = circular_alert_zone(grid, Point(50, 50), radius=10.0, label="gas-leak")
+        assert zone.label == "gas-leak"
+
+
+class TestUnionZone:
+    def test_union_of_disjoint_sites(self, grid):
+        site_a = circular_alert_zone(grid, grid.cell_center(0), radius=10.0)
+        site_b = circular_alert_zone(grid, grid.cell_center(35), radius=10.0)
+        union = union_zone([site_a, site_b], label="patient-visits")
+        assert set(union.cell_ids) == {0, 35}
+        assert union.label == "patient-visits"
+
+    def test_union_deduplicates_overlap(self, grid):
+        center = grid.cell_center(14)
+        a = circular_alert_zone(grid, center, radius=100.0)
+        b = circular_alert_zone(grid, center, radius=100.0)
+        union = union_zone([a, b])
+        assert union.size == a.size
+
+    def test_union_requires_at_least_one_zone(self):
+        with pytest.raises(ValueError):
+            union_zone([])

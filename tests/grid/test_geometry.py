@@ -1,0 +1,102 @@
+"""Tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.geometry import BoundingBox, Point, euclidean_distance, haversine_distance
+
+
+class TestPoint:
+    def test_translate(self):
+        assert Point(1.0, 2.0).translate(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestBoundingBox:
+    def test_rejects_degenerate_boxes(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 5, 10, 5)
+
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 10, 4)
+        assert box.width == 10
+        assert box.height == 4
+        assert box.area == 40
+        assert box.center == Point(5, 2)
+
+    def test_contains_boundary_and_interior(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert box.contains(Point(5, 5))
+        assert not box.contains(Point(-0.1, 5))
+        assert not box.contains(Point(5, 10.1))
+
+    def test_clamp_projects_outside_points(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.clamp(Point(-5, 5)) == Point(0, 5)
+        assert box.clamp(Point(20, 30)) == Point(10, 10)
+        assert box.clamp(Point(3, 4)) == Point(3, 4)
+
+    def test_corners(self):
+        box = BoundingBox(0, 0, 2, 3)
+        corners = list(box.corners())
+        assert len(corners) == 4
+        assert Point(0, 0) in corners and Point(2, 3) in corners
+
+    def test_square_constructor(self):
+        box = BoundingBox.square(Point(5, 5), side=4)
+        assert box.width == 4 and box.height == 4
+        assert box.center == Point(5, 5)
+
+    def test_square_rejects_non_positive_side(self):
+        with pytest.raises(ValueError):
+            BoundingBox.square(Point(0, 0), side=0)
+
+
+class TestDistances:
+    def test_euclidean_basic(self):
+        assert euclidean_distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_euclidean_symmetry(self):
+        a, b = Point(1, 2), Point(-4, 7)
+        assert euclidean_distance(a, b) == euclidean_distance(b, a)
+
+    def test_haversine_zero_for_same_point(self):
+        chicago = Point(-87.63, 41.88)
+        assert haversine_distance(chicago, chicago) == 0.0
+
+    def test_haversine_known_distance(self):
+        # One degree of latitude is roughly 111 km.
+        a = Point(-87.63, 41.0)
+        b = Point(-87.63, 42.0)
+        assert 110_000 < haversine_distance(a, b) < 112_500
+
+    def test_haversine_small_distance_matches_planar_approximation(self):
+        # ~100 m east at Chicago's latitude.
+        lat = 41.88
+        meters_per_degree_lon = 111_320 * math.cos(math.radians(lat))
+        a = Point(-87.63, lat)
+        b = Point(-87.63 + 100.0 / meters_per_degree_lon, lat)
+        assert haversine_distance(a, b) == pytest.approx(100.0, rel=0.01)
+
+    @given(
+        st.floats(min_value=-80, max_value=80),
+        st.floats(min_value=-170, max_value=170),
+        st.floats(min_value=-80, max_value=80),
+        st.floats(min_value=-170, max_value=170),
+    )
+    @settings(max_examples=50)
+    def test_haversine_is_symmetric_and_non_negative(self, lat1, lon1, lat2, lon2):
+        a, b = Point(lon1, lat1), Point(lon2, lat2)
+        forward = haversine_distance(a, b)
+        backward = haversine_distance(b, a)
+        assert forward >= 0
+        assert forward == pytest.approx(backward, rel=1e-9, abs=1e-6)

@@ -1,0 +1,158 @@
+"""Tests for the spatial grid partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.grid import Grid
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(rows=4, cols=5, bounding_box=BoundingBox(0.0, 0.0, 500.0, 400.0))
+
+
+class TestConstruction:
+    def test_basic_properties(self, grid):
+        assert grid.n_cells == 20
+        assert len(grid) == 20
+        assert grid.cell_width == 100.0
+        assert grid.cell_height == 100.0
+
+    def test_default_bounding_box(self):
+        grid = Grid(rows=32, cols=32)
+        assert grid.box.width == Grid.default_extent_meters
+        assert grid.cell_width == pytest.approx(100.0)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            Grid(rows=0, cols=5)
+
+
+class TestAddressing:
+    def test_cell_id_round_trip(self, grid):
+        for row in range(grid.rows):
+            for col in range(grid.cols):
+                cell_id = grid.cell_id(row, col)
+                assert grid.coords(cell_id) == (row, col)
+
+    def test_row_major_order(self, grid):
+        assert grid.cell_id(0, 0) == 0
+        assert grid.cell_id(0, 4) == 4
+        assert grid.cell_id(1, 0) == 5
+        assert grid.cell_id(3, 4) == 19
+
+    def test_out_of_range_rejected(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_id(4, 0)
+        with pytest.raises(IndexError):
+            grid.coords(20)
+        with pytest.raises(IndexError):
+            grid.cell(-1)
+
+    def test_cell_boxes_tile_the_domain(self, grid):
+        total_area = sum(cell.box.area for cell in grid.cells())
+        assert total_area == pytest.approx(grid.box.area)
+
+    def test_cell_center_inside_cell(self, grid):
+        for cell in grid.cells():
+            assert cell.box.contains(cell.center)
+
+
+class TestPointLookup:
+    def test_cell_at_interior_points(self, grid):
+        assert grid.cell_at(Point(50, 50)).cell_id == 0
+        assert grid.cell_at(Point(450, 350)).cell_id == 19
+        assert grid.cell_at(Point(150, 250)).cell_id == grid.cell_id(2, 1)
+
+    def test_cell_at_clamps_outside_points(self, grid):
+        assert grid.cell_at(Point(-100, -100)).cell_id == 0
+        assert grid.cell_at(Point(10_000, 10_000)).cell_id == 19
+
+    def test_cell_at_domain_edges(self, grid):
+        assert grid.cell_at(Point(500, 400)).cell_id == 19
+        assert grid.cell_at(Point(0, 0)).cell_id == 0
+
+    def test_center_round_trip(self, grid):
+        for cell in grid.cells():
+            assert grid.cell_at(cell.center).cell_id == cell.cell_id
+
+    @given(st.floats(min_value=0, max_value=500), st.floats(min_value=0, max_value=400))
+    @settings(max_examples=100)
+    def test_cell_at_always_contains_point(self, x, y):
+        grid = Grid(rows=4, cols=5, bounding_box=BoundingBox(0.0, 0.0, 500.0, 400.0))
+        cell = grid.cell_at(Point(x, y))
+        assert cell.box.min_x <= x <= cell.box.max_x
+        assert cell.box.min_y <= y <= cell.box.max_y
+
+
+class TestRangeQueries:
+    def test_zero_radius_returns_enclosing_cell(self, grid):
+        center = grid.cell_center(7)
+        assert grid.cells_within_radius(center, 0.0) == [7]
+
+    def test_radius_covering_whole_domain(self, grid):
+        center = grid.box.center
+        assert grid.cells_within_radius(center, 10_000.0) == list(range(grid.n_cells))
+
+    def test_radius_results_sorted_and_unique(self, grid):
+        cells = grid.cells_within_radius(Point(250, 200), 150.0)
+        assert cells == sorted(set(cells))
+
+    def test_radius_monotone_in_radius(self, grid):
+        center = Point(250, 200)
+        small = set(grid.cells_within_radius(center, 100.0))
+        large = set(grid.cells_within_radius(center, 250.0))
+        assert small <= large
+
+    def test_negative_radius_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.cells_within_radius(Point(0, 0), -1.0)
+
+    def test_radius_uses_cell_centers(self, grid):
+        # 100 m radius around a cell center reaches the 4 axis neighbours.
+        center = grid.cell_center(grid.cell_id(1, 1))
+        cells = grid.cells_within_radius(center, 100.0)
+        expected = {
+            grid.cell_id(1, 1),
+            grid.cell_id(0, 1),
+            grid.cell_id(2, 1),
+            grid.cell_id(1, 0),
+            grid.cell_id(1, 2),
+        }
+        assert set(cells) == expected
+
+
+class TestNeighbors:
+    def test_interior_cell_has_eight_moore_neighbors(self, grid):
+        assert len(grid.neighbors(grid.cell_id(1, 1))) == 8
+        assert len(grid.neighbors(grid.cell_id(1, 1), diagonal=False)) == 4
+
+    def test_corner_cell_has_three_moore_neighbors(self, grid):
+        assert len(grid.neighbors(0)) == 3
+        assert len(grid.neighbors(0, diagonal=False)) == 2
+
+    def test_neighbors_are_symmetric(self, grid):
+        for cell_id in range(grid.n_cells):
+            for neighbor in grid.neighbors(cell_id):
+                assert cell_id in grid.neighbors(neighbor)
+
+    def test_manhattan_distance(self, grid):
+        assert grid.manhattan_distance(grid.cell_id(0, 0), grid.cell_id(3, 4)) == 7
+        assert grid.manhattan_distance(5, 5) == 0
+
+
+class TestProbabilityValidation:
+    def test_accepts_correct_vector(self, grid):
+        grid.validate_probabilities([0.1] * grid.n_cells)
+
+    def test_rejects_wrong_length(self, grid):
+        with pytest.raises(ValueError):
+            grid.validate_probabilities([0.1] * (grid.n_cells - 1))
+
+    def test_rejects_negative_values(self, grid):
+        values = [0.1] * grid.n_cells
+        values[3] = -0.5
+        with pytest.raises(ValueError):
+            grid.validate_probabilities(values)

@@ -1,0 +1,97 @@
+"""Tests for the spread-model alert zones (future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.grid.alert_zone import AlertZone
+from repro.grid.geometry import BoundingBox
+from repro.grid.grid import Grid
+from repro.grid.spread import SpreadEvent, delta_cells, spread_zone_sequence
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(rows=10, cols=10, bounding_box=BoundingBox(0.0, 0.0, 1000.0, 1000.0))
+
+
+class TestSpreadEvent:
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            SpreadEvent(grid, seed_cell=200)
+        with pytest.raises(ValueError):
+            SpreadEvent(grid, seed_cell=0, spread_probability=0.0)
+        with pytest.raises(ValueError):
+            SpreadEvent(grid, seed_cell=0, decay=0.0)
+        with pytest.raises(ValueError):
+            SpreadEvent(grid, seed_cell=0, wind="upwards")
+
+    def test_evolution_starts_at_seed_and_grows_monotonically(self, grid):
+        event = SpreadEvent(grid, seed_cell=55, rng=random.Random(1))
+        history = event.evolve(6)
+        assert history[0] == {55}
+        for earlier, later in zip(history, history[1:]):
+            assert earlier <= later
+
+    def test_affected_region_is_connected(self, grid):
+        event = SpreadEvent(grid, seed_cell=55, spread_probability=0.9, rng=random.Random(2))
+        final = event.evolve(6)[-1]
+        # BFS from the seed within the affected set must reach every cell.
+        frontier = [55]
+        reached = {55}
+        while frontier:
+            cell = frontier.pop()
+            for neighbor in grid.neighbors(cell, diagonal=False):
+                if neighbor in final and neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        assert reached == final
+
+    def test_decay_limits_growth(self, grid):
+        aggressive = SpreadEvent(grid, seed_cell=55, spread_probability=0.9, decay=1.0, rng=random.Random(3))
+        damped = SpreadEvent(grid, seed_cell=55, spread_probability=0.9, decay=0.3, rng=random.Random(3))
+        assert len(damped.evolve(8)[-1]) <= len(aggressive.evolve(8)[-1])
+
+    def test_wind_biases_direction(self, grid):
+        # With a strong east wind, the plume reaches further east than west.
+        event = SpreadEvent(grid, seed_cell=grid.cell_id(5, 5), spread_probability=0.5, wind="east",
+                            rng=random.Random(4))
+        final = event.evolve(8)[-1]
+        columns = [grid.coords(cell)[1] for cell in final]
+        east_reach = max(columns) - 5
+        west_reach = 5 - min(columns)
+        assert east_reach >= west_reach
+
+    def test_invalid_steps(self, grid):
+        with pytest.raises(ValueError):
+            SpreadEvent(grid, seed_cell=0).evolve(0)
+
+
+class TestZoneSequence:
+    def test_zone_sequence_labels_and_sizes(self, grid):
+        event = SpreadEvent(grid, seed_cell=44, rng=random.Random(5))
+        zones = spread_zone_sequence(event, steps=5, label="leak")
+        assert len(zones) == 5
+        assert zones[0].cell_ids == (44,)
+        assert zones[0].label == "leak-t0"
+        sizes = [zone.size for zone in zones]
+        assert sizes == sorted(sizes)
+
+    def test_delta_cells_partition_the_final_zone(self, grid):
+        event = SpreadEvent(grid, seed_cell=44, spread_probability=0.8, rng=random.Random(6))
+        zones = spread_zone_sequence(event, steps=6)
+        deltas = delta_cells(zones)
+        assert len(deltas) == len(zones)
+        union: set[int] = set()
+        for delta in deltas:
+            assert union.isdisjoint(delta)
+            union.update(delta)
+        assert union == set(zones[-1].cell_ids)
+
+    def test_delta_cells_rejects_shrinking_sequences(self):
+        zones = [AlertZone(cell_ids=(1, 2, 3)), AlertZone(cell_ids=(1, 2))]
+        with pytest.raises(ValueError):
+            delta_cells(zones)
+
+    def test_delta_cells_empty_input(self):
+        assert delta_cells([]) == []

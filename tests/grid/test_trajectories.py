@@ -1,0 +1,143 @@
+"""Tests for user trajectories and trajectory-derived exposure zones."""
+
+import random
+
+import pytest
+
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.grid import Grid
+from repro.grid.trajectories import (
+    Trajectory,
+    TrajectoryGenerator,
+    TrajectoryPoint,
+    exposure_zone_from_trajectory,
+)
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(rows=8, cols=8, bounding_box=BoundingBox(0.0, 0.0, 800.0, 800.0))
+
+
+@pytest.fixture
+def popularity(grid) -> list[float]:
+    values = [0.05] * grid.n_cells
+    for hot in (9, 27, 45):
+        values[hot] = 0.9
+    return values
+
+
+class TestTrajectoryDataModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(user_id="u", points=())
+        with pytest.raises(ValueError):
+            TrajectoryPoint(timestamp=-1.0, location=Point(0, 0))
+        with pytest.raises(ValueError):
+            Trajectory(
+                user_id="u",
+                points=(
+                    TrajectoryPoint(10.0, Point(0, 0)),
+                    TrajectoryPoint(5.0, Point(1, 1)),
+                ),
+            )
+
+    def test_cells_and_visited_cells(self, grid):
+        trajectory = Trajectory(
+            user_id="u",
+            points=(
+                TrajectoryPoint(0.0, grid.cell_center(9)),
+                TrajectoryPoint(100.0, grid.cell_center(27)),
+                TrajectoryPoint(200.0, grid.cell_center(9)),
+            ),
+        )
+        assert trajectory.cells(grid) == [9, 27, 9]
+        assert trajectory.visited_cells(grid) == [9, 27]
+        assert trajectory.duration == 200.0
+        assert len(trajectory) == 3
+
+    def test_dwell_times(self, grid):
+        trajectory = Trajectory(
+            user_id="u",
+            points=(
+                TrajectoryPoint(0.0, grid.cell_center(9)),
+                TrajectoryPoint(300.0, grid.cell_center(27)),
+                TrajectoryPoint(400.0, grid.cell_center(27)),
+            ),
+        )
+        dwell = trajectory.dwell_time_by_cell(grid)
+        assert dwell[9] == pytest.approx(300.0)
+        assert dwell[27] == pytest.approx(100.0)
+
+
+class TestTrajectoryGenerator:
+    def test_generate_shape_and_reproducibility(self, grid, popularity):
+        generator = TrajectoryGenerator(grid, popularity, rng=random.Random(5))
+        trajectory = generator.generate("patient", num_visits=6)
+        assert len(trajectory) == 6
+        assert trajectory.points[0].timestamp == 0.0
+        again = TrajectoryGenerator(grid, popularity, rng=random.Random(5)).generate("patient", num_visits=6)
+        assert [p.location for p in trajectory.points] == [p.location for p in again.points]
+
+    def test_popular_cells_visited_more(self, grid, popularity):
+        generator = TrajectoryGenerator(grid, popularity, rng=random.Random(7))
+        visits = []
+        for i in range(40):
+            visits.extend(generator.generate(f"u{i}", num_visits=5).cells(grid))
+        hot_share = sum(1 for c in visits if c in (9, 27, 45)) / len(visits)
+        assert hot_share > 0.3
+
+    def test_validation(self, grid, popularity):
+        with pytest.raises(ValueError):
+            TrajectoryGenerator(grid, [0.0] * grid.n_cells)
+        with pytest.raises(ValueError):
+            TrajectoryGenerator(grid, popularity, mean_dwell=0.0)
+        with pytest.raises(ValueError):
+            TrajectoryGenerator(grid, popularity).generate("u", num_visits=0)
+
+
+class TestExposureZone:
+    def test_zone_covers_visited_sites(self, grid):
+        trajectory = Trajectory(
+            user_id="patient",
+            points=(
+                TrajectoryPoint(0.0, grid.cell_center(9)),
+                TrajectoryPoint(600.0, grid.cell_center(45)),
+                TrajectoryPoint(1200.0, grid.cell_center(45)),
+            ),
+        )
+        zone = exposure_zone_from_trajectory(grid, trajectory, radius=30.0)
+        assert 9 in zone and 45 in zone
+        assert zone.label == "exposure-patient"
+
+    def test_min_dwell_filters_pass_throughs(self, grid):
+        trajectory = Trajectory(
+            user_id="patient",
+            points=(
+                TrajectoryPoint(0.0, grid.cell_center(9)),      # 10 s pass-through
+                TrajectoryPoint(10.0, grid.cell_center(27)),    # 30 min dwell
+                TrajectoryPoint(1810.0, grid.cell_center(45)),  # final point
+            ),
+        )
+        zone = exposure_zone_from_trajectory(grid, trajectory, radius=30.0, min_dwell=300.0)
+        assert 27 in zone
+        assert 9 not in zone
+
+    def test_all_pass_throughs_falls_back_to_longest_dwell(self, grid):
+        trajectory = Trajectory(
+            user_id="patient",
+            points=(
+                TrajectoryPoint(0.0, grid.cell_center(9)),
+                TrajectoryPoint(5.0, grid.cell_center(27)),
+            ),
+        )
+        zone = exposure_zone_from_trajectory(grid, trajectory, radius=30.0, min_dwell=600.0)
+        assert zone.size >= 1
+        assert 9 in zone  # the (only) dwell happened in cell 9
+
+    def test_validation(self, grid):
+        trajectory = Trajectory(user_id="p", points=(TrajectoryPoint(0.0, grid.cell_center(0)),))
+        with pytest.raises(ValueError):
+            exposure_zone_from_trajectory(grid, trajectory, radius=-1.0)
+        with pytest.raises(ValueError):
+            exposure_zone_from_trajectory(grid, trajectory, radius=1.0, min_dwell=-1.0)

@@ -1,0 +1,144 @@
+"""Tests for alert-zone workload generators."""
+
+import random
+
+import pytest
+
+from repro.grid.geometry import BoundingBox
+from repro.grid.grid import Grid
+from repro.grid.workloads import (
+    AlertWorkload,
+    MixedWorkloadSpec,
+    STANDARD_MIXED_WORKLOADS,
+    WorkloadGenerator,
+)
+from repro.grid.alert_zone import AlertZone
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(rows=8, cols=8, bounding_box=BoundingBox(0.0, 0.0, 800.0, 800.0))
+
+
+@pytest.fixture
+def probabilities(grid) -> list[float]:
+    # A skewed field: one hot cell, a handful warm, the rest cold.
+    values = [0.01] * grid.n_cells
+    values[27] = 0.9
+    for cell in (26, 28, 19, 35):
+        values[cell] = 0.5
+    return values
+
+
+@pytest.fixture
+def generator(grid, probabilities) -> WorkloadGenerator:
+    return WorkloadGenerator(grid, probabilities, rng=random.Random(42))
+
+
+class TestAlertWorkload:
+    def test_statistics(self):
+        zones = (AlertZone(cell_ids=(1,)), AlertZone(cell_ids=(2, 3, 4)))
+        workload = AlertWorkload(name="w", zones=zones)
+        assert len(workload) == 2
+        assert workload.total_alert_cells == 4
+        assert workload.mean_zone_size == 2.0
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ValueError):
+            AlertWorkload(name="w", zones=())
+
+
+class TestWorkloadGenerator:
+    def test_rejects_all_zero_probabilities(self, grid):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(grid, [0.0] * grid.n_cells)
+
+    def test_epicenters_favor_popular_cells(self, generator, grid):
+        hits = [generator.grid.cell_at(generator.sample_epicenter()).cell_id for _ in range(300)]
+        assert hits.count(27) > 50  # the hot cell dominates
+
+    def test_radius_workload_shape(self, generator):
+        workload = generator.radius_workload(radius=100.0, num_zones=7)
+        assert len(workload) == 7
+        assert all(zone.radius == 100.0 for zone in workload)
+
+    def test_radius_sweep(self, generator):
+        workloads = generator.radius_sweep([50.0, 150.0], num_zones=3)
+        assert [len(w) for w in workloads] == [3, 3]
+
+    def test_invalid_arguments(self, generator):
+        with pytest.raises(ValueError):
+            generator.radius_workload(radius=10.0, num_zones=0)
+        with pytest.raises(ValueError):
+            generator.triggered_radius_workload(radius=-1.0, num_zones=1)
+
+    def test_reproducible_with_same_seed(self, grid, probabilities):
+        a = WorkloadGenerator(grid, probabilities, rng=random.Random(9)).radius_workload(100.0, 5)
+        b = WorkloadGenerator(grid, probabilities, rng=random.Random(9)).radius_workload(100.0, 5)
+        assert [z.cell_ids for z in a] == [z.cell_ids for z in b]
+
+
+class TestTriggeredWorkloads:
+    def test_zones_are_never_empty(self, generator):
+        workload = generator.triggered_radius_workload(radius=200.0, num_zones=20)
+        assert all(zone.size >= 1 for zone in workload)
+
+    def test_triggered_zone_is_subset_of_geometric_zone(self, generator, grid):
+        workload = generator.triggered_radius_workload(radius=200.0, num_zones=10)
+        for zone in workload:
+            candidates = set(grid.cells_within_radius(zone.epicenter, 200.0))
+            epicenter_cell = grid.cell_at(zone.epicenter).cell_id
+            assert set(zone.cell_ids) <= candidates | {epicenter_cell}
+
+    def test_low_probability_cells_rarely_triggered(self, grid):
+        # With a nearly-zero field plus one hot cell, triggered zones contain
+        # (almost) only the hot cell and the epicenter.
+        values = [1e-6] * grid.n_cells
+        values[27] = 1.0
+        generator = WorkloadGenerator(grid, values, rng=random.Random(3))
+        workload = generator.triggered_radius_workload(radius=300.0, num_zones=10)
+        for zone in workload:
+            assert zone.size <= 2
+
+    def test_triggered_mixed_workload_counts(self, generator):
+        spec = MixedWorkloadSpec(name="Wx", short_fraction=0.5, short_radius=20.0, long_radius=300.0)
+        workload = generator.triggered_mixed_workload(spec, num_zones=10)
+        assert len(workload) == 10
+
+
+class TestMixedWorkloads:
+    def test_standard_specs(self):
+        names = [spec.name for spec in STANDARD_MIXED_WORKLOADS]
+        assert names == ["W1", "W2", "W3", "W4"]
+        assert STANDARD_MIXED_WORKLOADS[0].short_fraction == 0.90
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MixedWorkloadSpec(name="bad", short_fraction=1.5)
+        with pytest.raises(ValueError):
+            MixedWorkloadSpec(name="bad", short_fraction=0.5, short_radius=0.0)
+
+    def test_mixed_workload_ratio(self, generator):
+        spec = MixedWorkloadSpec(name="W", short_fraction=0.75, short_radius=20.0, long_radius=300.0)
+        workload = generator.mixed_workload(spec, num_zones=20)
+        short = sum(1 for zone in workload if zone.radius == 20.0)
+        assert short == 15
+        assert len(workload) == 20
+
+
+class TestPoissonWorkload:
+    def test_zone_sizes_follow_target(self, generator):
+        workload = generator.poisson_workload(num_zones=50, rate=1.0)
+        sizes = [zone.size for zone in workload]
+        assert all(size >= 1 for size in sizes)
+        assert sum(sizes) / len(sizes) < 4  # Pois(1) conditioned to >= 1 has small mean
+
+    def test_zones_are_connected(self, generator, grid):
+        workload = generator.poisson_workload(num_zones=20, rate=3.0)
+        for zone in workload:
+            cells = set(zone.cell_ids)
+            if len(cells) == 1:
+                continue
+            # Every cell must touch at least one other cell of the zone.
+            for cell in cells:
+                assert cells & set(grid.neighbors(cell))

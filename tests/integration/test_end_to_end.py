@@ -1,0 +1,117 @@
+"""Integration tests: full protocol runs across layers and schemes."""
+
+import random
+
+import pytest
+
+from repro.analysis.metrics import workload_pairing_cost
+from repro.core.pipeline import PipelineConfig, SecureAlertPipeline
+from repro.datasets.chicago import CHICAGO_BOUNDING_BOX, generate_chicago_crime_dataset
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.grid.alert_zone import circular_alert_zone, union_zone
+from repro.grid.geometry import haversine_distance
+from repro.grid.grid import Grid
+from repro.probability.crime_model import CellLikelihoodModel
+from repro.protocol.alert_system import SecureAlertSystem
+
+
+class TestEncryptedMatchingAgreesWithPlaintext:
+    """The encrypted path must notify exactly the users a plaintext system would."""
+
+    @pytest.mark.parametrize("scheme", ["huffman", "fixed", "sgo", "balanced"])
+    def test_many_users_many_zones(self, scheme):
+        scenario = make_synthetic_scenario(rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=50, seed=61, extent_meters=600.0)
+        config = PipelineConfig(scheme=scheme, prime_bits=32, seed=62)
+        pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+
+        rng = random.Random(63)
+        for i in range(12):
+            cell = rng.randrange(scenario.grid.n_cells)
+            pipeline.subscribe(f"user-{i}", scenario.grid.cell_center(cell))
+
+        for alert_index in range(4):
+            zone = scenario.workloads.triggered_radius_workload(150.0, 1).zones[0]
+            report = pipeline.raise_alert(zone, alert_id=f"alert-{alert_index}")
+            assert list(report.notified_users) == pipeline.users_actually_in_zone(zone)
+
+
+class TestAnalyticCostsMatchRealPairings:
+    """The analytic pairing counts used in experiments equal the crypto layer's counter."""
+
+    def test_pairing_counter_agrees_with_token_cost(self):
+        scenario = make_synthetic_scenario(rows=5, cols=5, sigmoid_a=0.9, sigmoid_b=30, seed=71, extent_meters=500.0)
+        system = SecureAlertSystem(
+            scenario.grid,
+            scenario.probabilities,
+            scheme=HuffmanEncodingScheme(),
+            prime_bits=32,
+            rng=random.Random(72),
+        )
+        # One subscriber whose ciphertext does NOT match the zone: the provider
+        # must evaluate every token fully, so the analytic cost is exact.
+        outside_cell = 0
+        zone = circular_alert_zone(scenario.grid, scenario.grid.cell_center(24), radius=120.0)
+        assert outside_cell not in zone
+        system.register_user("outsider", scenario.grid.cell_center(outside_cell))
+
+        batch = system.issue_token_batch(zone, alert_id="cost-check")
+        counter = system.authority.group.counter
+        before = counter.total
+        system.provider.process_alert(batch)
+        measured = counter.total - before
+
+        expected = sum(token.pairing_cost for token in batch.tokens)
+        assert measured == expected
+
+        # And the experiment-level helper computes the same quantity from patterns.
+        encoding = system.authority.encoding
+        patterns = encoding.token_patterns(list(zone.cell_ids))
+        assert sum(1 + 2 * sum(1 for s in p if s != "*") for p in patterns) == expected
+
+
+class TestContactTracingScenario:
+    """The motivating use case: several compact sites visited by one patient."""
+
+    def test_union_zone_notifies_exposed_users_only(self):
+        scenario = make_synthetic_scenario(rows=8, cols=8, sigmoid_a=0.9, sigmoid_b=50, seed=81, extent_meters=800.0)
+        config = PipelineConfig(scheme="huffman", prime_bits=32, seed=82)
+        pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+
+        visited_cells = [9, 27, 54]
+        sites = [
+            circular_alert_zone(scenario.grid, scenario.grid.cell_center(cell), radius=40.0)
+            for cell in visited_cells
+        ]
+        exposure_zone = union_zone(sites, label="patient-123")
+
+        pipeline.subscribe("exposed-1", scenario.grid.cell_center(9))
+        pipeline.subscribe("exposed-2", scenario.grid.cell_center(54))
+        pipeline.subscribe("safe", scenario.grid.cell_center(63))
+
+        report = pipeline.raise_alert(exposure_zone, alert_id="contact-trace")
+        assert report.notified_users == ("exposed-1", "exposed-2")
+
+
+class TestChicagoPipeline:
+    """Real-data style pipeline: crime model likelihoods -> encoding -> alerts."""
+
+    def test_crime_likelihoods_drive_the_encoding(self):
+        dataset = generate_chicago_crime_dataset(seed=2015, volume_scale=0.3)
+        grid = Grid(rows=8, cols=8, bounding_box=CHICAGO_BOUNDING_BOX, distance=haversine_distance)
+        model = CellLikelihoodModel(rows=8, cols=8).fit(dataset.cell_month_matrix(grid))
+        probabilities = model.cell_probabilities()
+
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        # The most likely cell must not have the longest code.
+        hottest = max(range(len(probabilities)), key=probabilities.__getitem__)
+        coldest = min(range(len(probabilities)), key=probabilities.__getitem__)
+        hot_code = encoding.artifacts.prefix_code_by_cell[hottest]
+        cold_code = encoding.artifacts.prefix_code_by_cell[coldest]
+        assert len(hot_code) <= len(cold_code)
+
+        config = PipelineConfig(scheme="huffman", prime_bits=32, seed=91)
+        pipeline = SecureAlertPipeline.from_probabilities(grid, probabilities, config)
+        pipeline.subscribe("resident", grid.cell_center(hottest))
+        report = pipeline.raise_alert_at(grid.cell_center(hottest), radius=400.0, alert_id="incident")
+        assert "resident" in report.notified_users

@@ -1,0 +1,87 @@
+"""Integration test reproducing the paper's running example end to end (Figs. 1 and 4).
+
+The narrative of the paper's introduction and Section 3: a five-cell grid with
+the probabilities of Fig. 4a, the Huffman coding tree of Fig. 4b, the grid
+indexes of Fig. 4c, the coding tree of Fig. 4d, and the token minimization of
+Section 3.3 -- then the full HVE round trip of Fig. 1 (users A and B, alert
+cells, matching at the SP).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.hve import HVE
+from repro.encoding.huffman import HuffmanEncodingScheme
+
+#: Fig. 4a probabilities for cells v1..v5 (cell ids 0..4).
+PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+@pytest.fixture(scope="module")
+def encoding():
+    return HuffmanEncodingScheme().build(PROBABILITIES)
+
+
+class TestFigure4Artifacts:
+    def test_prefix_codes(self, encoding):
+        assert encoding.artifacts.prefix_code_by_cell == {0: "001", 1: "000", 2: "10", 3: "01", 4: "11"}
+
+    def test_grid_indexes(self, encoding):
+        assert encoding.indexes() == {0: "001", 1: "000", 2: "100", 3: "010", 4: "110"}
+
+    def test_coding_tree_codewords(self, encoding):
+        assert encoding.artifacts.leaf_codeword_by_cell == {0: "001", 1: "000", 2: "10*", 3: "01*", 4: "11*"}
+
+    def test_parent_dictionary(self, encoding):
+        counts = encoding.artifacts.subtree_leaf_counts
+        assert {code: counts[code] for code in ("00*", "0**", "1**", "***")} == {
+            "00*": 2,
+            "0**": 3,
+            "1**": 2,
+            "***": 5,
+        }
+
+    def test_section_3_3_minimization(self, encoding):
+        # Alert cells with indexes 001, 100, 110 minimize to tokens {001, 1**}.
+        alert_cells = [0, 2, 4]
+        assert sorted(encoding.token_patterns(alert_cells)) == ["001", "1**"]
+
+
+class TestFigure1Workflow:
+    def test_users_a_and_b_matching(self, encoding):
+        # Fig. 1: users A and B encrypt their indexes; cells v2 and v3 are the
+        # alert cells; the aggregated token notifies B but not A.
+        hve = HVE(width=encoding.reference_length, prime_bits=32, rng=random.Random(17))
+        keys = hve.setup()
+
+        # In the Huffman encoding, the token covering exactly {v2, v3} is two
+        # separate tokens (they are not siblings); the match outcomes per user
+        # must still be exact.
+        alert_cells = [1, 2]  # v2 and v3
+        patterns = encoding.token_patterns(alert_cells)
+        encoding.audit_tokens(alert_cells, patterns)
+        tokens = hve.generate_tokens(keys.secret, patterns)
+
+        ciphertext_a = hve.encrypt(keys.public, encoding.index_of(4))  # user A in v5
+        ciphertext_b = hve.encrypt(keys.public, encoding.index_of(1))  # user B in v2
+
+        assert not hve.matches_any(ciphertext_a, tokens)
+        assert hve.matches_any(ciphertext_b, tokens)
+
+    def test_every_single_cell_zone_round_trips(self, encoding):
+        hve = HVE(width=encoding.reference_length, prime_bits=32, rng=random.Random(19))
+        keys = hve.setup()
+        ciphertexts = {cell: hve.encrypt(keys.public, encoding.index_of(cell)) for cell in range(5)}
+        for alerted in range(5):
+            tokens = hve.generate_tokens(keys.secret, encoding.token_patterns([alerted]))
+            for cell, ciphertext in ciphertexts.items():
+                assert hve.matches_any(ciphertext, tokens) == (cell == alerted)
+
+    def test_pairing_savings_of_minimization(self, encoding):
+        # Section 2.2's point: aggregating {v3, v5} (indexes 100 and 110) into
+        # a single token reduces the number of non-star bits from 6 to 2.
+        patterns = encoding.token_patterns([2, 4])
+        assert patterns == ["1**"]
+        non_star = sum(1 for symbol in patterns[0] if symbol != "*")
+        assert non_star == 1  # even better than the fixed-length example's 2

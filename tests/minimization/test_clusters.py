@@ -1,0 +1,56 @@
+"""Tests for consecutive-leaf clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minimization.clusters import consecutive_clusters
+
+
+class TestConsecutiveClusters:
+    def test_empty_input(self):
+        assert consecutive_clusters([], []) == []
+
+    def test_single_item(self):
+        assert consecutive_clusters(["a"], [5]) == [["a"]]
+
+    def test_all_consecutive(self):
+        assert consecutive_clusters(["a", "b", "c"], [2, 3, 4]) == [["a", "b", "c"]]
+
+    def test_all_isolated(self):
+        assert consecutive_clusters(["a", "b", "c"], [0, 2, 4]) == [["a"], ["b"], ["c"]]
+
+    def test_mixed_runs(self):
+        items = ["a", "b", "c", "d", "e"]
+        positions = [1, 2, 5, 6, 9]
+        assert consecutive_clusters(items, positions) == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_paper_example_clusters(self):
+        # Alert codewords 001, 10*, 11* sit at leaf positions 1, 3, 4:
+        # clusters are [001] and [10*, 11*].
+        assert consecutive_clusters(["001", "10*", "11*"], [1, 3, 4]) == [["001"], ["10*", "11*"]]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            consecutive_clusters(["a"], [1, 2])
+
+    def test_non_increasing_positions_rejected(self):
+        with pytest.raises(ValueError):
+            consecutive_clusters(["a", "b"], [3, 3])
+        with pytest.raises(ValueError):
+            consecutive_clusters(["a", "b"], [3, 1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=50, unique=True))
+    @settings(max_examples=60)
+    def test_clusters_partition_the_input(self, raw_positions):
+        positions = sorted(raw_positions)
+        items = [f"item-{p}" for p in positions]
+        clusters = consecutive_clusters(items, positions)
+        # Flattening the clusters recovers the input exactly, in order.
+        flattened = [item for cluster in clusters for item in cluster]
+        assert flattened == items
+        # Within each cluster positions are consecutive; across boundaries there is a gap.
+        position_of = dict(zip(items, positions))
+        for cluster in clusters:
+            values = [position_of[item] for item in cluster]
+            assert values == list(range(values[0], values[0] + len(values)))

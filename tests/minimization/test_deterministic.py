@@ -1,0 +1,114 @@
+"""Tests for Algorithm 3 (deterministic minimization over the coding tree)."""
+
+import pytest
+
+from repro.encoding.coding_scheme import build_coding_artifacts
+from repro.encoding.huffman import build_huffman_tree
+from repro.minimization.deterministic import DeterministicMinimizer, deterministic_minimization
+
+PAPER_PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6]
+
+
+@pytest.fixture(scope="module")
+def paper_setup():
+    artifacts = build_coding_artifacts(build_huffman_tree(PAPER_PROBABILITIES))
+    minimizer = DeterministicMinimizer(
+        leaf_order=artifacts.leaf_order,
+        subtree_leaf_counts=artifacts.subtree_leaf_counts,
+        reference_length=artifacts.reference_length,
+    )
+    return artifacts, minimizer
+
+
+class TestPaperExample:
+    def test_running_example_tokens(self, paper_setup):
+        # Section 3.3: alert cells with codewords [001, 10*, 11*] minimize to
+        # clusters [001] and [10*, 11*] -> tokens 001 and 1**.
+        _, minimizer = paper_setup
+        tokens = minimizer.minimize(["001", "10*", "11*"])
+        assert sorted(tokens) == ["001", "1**"]
+
+    def test_full_subtree_collapses_to_root(self, paper_setup):
+        # Alerting v2, v1 and v4 covers the whole 0-subtree -> single token 0**.
+        _, minimizer = paper_setup
+        tokens = minimizer.minimize(["000", "001", "01*"])
+        assert tokens == ["0**"]
+
+    def test_whole_domain_collapses_to_all_star(self, paper_setup):
+        artifacts, minimizer = paper_setup
+        tokens = minimizer.minimize(list(artifacts.leaf_codeword_by_cell.values()))
+        assert tokens == ["***"]
+
+    def test_singleton_cluster_is_emitted(self, paper_setup):
+        # A single alerted cell yields its own leaf codeword (this is the case
+        # the paper's pseudo-code misses; see the module docstring).
+        _, minimizer = paper_setup
+        assert minimizer.minimize(["01*"]) == ["01*"]
+
+    def test_duplicates_are_ignored(self, paper_setup):
+        _, minimizer = paper_setup
+        assert minimizer.minimize(["01*", "01*"]) == ["01*"]
+
+    def test_non_aggregatable_cells_stay_separate(self, paper_setup):
+        # v2 (000) and v3 (10*) are not consecutive leaves: two tokens.
+        _, minimizer = paper_setup
+        tokens = minimizer.minimize(["000", "10*"])
+        assert sorted(tokens) == ["000", "10*"]
+
+    def test_empty_input_gives_no_tokens(self, paper_setup):
+        _, minimizer = paper_setup
+        assert minimizer.minimize([]) == []
+
+    def test_unknown_codeword_rejected(self, paper_setup):
+        _, minimizer = paper_setup
+        with pytest.raises(KeyError):
+            minimizer.minimize(["111"])
+
+
+class TestPartialClusters:
+    def test_partially_alerted_subtree_is_not_aggregated(self, paper_setup):
+        # v2 (000) and v4 (01*) are consecutive with v1 (001) missing in
+        # between?  Actually 000 and 01* are NOT consecutive (001 sits between
+        # them), so each must be issued separately; crucially 00* or 0** must
+        # NOT be emitted because they would cover the non-alerted v1.
+        _, minimizer = paper_setup
+        tokens = minimizer.minimize(["000", "01*"])
+        assert sorted(tokens) == ["000", "01*"]
+
+    def test_consecutive_but_incomplete_subtree(self, paper_setup):
+        # v1 (001) and v4 (01*) are consecutive leaves but their common
+        # subtree root (0**) also contains v2 -> no aggregation allowed.
+        _, minimizer = paper_setup
+        tokens = minimizer.minimize(["001", "01*"])
+        assert sorted(tokens) == ["001", "01*"]
+
+
+class TestFunctionalInterface:
+    def test_function_and_wrapper_agree(self, paper_setup):
+        artifacts, minimizer = paper_setup
+        codewords = ["001", "10*", "11*"]
+        assert minimizer.minimize(codewords) == deterministic_minimization(
+            codewords,
+            leaf_order=artifacts.leaf_order,
+            subtree_leaf_counts=artifacts.subtree_leaf_counts,
+            reference_length=artifacts.reference_length,
+        )
+
+
+class TestLargerTree:
+    def test_deep_tree_aggregation(self):
+        # A very skewed distribution: the popular cell keeps a short code and
+        # the rest form a long spine; alerting the whole spine collapses to a
+        # single internal token, alerting the popular cell alone costs 1 symbol.
+        probabilities = [0.8, 0.1, 0.05, 0.03, 0.02]
+        artifacts = build_coding_artifacts(build_huffman_tree(probabilities))
+        minimizer = DeterministicMinimizer(
+            leaf_order=artifacts.leaf_order,
+            subtree_leaf_counts=artifacts.subtree_leaf_counts,
+            reference_length=artifacts.reference_length,
+        )
+        popular_codeword = artifacts.leaf_codeword_by_cell[0]
+        assert minimizer.minimize([popular_codeword]) == [popular_codeword]
+        others = [artifacts.leaf_codeword_by_cell[c] for c in (1, 2, 3, 4)]
+        tokens = minimizer.minimize(others)
+        assert len(tokens) == 1  # the non-popular subtree root

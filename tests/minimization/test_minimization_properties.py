@@ -1,0 +1,78 @@
+"""Cross-cutting property tests for token minimization.
+
+These strengthen the per-module tests with properties that must hold for any
+probability vector and any alert set:
+
+* tokens produced by Algorithm 3 cover each alerted leaf exactly once (they
+  partition the alerted set -- no overlaps, no gaps);
+* the minimized token set never costs more pairings than issuing one leaf
+  token per alerted cell;
+* canonical and weight-built Huffman trees agree on every per-cell code
+  length (canonicalisation is cost-neutral).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.base import pattern_matches_index
+from repro.encoding.canonical import canonicalize_tree
+from repro.encoding.huffman import HuffmanEncodingScheme, build_huffman_tree
+from repro.crypto.counting import pairing_cost_of_tokens
+
+
+@st.composite
+def probabilities_and_alert_set(draw):
+    probabilities = draw(st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=32))
+    n = len(probabilities)
+    alert_cells = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n, unique=True)
+    )
+    return probabilities, alert_cells
+
+
+class TestAlgorithm3Properties:
+    @given(probabilities_and_alert_set())
+    @settings(max_examples=80, deadline=None)
+    def test_tokens_partition_the_alerted_cells(self, case):
+        probabilities, alert_cells = case
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        patterns = encoding.token_patterns(alert_cells)
+        # Each alerted cell's index matches exactly one token; non-alerted
+        # cells match none.
+        for cell in range(encoding.n_cells):
+            index = encoding.index_of(cell)
+            matches = sum(1 for pattern in patterns if pattern_matches_index(pattern, index))
+            assert matches == (1 if cell in set(alert_cells) else 0)
+
+    @given(probabilities_and_alert_set())
+    @settings(max_examples=60, deadline=None)
+    def test_minimization_never_increases_cost(self, case):
+        probabilities, alert_cells = case
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        minimized = pairing_cost_of_tokens(encoding.token_patterns(alert_cells))
+        per_cell = pairing_cost_of_tokens(
+            [encoding.artifacts.leaf_codeword_by_cell[cell] for cell in set(alert_cells)]
+        )
+        assert minimized <= per_cell
+
+    @given(probabilities_and_alert_set())
+    @settings(max_examples=60, deadline=None)
+    def test_token_count_never_exceeds_alerted_cell_count(self, case):
+        probabilities, alert_cells = case
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        assert len(encoding.token_patterns(alert_cells)) <= len(set(alert_cells))
+
+
+class TestCanonicalisationIsCostNeutral:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_code_lengths_are_preserved(self, probabilities):
+        tree = build_huffman_tree(probabilities)
+        canonical = canonicalize_tree(tree)
+        original = {cell: len(code) for cell, code in tree.leaf_codes().items()}
+        rebuilt = {cell: len(code) for cell, code in canonical.leaf_codes().items()}
+        assert rebuilt == original
+        # Weighted averages are summed in a different leaf order, so allow for
+        # floating-point reassociation.
+        assert canonical.average_code_length() == pytest.approx(tree.average_code_length(), rel=1e-12)

@@ -1,0 +1,115 @@
+"""Tests for the Quine-McCluskey logic minimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minimization.quine_mccluskey import Implicant, QuineMcCluskeyMinimizer, minimize_boolean_function
+
+
+def _covered(implicants, width):
+    result = set()
+    for implicant in implicants:
+        for value in range(1 << width):
+            if implicant.covers(value):
+                result.add(value)
+    return result
+
+
+class TestImplicant:
+    def test_covers(self):
+        implicant = Implicant(value=0b100, mask=0b010, width=3)  # pattern 1*0
+        assert implicant.covers(0b100)
+        assert implicant.covers(0b110)
+        assert not implicant.covers(0b101)
+
+    def test_pattern_rendering(self):
+        assert Implicant(value=0b100, mask=0b010, width=3).pattern() == "1*0"
+        assert Implicant(value=0, mask=0b111, width=3).pattern() == "***"
+
+    def test_literal_count(self):
+        assert Implicant(value=0b100, mask=0b010, width=3).literal_count == 2
+
+
+class TestMinimizeBooleanFunction:
+    def test_empty_on_set(self):
+        assert minimize_boolean_function(3, []) == []
+
+    def test_single_minterm(self):
+        implicants = minimize_boolean_function(3, [5])
+        assert [i.pattern() for i in implicants] == ["101"]
+
+    def test_textbook_example(self):
+        # f(a,b,c,d) with minterms {4,8,10,11,12,15} and DC {9,14}:
+        # classic example minimizing to three implicants.
+        implicants = minimize_boolean_function(4, [4, 8, 10, 11, 12, 15], dont_cares=[9, 14])
+        covered = _covered(implicants, 4)
+        assert {4, 8, 10, 11, 12, 15} <= covered
+        assert covered <= {4, 8, 10, 11, 12, 15, 9, 14}
+        assert len(implicants) <= 3
+
+    def test_paper_section_3_3_example(self):
+        # Alert zone 0000, 0010, 0110, 0100 -> single token 0**0 (cost 2 literals).
+        implicants = minimize_boolean_function(4, [0b0000, 0b0010, 0b0110, 0b0100])
+        assert [i.pattern() for i in implicants] == ["0**0"]
+
+    def test_full_domain_collapses_to_all_star(self):
+        implicants = minimize_boolean_function(3, list(range(8)))
+        assert [i.pattern() for i in implicants] == ["***"]
+
+    def test_dont_cares_are_never_required(self):
+        implicants = minimize_boolean_function(3, [0], dont_cares=[1, 2, 3, 4, 5, 6, 7])
+        covered_on = _covered(implicants, 3)
+        assert 0 in covered_on
+
+    def test_term_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_boolean_function(3, [8])
+        with pytest.raises(ValueError):
+            minimize_boolean_function(0, [0])
+
+    def test_cover_is_exact_without_dont_cares(self):
+        minterms = [1, 2, 3, 7, 11, 13]
+        implicants = minimize_boolean_function(4, minterms)
+        assert _covered(implicants, 4) == set(minterms)
+
+    def test_minimization_reduces_literal_cost(self):
+        minterms = list(range(8))  # one aligned block inside a 4-bit space
+        implicants = minimize_boolean_function(4, minterms)
+        total_literals = sum(i.literal_count for i in implicants)
+        assert total_literals < len(minterms) * 4
+        assert total_literals == 1  # block 0*** -> a single literal
+
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_functions_cover_exactly_their_minterms(self, width, data):
+        universe = list(range(1 << width))
+        minterms = data.draw(st.lists(st.sampled_from(universe), min_size=1, max_size=len(universe), unique=True))
+        remaining = [v for v in universe if v not in minterms]
+        dont_cares = data.draw(st.lists(st.sampled_from(remaining), max_size=len(remaining), unique=True)) if remaining else []
+        implicants = minimize_boolean_function(width, minterms, dont_cares)
+        covered = _covered(implicants, width)
+        assert set(minterms) <= covered
+        assert covered <= set(minterms) | set(dont_cares)
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_never_more_implicants_than_minterms(self, width, data):
+        universe = list(range(1 << width))
+        minterms = data.draw(st.lists(st.sampled_from(universe), min_size=1, max_size=len(universe), unique=True))
+        implicants = minimize_boolean_function(width, minterms)
+        assert len(implicants) <= len(minterms)
+
+
+class TestQuineMcCluskeyMinimizer:
+    def test_pattern_interface(self):
+        minimizer = QuineMcCluskeyMinimizer(width=4)
+        assert minimizer.minimize([0, 2, 4, 6]) == ["0**0"]
+
+    def test_dont_cares_from_constructor(self):
+        minimizer = QuineMcCluskeyMinimizer(width=3, dont_cares=frozenset({6, 7}))
+        patterns = minimizer.minimize([4, 5])
+        assert patterns == ["1**"]

@@ -1,0 +1,115 @@
+"""Tests for the logistic-regression cell-likelihood model."""
+
+import numpy as np
+import pytest
+
+from repro.probability.crime_model import CellFeatureExtractor, CellLikelihoodModel, LogisticRegressionModel
+
+
+def _separable_dataset(n: int = 200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 3))
+    labels = (features[:, 0] + 0.5 * features[:, 1] > 0).astype(int)
+    return features, labels
+
+
+class TestLogisticRegressionModel:
+    def test_learns_a_separable_problem(self):
+        features, labels = _separable_dataset()
+        model = LogisticRegressionModel(learning_rate=0.5, n_iterations=800)
+        model.fit(features, labels)
+        assert model.accuracy(features, labels) > 0.9
+
+    def test_probabilities_in_unit_interval(self):
+        features, labels = _separable_dataset()
+        model = LogisticRegressionModel().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_predict_threshold(self):
+        features, labels = _separable_dataset()
+        model = LogisticRegressionModel().fit(features, labels)
+        strict = model.predict(features, threshold=0.9).sum()
+        lenient = model.predict(features, threshold=0.1).sum()
+        assert lenient >= strict
+
+    def test_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionModel().predict_proba(np.zeros((2, 2)))
+
+    def test_input_validation(self):
+        model = LogisticRegressionModel()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(n_iterations=0)
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(l2_penalty=-1)
+
+
+class TestCellFeatureExtractor:
+    def test_feature_matrix_shape(self):
+        extractor = CellFeatureExtractor(rows=4, cols=4)
+        counts = np.random.default_rng(1).poisson(2.0, size=(16, 11))
+        features = extractor.extract(counts)
+        assert features.shape == (16, CellFeatureExtractor.N_FEATURES)
+
+    def test_features_are_standardised(self):
+        extractor = CellFeatureExtractor(rows=4, cols=4)
+        counts = np.random.default_rng(2).poisson(2.0, size=(16, 11))
+        features = extractor.extract(counts)
+        assert np.allclose(features.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_rejects_wrong_cell_count(self):
+        extractor = CellFeatureExtractor(rows=4, cols=4)
+        with pytest.raises(ValueError):
+            extractor.extract(np.zeros((10, 11)))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CellFeatureExtractor(rows=0, cols=4)
+        with pytest.raises(ValueError):
+            CellFeatureExtractor(rows=4, cols=4).extract(np.zeros(16))
+
+
+class TestCellLikelihoodModel:
+    def _monthly_counts(self, rows=8, cols=8, seed=3):
+        rng = np.random.default_rng(seed)
+        n_cells = rows * cols
+        # Hot cells have consistently high monthly counts; cold cells near zero.
+        base = np.where(rng.random(n_cells) < 0.2, 5.0, 0.1)
+        return rng.poisson(np.tile(base[:, None], (1, 12)))
+
+    def test_end_to_end_fit(self):
+        counts = self._monthly_counts()
+        model = CellLikelihoodModel(rows=8, cols=8).fit(counts)
+        probabilities = model.cell_probabilities()
+        assert len(probabilities) == 64
+        assert all(0.0 <= p <= 1.0 for p in probabilities)
+        assert model.accuracy_ is not None and model.accuracy_ > 0.7
+
+    def test_hot_cells_get_higher_likelihood(self):
+        counts = self._monthly_counts()
+        model = CellLikelihoodModel(rows=8, cols=8).fit(counts)
+        probabilities = np.array(model.cell_probabilities())
+        totals = counts[:, :11].sum(axis=1)
+        hot = probabilities[totals >= np.quantile(totals, 0.9)].mean()
+        cold = probabilities[totals <= np.quantile(totals, 0.1)].mean()
+        assert hot > cold
+
+    def test_requires_held_out_month(self):
+        counts = self._monthly_counts()[:, :11]
+        with pytest.raises(ValueError):
+            CellLikelihoodModel(rows=8, cols=8, train_months=11).fit(counts)
+
+    def test_requires_fit_before_probabilities(self):
+        with pytest.raises(RuntimeError):
+            CellLikelihoodModel(rows=8, cols=8).cell_probabilities()

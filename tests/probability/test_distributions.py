@@ -1,0 +1,87 @@
+"""Tests for probability-vector helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability.distributions import (
+    entropy_bits,
+    normalize,
+    probability_skew,
+    top_k_mass,
+    validate_probability_vector,
+)
+
+
+class TestValidation:
+    def test_rejects_empty_vector(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector([])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector([0.1, -0.2])
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector([0.1, float("nan")])
+        with pytest.raises(ValueError):
+            validate_probability_vector([float("inf")])
+
+    def test_zero_sum_policy(self):
+        with pytest.raises(ValueError):
+            validate_probability_vector([0.0, 0.0])
+        validate_probability_vector([0.0, 0.0], allow_zero_sum=True)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        result = normalize([1.0, 3.0])
+        assert result == [0.25, 0.75]
+        assert sum(result) == pytest.approx(1.0)
+
+    def test_all_zero_maps_to_uniform(self):
+        assert normalize([0.0, 0.0, 0.0, 0.0]) == [0.25] * 4
+
+    def test_zero_entries_stay_zero(self):
+        assert normalize([0.0, 2.0])[0] == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_normalization_invariants(self, values):
+        result = normalize(values)
+        assert len(result) == len(values)
+        assert all(v >= 0 for v in result)
+        assert sum(result) == pytest.approx(1.0)
+
+
+class TestEntropy:
+    def test_uniform_entropy_is_log2_n(self):
+        assert entropy_bits([1.0] * 8) == pytest.approx(3.0)
+
+    def test_degenerate_distribution_has_zero_entropy(self):
+        assert entropy_bits([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_entropy_bounded_by_log2_n(self):
+        values = [0.5, 0.2, 0.2, 0.1]
+        assert 0.0 <= entropy_bits(values) <= math.log2(4) + 1e-9
+
+
+class TestSkewAndMass:
+    def test_uniform_skew_is_one(self):
+        assert probability_skew([0.2] * 5) == pytest.approx(1.0)
+
+    def test_peaked_distribution_has_high_skew(self):
+        assert probability_skew([1.0, 0.001, 0.001, 0.001]) > 3.0
+
+    def test_top_k_mass(self):
+        values = [0.5, 0.3, 0.1, 0.1]
+        assert top_k_mass(values, 1) == pytest.approx(0.5)
+        assert top_k_mass(values, 2) == pytest.approx(0.8)
+        assert top_k_mass(values, 10) == pytest.approx(1.0)
+
+    def test_top_k_mass_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            top_k_mass([0.5, 0.5], 0)

@@ -1,0 +1,112 @@
+"""Tests for the correlated-cell probability models (Markov / smoothed fields)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.geometry import BoundingBox
+from repro.grid.grid import Grid
+from repro.probability.markov import GridMarkovModel, spatially_correlated_probabilities
+
+
+@pytest.fixture
+def grid() -> Grid:
+    return Grid(rows=6, cols=6, bounding_box=BoundingBox(0.0, 0.0, 600.0, 600.0))
+
+
+class TestGridMarkovModel:
+    def test_transition_matrix_is_row_stochastic(self, grid):
+        model = GridMarkovModel(grid, laziness=0.3)
+        matrix = model.transition_matrix()
+        assert matrix.shape == (36, 36)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_transitions_only_to_neighbors_or_self(self, grid):
+        model = GridMarkovModel(grid)
+        matrix = model.transition_matrix()
+        for cell in range(grid.n_cells):
+            allowed = set(grid.neighbors(cell)) | {cell}
+            reachable = set(np.nonzero(matrix[cell])[0])
+            assert reachable <= allowed
+
+    def test_stationary_distribution_is_a_distribution(self, grid):
+        model = GridMarkovModel(grid, laziness=0.2)
+        stationary = model.stationary_distribution()
+        assert len(stationary) == grid.n_cells
+        assert all(v >= 0 for v in stationary)
+        assert sum(stationary) == pytest.approx(1.0)
+
+    def test_stationary_distribution_is_invariant(self, grid):
+        model = GridMarkovModel(grid, laziness=0.2)
+        stationary = np.array(model.stationary_distribution())
+        matrix = model.transition_matrix()
+        assert np.allclose(stationary @ matrix, stationary, atol=1e-6)
+
+    def test_attractive_cells_get_more_mass(self, grid):
+        attractiveness = [0.1] * grid.n_cells
+        hot = grid.cell_id(3, 3)
+        attractiveness[hot] = 10.0
+        model = GridMarkovModel(grid, attractiveness=attractiveness)
+        stationary = model.stationary_distribution()
+        assert stationary[hot] == max(stationary)
+
+    def test_uniform_attractiveness_keeps_corners_lighter(self, grid):
+        # Corners have fewer neighbours, so a neighbour-weighted walk visits
+        # them less often than central cells.
+        model = GridMarkovModel(grid, laziness=0.0)
+        stationary = model.stationary_distribution()
+        assert stationary[grid.cell_id(0, 0)] < stationary[grid.cell_id(3, 3)]
+
+    def test_cell_probabilities_scaled_to_unit_peak(self, grid):
+        model = GridMarkovModel(grid)
+        probabilities = model.cell_probabilities()
+        assert max(probabilities) == pytest.approx(1.0)
+        assert all(0.0 <= p <= 1.0 for p in probabilities)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            GridMarkovModel(grid, attractiveness=[1.0] * 5)
+        with pytest.raises(ValueError):
+            GridMarkovModel(grid, attractiveness=[-1.0] * grid.n_cells)
+        with pytest.raises(ValueError):
+            GridMarkovModel(grid, laziness=1.0)
+        with pytest.raises(ValueError):
+            GridMarkovModel(grid).cell_probabilities(scale=0.0)
+
+
+class TestSpatiallyCorrelatedProbabilities:
+    def test_output_shape_and_range(self, grid):
+        values = spatially_correlated_probabilities(grid, seed=1)
+        assert len(values) == grid.n_cells
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_reproducibility(self, grid):
+        a = spatially_correlated_probabilities(grid, seed=5)
+        b = spatially_correlated_probabilities(grid, seed=5)
+        assert a == b
+
+    def test_neighbouring_cells_are_more_similar_than_random_pairs(self):
+        grid = Grid(rows=16, cols=16)
+        values = spatially_correlated_probabilities(grid, correlation_cells=2.5, skew=1.0, seed=7)
+        neighbor_gaps = []
+        for cell in range(grid.n_cells):
+            for neighbor in grid.neighbors(cell, diagonal=False):
+                neighbor_gaps.append(abs(values[cell] - values[neighbor]))
+        import random as _random
+
+        rng = _random.Random(3)
+        random_gaps = [
+            abs(values[rng.randrange(grid.n_cells)] - values[rng.randrange(grid.n_cells)]) for _ in range(2000)
+        ]
+        assert sum(neighbor_gaps) / len(neighbor_gaps) < sum(random_gaps) / len(random_gaps)
+
+    def test_higher_skew_concentrates_mass(self, grid):
+        soft = spatially_correlated_probabilities(grid, skew=1.0, seed=9)
+        sharp = spatially_correlated_probabilities(grid, skew=6.0, seed=9)
+        assert sum(sharp) < sum(soft)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            spatially_correlated_probabilities(grid, correlation_cells=0.0)
+        with pytest.raises(ValueError):
+            spatially_correlated_probabilities(grid, skew=0.0)

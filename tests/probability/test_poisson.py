@@ -1,0 +1,77 @@
+"""Tests for the Poisson alert-count model (Theorem 1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.probability.poisson import (
+    alert_count_distribution,
+    expected_alert_count,
+    poisson_cdf,
+    poisson_pmf,
+    poisson_sample,
+)
+
+
+class TestPmf:
+    def test_rate_one_matches_equation_4(self):
+        # P(Y = k) = e^-1 / k!
+        for k in range(6):
+            assert poisson_pmf(k, 1.0) == pytest.approx(math.exp(-1) / math.factorial(k))
+
+    def test_single_alert_cell_is_modal_positive_count(self):
+        # With rate one, P(Y=0) == P(Y=1) and both dominate every k >= 2.
+        assert poisson_pmf(1, 1.0) == pytest.approx(poisson_pmf(0, 1.0))
+        assert poisson_pmf(1, 1.0) > poisson_pmf(2, 1.0) > poisson_pmf(3, 1.0)
+
+    def test_negative_k_has_zero_probability(self):
+        assert poisson_pmf(-1, 1.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -0.5)
+
+    def test_pmf_sums_to_one(self):
+        total = sum(poisson_pmf(k, 1.0) for k in range(30))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCdf:
+    def test_monotone_and_bounded(self):
+        values = [poisson_cdf(k, 1.0) for k in range(10)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] <= 1.0
+        assert poisson_cdf(-1, 1.0) == 0.0
+
+
+class TestSampling:
+    def test_zero_rate_always_zero(self):
+        assert poisson_sample(0.0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_sample(-1.0)
+
+    def test_sample_mean_close_to_rate(self):
+        rng = random.Random(7)
+        samples = [poisson_sample(2.0, rng) for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, abs=0.15)
+
+    def test_reproducible_with_seed(self):
+        a = [poisson_sample(1.0, random.Random(5)) for _ in range(10)]
+        b = [poisson_sample(1.0, random.Random(5)) for _ in range(10)]
+        assert a == b
+
+
+class TestAlertCountDistribution:
+    def test_rate_is_sum_of_probabilities(self):
+        probabilities = [0.2, 0.3, 0.5]
+        assert expected_alert_count(probabilities) == pytest.approx(1.0)
+        distribution = alert_count_distribution(probabilities, max_k=5)
+        assert distribution[0] == pytest.approx(math.exp(-1))
+        assert len(distribution) == 6
+
+    def test_rejects_negative_max_k(self):
+        with pytest.raises(ValueError):
+            alert_count_distribution([0.5], max_k=-1)

@@ -1,0 +1,75 @@
+"""Tests for the synthetic sigmoid likelihood model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability.sigmoid import SigmoidProbabilityModel, sigmoid
+
+
+class TestSigmoidFunction:
+    def test_value_at_inflection_point(self):
+        assert sigmoid(0.9, a=0.9, b=100) == pytest.approx(0.5)
+
+    def test_monotonicity(self):
+        values = [sigmoid(x / 10, a=0.5, b=10) for x in range(11)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_extreme_arguments_do_not_overflow(self):
+        assert sigmoid(0.0, a=0.99, b=100000) == 0.0
+        assert sigmoid(1.0, a=0.01, b=100000) == 1.0
+
+    def test_gradient_sharpens_transition(self):
+        soft = sigmoid(0.95, a=0.9, b=10)
+        sharp = sigmoid(0.95, a=0.9, b=200)
+        assert sharp > soft
+
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0.01, max_value=0.99), st.floats(min_value=1, max_value=500))
+    @settings(max_examples=100)
+    def test_output_in_unit_interval(self, x, a, b):
+        assert 0.0 <= sigmoid(x, a, b) <= 1.0
+
+
+class TestSigmoidProbabilityModel:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SigmoidProbabilityModel(a=0.0, b=10)
+        with pytest.raises(ValueError):
+            SigmoidProbabilityModel(a=1.0, b=10)
+        with pytest.raises(ValueError):
+            SigmoidProbabilityModel(a=0.5, b=0)
+
+    def test_cell_count_and_range(self):
+        model = SigmoidProbabilityModel(a=0.95, b=20, seed=1)
+        values = model.cell_probabilities(256)
+        assert len(values) == 256
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            SigmoidProbabilityModel(seed=1).cell_probabilities(0)
+
+    def test_seed_reproducibility(self):
+        a = SigmoidProbabilityModel(a=0.9, b=100, seed=5).cell_probabilities(64)
+        b = SigmoidProbabilityModel(a=0.9, b=100, seed=5).cell_probabilities(64)
+        assert a == b
+
+    def test_external_rng_overrides_seed(self):
+        model = SigmoidProbabilityModel(a=0.9, b=100, seed=5)
+        a = model.cell_probabilities(64, rng=random.Random(1))
+        b = model.cell_probabilities(64, rng=random.Random(1))
+        assert a == b
+
+    def test_higher_inflection_point_gives_more_skew(self):
+        # A higher "a" pushes more cells toward zero likelihood.
+        low = SigmoidProbabilityModel(a=0.90, b=100, seed=3).cell_probabilities(1024)
+        high = SigmoidProbabilityModel(a=0.99, b=100, seed=3).cell_probabilities(1024)
+        fraction_hot_low = sum(1 for v in low if v > 0.5) / len(low)
+        fraction_hot_high = sum(1 for v in high if v > 0.5) / len(high)
+        assert fraction_hot_high < fraction_hot_low
+
+    def test_describe_mentions_parameters(self):
+        text = SigmoidProbabilityModel(a=0.9, b=10).describe()
+        assert "0.9" in text and "10" in text

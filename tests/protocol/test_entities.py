@@ -1,0 +1,135 @@
+"""Tests for the protocol parties (users, TA, SP)."""
+
+import random
+
+import pytest
+
+from repro.encoding.fixed_length import FixedLengthEncodingScheme
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.grid.alert_zone import AlertZone
+from repro.grid.geometry import BoundingBox, Point
+from repro.grid.grid import Grid
+from repro.protocol.entities import MobileUser, ServiceProvider, TrustedAuthority
+from repro.protocol.messages import AlertDeclaration
+
+
+@pytest.fixture(scope="module")
+def grid() -> Grid:
+    return Grid(rows=4, cols=4, bounding_box=BoundingBox(0.0, 0.0, 400.0, 400.0))
+
+
+@pytest.fixture(scope="module")
+def probabilities(grid) -> list[float]:
+    values = [0.05] * grid.n_cells
+    values[5] = 0.8
+    values[6] = 0.6
+    values[10] = 0.7
+    return values
+
+
+@pytest.fixture(scope="module")
+def authority(grid, probabilities) -> TrustedAuthority:
+    return TrustedAuthority(
+        grid=grid,
+        probabilities=probabilities,
+        scheme=HuffmanEncodingScheme(),
+        prime_bits=32,
+        rng=random.Random(55),
+    )
+
+
+class TestTrustedAuthority:
+    def test_encoding_width_matches_hve_width(self, authority):
+        assert authority.hve.width == authority.encoding.reference_length
+
+    def test_public_material_is_consistent(self, authority):
+        assert authority.public_key.width == authority.hve.width
+        assert authority.public_encoding() is authority.encoding
+
+    def test_token_patterns_cover_zone_exactly(self, authority):
+        zone = AlertZone(cell_ids=(5, 6))
+        patterns = authority.token_patterns_for_zone(zone)
+        authority.encoding.audit_tokens([5, 6], patterns)
+
+    def test_issue_tokens(self, authority):
+        declaration = AlertDeclaration(zone=AlertZone(cell_ids=(5, 6, 10)), alert_id="alert-1")
+        batch = authority.issue_tokens(declaration)
+        assert batch.alert_id == "alert-1"
+        assert len(batch.tokens) >= 1
+        assert all(len(token.pattern) == authority.hve.width for token in batch.tokens)
+
+    def test_rejects_invalid_probability_vector(self, grid):
+        with pytest.raises(ValueError):
+            TrustedAuthority(grid, [0.1] * 3, HuffmanEncodingScheme(), prime_bits=32)
+
+
+class TestMobileUser:
+    def test_cell_lookup_and_movement(self, grid):
+        user = MobileUser(user_id="u1", location=Point(50, 50))
+        assert user.current_cell(grid) == 0
+        user.move_to(Point(350, 350))
+        assert user.current_cell(grid) == 15
+
+    def test_report_location_encrypts_current_cell(self, authority, grid):
+        user = MobileUser(user_id="u1", location=grid.cell_center(5))
+        update = user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+        assert update.user_id == "u1"
+        token = authority.hve.generate_token(
+            authority._secret_key(), authority.encoding.index_of(5)
+        )
+        assert authority.hve.matches(update.ciphertext, token)
+
+    def test_sequence_numbers_increase(self, authority, grid):
+        user = MobileUser(user_id="u2", location=grid.cell_center(3))
+        first = user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+        second = user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+        assert second.sequence_number == first.sequence_number + 1
+
+
+class TestServiceProvider:
+    def test_keeps_only_latest_update(self, authority, grid):
+        provider = ServiceProvider(authority.hve)
+        user = MobileUser(user_id="u3", location=grid.cell_center(5))
+        first = user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+        user.move_to(grid.cell_center(10))
+        second = user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+        provider.receive_update(second)
+        provider.receive_update(first)  # stale update must not overwrite
+        assert provider.subscriber_count == 1
+        batch = authority.issue_tokens(AlertDeclaration(zone=AlertZone(cell_ids=(10,)), alert_id="a"))
+        assert [n.user_id for n in provider.process_alert(batch)] == ["u3"]
+
+    def test_matching_notifies_exactly_users_in_zone(self, authority, grid):
+        provider = ServiceProvider(authority.hve)
+        placements = {"inside-1": 5, "inside-2": 6, "outside": 12}
+        for user_id, cell in placements.items():
+            user = MobileUser(user_id=user_id, location=grid.cell_center(cell))
+            provider.receive_update(
+                user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+            )
+        batch = authority.issue_tokens(AlertDeclaration(zone=AlertZone(cell_ids=(5, 6)), alert_id="zone-1"))
+        notified = sorted(n.user_id for n in provider.process_alert(batch, description="test"))
+        assert notified == ["inside-1", "inside-2"]
+        assert len(provider.notification_log()) == 2
+
+    def test_pairing_counter_exposed(self, authority):
+        provider = ServiceProvider(authority.hve)
+        assert provider.pairing_counter is authority.group.counter
+
+
+class TestSchemeInteroperability:
+    def test_fixed_length_authority_round_trip(self, grid, probabilities):
+        authority = TrustedAuthority(
+            grid=grid,
+            probabilities=probabilities,
+            scheme=FixedLengthEncodingScheme(),
+            prime_bits=32,
+            rng=random.Random(77),
+        )
+        provider = ServiceProvider(authority.hve)
+        user = MobileUser(user_id="u", location=grid.cell_center(9))
+        provider.receive_update(
+            user.report_location(grid, authority.public_encoding(), authority.hve, authority.public_key)
+        )
+        batch = authority.issue_tokens(AlertDeclaration(zone=AlertZone(cell_ids=(9, 10)), alert_id="x"))
+        assert [n.user_id for n in provider.process_alert(batch)] == ["u"]

@@ -1,0 +1,67 @@
+"""Tests for the protocol message payloads."""
+
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.grid.alert_zone import AlertZone
+from repro.protocol.messages import AlertDeclaration, LocationUpdate, Notification, TokenBatch
+
+
+@pytest.fixture(scope="module")
+def hve_material():
+    group = BilinearGroup(prime_bits=32, rng=random.Random(13))
+    hve = HVE(width=3, group=group, rng=random.Random(14))
+    keys = hve.setup()
+    ciphertext = hve.encrypt(keys.public, "010")
+    tokens = hve.generate_tokens(keys.secret, ["0**", "01*"])
+    return ciphertext, tokens
+
+
+class TestLocationUpdate:
+    def test_valid_update(self, hve_material):
+        ciphertext, _ = hve_material
+        update = LocationUpdate(user_id="alice", ciphertext=ciphertext, sequence_number=3)
+        assert update.user_id == "alice"
+        assert update.sequence_number == 3
+
+    def test_validation(self, hve_material):
+        ciphertext, _ = hve_material
+        with pytest.raises(ValueError):
+            LocationUpdate(user_id="", ciphertext=ciphertext)
+        with pytest.raises(ValueError):
+            LocationUpdate(user_id="alice", ciphertext=ciphertext, sequence_number=-1)
+
+
+class TestAlertDeclaration:
+    def test_validation(self):
+        zone = AlertZone(cell_ids=(1, 2))
+        declaration = AlertDeclaration(zone=zone, alert_id="a1", description="leak")
+        assert declaration.alert_id == "a1"
+        with pytest.raises(ValueError):
+            AlertDeclaration(zone=zone, alert_id="")
+
+
+class TestTokenBatch:
+    def test_cost_accounting(self, hve_material):
+        _, tokens = hve_material
+        batch = TokenBatch(alert_id="a1", tokens=tuple(tokens))
+        # Patterns 0** (1 non-star) and 01* (2 non-star).
+        assert batch.total_non_star_bits == 3
+        assert batch.pairing_cost_per_ciphertext == (1 + 2 * 1) + (1 + 2 * 2)
+
+    def test_validation(self, hve_material):
+        _, tokens = hve_material
+        with pytest.raises(ValueError):
+            TokenBatch(alert_id="", tokens=tuple(tokens))
+        with pytest.raises(ValueError):
+            TokenBatch(alert_id="a1", tokens=())
+
+
+class TestNotification:
+    def test_fields(self):
+        notification = Notification(user_id="bob", alert_id="a2", description="exposure")
+        assert notification.user_id == "bob"
+        assert notification.alert_id == "a2"

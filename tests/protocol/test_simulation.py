@@ -1,0 +1,73 @@
+"""Tests for the population-scale alert-service simulation."""
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig, SimulationResult
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(rows=6, cols=6, sigmoid_a=0.85, sigmoid_b=20, seed=101, extent_meters=600.0)
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(move_probability=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(report_every_steps=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(alert_rate_per_step=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(alert_radius=-5)
+
+
+class TestAlertServiceSimulation:
+    def test_population_is_registered(self, scenario):
+        config = SimulationConfig(num_users=8, seed=1, prime_bits=32)
+        simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
+        assert simulation.system.provider.subscriber_count == 8
+
+    def test_run_produces_per_step_stats(self, scenario):
+        config = SimulationConfig(num_users=6, alert_rate_per_step=1.0, alert_radius=80.0, seed=2, prime_bits=32)
+        simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
+        result = simulation.run(steps=4)
+        assert isinstance(result, SimulationResult)
+        assert len(result.steps) == 4
+        assert [s.step for s in result.steps] == [0, 1, 2, 3]
+        rows = result.as_rows()
+        assert len(rows) == 4
+        assert set(rows[0]) == {"step", "reports", "alerts", "tokens", "notifications", "pairings"}
+
+    def test_alerts_consume_pairings(self, scenario):
+        config = SimulationConfig(num_users=6, alert_rate_per_step=2.0, alert_radius=80.0, seed=3, prime_bits=32)
+        simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
+        result = simulation.run(steps=5)
+        # With rate 2 per step over 5 steps, at least one alert fires with
+        # overwhelming probability for this seed; pairings follow.
+        assert result.total_alerts > 0
+        assert result.total_pairings > 0
+        assert result.total_pairings == sum(s.pairings_spent for s in result.steps)
+
+    def test_zero_alert_rate_never_spends_pairings(self, scenario):
+        config = SimulationConfig(num_users=5, alert_rate_per_step=0.0, seed=4, prime_bits=32)
+        simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
+        result = simulation.run(steps=3)
+        assert result.total_alerts == 0
+        assert result.total_pairings == 0
+        assert result.total_notifications == 0
+
+    def test_reproducibility(self, scenario):
+        config = SimulationConfig(num_users=5, alert_rate_per_step=1.0, seed=5, prime_bits=32)
+        first = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config).run(3)
+        second = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config).run(3)
+        assert first.as_rows() == second.as_rows()
+
+    def test_invalid_steps(self, scenario):
+        config = SimulationConfig(num_users=3, seed=6, prime_bits=32)
+        simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
+        with pytest.raises(ValueError):
+            simulation.run(0)

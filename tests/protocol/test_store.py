@@ -1,0 +1,124 @@
+"""Tests for the ciphertext store and batch alert matching."""
+
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.protocol.messages import LocationUpdate, TokenBatch
+from repro.protocol.store import BatchMatcher, CiphertextStore
+
+PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6, 0.3, 0.25, 0.15]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+    group = BilinearGroup(prime_bits=32, rng=random.Random(71))
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(72))
+    keys = hve.setup()
+    return encoding, hve, keys
+
+
+def _update(setup, user_id, cell, sequence=0):
+    encoding, hve, keys = setup
+    ciphertext = hve.encrypt(keys.public, encoding.index_of(cell))
+    return LocationUpdate(user_id=user_id, ciphertext=ciphertext, sequence_number=sequence)
+
+
+def _batch(setup, alert_id, cells):
+    encoding, hve, keys = setup
+    tokens = hve.generate_tokens(keys.secret, encoding.token_patterns(cells))
+    return TokenBatch(alert_id=alert_id, tokens=tuple(tokens))
+
+
+class TestCiphertextStore:
+    def test_ingest_and_lookup(self, setup):
+        store = CiphertextStore()
+        assert store.ingest(_update(setup, "alice", 2), received_at=100.0)
+        assert "alice" in store
+        assert len(store) == 1
+        assert store.report_for("alice").sequence_number == 0
+
+    def test_stale_sequence_numbers_are_ignored(self, setup):
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2, sequence=5), received_at=100.0)
+        assert not store.ingest(_update(setup, "alice", 3, sequence=4), received_at=200.0)
+        assert store.report_for("alice").sequence_number == 5
+
+    def test_expiry(self, setup):
+        store = CiphertextStore(max_age_seconds=60.0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 3), received_at=100.0)
+        assert [r.user_id for r in store.fresh_reports(now=110.0)] == ["bob"]
+        assert store.stale_users(now=110.0) == ["alice"]
+        assert store.purge_stale(now=110.0) == 1
+        assert len(store) == 1
+
+    def test_no_expiry_by_default(self, setup):
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        assert store.stale_users(now=1e9) == []
+        assert len(store.fresh_reports(now=1e9)) == 1
+
+    def test_invalid_max_age(self):
+        with pytest.raises(ValueError):
+            CiphertextStore(max_age_seconds=0.0)
+
+    def test_save_and_load_round_trip(self, setup, tmp_path):
+        encoding, hve, keys = setup
+        store = CiphertextStore(max_age_seconds=3600.0)
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        store.ingest(_update(setup, "bob", 5), received_at=20.0)
+        path = tmp_path / "store.json"
+        store.save(path)
+
+        restored = CiphertextStore.load(path, hve.group)
+        assert len(restored) == 2
+        assert restored.max_age_seconds == 3600.0
+        # Restored ciphertexts still match correctly.
+        matcher = BatchMatcher(hve, restored)
+        batch = _batch(setup, "zone-a", [2])
+        notified = [n.user_id for n in matcher.process([batch], now=30.0)]
+        assert notified == ["alice"]
+
+
+class TestBatchMatcher:
+    def test_multiple_alerts_single_pass(self, setup):
+        _, hve, _ = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 5), received_at=0.0)
+        store.ingest(_update(setup, "carol", 7), received_at=0.0)
+        matcher = BatchMatcher(hve, store)
+        batches = [_batch(setup, "alert-1", [2, 3]), _batch(setup, "alert-2", [5])]
+        notifications = matcher.process(batches, now=1.0, descriptions={"alert-1": "leak"})
+        outcome = {(n.user_id, n.alert_id) for n in notifications}
+        assert outcome == {("alice", "alert-1"), ("bob", "alert-2")}
+        descriptions = {n.alert_id: n.description for n in notifications}
+        assert descriptions["alert-1"] == "leak"
+
+    def test_expired_reports_are_not_matched(self, setup):
+        _, hve, _ = setup
+        store = CiphertextStore(max_age_seconds=10.0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        matcher = BatchMatcher(hve, store)
+        batch = _batch(setup, "late-alert", [2])
+        assert matcher.process([batch], now=1_000.0) == []
+
+    def test_pairing_cost_upper_bound(self, setup):
+        _, hve, _ = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 5), received_at=0.0)
+        matcher = BatchMatcher(hve, store)
+        batch = _batch(setup, "alert", [2, 5])
+        bound = matcher.pairing_cost_upper_bound([batch], now=1.0)
+        assert bound == batch.pairing_cost_per_ciphertext * 2
+        # The actual matching never exceeds the bound.
+        counter = hve.group.counter
+        before = counter.total
+        matcher.process([batch], now=1.0)
+        assert counter.total - before <= bound
