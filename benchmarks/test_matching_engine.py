@@ -1,0 +1,150 @@
+"""Provider-side throughput benchmark: naive vs planned matching engine.
+
+The figure-level benchmarks count pairings (the paper's metric); this module
+records the *wall-clock* trajectory of the provider's matching hot path.  A
+users x workload grid is matched under both engine strategies with pairing
+work factor 0, so the numbers isolate the engine's own overheads -- token
+planning, cached positions and the fused exponent-arithmetic path -- from
+simulated pairing cost.  The acceptance floor: the planned strategy must be
+at least 2x faster than the naive element-wise path on the 40-user compact
+zone workload.
+"""
+
+import random
+import time
+
+from benchmarks.conftest import publish_table
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.protocol.matching import MatchCandidate, MatchingEngine, MatchingOptions
+from repro.protocol.messages import TokenBatch
+
+MAX_USERS = 40
+USER_GRID = (10, 40)
+TIMING_ROUNDS = 5
+
+
+def _build_world(seed=4021):
+    scenario = make_synthetic_scenario(
+        rows=16, cols=16, sigmoid_a=0.95, sigmoid_b=100.0, seed=seed, extent_meters=1600.0
+    )
+    encoding = HuffmanEncodingScheme().build(scenario.probabilities)
+    group = BilinearGroup(prime_bits=64, rng=random.Random(seed + 1), pairing_work_factor=0)
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(seed + 2))
+    keys = hve.setup()
+    rng = random.Random(seed + 3)
+    candidates = [
+        MatchCandidate(
+            user_id=f"user-{i:03d}",
+            ciphertext=hve.encrypt(keys.public, encoding.index_of(rng.randrange(scenario.grid.n_cells))),
+        )
+        for i in range(MAX_USERS)
+    ]
+    return scenario, encoding, hve, keys, candidates
+
+
+def _workloads(scenario, encoding, hve, keys):
+    """Alert workloads spanning the token-count axis of the grid."""
+    compact_zone = scenario.workloads.triggered_radius_workload(50.0, 1).zones[0]
+    wide_zones = scenario.workloads.triggered_radius_workload(220.0, 2).zones
+    workloads = {}
+    compact_tokens = hve.generate_tokens(keys.secret, encoding.token_patterns(list(compact_zone.cell_ids)))
+    workloads["compact-zone"] = [TokenBatch(alert_id="compact", tokens=tuple(compact_tokens))]
+    wide_batches = []
+    for i, zone in enumerate(wide_zones):
+        tokens = hve.generate_tokens(keys.secret, encoding.token_patterns(list(zone.cell_ids)))
+        wide_batches.append(TokenBatch(alert_id=f"wide-{i}", tokens=tuple(tokens)))
+    workloads["wide-batch"] = wide_batches
+    return workloads
+
+
+def _time_strategy(hve, options, batches, candidates):
+    """Best-of-N wall clock for one matching round, plus its pairing count."""
+    engine = MatchingEngine(hve, options)
+    counter = hve.group.counter
+    before = counter.total
+    notifications = engine.match(batches, candidates)
+    pairings = counter.total - before
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        engine.match(batches, candidates)
+        best = min(best, time.perf_counter() - start)
+    return notifications, pairings, best
+
+
+def test_matching_engine_throughput_grid():
+    scenario, encoding, hve, keys, all_candidates = _build_world()
+    workloads = _workloads(scenario, encoding, hve, keys)
+
+    rows = []
+    speedups = {}
+    for workload_name, batches in workloads.items():
+        n_tokens = sum(len(b.tokens) for b in batches)
+        for n_users in USER_GRID:
+            candidates = all_candidates[:n_users]
+            naive_notes, naive_pairings, naive_secs = _time_strategy(
+                hve, MatchingOptions(strategy="naive"), batches, candidates
+            )
+            planned_notes, planned_pairings, planned_secs = _time_strategy(
+                hve, MatchingOptions(strategy="planned"), batches, candidates
+            )
+            assert planned_notes == naive_notes  # outcome parity before we trust the timing
+            speedup = naive_secs / planned_secs if planned_secs > 0 else float("inf")
+            speedups[(workload_name, n_users)] = speedup
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "users": n_users,
+                    "tokens": n_tokens,
+                    "naive_ms": round(naive_secs * 1e3, 3),
+                    "planned_ms": round(planned_secs * 1e3, 3),
+                    "speedup": round(speedup, 2),
+                    "naive_pairings": naive_pairings,
+                    "planned_pairings": planned_pairings,
+                    "notified": len(planned_notes),
+                }
+            )
+
+    publish_table(
+        "matching_engine_throughput",
+        f"Matching engine throughput: naive vs planned (work factor 0, best of {TIMING_ROUNDS})",
+        rows,
+    )
+
+    # Pairing counts can only shrink under the planned strategy's dedupe.
+    for row in rows:
+        assert row["planned_pairings"] <= row["naive_pairings"]
+    # Acceptance floor: >= 2x on the 40-user compact-zone workload.  The
+    # observed ratio is typically 3-5x; re-measure a couple of times before
+    # failing so a CPU-steal spike on a shared runner cannot flake the build.
+    floor = 2.0
+    speedup = speedups[("compact-zone", MAX_USERS)]
+    compact_batches = workloads["compact-zone"]
+    for _ in range(2):
+        if speedup >= floor:
+            break
+        _, _, naive_secs = _time_strategy(hve, MatchingOptions(strategy="naive"), compact_batches, all_candidates)
+        _, _, planned_secs = _time_strategy(hve, MatchingOptions(strategy="planned"), compact_batches, all_candidates)
+        speedup = max(speedup, naive_secs / planned_secs)
+    assert speedup >= floor
+
+
+def test_worker_scaling_smoke():
+    """Multi-worker matching produces identical output; timings go on record."""
+    scenario, encoding, hve, keys, candidates = _build_world(seed=4077)
+    batches = _workloads(scenario, encoding, hve, keys)["compact-zone"]
+    serial = MatchingEngine(hve, MatchingOptions(strategy="planned")).match(batches, candidates)
+    rows = []
+    for workers in (1, 2, 4):
+        options = MatchingOptions(strategy="planned", workers=workers, chunk_size=8)
+        notifications, pairings, secs = _time_strategy(hve, options, batches, candidates)
+        assert notifications == serial
+        rows.append({"workers": workers, "wall_ms": round(secs * 1e3, 3), "pairings": pairings})
+    publish_table(
+        "matching_engine_workers",
+        "Planned matching with worker threads (GIL-bound backend: parity check + overhead record)",
+        rows,
+    )

@@ -30,6 +30,7 @@ from repro.analysis.experiments import (
     radius_sweep_comparison,
 )
 from repro.datasets.synthetic import make_synthetic_scenario
+from repro.protocol.matching import MATCHING_STRATEGIES
 from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig
 
 __all__ = ["build_parser", "main"]
@@ -137,6 +138,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         alert_radius=args.radius,
         seed=args.seed,
         prime_bits=args.prime_bits,
+        matching_strategy=args.matching_strategy,
+        workers=args.workers,
     )
     simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
     result = simulation.run(args.steps)
@@ -189,6 +192,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--alert-rate", type=float, default=0.5, help="expected alerts per step")
     simulate.add_argument("--radius", type=float, default=100.0, help="alert radius in meters")
     simulate.add_argument("--prime-bits", type=int, default=48, help="prime size of the HVE group")
+    simulate.add_argument(
+        "--matching-strategy",
+        choices=sorted(MATCHING_STRATEGIES),
+        default="planned",
+        help="service-provider matching path: 'planned' (token plan + fused arithmetic) or 'naive' (element-wise parity path)",
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for chunked matching over the ciphertext store (1 disables the pool)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     return parser

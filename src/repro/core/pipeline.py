@@ -33,6 +33,7 @@ from repro.grid.alert_zone import AlertZone, circular_alert_zone
 from repro.grid.geometry import Point
 from repro.grid.grid import Grid
 from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
+from repro.protocol.matching import MatchingOptions
 from repro.protocol.messages import Notification
 
 __all__ = ["PipelineConfig", "AlertReport", "SecureAlertPipeline", "scheme_by_name"]
@@ -64,12 +65,20 @@ def scheme_by_name(name: str, alphabet_size: int = 3) -> EncodingScheme:
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """Tunables of a :class:`SecureAlertPipeline`."""
+    """Tunables of a :class:`SecureAlertPipeline`.
+
+    ``matching_strategy`` selects the service provider's evaluation path
+    (``"planned"`` is the optimized default; ``"naive"`` is the element-wise
+    parity path) and ``workers`` enables chunked multi-threaded matching over
+    the ciphertext store (off at the default of 1).
+    """
 
     scheme: str = "huffman"
     alphabet_size: int = 3
     prime_bits: int = 64
     seed: Optional[int] = None
+    matching_strategy: str = "planned"
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -110,6 +119,7 @@ class SecureAlertPipeline:
             scheme=scheme,
             prime_bits=config.prime_bits,
             rng=rng,
+            matching=MatchingOptions(strategy=config.matching_strategy, workers=config.workers),
         )
         return cls(system, config)
 

@@ -16,6 +16,7 @@ cost of the matching step at the service provider.  This module provides:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -46,17 +47,22 @@ class PairingCounter:
 
     total: int = 0
     _checkpoints: dict[str, int] = field(default_factory=dict)
+    # Matching may fan ciphertext chunks out to worker threads that all share
+    # one group (and therefore one counter); the lock keeps ``total`` exact.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_pairing(self, count: int = 1) -> None:
-        """Record ``count`` pairing evaluations."""
+        """Record ``count`` pairing evaluations (thread-safe)."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        self.total += count
+        with self._lock:
+            self.total += count
 
     def reset(self) -> None:
         """Reset the counter and drop all checkpoints."""
-        self.total = 0
-        self._checkpoints.clear()
+        with self._lock:
+            self.total = 0
+            self._checkpoints.clear()
 
     def checkpoint(self, name: str) -> None:
         """Remember the current total under ``name``."""

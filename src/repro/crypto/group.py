@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.crypto.counting import PairingCounter
 from repro.crypto.primes import generate_distinct_primes
@@ -273,15 +273,33 @@ class BilinearGroup:
     # Random sampling
     # ------------------------------------------------------------------
     def random_zn(self) -> int:
-        """Uniform scalar in ``Z_N`` (non-zero)."""
-        return self._rng.randrange(1, self._n)
+        """Uniform scalar in ``Z_N``, non-zero modulo *both* prime factors.
+
+        A scalar that is ``0 mod P`` (a multiple of ``P``) collapses any
+        ``G_p`` component it exponentiates, and symmetrically for ``Q``: a
+        blinding factor ``z = g_q ** s`` with ``s ≡ 0 (mod Q)`` silently
+        degenerates to the identity and the ciphertext component it was meant
+        to blind is exposed.  Sampling therefore rejects multiples of either
+        prime (an event of probability ``~2^-prime_bits``, so the loop is
+        effectively free).
+        """
+        while True:
+            scalar = self._rng.randrange(1, self._n)
+            if scalar % self._p and scalar % self._q:
+                return scalar
 
     def random_zp(self) -> int:
-        """Uniform scalar in ``Z_P`` (non-zero)."""
+        """Uniform scalar in ``Z_P``, guaranteed non-zero mod ``P``.
+
+        The sample is drawn from ``[1, P)`` so it can never be ``0 mod P``.
+        """
         return self._rng.randrange(1, self._p)
 
     def random_zq(self) -> int:
-        """Uniform scalar in ``Z_Q`` (non-zero)."""
+        """Uniform scalar in ``Z_Q``, guaranteed non-zero mod ``Q``.
+
+        The sample is drawn from ``[1, Q)`` so it can never be ``0 mod Q``.
+        """
         return self._rng.randrange(1, self._q)
 
     def random_g(self) -> GroupElement:
@@ -350,6 +368,42 @@ class BilinearGroup:
         if self._pairing_work_factor:
             self._burn_pairing_work()
         return GTElement(self, a._discrete_log() * b._discrete_log())
+
+    def record_pairings(self, count: int) -> None:
+        """Account for ``count`` pairings evaluated by a fused arithmetic path.
+
+        Fused evaluation (``pair_product``, ``HVE.query_via_plan``) computes
+        several pairings' worth of exponent arithmetic without going through
+        :meth:`pair`; this method keeps the :class:`PairingCounter` and the
+        pairing work factor exactly in step with the element-wise path, so the
+        paper's cost metric is identical whichever path ran.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self.counter.record_pairing(count)
+        if self._pairing_work_factor:
+            for _ in range(count):
+                self._burn_pairing_work()
+
+    def pair_product(self, pairs: Sequence[tuple[GroupElement, GroupElement]]) -> GTElement:
+        """Product of pairings ``prod_i e(a_i, b_i)`` via fused exponent arithmetic.
+
+        Equivalent to multiplying the results of :meth:`pair` over ``pairs``
+        but without allocating one :class:`GTElement` per pairing: the
+        discrete logs are accumulated as plain integers and reduced mod ``N``
+        once at the end.  Exactly ``len(pairs)`` pairings are recorded (and
+        the same pairing work is burned), so cost accounting matches the
+        element-wise path.
+        """
+        acc = 0
+        for a, b in pairs:
+            if a.group is not self or b.group is not self:
+                raise ValueError("pairing arguments must belong to this group")
+            acc += a._discrete_log() * b._discrete_log()
+        self.record_pairings(len(pairs))
+        return GTElement(self, acc)
 
     def _burn_pairing_work(self) -> None:
         """Perform dummy modular exponentiations to emulate pairing cost."""

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Sequence
 
 from repro.crypto.counting import non_star_count
@@ -171,17 +172,20 @@ class HVEToken:
         """Token width (equals the HVE width)."""
         return len(self.pattern)
 
-    @property
+    # The three cost attributes below are on the matching hot path (consulted
+    # once per (ciphertext, token) evaluation); ``cached_property`` computes
+    # each exactly once per token instead of rebuilding a tuple per query.
+    @cached_property
     def non_star_positions(self) -> tuple[int, ...]:
-        """Indices where the pattern requires an exact bit match."""
+        """Indices where the pattern requires an exact bit match (cached)."""
         return tuple(i for i, symbol in enumerate(self.pattern) if symbol != STAR)
 
-    @property
+    @cached_property
     def non_star_count(self) -> int:
-        """Number of non-star symbols (determines the pairing cost)."""
+        """Number of non-star symbols (determines the pairing cost, cached)."""
         return non_star_count(self.pattern)
 
-    @property
+    @cached_property
     def pairing_cost(self) -> int:
         """Pairings needed to evaluate this token against one ciphertext."""
         return 1 + 2 * self.non_star_count
@@ -367,6 +371,54 @@ class HVE:
                 group.pair(ciphertext.c1[i], token.k1[i]) * group.pair(ciphertext.c2[i], token.k2[i])
             )
         return ciphertext.c_prime / denominator
+
+    def _query_exponent(self, ciphertext: HVECiphertext, token: HVEToken, positions: Sequence[int]) -> int:
+        """Fused-arithmetic core of ``Query``: the result's discrete log (unreduced).
+
+        Computes ``C' / (e(C_0, K_0) / prod_i e(C_i1, K_i1) * e(C_i2, K_i2))``
+        entirely in exponent space: each pairing is one integer product, the
+        per-position products fold into a running sum, and no intermediate
+        :class:`GroupElement`/:class:`GTElement` is allocated.  The group is
+        charged for exactly ``1 + 2 * len(positions)`` pairings, the same
+        count the element-wise :meth:`query` incurs.
+        """
+        denominator = ciphertext.c0._discrete_log() * token.k0._discrete_log()
+        c1, c2, k1, k2 = ciphertext.c1, ciphertext.c2, token.k1, token.k2
+        for i in positions:
+            denominator -= c1[i]._discrete_log() * k1[i]._discrete_log() + c2[i]._discrete_log() * k2[i]._discrete_log()
+        self.group.record_pairings(1 + 2 * len(positions))
+        return ciphertext.c_prime._discrete_log() - denominator
+
+    def query_via_plan(
+        self,
+        ciphertext: HVECiphertext,
+        token: HVEToken,
+        non_star_positions: Optional[Sequence[int]] = None,
+    ) -> GTElement:
+        """Fast-path ``Query``: identical result and pairing count to :meth:`query`.
+
+        ``non_star_positions`` lets a caller that already planned the token
+        (see :class:`~repro.protocol.matching.TokenPlan`) supply the cached
+        position tuple; when omitted the token's own cached positions are
+        used.
+        """
+        if ciphertext.width != self.width or token.width != self.width:
+            raise ValueError("ciphertext/token width does not match this HVE instance")
+        positions = token.non_star_positions if non_star_positions is None else non_star_positions
+        return GTElement(self.group, self._query_exponent(ciphertext, token, positions))
+
+    def matches_via_plan(
+        self,
+        ciphertext: HVECiphertext,
+        token: HVEToken,
+        non_star_positions: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """Fast-path :meth:`matches`: boolean outcome with zero element allocations."""
+        if ciphertext.width != self.width or token.width != self.width:
+            raise ValueError("ciphertext/token width does not match this HVE instance")
+        positions = token.non_star_positions if non_star_positions is None else non_star_positions
+        exponent = self._query_exponent(ciphertext, token, positions)
+        return exponent % self.group.order == self._match_message._discrete_log()
 
     def matches(self, ciphertext: HVECiphertext, token: HVEToken) -> bool:
         """True if the ciphertext's attribute vector satisfies the token's pattern.

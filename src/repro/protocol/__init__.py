@@ -12,17 +12,41 @@ variable-length workflow of Fig. 3:
   matching.
 * :mod:`repro.protocol.alert_system` -- :class:`SecureAlertSystem`, the
   end-to-end orchestration used by the examples and the Fig. 14 benchmark.
+* :mod:`repro.protocol.matching` -- the :class:`MatchingEngine` the service
+  provider evaluates tokens through: planned batched evaluation with
+  deduplication, cheapest-first ordering, a fused exponent-arithmetic fast
+  path, optional worker threads and incremental re-evaluation.
+* :mod:`repro.protocol.store` -- the provider's persistent ciphertext store
+  with freshness management and batch alert processing.
 """
 
 from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
 from repro.protocol.entities import MobileUser, ServiceProvider, TrustedAuthority
+from repro.protocol.matching import (
+    MatchCandidate,
+    MatchingEngine,
+    MatchingOptions,
+    PlannedToken,
+    TokenPlan,
+)
 from repro.protocol.messages import AlertDeclaration, LocationUpdate, Notification, TokenBatch
 from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig, SimulationResult
+from repro.protocol.store import BatchMatcher, CiphertextStore, StoredReport
 
 __all__ = [
     "AlertServiceSimulation",
     "SimulationConfig",
     "SimulationResult",
+
+    "MatchCandidate",
+    "MatchingEngine",
+    "MatchingOptions",
+    "PlannedToken",
+    "TokenPlan",
+
+    "BatchMatcher",
+    "CiphertextStore",
+    "StoredReport",
 
     "SecureAlertSystem",
     "SystemInitStats",

@@ -21,6 +21,7 @@ from repro.grid.alert_zone import AlertZone
 from repro.grid.geometry import Point
 from repro.grid.grid import Grid
 from repro.protocol.entities import MobileUser, ServiceProvider, TrustedAuthority
+from repro.protocol.matching import MatchingOptions
 from repro.protocol.messages import AlertDeclaration, Notification, TokenBatch
 
 __all__ = ["SystemInitStats", "SecureAlertSystem"]
@@ -61,6 +62,11 @@ class SecureAlertSystem:
         HVE prime size; lower it in tests for speed.
     rng:
         Random source shared by key generation and encryption.
+    matching:
+        Options for the service provider's
+        :class:`~repro.protocol.matching.MatchingEngine` (strategy, token
+        order, worker threads, incremental mode).  Defaults to the planned
+        strategy with a single worker.
 
     Example
     -------
@@ -80,6 +86,7 @@ class SecureAlertSystem:
         scheme: Optional[EncodingScheme] = None,
         prime_bits: int = 64,
         rng: Optional[random.Random] = None,
+        matching: Optional[MatchingOptions] = None,
     ):
         scheme = scheme or HuffmanEncodingScheme()
         rng = rng or random.Random()
@@ -102,7 +109,7 @@ class SecureAlertSystem:
         key_setup_seconds = time.perf_counter() - key_start
 
         self.grid = grid
-        self.provider = ServiceProvider(self.authority.hve)
+        self.provider = ServiceProvider(self.authority.hve, matching=matching)
         self.users: dict[str, MobileUser] = {}
         self.init_stats = SystemInitStats(
             n_cells=grid.n_cells,
@@ -151,6 +158,17 @@ class SecureAlertSystem:
         declaration = AlertDeclaration(zone=zone, alert_id=alert_id, description=description)
         batch = self.authority.issue_tokens(declaration)
         return self.provider.process_alert(batch, description=description)
+
+    def declare_alerts(self, declarations: Sequence[AlertDeclaration]) -> list[Notification]:
+        """Declare several alerts and match them in one planned pass.
+
+        The provider's matching engine builds a single token plan for the
+        whole batch, so patterns shared between overlapping zones are
+        evaluated once per ciphertext.
+        """
+        batches = [self.authority.issue_tokens(declaration) for declaration in declarations]
+        descriptions = {d.alert_id: d.description for d in declarations if d.description}
+        return self.provider.process_alerts(batches, descriptions=descriptions)
 
     def issue_token_batch(self, zone: AlertZone, alert_id: str) -> TokenBatch:
         """Only mint the tokens (used by benchmarks that time matching separately)."""

@@ -28,6 +28,7 @@ from repro.encoding.base import EncodingScheme, GridEncoding
 from repro.grid.alert_zone import AlertZone
 from repro.grid.geometry import Point
 from repro.grid.grid import Grid
+from repro.protocol.matching import MatchCandidate, MatchingEngine, MatchingOptions
 from repro.protocol.messages import AlertDeclaration, LocationUpdate, Notification, TokenBatch
 
 __all__ = ["MobileUser", "TrustedAuthority", "ServiceProvider"]
@@ -154,10 +155,23 @@ class ServiceProvider:
     The provider never sees a plaintext location or the secret key; all it can
     compute is, per (ciphertext, token) pair, whether the hidden index
     satisfies the token's pattern.
+
+    All matching is delegated to a :class:`~repro.protocol.matching.MatchingEngine`
+    (the planned strategy by default); pass ``matching=MatchingOptions(...)``
+    to select the naive parity path, a token order, worker threads or
+    incremental re-evaluation, or inject a pre-built ``engine``.
     """
 
-    def __init__(self, hve: HVE):
+    def __init__(
+        self,
+        hve: HVE,
+        engine: Optional[MatchingEngine] = None,
+        matching: Optional[MatchingOptions] = None,
+    ):
+        if engine is not None and matching is not None:
+            raise ValueError("pass either a pre-built engine or matching options, not both")
         self.hve = hve
+        self.engine = engine if engine is not None else MatchingEngine(hve, matching)
         self._latest_updates: dict[str, LocationUpdate] = {}
         self._notifications: list[Notification] = []
 
@@ -194,12 +208,29 @@ class ServiceProvider:
         provider's notification log).  Matching short-circuits per user on the
         first matching token.
         """
-        notifications: list[Notification] = []
-        for user_id in self.subscribers():
-            update = self._latest_updates[user_id]
-            if self.hve.matches_any(update.ciphertext, list(batch.tokens)):
-                notification = Notification(user_id=user_id, alert_id=batch.alert_id, description=description)
-                notifications.append(notification)
+        descriptions = {batch.alert_id: description} if description else None
+        return self.process_alerts([batch], descriptions=descriptions)
+
+    def process_alerts(
+        self,
+        batches: Sequence[TokenBatch],
+        descriptions: Optional[dict[str, str]] = None,
+    ) -> list[Notification]:
+        """Match several alerts in one planned pass over the stored ciphertexts.
+
+        Processing alerts together lets the engine deduplicate shared token
+        patterns across them; per alert, semantics are the same as
+        :meth:`process_alert`.
+        """
+        candidates = [
+            MatchCandidate(
+                user_id=user_id,
+                ciphertext=self._latest_updates[user_id].ciphertext,
+                sequence_number=self._latest_updates[user_id].sequence_number,
+            )
+            for user_id in self.subscribers()
+        ]
+        notifications = self.engine.match(batches, candidates, descriptions=descriptions)
         self._notifications.extend(notifications)
         return notifications
 

@@ -1,0 +1,414 @@
+"""The service provider's matching engine: planned, batched HVE evaluation.
+
+The paper's cost model charges the service provider ``1 + 2k`` pairings per
+(ciphertext, token) evaluation; everything else it does is bookkeeping.  The
+seed implementation nevertheless paid real overheads around every pairing:
+token lists were rebuilt per user, ``non_star_positions`` tuples were
+recomputed per query and every group operation allocated a fresh element.
+This module centralises the hot path behind one subsystem so those costs are
+paid once per *alert batch*, not once per (user, token):
+
+* :class:`TokenPlan` -- built once per batch of alerts.  Patterns are
+  deduplicated across zones/batches (two alerts covering overlapping areas
+  often minimize to shared patterns), tokens are ordered cheapest-first
+  (fewest non-star bits) so short-circuiting tends to hit minimal-pairing
+  tokens early, and each entry carries the token's cached
+  ``non_star_positions``.
+* :class:`MatchingEngine` -- the single matching path used by
+  :class:`~repro.protocol.entities.ServiceProvider`,
+  :class:`~repro.protocol.store.BatchMatcher` and (through them) the alert
+  system and pipeline.  Strategies: ``"naive"`` replicates the seed's
+  element-wise evaluation exactly (parity/regression testing), ``"planned"``
+  evaluates through the plan with the fused exponent-arithmetic path
+  (:meth:`~repro.crypto.hve.HVE.matches_via_plan`).  Both record identical
+  :class:`~repro.crypto.counting.PairingCounter` totals for the same token
+  order -- the paper's metric is preserved bit-exactly.
+* **Chunked multi-worker matching** -- the candidate list is split into
+  chunks handed to a ``concurrent.futures`` thread pool (off by default,
+  ``workers=N``).  Chunk results are concatenated in order, so output is
+  deterministic regardless of worker count.
+* **Incremental mode** -- for standing alerts that are re-evaluated
+  periodically, the engine remembers each user's (sequence number, outcome)
+  per alert and re-matches only users whose sequence number changed; an
+  unchanged ciphertext can never change its match outcome, so notifications
+  are identical to a full re-evaluation at a fraction of the pairings.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.crypto.hve import HVE, HVECiphertext, HVEToken
+from repro.protocol.messages import Notification, TokenBatch
+
+__all__ = [
+    "MATCHING_STRATEGIES",
+    "TOKEN_ORDERS",
+    "MatchCandidate",
+    "MatchingOptions",
+    "PlannedToken",
+    "TokenPlan",
+    "MatchingEngine",
+]
+
+#: Recognised values of :attr:`MatchingOptions.strategy`.
+MATCHING_STRATEGIES = ("naive", "planned")
+
+#: Recognised values of :attr:`MatchingOptions.order`.
+TOKEN_ORDERS = ("declared", "cheapest")
+
+
+@dataclass(frozen=True)
+class MatchCandidate:
+    """One stored ciphertext to be matched, plus the metadata the engine needs.
+
+    ``sequence_number`` identifies the report revision; incremental matching
+    uses it to detect users whose ciphertext is unchanged since the previous
+    evaluation of a standing alert.
+    """
+
+    user_id: str
+    ciphertext: HVECiphertext
+    sequence_number: int = 0
+
+
+@dataclass(frozen=True)
+class MatchingOptions:
+    """Tunables of a :class:`MatchingEngine`.
+
+    Parameters
+    ----------
+    strategy:
+        ``"planned"`` (default) evaluates through a :class:`TokenPlan` with
+        the fused exponent-arithmetic path; ``"naive"`` replicates the seed's
+        element-wise evaluation for parity testing.
+    order:
+        Token evaluation order within each alert: ``"cheapest"`` (default)
+        sorts by pairing cost so short-circuiting saves the most,
+        ``"declared"`` keeps the order tokens were issued in (required when
+        comparing pairing counts against the naive path).
+    dedupe:
+        Evaluate each distinct pattern at most once per ciphertext, sharing
+        the outcome across alerts that contain the same pattern.
+    workers:
+        Worker threads for chunked matching over the candidate list.  ``1``
+        (default) runs inline; values above 1 enable the thread pool.
+    chunk_size:
+        Candidates per worker chunk.  ``None`` (default) splits the candidate
+        list evenly across the workers so every requested worker gets a chunk
+        whatever the store size; set explicitly for finer-grained chunks
+        (better load balancing when per-candidate cost is skewed).
+    incremental:
+        Remember per-alert outcomes keyed by (user, sequence number) and skip
+        users whose sequence number is unchanged on re-evaluation.
+    """
+
+    strategy: str = "planned"
+    order: str = "cheapest"
+    dedupe: bool = True
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    incremental: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strategy not in MATCHING_STRATEGIES:
+            raise ValueError(f"unknown matching strategy {self.strategy!r}; expected one of {MATCHING_STRATEGIES}")
+        if self.order not in TOKEN_ORDERS:
+            raise ValueError(f"unknown token order {self.order!r}; expected one of {TOKEN_ORDERS}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1 (or None to split evenly across workers)")
+
+
+@dataclass(frozen=True)
+class PlannedToken:
+    """One token of a :class:`TokenPlan`, with its precomputed evaluation facts.
+
+    ``slot`` indexes the plan's unique-pattern table: entries of different
+    alerts that share a pattern share a slot, which is what lets the engine
+    reuse one query outcome across alerts.
+    """
+
+    token: HVEToken
+    positions: tuple[int, ...]
+    cost: int
+    slot: int
+
+
+class TokenPlan:
+    """An evaluation plan for a batch of alerts, built once per declaration.
+
+    Parameters
+    ----------
+    batches:
+        The token batches (one per alert) to plan.
+    order:
+        ``"cheapest"`` or ``"declared"``; see :class:`MatchingOptions`.
+    dedupe:
+        Share slots between equal patterns across alerts; see
+        :class:`MatchingOptions`.
+    """
+
+    def __init__(self, batches: Sequence[TokenBatch], order: str = "cheapest", dedupe: bool = True):
+        if order not in TOKEN_ORDERS:
+            raise ValueError(f"unknown token order {order!r}; expected one of {TOKEN_ORDERS}")
+        batches = tuple(batches)
+        if not batches:
+            raise ValueError("a token plan needs at least one batch")
+        widths = {token.width for batch in batches for token in batch.tokens}
+        if len(widths) > 1:
+            raise ValueError(f"all tokens in a plan must share one width, found {sorted(widths)}")
+
+        self.order = order
+        self.dedupe = dedupe
+        slots: dict[str, int] = {}
+        running = 0
+        entries_by_alert: list[tuple[str, tuple[PlannedToken, ...]]] = []
+        for batch in batches:
+            entries = []
+            for token in batch.tokens:
+                unique_slot = slots.setdefault(token.pattern, len(slots))
+                slot = unique_slot if dedupe else running
+                running += 1
+                entries.append(
+                    PlannedToken(
+                        token=token,
+                        positions=token.non_star_positions,
+                        cost=token.pairing_cost,
+                        slot=slot,
+                    )
+                )
+            if order == "cheapest":
+                entries.sort(key=lambda entry: entry.cost)
+            entries_by_alert.append((batch.alert_id, tuple(entries)))
+        self._entries_by_alert = tuple(entries_by_alert)
+        self.total_tokens = running
+        self.unique_patterns = len(slots)
+
+    @property
+    def alert_ids(self) -> tuple[str, ...]:
+        """The alert ids covered by this plan, in declaration order."""
+        return tuple(alert_id for alert_id, _ in self._entries_by_alert)
+
+    @property
+    def entries_by_alert(self) -> tuple[tuple[str, tuple[PlannedToken, ...]], ...]:
+        """Per-alert planned tokens, in evaluation order."""
+        return self._entries_by_alert
+
+    @property
+    def duplicate_tokens(self) -> int:
+        """Tokens whose pattern also appears elsewhere in the plan."""
+        return self.total_tokens - self.unique_patterns
+
+    @property
+    def pairing_cost_per_ciphertext(self) -> int:
+        """Worst-case pairings (no short-circuit) to evaluate one ciphertext.
+
+        With deduplication each distinct pattern is charged once; without it
+        every token occurrence is charged, matching the naive path's bound.
+        """
+        if self.dedupe:
+            seen: set[int] = set()
+            cost = 0
+            for _, entries in self._entries_by_alert:
+                for entry in entries:
+                    if entry.slot not in seen:
+                        seen.add(entry.slot)
+                        cost += entry.cost
+            return cost
+        return sum(entry.cost for _, entries in self._entries_by_alert for entry in entries)
+
+
+class MatchingEngine:
+    """The single matching path of the service provider.
+
+    Parameters
+    ----------
+    hve:
+        The HVE instance shared with the rest of the deployment (the engine
+        only ever calls query/match operations -- it never sees key material).
+    options:
+        Strategy and execution tunables; defaults to the planned strategy,
+        cheapest-first order, deduplication on, a single worker and no
+        incremental state.
+    """
+
+    def __init__(self, hve: HVE, options: Optional[MatchingOptions] = None):
+        self.hve = hve
+        self.options = options if options is not None else MatchingOptions()
+        # alert_id -> (token signature, user_id -> (sequence_number, matched)).
+        # The signature is the alert's ordered pattern tuple: a standing alert
+        # re-declared with a different token set must not serve outcomes
+        # computed for the old zone, so a signature change drops its state.
+        self._alert_state: dict[str, tuple[tuple[str, ...], dict[str, tuple[int, bool]]]] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, batches: Sequence[TokenBatch]) -> TokenPlan:
+        """Build the :class:`TokenPlan` this engine would evaluate for ``batches``."""
+        return TokenPlan(batches, order=self.options.order, dedupe=self.options.dedupe)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        batches: Sequence[TokenBatch],
+        candidates: Iterable[MatchCandidate],
+        descriptions: Optional[Mapping[str, str]] = None,
+    ) -> list[Notification]:
+        """Match every alert batch against every candidate ciphertext.
+
+        Semantics are identical across strategies: per candidate, alerts are
+        evaluated in declaration order and each alert short-circuits on its
+        first matching token; a user can be notified for several distinct
+        alerts but only once per alert.  Notifications come back in
+        (candidate, alert) order.
+        """
+        batches = list(batches)
+        candidates = list(candidates)
+        if not batches or not candidates:
+            return []
+        descriptions = descriptions or {}
+
+        if self.options.strategy == "planned":
+            evaluate = self._planned_evaluator(self.plan(batches))
+        else:
+            evaluate = self._naive_evaluator([list(batch.tokens) for batch in batches])
+        outcomes = self._evaluate_all(batches, candidates, evaluate)
+
+        if self.options.incremental:
+            outcome_maps = [self._alert_state[batch.alert_id][1] for batch in batches]
+        notifications: list[Notification] = []
+        for candidate, per_batch in zip(candidates, outcomes):
+            for index, (batch, matched) in enumerate(zip(batches, per_batch)):
+                if self.options.incremental:
+                    outcome_maps[index][candidate.user_id] = (candidate.sequence_number, matched)
+                if matched:
+                    notifications.append(
+                        Notification(
+                            user_id=candidate.user_id,
+                            alert_id=batch.alert_id,
+                            description=descriptions.get(batch.alert_id, ""),
+                        )
+                    )
+        return notifications
+
+    def match_store(
+        self,
+        batches: Sequence[TokenBatch],
+        store,
+        now: float,
+        descriptions: Optional[Mapping[str, str]] = None,
+    ) -> list[Notification]:
+        """Match alert batches against the fresh reports of a ciphertext store."""
+        candidates = [
+            MatchCandidate(
+                user_id=report.user_id,
+                ciphertext=report.ciphertext,
+                sequence_number=report.sequence_number,
+            )
+            for report in store.fresh_reports(now)
+        ]
+        return self.match(batches, candidates, descriptions=descriptions)
+
+    # ------------------------------------------------------------------
+    # Incremental state
+    # ------------------------------------------------------------------
+    def standing_alerts(self) -> list[str]:
+        """Alert ids with remembered incremental outcomes."""
+        return sorted(self._alert_state)
+
+    def forget_alert(self, alert_id: str) -> None:
+        """Drop the incremental state of one standing alert (no-op if absent)."""
+        self._alert_state.pop(alert_id, None)
+
+    def reset_state(self) -> None:
+        """Drop all incremental state."""
+        self._alert_state.clear()
+
+    # ------------------------------------------------------------------
+    # Evaluation internals
+    # ------------------------------------------------------------------
+    def _naive_evaluator(
+        self, token_lists: Sequence[Sequence[HVEToken]]
+    ) -> Callable[[HVECiphertext, int, dict[int, bool]], bool]:
+        """Element-wise evaluation, exactly the seed's per-(user, token) path."""
+        hve = self.hve
+
+        def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
+            return hve.matches_any(ciphertext, token_lists[batch_index])
+
+        return evaluate
+
+    def _planned_evaluator(self, plan: TokenPlan) -> Callable[[HVECiphertext, int, dict[int, bool]], bool]:
+        """Plan-driven evaluation through the fused exponent-arithmetic path.
+
+        ``shared`` is the per-candidate slot cache: when deduplication is on,
+        alerts sharing a pattern resolve from the cache instead of paying the
+        pairings again.
+        """
+        hve = self.hve
+        entries_for_batch = tuple(entries for _, entries in plan.entries_by_alert)
+
+        def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
+            for entry in entries_for_batch[batch_index]:
+                outcome = shared.get(entry.slot)
+                if outcome is None:
+                    outcome = hve.matches_via_plan(ciphertext, entry.token, entry.positions)
+                    shared[entry.slot] = outcome
+                if outcome:
+                    return True
+            return False
+
+        return evaluate
+
+    def _evaluate_all(
+        self,
+        batches: Sequence[TokenBatch],
+        candidates: Sequence[MatchCandidate],
+        evaluate: Callable[[HVECiphertext, int, dict[int, bool]], bool],
+    ) -> list[list[bool]]:
+        """Per-candidate, per-batch outcomes, honoring incremental state and workers."""
+        if self.options.incremental:
+            cached_by_batch = []
+            for batch in batches:
+                signature = tuple(token.pattern for token in batch.tokens)
+                state = self._alert_state.get(batch.alert_id)
+                if state is None or state[0] != signature:
+                    # New standing alert, or the alert was re-declared with a
+                    # different token set: previous outcomes are invalid.
+                    state = (signature, {})
+                    self._alert_state[batch.alert_id] = state
+                cached_by_batch.append(state[1])
+        else:
+            cached_by_batch = None
+        batch_indices = range(len(batches))
+
+        def evaluate_candidate(candidate: MatchCandidate) -> list[bool]:
+            shared: dict[int, bool] = {}
+            per_batch: list[bool] = []
+            for index in batch_indices:
+                if cached_by_batch is not None:
+                    previous = cached_by_batch[index].get(candidate.user_id)
+                    if previous is not None and previous[0] == candidate.sequence_number:
+                        per_batch.append(previous[1])
+                        continue
+                per_batch.append(evaluate(candidate.ciphertext, index, shared))
+            return per_batch
+
+        workers = min(self.options.workers, len(candidates))
+        if workers <= 1:
+            return [evaluate_candidate(candidate) for candidate in candidates]
+
+        chunk_size = self.options.chunk_size
+        if chunk_size is None:
+            chunk_size = -(-len(candidates) // workers)  # ceil: every worker gets a chunk
+        chunks = [candidates[i : i + chunk_size] for i in range(0, len(candidates), chunk_size)]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            chunk_outcomes = list(pool.map(lambda chunk: [evaluate_candidate(c) for c in chunk], chunks))
+        return [outcome for chunk in chunk_outcomes for outcome in chunk]

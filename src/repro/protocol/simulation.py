@@ -27,6 +27,7 @@ from repro.grid.geometry import Point
 from repro.grid.workloads import WorkloadGenerator
 from repro.probability.poisson import poisson_sample
 from repro.protocol.alert_system import SecureAlertSystem
+from repro.protocol.matching import MatchingOptions
 
 __all__ = ["SimulationConfig", "StepStats", "SimulationResult", "AlertServiceSimulation"]
 
@@ -42,10 +43,14 @@ class SimulationConfig:
     alert_radius: float = 100.0
     prime_bits: int = 48
     seed: int = 0
+    matching_strategy: str = "planned"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.num_users < 1:
             raise ValueError("num_users must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
         if not 0.0 <= self.move_probability <= 1.0:
             raise ValueError("move_probability must be in [0, 1]")
         if self.report_every_steps < 1:
@@ -127,6 +132,7 @@ class AlertServiceSimulation:
             scheme=scheme,
             prime_bits=self.config.prime_bits,
             rng=random.Random(self.config.seed + 1),
+            matching=MatchingOptions(strategy=self.config.matching_strategy, workers=self.config.workers),
         )
         self.grid = grid
         self.probabilities = list(probabilities)

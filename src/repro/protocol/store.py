@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 from repro.crypto.group import BilinearGroup
 from repro.crypto.hve import HVE, HVECiphertext
 from repro.crypto.serialization import deserialize_ciphertext, serialize_ciphertext
+from repro.protocol.matching import MatchingEngine, MatchingOptions
 from repro.protocol.messages import LocationUpdate, Notification, TokenBatch
 
 __all__ = ["StoredReport", "CiphertextStore", "BatchMatcher"]
@@ -97,11 +98,15 @@ class CiphertextStore:
         return self._reports[user_id]
 
     def fresh_reports(self, now: float) -> list[StoredReport]:
-        """All reports that are still fresh at time ``now``, sorted by user id."""
-        reports = sorted(self._reports.values(), key=lambda r: r.user_id)
-        if self.max_age_seconds is None:
-            return reports
-        return [r for r in reports if r.age(now) <= self.max_age_seconds]
+        """All reports that are still fresh at time ``now``, sorted by user id.
+
+        Expired reports are filtered out *before* sorting, so the sort cost
+        scales with the fresh population, not the whole store.
+        """
+        reports: Iterable[StoredReport] = self._reports.values()
+        if self.max_age_seconds is not None:
+            reports = (r for r in reports if r.age(now) <= self.max_age_seconds)
+        return sorted(reports, key=lambda r: r.user_id)
 
     def stale_users(self, now: float) -> list[str]:
         """Users whose latest report has expired."""
@@ -152,11 +157,28 @@ class CiphertextStore:
 
 
 class BatchMatcher:
-    """Matches batches of alerts against a ciphertext store in one pass."""
+    """Matches batches of alerts against a ciphertext store in one pass.
 
-    def __init__(self, hve: HVE, store: CiphertextStore):
+    All evaluation is delegated to a
+    :class:`~repro.protocol.matching.MatchingEngine` (planned strategy by
+    default); pass ``options=MatchingOptions(...)`` to select the naive
+    parity path, worker threads or incremental re-evaluation, or inject a
+    pre-built ``engine`` (e.g. the service provider's, to share incremental
+    state).
+    """
+
+    def __init__(
+        self,
+        hve: HVE,
+        store: CiphertextStore,
+        engine: Optional[MatchingEngine] = None,
+        options: Optional[MatchingOptions] = None,
+    ):
+        if engine is not None and options is not None:
+            raise ValueError("pass either a pre-built engine or matching options, not both")
         self.hve = hve
         self.store = store
+        self.engine = engine if engine is not None else MatchingEngine(hve, options)
 
     def process(self, batches: Sequence[TokenBatch], now: float, descriptions: Optional[dict[str, str]] = None) -> list[Notification]:
         """Evaluate every alert batch against every fresh report.
@@ -164,21 +186,10 @@ class BatchMatcher:
         For each user, alerts are evaluated in order and each alert
         short-circuits on its first matching token; a user can be notified for
         several distinct alerts (they are independent events), but only once
-        per alert.
+        per alert.  The store is scanned once: the fresh-report list and the
+        token plan are both built a single time for the whole pass.
         """
-        descriptions = descriptions or {}
-        notifications: list[Notification] = []
-        for report in self.store.fresh_reports(now):
-            for batch in batches:
-                if self.hve.matches_any(report.ciphertext, list(batch.tokens)):
-                    notifications.append(
-                        Notification(
-                            user_id=report.user_id,
-                            alert_id=batch.alert_id,
-                            description=descriptions.get(batch.alert_id, ""),
-                        )
-                    )
-        return notifications
+        return self.engine.match_store(batches, self.store, now, descriptions=descriptions)
 
     def pairing_cost_upper_bound(self, batches: Iterable[TokenBatch], now: float) -> int:
         """Worst-case pairings (no short-circuiting) for matching the batches."""

@@ -133,6 +133,84 @@ class TestPairing:
         assert isinstance(result, GTElement)
 
 
+class TestPairProduct:
+    def test_matches_elementwise_product(self, group):
+        pairs = [(group.random_g(), group.random_g()) for _ in range(5)]
+        expected = group.gt_identity()
+        for a, b in pairs:
+            expected = expected * group.pair(a, b)
+        assert group.pair_product(pairs) == expected
+
+    def test_records_one_pairing_per_pair(self, group):
+        pairs = [(group.random_g(), group.random_g()) for _ in range(7)]
+        before = group.counter.total
+        group.pair_product(pairs)
+        assert group.counter.total - before == 7
+
+    def test_empty_product_is_identity_and_free(self, group):
+        before = group.counter.total
+        assert group.pair_product([]).is_identity()
+        assert group.counter.total == before
+
+    def test_rejects_foreign_elements(self, group):
+        other = BilinearGroup(prime_bits=32, rng=random.Random(9))
+        with pytest.raises(ValueError):
+            group.pair_product([(group.random_g(), other.random_g())])
+
+    def test_record_pairings_accounting(self, group):
+        before = group.counter.total
+        group.record_pairings(3)
+        assert group.counter.total - before == 3
+        with pytest.raises(ValueError):
+            group.record_pairings(-1)
+
+    def test_pair_product_burns_work_factor(self):
+        group = BilinearGroup(prime_bits=32, rng=random.Random(6), pairing_work_factor=2)
+        result = group.pair_product([(group.random_g(), group.random_g())] * 3)
+        assert isinstance(result, GTElement)
+        assert group.counter.total == 3
+
+
+class _ScriptedRandom:
+    """Stand-in RNG whose ``randrange`` replays a scripted value sequence."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        self.calls = 0
+
+    def randrange(self, *args):
+        self.calls += 1
+        return self.values.pop(0)
+
+
+class TestNonZeroSampling:
+    def test_random_zn_rejects_multiples_of_either_prime(self, group):
+        """Regression: a scalar ≡ 0 mod P (or Q) silently degenerates blinding.
+
+        ``g_q ** s`` with ``s ≡ 0 (mod Q)`` is the identity, so a ciphertext
+        component blinded by it would be exposed; ``random_zn`` must resample
+        such scalars.
+        """
+        original = group._rng
+        try:
+            group._rng = _ScriptedRandom([group.p, group.q, 2 * group.p, 5])
+            assert group.random_zn() == 5
+            assert group._rng.calls == 4
+        finally:
+            group._rng = original
+
+    def test_random_zn_never_degenerate_over_many_samples(self, group):
+        for _ in range(200):
+            scalar = group.random_zn()
+            assert scalar % group.p != 0
+            assert scalar % group.q != 0
+
+    def test_random_zp_zq_nonzero_mod_subgroup_order(self, group):
+        for _ in range(200):
+            assert group.random_zp() % group.p != 0
+            assert group.random_zq() % group.q != 0
+
+
 class TestElementConstructors:
     def test_element_from_exponent_round_trip(self, group):
         element = group.element_from_exponent(12345)

@@ -145,6 +145,71 @@ class TestMatchingSemantics:
         assert spent == 3
 
 
+class TestFastArithmeticPath:
+    """query_via_plan / matches_via_plan: same results, same counts, no elements."""
+
+    def test_query_via_plan_equals_query(self, hve, keys):
+        for index, pattern in (("1010", "1*1*"), ("1010", "0*1*"), ("0011", "****"), ("0011", "0011")):
+            ciphertext = hve.encrypt(keys.public, index)
+            token = hve.generate_token(keys.secret, pattern)
+            assert hve.query_via_plan(ciphertext, token) == hve.query(ciphertext, token)
+
+    def test_query_via_plan_recovers_custom_message(self, hve, keys):
+        message = hve.group.random_message()
+        ciphertext = hve.encrypt(keys.public, "0011", message=message)
+        token = hve.generate_token(keys.secret, "0***")
+        assert hve.query_via_plan(ciphertext, token) == message
+
+    def test_matches_via_plan_equals_matches(self, hve, keys):
+        for index, pattern in (("1010", "1*1*"), ("1010", "0*1*"), ("1111", "11**")):
+            ciphertext = hve.encrypt(keys.public, index)
+            token = hve.generate_token(keys.secret, pattern)
+            assert hve.matches_via_plan(ciphertext, token) == hve.matches(ciphertext, token)
+
+    def test_fast_path_records_same_pairing_count(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "1010")
+        token = hve.generate_token(keys.secret, "10*1")
+        counter = hve.group.counter
+        before = counter.total
+        hve.query(ciphertext, token)
+        elementwise = counter.total - before
+        before = counter.total
+        hve.query_via_plan(ciphertext, token)
+        fused = counter.total - before
+        assert fused == elementwise == token.pairing_cost
+
+    def test_accepts_precomputed_positions(self, hve, keys):
+        ciphertext = hve.encrypt(keys.public, "1010")
+        token = hve.generate_token(keys.secret, "1**0")
+        positions = token.non_star_positions
+        assert hve.matches_via_plan(ciphertext, token, positions) == hve.matches(ciphertext, token)
+
+    def test_rejects_width_mismatch(self, hve, keys):
+        group = BilinearGroup(prime_bits=32, rng=random.Random(8))
+        other = HVE(width=3, group=group, rng=random.Random(9))
+        other_keys = other.setup()
+        ciphertext = other.encrypt(other_keys.public, "101")
+        token = other.generate_token(other_keys.secret, "1*1")
+        with pytest.raises(ValueError):
+            hve.query_via_plan(ciphertext, token)
+        with pytest.raises(ValueError):
+            hve.matches_via_plan(ciphertext, token)
+
+
+class TestTokenMetadataCaching:
+    def test_non_star_positions_is_computed_once(self, hve, keys):
+        token = hve.generate_token(keys.secret, "1**0")
+        # cached_property: repeated access returns the identical tuple object.
+        assert token.non_star_positions is token.non_star_positions
+        assert token.non_star_positions == (0, 3)
+
+    def test_cached_counts_agree_with_pattern(self, hve, keys):
+        token = hve.generate_token(keys.secret, "*01*")
+        assert token.non_star_count == 2
+        assert token.pairing_cost == 5
+        assert token.width == 4
+
+
 class TestPairingCostAccounting:
     def test_query_cost_matches_formula(self, hve, keys):
         ciphertext = hve.encrypt(keys.public, "1010")

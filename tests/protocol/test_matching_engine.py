@@ -1,0 +1,267 @@
+"""Equivalence and behaviour tests for the planned matching engine.
+
+The acceptance property: for random scenarios, the ``planned`` strategy
+produces identical notifications *and identical pairing counts* as the naive
+per-element path when evaluating tokens in the same order; with
+cheapest-first ordering the pairing count never exceeds the naive path.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.protocol.matching import (
+    MatchCandidate,
+    MatchingEngine,
+    MatchingOptions,
+    TokenPlan,
+)
+from repro.protocol.messages import TokenBatch
+
+
+def _build_world(seed, n_cells=12):
+    rng = random.Random(seed)
+    probabilities = [rng.uniform(0.05, 0.95) for _ in range(n_cells)]
+    encoding = HuffmanEncodingScheme().build(probabilities)
+    group = BilinearGroup(prime_bits=32, rng=random.Random(seed + 1))
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(seed + 2))
+    keys = hve.setup()
+    return rng, encoding, hve, keys
+
+
+def _random_scenario(seed, n_cells=12, n_users=6, n_alerts=3):
+    """Random users, random (possibly overlapping) alert zones, shared tokens."""
+    rng, encoding, hve, keys = _build_world(seed, n_cells)
+    user_cells = {f"user-{i:02d}": rng.randrange(n_cells) for i in range(n_users)}
+    candidates = [
+        MatchCandidate(user_id=uid, ciphertext=hve.encrypt(keys.public, encoding.index_of(cell)))
+        for uid, cell in sorted(user_cells.items())
+    ]
+    batches = []
+    for a in range(n_alerts):
+        cells = rng.sample(range(n_cells), rng.randint(1, max(1, n_cells // 3)))
+        patterns = encoding.token_patterns(cells)
+        tokens = tuple(hve.generate_tokens(keys.secret, patterns))
+        batches.append(TokenBatch(alert_id=f"alert-{a}", tokens=tokens))
+    return hve, candidates, batches, user_cells, encoding
+
+
+def _run(hve, options, candidates, batches):
+    """Match under ``options``; returns (notifications, pairings spent)."""
+    engine = MatchingEngine(hve, options)
+    before = hve.group.counter.total
+    notifications = engine.match(batches, candidates)
+    return notifications, hve.group.counter.total - before
+
+
+class TestEquivalenceProperty:
+    @pytest.mark.parametrize("seed", [11, 23, 47, 101, 367])
+    def test_planned_same_order_is_bit_exact_with_naive(self, seed):
+        hve, candidates, batches, _, _ = _random_scenario(seed)
+        naive, naive_pairings = _run(hve, MatchingOptions(strategy="naive"), candidates, batches)
+        planned, planned_pairings = _run(
+            hve,
+            MatchingOptions(strategy="planned", order="declared", dedupe=False),
+            candidates,
+            batches,
+        )
+        assert planned == naive
+        assert planned_pairings == naive_pairings
+
+    @pytest.mark.parametrize("seed", [11, 23, 47, 101, 367])
+    def test_default_plan_never_costs_more_on_batch_workloads(self, seed):
+        """Cheapest-first + dedupe is ≤ naive on realistic batched workloads.
+
+        The batch contains one re-declared zone (a standing alert refreshed
+        under a new alert id) -- the deduplicated plan resolves its entire
+        second evaluation from cache, which dominates any short-circuit
+        ordering luck the declared order might have had on matched users.
+        """
+        hve, candidates, batches, _, _ = _random_scenario(seed)
+        redeclared = TokenBatch(alert_id="refresh", tokens=batches[0].tokens)
+        workload = batches + [redeclared]
+        naive, naive_pairings = _run(hve, MatchingOptions(strategy="naive"), candidates, workload)
+        planned, planned_pairings = _run(hve, MatchingOptions(strategy="planned"), candidates, workload)
+        assert planned == naive
+        assert planned_pairings <= naive_pairings
+
+    @pytest.mark.parametrize("seed", [11, 23, 47, 101, 367])
+    def test_cheapest_first_matches_naive_outcomes(self, seed):
+        """Reordering only changes cost, never the set of notifications."""
+        hve, candidates, batches, _, _ = _random_scenario(seed)
+        naive, _ = _run(hve, MatchingOptions(strategy="naive"), candidates, batches)
+        planned, _ = _run(hve, MatchingOptions(strategy="planned"), candidates, batches)
+        assert planned == naive
+
+    @pytest.mark.parametrize("seed", [11, 47])
+    def test_notifications_match_ground_truth(self, seed):
+        hve, candidates, batches, user_cells, encoding = _random_scenario(seed)
+        # Recover each alert's cell set from its token patterns: a user matches
+        # iff their padded index satisfies one of the alert's patterns.
+        engine = MatchingEngine(hve)
+        notifications = engine.match(batches, candidates)
+        notified = {(n.user_id, n.alert_id) for n in notifications}
+        for batch in batches:
+            patterns = [token.pattern for token in batch.tokens]
+            for uid, cell in user_cells.items():
+                index = encoding.index_of(cell)
+                expected = any(
+                    all(p in ("*", bit) for p, bit in zip(pattern, index)) for pattern in patterns
+                )
+                assert ((uid, batch.alert_id) in notified) == expected
+
+
+class TestDeduplication:
+    def test_shared_patterns_across_alerts_are_paid_once(self):
+        hve, candidates, batches, _, _ = _random_scenario(59, n_alerts=1)
+        # Declare the same zone twice under different alert ids.
+        twin = TokenBatch(alert_id="alert-twin", tokens=batches[0].tokens)
+        doubled = [batches[0], twin]
+        naive, naive_pairings = _run(hve, MatchingOptions(strategy="naive"), candidates, doubled)
+        planned, planned_pairings = _run(hve, MatchingOptions(strategy="planned"), candidates, doubled)
+        assert {(n.user_id, n.alert_id) for n in planned} == {(n.user_id, n.alert_id) for n in naive}
+        # The twin alert re-uses every outcome: planned pays for one copy.
+        assert planned_pairings <= naive_pairings // 2 + 1
+
+
+class TestWorkers:
+    def test_multi_worker_output_and_counts_are_deterministic(self):
+        hve, candidates, batches, _, _ = _random_scenario(73, n_users=9)
+        serial, serial_pairings = _run(hve, MatchingOptions(strategy="planned"), candidates, batches)
+        threaded, threaded_pairings = _run(
+            hve,
+            MatchingOptions(strategy="planned", workers=3, chunk_size=2),
+            candidates,
+            batches,
+        )
+        assert threaded == serial
+        assert threaded_pairings == serial_pairings
+
+
+class TestIncremental:
+    def test_unchanged_users_are_not_re_evaluated(self):
+        hve, candidates, batches, _, _ = _random_scenario(91)
+        engine = MatchingEngine(hve, MatchingOptions(strategy="planned", incremental=True))
+        counter = hve.group.counter
+
+        first = engine.match(batches, candidates)
+        before = counter.total
+        second = engine.match(batches, candidates)
+        assert counter.total == before  # every (user, alert) outcome was cached
+        assert second == first
+
+    def test_changed_sequence_number_is_re_evaluated(self):
+        hve, candidates, batches, user_cells, encoding = _random_scenario(91)
+        engine = MatchingEngine(hve, MatchingOptions(strategy="planned", incremental=True))
+        counter = hve.group.counter
+        engine.match(batches, candidates)
+
+        # One user uploads a fresh report (same cell, new ciphertext).
+        moved = candidates[0]
+        refreshed = MatchCandidate(
+            user_id=moved.user_id,
+            ciphertext=moved.ciphertext,
+            sequence_number=moved.sequence_number + 1,
+        )
+        updated = [refreshed] + candidates[1:]
+        before = counter.total
+        renotified = engine.match(batches, updated)
+        spent = counter.total - before
+        # Only the refreshed user costs pairings, bounded by a full evaluation
+        # of every alert against one ciphertext.
+        per_user_bound = sum(batch.pairing_cost_per_ciphertext for batch in batches)
+        assert 0 < spent <= per_user_bound
+        full = MatchingEngine(hve, MatchingOptions(strategy="planned")).match(batches, updated)
+        assert renotified == full
+
+    def test_redeclared_alert_with_new_tokens_invalidates_cache(self):
+        """Re-issuing an alert id with a different zone must not serve stale outcomes."""
+        hve, candidates, batches, _, _ = _random_scenario(91, n_alerts=2)
+        engine = MatchingEngine(hve, MatchingOptions(strategy="planned", incremental=True))
+        counter = hve.group.counter
+
+        first_zone = batches[0]
+        engine.match([first_zone], candidates)
+
+        # The authority re-declares the same alert id over a different zone.
+        new_zone = TokenBatch(alert_id=first_zone.alert_id, tokens=batches[1].tokens)
+        before = counter.total
+        renotified = engine.match([new_zone], candidates)
+        assert counter.total > before  # every user re-evaluated, nothing served stale
+        fresh = MatchingEngine(hve, MatchingOptions(strategy="planned")).match([new_zone], candidates)
+        assert renotified == fresh
+        # A second pass over the unchanged re-declared zone is cached again.
+        before = counter.total
+        assert engine.match([new_zone], candidates) == renotified
+        assert counter.total == before
+
+    def test_state_management(self):
+        hve, candidates, batches, _, _ = _random_scenario(91)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        engine.match(batches, candidates)
+        assert engine.standing_alerts() == sorted(b.alert_id for b in batches)
+        engine.forget_alert(batches[0].alert_id)
+        assert batches[0].alert_id not in engine.standing_alerts()
+        engine.reset_state()
+        assert engine.standing_alerts() == []
+
+
+class TestTokenPlan:
+    def test_cheapest_first_ordering(self):
+        hve, _, batches, _, _ = _random_scenario(131)
+        plan = TokenPlan(batches, order="cheapest")
+        for _, entries in plan.entries_by_alert:
+            costs = [entry.cost for entry in entries]
+            assert costs == sorted(costs)
+
+    def test_declared_order_is_preserved(self):
+        hve, _, batches, _, _ = _random_scenario(131)
+        plan = TokenPlan(batches, order="declared")
+        for batch, (alert_id, entries) in zip(batches, plan.entries_by_alert):
+            assert alert_id == batch.alert_id
+            assert [e.token.pattern for e in entries] == [t.pattern for t in batch.tokens]
+
+    def test_dedupe_statistics(self):
+        hve, _, batches, _, _ = _random_scenario(131, n_alerts=1)
+        twin = TokenBatch(alert_id="twin", tokens=batches[0].tokens)
+        plan = TokenPlan([batches[0], twin])
+        assert plan.total_tokens == 2 * len(batches[0].tokens)
+        assert plan.unique_patterns == len(batches[0].tokens)
+        assert plan.duplicate_tokens == len(batches[0].tokens)
+        assert plan.pairing_cost_per_ciphertext == batches[0].pairing_cost_per_ciphertext
+
+    def test_rejects_empty_and_invalid_order(self):
+        with pytest.raises(ValueError):
+            TokenPlan([])
+        hve, _, batches, _, _ = _random_scenario(131, n_alerts=1)
+        with pytest.raises(ValueError):
+            TokenPlan(batches, order="fastest")
+
+    def test_rejects_mixed_width_tokens(self):
+        group = BilinearGroup(prime_bits=32, rng=random.Random(17))
+        narrow = HVE(width=3, group=group, rng=random.Random(18))
+        wide = HVE(width=4, group=group, rng=random.Random(19))
+        narrow_keys = narrow.setup()
+        wide_keys = wide.setup()
+        mixed = TokenBatch(
+            alert_id="mixed",
+            tokens=(
+                narrow.generate_token(narrow_keys.secret, "1*0"),
+                wide.generate_token(wide_keys.secret, "1*0*"),
+            ),
+        )
+        with pytest.raises(ValueError, match="width"):
+            TokenPlan([mixed])
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            MatchingOptions(strategy="quantum")
+        with pytest.raises(ValueError):
+            MatchingOptions(order="slowest")
+        with pytest.raises(ValueError):
+            MatchingOptions(workers=0)
+        with pytest.raises(ValueError):
+            MatchingOptions(chunk_size=0)

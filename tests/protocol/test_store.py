@@ -84,6 +84,56 @@ class TestCiphertextStore:
         notified = [n.user_id for n in matcher.process([batch], now=30.0)]
         assert notified == ["alice"]
 
+    def test_round_trip_preserves_matching_outcomes(self, setup, tmp_path):
+        """Save/load must not change any user's match outcome for any zone."""
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        cells = {"u0": 0, "u1": 2, "u2": 4, "u3": 5, "u4": 7}
+        for user_id, cell in cells.items():
+            store.ingest(_update(setup, user_id, cell), received_at=1.0)
+        path = tmp_path / "round-trip.json"
+        store.save(path)
+        restored = CiphertextStore.load(path, hve.group)
+
+        zones = [[0, 1], [2, 3, 4], [5], [6, 7]]
+        for i, zone_cells in enumerate(zones):
+            batch = _batch(setup, f"zone-{i}", zone_cells)
+            before = [n.user_id for n in BatchMatcher(hve, store).process([batch], now=2.0)]
+            after = [n.user_id for n in BatchMatcher(hve, restored).process([batch], now=2.0)]
+            assert after == before == sorted(u for u, c in cells.items() if c in zone_cells)
+
+    def test_stale_purge_boundary_age_equals_max_age(self, setup):
+        """A report aged exactly ``max_age_seconds`` is still fresh, not stale."""
+        store = CiphertextStore(max_age_seconds=60.0)
+        store.ingest(_update(setup, "edge", 2), received_at=0.0)
+        # age == max_age: included in fresh_reports, excluded from stale_users.
+        assert [r.user_id for r in store.fresh_reports(now=60.0)] == ["edge"]
+        assert store.stale_users(now=60.0) == []
+        assert store.purge_stale(now=60.0) == 0
+        assert len(store) == 1
+        # One tick past the boundary the report expires.
+        assert store.fresh_reports(now=60.0000001) == []
+        assert store.stale_users(now=60.0000001) == ["edge"]
+        assert store.purge_stale(now=60.0000001) == 1
+        assert len(store) == 0
+
+    def test_out_of_order_sequence_ingestion(self, setup):
+        """Late-arriving older reports never clobber a newer one, at any arrival order."""
+        store = CiphertextStore()
+        assert store.ingest(_update(setup, "alice", 2, sequence=2), received_at=10.0)
+        assert not store.ingest(_update(setup, "alice", 5, sequence=1), received_at=20.0)
+        assert not store.ingest(_update(setup, "alice", 7, sequence=0), received_at=30.0)
+        assert store.ingest(_update(setup, "alice", 3, sequence=4), received_at=40.0)
+        report = store.report_for("alice")
+        assert report.sequence_number == 4
+        assert report.reported_at == 40.0
+        # Matching reflects the newest report (cell 3), not the stragglers.
+        _, hve, _ = setup
+        matcher = BatchMatcher(hve, store)
+        assert [n.user_id for n in matcher.process([_batch(setup, "z3", [3])], now=50.0)] == ["alice"]
+        assert matcher.process([_batch(setup, "z5", [5])], now=50.0) == []
+        assert matcher.process([_batch(setup, "z7", [7])], now=50.0) == []
+
 
 class TestBatchMatcher:
     def test_multiple_alerts_single_pass(self, setup):
