@@ -10,10 +10,12 @@ at least 2x faster than the naive element-wise path on the 40-user compact
 zone workload.
 """
 
+import os
 import random
 import time
 
 from benchmarks.conftest import publish_table
+from repro.crypto.backends import available_backends
 from repro.crypto.group import BilinearGroup
 from repro.crypto.hve import HVE
 from repro.datasets.synthetic import make_synthetic_scenario
@@ -24,6 +26,9 @@ from repro.protocol.messages import TokenBatch
 MAX_USERS = 40
 USER_GRID = (10, 40)
 TIMING_ROUNDS = 5
+
+#: Cores this process may actually use -- the ceiling for process scaling.
+AVAILABLE_CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1)
 
 
 def _build_world(seed=4021):
@@ -130,6 +135,123 @@ def test_matching_engine_throughput_grid():
         _, _, planned_secs = _time_strategy(hve, MatchingOptions(strategy="planned"), compact_batches, all_candidates)
         speedup = max(speedup, naive_secs / planned_secs)
     assert speedup >= floor
+
+
+def _build_work_factor_world(backend, work_factor=40, users=40, seed=4099):
+    """A workload where simulated pairing cost dominates, on one backend.
+
+    All backends share the same primes (generated once by a reference probe)
+    and the same-seeded rngs, so key material, ciphertexts and therefore
+    match outcomes and pairing counts are bit-identical across backends --
+    the only thing that may differ is wall-clock.
+    """
+    scenario = make_synthetic_scenario(
+        rows=16, cols=16, sigmoid_a=0.95, sigmoid_b=100.0, seed=seed, extent_meters=1600.0
+    )
+    encoding = HuffmanEncodingScheme().build(scenario.probabilities)
+    probe = BilinearGroup(prime_bits=64, rng=random.Random(seed + 1))
+    group = BilinearGroup.from_primes(
+        int(probe.p),
+        int(probe.q),
+        pairing_work_factor=work_factor,
+        backend=backend,
+        rng=random.Random(seed + 2),
+    )
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(seed + 3))
+    keys = hve.setup()
+    rng = random.Random(seed + 4)
+    candidates = [
+        MatchCandidate(
+            user_id=f"user-{i:03d}",
+            ciphertext=hve.encrypt(keys.public, encoding.index_of(rng.randrange(scenario.grid.n_cells))),
+        )
+        for i in range(users)
+    ]
+    zones = scenario.workloads.triggered_radius_workload(220.0, 2).zones
+    batches = []
+    for i, zone in enumerate(zones):
+        tokens = hve.generate_tokens(keys.secret, encoding.token_patterns(list(zone.cell_ids)))
+        batches.append(TokenBatch(alert_id=f"zone-{i}", tokens=tuple(tokens)))
+    return hve, candidates, batches
+
+
+def test_backend_executor_scaling():
+    """Throughput grid across crypto backends and executors (work factor on).
+
+    Acceptance invariants (checked on every host): identical notifications
+    and bit-exact pairing totals across all backends, executors and worker
+    counts.  Wall-clock acceptance (process executor with 4 workers >= 2x the
+    single-worker planned path, pure-Python backend) requires real cores --
+    it is asserted when >= 4 are available and recorded otherwise, since a
+    process pool cannot beat a single worker on hardware that cannot run the
+    workers concurrently.
+    """
+    configurations = [
+        ("single", MatchingOptions(strategy="planned")),
+        ("thread-4", MatchingOptions(strategy="planned", workers=4, executor="thread")),
+        ("process-4", MatchingOptions(strategy="planned", workers=4, executor="process")),
+    ]
+    rows = []
+    wall = {}
+    baseline = None  # (notification keys, pairings) of the first run, for parity
+    for backend in available_backends():
+        hve, candidates, batches = _build_work_factor_world(backend)
+        for label, options in configurations:
+            engine = MatchingEngine(hve, options)
+            counter = hve.group.counter
+            before = counter.total
+            notifications = engine.match(batches, candidates)
+            pairings = counter.total - before
+            best = float("inf")
+            for _ in range(2):
+                start = time.perf_counter()
+                engine.match(batches, candidates)
+                best = min(best, time.perf_counter() - start)
+            outcome = (tuple((n.user_id, n.alert_id) for n in notifications), pairings)
+            if baseline is None:
+                baseline = outcome
+            assert outcome == baseline  # parity across backends AND executors
+            wall[(backend, label)] = best
+            rows.append(
+                {
+                    "backend": backend,
+                    "executor": label,
+                    "users": len(candidates),
+                    "tokens": sum(len(b.tokens) for b in batches),
+                    "wall_ms": round(best * 1e3, 1),
+                    "speedup_vs_single": round(wall[(backend, "single")] / best, 2),
+                    "pairings": pairings,
+                    "notified": len(notifications),
+                    "cores": AVAILABLE_CORES,
+                }
+            )
+
+    publish_table(
+        "matching_engine_scaling",
+        f"Backend x executor scaling, work factor on (best of 2, {AVAILABLE_CORES} cores available)",
+        rows,
+    )
+
+    speedup = wall[("reference", "single")] / wall[("reference", "process-4")]
+    if AVAILABLE_CORES >= 4:
+        # Re-measure up to three times before failing: shared CI runners
+        # expose exactly 4 vCPUs with noisy neighbors, and a CPU-steal spike
+        # during one process-pool run must not flake the build.
+        for _ in range(3):
+            if speedup >= 2.0:
+                break
+            hve, candidates, batches = _build_work_factor_world("reference")
+            single = MatchingEngine(hve, MatchingOptions(strategy="planned"))
+            process = MatchingEngine(
+                hve, MatchingOptions(strategy="planned", workers=4, executor="process")
+            )
+            start = time.perf_counter()
+            single.match(batches, candidates)
+            single_secs = time.perf_counter() - start
+            start = time.perf_counter()
+            process.match(batches, candidates)
+            speedup = max(speedup, single_secs / (time.perf_counter() - start))
+        assert speedup >= 2.0
 
 
 def test_worker_scaling_smoke():

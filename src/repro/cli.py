@@ -29,8 +29,9 @@ from repro.analysis.experiments import (
     le_bound_sweep,
     radius_sweep_comparison,
 )
+from repro.crypto.backends import available_backends, backend_names, default_backend_name
 from repro.datasets.synthetic import make_synthetic_scenario
-from repro.protocol.matching import MATCHING_STRATEGIES
+from repro.protocol.matching import EXECUTORS, MATCHING_STRATEGIES
 from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig
 
 __all__ = ["build_parser", "main"]
@@ -54,6 +55,11 @@ def _format_table(rows: Sequence[Mapping[str, object]]) -> str:
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} - secure location-based alerts (EDBT 2021 reproduction)")
     print("Encoding schemes:", ", ".join(sorted(default_scheme_suite())))
+    available = set(available_backends())
+    backends = ", ".join(
+        f"{name}{'' if name in available else ' (unavailable)'}" for name in backend_names()
+    )
+    print(f"Crypto backends: {backends}; default: {default_backend_name()}")
     print("See DESIGN.md for the system inventory and EXPERIMENTS.md for results.")
     return 0
 
@@ -140,6 +146,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         prime_bits=args.prime_bits,
         matching_strategy=args.matching_strategy,
         workers=args.workers,
+        executor=args.executor,
+        crypto_backend=args.backend,
     )
     simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
     result = simulation.run(args.steps)
@@ -202,7 +210,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker threads for chunked matching over the ciphertext store (1 disables the pool)",
+        help="workers for chunked matching over the ciphertext store (1 disables the pool)",
+    )
+    simulate.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="thread",
+        help="pool flavour when --workers > 1: 'thread' (in-process, GIL-bound) or 'process' (multi-core)",
+    )
+    simulate.add_argument(
+        "--backend",
+        choices=sorted(backend_names()),
+        default=None,
+        help="crypto arithmetic backend (default: auto-select, gmpy2 when installed else reference)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 

@@ -69,8 +69,13 @@ class PipelineConfig:
 
     ``matching_strategy`` selects the service provider's evaluation path
     (``"planned"`` is the optimized default; ``"naive"`` is the element-wise
-    parity path) and ``workers`` enables chunked multi-threaded matching over
-    the ciphertext store (off at the default of 1).
+    parity path); ``workers`` enables chunked multi-worker matching over the
+    ciphertext store (off at the default of 1) and ``executor`` picks the
+    pool flavour for it (``"thread"`` shares the group in-process,
+    ``"process"`` ships work to worker processes for real multi-core
+    scaling).  ``crypto_backend`` forces a crypto arithmetic backend by name
+    (``None`` auto-selects: ``gmpy2`` when installed, the pure-Python
+    ``reference`` backend otherwise).
     """
 
     scheme: str = "huffman"
@@ -79,6 +84,8 @@ class PipelineConfig:
     seed: Optional[int] = None
     matching_strategy: str = "planned"
     workers: int = 1
+    executor: str = "thread"
+    crypto_backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -119,7 +126,12 @@ class SecureAlertPipeline:
             scheme=scheme,
             prime_bits=config.prime_bits,
             rng=rng,
-            matching=MatchingOptions(strategy=config.matching_strategy, workers=config.workers),
+            matching=MatchingOptions(
+                strategy=config.matching_strategy,
+                workers=config.workers,
+                executor=config.executor,
+            ),
+            backend=config.crypto_backend,
         )
         return cls(system, config)
 

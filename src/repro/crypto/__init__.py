@@ -3,6 +3,9 @@
 This package implements the searchable-encryption machinery the paper builds
 on:
 
+* :mod:`repro.crypto.backends` -- pluggable big-integer arithmetic backends
+  (pure-Python reference, optional GMP acceleration via ``gmpy2``) behind the
+  :class:`~repro.crypto.backends.base.GroupBackend` interface.
 * :mod:`repro.crypto.primes` -- probabilistic prime generation (Miller-Rabin)
   used to build composite-order groups.
 * :mod:`repro.crypto.group` -- a composite-order symmetric bilinear group
@@ -21,6 +24,14 @@ on:
   and the SP).
 """
 
+from repro.crypto.backends import (
+    GroupBackend,
+    available_backends,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
 from repro.crypto.counting import PairingCounter, pairing_cost_of_token, pairing_cost_of_tokens
 from repro.crypto.group import BilinearGroup, GroupElement, GTElement
 from repro.crypto.hve import (
@@ -47,4 +58,10 @@ __all__ = [
     "PairingCounter",
     "pairing_cost_of_token",
     "pairing_cost_of_tokens",
+    "GroupBackend",
+    "available_backends",
+    "backend_names",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
 ]

@@ -1,0 +1,88 @@
+"""The abstract :class:`GroupBackend` interface.
+
+A backend supplies the big-integer arithmetic a
+:class:`~repro.crypto.group.BilinearGroup` runs on.  The ideal-group model
+represents every group element by its discrete logarithm, so the entire crypto
+layer reduces to three operations on large integers:
+
+* conversion of a Python ``int`` into the backend's native number type
+  (:meth:`GroupBackend.make_int`) -- the group stores its order and prime
+  factors in native form, after which ordinary operators (``+``, ``*``, ``%``)
+  stay inside the backend's arithmetic automatically;
+* modular exponentiation (:meth:`GroupBackend.powmod`) -- the pairing work
+  factor's cost model burns one large ``powmod`` per simulated pairing, which
+  is exactly the operation a real pairing library spends its time in;
+* fused sums of products (:meth:`GroupBackend.dot`) -- the accumulation core
+  of :meth:`~repro.crypto.group.BilinearGroup.pair_product`, where several
+  pairings' worth of exponent arithmetic is folded together without
+  intermediate element allocations.  (The planned HVE query path keeps its
+  own tight loop, but because every element exponent is a backend-native
+  number, that loop runs on backend arithmetic too.)
+
+Backends must be *drop-in interchangeable*: for identical inputs every backend
+returns numerically identical results (the native number type may differ, but
+must compare equal to the Python ``int`` of the same value and support the
+same operator set).  The protocol layer above never needs to know which
+backend is active.
+
+Backends register themselves with :func:`repro.crypto.backends.register_backend`;
+selection (auto-detection, environment override, explicit request) lives in
+:mod:`repro.crypto.backends`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Sequence
+
+__all__ = ["GroupBackend"]
+
+
+class GroupBackend(ABC):
+    """Arithmetic provider for the ideal-group-model bilinear group.
+
+    Class attributes
+    ----------------
+    name:
+        Registry key of the backend (``"reference"``, ``"gmpy2"``, ...).
+    priority:
+        Auto-selection rank; when no backend is requested explicitly the
+        available backend with the highest priority wins.
+    """
+
+    name: ClassVar[str]
+    priority: ClassVar[int] = 0
+
+    @classmethod
+    def available(cls) -> bool:
+        """True if this backend's dependencies are importable on this host."""
+        return True
+
+    @abstractmethod
+    def make_int(self, value: int) -> Any:
+        """Convert ``value`` into the backend's native big-integer type.
+
+        The returned object must behave like the equivalent Python ``int``
+        under ``+ - * % ==`` and ``hash``; mixed int/native expressions must
+        stay in native arithmetic (which is what makes the conversion pay off:
+        the group converts its order once and every reduction modulo it then
+        runs natively).
+        """
+
+    @abstractmethod
+    def powmod(self, base: Any, exponent: Any, modulus: Any) -> Any:
+        """``base ** exponent mod modulus`` on native numbers."""
+
+    def dot(self, pairs: Sequence[tuple[Any, Any]]) -> Any:
+        """Fused sum of products ``sum(a * b for a, b in pairs)`` (unreduced).
+
+        The default implementation is correct for any backend; subclasses
+        override it when the native library has a cheaper accumulation path.
+        """
+        acc = 0
+        for a, b in pairs:
+            acc += a * b
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

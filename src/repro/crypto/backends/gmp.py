@@ -1,0 +1,61 @@
+"""GMP-accelerated backend via :mod:`gmpy2` (optional dependency).
+
+``gmpy2`` wraps the GMP library; its ``mpz`` integers are substantially faster
+than CPython's built-in ``int`` for the 128-512 bit operands the composite-
+order group works with, and ``gmpy2.powmod`` is the exact operation the
+pairing work factor burns.  The backend is *gated*: importing this module
+never fails when ``gmpy2`` is absent -- the backend simply reports itself as
+unavailable and auto-selection falls back to the pure-Python reference
+backend.
+
+Because ``mpz`` compares and hashes equal to the same-valued ``int`` and
+supports the full operator set, groups built on this backend are numerically
+indistinguishable from reference-backend groups: same elements, same match
+outcomes, same pairing counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.crypto.backends.base import GroupBackend
+
+__all__ = ["Gmpy2Backend"]
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - the common case in CI containers
+    _gmpy2 = None
+
+
+class Gmpy2Backend(GroupBackend):
+    """GMP big-integer arithmetic through ``gmpy2.mpz`` / ``gmpy2.powmod``."""
+
+    name = "gmpy2"
+    priority = 100
+
+    def __init__(self) -> None:
+        if _gmpy2 is None:
+            raise RuntimeError(
+                "the gmpy2 backend requires the 'gmpy2' package; "
+                "install it or select the 'reference' backend"
+            )
+        self._mpz = _gmpy2.mpz
+        self._powmod = _gmpy2.powmod
+
+    @classmethod
+    def available(cls) -> bool:
+        return _gmpy2 is not None
+
+    def make_int(self, value: int) -> Any:
+        return self._mpz(value)
+
+    def powmod(self, base: Any, exponent: Any, modulus: Any) -> Any:
+        return self._powmod(base, exponent, modulus)
+
+    def dot(self, pairs: Sequence[tuple[Any, Any]]) -> Any:
+        mpz = self._mpz
+        acc = mpz(0)
+        for a, b in pairs:
+            acc += mpz(a) * b
+        return acc

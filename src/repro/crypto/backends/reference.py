@@ -1,0 +1,31 @@
+"""The pure-Python reference backend: Python ``int`` arithmetic.
+
+This is the arithmetic the seed implementation ran on, packaged behind the
+:class:`~repro.crypto.backends.base.GroupBackend` interface.  It has no
+dependencies, works everywhere and is the ground truth the accelerated
+backends are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.backends.base import GroupBackend
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(GroupBackend):
+    """Dependency-free backend on CPython's built-in big integers."""
+
+    name = "reference"
+    priority = 0
+
+    def make_int(self, value: int) -> int:
+        return int(value)
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        return pow(base, exponent, modulus)
+
+    def dot(self, pairs: Sequence[tuple[int, int]]) -> int:
+        return sum(a * b for a, b in pairs)

@@ -21,14 +21,24 @@ The group additionally supports a configurable *pairing work factor* so that
 wall-clock benchmarks reflect the fact that pairings dominate the cost of real
 HVE: each pairing call optionally performs a number of large modular
 exponentiations before returning.
+
+All big-integer arithmetic is delegated to a pluggable
+:class:`~repro.crypto.backends.base.GroupBackend` (see
+:mod:`repro.crypto.backends`): the group converts its order and prime factors
+into the backend's native number type once at construction, after which every
+element exponent -- and therefore every group operation, pairing and work-
+factor burn -- runs on backend arithmetic.  The pure-Python ``reference``
+backend reproduces the seed behaviour exactly; the optional ``gmpy2`` backend
+is numerically identical but faster, and is auto-selected when installed.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.crypto.backends import GroupBackend, get_backend
 from repro.crypto.counting import PairingCounter
 from repro.crypto.primes import generate_distinct_primes
 
@@ -192,6 +202,11 @@ class BilinearGroup:
         than group operations.
     counter:
         Optional shared :class:`PairingCounter`; one is created if omitted.
+    backend:
+        Arithmetic backend: a registered backend name (``"reference"``,
+        ``"gmpy2"``), a live :class:`~repro.crypto.backends.base.GroupBackend`
+        instance, or ``None`` for auto-selection (environment override via
+        ``REPRO_CRYPTO_BACKEND``, then the best available backend).
     """
 
     def __init__(
@@ -200,18 +215,61 @@ class BilinearGroup:
         rng: Optional[random.Random] = None,
         pairing_work_factor: int = 0,
         counter: Optional[PairingCounter] = None,
+        backend: Optional[Union[str, GroupBackend]] = None,
     ):
         if prime_bits < 16:
             raise ValueError(f"prime_bits must be >= 16, got {prime_bits}")
         self._rng = rng or random.Random()
-        self._p, self._q = generate_distinct_primes(prime_bits, count=2, rng=self._rng)
+        p, q = generate_distinct_primes(prime_bits, count=2, rng=self._rng)
+        self._bind_numbers(p, q, prime_bits, pairing_work_factor, counter, backend)
+
+    @classmethod
+    def from_primes(
+        cls,
+        p: int,
+        q: int,
+        pairing_work_factor: int = 0,
+        counter: Optional[PairingCounter] = None,
+        backend: Optional[Union[str, GroupBackend]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "BilinearGroup":
+        """Rebuild a group from known prime factors (no prime generation).
+
+        This is how a group crosses a process boundary (see
+        :func:`repro.crypto.serialization.group_to_wire`) and how tests pin
+        two backends to numerically identical groups.  The caller is trusted
+        to supply distinct primes -- typically ones a previous
+        :class:`BilinearGroup` generated.
+        """
+        if p == q:
+            raise ValueError("the two prime factors must be distinct")
+        group = cls.__new__(cls)
+        group._rng = rng or random.Random()
+        prime_bits = min(int(p).bit_length(), int(q).bit_length())
+        group._bind_numbers(p, q, prime_bits, pairing_work_factor, counter, backend)
+        return group
+
+    def _bind_numbers(
+        self,
+        p: int,
+        q: int,
+        prime_bits: int,
+        pairing_work_factor: int,
+        counter: Optional[PairingCounter],
+        backend: Optional[Union[str, GroupBackend]],
+    ) -> None:
+        """Convert the group constants into backend-native numbers once."""
+        self.backend = get_backend(backend)
+        make = self.backend.make_int
+        self._p = make(p)
+        self._q = make(q)
         self._n = self._p * self._q
         self._prime_bits = prime_bits
         self._pairing_work_factor = pairing_work_factor
         self.counter = counter if counter is not None else PairingCounter()
         # A fixed odd modulus and base used only to burn pairing work.
         self._work_modulus = self._n | 1
-        self._work_base = 0xC0FFEE % self._work_modulus
+        self._work_base = make(0xC0FFEE) % self._work_modulus
 
     # ------------------------------------------------------------------
     # Public parameters
@@ -235,6 +293,16 @@ class BilinearGroup:
     def prime_bits(self) -> int:
         """Bit length of each prime factor."""
         return self._prime_bits
+
+    @property
+    def pairing_work_factor(self) -> int:
+        """Modular exponentiations burned per pairing (wall-clock cost model)."""
+        return self._pairing_work_factor
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the arithmetic backend this group runs on."""
+        return self.backend.name
 
     def params(self) -> GroupParams:
         """Return the public group parameters (order only, not the factors)."""
@@ -397,21 +465,27 @@ class BilinearGroup:
         the same pairing work is burned), so cost accounting matches the
         element-wise path.
         """
-        acc = 0
+        terms = []
         for a, b in pairs:
             if a.group is not self or b.group is not self:
                 raise ValueError("pairing arguments must belong to this group")
-            acc += a._discrete_log() * b._discrete_log()
+            terms.append((a._discrete_log(), b._discrete_log()))
+        acc = self.backend.dot(terms)
         self.record_pairings(len(pairs))
         return GTElement(self, acc)
 
     def _burn_pairing_work(self) -> None:
         """Perform dummy modular exponentiations to emulate pairing cost."""
         acc = self._work_base
+        powmod = self.backend.powmod
+        exponent = self._n | 3
         for _ in range(self._pairing_work_factor):
-            acc = pow(acc, self._n | 3, self._work_modulus)
+            acc = powmod(acc, exponent, self._work_modulus)
         # Prevent the loop from being optimised away conceptually; store result.
         self._last_work = acc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"BilinearGroup(prime_bits={self._prime_bits}, order_bits={self._n.bit_length()})"
+        return (
+            f"BilinearGroup(prime_bits={self._prime_bits}, "
+            f"order_bits={self._n.bit_length()}, backend={self.backend.name!r})"
+        )

@@ -206,6 +206,10 @@ class HVE:
         Prime size used when ``group`` is not supplied.
     rng:
         Random source for key generation, encryption and token generation.
+    backend:
+        Arithmetic backend name/instance for the group created when ``group``
+        is not supplied (``None`` auto-selects; see
+        :mod:`repro.crypto.backends`).  Ignored when ``group`` is passed.
 
     Example
     -------
@@ -223,11 +227,14 @@ class HVE:
         group: Optional[BilinearGroup] = None,
         prime_bits: int = 128,
         rng: Optional[random.Random] = None,
+        backend: Optional[str] = None,
     ):
         if width < 1:
             raise ValueError(f"HVE width must be >= 1, got {width}")
         self._rng = rng or random.Random()
-        self.group = group if group is not None else BilinearGroup(prime_bits=prime_bits, rng=self._rng)
+        if group is None:
+            group = BilinearGroup(prime_bits=prime_bits, rng=self._rng, backend=backend)
+        self.group = group
         self.width = width
         # The canonical "match" plaintext: e(g_p, g_p) where g_p generates G_p.
         # Living in the order-P part of GT guarantees the G_q blinding factors

@@ -65,8 +65,11 @@ class SecureAlertSystem:
     matching:
         Options for the service provider's
         :class:`~repro.protocol.matching.MatchingEngine` (strategy, token
-        order, worker threads, incremental mode).  Defaults to the planned
-        strategy with a single worker.
+        order, workers, thread/process executor, incremental mode).  Defaults
+        to the planned strategy with a single worker.
+    backend:
+        Crypto arithmetic backend name shared by all parties (``None``
+        auto-selects; see :mod:`repro.crypto.backends`).
 
     Example
     -------
@@ -87,6 +90,7 @@ class SecureAlertSystem:
         prime_bits: int = 64,
         rng: Optional[random.Random] = None,
         matching: Optional[MatchingOptions] = None,
+        backend: Optional[str] = None,
     ):
         scheme = scheme or HuffmanEncodingScheme()
         rng = rng or random.Random()
@@ -105,6 +109,7 @@ class SecureAlertSystem:
             scheme=scheme,
             prime_bits=prime_bits,
             rng=rng,
+            backend=backend,
         )
         key_setup_seconds = time.perf_counter() - key_start
 

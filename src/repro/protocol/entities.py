@@ -50,6 +50,9 @@ class TrustedAuthority:
         Size of each prime factor of the HVE group order.
     rng:
         Random source for key material; seed for reproducible experiments.
+    backend:
+        Crypto arithmetic backend name (``None`` auto-selects; see
+        :mod:`repro.crypto.backends`).
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class TrustedAuthority:
         scheme: EncodingScheme,
         prime_bits: int = 128,
         rng: Optional[random.Random] = None,
+        backend: Optional[str] = None,
     ):
         grid.validate_probabilities(probabilities)
         self.grid = grid
@@ -68,7 +72,12 @@ class TrustedAuthority:
 
         # Build the encoding first: its reference length is the HVE width.
         self.encoding: GridEncoding = scheme.build(self.probabilities)
-        self.hve = HVE(width=self.encoding.reference_length, prime_bits=prime_bits, rng=self._rng)
+        self.hve = HVE(
+            width=self.encoding.reference_length,
+            prime_bits=prime_bits,
+            rng=self._rng,
+            backend=backend,
+        )
         self._keys: HVEKeyPair = self.hve.setup()
 
     # ------------------------------------------------------------------

@@ -13,7 +13,11 @@ paid once per *alert batch*, not once per (user, token):
   often minimize to shared patterns), tokens are ordered cheapest-first
   (fewest non-star bits) so short-circuiting tends to hit minimal-pairing
   tokens early, and each entry carries the token's cached
-  ``non_star_positions``.
+  ``non_star_positions``.  On top of exact-pattern dedupe the plan knows the
+  *subsumption* lattice of its patterns: a pattern is a specialisation of a
+  wildcard pattern when every index it accepts is also accepted by the
+  wildcard, so a cached non-match of the general pattern answers the
+  specialised one for free (and a specialised match answers the general one).
 * :class:`MatchingEngine` -- the single matching path used by
   :class:`~repro.protocol.entities.ServiceProvider`,
   :class:`~repro.protocol.store.BatchMatcher` and (through them) the alert
@@ -24,33 +28,52 @@ paid once per *alert batch*, not once per (user, token):
   :class:`~repro.crypto.counting.PairingCounter` totals for the same token
   order -- the paper's metric is preserved bit-exactly.
 * **Chunked multi-worker matching** -- the candidate list is split into
-  chunks handed to a ``concurrent.futures`` thread pool (off by default,
-  ``workers=N``).  Chunk results are concatenated in order, so output is
-  deterministic regardless of worker count.
+  chunks handed to a ``concurrent.futures`` pool (off by default,
+  ``workers=N``).  Two executors are available: ``"thread"`` shares the
+  parent's group (GIL-bound on the pure-Python backend, so it mostly overlaps
+  allocator stalls), while ``"process"`` ships the serialized token plan to
+  worker processes once, streams compact ciphertext wire forms to them (see
+  :mod:`repro.crypto.serialization`) and merges the per-worker pairing totals
+  back into the parent's counter bit-exactly.  Chunk results are concatenated
+  in order, so output is deterministic regardless of worker count or
+  executor.
 * **Incremental mode** -- for standing alerts that are re-evaluated
   periodically, the engine remembers each user's (sequence number, outcome)
   per alert and re-matches only users whose sequence number changed; an
   unchanged ciphertext can never change its match outcome, so notifications
-  are identical to a full re-evaluation at a fraction of the pairings.
+  are identical to a full re-evaluation at a fraction of the pairings.  The
+  remembered state round-trips through :meth:`MatchingEngine.export_state` /
+  :meth:`MatchingEngine.import_state`, which is how standing alerts survive
+  provider restarts (see :meth:`repro.protocol.store.CiphertextStore.save`).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
-from repro.crypto.hve import HVE, HVECiphertext, HVEToken
+from repro.crypto.hve import HVE, STAR, HVECiphertext, HVEToken
+from repro.crypto.serialization import (
+    ciphertext_to_wire,
+    group_to_wire,
+    token_to_wire,
+    wire_to_ciphertext,
+    wire_to_group,
+    wire_to_token,
+)
 from repro.protocol.messages import Notification, TokenBatch
 
 __all__ = [
     "MATCHING_STRATEGIES",
     "TOKEN_ORDERS",
+    "EXECUTORS",
     "MatchCandidate",
     "MatchingOptions",
     "PlannedToken",
     "TokenPlan",
     "MatchingEngine",
+    "pattern_subsumes",
 ]
 
 #: Recognised values of :attr:`MatchingOptions.strategy`.
@@ -58,6 +81,25 @@ MATCHING_STRATEGIES = ("naive", "planned")
 
 #: Recognised values of :attr:`MatchingOptions.order`.
 TOKEN_ORDERS = ("declared", "cheapest")
+
+#: Recognised values of :attr:`MatchingOptions.executor`.
+EXECUTORS = ("thread", "process")
+
+
+def pattern_subsumes(general: str, specific: str) -> bool:
+    """True if every index accepted by ``specific`` is accepted by ``general``.
+
+    ``general`` subsumes ``specific`` exactly when, at every position where
+    ``general`` pins a concrete bit, ``specific`` pins the same bit.  A
+    pattern never subsumes itself (equal patterns are the exact-dedupe case,
+    handled by slot sharing).  Examples: ``1**`` subsumes ``1*0`` and ``110``;
+    ``10*`` does not subsume ``1**``.
+    """
+    if len(general) != len(specific):
+        raise ValueError("patterns must have equal width")
+    if general == specific:
+        return False
+    return all(g == STAR or g == s for g, s in zip(general, specific))
 
 
 @dataclass(frozen=True)
@@ -92,9 +134,21 @@ class MatchingOptions:
     dedupe:
         Evaluate each distinct pattern at most once per ciphertext, sharing
         the outcome across alerts that contain the same pattern.
+    subsume:
+        Additionally propagate outcomes along the pattern-subsumption lattice:
+        a non-match of a wildcard pattern is reused as the (non-)match of
+        every specialisation of it, and a specialised match answers its
+        generalisations.  Only effective when ``dedupe`` is on; never changes
+        notifications, only saves pairings.
     workers:
-        Worker threads for chunked matching over the candidate list.  ``1``
-        (default) runs inline; values above 1 enable the thread pool.
+        Workers for chunked matching over the candidate list.  ``1`` (default)
+        runs inline; values above 1 enable the pool selected by ``executor``.
+    executor:
+        Pool flavour for ``workers > 1``: ``"thread"`` (default) shares the
+        parent group but is GIL-bound on the pure-Python backend;
+        ``"process"`` ships the plan and ciphertext wire forms to worker
+        processes, so matching scales with cores at the price of
+        serialization and process start-up.
     chunk_size:
         Candidates per worker chunk.  ``None`` (default) splits the candidate
         list evenly across the workers so every requested worker gets a chunk
@@ -108,7 +162,9 @@ class MatchingOptions:
     strategy: str = "planned"
     order: str = "cheapest"
     dedupe: bool = True
+    subsume: bool = True
     workers: int = 1
+    executor: str = "thread"
     chunk_size: Optional[int] = None
     incremental: bool = False
 
@@ -117,6 +173,8 @@ class MatchingOptions:
             raise ValueError(f"unknown matching strategy {self.strategy!r}; expected one of {MATCHING_STRATEGIES}")
         if self.order not in TOKEN_ORDERS:
             raise ValueError(f"unknown token order {self.order!r}; expected one of {TOKEN_ORDERS}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -150,9 +208,21 @@ class TokenPlan:
     dedupe:
         Share slots between equal patterns across alerts; see
         :class:`MatchingOptions`.
+    subsume:
+        Precompute, per unique pattern, which other unique patterns of the
+        plan subsume it (accept a superset of indexes); evaluation then
+        propagates outcomes along those edges.  Requires ``dedupe`` (silently
+        off otherwise, since without slot sharing there is no cross-alert
+        outcome cache to propagate through).
     """
 
-    def __init__(self, batches: Sequence[TokenBatch], order: str = "cheapest", dedupe: bool = True):
+    def __init__(
+        self,
+        batches: Sequence[TokenBatch],
+        order: str = "cheapest",
+        dedupe: bool = True,
+        subsume: bool = True,
+    ):
         if order not in TOKEN_ORDERS:
             raise ValueError(f"unknown token order {order!r}; expected one of {TOKEN_ORDERS}")
         batches = tuple(batches)
@@ -164,6 +234,7 @@ class TokenPlan:
 
         self.order = order
         self.dedupe = dedupe
+        self.subsume = bool(subsume and dedupe)
         slots: dict[str, int] = {}
         running = 0
         entries_by_alert: list[tuple[str, tuple[PlannedToken, ...]]] = []
@@ -187,6 +258,22 @@ class TokenPlan:
         self._entries_by_alert = tuple(entries_by_alert)
         self.total_tokens = running
         self.unique_patterns = len(slots)
+        self._generalizers = self._compute_generalizers(slots) if self.subsume else None
+
+    @staticmethod
+    def _compute_generalizers(slots: Mapping[str, int]) -> tuple[tuple[int, ...], ...]:
+        """Per unique slot, the slots whose patterns strictly subsume it."""
+        patterns = sorted(slots, key=slots.__getitem__)
+        generalizers: list[tuple[int, ...]] = []
+        for specific in patterns:
+            generalizers.append(
+                tuple(
+                    slots[general]
+                    for general in patterns
+                    if pattern_subsumes(general, specific)
+                )
+            )
+        return tuple(generalizers)
 
     @property
     def alert_ids(self) -> tuple[str, ...]:
@@ -199,9 +286,25 @@ class TokenPlan:
         return self._entries_by_alert
 
     @property
+    def generalizers(self) -> Optional[tuple[tuple[int, ...], ...]]:
+        """Per-slot subsuming slots (``None`` when subsumption is off)."""
+        return self._generalizers
+
+    @property
     def duplicate_tokens(self) -> int:
         """Tokens whose pattern also appears elsewhere in the plan."""
         return self.total_tokens - self.unique_patterns
+
+    @property
+    def subsumable_patterns(self) -> int:
+        """Unique patterns with at least one generaliser in the plan.
+
+        Each such pattern can potentially be answered without pairings: a
+        cached non-match of any of its generalisers settles it.
+        """
+        if self._generalizers is None:
+            return 0
+        return sum(1 for gens in self._generalizers if gens)
 
     @property
     def pairing_cost_per_ciphertext(self) -> int:
@@ -209,6 +312,7 @@ class TokenPlan:
 
         With deduplication each distinct pattern is charged once; without it
         every token occurrence is charged, matching the naive path's bound.
+        Subsumption can only reduce the realised cost below this bound.
         """
         if self.dedupe:
             seen: set[int] = set()
@@ -221,6 +325,169 @@ class TokenPlan:
             return cost
         return sum(entry.cost for _, entries in self._entries_by_alert for entry in entries)
 
+    # ------------------------------------------------------------------
+    # Wire form (process-boundary transport)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        """Compact picklable form of the plan (plain ints/strs/tuples).
+
+        The plan is serialized *once* per matching pass and shipped to every
+        worker process; ciphertexts then travel per chunk.  Round-trips
+        through :meth:`from_wire` bit-exactly: same entries, same slots, same
+        subsumption edges, so workers evaluate precisely what the parent
+        would have.
+        """
+        return {
+            "kind": "token_plan",
+            "order": self.order,
+            "dedupe": self.dedupe,
+            "subsume": self.subsume,
+            "total_tokens": self.total_tokens,
+            "unique_patterns": self.unique_patterns,
+            "generalizers": self._generalizers,
+            "alerts": tuple(
+                (
+                    alert_id,
+                    tuple(
+                        (token_to_wire(entry.token), tuple(entry.positions), entry.cost, entry.slot)
+                        for entry in entries
+                    ),
+                )
+                for alert_id, entries in self._entries_by_alert
+            ),
+        }
+
+    @classmethod
+    def from_wire(cls, group, wire: dict[str, Any]) -> "TokenPlan":
+        """Rebuild a plan from :meth:`to_wire` output, bound to ``group``."""
+        if wire.get("kind") != "token_plan":
+            raise ValueError("payload is not a serialized token plan")
+        plan = cls.__new__(cls)
+        plan.order = wire["order"]
+        plan.dedupe = wire["dedupe"]
+        plan.subsume = wire["subsume"]
+        plan.total_tokens = wire["total_tokens"]
+        plan.unique_patterns = wire["unique_patterns"]
+        generalizers = wire["generalizers"]
+        plan._generalizers = (
+            tuple(tuple(gens) for gens in generalizers) if generalizers is not None else None
+        )
+        plan._entries_by_alert = tuple(
+            (
+                alert_id,
+                tuple(
+                    PlannedToken(
+                        token=wire_to_token(group, token_wire),
+                        positions=tuple(positions),
+                        cost=cost,
+                        slot=slot,
+                    )
+                    for token_wire, positions, cost, slot in entries
+                ),
+            )
+            for alert_id, entries in wire["alerts"]
+        )
+        return plan
+
+
+# ----------------------------------------------------------------------
+# Evaluator construction (shared between the engine and worker processes)
+# ----------------------------------------------------------------------
+Evaluator = Callable[[HVECiphertext, int, dict[int, bool]], bool]
+
+
+def _make_naive_evaluator(hve: HVE, token_lists: Sequence[Sequence[HVEToken]]) -> Evaluator:
+    """Element-wise evaluation, exactly the seed's per-(user, token) path."""
+
+    def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
+        return hve.matches_any(ciphertext, token_lists[batch_index])
+
+    return evaluate
+
+
+def _make_planned_evaluator(hve: HVE, plan: TokenPlan) -> Evaluator:
+    """Plan-driven evaluation through the fused exponent-arithmetic path.
+
+    ``shared`` is the per-candidate slot cache: when deduplication is on,
+    alerts sharing a pattern resolve from the cache instead of paying the
+    pairings again.  With subsumption, the cache is additionally consulted
+    through the plan's generaliser edges -- a cached ``False`` for a wildcard
+    pattern settles every specialisation of it, and a fresh ``True`` for a
+    specialisation back-fills its generalisers.
+    """
+    entries_for_batch = tuple(entries for _, entries in plan.entries_by_alert)
+    generalizers = plan.generalizers
+
+    def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
+        for entry in entries_for_batch[batch_index]:
+            outcome = shared.get(entry.slot)
+            if outcome is None:
+                gens = generalizers[entry.slot] if generalizers is not None else ()
+                if gens and any(shared.get(g) is False for g in gens):
+                    # A superset pattern already failed: no index can match
+                    # this specialisation either, and no pairing is spent.
+                    outcome = False
+                else:
+                    outcome = hve.matches_via_plan(ciphertext, entry.token, entry.positions)
+                    if outcome:
+                        for g in gens:
+                            # This pattern matched, so every pattern accepting
+                            # a superset of its indexes matches too.
+                            if shared.get(g) is None:
+                                shared[g] = True
+                shared[entry.slot] = outcome
+            if outcome:
+                return True
+        return False
+
+    return evaluate
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker protocol
+# ----------------------------------------------------------------------
+# Worker processes are primed once per pool via the initializer: the group
+# constants, HVE width and the full evaluation payload (serialized plan or
+# naive token lists) land in module globals, after which each task ships only
+# a chunk of ciphertext wire forms.  Workers return their outcomes plus the
+# number of pairings their private counter recorded, which the parent merges
+# into its own counter -- totals are bit-exact with the inline path because
+# per-candidate evaluation is independent of chunking.
+
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _process_worker_init(group_wire: tuple, width: int, payload: tuple[str, Any]) -> None:
+    """Pool initializer: rebuild the group, HVE and evaluator in this process."""
+    group = wire_to_group(group_wire)
+    hve = HVE(width=width, group=group)
+    kind, data = payload
+    if kind == "planned":
+        evaluate = _make_planned_evaluator(hve, TokenPlan.from_wire(group, data))
+    else:
+        token_lists = [[wire_to_token(group, wire) for wire in batch] for batch in data]
+        evaluate = _make_naive_evaluator(hve, token_lists)
+    _WORKER_STATE["hve"] = hve
+    _WORKER_STATE["evaluate"] = evaluate
+
+
+def _process_worker_match(chunk: Sequence[tuple[tuple, tuple[int, ...]]]) -> tuple[list[list[bool]], int]:
+    """Evaluate one chunk of ``(ciphertext wire, needed batch indices)`` jobs.
+
+    Returns the per-candidate outcome rows (aligned with the needed indices)
+    and the pairings this call recorded on the worker's private counter.
+    """
+    hve: HVE = _WORKER_STATE["hve"]
+    evaluate: Evaluator = _WORKER_STATE["evaluate"]
+    counter = hve.group.counter
+    before = counter.total
+    rows: list[list[bool]] = []
+    for ciphertext_wire, needed in chunk:
+        ciphertext = wire_to_ciphertext(hve.group, ciphertext_wire)
+        shared: dict[int, bool] = {}
+        rows.append([evaluate(ciphertext, index, shared) for index in needed])
+    return rows, counter.total - before
+
 
 class MatchingEngine:
     """The single matching path of the service provider.
@@ -232,8 +499,8 @@ class MatchingEngine:
         only ever calls query/match operations -- it never sees key material).
     options:
         Strategy and execution tunables; defaults to the planned strategy,
-        cheapest-first order, deduplication on, a single worker and no
-        incremental state.
+        cheapest-first order, deduplication and subsumption on, a single
+        worker (thread executor) and no incremental state.
     """
 
     def __init__(self, hve: HVE, options: Optional[MatchingOptions] = None):
@@ -250,7 +517,12 @@ class MatchingEngine:
     # ------------------------------------------------------------------
     def plan(self, batches: Sequence[TokenBatch]) -> TokenPlan:
         """Build the :class:`TokenPlan` this engine would evaluate for ``batches``."""
-        return TokenPlan(batches, order=self.options.order, dedupe=self.options.dedupe)
+        return TokenPlan(
+            batches,
+            order=self.options.order,
+            dedupe=self.options.dedupe,
+            subsume=self.options.subsume,
+        )
 
     # ------------------------------------------------------------------
     # Matching
@@ -263,11 +535,11 @@ class MatchingEngine:
     ) -> list[Notification]:
         """Match every alert batch against every candidate ciphertext.
 
-        Semantics are identical across strategies: per candidate, alerts are
-        evaluated in declaration order and each alert short-circuits on its
-        first matching token; a user can be notified for several distinct
-        alerts but only once per alert.  Notifications come back in
-        (candidate, alert) order.
+        Semantics are identical across strategies, executors and worker
+        counts: per candidate, alerts are evaluated in declaration order and
+        each alert short-circuits on its first matching token; a user can be
+        notified for several distinct alerts but only once per alert.
+        Notifications come back in (candidate, alert) order.
         """
         batches = list(batches)
         candidates = list(candidates)
@@ -275,11 +547,7 @@ class MatchingEngine:
             return []
         descriptions = descriptions or {}
 
-        if self.options.strategy == "planned":
-            evaluate = self._planned_evaluator(self.plan(batches))
-        else:
-            evaluate = self._naive_evaluator([list(batch.tokens) for batch in batches])
-        outcomes = self._evaluate_all(batches, candidates, evaluate)
+        outcomes = self._evaluate_all(batches, candidates)
 
         if self.options.incremental:
             outcome_maps = [self._alert_state[batch.alert_id][1] for batch in batches]
@@ -331,49 +599,63 @@ class MatchingEngine:
         """Drop all incremental state."""
         self._alert_state.clear()
 
+    def export_state(self) -> dict[str, Any]:
+        """JSON-compatible snapshot of the incremental re-evaluation state.
+
+        Captures, per standing alert, the token-pattern signature and every
+        remembered (user, sequence number, outcome) triple.  Persist it next
+        to the ciphertext store (see
+        :meth:`repro.protocol.store.CiphertextStore.save`) so a provider
+        restart does not force a full re-evaluation of standing alerts.
+        """
+        return {
+            "kind": "matching_engine_state",
+            "alerts": {
+                alert_id: {
+                    "signature": list(signature),
+                    "outcomes": {
+                        user_id: [sequence_number, matched]
+                        for user_id, (sequence_number, matched) in sorted(outcomes.items())
+                    },
+                }
+                for alert_id, (signature, outcomes) in self._alert_state.items()
+            },
+        }
+
+    def import_state(self, payload: Mapping[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`export_state` (replaces state)."""
+        if payload.get("kind") != "matching_engine_state":
+            raise ValueError("payload is not a serialized matching-engine state")
+        state: dict[str, tuple[tuple[str, ...], dict[str, tuple[int, bool]]]] = {}
+        for alert_id, entry in payload.get("alerts", {}).items():
+            signature = tuple(entry.get("signature", ()))
+            outcomes = {
+                user_id: (int(sequence_number), bool(matched))
+                for user_id, (sequence_number, matched) in entry.get("outcomes", {}).items()
+            }
+            state[alert_id] = (signature, outcomes)
+        self._alert_state = state
+
     # ------------------------------------------------------------------
     # Evaluation internals
     # ------------------------------------------------------------------
-    def _naive_evaluator(
-        self, token_lists: Sequence[Sequence[HVEToken]]
-    ) -> Callable[[HVECiphertext, int, dict[int, bool]], bool]:
-        """Element-wise evaluation, exactly the seed's per-(user, token) path."""
-        hve = self.hve
+    def _build_evaluator(self, batches: Sequence[TokenBatch]) -> Evaluator:
+        """The in-process evaluator for the configured strategy."""
+        if self.options.strategy == "planned":
+            return _make_planned_evaluator(self.hve, self.plan(batches))
+        return _make_naive_evaluator(self.hve, [list(batch.tokens) for batch in batches])
 
-        def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
-            return hve.matches_any(ciphertext, token_lists[batch_index])
+    def _resolve_incremental(
+        self, batches: Sequence[TokenBatch], candidates: Sequence[MatchCandidate]
+    ) -> tuple[list[list[Optional[bool]]], list[tuple[int, ...]]]:
+        """Split outcomes into remembered rows and still-needed batch indices.
 
-        return evaluate
-
-    def _planned_evaluator(self, plan: TokenPlan) -> Callable[[HVECiphertext, int, dict[int, bool]], bool]:
-        """Plan-driven evaluation through the fused exponent-arithmetic path.
-
-        ``shared`` is the per-candidate slot cache: when deduplication is on,
-        alerts sharing a pattern resolve from the cache instead of paying the
-        pairings again.
+        Returns per-candidate rows prefilled with cached outcomes (``None``
+        where evaluation is required) plus, per candidate, the tuple of batch
+        indices to evaluate.  With incremental mode off every index is
+        needed.  Cache lookups stay in the parent process: workers only ever
+        see the (ciphertext, needed indices) jobs.
         """
-        hve = self.hve
-        entries_for_batch = tuple(entries for _, entries in plan.entries_by_alert)
-
-        def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
-            for entry in entries_for_batch[batch_index]:
-                outcome = shared.get(entry.slot)
-                if outcome is None:
-                    outcome = hve.matches_via_plan(ciphertext, entry.token, entry.positions)
-                    shared[entry.slot] = outcome
-                if outcome:
-                    return True
-            return False
-
-        return evaluate
-
-    def _evaluate_all(
-        self,
-        batches: Sequence[TokenBatch],
-        candidates: Sequence[MatchCandidate],
-        evaluate: Callable[[HVECiphertext, int, dict[int, bool]], bool],
-    ) -> list[list[bool]]:
-        """Per-candidate, per-batch outcomes, honoring incremental state and workers."""
         if self.options.incremental:
             cached_by_batch = []
             for batch in batches:
@@ -387,28 +669,132 @@ class MatchingEngine:
                 cached_by_batch.append(state[1])
         else:
             cached_by_batch = None
-        batch_indices = range(len(batches))
 
-        def evaluate_candidate(candidate: MatchCandidate) -> list[bool]:
-            shared: dict[int, bool] = {}
-            per_batch: list[bool] = []
-            for index in batch_indices:
+        rows: list[list[Optional[bool]]] = []
+        needed: list[tuple[int, ...]] = []
+        for candidate in candidates:
+            row: list[Optional[bool]] = [None] * len(batches)
+            need: list[int] = []
+            for index in range(len(batches)):
                 if cached_by_batch is not None:
                     previous = cached_by_batch[index].get(candidate.user_id)
                     if previous is not None and previous[0] == candidate.sequence_number:
-                        per_batch.append(previous[1])
+                        row[index] = previous[1]
                         continue
-                per_batch.append(evaluate(candidate.ciphertext, index, shared))
-            return per_batch
+                need.append(index)
+            rows.append(row)
+            needed.append(tuple(need))
+        return rows, needed
 
+    def _evaluate_all(
+        self, batches: Sequence[TokenBatch], candidates: Sequence[MatchCandidate]
+    ) -> list[list[bool]]:
+        """Per-candidate, per-batch outcomes, honoring incremental state,
+        worker count and executor choice."""
+        rows, needed = self._resolve_incremental(batches, candidates)
+        if not any(needed):
+            # The incremental cache answered everything: skip plan building
+            # (and any pool) outright.
+            return rows  # type: ignore[return-value]
         workers = min(self.options.workers, len(candidates))
-        if workers <= 1:
-            return [evaluate_candidate(candidate) for candidate in candidates]
 
+        if workers > 1 and self.options.executor == "process":
+            evaluated = self._evaluate_process(batches, candidates, needed, workers)
+        else:
+            evaluate = self._build_evaluator(batches)
+
+            def evaluate_candidate(job: tuple[MatchCandidate, tuple[int, ...]]) -> list[bool]:
+                candidate, need = job
+                shared: dict[int, bool] = {}
+                return [evaluate(candidate.ciphertext, index, shared) for index in need]
+
+            jobs = list(zip(candidates, needed))
+            if workers <= 1:
+                evaluated = [evaluate_candidate(job) for job in jobs]
+            else:
+                chunk_size = self._chunk_size(len(jobs), workers)
+                chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+                with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                    chunk_rows = list(pool.map(lambda chunk: [evaluate_candidate(j) for j in chunk], chunks))
+                evaluated = [row for chunk in chunk_rows for row in chunk]
+
+        for row, need, results in zip(rows, needed, evaluated):
+            for index, outcome in zip(need, results):
+                row[index] = outcome
+        return rows  # type: ignore[return-value]  # every None has been filled
+
+    def _chunk_size(self, n_jobs: int, workers: int) -> int:
         chunk_size = self.options.chunk_size
         if chunk_size is None:
-            chunk_size = -(-len(candidates) // workers)  # ceil: every worker gets a chunk
-        chunks = [candidates[i : i + chunk_size] for i in range(0, len(candidates), chunk_size)]
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            chunk_outcomes = list(pool.map(lambda chunk: [evaluate_candidate(c) for c in chunk], chunks))
-        return [outcome for chunk in chunk_outcomes for outcome in chunk]
+            chunk_size = -(-n_jobs // workers)  # ceil: every worker gets a chunk
+        return chunk_size
+
+    def _evaluate_process(
+        self,
+        batches: Sequence[TokenBatch],
+        candidates: Sequence[MatchCandidate],
+        needed: Sequence[tuple[int, ...]],
+        workers: int,
+    ) -> list[list[bool]]:
+        """Fan candidate chunks out to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+        The plan (or naive token lists) and group constants are serialized
+        once and installed in each worker by the pool initializer; per-chunk
+        traffic is limited to compact ciphertext wire forms.  Candidates the
+        incremental cache fully answered are never serialized or shipped, and
+        when *nothing* needs evaluation no pool is spawned at all.  Worker
+        pairing totals are merged into the parent counter without re-burning
+        pairing work (the workers already did), keeping
+        :class:`~repro.crypto.counting.PairingCounter` totals bit-exact with
+        the inline path.
+        """
+        # Only candidates with work left cross the process boundary.
+        jobs = [
+            (position, (ciphertext_to_wire(candidate.ciphertext), need))
+            for position, (candidate, need) in enumerate(zip(candidates, needed))
+            if need
+        ]
+        evaluated: list[list[bool]] = [[] for _ in candidates]
+        if not jobs:
+            return evaluated
+
+        group = self.hve.group
+        # Workers resolve the backend by registry name; fail here with the
+        # real cause rather than letting every worker die into an opaque
+        # BrokenProcessPool (e.g. an unregistered custom backend instance).
+        from repro.crypto.backends import get_backend
+
+        try:
+            get_backend(group.backend_name)
+        except (ValueError, RuntimeError) as exc:
+            raise RuntimeError(
+                f"executor='process' requires a crypto backend that worker processes can "
+                f"resolve by name; backend {group.backend_name!r} is not registered or not "
+                f"available (register it via repro.crypto.backends.register_backend, or use "
+                f"executor='thread')"
+            ) from exc
+        if self.options.strategy == "planned":
+            payload = ("planned", self.plan(batches).to_wire())
+        else:
+            payload = (
+                "naive",
+                tuple(tuple(token_to_wire(token) for token in batch.tokens) for batch in batches),
+            )
+        workers = min(workers, len(jobs))
+        chunk_size = self._chunk_size(len(jobs), workers)
+        chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(group_to_wire(group), self.hve.width, payload),
+        ) as pool:
+            chunk_results = list(
+                pool.map(_process_worker_match, [[job for _, job in chunk] for chunk in chunks])
+            )
+        worker_pairings = 0
+        for chunk, (rows, pairings) in zip(chunks, chunk_results):
+            worker_pairings += pairings
+            for (position, _), row in zip(chunk, rows):
+                evaluated[position] = row
+        group.counter.record_pairing(worker_pairings)
+        return evaluated

@@ -45,6 +45,8 @@ class SimulationConfig:
     seed: int = 0
     matching_strategy: str = "planned"
     workers: int = 1
+    executor: str = "thread"
+    crypto_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_users < 1:
@@ -132,7 +134,12 @@ class AlertServiceSimulation:
             scheme=scheme,
             prime_bits=self.config.prime_bits,
             rng=random.Random(self.config.seed + 1),
-            matching=MatchingOptions(strategy=self.config.matching_strategy, workers=self.config.workers),
+            matching=MatchingOptions(
+                strategy=self.config.matching_strategy,
+                workers=self.config.workers,
+                executor=self.config.executor,
+            ),
+            backend=self.config.crypto_backend,
         )
         self.grid = grid
         self.probabilities = list(probabilities)

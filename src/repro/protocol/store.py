@@ -63,6 +63,9 @@ class CiphertextStore:
             raise ValueError("max_age_seconds must be positive (or None to disable expiry)")
         self.max_age_seconds = max_age_seconds
         self._reports: dict[str, StoredReport] = {}
+        #: Matching-engine state snapshot found by :meth:`load` (``None`` when
+        #: the file predates state persistence or none was saved).
+        self.matching_state: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -124,8 +127,15 @@ class CiphertextStore:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | pathlib.Path) -> None:
-        """Persist the store as JSON (ciphertexts in wire format)."""
+    def save(self, path: str | pathlib.Path, engine: Optional[MatchingEngine] = None) -> None:
+        """Persist the store as JSON (ciphertexts in wire format).
+
+        When ``engine`` is given, its incremental re-evaluation state
+        (standing alerts, token signatures, last-seen sequence numbers and
+        outcomes -- see :meth:`MatchingEngine.export_state`) is embedded in
+        the same file, so a provider restart restores both the ciphertexts
+        and the standing-alert caches in one step.
+        """
         payload = {
             "max_age_seconds": self.max_age_seconds,
             "reports": [
@@ -138,11 +148,24 @@ class CiphertextStore:
                 for report in sorted(self._reports.values(), key=lambda r: r.user_id)
             ],
         }
+        if engine is not None:
+            payload["matching_state"] = engine.export_state()
         pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
     @classmethod
-    def load(cls, path: str | pathlib.Path, group: BilinearGroup) -> "CiphertextStore":
-        """Restore a store previously written by :meth:`save`."""
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        group: BilinearGroup,
+        engine: Optional[MatchingEngine] = None,
+    ) -> "CiphertextStore":
+        """Restore a store previously written by :meth:`save`.
+
+        When ``engine`` is given and the file carries a matching-state
+        snapshot, the engine's incremental state is restored from it.  The
+        raw snapshot (or ``None``) is also kept on the returned store as
+        ``matching_state`` so a caller can defer engine construction.
+        """
         payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
         store = cls(max_age_seconds=payload.get("max_age_seconds"))
         for entry in payload.get("reports", []):
@@ -153,6 +176,9 @@ class CiphertextStore:
                 reported_at=float(entry["reported_at"]),
             )
             store._reports[report.user_id] = report
+        store.matching_state = payload.get("matching_state")
+        if engine is not None and store.matching_state is not None:
+            engine.import_state(store.matching_state)
         return store
 
 
@@ -195,3 +221,30 @@ class BatchMatcher:
         """Worst-case pairings (no short-circuiting) for matching the batches."""
         per_ciphertext = sum(batch.pairing_cost_per_ciphertext for batch in batches)
         return per_ciphertext * len(self.store.fresh_reports(now))
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist the store together with this matcher's incremental state."""
+        self.store.save(path, engine=self.engine)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        hve: HVE,
+        options: Optional[MatchingOptions] = None,
+    ) -> "BatchMatcher":
+        """Restore a matcher (store + engine incremental state) from :meth:`save`.
+
+        When the file carries matching state and no ``options`` are given,
+        the engine defaults to ``incremental=True`` so the restored state is
+        actually consulted.  An explicitly non-incremental engine skips the
+        import entirely: it would never read or maintain the state, and a
+        half-imported cache must not make ``standing_alerts()`` lie.
+        """
+        store = CiphertextStore.load(path, hve.group)
+        if options is None and store.matching_state is not None:
+            options = MatchingOptions(incremental=True)
+        engine = MatchingEngine(hve, options)
+        if store.matching_state is not None and engine.options.incremental:
+            engine.import_state(store.matching_state)
+        return cls(hve, store, engine=engine)

@@ -1,0 +1,210 @@
+"""Tests for the pluggable crypto backend registry and the backends themselves.
+
+The backend contract: for identical group primes and inputs, every backend
+produces numerically identical elements, match outcomes and pairing counts.
+The parametrized parity tests run against every backend available on the host
+(the gmpy2 backend is exercised automatically wherever gmpy2 is installed and
+skipped elsewhere -- it must never break an environment that lacks it).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.backends import (
+    BACKEND_ENV_VAR,
+    Gmpy2Backend,
+    GroupBackend,
+    ReferenceBackend,
+    available_backends,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+
+
+class TestRegistry:
+    def test_reference_backend_is_always_available(self):
+        assert "reference" in available_backends()
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+
+    def test_gmpy2_backend_is_registered_even_when_unavailable(self):
+        assert "gmpy2" in backend_names()
+        if "gmpy2" not in available_backends():
+            with pytest.raises(RuntimeError, match="unavailable"):
+                get_backend("gmpy2")
+
+    def test_default_prefers_the_best_available_backend(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert default_backend_name() == available_backends()[0]
+
+    def test_environment_variable_forces_a_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert default_backend_name() == "reference"
+        group = BilinearGroup(prime_bits=32, rng=random.Random(3))
+        assert group.backend_name == "reference"
+
+    def test_environment_typo_fails_at_resolution(self, monkeypatch):
+        """A misspelled env override fails loudly where it is read, not at
+        some distant group construction."""
+        monkeypatch.setenv(BACKEND_ENV_VAR, "refrence")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            default_backend_name()
+
+    def test_environment_unavailable_backend_is_flagged(self, monkeypatch):
+        if Gmpy2Backend.available():
+            pytest.skip("gmpy2 is installed here")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gmpy2")
+        with pytest.raises(RuntimeError, match="unavailable"):
+            default_backend_name()
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            get_backend("abacus")
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            BilinearGroup(prime_bits=32, backend="abacus")
+
+    def test_instances_are_cached_per_name(self):
+        assert get_backend("reference") is get_backend("reference")
+
+    def test_backend_instances_pass_through(self):
+        backend = ReferenceBackend()
+        assert get_backend(backend) is backend
+        group = BilinearGroup(prime_bits=32, rng=random.Random(5), backend=backend)
+        assert group.backend is backend
+
+    def test_register_backend_requires_a_name(self):
+        class Nameless(GroupBackend):
+            def make_int(self, value):  # pragma: no cover - never constructed
+                return value
+
+            def powmod(self, base, exponent, modulus):  # pragma: no cover
+                return pow(base, exponent, modulus)
+
+        with pytest.raises(ValueError, match="name"):
+            register_backend(Nameless)
+
+    def test_third_party_backend_plugs_in(self):
+        class TracingBackend(ReferenceBackend):
+            name = "tracing-test"
+            priority = -1  # never auto-selected
+
+        try:
+            register_backend(TracingBackend)
+            assert "tracing-test" in backend_names()
+            group = BilinearGroup(prime_bits=32, rng=random.Random(9), backend="tracing-test")
+            assert group.backend_name == "tracing-test"
+        finally:
+            # Leave the global registry as the other tests expect it.
+            from repro.crypto.backends import _INSTANCES, _REGISTRY
+
+            _REGISTRY.pop("tracing-test", None)
+            _INSTANCES.pop("tracing-test", None)
+
+
+class TestReferenceBackend:
+    def test_operations(self):
+        backend = ReferenceBackend()
+        assert backend.make_int(7) == 7
+        assert backend.powmod(3, 20, 1000) == pow(3, 20, 1000)
+        assert backend.dot([(2, 3), (5, 7), (-1, 4)]) == 2 * 3 + 5 * 7 - 4
+        assert backend.dot([]) == 0
+
+    def test_gmpy2_construction_fails_cleanly_when_missing(self):
+        if Gmpy2Backend.available():
+            pytest.skip("gmpy2 is installed here")
+        with pytest.raises(RuntimeError, match="gmpy2"):
+            Gmpy2Backend()
+
+
+@pytest.mark.parametrize("backend_name", available_backends())
+class TestBackendParity:
+    """Every available backend must be numerically identical to reference."""
+
+    def _paired_groups(self, backend_name, work_factor=0):
+        probe = BilinearGroup(prime_bits=32, rng=random.Random(41))
+        p, q = int(probe.p), int(probe.q)
+        # Both groups share the primes AND identically seeded rngs, so all
+        # sampled key/ciphertext material is bit-identical across backends.
+        reference = BilinearGroup.from_primes(
+            p, q, pairing_work_factor=work_factor, backend="reference", rng=random.Random(42)
+        )
+        other = BilinearGroup.from_primes(
+            p, q, pairing_work_factor=work_factor, backend=backend_name, rng=random.Random(42)
+        )
+        return reference, other
+
+    def test_same_primes_give_identical_constants(self, backend_name):
+        reference, other = self._paired_groups(backend_name)
+        assert other.order == reference.order
+        assert other.p == reference.p and other.q == reference.q
+        assert other.backend_name == backend_name
+
+    def test_pairings_agree_exponentwise(self, backend_name):
+        reference, other = self._paired_groups(backend_name)
+        rng = random.Random(43)
+        for _ in range(10):
+            x, y = rng.randrange(1, int(reference.order)), rng.randrange(1, int(reference.order))
+            lhs = reference.pair(reference.element_from_exponent(x), reference.element_from_exponent(y))
+            rhs = other.pair(other.element_from_exponent(x), other.element_from_exponent(y))
+            assert lhs._discrete_log() == rhs._discrete_log()
+
+    def test_pair_product_agrees_and_counts_identically(self, backend_name):
+        reference, other = self._paired_groups(backend_name)
+        rng = random.Random(47)
+        pairs = [(rng.randrange(1, int(reference.order)), rng.randrange(1, int(reference.order))) for _ in range(6)]
+        lhs = reference.pair_product(
+            [(reference.element_from_exponent(a), reference.element_from_exponent(b)) for a, b in pairs]
+        )
+        rhs = other.pair_product(
+            [(other.element_from_exponent(a), other.element_from_exponent(b)) for a, b in pairs]
+        )
+        assert lhs._discrete_log() == rhs._discrete_log()
+        assert reference.counter.total == other.counter.total == len(pairs)
+
+    def test_hve_match_outcomes_are_identical(self, backend_name):
+        reference, other = self._paired_groups(backend_name)
+        width = 5
+        hve_ref = HVE(width=width, group=reference, rng=random.Random(53))
+        hve_other = HVE(width=width, group=other, rng=random.Random(53))
+        keys_ref = hve_ref.setup()
+        keys_other = hve_other.setup()
+        # Same primes + same-seeded rngs => bit-identical key material and
+        # ciphertexts, so the two deployments must agree on every query.
+        rng = random.Random(59)
+        for _ in range(5):
+            index = "".join(rng.choice("01") for _ in range(width))
+            pattern = "".join(rng.choice("01*") for _ in range(width))
+            ct_ref = hve_ref.encrypt(keys_ref.public, index)
+            ct_other = hve_other.encrypt(keys_other.public, index)
+            tok_ref = hve_ref.generate_token(keys_ref.secret, pattern)
+            tok_other = hve_other.generate_token(keys_other.secret, pattern)
+            assert hve_ref.matches(ct_ref, tok_ref) == hve_other.matches(ct_other, tok_other)
+            assert hve_ref.matches_via_plan(ct_ref, tok_ref) == hve_other.matches_via_plan(ct_other, tok_other)
+
+    def test_work_factor_burn_runs_on_the_backend(self, backend_name):
+        reference, other = self._paired_groups(backend_name, work_factor=3)
+        g = other.generator
+        other.pair(g, g)
+        reference.pair(reference.generator, reference.generator)
+        assert other._last_work == reference._last_work
+
+
+class TestFromPrimes:
+    def test_rejects_equal_primes(self):
+        with pytest.raises(ValueError, match="distinct"):
+            BilinearGroup.from_primes(101, 101)
+
+    def test_preserves_work_factor_and_counter(self):
+        from repro.crypto.counting import PairingCounter
+
+        counter = PairingCounter()
+        group = BilinearGroup.from_primes(
+            0xFFFFFFFB, 0xFFFFFFEF, pairing_work_factor=2, counter=counter
+        )
+        assert group.pairing_work_factor == 2
+        group.pair(group.generator, group.generator)
+        assert counter.total == 1

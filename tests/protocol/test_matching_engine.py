@@ -18,6 +18,7 @@ from repro.protocol.matching import (
     MatchingEngine,
     MatchingOptions,
     TokenPlan,
+    pattern_subsumes,
 )
 from repro.protocol.messages import TokenBatch
 
@@ -207,6 +208,191 @@ class TestIncremental:
         assert batches[0].alert_id not in engine.standing_alerts()
         engine.reset_state()
         assert engine.standing_alerts() == []
+
+
+class TestSubsumption:
+    """Cross-alert wildcard subsumption: fewer pairings, identical results."""
+
+    def test_pattern_subsumes_semantics(self):
+        assert pattern_subsumes("1**", "1*0")
+        assert pattern_subsumes("1**", "110")
+        assert pattern_subsumes("***", "101")
+        assert not pattern_subsumes("1*0", "1**")  # specialisation cannot subsume
+        assert not pattern_subsumes("101", "101")  # never self-subsuming
+        assert not pattern_subsumes("0**", "1**")
+        with pytest.raises(ValueError):
+            pattern_subsumes("1*", "1**")
+
+    def test_subsumes_means_match_set_containment(self):
+        """Property: subsumption == containment of the accepted index sets."""
+        import itertools
+
+        width = 4
+        patterns = ["".join(p) for p in itertools.product("01*", repeat=width)]
+        indexes = ["".join(i) for i in itertools.product("01", repeat=width)]
+        rng = random.Random(7)
+        for _ in range(200):
+            general, specific = rng.choice(patterns), rng.choice(patterns)
+            accepted_general = {i for i in indexes if all(p in ("*", b) for p, b in zip(general, i))}
+            accepted_specific = {i for i in indexes if all(p in ("*", b) for p, b in zip(specific, i))}
+            expected = general != specific and accepted_specific <= accepted_general
+            assert pattern_subsumes(general, specific) == expected
+
+    @pytest.mark.parametrize("seed", [11, 23, 47, 101, 367])
+    def test_result_equivalence_against_exact_dedupe_only_plan(self, seed):
+        """Property: subsumption changes pairings only, never notifications."""
+        hve, candidates, batches, _, _ = _random_scenario(seed, n_alerts=4)
+        dedupe_only, dedupe_pairings = _run(
+            hve, MatchingOptions(strategy="planned", subsume=False), candidates, batches
+        )
+        subsumed, subsume_pairings = _run(
+            hve, MatchingOptions(strategy="planned", subsume=True), candidates, batches
+        )
+        assert subsumed == dedupe_only
+        assert subsume_pairings <= dedupe_pairings
+
+    def test_failed_wildcard_answers_specialisations_for_free(self):
+        """An explicit general/specific plan: the specialised token of a second
+        alert costs zero pairings once its generaliser failed."""
+        rng, encoding, hve, keys = _build_world(211)
+        width = hve.width
+        general = "1" + "*" * (width - 1)
+        specific = "10" + "*" * (width - 2) if width >= 2 else general
+        batches = [
+            TokenBatch(alert_id="wide", tokens=(hve.generate_token(keys.secret, general),)),
+            TokenBatch(alert_id="narrow", tokens=(hve.generate_token(keys.secret, specific),)),
+        ]
+        # A candidate whose index starts with 0 fails the wildcard token.
+        index = "0" * width
+        candidates = [MatchCandidate(user_id="miss", ciphertext=hve.encrypt(keys.public, index))]
+
+        engine = MatchingEngine(hve, MatchingOptions(strategy="planned", subsume=True))
+        counter = hve.group.counter
+        before = counter.total
+        assert engine.match(batches, candidates) == []
+        spent = counter.total - before
+        # Only the general token is paid for: 1 + 2 non-star bits.
+        assert spent == 1 + 2 * 1
+
+    def test_specialised_match_backfills_generalisers(self):
+        """With declared order, a matching specialisation answers its
+        generaliser in a later alert without extra pairings."""
+        rng, encoding, hve, keys = _build_world(223)
+        width = hve.width
+        specific = "11" + "*" * (width - 2)
+        general = "1" + "*" * (width - 1)
+        batches = [
+            TokenBatch(alert_id="narrow", tokens=(hve.generate_token(keys.secret, specific),)),
+            TokenBatch(alert_id="wide", tokens=(hve.generate_token(keys.secret, general),)),
+        ]
+        index = "1" * width
+        candidates = [MatchCandidate(user_id="hit", ciphertext=hve.encrypt(keys.public, index))]
+        engine = MatchingEngine(
+            hve, MatchingOptions(strategy="planned", order="declared", subsume=True)
+        )
+        counter = hve.group.counter
+        before = counter.total
+        notifications = engine.match(batches, candidates)
+        spent = counter.total - before
+        assert {(n.user_id, n.alert_id) for n in notifications} == {("hit", "narrow"), ("hit", "wide")}
+        # Only the specialised token is evaluated (1 + 2*2 pairings); the
+        # wildcard alert is answered from the back-filled cache.
+        assert spent == 1 + 2 * 2
+
+    def test_subsume_requires_dedupe(self):
+        hve, _, batches, _, _ = _random_scenario(131, n_alerts=2)
+        plan = TokenPlan(batches, dedupe=False, subsume=True)
+        assert plan.subsume is False
+        assert plan.generalizers is None
+
+    @pytest.mark.parametrize("seed", [11, 47, 101])
+    def test_subsumption_interacts_safely_with_incremental(self, seed):
+        hve, candidates, batches, _, _ = _random_scenario(seed, n_alerts=3)
+        engine = MatchingEngine(
+            hve, MatchingOptions(strategy="planned", subsume=True, incremental=True)
+        )
+        first = engine.match(batches, candidates)
+        plain = MatchingEngine(hve, MatchingOptions(strategy="planned", subsume=False)).match(
+            batches, candidates
+        )
+        assert first == plain
+        # Cached second pass unaffected by subsumption bookkeeping.
+        before = hve.group.counter.total
+        assert engine.match(batches, candidates) == first
+        assert hve.group.counter.total == before
+
+
+class TestPlanWire:
+    """TokenPlan round-trips through its compact picklable wire form."""
+
+    @pytest.mark.parametrize("order,dedupe,subsume", [
+        ("cheapest", True, True),
+        ("cheapest", True, False),
+        ("declared", False, False),
+    ])
+    def test_round_trip_preserves_structure(self, order, dedupe, subsume):
+        hve, _, batches, _, _ = _random_scenario(157, n_alerts=3)
+        plan = TokenPlan(batches, order=order, dedupe=dedupe, subsume=subsume)
+        restored = TokenPlan.from_wire(hve.group, plan.to_wire())
+        assert restored.order == plan.order
+        assert restored.dedupe == plan.dedupe
+        assert restored.subsume == plan.subsume
+        assert restored.total_tokens == plan.total_tokens
+        assert restored.unique_patterns == plan.unique_patterns
+        assert restored.generalizers == plan.generalizers
+        assert restored.alert_ids == plan.alert_ids
+        assert restored.pairing_cost_per_ciphertext == plan.pairing_cost_per_ciphertext
+        for (_, entries), (_, restored_entries) in zip(plan.entries_by_alert, restored.entries_by_alert):
+            for entry, restored_entry in zip(entries, restored_entries):
+                assert restored_entry.token.pattern == entry.token.pattern
+                assert restored_entry.positions == entry.positions
+                assert restored_entry.cost == entry.cost
+                assert restored_entry.slot == entry.slot
+
+    def test_wire_is_picklable_and_evaluates_identically(self):
+        import pickle
+
+        hve, candidates, batches, _, _ = _random_scenario(163, n_alerts=2)
+        plan = TokenPlan(batches)
+        wire = pickle.loads(pickle.dumps(plan.to_wire()))
+        restored = TokenPlan.from_wire(hve.group, wire)
+        from repro.protocol.matching import _make_planned_evaluator
+
+        original = _make_planned_evaluator(hve, plan)
+        rebuilt = _make_planned_evaluator(hve, restored)
+        for candidate in candidates:
+            for index in range(len(batches)):
+                assert original(candidate.ciphertext, index, {}) == rebuilt(candidate.ciphertext, index, {})
+
+    def test_rejects_foreign_payload(self):
+        hve, _, batches, _, _ = _random_scenario(163, n_alerts=1)
+        with pytest.raises(ValueError, match="token plan"):
+            TokenPlan.from_wire(hve.group, {"kind": "something_else"})
+
+
+class TestEngineStatePersistence:
+    def test_export_import_round_trip(self):
+        hve, candidates, batches, _, _ = _random_scenario(177)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        first = engine.match(batches, candidates)
+        snapshot = engine.export_state()
+
+        # A fresh engine (provider restart) restores the snapshot and serves
+        # every unchanged user from cache: zero pairings, same notifications.
+        import json
+
+        restored = MatchingEngine(hve, MatchingOptions(incremental=True))
+        restored.import_state(json.loads(json.dumps(snapshot)))
+        assert restored.standing_alerts() == engine.standing_alerts()
+        before = hve.group.counter.total
+        assert restored.match(batches, candidates) == first
+        assert hve.group.counter.total == before
+
+    def test_import_rejects_foreign_payload(self):
+        hve, _, _, _, _ = _random_scenario(177, n_alerts=1)
+        engine = MatchingEngine(hve)
+        with pytest.raises(ValueError, match="matching-engine state"):
+            engine.import_state({"kind": "not_state"})
 
 
 class TestTokenPlan:

@@ -1,0 +1,215 @@
+"""Cross-process matching: outcome and pairing-count parity with inline paths.
+
+The process executor ships the serialized plan once, streams compact
+ciphertext wire forms to worker processes and merges per-worker
+:class:`~repro.crypto.counting.PairingCounter` totals back into the parent's
+counter.  These tests pin the contract: for every strategy, worker count and
+chunking, the process path produces *identical* notifications and *bit-exact*
+pairing totals compared to the single-threaded engine.
+
+Process pools are slow to start, so the scenarios here are deliberately small;
+wall-clock scaling is measured in ``benchmarks/test_matching_engine.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.protocol.matching import (
+    MatchCandidate,
+    MatchingEngine,
+    MatchingOptions,
+)
+from repro.protocol.messages import TokenBatch
+
+
+@pytest.fixture(scope="module")
+def world():
+    seed = 907
+    rng = random.Random(seed)
+    probabilities = [rng.uniform(0.05, 0.95) for _ in range(12)]
+    encoding = HuffmanEncodingScheme().build(probabilities)
+    group = BilinearGroup(prime_bits=32, rng=random.Random(seed + 1))
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(seed + 2))
+    keys = hve.setup()
+    candidates = [
+        MatchCandidate(
+            user_id=f"user-{i:02d}",
+            ciphertext=hve.encrypt(keys.public, encoding.index_of(rng.randrange(12))),
+            sequence_number=0,
+        )
+        for i in range(8)
+    ]
+    batches = []
+    for a in range(3):
+        cells = rng.sample(range(12), rng.randint(1, 4))
+        patterns = encoding.token_patterns(cells)
+        tokens = tuple(hve.generate_tokens(keys.secret, patterns))
+        batches.append(TokenBatch(alert_id=f"alert-{a}", tokens=tokens))
+    return hve, candidates, batches
+
+
+def _run(hve, options, candidates, batches):
+    engine = MatchingEngine(hve, options)
+    before = hve.group.counter.total
+    notifications = engine.match(batches, candidates)
+    return notifications, hve.group.counter.total - before
+
+
+class TestProcessParity:
+    @pytest.mark.parametrize("strategy", ["planned", "naive"])
+    def test_outcomes_and_pairings_match_inline(self, world, strategy):
+        hve, candidates, batches = world
+        inline, inline_pairings = _run(hve, MatchingOptions(strategy=strategy), candidates, batches)
+        process, process_pairings = _run(
+            hve,
+            MatchingOptions(strategy=strategy, workers=2, executor="process"),
+            candidates,
+            batches,
+        )
+        assert process == inline
+        assert process_pairings == inline_pairings
+
+    def test_chunk_size_does_not_change_results(self, world):
+        hve, candidates, batches = world
+        inline, inline_pairings = _run(hve, MatchingOptions(), candidates, batches)
+        chunked, chunked_pairings = _run(
+            hve,
+            MatchingOptions(workers=2, executor="process", chunk_size=3),
+            candidates,
+            batches,
+        )
+        assert chunked == inline
+        assert chunked_pairings == inline_pairings
+
+    def test_more_workers_than_candidates(self, world):
+        hve, candidates, batches = world
+        few = candidates[:2]
+        inline, inline_pairings = _run(hve, MatchingOptions(), few, batches)
+        process, process_pairings = _run(
+            hve, MatchingOptions(workers=4, executor="process"), few, batches
+        )
+        assert process == inline
+        assert process_pairings == inline_pairings
+
+    def test_single_worker_never_spawns_a_pool(self, world):
+        """workers=1 with the process executor stays inline (no pool cost)."""
+        hve, candidates, batches = world
+        inline, inline_pairings = _run(hve, MatchingOptions(), candidates, batches)
+        solo, solo_pairings = _run(
+            hve, MatchingOptions(workers=1, executor="process"), candidates, batches
+        )
+        assert solo == inline
+        assert solo_pairings == inline_pairings
+
+
+class TestProcessIncremental:
+    def test_incremental_cache_lookups_stay_in_the_parent(self, world):
+        """Unchanged users cost zero pairings even with the process executor;
+        workers only ever receive still-needed (ciphertext, batch) jobs."""
+        hve, candidates, batches = world
+        options = MatchingOptions(workers=2, executor="process", incremental=True)
+        engine = MatchingEngine(hve, options)
+        counter = hve.group.counter
+
+        first = engine.match(batches, candidates)
+        inline_first = MatchingEngine(hve, MatchingOptions()).match(batches, candidates)
+        assert first == inline_first
+
+        before = counter.total
+        second = engine.match(batches, candidates)
+        assert second == first
+        assert counter.total == before  # everything served from the parent cache
+
+        # One refreshed user is re-evaluated (in a worker), nobody else.
+        refreshed = MatchCandidate(
+            user_id=candidates[0].user_id,
+            ciphertext=candidates[0].ciphertext,
+            sequence_number=candidates[0].sequence_number + 1,
+        )
+        updated = [refreshed] + candidates[1:]
+        before = counter.total
+        renotified = engine.match(batches, updated)
+        spent = counter.total - before
+        per_user_bound = sum(batch.pairing_cost_per_ciphertext for batch in batches)
+        assert 0 < spent <= per_user_bound
+        assert renotified == MatchingEngine(hve, MatchingOptions()).match(batches, updated)
+
+    def test_fully_cached_pass_spawns_no_pool(self, world, monkeypatch):
+        """When the incremental cache answers everything, no worker pool is
+        created and no ciphertext is serialized at all."""
+        import concurrent.futures
+
+        from repro.protocol import matching as matching_module
+
+        hve, candidates, batches = world
+        engine = MatchingEngine(
+            hve, MatchingOptions(workers=2, executor="process", incremental=True)
+        )
+        first = engine.match(batches, candidates)
+
+        def _bomb(*args, **kwargs):  # pragma: no cover - failing is the point
+            raise AssertionError("a process pool was spawned for a fully cached pass")
+
+        monkeypatch.setattr(
+            matching_module.concurrent.futures, "ProcessPoolExecutor", _bomb
+        )
+        assert engine.match(batches, candidates) == first
+
+
+class TestProcessWithWorkFactor:
+    def test_work_factor_totals_merge_bit_exactly(self):
+        """With simulated pairing cost enabled, worker totals still merge
+        exactly (workers burn the work; the parent only adds the counts)."""
+        rng = random.Random(31)
+        probabilities = [rng.uniform(0.1, 0.9) for _ in range(8)]
+        encoding = HuffmanEncodingScheme().build(probabilities)
+        group = BilinearGroup(prime_bits=32, rng=random.Random(32), pairing_work_factor=2)
+        hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(33))
+        keys = hve.setup()
+        candidates = [
+            MatchCandidate(
+                user_id=f"u{i}", ciphertext=hve.encrypt(keys.public, encoding.index_of(i % 8))
+            )
+            for i in range(6)
+        ]
+        tokens = tuple(hve.generate_tokens(keys.secret, encoding.token_patterns([0, 1, 2])))
+        batches = [TokenBatch(alert_id="wf", tokens=tokens)]
+        inline, inline_pairings = _run(hve, MatchingOptions(), candidates, batches)
+        process, process_pairings = _run(
+            hve, MatchingOptions(workers=2, executor="process"), candidates, batches
+        )
+        assert process == inline
+        assert process_pairings == inline_pairings
+
+
+class TestOptionsValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            MatchingOptions(executor="fiber")
+
+    def test_unregistered_backend_instance_fails_before_spawning(self):
+        """An inline-only backend instance (never registered by name) must be
+        rejected with the real cause, not a BrokenProcessPool from workers."""
+        from repro.crypto.backends import ReferenceBackend
+
+        class LocalOnlyBackend(ReferenceBackend):
+            name = "local-only-unregistered"
+
+        group = BilinearGroup(prime_bits=32, rng=random.Random(5), backend=LocalOnlyBackend())
+        hve = HVE(width=3, group=group, rng=random.Random(6))
+        keys = hve.setup()
+        candidates = [
+            MatchCandidate(user_id=f"u{i}", ciphertext=hve.encrypt(keys.public, "101"))
+            for i in range(4)
+        ]
+        batches = [TokenBatch(alert_id="a", tokens=(hve.generate_token(keys.secret, "1*1"),))]
+        # Inline matching works fine on the unregistered instance...
+        assert MatchingEngine(hve, MatchingOptions()).match(batches, candidates)
+        # ...but the process executor refuses it up front, by name.
+        engine = MatchingEngine(hve, MatchingOptions(workers=2, executor="process"))
+        with pytest.raises(RuntimeError, match="local-only-unregistered"):
+            engine.match(batches, candidates)

@@ -78,11 +78,121 @@ class TestCiphertextStore:
         restored = CiphertextStore.load(path, hve.group)
         assert len(restored) == 2
         assert restored.max_age_seconds == 3600.0
+        assert restored.matching_state is None  # none was saved
         # Restored ciphertexts still match correctly.
         matcher = BatchMatcher(hve, restored)
         batch = _batch(setup, "zone-a", [2])
         notified = [n.user_id for n in matcher.process([batch], now=30.0)]
         assert notified == ["alice"]
+
+    def test_restart_preserves_standing_alert_state(self, setup, tmp_path):
+        """Provider restart: store + incremental engine state round-trip, so
+        standing alerts re-evaluate to identical notifications at zero
+        pairings for unchanged users."""
+        from repro.protocol.matching import MatchingEngine, MatchingOptions
+
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        store.ingest(_update(setup, "bob", 5), received_at=20.0)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        matcher = BatchMatcher(hve, store, engine=engine)
+        batches = [_batch(setup, "standing-1", [2, 3]), _batch(setup, "standing-2", [5])]
+        first = matcher.process(batches, now=30.0)
+        assert first  # the scenario actually notifies someone
+
+        path = tmp_path / "provider.json"
+        matcher.save(path)
+
+        # --- restart: fresh engine + store rebuilt from disk ---------------
+        restored = BatchMatcher.load(path, hve, options=MatchingOptions(incremental=True))
+        assert len(restored.store) == 2
+        assert restored.engine.standing_alerts() == ["standing-1", "standing-2"]
+
+        counter = hve.group.counter
+        before = counter.total
+        second = restored.process(batches, now=40.0)
+        assert second == first
+        assert counter.total == before  # every outcome served from restored cache
+
+        # A new report after the restart is re-evaluated normally.
+        restored.store.ingest(_update(setup, "alice", 4, sequence=1), received_at=50.0)
+        refreshed = restored.process(batches, now=60.0)
+        assert {(n.user_id, n.alert_id) for n in refreshed} == {("bob", "standing-2")}
+
+    def test_restart_drops_state_for_redeclared_zone(self, setup, tmp_path):
+        """A standing alert re-declared over a different zone after a restart
+        must not be served stale outcomes (signature check survives disk)."""
+        from repro.protocol.matching import MatchingEngine, MatchingOptions
+
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        matcher = BatchMatcher(hve, store, engine=engine)
+        matcher.process([_batch(setup, "standing", [2])], now=20.0)
+        path = tmp_path / "provider.json"
+        matcher.save(path)
+
+        restored = BatchMatcher.load(path, hve, options=MatchingOptions(incremental=True))
+        counter = hve.group.counter
+        before = counter.total
+        moved_zone = _batch(setup, "standing", [5])  # same alert id, new cells
+        notifications = restored.process([moved_zone], now=30.0)
+        assert counter.total > before  # cache was invalidated, not served stale
+        assert notifications == []
+
+    def test_load_without_options_defaults_to_incremental(self, setup, tmp_path):
+        """A stateful file restores into an incremental engine by default, so
+        the persisted cache is actually consulted."""
+        from repro.protocol.matching import MatchingEngine, MatchingOptions
+
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        matcher = BatchMatcher(hve, store, engine=MatchingEngine(hve, MatchingOptions(incremental=True)))
+        batch = _batch(setup, "standing", [2])
+        first = matcher.process([batch], now=20.0)
+        path = tmp_path / "provider.json"
+        matcher.save(path)
+
+        restored = BatchMatcher.load(path, hve)  # no options
+        assert restored.engine.options.incremental
+        assert restored.engine.standing_alerts() == ["standing"]
+        before = hve.group.counter.total
+        assert restored.process([batch], now=30.0) == first
+        assert hve.group.counter.total == before
+
+    def test_load_with_non_incremental_options_skips_state(self, setup, tmp_path):
+        """An explicitly non-incremental engine never imports state it would
+        neither consult nor maintain."""
+        from repro.protocol.matching import MatchingEngine, MatchingOptions
+
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        matcher = BatchMatcher(hve, store, engine=MatchingEngine(hve, MatchingOptions(incremental=True)))
+        matcher.process([_batch(setup, "standing", [2])], now=20.0)
+        path = tmp_path / "provider.json"
+        matcher.save(path)
+
+        restored = BatchMatcher.load(path, hve, options=MatchingOptions(incremental=False))
+        assert restored.engine.standing_alerts() == []
+        assert restored.store.matching_state is not None  # still readable by the caller
+
+    def test_save_without_engine_then_load_with_engine(self, setup, tmp_path):
+        """Loading a stateless file into an engine is a no-op, not an error."""
+        from repro.protocol.matching import MatchingEngine, MatchingOptions
+
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        path = tmp_path / "store.json"
+        store.save(path)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        restored = CiphertextStore.load(path, hve.group, engine=engine)
+        assert restored.matching_state is None
+        assert engine.standing_alerts() == []
 
     def test_round_trip_preserves_matching_outcomes(self, setup, tmp_path):
         """Save/load must not change any user's match outcome for any zone."""
