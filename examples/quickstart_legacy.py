@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart (legacy pipeline API): a secure location-alert deployment.
+
+The original call-oriented quickstart, kept verbatim: the
+:class:`~repro.core.pipeline.SecureAlertPipeline` API is stable (now a thin
+adapter over the session-oriented :class:`~repro.service.service.AlertService`)
+and this code runs unchanged.  New code should prefer the session API shown in
+``examples/quickstart.py``.
+
+Run with::
+
+    python examples/quickstart_legacy.py
+"""
+
+from __future__ import annotations
+
+from repro import PipelineConfig, Point, SecureAlertPipeline
+from repro.datasets.synthetic import make_synthetic_scenario
+
+
+def main() -> None:
+    # 1. Build the spatial domain and the per-cell alert likelihoods.  In a
+    #    real deployment the likelihoods come from public knowledge (site
+    #    popularity, land use, historical incidents); here we use the paper's
+    #    synthetic sigmoid model.
+    scenario = make_synthetic_scenario(rows=16, cols=16, sigmoid_a=0.95, sigmoid_b=50, seed=7, extent_meters=1600.0)
+
+    # 2. Deploy the system: Huffman encoding (the paper's proposal), HVE keys,
+    #    trusted authority and service provider, all behind one pipeline.
+    config = PipelineConfig(scheme="huffman", prime_bits=64, seed=11)
+    pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+    print(f"Deployed {pipeline.encoding_name()} encoding over {scenario.grid.n_cells} cells")
+    print(f"HVE width (reference length): {pipeline.init_stats.reference_length} bits")
+    print(f"One-time initialization: {pipeline.init_stats.total_seconds * 1000:.1f} ms")
+
+    # 3. Users subscribe and upload encrypted locations.
+    pipeline.subscribe("alice", Point(220.0, 180.0))
+    pipeline.subscribe("bob", Point(240.0, 210.0))
+    pipeline.subscribe("carol", Point(1400.0, 1500.0))
+    print(f"Subscribers: {pipeline.subscriber_count}")
+
+    # 4. An event occurs: a gas leak with a 120 m danger radius.
+    report = pipeline.raise_alert_at(
+        epicenter=Point(230.0, 200.0),
+        radius=120.0,
+        alert_id="gas-leak-42",
+        description="Gas leak near the market square",
+    )
+
+    # 5. The service provider notifies exactly the users inside the zone --
+    #    without ever having seen a plaintext location.
+    print(f"Alert {report.alert_id}: {report.tokens_issued} tokens, {report.pairings_spent} pairings")
+    print(f"Notified users: {', '.join(report.notified_users)}")
+    assert report.notified_users == ("alice", "bob")
+    assert list(report.notified_users) == pipeline.users_actually_in_zone(report.zone)
+    print("Encrypted matching agrees with the plaintext ground truth.")
+
+
+if __name__ == "__main__":
+    main()

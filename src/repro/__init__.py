@@ -21,22 +21,47 @@ The library is organised bottom-up:
   and the end-to-end alert system.
 * :mod:`repro.analysis` -- bounds, metrics and the Section 7 experiment
   drivers.
+* :mod:`repro.service` -- :class:`~repro.service.service.AlertService`, the
+  session-oriented public API: one long-lived session per deployment, typed
+  requests/responses, a persistent executor pool and snapshot/restore.
 * :mod:`repro.core` -- :class:`~repro.core.pipeline.SecureAlertPipeline`, the
-  high-level public API.
+  legacy call-oriented API (now a thin adapter over the service).
 """
 
 from repro.core.pipeline import AlertReport, PipelineConfig, SecureAlertPipeline, scheme_by_name
 from repro.grid.alert_zone import AlertZone, circular_alert_zone
 from repro.grid.geometry import BoundingBox, Point
 from repro.grid.grid import Grid
+from repro.service import (
+    AlertService,
+    EvaluateStanding,
+    IngestBatch,
+    MatchReport,
+    Move,
+    PublishZone,
+    RetractZone,
+    ServiceConfig,
+    ServiceConfigBuilder,
+    Subscribe,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlertReport",
     "PipelineConfig",
     "SecureAlertPipeline",
     "scheme_by_name",
+    "AlertService",
+    "ServiceConfig",
+    "ServiceConfigBuilder",
+    "Subscribe",
+    "Move",
+    "PublishZone",
+    "RetractZone",
+    "IngestBatch",
+    "EvaluateStanding",
+    "MatchReport",
     "AlertZone",
     "circular_alert_zone",
     "BoundingBox",

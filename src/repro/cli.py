@@ -17,7 +17,10 @@ do is equally available as a library call.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import random
 import sys
+import time
 from typing import Mapping, Optional, Sequence
 
 from repro import __version__
@@ -33,6 +36,7 @@ from repro.crypto.backends import available_backends, backend_names, default_bac
 from repro.datasets.synthetic import make_synthetic_scenario
 from repro.protocol.matching import EXECUTORS, MATCHING_STRATEGIES
 from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig
+from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
 
 __all__ = ["build_parser", "main"]
 
@@ -123,14 +127,67 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             }
             for p in points
         ]
+    elif name == "session":
+        return _run_session_experiment(args)
     else:
         print(
-            f"unknown experiment {args.name!r}; available: fig07, fig09, fig10, fig13, fig14 "
-            "(the full evaluation lives under benchmarks/)",
+            f"unknown experiment {args.name!r}; available: fig07, fig09, fig10, fig13, fig14, "
+            "session (the full evaluation lives under benchmarks/)",
             file=sys.stderr,
         )
         return 2
     print(_format_table(rows))
+    return 0
+
+
+def _run_session_experiment(args: argparse.Namespace) -> int:
+    """A warm AlertService session: standing zones re-evaluated over many ticks.
+
+    Demonstrates (and measures) the session economics: the token plan is built
+    once, the executor pool is primed once, and every later tick reuses both.
+    """
+    scenario = make_synthetic_scenario(
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+    )
+    config = (
+        ServiceConfig.builder()
+        .with_crypto(prime_bits=32, seed=args.seed)
+        .with_executor(executor=args.executor, workers=args.workers)
+        .build()
+    )
+    rng = random.Random(args.seed)
+    rows = []
+    with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+        for i in range(args.session_users):
+            cell = rng.randrange(scenario.grid.n_cells)
+            service.subscribe(Subscribe(user_id=f"user-{i:03d}", location=scenario.grid.cell_center(cell)))
+        workload = scenario.workloads.triggered_radius_workload(args.radius, args.session_zones)
+        for index, zone in enumerate(workload.zones):
+            service.publish_zone(PublishZone(alert_id=f"zone-{index}", zone=zone, evaluate=False))
+        for step in range(args.session_steps):
+            mover = f"user-{rng.randrange(args.session_users):03d}"
+            cell = rng.randrange(scenario.grid.n_cells)
+            service.move(Move(user_id=mover, location=scenario.grid.cell_center(cell)))
+            started = time.perf_counter()
+            report = service.evaluate_standing()
+            rows.append(
+                {
+                    "step": step,
+                    "candidates": report.candidates,
+                    "notifications": len(report.notifications),
+                    "pairings": report.pairings_spent,
+                    "plan_reused": report.plan_reused,
+                    "pool_reprimed": report.pool_reprimed,
+                    "millis": round((time.perf_counter() - started) * 1000, 1),
+                }
+            )
+        stats = service.session_stats()
+    print(_format_table(rows))
+    print(
+        f"session: {stats.requests_handled} requests, {stats.pairings_spent} pairings, "
+        f"plan builds/reuses: {stats.plan_builds}/{stats.plan_reuses}, "
+        f"pool starts/re-primes: {stats.process_pool_starts}/{stats.pool_reprimes}"
+    )
     return 0
 
 
@@ -149,8 +206,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         executor=args.executor,
         crypto_backend=args.backend,
     )
-    simulation = AlertServiceSimulation(scenario.grid, scenario.probabilities, config=config)
-    result = simulation.run(args.steps)
+    # The simulation rides on an AlertService session; translate the one
+    # config (so every shared knob is plumbed exactly once) and apply the
+    # session-only extras on top.
+    service_config = dataclasses.replace(
+        ServiceConfig.from_simulation(config), incremental=args.incremental
+    )
+    with AlertServiceSimulation(
+        scenario.grid, scenario.probabilities, config=config, service_config=service_config
+    ) as simulation:
+        result = simulation.run(args.steps)
     print(_format_table(result.as_rows()))
     print(
         f"totals: {result.total_reports} reports, {result.total_alerts} alerts, "
@@ -185,12 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
     compare.set_defaults(handler=_cmd_compare)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
-    experiment.add_argument("name", help="experiment id: fig07, fig09, fig10, fig13 or fig14")
+    experiment.add_argument("name", help="experiment id: fig07, fig09, fig10, fig13, fig14 or session")
     add_scenario_options(experiment)
     experiment.add_argument("--radii", type=float, nargs="+", default=[20.0, 100.0, 300.0, 600.0])
     experiment.add_argument("--zones", type=int, default=10)
     experiment.add_argument("--cell-counts", type=int, nargs="+", default=[16, 64, 256, 1024])
     experiment.add_argument("--grid-sizes", type=int, nargs="+", default=[8, 16, 32])
+    experiment.add_argument("--radius", type=float, default=100.0, help="zone radius for the session experiment")
+    experiment.add_argument("--session-users", type=int, default=12, help="subscribers in the session experiment")
+    experiment.add_argument("--session-zones", type=int, default=3, help="standing zones in the session experiment")
+    experiment.add_argument("--session-steps", type=int, default=8, help="warm ticks in the session experiment")
+    experiment.add_argument(
+        "--workers", type=int, default=1, help="matching workers for the session experiment"
+    )
+    experiment.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="thread",
+        help="pool flavour for the session experiment when --workers > 1",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     simulate = subparsers.add_parser("simulate", help="run a small end-to-end service simulation")
@@ -223,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(backend_names()),
         default=None,
         help="crypto arithmetic backend (default: auto-select, gmpy2 when installed else reference)",
+    )
+    simulate.add_argument(
+        "--incremental",
+        action="store_true",
+        help="remember per-(user, alert) outcomes and re-evaluate only changed ciphertexts",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 

@@ -1,4 +1,4 @@
-"""The :class:`SecureAlertPipeline`: the library's front door.
+"""The :class:`SecureAlertPipeline`: the library's call-oriented front door.
 
 A pipeline bundles everything a deployment needs:
 
@@ -8,59 +8,36 @@ A pipeline bundles everything a deployment needs:
 * an encoding scheme (Huffman by default -- the paper's proposal),
 * the HVE key material and the three protocol parties.
 
-Typical use (see ``examples/quickstart.py``)::
+Typical use (see ``examples/quickstart_legacy.py``)::
 
     pipeline = SecureAlertPipeline.from_probabilities(grid, probabilities)
     pipeline.subscribe("alice", Point(120.0, 80.0))
     report = pipeline.raise_alert_at(Point(110.0, 90.0), radius=25.0, alert_id="leak-1")
     print(report.notified_users)
+
+Since the service redesign the pipeline is a thin adapter over
+:class:`~repro.service.service.AlertService`: every entry point keeps its
+signature and its exact behaviour (parity-tested down to pairing counts), but
+the work is done by a session underneath.  New code -- anything long-lived,
+multi-zone or executor-tuned -- should talk to the session API directly; the
+:attr:`service` property exposes it for migration.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.encoding.balanced import BalancedTreeEncodingScheme
-from repro.encoding.bary import BaryHuffmanEncodingScheme
-from repro.encoding.base import EncodingScheme
-from repro.encoding.canonical import CanonicalHuffmanEncodingScheme
-from repro.encoding.fixed_length import FixedLengthEncodingScheme
-from repro.encoding.huffman import HuffmanEncodingScheme
-from repro.encoding.sgo import ScaledGrayEncodingScheme
+from repro.encoding import SCHEME_NAMES, scheme_by_name
 from repro.grid.alert_zone import AlertZone, circular_alert_zone
 from repro.grid.geometry import Point
 from repro.grid.grid import Grid
 from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
-from repro.protocol.matching import MatchingOptions
-from repro.protocol.messages import Notification
+from repro.service.config import ServiceConfig
+from repro.service.requests import Move, PublishZone, Subscribe
+from repro.service.service import AlertService
 
-__all__ = ["PipelineConfig", "AlertReport", "SecureAlertPipeline", "scheme_by_name"]
-
-
-def scheme_by_name(name: str, alphabet_size: int = 3) -> EncodingScheme:
-    """Resolve an encoding scheme from a short name.
-
-    Recognised names: ``"huffman"`` (default proposal), ``"huffman-bary"``
-    (Section 4 extension, using ``alphabet_size``), ``"huffman-canonical"``
-    (publication-friendly canonical codewords), ``"balanced"``, ``"fixed"``
-    ([14] baseline) and ``"sgo"`` ([23] baseline).
-    """
-    normalized = name.strip().lower()
-    if normalized == "huffman":
-        return HuffmanEncodingScheme()
-    if normalized in ("huffman-canonical", "canonical"):
-        return CanonicalHuffmanEncodingScheme()
-    if normalized in ("huffman-bary", "bary", "b-ary"):
-        return BaryHuffmanEncodingScheme(alphabet_size)
-    if normalized == "balanced":
-        return BalancedTreeEncodingScheme()
-    if normalized == "fixed":
-        return FixedLengthEncodingScheme()
-    if normalized == "sgo":
-        return ScaledGrayEncodingScheme()
-    raise ValueError(f"unknown encoding scheme {name!r}")
+__all__ = ["PipelineConfig", "AlertReport", "SecureAlertPipeline", "scheme_by_name", "SCHEME_NAMES"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +53,9 @@ class PipelineConfig:
     scaling).  ``crypto_backend`` forces a crypto arithmetic backend by name
     (``None`` auto-selects: ``gmpy2`` when installed, the pure-Python
     ``reference`` backend otherwise).
+
+    :meth:`ServiceConfig.from_pipeline <repro.service.config.ServiceConfig.from_pipeline>`
+    translates this config onto the unified service surface.
     """
 
     scheme: str = "huffman"
@@ -100,10 +80,21 @@ class AlertReport:
 
 
 class SecureAlertPipeline:
-    """End-to-end secure location alerts behind a minimal API."""
+    """End-to-end secure location alerts behind a minimal API.
 
-    def __init__(self, system: SecureAlertSystem, config: PipelineConfig):
-        self._system = system
+    A thin adapter over :class:`~repro.service.service.AlertService`: each
+    alert is a one-shot ``PublishZone`` request against the session.  Accepts
+    either a pre-built session or (legacy) a bare
+    :class:`~repro.protocol.alert_system.SecureAlertSystem`, which is adopted
+    into a fresh session.
+    """
+
+    def __init__(self, system: Union[AlertService, SecureAlertSystem], config: PipelineConfig):
+        if isinstance(system, AlertService):
+            self._service = system
+        else:
+            self._service = AlertService(config=ServiceConfig.from_pipeline(config), system=system)
+        self._system = self._service.system
         self.config = config
 
     # ------------------------------------------------------------------
@@ -118,75 +109,66 @@ class SecureAlertPipeline:
     ) -> "SecureAlertPipeline":
         """Build a pipeline from a grid and per-cell alert likelihoods."""
         config = config or PipelineConfig()
-        scheme = scheme_by_name(config.scheme, config.alphabet_size)
-        rng = random.Random(config.seed)
-        system = SecureAlertSystem(
-            grid=grid,
-            probabilities=probabilities,
-            scheme=scheme,
-            prime_bits=config.prime_bits,
-            rng=rng,
-            matching=MatchingOptions(
-                strategy=config.matching_strategy,
-                workers=config.workers,
-                executor=config.executor,
-            ),
-            backend=config.crypto_backend,
-        )
-        return cls(system, config)
+        service = AlertService(grid, probabilities, config=ServiceConfig.from_pipeline(config))
+        return cls(service, config)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def service(self) -> AlertService:
+        """The underlying session (the migration path to the service API)."""
+        return self._service
+
+    @property
     def grid(self) -> Grid:
         """The spatial grid served by this deployment."""
-        return self._system.grid
+        return self._service.grid
 
     @property
     def init_stats(self) -> SystemInitStats:
         """Timing of the one-time initialization (encoding + key setup)."""
-        return self._system.init_stats
+        return self._service.init_stats
 
     @property
     def pairing_count(self) -> int:
         """Total bilinear pairings evaluated so far."""
-        return self._system.pairing_count
+        return self._service.pairing_count
 
     @property
     def subscriber_count(self) -> int:
         """Number of users with a stored encrypted location."""
-        return self._system.provider.subscriber_count
+        return self._service.subscriber_count
 
     def encoding_name(self) -> str:
         """Name of the deployed encoding scheme."""
-        return self._system.authority.encoding.name
+        return self._service.encoding_name()
 
     # ------------------------------------------------------------------
     # User lifecycle
     # ------------------------------------------------------------------
     def subscribe(self, user_id: str, location: Point) -> None:
         """Register a user and upload their first encrypted location."""
-        self._system.register_user(user_id, location)
+        self._service.subscribe(Subscribe(user_id=user_id, location=location))
 
     def report_location(self, user_id: str, location: Point) -> None:
         """Record a user's movement (uploads a fresh ciphertext)."""
-        self._system.move_user(user_id, location)
+        self._service.move(Move(user_id=user_id, location=location))
 
     # ------------------------------------------------------------------
     # Alerts
     # ------------------------------------------------------------------
     def raise_alert(self, zone: AlertZone, alert_id: str, description: str = "") -> AlertReport:
         """Declare an alert over an explicit set of cells."""
-        pairings_before = self._system.pairing_count
-        batch = self._system.issue_token_batch(zone, alert_id)
-        notifications = self._system.provider.process_alert(batch, description=description)
+        report = self._service.publish_zone(
+            PublishZone(alert_id=alert_id, zone=zone, description=description, standing=False)
+        )
         return AlertReport(
             alert_id=alert_id,
             zone=zone,
-            notified_users=tuple(sorted(n.user_id for n in notifications)),
-            tokens_issued=len(batch.tokens),
-            pairings_spent=self._system.pairing_count - pairings_before,
+            notified_users=tuple(sorted(n.user_id for n in report.notifications)),
+            tokens_issued=report.tokens_evaluated,
+            pairings_spent=report.pairings_spent,
         )
 
     def raise_alert_at(
@@ -205,4 +187,17 @@ class SecureAlertPipeline:
     # ------------------------------------------------------------------
     def users_actually_in_zone(self, zone: AlertZone) -> list[str]:
         """Plaintext ground truth of which subscribed users are inside ``zone``."""
-        return self._system.users_in_zone(zone)
+        return self._service.users_actually_in_zone(zone)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the session (its persistent executor pool, if any)."""
+        self._service.close()
+
+    def __enter__(self) -> "SecureAlertPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

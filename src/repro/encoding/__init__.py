@@ -21,9 +21,12 @@ This package implements every encoding evaluated in the paper:
   scheme implements, so the protocol and experiments are encoding-agnostic.
 """
 
+from typing import Callable
+
 from repro.encoding.balanced import BalancedTreeEncodingScheme, build_balanced_tree
 from repro.encoding.bary import BaryHuffmanEncodingScheme, build_bary_huffman_tree
 from repro.encoding.base import EncodingScheme, GridEncoding
+from repro.encoding.canonical import CanonicalHuffmanEncodingScheme
 from repro.encoding.coding_scheme import CodingTree, VariableLengthEncoding, build_coding_artifacts
 from repro.encoding.expansion import expand_codeword, expand_index, refine_cell_indexes
 from repro.encoding.fixed_length import FixedLengthEncoding, FixedLengthEncodingScheme
@@ -32,11 +35,71 @@ from repro.encoding.prefix_tree import PrefixTree, PrefixTreeNode
 from repro.encoding.sgo import ScaledGrayEncoding, ScaledGrayEncodingScheme
 from repro.encoding.quadtree import QuadtreeEncoding, QuadtreeEncodingScheme, morton_code
 
+# ----------------------------------------------------------------------
+# Scheme registry: the deployable encodings, resolvable by short name.
+# ----------------------------------------------------------------------
+# The quadtree encoding is deliberately absent: it is an analysis baseline
+# (Fig. 12 granularity studies), not a deployable scheme behind the pipeline
+# or service APIs.
+_SCHEME_FACTORIES: dict[str, Callable[[int], EncodingScheme]] = {
+    "huffman": lambda alphabet_size: HuffmanEncodingScheme(),
+    "huffman-canonical": lambda alphabet_size: CanonicalHuffmanEncodingScheme(),
+    "huffman-bary": lambda alphabet_size: BaryHuffmanEncodingScheme(alphabet_size),
+    "balanced": lambda alphabet_size: BalancedTreeEncodingScheme(),
+    "fixed": lambda alphabet_size: FixedLengthEncodingScheme(),
+    "sgo": lambda alphabet_size: ScaledGrayEncodingScheme(),
+}
+
+_SCHEME_ALIASES: dict[str, str] = {
+    "canonical": "huffman-canonical",
+    "bary": "huffman-bary",
+    "b-ary": "huffman-bary",
+}
+
+#: Canonical names of every deployable encoding scheme, sorted.
+SCHEME_NAMES: tuple[str, ...] = tuple(sorted(_SCHEME_FACTORIES))
+
+
+def canonical_scheme_name(name: str) -> str:
+    """Normalise a scheme name (case, whitespace, aliases) to its canonical form.
+
+    Raises ``ValueError`` listing every recognised name when ``name`` is not a
+    deployable scheme, so a typo in a config file or CLI flag tells the
+    operator what the valid choices are rather than only echoing the mistake.
+    """
+    normalized = name.strip().lower()
+    normalized = _SCHEME_ALIASES.get(normalized, normalized)
+    if normalized not in _SCHEME_FACTORIES:
+        aliases = ", ".join(f"{alias!r} (= {target})" for alias, target in sorted(_SCHEME_ALIASES.items()))
+        raise ValueError(
+            f"unknown encoding scheme {name!r}; expected one of {list(SCHEME_NAMES)} "
+            f"(aliases: {aliases})"
+        )
+    return normalized
+
+
+def scheme_by_name(name: str, alphabet_size: int = 3) -> EncodingScheme:
+    """Resolve an encoding scheme from a short name.
+
+    Recognised names: ``"huffman"`` (default proposal), ``"huffman-bary"``
+    (Section 4 extension, using ``alphabet_size``), ``"huffman-canonical"``
+    (publication-friendly canonical codewords), ``"balanced"``, ``"fixed"``
+    ([14] baseline) and ``"sgo"`` ([23] baseline), plus the aliases
+    ``"canonical"``, ``"bary"`` and ``"b-ary"``.
+    """
+    return _SCHEME_FACTORIES[canonical_scheme_name(name)](alphabet_size)
+
+
 __all__ = [
+    "SCHEME_NAMES",
+    "canonical_scheme_name",
+    "scheme_by_name",
+
     "QuadtreeEncoding",
     "QuadtreeEncodingScheme",
     "morton_code",
 
+    "CanonicalHuffmanEncodingScheme",
     "EncodingScheme",
     "GridEncoding",
     "PrefixTree",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.encoding.base import EncodingScheme
 from repro.encoding.huffman import HuffmanEncodingScheme
@@ -22,7 +22,7 @@ from repro.grid.geometry import Point
 from repro.grid.grid import Grid
 from repro.protocol.entities import MobileUser, ServiceProvider, TrustedAuthority
 from repro.protocol.matching import MatchingOptions
-from repro.protocol.messages import AlertDeclaration, Notification, TokenBatch
+from repro.protocol.messages import AlertDeclaration, LocationUpdate, Notification, TokenBatch
 
 __all__ = ["SystemInitStats", "SecureAlertSystem"]
 
@@ -116,6 +116,10 @@ class SecureAlertSystem:
         self.grid = grid
         self.provider = ServiceProvider(self.authority.hve, matching=matching)
         self.users: dict[str, MobileUser] = {}
+        #: Extra recipients of every uploaded location update, called after the
+        #: provider stored it.  The session service registers its ciphertext
+        #: store here so freshness-managed matching sees the same stream.
+        self.update_sinks: list[Callable[[LocationUpdate], None]] = []
         self.init_stats = SystemInitStats(
             n_cells=grid.n_cells,
             reference_length=probe_encoding.reference_length,
@@ -135,13 +139,24 @@ class SecureAlertSystem:
         self._upload(user)
         return user
 
-    def move_user(self, user_id: str, location: Point) -> None:
+    def move_user(self, user_id: str, location: Point) -> LocationUpdate:
         """Move a user and upload a fresh encrypted location report."""
         user = self._user(user_id)
         user.move_to(location)
-        self._upload(user)
+        return self._upload(user)
 
-    def _upload(self, user: MobileUser) -> None:
+    def reattach_user(self, user_id: str, location: Point, sequence_number: int = 0) -> MobileUser:
+        """Recreate a user object without uploading (e.g. after a state restore).
+
+        The provider's ciphertext store may already know this pseudonym from a
+        restored snapshot; ``sequence_number`` seeds the user's next report so
+        it supersedes the stored one instead of being dropped as stale.
+        """
+        user = MobileUser(user_id=user_id, location=location, _sequence=sequence_number)
+        self.users[user_id] = user
+        return user
+
+    def _upload(self, user: MobileUser) -> LocationUpdate:
         update = user.report_location(
             grid=self.grid,
             encoding=self.authority.public_encoding(),
@@ -149,6 +164,9 @@ class SecureAlertSystem:
             public_key=self.authority.public_key,
         )
         self.provider.receive_update(update)
+        for sink in self.update_sinks:
+            sink(update)
+        return update
 
     def _user(self, user_id: str) -> MobileUser:
         if user_id not in self.users:

@@ -202,6 +202,14 @@ class ServiceProvider:
         """Pseudonyms of all users with a stored ciphertext."""
         return sorted(self._latest_updates)
 
+    def latest_update(self, user_id: str) -> LocationUpdate:
+        """The freshest stored update of one user (KeyError if absent).
+
+        Used by the session service to back-fill its ciphertext store when it
+        adopts an already-running deployment.
+        """
+        return self._latest_updates[user_id]
+
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------

@@ -50,8 +50,9 @@ paid once per *alert batch*, not once per (user, token):
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.crypto.hve import HVE, STAR, HVECiphertext, HVEToken
 from repro.crypto.serialization import (
@@ -68,6 +69,7 @@ __all__ = [
     "MATCHING_STRATEGIES",
     "TOKEN_ORDERS",
     "EXECUTORS",
+    "EphemeralPools",
     "MatchCandidate",
     "MatchingOptions",
     "PlannedToken",
@@ -214,6 +216,16 @@ class TokenPlan:
         propagates outcomes along those edges.  Requires ``dedupe`` (silently
         off otherwise, since without slot sharing there is no cross-alert
         outcome cache to propagate through).
+    reduce:
+        Transitively reduce the generaliser DAG at plan time: an edge
+        ``g -> s`` is dropped when ``g`` also subsumes another generaliser of
+        ``s`` (subsumption is a strict partial order, so the edge is implied).
+        With deeply nested zones the full closure holds O(depth) ancestors per
+        pattern -- O(depth^2) edges along a nesting chain -- while the reduced
+        DAG keeps only direct parents.  Evaluation walks the reduced edges
+        recursively, reaching exactly the ancestors the closure lists, so
+        outcomes and pairing counts are unchanged (property-tested).  Only
+        meaningful when ``subsume`` is on.
     """
 
     def __init__(
@@ -222,6 +234,7 @@ class TokenPlan:
         order: str = "cheapest",
         dedupe: bool = True,
         subsume: bool = True,
+        reduce: bool = True,
     ):
         if order not in TOKEN_ORDERS:
             raise ValueError(f"unknown token order {order!r}; expected one of {TOKEN_ORDERS}")
@@ -258,7 +271,11 @@ class TokenPlan:
         self._entries_by_alert = tuple(entries_by_alert)
         self.total_tokens = running
         self.unique_patterns = len(slots)
-        self._generalizers = self._compute_generalizers(slots) if self.subsume else None
+        self.reduced = bool(reduce and self.subsume)
+        generalizers = self._compute_generalizers(slots) if self.subsume else None
+        if self.reduced and generalizers is not None:
+            generalizers = self._transitive_reduction(generalizers)
+        self._generalizers = generalizers
 
     @staticmethod
     def _compute_generalizers(slots: Mapping[str, int]) -> tuple[tuple[int, ...], ...]:
@@ -275,6 +292,26 @@ class TokenPlan:
             )
         return tuple(generalizers)
 
+    @staticmethod
+    def _transitive_reduction(generalizers: Sequence[tuple[int, ...]]) -> tuple[tuple[int, ...], ...]:
+        """Keep only the direct generalisers of each slot.
+
+        ``generalizers`` holds, per slot, the *full* ancestor set under
+        subsumption (the relation is transitive, so ancestor sets are
+        transitively closed).  An ancestor ``g`` of ``s`` is redundant exactly
+        when it is also an ancestor of another ancestor ``h`` of ``s`` --
+        outcome propagation then reaches ``g`` through ``h``.
+        """
+        ancestor_sets = [set(gens) for gens in generalizers]
+        return tuple(
+            tuple(
+                g
+                for g in gens
+                if not any(g in ancestor_sets[h] for h in gens if h != g)
+            )
+            for gens in generalizers
+        )
+
     @property
     def alert_ids(self) -> tuple[str, ...]:
         """The alert ids covered by this plan, in declaration order."""
@@ -287,8 +324,20 @@ class TokenPlan:
 
     @property
     def generalizers(self) -> Optional[tuple[tuple[int, ...], ...]]:
-        """Per-slot subsuming slots (``None`` when subsumption is off)."""
+        """Per-slot subsuming slots (``None`` when subsumption is off).
+
+        With ``reduce`` (the default) these are the *direct* generalisers
+        only; the full ancestor set is reachable by walking the edges
+        transitively, which is exactly what evaluation does.
+        """
         return self._generalizers
+
+    @property
+    def generalizer_edges(self) -> int:
+        """Total subsumption edges the plan stores (0 when subsumption is off)."""
+        if self._generalizers is None:
+            return 0
+        return sum(len(gens) for gens in self._generalizers)
 
     @property
     def duplicate_tokens(self) -> int:
@@ -342,6 +391,7 @@ class TokenPlan:
             "order": self.order,
             "dedupe": self.dedupe,
             "subsume": self.subsume,
+            "reduced": self.reduced,
             "total_tokens": self.total_tokens,
             "unique_patterns": self.unique_patterns,
             "generalizers": self._generalizers,
@@ -366,6 +416,7 @@ class TokenPlan:
         plan.order = wire["order"]
         plan.dedupe = wire["dedupe"]
         plan.subsume = wire["subsume"]
+        plan.reduced = wire.get("reduced", False)
         plan.total_tokens = wire["total_tokens"]
         plan.unique_patterns = wire["unique_patterns"]
         generalizers = wire["generalizers"]
@@ -414,27 +465,61 @@ def _make_planned_evaluator(hve: HVE, plan: TokenPlan) -> Evaluator:
     through the plan's generaliser edges -- a cached ``False`` for a wildcard
     pattern settles every specialisation of it, and a fresh ``True`` for a
     specialisation back-fills its generalisers.
+
+    Edges are walked recursively, so the evaluator is agnostic to whether the
+    plan stores the full generaliser closure or its transitive reduction: the
+    set of ancestors reached is the same either way.
     """
     entries_for_batch = tuple(entries for _, entries in plan.entries_by_alert)
     generalizers = plan.generalizers
+
+    def ancestor_failed(slot: int, shared: dict[int, bool]) -> bool:
+        # A superset pattern that already failed settles this specialisation
+        # without pairings.  A True ancestor ends its branch: by the back-fill
+        # invariant every ancestor of a True node is already True, so no False
+        # can sit above it.
+        stack = list(generalizers[slot])
+        seen: set[int] = set()
+        while stack:
+            g = stack.pop()
+            if g in seen:
+                continue
+            seen.add(g)
+            outcome = shared.get(g)
+            if outcome is False:
+                return True
+            if outcome is None:
+                stack.extend(generalizers[g])
+        return False
+
+    def backfill_true(slot: int, shared: dict[int, bool]) -> None:
+        # This pattern matched, so every pattern accepting a superset of its
+        # indexes matches too.
+        stack = list(generalizers[slot])
+        seen: set[int] = set()
+        while stack:
+            g = stack.pop()
+            if g in seen:
+                continue
+            seen.add(g)
+            if shared.get(g) is None:
+                shared[g] = True
+            stack.extend(generalizers[g])
 
     def evaluate(ciphertext: HVECiphertext, batch_index: int, shared: dict[int, bool]) -> bool:
         for entry in entries_for_batch[batch_index]:
             outcome = shared.get(entry.slot)
             if outcome is None:
-                gens = generalizers[entry.slot] if generalizers is not None else ()
-                if gens and any(shared.get(g) is False for g in gens):
-                    # A superset pattern already failed: no index can match
-                    # this specialisation either, and no pairing is spent.
+                if (
+                    generalizers is not None
+                    and generalizers[entry.slot]
+                    and ancestor_failed(entry.slot, shared)
+                ):
                     outcome = False
                 else:
                     outcome = hve.matches_via_plan(ciphertext, entry.token, entry.positions)
-                    if outcome:
-                        for g in gens:
-                            # This pattern matched, so every pattern accepting
-                            # a superset of its indexes matches too.
-                            if shared.get(g) is None:
-                                shared[g] = True
+                    if outcome and generalizers is not None and generalizers[entry.slot]:
+                        backfill_true(entry.slot, shared)
                 shared[entry.slot] = outcome
             if outcome:
                 return True
@@ -489,6 +574,86 @@ def _process_worker_match(chunk: Sequence[tuple[tuple, tuple[int, ...]]]) -> tup
     return rows, counter.total - before
 
 
+class EphemeralPools:
+    """Per-call executors: each matching pass gets a fresh pool (seed behaviour).
+
+    The engine acquires its executors through this small provider interface so
+    a session shell can substitute long-lived pools -- see
+    :class:`repro.service.executor.PersistentExecutorPool`, which keeps one
+    process pool alive across matching passes and re-primes it only when the
+    engine's plan version changes.  Providers must implement ``thread_pool``
+    and ``process_pool`` as context managers yielding a
+    :class:`concurrent.futures.Executor`.
+    """
+
+    @contextlib.contextmanager
+    def thread_pool(self, workers: int) -> Iterator[concurrent.futures.Executor]:
+        """A fresh thread pool, shut down when the matching pass completes."""
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        try:
+            yield pool
+        finally:
+            pool.shutdown()
+
+    @contextlib.contextmanager
+    def process_pool(
+        self, workers: int, prime_version: int, initargs: tuple
+    ) -> Iterator[concurrent.futures.Executor]:
+        """A fresh process pool primed via ``initargs``, shut down afterwards.
+
+        ``prime_version`` identifies the evaluation payload baked into
+        ``initargs`` (it changes exactly when the engine rebuilds its plan);
+        ephemeral pools re-prime every call so they can ignore it.
+        """
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=initargs,
+        )
+        try:
+            yield pool
+        finally:
+            pool.shutdown()
+
+
+@dataclass
+class _CachedEvaluation:
+    """The reusable artefacts of one batch sequence: plan, evaluator, payload.
+
+    Keyed by the *identity* of the batch objects: a session re-evaluating the
+    same standing :class:`~repro.protocol.messages.TokenBatch` objects reuses
+    the plan (and its serialized process payload) call after call, while any
+    change to the batch tuple bumps ``version`` -- the signal pool providers
+    use to re-prime worker processes.
+    """
+
+    batches: tuple[TokenBatch, ...]
+    version: int
+    evaluator: Evaluator
+    plan: Optional[TokenPlan]
+    _payload: Optional[tuple[str, Any]] = field(default=None, repr=False)
+
+    def matches(self, batches: Sequence[TokenBatch]) -> bool:
+        return len(self.batches) == len(batches) and all(
+            cached is batch for cached, batch in zip(self.batches, batches)
+        )
+
+    def payload(self) -> tuple[str, Any]:
+        """The picklable worker payload, serialized once per plan version."""
+        if self._payload is None:
+            if self.plan is not None:
+                self._payload = ("planned", self.plan.to_wire())
+            else:
+                self._payload = (
+                    "naive",
+                    tuple(
+                        tuple(token_to_wire(token) for token in batch.tokens)
+                        for batch in self.batches
+                    ),
+                )
+        return self._payload
+
+
 class MatchingEngine:
     """The single matching path of the service provider.
 
@@ -501,16 +666,35 @@ class MatchingEngine:
         Strategy and execution tunables; defaults to the planned strategy,
         cheapest-first order, deduplication and subsumption on, a single
         worker (thread executor) and no incremental state.
+    pools:
+        Executor provider for chunked matching.  Defaults to
+        :class:`EphemeralPools` (a fresh pool per call); a session shell
+        passes a persistent provider so high-frequency small batches amortise
+        pool start-up.
     """
 
-    def __init__(self, hve: HVE, options: Optional[MatchingOptions] = None):
+    def __init__(
+        self,
+        hve: HVE,
+        options: Optional[MatchingOptions] = None,
+        pools: Optional[EphemeralPools] = None,
+    ):
         self.hve = hve
         self.options = options if options is not None else MatchingOptions()
+        self.pools = pools if pools is not None else EphemeralPools()
         # alert_id -> (token signature, user_id -> (sequence_number, matched)).
         # The signature is the alert's ordered pattern tuple: a standing alert
         # re-declared with a different token set must not serve outcomes
         # computed for the old zone, so a signature change drops its state.
         self._alert_state: dict[str, tuple[tuple[str, ...], dict[str, tuple[int, bool]]]] = {}
+        # Most-recent-first; more than one entry so an interleaved one-shot
+        # alert does not evict a standing set's plan (see _evaluation_for).
+        self._cache_entries: list[_CachedEvaluation] = []
+        self._plan_version = 0
+        #: Evaluations that rebuilt the plan / reused the cached one -- the
+        #: session metrics observers report these per request.
+        self.plan_builds = 0
+        self.plan_reuses = 0
 
     # ------------------------------------------------------------------
     # Planning
@@ -574,15 +758,7 @@ class MatchingEngine:
         descriptions: Optional[Mapping[str, str]] = None,
     ) -> list[Notification]:
         """Match alert batches against the fresh reports of a ciphertext store."""
-        candidates = [
-            MatchCandidate(
-                user_id=report.user_id,
-                ciphertext=report.ciphertext,
-                sequence_number=report.sequence_number,
-            )
-            for report in store.fresh_reports(now)
-        ]
-        return self.match(batches, candidates, descriptions=descriptions)
+        return self.match(batches, store.fresh_candidates(now), descriptions=descriptions)
 
     # ------------------------------------------------------------------
     # Incremental state
@@ -639,11 +815,50 @@ class MatchingEngine:
     # ------------------------------------------------------------------
     # Evaluation internals
     # ------------------------------------------------------------------
-    def _build_evaluator(self, batches: Sequence[TokenBatch]) -> Evaluator:
-        """The in-process evaluator for the configured strategy."""
+    #: How many distinct batch tuples keep their plans cached at once.  One
+    #: standing set plus a few interleaved one-shot / ad-hoc evaluations fit
+    #: comfortably; entries are tiny (the tokens are alive anyway).
+    _PLAN_CACHE_SIZE = 4
+
+    def _evaluation_for(self, batches: Sequence[TokenBatch]) -> _CachedEvaluation:
+        """The (possibly cached) evaluation artefacts for ``batches``.
+
+        The cache is keyed by batch-object identity: a standing set of alerts
+        re-evaluated with the same :class:`TokenBatch` objects skips plan
+        construction (and payload serialization) entirely, which is what lets
+        a long-lived session amortise planning across high-frequency calls.
+        A small LRU of recent batch tuples is kept so a one-shot alert
+        evaluated between standing ticks does not evict the standing plan.
+        An unseen tuple bumps the plan version.
+        """
+        for index, entry in enumerate(self._cache_entries):
+            if entry.matches(batches):
+                if index:
+                    self._cache_entries.insert(0, self._cache_entries.pop(index))
+                self.plan_reuses += 1
+                return entry
+        self.plan_builds += 1
+        self._plan_version += 1
         if self.options.strategy == "planned":
-            return _make_planned_evaluator(self.hve, self.plan(batches))
-        return _make_naive_evaluator(self.hve, [list(batch.tokens) for batch in batches])
+            plan: Optional[TokenPlan] = self.plan(batches)
+            evaluator = _make_planned_evaluator(self.hve, plan)
+        else:
+            plan = None
+            evaluator = _make_naive_evaluator(self.hve, [list(batch.tokens) for batch in batches])
+        cached = _CachedEvaluation(
+            batches=tuple(batches),
+            version=self._plan_version,
+            evaluator=evaluator,
+            plan=plan,
+        )
+        self._cache_entries.insert(0, cached)
+        del self._cache_entries[self._PLAN_CACHE_SIZE :]
+        return cached
+
+    @property
+    def plan_version(self) -> int:
+        """Monotonic counter bumped whenever the evaluation plan is rebuilt."""
+        return self._plan_version
 
     def _resolve_incremental(
         self, batches: Sequence[TokenBatch], candidates: Sequence[MatchCandidate]
@@ -696,12 +911,13 @@ class MatchingEngine:
             # The incremental cache answered everything: skip plan building
             # (and any pool) outright.
             return rows  # type: ignore[return-value]
+        evaluation = self._evaluation_for(batches)
         workers = min(self.options.workers, len(candidates))
 
         if workers > 1 and self.options.executor == "process":
-            evaluated = self._evaluate_process(batches, candidates, needed, workers)
+            evaluated = self._evaluate_process(evaluation, candidates, needed, workers)
         else:
-            evaluate = self._build_evaluator(batches)
+            evaluate = evaluation.evaluator
 
             def evaluate_candidate(job: tuple[MatchCandidate, tuple[int, ...]]) -> list[bool]:
                 candidate, need = job
@@ -714,7 +930,7 @@ class MatchingEngine:
             else:
                 chunk_size = self._chunk_size(len(jobs), workers)
                 chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
-                with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                with self.pools.thread_pool(workers) as pool:
                     chunk_rows = list(pool.map(lambda chunk: [evaluate_candidate(j) for j in chunk], chunks))
                 evaluated = [row for chunk in chunk_rows for row in chunk]
 
@@ -731,22 +947,22 @@ class MatchingEngine:
 
     def _evaluate_process(
         self,
-        batches: Sequence[TokenBatch],
+        evaluation: _CachedEvaluation,
         candidates: Sequence[MatchCandidate],
         needed: Sequence[tuple[int, ...]],
         workers: int,
     ) -> list[list[bool]]:
-        """Fan candidate chunks out to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        """Fan candidate chunks out to a process pool from the pool provider.
 
         The plan (or naive token lists) and group constants are serialized
-        once and installed in each worker by the pool initializer; per-chunk
-        traffic is limited to compact ciphertext wire forms.  Candidates the
-        incremental cache fully answered are never serialized or shipped, and
-        when *nothing* needs evaluation no pool is spawned at all.  Worker
-        pairing totals are merged into the parent counter without re-burning
-        pairing work (the workers already did), keeping
-        :class:`~repro.crypto.counting.PairingCounter` totals bit-exact with
-        the inline path.
+        once per plan version and installed in each worker by the pool
+        initializer; per-chunk traffic is limited to compact ciphertext wire
+        forms.  Candidates the incremental cache fully answered are never
+        serialized or shipped, and when *nothing* needs evaluation no pool is
+        touched at all.  Worker pairing totals are merged into the parent
+        counter without re-burning pairing work (the workers already did),
+        keeping :class:`~repro.crypto.counting.PairingCounter` totals
+        bit-exact with the inline path.
         """
         # Only candidates with work left cross the process boundary.
         jobs = [
@@ -773,19 +989,13 @@ class MatchingEngine:
                 f"available (register it via repro.crypto.backends.register_backend, or use "
                 f"executor='thread')"
             ) from exc
-        if self.options.strategy == "planned":
-            payload = ("planned", self.plan(batches).to_wire())
-        else:
-            payload = (
-                "naive",
-                tuple(tuple(token_to_wire(token) for token in batch.tokens) for batch in batches),
-            )
+        payload = evaluation.payload()
         workers = min(workers, len(jobs))
         chunk_size = self._chunk_size(len(jobs), workers)
         chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_process_worker_init,
+        with self.pools.process_pool(
+            workers=workers,
+            prime_version=evaluation.version,
             initargs=(group_to_wire(group), self.hve.width, payload),
         ) as pool:
             chunk_results = list(

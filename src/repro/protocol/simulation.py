@@ -26,8 +26,9 @@ from repro.encoding.base import EncodingScheme
 from repro.grid.geometry import Point
 from repro.grid.workloads import WorkloadGenerator
 from repro.probability.poisson import poisson_sample
-from repro.protocol.alert_system import SecureAlertSystem
-from repro.protocol.matching import MatchingOptions
+from repro.service.config import ServiceConfig
+from repro.service.requests import PublishZone
+from repro.service.service import AlertService
 
 __all__ = ["SimulationConfig", "StepStats", "SimulationResult", "AlertServiceSimulation"]
 
@@ -117,7 +118,20 @@ class SimulationResult:
 
 
 class AlertServiceSimulation:
-    """Drives a :class:`SecureAlertSystem` with moving users and random alerts."""
+    """Drives an :class:`~repro.service.service.AlertService` session with
+    moving users and random alerts.
+
+    A thin adapter over the session API: every simulated alert is a one-shot
+    ``PublishZone`` request.  The legacy surface is preserved -- ``system``
+    still exposes the underlying
+    :class:`~repro.protocol.alert_system.SecureAlertSystem`.  Pass
+    ``service_config`` to tune session behaviour beyond what
+    :class:`SimulationConfig` carries (persistent pool, incremental
+    re-evaluation, report freshness); its crypto/matching fields must then
+    agree with the simulation config, which otherwise provides them via
+    :meth:`ServiceConfig.from_simulation
+    <repro.service.config.ServiceConfig.from_simulation>`.
+    """
 
     def __init__(
         self,
@@ -125,22 +139,18 @@ class AlertServiceSimulation:
         probabilities: Sequence[float],
         scheme: Optional[EncodingScheme] = None,
         config: Optional[SimulationConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
     ):
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
-        self.system = SecureAlertSystem(
+        self.service = AlertService(
             grid,
             probabilities,
+            config=service_config or ServiceConfig.from_simulation(self.config),
             scheme=scheme,
-            prime_bits=self.config.prime_bits,
             rng=random.Random(self.config.seed + 1),
-            matching=MatchingOptions(
-                strategy=self.config.matching_strategy,
-                workers=self.config.workers,
-                executor=self.config.executor,
-            ),
-            backend=self.config.crypto_backend,
         )
+        self.system = self.service.system
         self.grid = grid
         self.probabilities = list(probabilities)
         self._zone_generator = WorkloadGenerator(grid, probabilities, rng=random.Random(self.config.seed + 2))
@@ -194,9 +204,15 @@ class AlertServiceSimulation:
             for _ in range(alerts):
                 zone = self._zone_generator.triggered_radius_workload(self.config.alert_radius, 1).zones[0]
                 self._alert_counter += 1
-                batch = self.system.issue_token_batch(zone, alert_id=f"sim-alert-{self._alert_counter}")
-                tokens_issued += len(batch.tokens)
-                notifications += len(self.system.provider.process_alert(batch))
+                report = self.service.publish_zone(
+                    PublishZone(
+                        alert_id=f"sim-alert-{self._alert_counter}",
+                        zone=zone,
+                        standing=False,
+                    )
+                )
+                tokens_issued += report.tokens_evaluated
+                notifications += len(report.notifications)
             collected.append(
                 StepStats(
                     step=step,
@@ -208,3 +224,16 @@ class AlertServiceSimulation:
                 )
             )
         return SimulationResult(steps=tuple(collected))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """End the underlying session (shuts down any persistent pool)."""
+        self.service.close()
+
+    def __enter__(self) -> "AlertServiceSimulation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

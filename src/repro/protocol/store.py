@@ -28,7 +28,7 @@ from typing import Iterable, Optional, Sequence
 from repro.crypto.group import BilinearGroup
 from repro.crypto.hve import HVE, HVECiphertext
 from repro.crypto.serialization import deserialize_ciphertext, serialize_ciphertext
-from repro.protocol.matching import MatchingEngine, MatchingOptions
+from repro.protocol.matching import MatchCandidate, MatchingEngine, MatchingOptions
 from repro.protocol.messages import LocationUpdate, Notification, TokenBatch
 
 __all__ = ["StoredReport", "CiphertextStore", "BatchMatcher"]
@@ -111,6 +111,23 @@ class CiphertextStore:
             reports = (r for r in reports if r.age(now) <= self.max_age_seconds)
         return sorted(reports, key=lambda r: r.user_id)
 
+    def fresh_candidates(self, now: float) -> list[MatchCandidate]:
+        """The fresh reports as match candidates, sorted by user id.
+
+        The single construction site of the store-to-candidate mapping
+        (including the sequence-number plumbing incremental matching relies
+        on), shared by :meth:`MatchingEngine.match_store` and the session
+        service.
+        """
+        return [
+            MatchCandidate(
+                user_id=report.user_id,
+                ciphertext=report.ciphertext,
+                sequence_number=report.sequence_number,
+            )
+            for report in self.fresh_reports(now)
+        ]
+
     def stale_users(self, now: float) -> list[str]:
         """Users whose latest report has expired."""
         if self.max_age_seconds is None:
@@ -127,16 +144,17 @@ class CiphertextStore:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | pathlib.Path, engine: Optional[MatchingEngine] = None) -> None:
-        """Persist the store as JSON (ciphertexts in wire format).
+    def to_payload(self, engine: Optional[MatchingEngine] = None) -> dict:
+        """JSON-compatible snapshot of the store (ciphertexts in wire format).
 
         When ``engine`` is given, its incremental re-evaluation state
         (standing alerts, token signatures, last-seen sequence numbers and
         outcomes -- see :meth:`MatchingEngine.export_state`) is embedded in
-        the same file, so a provider restart restores both the ciphertexts
-        and the standing-alert caches in one step.
+        the same payload.  :meth:`save` writes this payload to a file;
+        :meth:`repro.service.service.AlertService.snapshot` embeds it inside
+        the wider session snapshot.
         """
-        payload = {
+        payload: dict = {
             "max_age_seconds": self.max_age_seconds,
             "reports": [
                 {
@@ -150,23 +168,22 @@ class CiphertextStore:
         }
         if engine is not None:
             payload["matching_state"] = engine.export_state()
-        pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        return payload
 
     @classmethod
-    def load(
+    def from_payload(
         cls,
-        path: str | pathlib.Path,
+        payload: dict,
         group: BilinearGroup,
         engine: Optional[MatchingEngine] = None,
     ) -> "CiphertextStore":
-        """Restore a store previously written by :meth:`save`.
+        """Rebuild a store from :meth:`to_payload` output.
 
-        When ``engine`` is given and the file carries a matching-state
+        When ``engine`` is given and the payload carries a matching-state
         snapshot, the engine's incremental state is restored from it.  The
         raw snapshot (or ``None``) is also kept on the returned store as
         ``matching_state`` so a caller can defer engine construction.
         """
-        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
         store = cls(max_age_seconds=payload.get("max_age_seconds"))
         for entry in payload.get("reports", []):
             report = StoredReport(
@@ -180,6 +197,29 @@ class CiphertextStore:
         if engine is not None and store.matching_state is not None:
             engine.import_state(store.matching_state)
         return store
+
+    def save(self, path: str | pathlib.Path, engine: Optional[MatchingEngine] = None) -> None:
+        """Persist the store as JSON (see :meth:`to_payload`).
+
+        When ``engine`` is given, its incremental re-evaluation state is
+        embedded in the same file, so a provider restart restores both the
+        ciphertexts and the standing-alert caches in one step.
+        """
+        pathlib.Path(path).write_text(json.dumps(self.to_payload(engine)), encoding="utf-8")
+
+    @classmethod
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        group: BilinearGroup,
+        engine: Optional[MatchingEngine] = None,
+    ) -> "CiphertextStore":
+        """Restore a store previously written by :meth:`save`.
+
+        See :meth:`from_payload` for how ``engine`` participates.
+        """
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        return cls.from_payload(payload, group, engine=engine)
 
 
 class BatchMatcher:

@@ -1,0 +1,52 @@
+"""repro.service: the session-oriented public API of the alert protocol.
+
+A deployment talks to one long-lived :class:`~repro.service.service.AlertService`
+built from a single :class:`~repro.service.config.ServiceConfig`, sends it the
+typed requests of :mod:`repro.service.requests` and receives typed responses.
+The session owns the matching engine, the ciphertext store and a persistent
+executor pool that is re-primed only when the token plan changes -- the
+properties that make high-frequency small batches cheap.
+
+The legacy front doors (:class:`~repro.core.pipeline.SecureAlertPipeline`,
+:class:`~repro.protocol.simulation.AlertServiceSimulation`) are thin adapters
+over this package.
+"""
+
+from repro.service.config import ServiceConfig, ServiceConfigBuilder
+from repro.service.executor import PersistentExecutorPool
+from repro.service.requests import (
+    EvaluateStanding,
+    IngestBatch,
+    IngestReceipt,
+    MatchReport,
+    Move,
+    Notification,
+    PublishZone,
+    Request,
+    RequestMetrics,
+    RetractReceipt,
+    RetractZone,
+    Subscribe,
+)
+from repro.service.service import AlertService, SessionStats, StandingZone
+
+__all__ = [
+    "AlertService",
+    "ServiceConfig",
+    "ServiceConfigBuilder",
+    "PersistentExecutorPool",
+    "SessionStats",
+    "StandingZone",
+    "Subscribe",
+    "Move",
+    "PublishZone",
+    "RetractZone",
+    "IngestBatch",
+    "EvaluateStanding",
+    "Request",
+    "IngestReceipt",
+    "RetractReceipt",
+    "MatchReport",
+    "RequestMetrics",
+    "Notification",
+]

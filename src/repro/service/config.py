@@ -1,0 +1,264 @@
+"""The unified configuration surface of the session-oriented service.
+
+Before this package existed a deployment was configured through three
+overlapping surfaces -- :class:`~repro.core.pipeline.PipelineConfig`,
+:class:`~repro.protocol.simulation.SimulationConfig` and
+:class:`~repro.protocol.matching.MatchingOptions` -- each plumbing a subset of
+the same knobs.  :class:`ServiceConfig` subsumes them: one frozen dataclass
+covering the deployment (scheme, primes, backend), the matching engine
+(strategy, order, dedupe/subsume, workers, executor) and the session itself
+(persistent pool, incremental re-evaluation, report freshness).
+
+Every validator raises ``ValueError`` naming *all* recognised choices, so a
+typo tells the operator what would have worked.  :class:`ServiceConfigBuilder`
+offers fluent construction; ``ServiceConfig.from_pipeline`` /
+``from_simulation`` translate the legacy configs so the old front doors can
+ride on the service unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+from repro.crypto.backends import backend_names
+from repro.encoding import SCHEME_NAMES, canonical_scheme_name
+from repro.protocol.matching import (
+    EXECUTORS,
+    MATCHING_STRATEGIES,
+    TOKEN_ORDERS,
+    MatchingOptions,
+)
+
+__all__ = ["ServiceConfig", "ServiceConfigBuilder"]
+
+
+def _require_choice(value: str, choices: tuple[str, ...], what: str) -> None:
+    if value not in choices:
+        raise ValueError(f"unknown {what} {value!r}; expected one of {sorted(choices)}")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything an :class:`~repro.service.service.AlertService` session needs.
+
+    Deployment
+    ----------
+    scheme / alphabet_size:
+        Encoding scheme name (see :data:`repro.encoding.SCHEME_NAMES`; aliases
+        like ``"bary"`` are accepted and normalised) and the B-ary alphabet
+        size where applicable.
+    prime_bits / seed / crypto_backend:
+        HVE prime size, RNG seed for reproducible key material, and the crypto
+        arithmetic backend name (``None`` auto-selects).
+
+    Matching engine
+    ---------------
+    matching_strategy / token_order / dedupe / subsume:
+        See :class:`~repro.protocol.matching.MatchingOptions`.
+    workers / executor / chunk_size:
+        Chunked matching over the store; ``executor="process"`` scales with
+        cores at the price of serialization.
+    incremental:
+        Remember per-(user, alert) outcomes keyed by sequence number so
+        standing zones re-evaluate only users whose ciphertext changed.
+
+    Session
+    -------
+    persistent_pool:
+        Keep one long-lived executor pool for the whole session, re-primed
+        only when the token plan changes (instead of a fresh pool per call).
+    max_age_seconds:
+        Reports older than this are excluded from matching (``None`` disables
+        expiry).
+    """
+
+    scheme: str = "huffman"
+    alphabet_size: int = 3
+    prime_bits: int = 64
+    seed: Optional[int] = None
+    crypto_backend: Optional[str] = None
+    matching_strategy: str = "planned"
+    token_order: str = "cheapest"
+    dedupe: bool = True
+    subsume: bool = True
+    workers: int = 1
+    executor: str = "thread"
+    chunk_size: Optional[int] = None
+    incremental: bool = False
+    persistent_pool: bool = True
+    max_age_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # canonical_scheme_name raises a ValueError listing every recognised
+        # scheme; store the normalised form so equal configs compare equal.
+        object.__setattr__(self, "scheme", canonical_scheme_name(self.scheme))
+        _require_choice(self.matching_strategy, MATCHING_STRATEGIES, "matching strategy")
+        _require_choice(self.token_order, TOKEN_ORDERS, "token order")
+        _require_choice(self.executor, EXECUTORS, "executor")
+        if self.crypto_backend is not None:
+            names = tuple(backend_names())
+            if self.crypto_backend not in names:
+                raise ValueError(
+                    f"unknown crypto backend {self.crypto_backend!r}; expected one of "
+                    f"{sorted(names)} (or None to auto-select)"
+                )
+        if self.alphabet_size < 2:
+            raise ValueError("alphabet_size must be at least 2")
+        if self.prime_bits < 16:
+            raise ValueError("prime_bits must be at least 16")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1 (or None to split evenly)")
+        if self.max_age_seconds is not None and self.max_age_seconds <= 0:
+            raise ValueError("max_age_seconds must be positive (or None to disable expiry)")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def matching_options(self) -> MatchingOptions:
+        """The engine options this config implies."""
+        return MatchingOptions(
+            strategy=self.matching_strategy,
+            order=self.token_order,
+            dedupe=self.dedupe,
+            subsume=self.subsume,
+            workers=self.workers,
+            executor=self.executor,
+            chunk_size=self.chunk_size,
+            incremental=self.incremental,
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy translations
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pipeline(cls, config: Any) -> "ServiceConfig":
+        """Translate a :class:`~repro.core.pipeline.PipelineConfig`.
+
+        Duck-typed on purpose: importing the pipeline here would create an
+        import cycle (the pipeline is an adapter over the service).
+        ``persistent_pool`` is off: legacy pipeline call sites predate
+        ``close()`` and must keep the seed's per-call pool lifetime instead of
+        accumulating long-lived worker processes they never shut down.
+        """
+        return cls(
+            scheme=config.scheme,
+            alphabet_size=config.alphabet_size,
+            prime_bits=config.prime_bits,
+            seed=config.seed,
+            crypto_backend=config.crypto_backend,
+            matching_strategy=config.matching_strategy,
+            workers=config.workers,
+            executor=config.executor,
+            persistent_pool=False,
+        )
+
+    @classmethod
+    def from_simulation(cls, config: Any) -> "ServiceConfig":
+        """Translate a :class:`~repro.protocol.simulation.SimulationConfig`.
+
+        ``persistent_pool`` is off for the same lifetime reason as
+        :meth:`from_pipeline`; pass an explicit ``service_config`` to the
+        simulation to opt into session pooling.
+        """
+        return cls(
+            prime_bits=config.prime_bits,
+            seed=config.seed,
+            crypto_backend=config.crypto_backend,
+            matching_strategy=config.matching_strategy,
+            workers=config.workers,
+            executor=config.executor,
+            persistent_pool=False,
+        )
+
+    @staticmethod
+    def builder() -> "ServiceConfigBuilder":
+        """A fluent builder over the same validated defaults."""
+        return ServiceConfigBuilder()
+
+
+class ServiceConfigBuilder:
+    """Fluent construction of a :class:`ServiceConfig`.
+
+    Each ``with_*`` method sets only the arguments actually passed; every
+    untouched field keeps the dataclass default, and the full validator set
+    runs once at :meth:`build`::
+
+        config = (
+            ServiceConfig.builder()
+            .with_scheme("huffman")
+            .with_crypto(prime_bits=48, seed=7)
+            .with_executor(executor="process", workers=4)
+            .with_matching(incremental=True)
+            .build()
+        )
+    """
+
+    _UNSET: Any = object()
+
+    def __init__(self) -> None:
+        self._values: dict[str, Any] = {}
+
+    def _set(self, **kwargs: Any) -> "ServiceConfigBuilder":
+        valid = {f.name for f in fields(ServiceConfig)}
+        for key, value in kwargs.items():
+            if value is self._UNSET:
+                continue
+            assert key in valid, f"builder bug: {key} is not a ServiceConfig field"
+            self._values[key] = value
+        return self
+
+    def with_scheme(self, scheme: str, alphabet_size: Any = _UNSET) -> "ServiceConfigBuilder":
+        """Select the encoding scheme (and alphabet size for B-ary Huffman)."""
+        return self._set(scheme=scheme, alphabet_size=alphabet_size)
+
+    def with_crypto(
+        self,
+        prime_bits: Any = _UNSET,
+        backend: Any = _UNSET,
+        seed: Any = _UNSET,
+    ) -> "ServiceConfigBuilder":
+        """Configure the HVE substrate: prime size, arithmetic backend, RNG seed."""
+        return self._set(prime_bits=prime_bits, crypto_backend=backend, seed=seed)
+
+    def with_matching(
+        self,
+        strategy: Any = _UNSET,
+        order: Any = _UNSET,
+        dedupe: Any = _UNSET,
+        subsume: Any = _UNSET,
+        incremental: Any = _UNSET,
+    ) -> "ServiceConfigBuilder":
+        """Configure the matching engine's evaluation behaviour."""
+        return self._set(
+            matching_strategy=strategy,
+            token_order=order,
+            dedupe=dedupe,
+            subsume=subsume,
+            incremental=incremental,
+        )
+
+    def with_executor(
+        self,
+        executor: Any = _UNSET,
+        workers: Any = _UNSET,
+        chunk_size: Any = _UNSET,
+        persistent_pool: Any = _UNSET,
+    ) -> "ServiceConfigBuilder":
+        """Configure chunked matching: pool flavour, size and lifetime."""
+        return self._set(
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
+            persistent_pool=persistent_pool,
+        )
+
+    def with_store(self, max_age_seconds: Any = _UNSET) -> "ServiceConfigBuilder":
+        """Configure report freshness management."""
+        return self._set(max_age_seconds=max_age_seconds)
+
+    def build(self) -> ServiceConfig:
+        """Validate and produce the config (raises ``ValueError`` on bad values)."""
+        return ServiceConfig(**self._values)

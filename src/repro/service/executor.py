@@ -1,0 +1,152 @@
+"""Long-lived executor pools for session-oriented matching.
+
+The engine's default pool provider
+(:class:`~repro.protocol.matching.EphemeralPools`) spins a fresh pool up per
+matching pass -- fine for one-shot calls, ruinous for the high-frequency small
+batches a standing deployment generates: with the process executor every pass
+re-pays pool start-up *and* worker priming (group constants + serialized token
+plan shipped through the pool initializer).
+
+:class:`PersistentExecutorPool` closes that gap.  It is created once per
+session and satisfies the same provider interface:
+
+* the **thread pool** is created on first use and reused for every later pass;
+* the **process pool** is created on first use, primed through its initializer,
+  and *re-primed* -- shut down and recreated with the new initargs -- only when
+  the engine's plan version changes (new/retracted zones, changed options).
+  Warm passes over an unchanged standing set reuse the already-primed workers,
+  so per-pass overhead drops to chunk serialization only.
+
+The pool keeps start/reuse counters that the service surfaces through its
+metrics observers; the session benchmark asserts re-primes happen exactly on
+plan changes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+from typing import Iterator, Optional
+
+from repro.protocol.matching import EXECUTORS, _process_worker_init
+
+__all__ = ["PersistentExecutorPool"]
+
+
+class PersistentExecutorPool:
+    """A session-scoped pool provider (same interface as ``EphemeralPools``).
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Fixed for the session: per-call worker hints from the
+        engine only affect chunking, not pool size, so warm passes never
+        trigger a resize.
+    executor:
+        Informational: the flavour the owning session is configured for.
+        Both pool kinds are served either way (the engine only asks for the
+        one its options select).
+    """
+
+    def __init__(self, workers: int, executor: str = "thread"):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {sorted(EXECUTORS)}")
+        self.workers = workers
+        self.executor = executor
+        self._thread_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._process_pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._primed_version: Optional[int] = None
+        self._closed = False
+        #: Lifecycle counters, surfaced via the service's metrics observers.
+        self.thread_pool_starts = 0
+        self.thread_pool_reuses = 0
+        self.process_pool_starts = 0
+        self.process_pool_reuses = 0
+
+    # ------------------------------------------------------------------
+    # Provider interface (see matching.EphemeralPools)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def thread_pool(self, workers: int) -> Iterator[concurrent.futures.Executor]:
+        """The session's thread pool, created on first use and then reused."""
+        self._ensure_open()
+        if self._thread_pool is None:
+            self._thread_pool = concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
+            self.thread_pool_starts += 1
+        else:
+            self.thread_pool_reuses += 1
+        yield self._thread_pool
+
+    @contextlib.contextmanager
+    def process_pool(
+        self, workers: int, prime_version: int, initargs: tuple
+    ) -> Iterator[concurrent.futures.Executor]:
+        """The session's process pool, re-primed only when the plan changed.
+
+        ``prime_version`` is the engine's plan version baked into ``initargs``.
+        A version mismatch means the workers hold a stale plan: the old pool
+        is shut down and a new one is started with the fresh initializer
+        arguments.  A matching version reuses the already-primed workers.
+        """
+        self._ensure_open()
+        if self._process_pool is None or self._primed_version != prime_version:
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=True)
+            self._process_pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_worker_init,
+                initargs=initargs,
+            )
+            self._primed_version = prime_version
+            self.process_pool_starts += 1
+        else:
+            self.process_pool_reuses += 1
+        try:
+            yield self._process_pool
+        except concurrent.futures.BrokenExecutor:
+            # A crashed worker leaves the executor permanently unusable.
+            # Drop it so the next pass re-primes a fresh pool instead of
+            # re-raising BrokenProcessPool for the rest of the session.
+            broken, self._process_pool = self._process_pool, None
+            self._primed_version = None
+            if broken is not None:
+                broken.shutdown(wait=False)
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def re_primes(self) -> int:
+        """Process-pool re-primes beyond the initial priming."""
+        return max(0, self.process_pool_starts - 1)
+
+    @property
+    def primed_version(self) -> Optional[int]:
+        """The plan version the process workers currently hold (None = unprimed)."""
+        return self._primed_version
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("executor pool is closed; create a new session to keep matching")
+
+    def close(self) -> None:
+        """Shut both pools down; later pool requests raise ``RuntimeError``."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+        self._primed_version = None
+
+    def __enter__(self) -> "PersistentExecutorPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,224 @@
+"""Typed requests and responses of the :class:`~repro.service.service.AlertService`.
+
+The session API is message-shaped: every operation a deployment performs is a
+small frozen dataclass handed to the service, and every outcome is a typed
+response.  This mirrors how the protocol itself flows (location updates in,
+token batches in, notifications out) and gives integrators a stable, explicit
+surface -- the service facade can evolve its internals (planning, pooling,
+incremental caches) without touching these types.
+
+Requests
+--------
+* :class:`Subscribe` / :class:`Move` -- client-side conveniences: the service
+  hosts the user object, encrypts the cell index locally and ingests the
+  resulting :class:`~repro.protocol.messages.LocationUpdate`.
+* :class:`IngestBatch` -- the raw provider-side ingress: a batch of encrypted
+  location updates produced elsewhere, optionally followed by an evaluation of
+  every standing zone.
+* :class:`PublishZone` / :class:`RetractZone` -- declare an alert zone (by
+  explicit cells or epicenter + radius; ``standing=True`` keeps it under
+  periodic re-evaluation) and retire it again.
+* :class:`EvaluateStanding` -- the periodic tick: re-match every standing zone
+  against the fresh ciphertexts.
+
+Responses
+---------
+* :class:`IngestReceipt` -- what happened to one ingested update.
+* :class:`MatchReport` -- outcome of an evaluation pass, including the
+  session-health facts (plan reuse, pool re-prime) the observer metrics also
+  carry.
+* :class:`RetractReceipt` -- whether the retracted zone existed.
+* :class:`RequestMetrics` -- the per-request record handed to observer hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.grid.alert_zone import AlertZone
+from repro.grid.geometry import Point
+from repro.protocol.messages import LocationUpdate, Notification
+
+__all__ = [
+    "Subscribe",
+    "Move",
+    "PublishZone",
+    "RetractZone",
+    "IngestBatch",
+    "EvaluateStanding",
+    "Request",
+    "IngestReceipt",
+    "RetractReceipt",
+    "MatchReport",
+    "RequestMetrics",
+    "Notification",
+]
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Subscribe:
+    """Register a user and upload their first encrypted location.
+
+    ``at`` advances the session clock before the update is stored (``None``
+    keeps the current clock); the same convention applies to every request.
+    """
+
+    user_id: str
+    location: Point
+    at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class Move:
+    """Record a user's movement: encrypt the new cell and upload it."""
+
+    user_id: str
+    location: Point
+    at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class PublishZone:
+    """Declare an alert zone, given either explicit ``zone`` cells or an
+    ``epicenter`` + ``radius`` circle.
+
+    ``standing=True`` (default) keeps the zone's minted tokens in the
+    session's standing set, re-evaluated by :class:`EvaluateStanding` and
+    :class:`IngestBatch` ticks; ``standing=False`` is a one-shot alert that is
+    evaluated once and forgotten.  ``evaluate=False`` skips the immediate
+    evaluation (useful when publishing several zones before the first tick).
+    """
+
+    alert_id: str
+    zone: Optional[AlertZone] = None
+    epicenter: Optional[Point] = None
+    radius: Optional[float] = None
+    description: str = ""
+    standing: bool = True
+    evaluate: bool = True
+    at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.alert_id:
+            raise ValueError("alert_id must be non-empty")
+        circular = self.epicenter is not None or self.radius is not None
+        if (self.zone is None) == (not circular):
+            raise ValueError("pass exactly one of zone= or epicenter=+radius=")
+        if circular:
+            if self.epicenter is None or self.radius is None:
+                raise ValueError("a circular zone needs both epicenter= and radius=")
+            if self.radius <= 0:
+                raise ValueError("radius must be positive")
+
+
+@dataclass(frozen=True)
+class RetractZone:
+    """Retire a standing zone: stop re-evaluating it and drop its caches."""
+
+    alert_id: str
+    at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.alert_id:
+            raise ValueError("alert_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """Ingest encrypted location updates, then (optionally) evaluate standing zones.
+
+    This is the provider-side ingress: updates may come from anywhere (devices,
+    a message queue, another region), carry only pseudonym + ciphertext +
+    sequence number, and are deduplicated by the store's staleness rules.
+    """
+
+    updates: tuple[LocationUpdate, ...]
+    evaluate: bool = True
+    at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.updates, tuple):
+            object.__setattr__(self, "updates", tuple(self.updates))
+
+
+@dataclass(frozen=True)
+class EvaluateStanding:
+    """The periodic tick: re-match every standing zone against fresh reports."""
+
+    at: Optional[float] = None
+
+
+Request = Union[Subscribe, Move, PublishZone, RetractZone, IngestBatch, EvaluateStanding]
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IngestReceipt:
+    """Outcome of storing one location update."""
+
+    user_id: str
+    sequence_number: int
+    stored: bool
+
+
+@dataclass(frozen=True)
+class RetractReceipt:
+    """Outcome of retiring a zone; ``existed`` is False for unknown ids."""
+
+    alert_id: str
+    existed: bool
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Outcome of one evaluation pass over the ciphertext store.
+
+    ``plan_reused`` is True when the engine served the pass from its cached
+    token plan (the warm-session fast path); ``pool_reprimed`` is True when a
+    process pool had to be (re)created for it -- in a healthy warm session the
+    first evaluation primes the pool and every later report shows
+    ``plan_reused=True, pool_reprimed=False``.
+    """
+
+    notifications: tuple[Notification, ...]
+    alerts_evaluated: tuple[str, ...]
+    candidates: int
+    tokens_evaluated: int
+    pairings_spent: int
+    plan_reused: bool
+    pool_reprimed: bool
+
+    @property
+    def notified_users(self) -> tuple[str, ...]:
+        """Distinct notified pseudonyms, sorted."""
+        return tuple(sorted({n.user_id for n in self.notifications}))
+
+    def notifications_for(self, alert_id: str) -> tuple[Notification, ...]:
+        """The notifications belonging to one alert of the pass."""
+        return tuple(n for n in self.notifications if n.alert_id == alert_id)
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Per-request record delivered to observers registered on the service."""
+
+    request: str
+    pairings_spent: int
+    plan_reused: bool
+    pool_reprimed: bool
+    notifications: int
+    candidates: int

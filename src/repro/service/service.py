@@ -1,0 +1,575 @@
+"""The :class:`AlertService`: a session-oriented front door for the protocol.
+
+The paper's protocol is a *standing* service: users continuously upload
+encrypted locations and the provider continuously evaluates alert zones.  The
+earlier front doors (:class:`~repro.core.pipeline.SecureAlertPipeline`,
+:class:`~repro.protocol.alert_system.SecureAlertSystem`) were call-oriented --
+every alert re-planned its tokens and, with the process executor, re-paid pool
+start-up.  Following the classic expert-system *shell* pattern (a stable typed
+facade over an evolving inference core), this module makes **sessions** the
+unit of work instead:
+
+* one :class:`~repro.service.config.ServiceConfig` configures the whole
+  deployment (encoding, crypto, matching, executor, freshness);
+* requests and responses are the typed dataclasses of
+  :mod:`repro.service.requests`;
+* the service owns the :class:`~repro.protocol.matching.MatchingEngine`, the
+  :class:`~repro.protocol.store.CiphertextStore` and -- the key change -- a
+  :class:`~repro.service.executor.PersistentExecutorPool` created once and
+  re-primed only when the token plan changes, so high-frequency small batches
+  amortise pool start-up;
+* standing zones keep their minted :class:`~repro.protocol.messages.TokenBatch`
+  objects alive, which is exactly what lets the engine's plan cache (and the
+  primed worker processes) serve warm evaluations;
+* ``snapshot()``/``restore()`` persist the session (store + incremental
+  matching state + standing-zone tokens) through the existing
+  ``CiphertextStore``/``MatchingEngine`` serialization;
+* observer hooks receive per-request :class:`~repro.service.requests.RequestMetrics`
+  (pairings, plan reuse, pool re-primes) for monitoring.
+
+The legacy front doors are thin adapters over this class; their entry points
+are parity-tested to produce identical notifications and bit-exact pairing
+totals.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.crypto.serialization import deserialize_token, serialize_token
+from repro.encoding import scheme_by_name
+from repro.encoding.base import EncodingScheme
+from repro.grid.alert_zone import AlertZone, circular_alert_zone
+from repro.grid.grid import Grid
+from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
+from repro.protocol.matching import MatchingEngine
+from repro.protocol.messages import LocationUpdate, TokenBatch
+from repro.protocol.store import CiphertextStore
+from repro.service.config import ServiceConfig
+from repro.service.executor import PersistentExecutorPool
+from repro.service.requests import (
+    EvaluateStanding,
+    IngestBatch,
+    IngestReceipt,
+    MatchReport,
+    Move,
+    PublishZone,
+    Request,
+    RequestMetrics,
+    RetractReceipt,
+    RetractZone,
+    Subscribe,
+)
+
+__all__ = ["AlertService", "SessionStats", "StandingZone"]
+
+Observer = Callable[[RequestMetrics], None]
+Response = Union[IngestReceipt, MatchReport, RetractReceipt]
+
+
+@dataclass(frozen=True)
+class StandingZone:
+    """One zone under periodic re-evaluation: its tokens, label and shape.
+
+    The ``batch`` object's identity is load-bearing: as long as it is reused,
+    the engine's plan cache and the primed process workers stay warm.
+    """
+
+    batch: TokenBatch
+    description: str = ""
+    zone: Optional[AlertZone] = None
+
+    @property
+    def alert_id(self) -> str:
+        return self.batch.alert_id
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate health facts of one service session."""
+
+    requests_handled: int
+    pairings_spent: int
+    plan_builds: int
+    plan_reuses: int
+    thread_pool_starts: int
+    process_pool_starts: int
+    process_pool_reuses: int
+    pool_reprimes: int
+
+
+class AlertService:
+    """A long-lived session over the secure location-alert protocol.
+
+    Parameters
+    ----------
+    grid / probabilities:
+        The served area and its public per-cell alert likelihoods (ignored
+        when adopting an existing ``system``).
+    config:
+        The unified :class:`ServiceConfig`; defaults throughout.
+    scheme:
+        Pre-built encoding scheme overriding ``config.scheme``.
+    rng:
+        Random source for key material; defaults to
+        ``random.Random(config.seed)``.
+    system:
+        Adopt an already-constructed
+        :class:`~repro.protocol.alert_system.SecureAlertSystem` (the legacy
+        pipeline does this): its engine and parties are reused, its stored
+        ciphertexts back-fill the session store, and future uploads flow into
+        both.
+
+    Example
+    -------
+    >>> from repro.datasets.synthetic import make_synthetic_scenario
+    >>> from repro.service import AlertService, PublishZone, ServiceConfig, Subscribe
+    >>> scenario = make_synthetic_scenario(rows=4, cols=4, seed=3)
+    >>> service = AlertService(
+    ...     scenario.grid, scenario.probabilities,
+    ...     config=ServiceConfig(prime_bits=32, seed=1),
+    ... )
+    >>> service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(5)))
+    IngestReceipt(user_id='alice', sequence_number=0, stored=True)
+    >>> report = service.publish_zone(
+    ...     PublishZone(alert_id="demo", zone=AlertZone(cell_ids=(5, 6)))
+    ... )
+    >>> report.notified_users
+    ('alice',)
+    """
+
+    def __init__(
+        self,
+        grid: Optional[Grid] = None,
+        probabilities: Optional[Sequence[float]] = None,
+        config: Optional[ServiceConfig] = None,
+        *,
+        scheme: Optional[EncodingScheme] = None,
+        rng: Optional[random.Random] = None,
+        system: Optional[SecureAlertSystem] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        if system is None:
+            if grid is None or probabilities is None:
+                raise ValueError("pass grid= and probabilities= (or adopt an existing system=)")
+            scheme = scheme if scheme is not None else scheme_by_name(
+                self.config.scheme, self.config.alphabet_size
+            )
+            system = SecureAlertSystem(
+                grid,
+                probabilities,
+                scheme=scheme,
+                prime_bits=self.config.prime_bits,
+                rng=rng if rng is not None else random.Random(self.config.seed),
+                matching=self.config.matching_options(),
+                backend=self.config.crypto_backend,
+            )
+        self.system = system
+        self.engine: MatchingEngine = system.provider.engine
+        self.store = CiphertextStore(max_age_seconds=self.config.max_age_seconds)
+        self._clock = 0.0
+        self._zones: dict[str, StandingZone] = {}
+        self._observers: list[Observer] = []
+        self._requests_handled = 0
+        self._closed = False
+        # (user_id, sequence_number, stored) of the most recent store ingest.
+        self._last_ingest: tuple[Optional[str], int, bool] = (None, 0, False)
+
+        self.pool: Optional[PersistentExecutorPool] = None
+        if self.config.persistent_pool and self.engine.options.workers > 1:
+            self.pool = PersistentExecutorPool(
+                workers=self.engine.options.workers,
+                executor=self.engine.options.executor,
+            )
+            self.engine.pools = self.pool
+
+        # Every upload the system performs from now on also lands in the
+        # session store; ciphertexts uploaded before adoption are back-filled.
+        system.update_sinks.append(self._store_update)
+        for user_id in system.provider.subscribers():
+            self._store_update(system.provider.latest_update(user_id))
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Dispatch any typed request to its handler."""
+        handler = self._HANDLERS.get(type(request))
+        if handler is None:
+            expected = sorted(t.__name__ for t in self._HANDLERS)
+            raise TypeError(
+                f"unsupported request type {type(request).__name__}; expected one of {expected}"
+            )
+        return handler(self, request)
+
+    def subscribe(self, request: Subscribe) -> IngestReceipt:
+        """Register a user and ingest their first encrypted location.
+
+        A pseudonym already known to the store (a client reconnecting after
+        :meth:`restore`) is re-attached with its next sequence number so the
+        fresh upload supersedes the restored report instead of starting over
+        at zero and being dropped as stale.
+        """
+        self._set_clock(request.at)
+        if request.user_id not in self.system.users and request.user_id in self.store:
+            sequence = self.store.report_for(request.user_id).sequence_number + 1
+            self.system.reattach_user(request.user_id, request.location, sequence_number=sequence)
+            self.system.move_user(request.user_id, request.location)
+        else:
+            self.system.register_user(request.user_id, request.location)
+        receipt = self._receipt_for(request.user_id)
+        self._emit("subscribe")
+        return receipt
+
+    def move(self, request: Move) -> IngestReceipt:
+        """Record a user's movement (uploads + ingests a fresh ciphertext).
+
+        A pseudonym known to the store but not to the in-memory registry
+        (typical after :meth:`restore`) is transparently re-attached with the
+        next sequence number before the upload.
+        """
+        self._set_clock(request.at)
+        if request.user_id not in self.system.users:
+            if request.user_id not in self.store:
+                raise KeyError(f"unknown user id {request.user_id!r}")
+            sequence = self.store.report_for(request.user_id).sequence_number + 1
+            self.system.reattach_user(request.user_id, request.location, sequence_number=sequence)
+        self.system.move_user(request.user_id, request.location)
+        receipt = self._receipt_for(request.user_id)
+        self._emit("move")
+        return receipt
+
+    def ingest_batch(self, request: IngestBatch) -> MatchReport:
+        """Ingest raw encrypted updates, then evaluate every standing zone."""
+        self._set_clock(request.at)
+        for update in request.updates:
+            self.system.provider.receive_update(update)
+            self._store_update(update)
+        if not request.evaluate or not self._zones:
+            report = self._empty_report()
+            self._emit("ingest_batch", report)
+            return report
+        return self._evaluate_batches("ingest_batch", self._standing_batches(), self._descriptions())
+
+    def publish_zone(self, request: PublishZone) -> MatchReport:
+        """Mint tokens for a zone, optionally keep it standing, and evaluate it."""
+        self._set_clock(request.at)
+        zone = request.zone
+        if zone is None:
+            zone = circular_alert_zone(
+                self.system.grid, request.epicenter, request.radius, label=request.alert_id
+            )
+        batch = self.system.issue_token_batch(zone, request.alert_id)
+        if request.standing:
+            self._zones[request.alert_id] = StandingZone(
+                batch=batch, description=request.description, zone=zone
+            )
+        if not request.evaluate:
+            report = self._empty_report()
+            self._emit("publish_zone", report)
+            return report
+        descriptions = {request.alert_id: request.description} if request.description else None
+        report = self._evaluate_batches("publish_zone", [batch], descriptions)
+        if not request.standing and self.engine.options.incremental:
+            # One-shot alerts must not accumulate incremental state forever.
+            self.engine.forget_alert(request.alert_id)
+        return report
+
+    def retract_zone(self, request: RetractZone) -> RetractReceipt:
+        """Retire a standing zone and drop its cached outcomes."""
+        self._set_clock(request.at)
+        existed = request.alert_id in self._zones
+        self._zones.pop(request.alert_id, None)
+        self.engine.forget_alert(request.alert_id)
+        self._emit("retract_zone")
+        return RetractReceipt(alert_id=request.alert_id, existed=existed)
+
+    def evaluate_standing(self, request: Optional[EvaluateStanding] = None) -> MatchReport:
+        """The periodic tick: re-match every standing zone against fresh reports."""
+        self._set_clock(request.at if request is not None else None)
+        if not self._zones:
+            report = self._empty_report()
+            self._emit("evaluate_standing", report)
+            return report
+        return self._evaluate_batches(
+            "evaluate_standing", self._standing_batches(), self._descriptions()
+        )
+
+    _HANDLERS: dict[type, Callable[["AlertService", Any], Response]] = {
+        Subscribe: subscribe,
+        Move: move,
+        IngestBatch: ingest_batch,
+        PublishZone: publish_zone,
+        RetractZone: retract_zone,
+        EvaluateStanding: evaluate_standing,
+    }
+
+    # ------------------------------------------------------------------
+    # Evaluation core
+    # ------------------------------------------------------------------
+    def _standing_batches(self) -> list[TokenBatch]:
+        # Insertion order; the *same* TokenBatch objects every tick, which is
+        # what keeps the engine's plan cache (and primed workers) warm.
+        return [standing.batch for standing in self._zones.values()]
+
+    def _descriptions(self) -> dict[str, str]:
+        return {
+            alert_id: standing.description
+            for alert_id, standing in self._zones.items()
+            if standing.description
+        }
+
+    def _evaluate_batches(
+        self,
+        request_name: str,
+        batches: Sequence[TokenBatch],
+        descriptions: Optional[dict[str, str]],
+    ) -> MatchReport:
+        counter = self.system.authority.group.counter
+        pairings_before = counter.total
+        reuses_before = self.engine.plan_reuses
+        pool_starts_before = self.pool.process_pool_starts if self.pool is not None else 0
+
+        candidates = self.store.fresh_candidates(self._clock)
+        notifications = tuple(self.engine.match(batches, candidates, descriptions=descriptions))
+        pool_starts_after = self.pool.process_pool_starts if self.pool is not None else 0
+        report = MatchReport(
+            notifications=notifications,
+            alerts_evaluated=tuple(batch.alert_id for batch in batches),
+            candidates=len(candidates),
+            tokens_evaluated=sum(len(batch.tokens) for batch in batches),
+            pairings_spent=counter.total - pairings_before,
+            plan_reused=self.engine.plan_reuses > reuses_before,
+            pool_reprimed=pool_starts_after > pool_starts_before,
+        )
+        self._emit(request_name, report)
+        return report
+
+    def _empty_report(self) -> MatchReport:
+        # Nothing was evaluated: zero candidates, consistent with evaluation
+        # reports counting the fresh candidates actually matched.
+        return MatchReport(
+            notifications=(),
+            alerts_evaluated=(),
+            candidates=0,
+            tokens_evaluated=0,
+            pairings_spent=0,
+            plan_reused=False,
+            pool_reprimed=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Clock and ingestion plumbing
+    # ------------------------------------------------------------------
+    def _set_clock(self, at: Optional[float]) -> None:
+        if at is not None:
+            self._clock = float(at)
+
+    def advance_clock(self, seconds: float) -> float:
+        """Advance the session clock (drives report freshness); returns it."""
+        if seconds < 0:
+            raise ValueError("the session clock cannot run backwards")
+        self._clock += seconds
+        return self._clock
+
+    @property
+    def clock(self) -> float:
+        """The session's logical time, used for report freshness."""
+        return self._clock
+
+    def _store_update(self, update: LocationUpdate) -> None:
+        stored = self.store.ingest(update, received_at=self._clock)
+        # Remembered for the receipt of the request currently being handled
+        # (uploads reach the sink synchronously).
+        self._last_ingest = (update.user_id, update.sequence_number, stored)
+
+    def _receipt_for(self, user_id: str) -> IngestReceipt:
+        last_user, last_sequence, last_stored = self._last_ingest
+        if last_user == user_id:
+            return IngestReceipt(user_id=user_id, sequence_number=last_sequence, stored=last_stored)
+        report = self.store.report_for(user_id)
+        return IngestReceipt(user_id=user_id, sequence_number=report.sequence_number, stored=True)
+
+    # ------------------------------------------------------------------
+    # Observer hooks and stats
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Observer) -> None:
+        """Register a per-request metrics callback (see :class:`RequestMetrics`)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Unregister a previously added callback (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _emit(self, request_name: str, report: Optional[MatchReport] = None) -> None:
+        self._requests_handled += 1
+        if not self._observers:
+            return
+        metrics = RequestMetrics(
+            request=request_name,
+            pairings_spent=report.pairings_spent if report is not None else 0,
+            plan_reused=report.plan_reused if report is not None else False,
+            pool_reprimed=report.pool_reprimed if report is not None else False,
+            notifications=len(report.notifications) if report is not None else 0,
+            candidates=report.candidates if report is not None else 0,
+        )
+        for observer in list(self._observers):
+            observer(metrics)
+
+    def session_stats(self) -> SessionStats:
+        """Aggregate counters of this session (requests, pairings, pools)."""
+        pool = self.pool
+        return SessionStats(
+            requests_handled=self._requests_handled,
+            pairings_spent=self.pairing_count,
+            plan_builds=self.engine.plan_builds,
+            plan_reuses=self.engine.plan_reuses,
+            thread_pool_starts=pool.thread_pool_starts if pool is not None else 0,
+            process_pool_starts=pool.process_pool_starts if pool is not None else 0,
+            process_pool_reuses=pool.process_pool_reuses if pool is not None else 0,
+            pool_reprimes=pool.re_primes if pool is not None else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, path: Optional[str | pathlib.Path] = None) -> dict:
+        """Serialize the session: store, incremental state, standing zones.
+
+        Built on the existing serialization layers --
+        :meth:`CiphertextStore.to_payload` embeds
+        :meth:`MatchingEngine.export_state`, and standing-zone tokens use the
+        JSON token form.  Returns the payload; also writes it to ``path`` when
+        given.  Plaintext user locations are client-side state and are *not*
+        part of a snapshot: after :meth:`restore`, a :class:`Move` request
+        transparently re-attaches a known pseudonym.
+        """
+        payload = {
+            "kind": "alert_service_state",
+            "clock": self._clock,
+            "store": self.store.to_payload(engine=self.engine),
+            "zones": [
+                {
+                    "alert_id": standing.alert_id,
+                    "description": standing.description,
+                    "cells": list(standing.zone.cell_ids) if standing.zone is not None else None,
+                    "tokens": [serialize_token(token) for token in standing.batch.tokens],
+                }
+                for standing in self._zones.values()
+            ],
+        }
+        if path is not None:
+            pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        return payload
+
+    def restore(self, source: Union[dict, str, pathlib.Path]) -> None:
+        """Load a :meth:`snapshot` into this session (replaces its state).
+
+        The session must share the snapshot's key material -- construct it
+        with the same :class:`ServiceConfig` (same seed) or the same adopted
+        system.  Ciphertexts, incremental outcomes and standing-zone tokens
+        are restored; the next evaluation rebuilds the plan and re-primes any
+        process pool exactly once.
+        """
+        if isinstance(source, (str, pathlib.Path)):
+            payload = json.loads(pathlib.Path(source).read_text(encoding="utf-8"))
+        else:
+            payload = source
+        if payload.get("kind") != "alert_service_state":
+            raise ValueError("payload is not a serialized alert-service state")
+        group = self.system.authority.group
+        self._clock = float(payload.get("clock", 0.0))
+        self.store = CiphertextStore.from_payload(payload["store"], group)
+        if self.store.matching_state is not None:
+            self.engine.import_state(self.store.matching_state)
+        else:
+            self.engine.reset_state()
+        zones: dict[str, StandingZone] = {}
+        for entry in payload.get("zones", []):
+            tokens = tuple(deserialize_token(group, token) for token in entry["tokens"])
+            batch = TokenBatch(alert_id=entry["alert_id"], tokens=tokens)
+            cells = entry.get("cells")
+            zones[batch.alert_id] = StandingZone(
+                batch=batch,
+                description=entry.get("description", ""),
+                zone=AlertZone(cell_ids=tuple(cells)) if cells else None,
+            )
+        self._zones = zones
+        # Reconcile the in-memory user registry with the restored store: a
+        # hosted user whose counter lags the restored report would otherwise
+        # upload sequence numbers the store drops as stale (and keep matching
+        # against the snapshot's old ciphertext).  Users the snapshot does not
+        # know are dropped with the rest of the replaced state.
+        for user_id, user in list(self.system.users.items()):
+            if user_id in self.store:
+                self.system.reattach_user(
+                    user_id,
+                    user.location,
+                    sequence_number=self.store.report_for(user_id).sequence_number + 1,
+                )
+            else:
+                del self.system.users[user_id]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> Grid:
+        """The spatial grid served by this session."""
+        return self.system.grid
+
+    @property
+    def init_stats(self) -> SystemInitStats:
+        """Timing of the one-time initialization (encoding + key setup)."""
+        return self.system.init_stats
+
+    @property
+    def pairing_count(self) -> int:
+        """Total bilinear pairings evaluated by the deployment so far."""
+        return self.system.pairing_count
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of pseudonyms with a stored ciphertext."""
+        return len(self.store)
+
+    def standing_zones(self) -> tuple[str, ...]:
+        """Alert ids currently under periodic re-evaluation, in publish order."""
+        return tuple(self._zones)
+
+    def standing_zone(self, alert_id: str) -> StandingZone:
+        """The standing zone registered under ``alert_id`` (KeyError if absent)."""
+        return self._zones[alert_id]
+
+    def encoding_name(self) -> str:
+        """Name of the deployed encoding scheme."""
+        return self.system.authority.encoding.name
+
+    def users_actually_in_zone(self, zone: AlertZone) -> list[str]:
+        """Plaintext ground truth of which hosted users are inside ``zone``."""
+        return self.system.users_in_zone(zone)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """End the session: shut down the persistent pool and stop ingesting
+        the system's uploads (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._store_update in self.system.update_sinks:
+            self.system.update_sinks.remove(self._store_update)
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "AlertService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -41,6 +41,20 @@ class TestSchemeByName:
         with pytest.raises(ValueError):
             scheme_by_name("quadtree")
 
+    def test_unknown_scheme_error_lists_all_choices(self):
+        """Regression: the error must name every recognised scheme, not just
+        echo the bad input."""
+        from repro.encoding import SCHEME_NAMES
+
+        with pytest.raises(ValueError) as excinfo:
+            scheme_by_name("hufman")  # typo
+        message = str(excinfo.value)
+        assert "'hufman'" in message
+        for name in SCHEME_NAMES:
+            assert name in message
+        # Aliases are documented too, so operators learn the short forms.
+        assert "bary" in message and "canonical" in message
+
 
 class TestPipeline:
     def test_properties(self, pipeline, scenario):

@@ -322,6 +322,123 @@ class TestSubsumption:
         assert hve.group.counter.total == before
 
 
+class TestTransitiveReduction:
+    """Plan-time reduction of the generaliser DAG: fewer edges, same answers."""
+
+    def _tokens(self, hve, keys, patterns):
+        return tuple(hve.generate_token(keys.secret, p) for p in patterns)
+
+    def test_nesting_chain_keeps_only_direct_parents(self):
+        _, _, hve, keys = _build_world(311)
+        width = hve.width
+        # A strict nesting chain: every pattern subsumes all longer prefixes.
+        chain = ["1" * k + "*" * (width - k) for k in range(1, 5)]
+        batches = [
+            TokenBatch(alert_id=f"nest-{k}", tokens=(token,))
+            for k, token in enumerate(self._tokens(hve, keys, chain))
+        ]
+        full = TokenPlan(batches, reduce=False)
+        reduced = TokenPlan(batches, reduce=True)
+        # Closure along a chain of n patterns has n(n-1)/2 edges; the reduced
+        # DAG keeps one direct parent per non-root pattern.
+        assert full.generalizer_edges == 6
+        assert reduced.generalizer_edges == 3
+        assert reduced.generalizers == ((), (0,), (1,), (2,))
+        # Reduction never loses reachability, so the subsumable count agrees.
+        assert reduced.subsumable_patterns == full.subsumable_patterns
+
+    def test_diamond_keeps_both_direct_parents(self):
+        _, _, hve, keys = _build_world(313)
+        width = hve.width
+        assert width >= 3
+        top = "*" * width
+        left = "1" + "*" * (width - 1)
+        right = "*" * (width - 1) + "0"
+        bottom = "1" + "*" * (width - 2) + "0"
+        batches = [
+            TokenBatch(alert_id=f"d-{i}", tokens=(token,))
+            for i, token in enumerate(self._tokens(hve, keys, [top, left, right, bottom]))
+        ]
+        reduced = TokenPlan(batches, reduce=True)
+        # ``bottom`` keeps both incomparable parents but drops the edge to
+        # ``top`` (implied through either); ``left``/``right`` keep ``top``.
+        assert set(reduced.generalizers[3]) == {1, 2}
+        assert reduced.generalizers[1] == (0,)
+        assert reduced.generalizers[2] == (0,)
+
+    def _nested_scenario(self, seed, n_users=8, n_chains=3, depth=4):
+        """Random deeply-nested patterns: specialisation chains off random roots."""
+        rng, encoding, hve, keys = _build_world(seed)
+        width = hve.width
+        batches = []
+        for chain in range(n_chains):
+            pattern = ["*"] * width
+            tokens = []
+            positions = rng.sample(range(width), min(depth, width))
+            for position in positions:
+                pattern[position] = rng.choice("01")
+                tokens.append(hve.generate_token(keys.secret, "".join(pattern)))
+            rng.shuffle(tokens)
+            batches.append(TokenBatch(alert_id=f"chain-{chain}", tokens=tuple(tokens)))
+        candidates = [
+            MatchCandidate(
+                user_id=f"user-{i:02d}",
+                ciphertext=hve.encrypt(keys.public, "".join(rng.choice("01") for _ in range(width))),
+            )
+            for i in range(n_users)
+        ]
+        return hve, candidates, batches
+
+    @pytest.mark.parametrize("seed", [3, 17, 59, 141, 271])
+    def test_result_equivalence_against_unreduced_plan(self, seed):
+        """Property: reduction changes the edge count only -- outcomes and
+        pairing totals are bit-exact with the full-closure plan."""
+        from repro.protocol.matching import _make_planned_evaluator
+
+        hve, candidates, batches = self._nested_scenario(seed)
+        full = TokenPlan(batches, reduce=False)
+        reduced = TokenPlan(batches, reduce=True)
+        assert reduced.generalizer_edges <= full.generalizer_edges
+        counter = hve.group.counter
+
+        def run(plan):
+            evaluate = _make_planned_evaluator(hve, plan)
+            before = counter.total
+            outcomes = []
+            for candidate in candidates:
+                shared = {}
+                outcomes.append(
+                    [evaluate(candidate.ciphertext, index, shared) for index in range(len(batches))]
+                )
+            return outcomes, counter.total - before
+
+        full_outcomes, full_pairings = run(full)
+        reduced_outcomes, reduced_pairings = run(reduced)
+        assert reduced_outcomes == full_outcomes
+        assert reduced_pairings == full_pairings
+
+    @pytest.mark.parametrize("seed", [3, 59, 271])
+    def test_engine_with_reduced_plan_matches_unsubsumed_engine(self, seed):
+        """End-to-end: the default (reduced) engine agrees with subsume=False."""
+        hve, candidates, batches = self._nested_scenario(seed)
+        plain, plain_pairings = _run(
+            hve, MatchingOptions(strategy="planned", subsume=False), candidates, batches
+        )
+        subsumed, subsume_pairings = _run(
+            hve, MatchingOptions(strategy="planned", subsume=True), candidates, batches
+        )
+        assert subsumed == plain
+        assert subsume_pairings <= plain_pairings
+
+    def test_wire_round_trip_preserves_reduction(self):
+        hve, _, batches = self._nested_scenario(77)
+        plan = TokenPlan(batches, reduce=True)
+        restored = TokenPlan.from_wire(hve.group, plan.to_wire())
+        assert restored.reduced is plan.reduced is True
+        assert restored.generalizers == plan.generalizers
+        assert restored.generalizer_edges == plan.generalizer_edges
+
+
 class TestPlanWire:
     """TokenPlan round-trips through its compact picklable wire form."""
 

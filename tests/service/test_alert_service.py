@@ -1,0 +1,408 @@
+"""Behavioural tests for the session-oriented AlertService."""
+
+import json
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.protocol.messages import LocationUpdate
+from repro.service import (
+    AlertService,
+    EvaluateStanding,
+    IngestBatch,
+    IngestReceipt,
+    MatchReport,
+    Move,
+    PublishZone,
+    RetractZone,
+    ServiceConfig,
+    Subscribe,
+)
+from repro.grid.alert_zone import AlertZone
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=41, extent_meters=600.0)
+
+
+def make_service(scenario, **config_kwargs):
+    config_kwargs.setdefault("prime_bits", 32)
+    config_kwargs.setdefault("seed", 7)
+    return AlertService(scenario.grid, scenario.probabilities, config=ServiceConfig(**config_kwargs))
+
+
+class TestRequests:
+    def test_subscribe_and_move_receipts(self, scenario):
+        with make_service(scenario) as service:
+            receipt = service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            assert receipt == IngestReceipt(user_id="alice", sequence_number=0, stored=True)
+            receipt = service.move(Move(user_id="alice", location=scenario.grid.cell_center(8)))
+            assert receipt.sequence_number == 1
+            assert service.subscriber_count == 1
+
+    def test_duplicate_subscribe_rejected(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            with pytest.raises(ValueError):
+                service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(8)))
+
+    def test_move_of_unknown_user_rejected(self, scenario):
+        with make_service(scenario) as service:
+            with pytest.raises(KeyError):
+                service.move(Move(user_id="ghost", location=scenario.grid.cell_center(3)))
+
+    def test_publish_standing_zone_and_tick(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            service.subscribe(Subscribe(user_id="bob", location=scenario.grid.cell_center(28)))
+            report = service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7, 8))))
+            assert isinstance(report, MatchReport)
+            assert report.notified_users == ("alice",)
+            assert report.plan_reused is False
+            assert service.standing_zones() == ("z",)
+
+            # Bob walks into the zone: the warm tick reuses the cached plan.
+            service.move(Move(user_id="bob", location=scenario.grid.cell_center(8)))
+            tick = service.evaluate_standing()
+            assert tick.notified_users == ("alice", "bob")
+            assert tick.plan_reused is True
+
+    def test_one_shot_zone_is_not_standing(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            report = service.publish_zone(
+                PublishZone(alert_id="once", zone=AlertZone(cell_ids=(7,)), standing=False)
+            )
+            assert report.notified_users == ("alice",)
+            assert service.standing_zones() == ()
+
+    def test_interleaved_one_shot_does_not_evict_the_standing_plan(self, scenario):
+        """Regression: a one-shot alert between warm ticks must not force the
+        standing set's plan to be rebuilt (the engine keeps a small LRU, not a
+        single cache slot)."""
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            service.publish_zone(PublishZone(alert_id="standing", zone=AlertZone(cell_ids=(7, 8))))
+            service.evaluate_standing()
+            builds_before = service.engine.plan_builds
+            service.publish_zone(
+                PublishZone(alert_id="once", zone=AlertZone(cell_ids=(30,)), standing=False)
+            )
+            tick = service.evaluate_standing()
+            assert tick.plan_reused is True
+            # Exactly one new plan (the one-shot's); the standing plan survived.
+            assert service.engine.plan_builds == builds_before + 1
+
+    def test_retract_zone(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,)), evaluate=False))
+            receipt = service.retract_zone(RetractZone(alert_id="z"))
+            assert receipt.existed is True
+            assert service.standing_zones() == ()
+            assert service.retract_zone(RetractZone(alert_id="z")).existed is False
+            assert service.evaluate_standing().alerts_evaluated == ()
+
+    def test_ingest_batch_evaluates_standing_zones(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(0)))
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,)), evaluate=False))
+            # Raw provider-side ingress: ship alice's fresh ciphertext from a
+            # hosted user object, as an external queue would.
+            user = service.system.users["alice"]
+            user.move_to(scenario.grid.cell_center(7))
+            update = user.report_location(
+                grid=service.grid,
+                encoding=service.system.authority.public_encoding(),
+                hve=service.system.authority.hve,
+                public_key=service.system.authority.public_key,
+            )
+            report = service.ingest_batch(IngestBatch(updates=(update,)))
+            assert report.notified_users == ("alice",)
+
+    def test_handle_dispatches_every_request_type(self, scenario):
+        with make_service(scenario) as service:
+            assert isinstance(
+                service.handle(Subscribe(user_id="u", location=scenario.grid.cell_center(2))),
+                IngestReceipt,
+            )
+            assert isinstance(
+                service.handle(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(2,)))), MatchReport
+            )
+            assert isinstance(service.handle(EvaluateStanding()), MatchReport)
+            assert isinstance(service.handle(IngestBatch(updates=())), MatchReport)
+            assert service.handle(RetractZone(alert_id="z")).existed is True
+            with pytest.raises(TypeError, match="unsupported request"):
+                service.handle("subscribe")
+
+    def test_publish_zone_validates_shape(self, scenario):
+        with pytest.raises(ValueError, match="exactly one"):
+            PublishZone(alert_id="z")
+        with pytest.raises(ValueError, match="exactly one"):
+            PublishZone(alert_id="z", zone=AlertZone(cell_ids=(1,)), radius=5.0)
+        with pytest.raises(ValueError, match="both"):
+            PublishZone(alert_id="z", radius=5.0)
+
+
+class TestFreshness:
+    def test_expired_reports_are_not_matched(self, scenario):
+        with AlertService(
+            scenario.grid,
+            scenario.probabilities,
+            config=ServiceConfig(prime_bits=32, seed=7, max_age_seconds=10.0),
+        ) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7), at=0.0))
+            service.subscribe(Subscribe(user_id="bob", location=scenario.grid.cell_center(7), at=8.0))
+            report = service.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,)), at=15.0)
+            )
+            # Alice's report (age 15) expired; bob's (age 7) is still fresh.
+            assert report.notified_users == ("bob",)
+            assert report.candidates == 1
+
+
+class TestObserverMetrics:
+    def test_every_request_emits_metrics(self, scenario):
+        with make_service(scenario) as service:
+            seen = []
+            service.add_observer(seen.append)
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,))))
+            service.evaluate_standing()
+            assert [m.request for m in seen] == ["subscribe", "publish_zone", "evaluate_standing"]
+            assert seen[1].pairings_spent > 0
+            assert seen[1].plan_reused is False
+            assert seen[2].plan_reused is True
+            service.remove_observer(seen.append)
+
+    def test_session_stats_aggregate(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,))))
+            service.evaluate_standing()
+            service.evaluate_standing()
+            stats = service.session_stats()
+            assert stats.requests_handled == 4
+            assert stats.plan_builds == 1
+            assert stats.plan_reuses == 2
+            assert stats.pairings_spent == service.pairing_count > 0
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_store_zones_and_state(self, scenario, tmp_path):
+        path = tmp_path / "session.json"
+        with make_service(scenario, incremental=True) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            service.subscribe(Subscribe(user_id="bob", location=scenario.grid.cell_center(28)))
+            service.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7, 8)), description="danger")
+            )
+            first = service.evaluate_standing()
+            service.snapshot(path)
+
+            with make_service(scenario, incremental=True) as restored:
+                restored.restore(path)
+                assert restored.subscriber_count == 2
+                assert restored.standing_zones() == ("z",)
+                assert restored.standing_zone("z").description == "danger"
+                assert restored.clock == service.clock
+                # The incremental cache answers the warm tick without pairings.
+                before = restored.pairing_count
+                tick = restored.evaluate_standing()
+                assert tick.notifications == first.notifications
+                assert restored.pairing_count == before
+
+    def test_restored_user_can_move_again(self, scenario, tmp_path):
+        path = tmp_path / "session.json"
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(0)))
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,)), evaluate=False))
+            service.snapshot(path)
+
+            with make_service(scenario) as restored:
+                restored.restore(path)
+                # Alice is in the store but not in the fresh in-memory registry;
+                # Move re-attaches her with the next sequence number.
+                receipt = restored.move(Move(user_id="alice", location=scenario.grid.cell_center(7)))
+                assert receipt.sequence_number == 1
+                assert restored.evaluate_standing().notified_users == ("alice",)
+
+    def test_restore_reconciles_a_live_user_registry(self, scenario):
+        """Regression: restoring over a session whose in-memory users lag the
+        snapshot's sequence numbers must not make later moves upload stale
+        (silently dropped) updates."""
+        with make_service(scenario) as donor:
+            donor.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(6)))
+            for _ in range(3):  # alice's stored sequence advances to 3
+                donor.move(Move(user_id="alice", location=scenario.grid.cell_center(6)))
+            payload = donor.snapshot()
+
+        with make_service(scenario) as service:
+            # This session hosts alice at sequence 0 and a user the snapshot
+            # does not know at all.
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(1)))
+            service.subscribe(Subscribe(user_id="stranger", location=scenario.grid.cell_center(2)))
+            service.restore(payload)
+            assert "stranger" not in service.system.users
+            receipt = service.move(Move(user_id="alice", location=scenario.grid.cell_center(2)))
+            assert receipt.stored is True
+            assert receipt.sequence_number == 4
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(2,)), evaluate=False))
+            assert service.evaluate_standing().notified_users == ("alice",)
+
+    def test_stale_ingest_reports_stored_false(self, scenario):
+        """Regression: a dropped (stale-sequence) upload must not claim stored=True."""
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(6)))
+            stale = service.store.report_for("alice")
+            donor = service.system.users["alice"]
+            fresh_update = donor.report_location(
+                grid=service.grid,
+                encoding=service.system.authority.public_encoding(),
+                hve=service.system.authority.hve,
+                public_key=service.system.authority.public_key,
+            )
+            service.ingest_batch(IngestBatch(updates=(fresh_update,), evaluate=False))
+            # Re-delivering the original sequence-0 update is dropped...
+            original = LocationUpdate(
+                user_id="alice", ciphertext=stale.ciphertext, sequence_number=0
+            )
+            service.ingest_batch(IngestBatch(updates=(original,), evaluate=False))
+            assert service.store.report_for("alice").sequence_number == 1
+            # ...and a receipt built right after the drop says so.
+            assert service._receipt_for("alice").stored is False
+
+    def test_resubscribe_after_restore_resumes_the_sequence(self, scenario):
+        """Regression: a client reconnecting via Subscribe after a restore
+        must supersede the restored report, not restart at sequence 0 (which
+        the store would silently drop forever after)."""
+        with make_service(scenario) as donor:
+            donor.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(6)))
+            for _ in range(3):
+                donor.move(Move(user_id="alice", location=scenario.grid.cell_center(6)))
+            payload = donor.snapshot()
+
+        with make_service(scenario) as service:
+            service.restore(payload)
+            receipt = service.subscribe(
+                Subscribe(user_id="alice", location=scenario.grid.cell_center(2))
+            )
+            assert receipt.stored is True
+            assert receipt.sequence_number == 4
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(2,)), evaluate=False))
+            assert service.evaluate_standing().notified_users == ("alice",)
+
+    def test_snapshot_is_json_and_restore_rejects_foreign_payload(self, scenario):
+        with make_service(scenario) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(7)))
+            payload = json.loads(json.dumps(service.snapshot()))
+            assert payload["kind"] == "alert_service_state"
+            with pytest.raises(ValueError, match="alert-service"):
+                service.restore({"kind": "other"})
+            service.restore(payload)
+            assert service.subscriber_count == 1
+
+
+class TestLegacyAdoption:
+    def test_adopting_a_live_system_backfills_the_store(self, scenario):
+        from repro.protocol.alert_system import SecureAlertSystem
+
+        system = SecureAlertSystem(scenario.grid, scenario.probabilities, prime_bits=32)
+        system.register_user("alice", scenario.grid.cell_center(7))
+        service = AlertService(config=ServiceConfig(prime_bits=32), system=system)
+        assert service.subscriber_count == 1
+        report = service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(7,))))
+        assert report.notified_users == ("alice",)
+        # Later uploads flow into the session store through the sink.
+        system.move_user("alice", scenario.grid.cell_center(28))
+        assert service.store.report_for("alice").sequence_number == 1
+        service.close()
+        # A closed session stops ingesting the adopted system's uploads.
+        system.move_user("alice", scenario.grid.cell_center(7))
+        assert service.store.report_for("alice").sequence_number == 1
+        assert system.update_sinks == []
+
+
+class TestPersistentProcessPool:
+    def test_pool_reprimed_only_on_plan_change(self, scenario):
+        """The ROADMAP item, asserted through the metrics observer: across a
+        warm session the process pool is primed once and re-primed exactly
+        when the standing set (hence the token plan) changes."""
+        metrics = []
+        with make_service(scenario, workers=2, executor="process") as service:
+            service.add_observer(metrics.append)
+            for i in range(4):
+                service.subscribe(Subscribe(user_id=f"u{i}", location=scenario.grid.cell_center(i)))
+            service.publish_zone(
+                PublishZone(alert_id="z1", zone=AlertZone(cell_ids=(1, 2)), evaluate=False)
+            )
+            for step in range(3):
+                service.move(Move(user_id="u0", location=scenario.grid.cell_center(step)))
+                service.evaluate_standing()
+            service.publish_zone(
+                PublishZone(alert_id="z2", zone=AlertZone(cell_ids=(8, 9)), evaluate=False)
+            )
+            service.evaluate_standing()
+            service.evaluate_standing()
+            stats = service.session_stats()
+
+        ticks = [m for m in metrics if m.request == "evaluate_standing"]
+        assert [m.pool_reprimed for m in ticks] == [True, False, False, True, False]
+        assert [m.plan_reused for m in ticks] == [False, True, True, False, True]
+        # Pool lifecycle: one initial prime + one re-prime for the changed plan.
+        assert stats.process_pool_starts == 2
+        assert stats.pool_reprimes == 1
+        assert stats.process_pool_reuses == 3
+
+    def test_ephemeral_config_starts_a_pool_per_call(self, scenario):
+        """persistent_pool=False restores the seed behaviour (and has no pool
+        to account for in the session stats)."""
+        with make_service(scenario, workers=2, executor="process", persistent_pool=False) as service:
+            for i in range(4):
+                service.subscribe(Subscribe(user_id=f"u{i}", location=scenario.grid.cell_center(i)))
+            service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(1, 2)), evaluate=False))
+            first = service.evaluate_standing()
+            second = service.evaluate_standing()
+            assert service.pool is None
+            assert first.pool_reprimed is False  # no persistent pool to track
+            assert second.plan_reused is True  # the plan cache still helps
+            assert service.session_stats().process_pool_starts == 0
+
+
+class TestPersistentPoolRecovery:
+    def test_broken_executor_is_dropped_and_reprimed(self):
+        """Regression: a BrokenExecutor escaping a pass must not leave the
+        broken pool cached (every later pass would re-raise it)."""
+        from concurrent.futures import BrokenExecutor
+
+        from repro.service import PersistentExecutorPool
+
+        pool = PersistentExecutorPool(workers=1, executor="process")
+        initargs = (("unused",), 4, ("naive", ()))  # workers spawn lazily: never run
+        try:
+            with pool.process_pool(1, prime_version=1, initargs=initargs):
+                pass
+            assert pool.process_pool_starts == 1
+            with pytest.raises(BrokenExecutor):
+                with pool.process_pool(1, prime_version=1, initargs=initargs):
+                    raise BrokenExecutor("worker died")
+            assert pool.primed_version is None
+            with pool.process_pool(1, prime_version=1, initargs=initargs):
+                pass
+            assert pool.process_pool_starts == 2  # fresh pool after the break
+        finally:
+            pool.close()
+
+
+class TestClosedSession:
+    def test_close_is_idempotent_and_stops_pools(self, scenario):
+        service = make_service(scenario, workers=2, executor="thread")
+        service.subscribe(Subscribe(user_id="a", location=scenario.grid.cell_center(1)))
+        service.subscribe(Subscribe(user_id="b", location=scenario.grid.cell_center(2)))
+        service.publish_zone(PublishZone(alert_id="z", zone=AlertZone(cell_ids=(1, 2))))
+        assert service.pool is not None
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.evaluate_standing()

@@ -1,0 +1,159 @@
+"""Tests for the unified ServiceConfig surface and its builder."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.protocol.matching import EXECUTORS, MATCHING_STRATEGIES, TOKEN_ORDERS
+from repro.protocol.simulation import SimulationConfig
+from repro.service import ServiceConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ServiceConfig()
+        assert config.scheme == "huffman"
+        assert config.persistent_pool is True
+        assert config.incremental is False
+
+    def test_scheme_aliases_are_normalised(self):
+        assert ServiceConfig(scheme="bary").scheme == "huffman-bary"
+        assert ServiceConfig(scheme=" Canonical ").scheme == "huffman-canonical"
+
+    @pytest.mark.parametrize(
+        "kwargs,choices",
+        [
+            ({"scheme": "morse"}, "huffman"),
+            ({"matching_strategy": "quantum"}, "planned"),
+            ({"token_order": "slowest"}, "cheapest"),
+            ({"executor": "gpu"}, "thread"),
+            ({"crypto_backend": "openssl"}, "reference"),
+        ],
+    )
+    def test_bad_choice_errors_list_alternatives(self, kwargs, choices):
+        """Every choice validator names all recognised values in its error."""
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig(**kwargs)
+        message = str(excinfo.value)
+        bad_value = next(iter(kwargs.values()))
+        assert repr(bad_value) in message
+        assert choices in message
+
+    def test_strategy_error_lists_every_strategy(self):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig(matching_strategy="nope")
+        for strategy in MATCHING_STRATEGIES:
+            assert strategy in str(excinfo.value)
+
+    def test_executor_error_lists_every_executor(self):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig(executor="nope")
+        for executor in EXECUTORS:
+            assert executor in str(excinfo.value)
+
+    def test_order_error_lists_every_order(self):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig(token_order="nope")
+        for order in TOKEN_ORDERS:
+            assert order in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"alphabet_size": 1},
+            {"prime_bits": 8},
+            {"chunk_size": 0},
+            {"max_age_seconds": 0},
+            {"max_age_seconds": -5.0},
+        ],
+    )
+    def test_numeric_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+
+class TestDerivedViews:
+    def test_matching_options_round_trip(self):
+        config = ServiceConfig(
+            matching_strategy="naive",
+            token_order="declared",
+            dedupe=False,
+            subsume=False,
+            workers=3,
+            executor="process",
+            chunk_size=2,
+            incremental=True,
+        )
+        options = config.matching_options()
+        assert options.strategy == "naive"
+        assert options.order == "declared"
+        assert options.dedupe is False
+        assert options.subsume is False
+        assert options.workers == 3
+        assert options.executor == "process"
+        assert options.chunk_size == 2
+        assert options.incremental is True
+
+    def test_from_pipeline_carries_every_shared_knob(self):
+        pipeline_config = PipelineConfig(
+            scheme="fixed",
+            alphabet_size=4,
+            prime_bits=40,
+            seed=9,
+            matching_strategy="naive",
+            workers=2,
+            executor="process",
+            crypto_backend="reference",
+        )
+        config = ServiceConfig.from_pipeline(pipeline_config)
+        assert config.scheme == "fixed"
+        assert config.alphabet_size == 4
+        assert config.prime_bits == 40
+        assert config.seed == 9
+        assert config.matching_strategy == "naive"
+        assert config.workers == 2
+        assert config.executor == "process"
+        assert config.crypto_backend == "reference"
+        # Legacy call sites predate close(): they keep per-call pool lifetimes.
+        assert config.persistent_pool is False
+        assert config.incremental is False
+
+    def test_from_simulation_carries_every_shared_knob(self):
+        simulation_config = SimulationConfig(
+            prime_bits=40, seed=5, matching_strategy="planned", workers=2, executor="thread"
+        )
+        config = ServiceConfig.from_simulation(simulation_config)
+        assert config.prime_bits == 40
+        assert config.seed == 5
+        assert config.workers == 2
+        assert config.persistent_pool is False
+
+
+class TestBuilder:
+    def test_fluent_construction(self):
+        config = (
+            ServiceConfig.builder()
+            .with_scheme("bary", alphabet_size=4)
+            .with_crypto(prime_bits=48, seed=3)
+            .with_matching(strategy="planned", incremental=True)
+            .with_executor(executor="process", workers=4, persistent_pool=False)
+            .with_store(max_age_seconds=60.0)
+            .build()
+        )
+        assert config.scheme == "huffman-bary"
+        assert config.alphabet_size == 4
+        assert config.prime_bits == 48
+        assert config.incremental is True
+        assert config.executor == "process"
+        assert config.workers == 4
+        assert config.persistent_pool is False
+        assert config.max_age_seconds == 60.0
+
+    def test_untouched_fields_keep_defaults(self):
+        config = ServiceConfig.builder().with_crypto(prime_bits=32).build()
+        assert config == ServiceConfig(prime_bits=32)
+
+    def test_builder_validates_at_build(self):
+        builder = ServiceConfig.builder().with_executor(executor="gpu")
+        with pytest.raises(ValueError, match="executor"):
+            builder.build()

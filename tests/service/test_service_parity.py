@@ -1,0 +1,171 @@
+"""API parity: the legacy front doors vs. the AlertService session.
+
+The acceptance property of the service redesign: driving the same operation
+sequence through (a) a bare pre-service ``SecureAlertSystem``, (b) the
+``SecureAlertPipeline`` adapter and (c) an ``AlertService`` session produces
+*identical notifications* and *bit-exact PairingCounter totals*, across the
+thread and process executors, including after ``snapshot()``/``restore()``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, SecureAlertPipeline
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.encoding import scheme_by_name
+from repro.grid.alert_zone import AlertZone
+from repro.protocol.alert_system import SecureAlertSystem
+from repro.protocol.matching import MatchingOptions
+from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
+
+SEED = 7
+PRIME_BITS = 32
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=23, extent_meters=600.0)
+
+
+def _script(grid):
+    """A deterministic operation script: subscriptions, moves, alerts."""
+    rng = random.Random(99)
+    users = [(f"user-{i:02d}", grid.cell_center(rng.randrange(grid.n_cells))) for i in range(8)]
+    moves = [(users[i][0], grid.cell_center(rng.randrange(grid.n_cells))) for i in (0, 3, 5)]
+    zones = [
+        ("alert-a", AlertZone(cell_ids=(7, 8, 13))),
+        ("alert-b", AlertZone(cell_ids=(8, 14))),  # overlaps alert-a
+        ("alert-c", AlertZone(cell_ids=(30, 31))),
+    ]
+    return users, moves, zones
+
+
+def _run_legacy(scenario, workers, executor):
+    """The pre-service path: a bare system driven through its provider."""
+    users, moves, zones = _script(scenario.grid)
+    system = SecureAlertSystem(
+        scenario.grid,
+        scenario.probabilities,
+        scheme=scheme_by_name("huffman"),
+        prime_bits=PRIME_BITS,
+        rng=random.Random(SEED),
+        matching=MatchingOptions(workers=workers, executor=executor),
+    )
+    # Compare pairings spent *operating* the deployment; key setup itself
+    # costs one pairing per constructed system, which would skew the
+    # restart-midway comparison.
+    base = system.pairing_count
+    notified = []
+    for user_id, location in users:
+        system.register_user(user_id, location)
+    for alert_id, zone in zones[:2]:
+        notified.append((alert_id, tuple(sorted(n.user_id for n in system.declare_alert(zone, alert_id)))))
+    for user_id, location in moves:
+        system.move_user(user_id, location)
+    for alert_id, zone in zones[2:] + zones[:1]:
+        fresh_id = f"{alert_id}-again" if alert_id == "alert-a" else alert_id
+        notified.append((fresh_id, tuple(sorted(n.user_id for n in system.declare_alert(zone, fresh_id)))))
+    return notified, system.pairing_count - base
+
+
+def _run_pipeline(scenario, workers, executor):
+    users, moves, zones = _script(scenario.grid)
+    config = PipelineConfig(prime_bits=PRIME_BITS, seed=SEED, workers=workers, executor=executor)
+    with SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config) as pipeline:
+        base = pipeline.pairing_count
+        notified = []
+        for user_id, location in users:
+            pipeline.subscribe(user_id, location)
+        for alert_id, zone in zones[:2]:
+            notified.append((alert_id, pipeline.raise_alert(zone, alert_id).notified_users))
+        for user_id, location in moves:
+            pipeline.report_location(user_id, location)
+        for alert_id, zone in zones[2:] + zones[:1]:
+            fresh_id = f"{alert_id}-again" if alert_id == "alert-a" else alert_id
+            notified.append((fresh_id, pipeline.raise_alert(zone, fresh_id).notified_users))
+        return notified, pipeline.pairing_count - base
+
+
+def _run_service(scenario, workers, executor, snapshot_midway=False):
+    """The session path; optionally snapshot+restore into a fresh session midway."""
+    users, moves, zones = _script(scenario.grid)
+    config = ServiceConfig(prime_bits=PRIME_BITS, seed=SEED, workers=workers, executor=executor)
+    service = AlertService(scenario.grid, scenario.probabilities, config=config)
+    base = service.pairing_count
+    notified = []
+
+    def one_shot(service, alert_id, zone):
+        report = service.publish_zone(
+            PublishZone(alert_id=alert_id, zone=zone, standing=False)
+        )
+        return tuple(sorted(n.user_id for n in report.notifications))
+
+    try:
+        for user_id, location in users:
+            service.subscribe(Subscribe(user_id=user_id, location=location))
+        for alert_id, zone in zones[:2]:
+            notified.append((alert_id, one_shot(service, alert_id, zone)))
+
+        if snapshot_midway:
+            payload = service.snapshot()
+            offset = service.pairing_count - base
+            service.close()
+            service = AlertService(scenario.grid, scenario.probabilities, config=config)
+            service.restore(payload)
+            # The restarted session's counter restarts (minus its own setup
+            # cost); carry the pre-restart total so the final figure is
+            # comparable with an uninterrupted run.
+            base = service.pairing_count
+        else:
+            offset = 0
+
+        for user_id, location in moves:
+            service.move(Move(user_id=user_id, location=location))
+        for alert_id, zone in zones[2:] + zones[:1]:
+            fresh_id = f"{alert_id}-again" if alert_id == "alert-a" else alert_id
+            notified.append((fresh_id, one_shot(service, fresh_id, zone)))
+        return notified, offset + service.pairing_count - base
+    finally:
+        service.close()
+
+
+class TestParity:
+    @pytest.mark.parametrize("workers,executor", [(1, "thread"), (2, "thread")])
+    def test_legacy_pipeline_and_service_agree(self, scenario, workers, executor):
+        legacy = _run_legacy(scenario, workers, executor)
+        pipeline = _run_pipeline(scenario, workers, executor)
+        service = _run_service(scenario, workers, executor)
+        assert pipeline == legacy
+        assert service == legacy  # notifications AND bit-exact pairing totals
+
+    def test_parity_holds_on_the_process_executor(self, scenario):
+        legacy = _run_legacy(scenario, 2, "process")
+        pipeline = _run_pipeline(scenario, 2, "process")
+        service = _run_service(scenario, 2, "process")
+        assert pipeline == legacy
+        assert service == legacy
+
+    @pytest.mark.parametrize("workers,executor", [(1, "thread"), (2, "process")])
+    def test_snapshot_restore_midway_changes_nothing(self, scenario, workers, executor):
+        uninterrupted = _run_service(scenario, workers, executor)
+        restarted = _run_service(scenario, workers, executor, snapshot_midway=True)
+        assert restarted == uninterrupted
+
+    def test_quickstart_pipeline_code_runs_unchanged(self):
+        """The documented pipeline quickstart, verbatim from the README."""
+        from repro import PipelineConfig, Point, SecureAlertPipeline
+
+        scenario = make_synthetic_scenario(
+            rows=16, cols=16, sigmoid_a=0.95, sigmoid_b=50, seed=7, extent_meters=1600.0
+        )
+        config = PipelineConfig(scheme="huffman", prime_bits=64, seed=11)
+        pipeline = SecureAlertPipeline.from_probabilities(scenario.grid, scenario.probabilities, config)
+        pipeline.subscribe("alice", Point(220.0, 180.0))
+        pipeline.subscribe("bob", Point(240.0, 210.0))
+        pipeline.subscribe("carol", Point(1400.0, 1500.0))
+        report = pipeline.raise_alert_at(
+            epicenter=Point(230.0, 200.0), radius=120.0, alert_id="gas-leak-42"
+        )
+        assert report.notified_users == ("alice", "bob")
+        assert list(report.notified_users) == pipeline.users_actually_in_zone(report.zone)
