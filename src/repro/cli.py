@@ -153,6 +153,8 @@ def _run_session_experiment(args: argparse.Namespace) -> int:
         ServiceConfig.builder()
         .with_crypto(prime_bits=32, seed=args.seed)
         .with_executor(executor=args.executor, workers=args.workers)
+        .with_store(shards=args.shards)
+        .with_matching(incremental=args.shards > 0)
         .build()
     )
     rng = random.Random(args.seed)
@@ -178,6 +180,8 @@ def _run_session_experiment(args: argparse.Namespace) -> int:
                     "pairings": report.pairings_spent,
                     "plan_reused": report.plan_reused,
                     "pool_reprimed": report.pool_reprimed,
+                    "zones_skipped": report.zones_skipped,
+                    "bytes_shipped": report.bytes_shipped,
                     "millis": round((time.perf_counter() - started) * 1000, 1),
                 }
             )
@@ -205,6 +209,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         crypto_backend=args.backend,
+        shards=args.shards,
     )
     # The simulation rides on an AlertService session; translate the one
     # config (so every shared knob is plumbed exactly once) and apply the
@@ -269,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="pool flavour for the session experiment when --workers > 1",
     )
+    experiment.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard the ciphertext store into N versioned shards (0 keeps the unsharded store); "
+        "enables incremental zone targeting for the session experiment",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     simulate = subparsers.add_parser("simulate", help="run a small end-to-end service simulation")
@@ -306,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--incremental",
         action="store_true",
         help="remember per-(user, alert) outcomes and re-evaluate only changed ciphertexts",
+    )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard the ciphertext store into N versioned shards kept resident in process "
+        "workers (0 keeps the unsharded store)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 

@@ -50,7 +50,11 @@ class PipelineConfig:
     ciphertext store (off at the default of 1) and ``executor`` picks the
     pool flavour for it (``"thread"`` shares the group in-process,
     ``"process"`` ships work to worker processes for real multi-core
-    scaling).  ``crypto_backend`` forces a crypto arithmetic backend by name
+    scaling).  ``shards`` > 0 deploys the sharded ciphertext store so the
+    process executor ships each shard to workers once instead of re-wiring
+    every ciphertext per call (see
+    :class:`~repro.protocol.shards.ShardedCiphertextStore`).
+    ``crypto_backend`` forces a crypto arithmetic backend by name
     (``None`` auto-selects: ``gmpy2`` when installed, the pure-Python
     ``reference`` backend otherwise).
 
@@ -66,6 +70,7 @@ class PipelineConfig:
     workers: int = 1
     executor: str = "thread"
     crypto_backend: Optional[str] = None
+    shards: int = 0
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,7 @@ __all__ = [
     "to_json",
     "from_json",
     "payload_size_bytes",
+    "wire_size_bytes",
     "group_to_wire",
     "wire_to_group",
     "element_to_wire",
@@ -312,6 +313,25 @@ def wire_to_token(
 # ----------------------------------------------------------------------
 # Generic helpers
 # ----------------------------------------------------------------------
+def wire_size_bytes(wire: Any) -> int:
+    """Approximate transport size of a compact wire form (nested ints/strs).
+
+    Counts the minimal byte length of every integer plus the UTF-8 length of
+    every string; structural overhead is ignored.  Used by the shard-shipping
+    metrics (``bytes_shipped``) -- a stable, backend-independent estimate, not
+    an exact pickle size.
+    """
+    if isinstance(wire, bool):
+        return 1
+    if isinstance(wire, int):
+        return max(1, (wire.bit_length() + 7) // 8)
+    if isinstance(wire, str):
+        return len(wire.encode("utf-8"))
+    if isinstance(wire, (tuple, list)):
+        return sum(wire_size_bytes(item) for item in wire)
+    return 0
+
+
 def to_json(payload: dict[str, Any]) -> str:
     """Render a serialized payload as canonical (sorted-key) JSON."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))

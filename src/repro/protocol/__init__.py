@@ -18,6 +18,9 @@ variable-length workflow of Fig. 3:
   path, optional worker threads and incremental re-evaluation.
 * :mod:`repro.protocol.store` -- the provider's persistent ciphertext store
   with freshness management and batch alert processing.
+* :mod:`repro.protocol.shards` -- the sharded store variant: reports hashed
+  into versioned shards whose wire payloads ship to worker processes once
+  and stay resident, so warm passes send only version handles and deltas.
 """
 
 from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
@@ -30,6 +33,7 @@ from repro.protocol.matching import (
     TokenPlan,
 )
 from repro.protocol.messages import AlertDeclaration, LocationUpdate, Notification, TokenBatch
+from repro.protocol.shards import ResidentShard, ShardedCiphertextStore, ShardShipment
 from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig, SimulationResult
 from repro.protocol.store import BatchMatcher, CiphertextStore, StoredReport
 
@@ -47,6 +51,9 @@ __all__ = [
     "BatchMatcher",
     "CiphertextStore",
     "StoredReport",
+    "ResidentShard",
+    "ShardedCiphertextStore",
+    "ShardShipment",
 
     "SecureAlertSystem",
     "SystemInitStats",

@@ -45,6 +45,17 @@ paid once per *alert batch*, not once per (user, token):
   remembered state round-trips through :meth:`MatchingEngine.export_state` /
   :meth:`MatchingEngine.import_state`, which is how standing alerts survive
   provider restarts (see :meth:`repro.protocol.store.CiphertextStore.save`).
+* **Shard-targeted evaluation** -- over a
+  :class:`~repro.protocol.shards.ShardedCiphertextStore`, the process
+  executor ships ``(shard, version)`` handles plus per-shard deltas instead
+  of per-candidate ciphertext wire forms: workers keep each shard resident
+  (and deserialized) between passes, so the per-call serialization term
+  disappears from the scaling curve.  In incremental mode the engine
+  additionally keeps a per-zone *dirty index*: each standing zone records
+  the shard-version frontier it last evaluated, zones whose frontier is
+  still current are skipped outright, and a pass where every zone is clean
+  replays the previous notifications without touching candidates, plan or
+  pools (receipts in :class:`PassStats`).
 """
 
 from __future__ import annotations
@@ -72,6 +83,7 @@ __all__ = [
     "EphemeralPools",
     "MatchCandidate",
     "MatchingOptions",
+    "PassStats",
     "PlannedToken",
     "TokenPlan",
     "MatchingEngine",
@@ -102,6 +114,36 @@ def pattern_subsumes(general: str, specific: str) -> bool:
     if general == specific:
         return False
     return all(g == STAR or g == s for g, s in zip(general, specific))
+
+
+@dataclass
+class PassStats:
+    """Work accounting of the engine's most recent matching pass.
+
+    Reset at the start of every :meth:`MatchingEngine.match` /
+    :meth:`~MatchingEngine.match_store` call and surfaced by the session
+    service in its receipts and observer metrics, so shard shipping and zone
+    skipping can be profiled without a debugger.
+
+    ``zones_skipped`` counts standing zones whose (shard, version) frontier
+    already matched every shard -- they were answered from remembered
+    outcomes without planning any evaluation.  The shipping counters cover
+    the shard-targeted process path: ``resident_hits`` are candidates served
+    from ciphertexts already resident in worker processes (no serialization,
+    no transfer), ``ciphertexts_shipped``/``bytes_shipped`` what actually
+    travelled (full shard payloads plus delta upserts); on the unsharded
+    process path ``ciphertexts_shipped`` counts the per-call wire forms.
+    """
+
+    candidates: int = 0
+    zones_evaluated: int = 0
+    zones_skipped: int = 0
+    shards_shipped: int = 0
+    shards_full: int = 0
+    shards_delta: int = 0
+    ciphertexts_shipped: int = 0
+    bytes_shipped: int = 0
+    resident_hits: int = 0
 
 
 @dataclass(frozen=True)
@@ -574,6 +616,40 @@ def _process_worker_match(chunk: Sequence[tuple[tuple, tuple[int, ...]]]) -> tup
     return rows, counter.total - before
 
 
+def _shard_worker_match(
+    task: tuple[tuple, Sequence[tuple[str, tuple[int, ...]]]]
+) -> tuple[list[list[bool]], int]:
+    """Evaluate one shard's worklist from worker-resident ciphertexts.
+
+    ``task`` is ``(shipment handle, worklist)`` where the handle (see
+    :meth:`repro.protocol.shards.ShardShipment.handle`) brings the worker's
+    resident copy of the shard up to the parent's version -- loading the spool
+    file on first contact, applying the state-based delta afterwards -- and
+    the worklist names ``(user_id, needed batch indices)`` jobs.  Unchanged
+    users are evaluated from ciphertexts deserialized in a *previous* pass:
+    nothing about them crossed the process boundary this call.
+    """
+    from repro.protocol.shards import ResidentShard
+
+    handle, worklist = task
+    hve: HVE = _WORKER_STATE["hve"]
+    evaluate: Evaluator = _WORKER_STATE["evaluate"]
+    residents: dict[tuple[str, int], ResidentShard] = _WORKER_STATE.setdefault("resident_shards", {})
+    key = (handle[0], handle[1])  # (store token, shard id)
+    resident = residents.get(key)
+    if resident is None:
+        resident = residents[key] = ResidentShard(hve.group)
+    resident.sync(handle)
+    counter = hve.group.counter
+    before = counter.total
+    rows: list[list[bool]] = []
+    for user_id, needed in worklist:
+        shared: dict[int, bool] = {}
+        ciphertext = resident.ciphertext(user_id)
+        rows.append([evaluate(ciphertext, index, shared) for index in needed])
+    return rows, counter.total - before
+
+
 class EphemeralPools:
     """Per-call executors: each matching pass gets a fresh pool (seed behaviour).
 
@@ -695,6 +771,16 @@ class MatchingEngine:
         #: session metrics observers report these per request.
         self.plan_builds = 0
         self.plan_reuses = 0
+        #: Work accounting of the most recent pass (see :class:`PassStats`).
+        self.last_pass = PassStats()
+        # Zone dirty index: alert_id -> (token signature, shard versions at
+        # the zone's last evaluation).  Only maintained for sharded stores in
+        # incremental mode (see match_store); a zone whose frontier matches
+        # every current shard version has nothing to re-evaluate.
+        self._zone_frontier: dict[str, tuple[tuple[str, ...], tuple[int, ...]]] = {}
+        # Fully-warm fast path: (key, notifications, candidate count) of the
+        # last assembled pass, replayed verbatim when every zone is clean.
+        self._warm_pass: Optional[tuple[tuple, tuple[Notification, ...], int]] = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -716,6 +802,8 @@ class MatchingEngine:
         batches: Sequence[TokenBatch],
         candidates: Iterable[MatchCandidate],
         descriptions: Optional[Mapping[str, str]] = None,
+        *,
+        sharded_store=None,
     ) -> list[Notification]:
         """Match every alert batch against every candidate ciphertext.
 
@@ -724,15 +812,33 @@ class MatchingEngine:
         each alert short-circuits on its first matching token; a user can be
         notified for several distinct alerts but only once per alert.
         Notifications come back in (candidate, alert) order.
+
+        ``sharded_store`` (normally supplied by :meth:`match_store`) must be
+        the :class:`~repro.protocol.shards.ShardedCiphertextStore` the
+        candidates came from; with the process executor the engine then ships
+        shard handles and deltas instead of per-candidate wire forms.
         """
         batches = list(batches)
         candidates = list(candidates)
+        stats = self.last_pass = PassStats(
+            candidates=len(candidates), zones_evaluated=len(batches)
+        )
         if not batches or not candidates:
+            stats.zones_evaluated = 0
             return []
+        outcomes = self._evaluate_all(batches, candidates, sharded_store=sharded_store)
+        return self._finish(batches, candidates, outcomes, descriptions)
+
+    def _finish(
+        self,
+        batches: Sequence[TokenBatch],
+        candidates: Sequence[MatchCandidate],
+        outcomes: Sequence[Sequence[bool]],
+        descriptions: Optional[Mapping[str, str]],
+    ) -> list[Notification]:
+        """Record incremental outcomes and assemble (candidate, alert)-ordered
+        notifications from the per-candidate outcome rows."""
         descriptions = descriptions or {}
-
-        outcomes = self._evaluate_all(batches, candidates)
-
         if self.options.incremental:
             outcome_maps = [self._alert_state[batch.alert_id][1] for batch in batches]
         notifications: list[Notification] = []
@@ -757,8 +863,81 @@ class MatchingEngine:
         now: float,
         descriptions: Optional[Mapping[str, str]] = None,
     ) -> list[Notification]:
-        """Match alert batches against the fresh reports of a ciphertext store."""
-        return self.match(batches, store.fresh_candidates(now), descriptions=descriptions)
+        """Match alert batches against the fresh reports of a ciphertext store.
+
+        A sharded store (anything exposing ``ship_plan``/``shard_versions``,
+        i.e. :class:`~repro.protocol.shards.ShardedCiphertextStore`) upgrades
+        the pass twice over: the process executor ships shard handles and
+        deltas instead of per-candidate ciphertext wire forms, and -- in
+        incremental mode -- the per-zone dirty index skips standing zones
+        whose (shard, version) frontier is already current (see
+        :class:`PassStats` for the receipts).
+        """
+        batches = list(batches)
+        sharded = hasattr(store, "ship_plan") and hasattr(store, "shard_versions")
+        if sharded and self.options.incremental and batches:
+            return self._match_store_targeted(batches, store, now, descriptions)
+        return self.match(
+            batches,
+            store.fresh_candidates(now),
+            descriptions=descriptions,
+            sharded_store=store if sharded else None,
+        )
+
+    def _match_store_targeted(
+        self,
+        batches: Sequence[TokenBatch],
+        store,
+        now: float,
+        descriptions: Optional[Mapping[str, str]],
+    ) -> list[Notification]:
+        """The zone-targeted pass over a sharded store (incremental mode).
+
+        Expiry is folded into the version clock first: purging stale reports
+        advances the owning shards' versions (and drops the purged users'
+        remembered outcomes, so a later re-subscription can never replay a
+        stale verdict).  Every standing zone then compares its frontier --
+        the shard versions it last evaluated -- against the store: a zone
+        whose frontier matches every shard is *skipped* (its remembered
+        outcomes already cover every fresh candidate at its current sequence
+        number), and when every zone is clean the pass replays the previous
+        notifications without touching candidates, plan or pools at all.
+        """
+        stats = self.last_pass = PassStats()
+        descriptions = descriptions or {}
+        if store.max_age_seconds is not None:
+            # One scan: purge_expired removes the stale reports, advances the
+            # owning shards' versions and hands back the purged pseudonyms.
+            for user_id in store.purge_expired(now):
+                for _, outcomes in self._alert_state.values():
+                    outcomes.pop(user_id, None)
+
+        versions = store.shard_versions()
+        signatures = [tuple(token.pattern for token in batch.tokens) for batch in batches]
+        clean = []
+        for batch, signature in zip(batches, signatures):
+            frontier = self._zone_frontier.get(batch.alert_id)
+            clean.append(frontier is not None and frontier == (signature, versions))
+        stats.zones_skipped = sum(clean)
+        stats.zones_evaluated = len(batches) - stats.zones_skipped
+
+        warm_key = (
+            versions,
+            tuple(batch.alert_id for batch in batches),
+            tuple(sorted(descriptions.items())),
+        )
+        if all(clean) and self._warm_pass is not None and self._warm_pass[0] == warm_key:
+            stats.candidates = self._warm_pass[2]
+            return list(self._warm_pass[1])
+
+        candidates = store.fresh_candidates(now)
+        stats.candidates = len(candidates)
+        outcomes = self._evaluate_all(batches, candidates, sharded_store=store)
+        notifications = self._finish(batches, candidates, outcomes, descriptions)
+        for batch, signature in zip(batches, signatures):
+            self._zone_frontier[batch.alert_id] = (signature, versions)
+        self._warm_pass = (warm_key, tuple(notifications), len(candidates))
+        return notifications
 
     # ------------------------------------------------------------------
     # Incremental state
@@ -770,10 +949,14 @@ class MatchingEngine:
     def forget_alert(self, alert_id: str) -> None:
         """Drop the incremental state of one standing alert (no-op if absent)."""
         self._alert_state.pop(alert_id, None)
+        self._zone_frontier.pop(alert_id, None)
+        self._warm_pass = None
 
     def reset_state(self) -> None:
-        """Drop all incremental state."""
+        """Drop all incremental state (including the zone dirty index)."""
         self._alert_state.clear()
+        self._zone_frontier.clear()
+        self._warm_pass = None
 
     def export_state(self) -> dict[str, Any]:
         """JSON-compatible snapshot of the incremental re-evaluation state.
@@ -811,6 +994,11 @@ class MatchingEngine:
             }
             state[alert_id] = (signature, outcomes)
         self._alert_state = state
+        # Frontiers are clocked against a live store's shard versions; a
+        # restored snapshot starts a fresh version history, so they must not
+        # survive the import.
+        self._zone_frontier.clear()
+        self._warm_pass = None
 
     # ------------------------------------------------------------------
     # Evaluation internals
@@ -902,7 +1090,10 @@ class MatchingEngine:
         return rows, needed
 
     def _evaluate_all(
-        self, batches: Sequence[TokenBatch], candidates: Sequence[MatchCandidate]
+        self,
+        batches: Sequence[TokenBatch],
+        candidates: Sequence[MatchCandidate],
+        sharded_store=None,
     ) -> list[list[bool]]:
         """Per-candidate, per-batch outcomes, honoring incremental state,
         worker count and executor choice."""
@@ -914,7 +1105,11 @@ class MatchingEngine:
         evaluation = self._evaluation_for(batches)
         workers = min(self.options.workers, len(candidates))
 
-        if workers > 1 and self.options.executor == "process":
+        if workers > 1 and self.options.executor == "process" and sharded_store is not None:
+            evaluated = self._evaluate_process_sharded(
+                evaluation, sharded_store, candidates, needed, workers
+            )
+        elif workers > 1 and self.options.executor == "process":
             evaluated = self._evaluate_process(evaluation, candidates, needed, workers)
         else:
             evaluate = evaluation.evaluator
@@ -975,20 +1170,8 @@ class MatchingEngine:
             return evaluated
 
         group = self.hve.group
-        # Workers resolve the backend by registry name; fail here with the
-        # real cause rather than letting every worker die into an opaque
-        # BrokenProcessPool (e.g. an unregistered custom backend instance).
-        from repro.crypto.backends import get_backend
-
-        try:
-            get_backend(group.backend_name)
-        except (ValueError, RuntimeError) as exc:
-            raise RuntimeError(
-                f"executor='process' requires a crypto backend that worker processes can "
-                f"resolve by name; backend {group.backend_name!r} is not registered or not "
-                f"available (register it via repro.crypto.backends.register_backend, or use "
-                f"executor='thread')"
-            ) from exc
+        self._require_process_backend(group)
+        self.last_pass.ciphertexts_shipped += len(jobs)
         payload = evaluation.payload()
         workers = min(workers, len(jobs))
         chunk_size = self._chunk_size(len(jobs), workers)
@@ -1005,6 +1188,87 @@ class MatchingEngine:
         for chunk, (rows, pairings) in zip(chunks, chunk_results):
             worker_pairings += pairings
             for (position, _), row in zip(chunk, rows):
+                evaluated[position] = row
+        group.counter.record_pairing(worker_pairings)
+        return evaluated
+
+    @staticmethod
+    def _require_process_backend(group) -> None:
+        # Workers resolve the backend by registry name; fail here with the
+        # real cause rather than letting every worker die into an opaque
+        # BrokenProcessPool (e.g. an unregistered custom backend instance).
+        from repro.crypto.backends import get_backend
+
+        try:
+            get_backend(group.backend_name)
+        except (ValueError, RuntimeError) as exc:
+            raise RuntimeError(
+                f"executor='process' requires a crypto backend that worker processes can "
+                f"resolve by name; backend {group.backend_name!r} is not registered or not "
+                f"available (register it via repro.crypto.backends.register_backend, or use "
+                f"executor='thread')"
+            ) from exc
+
+    def _evaluate_process_sharded(
+        self,
+        evaluation: _CachedEvaluation,
+        store,
+        candidates: Sequence[MatchCandidate],
+        needed: Sequence[tuple[int, ...]],
+        workers: int,
+    ) -> list[list[bool]]:
+        """Shard-targeted process fan-out: ship versions and deltas, not bytes.
+
+        Candidates with work left are grouped by shard and each shard becomes
+        one worker task carrying the store's cheapest
+        :class:`~repro.protocol.shards.ShardShipment` (a spool-file reference
+        on first contact, a state-based delta afterwards, nothing but the
+        version handle when the shard is unchanged) plus the per-user
+        worklist.  Workers evaluate from their resident, already-deserialized
+        ciphertexts, so a warm pass pays no serialization at either end --
+        the term the unsharded path re-pays per call.  Pairing totals merge
+        into the parent counter bit-exactly, as in the unsharded path.
+        """
+        jobs_by_shard: dict[int, list[tuple[int, str, tuple[int, ...]]]] = {}
+        for position, (candidate, need) in enumerate(zip(candidates, needed)):
+            if need:
+                shard = store.shard_of(candidate.user_id)
+                jobs_by_shard.setdefault(shard, []).append((position, candidate.user_id, need))
+        evaluated: list[list[bool]] = [[] for _ in candidates]
+        if not jobs_by_shard:
+            return evaluated
+
+        group = self.hve.group
+        self._require_process_backend(group)
+        payload = evaluation.payload()
+        stats = self.last_pass
+        tasks = []
+        ordered_shards = sorted(jobs_by_shard)
+        for shard_id in ordered_shards:
+            shipment = store.ship_plan(shard_id)
+            worklist = tuple((user_id, need) for _, user_id, need in jobs_by_shard[shard_id])
+            tasks.append((shipment.handle(), worklist))
+            stats.shards_shipped += 1
+            stats.bytes_shipped += shipment.bytes_shipped
+            stats.ciphertexts_shipped += shipment.record_count
+            if shipment.full_ship:
+                stats.shards_full += 1
+            else:
+                stats.shards_delta += 1
+                shipped_users = {user_id for user_id, _, _ in shipment.upserts}
+                stats.resident_hits += sum(
+                    1 for user_id, _ in worklist if user_id not in shipped_users
+                )
+        with self.pools.process_pool(
+            workers=min(workers, len(tasks)),
+            prime_version=evaluation.version,
+            initargs=(group_to_wire(group), self.hve.width, payload),
+        ) as pool:
+            shard_results = list(pool.map(_shard_worker_match, tasks))
+        worker_pairings = 0
+        for shard_id, (rows, pairings) in zip(ordered_shards, shard_results):
+            worker_pairings += pairings
+            for (position, _, _), row in zip(jobs_by_shard[shard_id], rows):
                 evaluated[position] = row
         group.counter.record_pairing(worker_pairings)
         return evaluated

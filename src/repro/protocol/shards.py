@@ -1,0 +1,495 @@
+"""Sharded ciphertext storage with versioned, worker-resident wire payloads.
+
+PR 2's process executor made matching scale with cores, but every pass
+re-serialized every fresh ciphertext into the executor call: with ``U`` stored
+reports the per-pass cost carried an ``O(U)`` serialization term that no
+amount of pooling amortised.  This module removes that term by making the
+store *shard-structured*:
+
+* reports are hashed into ``N`` **shards** by pseudonym
+  (:func:`shard_of_user`), so a report's shard never changes across moves,
+  restores or re-subscriptions;
+* each shard carries a monotonically increasing **version**, bumped by every
+  mutation that can change matching outcomes (a stored ingest, a purge);
+* each shard can produce a :class:`ShardShipment`: either a **full ship**
+  (the shard's complete wire payload, written once to an on-disk *spool file*
+  that any worker process can load) or a **delta ship** (only the records
+  ingested / users purged since the last full ship).  Deltas are
+  *state-based* -- upserts carry the record's current wire form -- so applying
+  a delta is idempotent and safe from any resident version at or above the
+  shipment's floor;
+* worker processes keep a :class:`ResidentShard` per (store, shard): the
+  first task for a shard loads the spool file, later tasks apply deltas, and
+  a warm pass with no changes ships nothing but ``(shard_id, version)``
+  handles and per-user worklists.
+
+Serialization is therefore paid *per mutation*, not per pass: a report is
+wired once when it first ships (the wire form is cached on the changelog
+entry), and an unchanged store ships zero ciphertext bytes however many
+passes evaluate it.  The :class:`~repro.protocol.matching.MatchingEngine`
+builds its shard-targeted process path on this module, and its per-zone dirty
+index uses :meth:`ShardedCiphertextStore.shard_versions` as the frontier
+clock.
+
+The store subclasses :class:`~repro.protocol.store.CiphertextStore` and keeps
+its persistence format: ``to_payload``/``save``/``load`` payloads add only a
+``"shards"`` field, and a payload written by either class loads in the other.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import weakref
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVECiphertext
+from repro.crypto.serialization import ciphertext_to_wire, wire_size_bytes, wire_to_ciphertext
+from repro.protocol.store import CiphertextStore, StoredReport
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "shard_of_user",
+    "wire_size_bytes",
+    "ShardShipment",
+    "ShardedCiphertextStore",
+    "ResidentShard",
+]
+
+#: Shards used when a payload predates the ``"shards"`` field or no explicit
+#: count is configured.  Small enough that tiny deployments are not scattered,
+#: large enough that a process pool of typical width has work per worker.
+DEFAULT_SHARD_COUNT = 8
+
+
+def shard_of_user(user_id: str, shard_count: int) -> int:
+    """The shard owning ``user_id``, stable across processes and sessions.
+
+    Uses CRC32 rather than :func:`hash` because the latter is salted per
+    interpreter: worker processes and restored sessions must agree on
+    membership without coordination.
+    """
+    return zlib.crc32(user_id.encode("utf-8")) % shard_count
+
+
+@dataclass(frozen=True)
+class ShardShipment:
+    """Everything a worker needs to bring one shard up to ``version``.
+
+    ``store_token`` identifies the owning store (workers of one pool may serve
+    several stores across a test session); ``spool_path`` is the on-disk full
+    payload at ``floor_version``.  ``upserts`` / ``removals`` carry the
+    state-based delta ``floor_version -> version``; ``full_ship`` is True when
+    the floor file was (re)written by this shipment.  ``bytes_shipped`` counts
+    the wire bytes this shipment serialized or put on the wire (the full
+    payload for a full ship, the upserts for a delta).
+    """
+
+    store_token: str
+    shard_id: int
+    version: int
+    floor_version: int
+    spool_path: str
+    upserts: tuple[tuple[str, int, Any], ...]
+    removals: tuple[str, ...]
+    full_ship: bool
+    bytes_shipped: int
+    #: Records this shipment put on the wire: the whole shard for a full
+    #: ship, the upserts for a delta.
+    record_count: int
+
+    def handle(self) -> tuple:
+        """The picklable task form shipped to worker processes."""
+        return (
+            self.store_token,
+            self.shard_id,
+            self.version,
+            self.floor_version,
+            self.spool_path,
+            self.upserts,
+            self.removals,
+        )
+
+
+@dataclass
+class _ChangeEntry:
+    """Latest pending change of one user in a shard since the floor.
+
+    ``sequence_number is None`` marks a removal.  ``wire`` caches the record's
+    serialized form so re-shipping the same delta on later passes costs no
+    serializer calls (the empty-delta / warm-pass guarantee rests on this).
+    """
+
+    version: int
+    sequence_number: Optional[int]
+    wire: Any = None
+    wire_bytes: int = 0
+
+
+class ShardedCiphertextStore(CiphertextStore):
+    """A :class:`CiphertextStore` whose reports are hashed into versioned shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards.  Shard membership is a pure function of the
+        pseudonym, so the count is fixed for the lifetime of the store (and
+        its snapshots).  Raise it towards (or beyond) the process-executor
+        worker count so every worker has at least one shard-task per pass.
+    max_age_seconds:
+        As in the base class.
+    serializer / deserializer:
+        The record wire codec, defaulting to
+        :func:`~repro.crypto.serialization.ciphertext_to_wire` /
+        :func:`~repro.crypto.serialization.wire_to_ciphertext`.  Injectable so
+        tests can count serializer calls (the empty-delta guarantee) or stub
+        the codec entirely.
+    spool_dir:
+        Directory for shard spool files; defaults to a private temp directory
+        removed when the store is garbage-collected or :meth:`close`\\ d.
+    """
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARD_COUNT,
+        max_age_seconds: Optional[float] = None,
+        serializer: Optional[Callable[[HVECiphertext], Any]] = None,
+        deserializer: Optional[Callable[[BilinearGroup, Any], HVECiphertext]] = None,
+        spool_dir: Optional[str] = None,
+    ):
+        super().__init__(max_age_seconds=max_age_seconds)
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.shard_count = shards
+        self.serializer = serializer if serializer is not None else ciphertext_to_wire
+        self.deserializer = deserializer if deserializer is not None else wire_to_ciphertext
+        self._versions: list[int] = [0] * shards
+        # Per-shard membership index: kept in lockstep with ``_reports`` so
+        # shipping never rescans (and re-hashes) the whole store.
+        self._members: list[set[str]] = [set() for _ in range(shards)]
+        # Per shard: user_id -> latest pending change since the floor file.
+        self._changelog: list[dict[str, _ChangeEntry]] = [dict() for _ in range(shards)]
+        # Consecutive ships of the same non-empty delta: after a few, the
+        # floor advances so steady-trickle shards stop re-shipping it.
+        self._repeat_ships: list[int] = [0] * shards
+        self._last_shipped: list[Optional[tuple[int, int]]] = [None] * shards
+        self._floor_versions: list[Optional[int]] = [None] * shards
+        self._floor_paths: list[Optional[str]] = [None] * shards
+        self._spool_dir = spool_dir
+        self._finalizer: Optional[weakref.finalize] = None
+        #: Lifetime counters surfaced by the service metrics and asserted by
+        #: the shard-scaling benchmark.
+        self.full_ships = 0
+        self.delta_ships = 0
+        self.serialized_records = 0
+
+    # ------------------------------------------------------------------
+    # Shard structure
+    # ------------------------------------------------------------------
+    def shard_of(self, user_id: str) -> int:
+        """The shard owning ``user_id`` (stable; see :func:`shard_of_user`)."""
+        return shard_of_user(user_id, self.shard_count)
+
+    def shard_versions(self) -> tuple[int, ...]:
+        """The current version of every shard -- the dirty-index frontier clock."""
+        return tuple(self._versions)
+
+    def shard_version(self, shard_id: int) -> int:
+        """The current version of one shard."""
+        return self._versions[shard_id]
+
+    def shard_users(self, shard_id: int) -> list[str]:
+        """The stored pseudonyms living in ``shard_id``, sorted."""
+        return sorted(self._members[shard_id])
+
+    @property
+    def store_token(self) -> str:
+        """Identity of this store for worker-resident caches (the spool dir)."""
+        return self._ensure_spool_dir()
+
+    # ------------------------------------------------------------------
+    # Mutations (version bookkeeping on top of the base class)
+    # ------------------------------------------------------------------
+    def ingest(self, update, received_at: float) -> bool:
+        stored = super().ingest(update, received_at)
+        if stored:
+            self._record_upsert(update.user_id, update.sequence_number)
+        return stored
+
+    def purge_expired(self, now: float) -> list[str]:
+        """Drop expired reports, advancing the owning shards' versions.
+
+        Returns the purged pseudonyms (the engine's targeted pass uses the
+        list to drop their remembered outcomes).  Scans the store exactly
+        once, unlike ``stale_users`` + ``purge_stale`` back to back.
+        """
+        stale = self.stale_users(now)
+        for user_id in stale:
+            del self._reports[user_id]
+            self._record_removal(user_id)
+        return stale
+
+    def purge_stale(self, now: float) -> int:
+        return len(self.purge_expired(now))
+
+    def _record_upsert(self, user_id: str, sequence_number: int) -> None:
+        shard = self.shard_of(user_id)
+        self._versions[shard] += 1
+        self._members[shard].add(user_id)
+        self._changelog[shard][user_id] = _ChangeEntry(
+            version=self._versions[shard], sequence_number=sequence_number
+        )
+
+    def _record_removal(self, user_id: str) -> None:
+        shard = self.shard_of(user_id)
+        self._versions[shard] += 1
+        self._members[shard].discard(user_id)
+        self._changelog[shard][user_id] = _ChangeEntry(
+            version=self._versions[shard], sequence_number=None
+        )
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+    def ship_plan(self, shard_id: int) -> ShardShipment:
+        """The cheapest shipment that brings any worker to the shard's version.
+
+        First call (or a delta grown past half the shard): a **full ship** --
+        the complete shard payload is written atomically to a spool file
+        (merging the previous floor file, so only genuinely new wires are
+        serialized) and the changelog resets.  Later calls: a **delta ship**
+        -- only changed records travel, with their wire forms cached so an
+        unchanged store serializes nothing, however many passes evaluate it.
+        """
+        if not 0 <= shard_id < self.shard_count:
+            raise ValueError(f"shard_id must be in [0, {self.shard_count})")
+        version = self._versions[shard_id]
+        floor = self._floor_versions[shard_id]
+        changelog = self._changelog[shard_id]
+        members = self._members[shard_id]
+        # Deltas span floor -> current, so without a floor advance they would
+        # be re-shipped in full every pass forever.  Advance when the delta
+        # covers a sizeable fraction of the shard, or when the *same*
+        # non-empty delta has been shipped a few times already (a
+        # steady-trickle shard whose changes paused): the rewrite merges the
+        # old spool file with the changelog, so it costs file IO, not
+        # re-serialization of unchanged members.
+        if changelog and self._last_shipped[shard_id] == (floor, version):
+            self._repeat_ships[shard_id] += 1
+        else:
+            self._repeat_ships[shard_id] = 0
+        if (
+            floor is None
+            or len(changelog) > max(2, len(members) // 2)
+            or self._repeat_ships[shard_id] >= 3
+        ):
+            return self._full_ship(shard_id, version, [self._reports[u] for u in members])
+        self._last_shipped[shard_id] = (floor, version)
+
+        upserts: list[tuple[str, int, Any]] = []
+        removals: list[str] = []
+        bytes_shipped = 0
+        for user_id, entry in sorted(changelog.items()):
+            if entry.sequence_number is None:
+                removals.append(user_id)
+                continue
+            if entry.wire is None:
+                report = self._reports.get(user_id)
+                if report is None or report.sequence_number != entry.sequence_number:
+                    # Superseded between passes; ship what is actually stored.
+                    if report is None:
+                        removals.append(user_id)
+                        continue
+                    entry.sequence_number = report.sequence_number
+                entry.wire = self.serializer(self._reports[user_id].ciphertext)
+                entry.wire_bytes = wire_size_bytes(entry.wire)
+                self.serialized_records += 1
+            upserts.append((user_id, entry.sequence_number, entry.wire))
+            bytes_shipped += entry.wire_bytes
+        self.delta_ships += 1
+        return ShardShipment(
+            store_token=self.store_token,
+            shard_id=shard_id,
+            version=version,
+            floor_version=floor,
+            spool_path=self._floor_paths[shard_id],  # type: ignore[arg-type]
+            upserts=tuple(upserts),
+            removals=tuple(removals),
+            full_ship=False,
+            bytes_shipped=bytes_shipped,
+            record_count=len(upserts),
+        )
+
+    def _full_ship(self, shard_id: int, version: int, members: list[StoredReport]) -> ShardShipment:
+        # Wires already on disk (the previous floor file) are reused: a floor
+        # advance serializes only members the changelog knows no wire for.
+        previous: dict[str, tuple[int, Any]] = {}
+        previous_path = self._floor_paths[shard_id]
+        if previous_path is not None and os.path.exists(previous_path):
+            with open(previous_path, "rb") as handle:
+                _, _, old_records = pickle.load(handle)
+            previous = {user_id: (seq, wire) for user_id, seq, wire in old_records}
+        records = []
+        bytes_shipped = 0
+        changelog = self._changelog[shard_id]
+        for report in sorted(members, key=lambda r: r.user_id):
+            entry = changelog.get(report.user_id)
+            old = previous.get(report.user_id)
+            if entry is not None and entry.wire is not None and entry.sequence_number == report.sequence_number:
+                wire = entry.wire
+                size = entry.wire_bytes
+            elif old is not None and old[0] == report.sequence_number:
+                wire = old[1]
+                size = wire_size_bytes(wire)
+            else:
+                wire = self.serializer(report.ciphertext)
+                size = wire_size_bytes(wire)
+                self.serialized_records += 1
+            records.append((report.user_id, report.sequence_number, wire))
+            bytes_shipped += size
+        path = self._write_spool(shard_id, version, tuple(records))
+        self._floor_versions[shard_id] = version
+        self._floor_paths[shard_id] = path
+        changelog.clear()
+        self._repeat_ships[shard_id] = 0
+        self._last_shipped[shard_id] = (version, version)
+        self.full_ships += 1
+        return ShardShipment(
+            store_token=self.store_token,
+            shard_id=shard_id,
+            version=version,
+            floor_version=version,
+            spool_path=path,
+            upserts=(),
+            removals=(),
+            full_ship=True,
+            bytes_shipped=bytes_shipped,
+            record_count=len(records),
+        )
+
+    def _ensure_spool_dir(self) -> str:
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-shards-")
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._spool_dir, ignore_errors=True
+            )
+        return self._spool_dir
+
+    def _write_spool(self, shard_id: int, version: int, records: tuple) -> str:
+        """Atomically publish the shard's full payload at ``version``.
+
+        Written to a temp name and renamed so a worker never observes a
+        half-written file; the previous floor file is deleted only after the
+        new one is in place (passes are synchronous, so no task in flight
+        still references it).
+        """
+        directory = self._ensure_spool_dir()
+        path = os.path.join(directory, f"shard-{shard_id:04d}-v{version}.pkl")
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            pickle.dump((shard_id, version, records), handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+        previous = self._floor_paths[shard_id]
+        if previous is not None and previous != path and os.path.exists(previous):
+            os.remove(previous)
+        return path
+
+    def close(self) -> None:
+        """Remove the spool directory (idempotent; also runs at GC)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._spool_dir = None
+        self._floor_versions = [None] * self.shard_count
+        self._floor_paths = [None] * self.shard_count
+
+    # ------------------------------------------------------------------
+    # Persistence (format-compatible with the base class)
+    # ------------------------------------------------------------------
+    def to_payload(self, engine=None) -> dict:
+        payload = super().to_payload(engine=engine)
+        payload["shards"] = self.shard_count
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict, group: BilinearGroup, engine=None, shards: Optional[int] = None) -> "ShardedCiphertextStore":
+        """Rebuild a sharded store; shard membership re-derives from the hash.
+
+        ``shards`` overrides the payload's count (and the default for
+        payloads written by the unsharded class).  Restored records start a
+        fresh version history: the first evaluation full-ships every shard,
+        exactly like a newly populated store.
+        """
+        base = CiphertextStore.from_payload(payload, group, engine=engine)
+        count = shards if shards is not None else int(payload.get("shards", DEFAULT_SHARD_COUNT))
+        store = cls(shards=count, max_age_seconds=base.max_age_seconds)
+        store._reports = base._reports
+        for user_id in store._reports:
+            store._members[store.shard_of(user_id)].add(user_id)
+        store.matching_state = base.matching_state
+        return store
+
+
+class ResidentShard:
+    """One shard's worker-resident state: records plus rebuilt ciphertexts.
+
+    Lives in the worker process between matching passes.  :meth:`sync` brings
+    it to a shipment's version -- loading the spool file when the resident
+    version is unknown or below the floor, applying the (idempotent,
+    state-based) delta otherwise -- and :meth:`ciphertext` rebuilds records
+    lazily, caching the result so an unchanged user is deserialized exactly
+    once per residency, not once per pass.
+    """
+
+    def __init__(self, group: BilinearGroup, deserializer: Optional[Callable] = None):
+        self.group = group
+        self.deserializer = deserializer if deserializer is not None else wire_to_ciphertext
+        self.version: Optional[int] = None
+        # user_id -> [sequence_number, wire, rebuilt ciphertext or None]
+        self._entries: dict[str, list] = {}
+        #: Counters for the shipping metrics: spool loads and delta records
+        #: applied since this residency was created.
+        self.spool_loads = 0
+        self.deltas_applied = 0
+
+    def sync(self, handle: tuple) -> None:
+        """Bring the resident state to the shipment's target version."""
+        _, _, version, floor_version, spool_path, upserts, removals = handle
+        if self.version is not None and self.version == version:
+            return
+        if self.version is None or self.version < floor_version:
+            with open(spool_path, "rb") as fh:
+                _, spool_version, records = pickle.load(fh)
+            self._entries = {
+                user_id: [sequence_number, wire, None]
+                for user_id, sequence_number, wire in records
+            }
+            self.version = spool_version
+            self.spool_loads += 1
+        for user_id, sequence_number, wire in upserts:
+            entry = self._entries.get(user_id)
+            if entry is not None and entry[0] == sequence_number and entry[1] == wire:
+                continue  # already resident at this revision; keep the rebuilt object
+            self._entries[user_id] = [sequence_number, wire, None]
+            self.deltas_applied += 1
+        for user_id in removals:
+            self._entries.pop(user_id, None)
+        self.version = version
+
+    def ciphertext(self, user_id: str) -> HVECiphertext:
+        """The rebuilt ciphertext of one resident user (KeyError if absent)."""
+        entry = self._entries[user_id]
+        if entry[2] is None:
+            entry[2] = self.deserializer(self.group, entry[1])
+        return entry[2]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._entries

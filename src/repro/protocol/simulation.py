@@ -48,12 +48,17 @@ class SimulationConfig:
     workers: int = 1
     executor: str = "thread"
     crypto_backend: Optional[str] = None
+    #: 0 keeps the unsharded store; > 0 deploys the sharded store (see
+    #: :class:`~repro.protocol.shards.ShardedCiphertextStore`).
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.num_users < 1:
             raise ValueError("num_users must be at least 1")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative (0 keeps the unsharded store)")
         if not 0.0 <= self.move_probability <= 1.0:
             raise ValueError("move_probability must be in [0, 1]")
         if self.report_every_steps < 1:

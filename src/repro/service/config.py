@@ -71,6 +71,16 @@ class ServiceConfig:
     max_age_seconds:
         Reports older than this are excluded from matching (``None`` disables
         expiry).
+    shards:
+        ``0`` (default) keeps the single unsharded
+        :class:`~repro.protocol.store.CiphertextStore`.  A positive count
+        deploys a :class:`~repro.protocol.shards.ShardedCiphertextStore`:
+        reports hash into that many versioned shards, the process executor
+        ships each shard to workers once (then only deltas), and incremental
+        mode gains per-zone dirty-index targeting.  Raise it to at least the
+        worker count so every process worker has a shard-task per pass;
+        beyond that, more shards mean finer deltas at slightly more per-pass
+        task overhead.
     """
 
     scheme: str = "huffman"
@@ -88,6 +98,7 @@ class ServiceConfig:
     incremental: bool = False
     persistent_pool: bool = True
     max_age_seconds: Optional[float] = None
+    shards: int = 0
 
     def __post_init__(self) -> None:
         # canonical_scheme_name raises a ValueError listing every recognised
@@ -113,6 +124,8 @@ class ServiceConfig:
             raise ValueError("chunk_size must be at least 1 (or None to split evenly)")
         if self.max_age_seconds is not None and self.max_age_seconds <= 0:
             raise ValueError("max_age_seconds must be positive (or None to disable expiry)")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative (0 keeps the unsharded store)")
 
     # ------------------------------------------------------------------
     # Derived views
@@ -153,6 +166,7 @@ class ServiceConfig:
             workers=config.workers,
             executor=config.executor,
             persistent_pool=False,
+            shards=getattr(config, "shards", 0),
         )
 
     @classmethod
@@ -171,6 +185,7 @@ class ServiceConfig:
             workers=config.workers,
             executor=config.executor,
             persistent_pool=False,
+            shards=getattr(config, "shards", 0),
         )
 
     @staticmethod
@@ -255,9 +270,11 @@ class ServiceConfigBuilder:
             persistent_pool=persistent_pool,
         )
 
-    def with_store(self, max_age_seconds: Any = _UNSET) -> "ServiceConfigBuilder":
-        """Configure report freshness management."""
-        return self._set(max_age_seconds=max_age_seconds)
+    def with_store(
+        self, max_age_seconds: Any = _UNSET, shards: Any = _UNSET
+    ) -> "ServiceConfigBuilder":
+        """Configure the ciphertext store: report freshness and sharding."""
+        return self._set(max_age_seconds=max_age_seconds, shards=shards)
 
     def build(self) -> ServiceConfig:
         """Validate and produce the config (raises ``ValueError`` on bad values)."""

@@ -64,6 +64,9 @@ class PersistentExecutorPool:
         self.thread_pool_reuses = 0
         self.process_pool_starts = 0
         self.process_pool_reuses = 0
+        #: Broken process pools dropped (a killed/crashed worker).  The owning
+        #: session pairs each drop with one transparent retry of the pass.
+        self.broken_drops = 0
 
     # ------------------------------------------------------------------
     # Provider interface (see matching.EphemeralPools)
@@ -108,9 +111,12 @@ class PersistentExecutorPool:
         except concurrent.futures.BrokenExecutor:
             # A crashed worker leaves the executor permanently unusable.
             # Drop it so the next pass re-primes a fresh pool instead of
-            # re-raising BrokenProcessPool for the rest of the session.
+            # re-raising BrokenProcessPool for the rest of the session; the
+            # session layer catches the exception and retries the pass once
+            # against the freshly built pool.
             broken, self._process_pool = self._process_pool, None
             self._primed_version = None
+            self.broken_drops += 1
             if broken is not None:
                 broken.shutdown(wait=False)
             raise

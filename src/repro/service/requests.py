@@ -192,6 +192,15 @@ class MatchReport:
     process pool had to be (re)created for it -- in a healthy warm session the
     first evaluation primes the pool and every later report shows
     ``plan_reused=True, pool_reprimed=False``.
+
+    The shard/zone fields cover the sharded deployments (``shards > 0`` in
+    :class:`~repro.service.config.ServiceConfig`): ``zones_skipped`` standing
+    zones had a current dirty-index frontier and were answered from
+    remembered outcomes; ``shipped_ciphertexts``/``bytes_shipped`` is what
+    actually crossed the process boundary, ``resident_hits`` the candidates
+    evaluated from ciphertexts already resident in worker processes.
+    ``pool_rebuilt`` is True when a broken process pool (a killed worker) was
+    transparently rebuilt and the pass retried.
     """
 
     notifications: tuple[Notification, ...]
@@ -201,6 +210,12 @@ class MatchReport:
     pairings_spent: int
     plan_reused: bool
     pool_reprimed: bool
+    zones_evaluated: int = 0
+    zones_skipped: int = 0
+    shipped_ciphertexts: int = 0
+    bytes_shipped: int = 0
+    resident_hits: int = 0
+    pool_rebuilt: bool = False
 
     @property
     def notified_users(self) -> tuple[str, ...]:
@@ -214,7 +229,13 @@ class MatchReport:
 
 @dataclass(frozen=True)
 class RequestMetrics:
-    """Per-request record delivered to observers registered on the service."""
+    """Per-request record delivered to observers registered on the service.
+
+    The shard/zone fields mirror :class:`MatchReport`: they let a metrics
+    observer profile shard shipping (bytes on the wire vs. worker-resident
+    hits) and zone targeting (skipped vs. evaluated standing zones) without
+    attaching a debugger to the session.
+    """
 
     request: str
     pairings_spent: int
@@ -222,3 +243,8 @@ class RequestMetrics:
     pool_reprimed: bool
     notifications: int
     candidates: int
+    zones_evaluated: int = 0
+    zones_skipped: int = 0
+    bytes_shipped: int = 0
+    resident_hits: int = 0
+    pool_rebuilt: bool = False

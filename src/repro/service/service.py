@@ -14,7 +14,10 @@ unit of work instead:
 * requests and responses are the typed dataclasses of
   :mod:`repro.service.requests`;
 * the service owns the :class:`~repro.protocol.matching.MatchingEngine`, the
-  :class:`~repro.protocol.store.CiphertextStore` and -- the key change -- a
+  :class:`~repro.protocol.store.CiphertextStore` (or, with ``shards > 0``,
+  the :class:`~repro.protocol.shards.ShardedCiphertextStore`, whose versioned
+  shards stay resident in process workers and whose shard-version clock
+  drives the engine's per-zone dirty index) and a
   :class:`~repro.service.executor.PersistentExecutorPool` created once and
   re-primed only when the token plan changes, so high-frequency small batches
   amortise pool start-up;
@@ -34,6 +37,7 @@ totals.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import pathlib
 import random
@@ -48,6 +52,7 @@ from repro.grid.grid import Grid
 from repro.protocol.alert_system import SecureAlertSystem, SystemInitStats
 from repro.protocol.matching import MatchingEngine
 from repro.protocol.messages import LocationUpdate, TokenBatch
+from repro.protocol.shards import ShardedCiphertextStore
 from repro.protocol.store import CiphertextStore
 from repro.service.config import ServiceConfig
 from repro.service.executor import PersistentExecutorPool
@@ -100,6 +105,14 @@ class SessionStats:
     process_pool_starts: int
     process_pool_reuses: int
     pool_reprimes: int
+    #: Broken process pools transparently rebuilt (each paired with one
+    #: retried pass).
+    pool_rebuilds: int = 0
+    #: Shard shipping totals (sharded deployments only): full payload ships,
+    #: delta ships, and records serialized over the session's lifetime.
+    shard_full_ships: int = 0
+    shard_delta_ships: int = 0
+    records_serialized: int = 0
 
 
 class AlertService:
@@ -170,7 +183,7 @@ class AlertService:
             )
         self.system = system
         self.engine: MatchingEngine = system.provider.engine
-        self.store = CiphertextStore(max_age_seconds=self.config.max_age_seconds)
+        self.store = self._build_store()
         self._clock = 0.0
         self._zones: dict[str, StandingZone] = {}
         self._observers: list[Observer] = []
@@ -323,6 +336,13 @@ class AlertService:
             if standing.description
         }
 
+    def _build_store(self) -> CiphertextStore:
+        if self.config.shards > 0:
+            return ShardedCiphertextStore(
+                shards=self.config.shards, max_age_seconds=self.config.max_age_seconds
+            )
+        return CiphertextStore(max_age_seconds=self.config.max_age_seconds)
+
     def _evaluate_batches(
         self,
         request_name: str,
@@ -334,17 +354,37 @@ class AlertService:
         reuses_before = self.engine.plan_reuses
         pool_starts_before = self.pool.process_pool_starts if self.pool is not None else 0
 
-        candidates = self.store.fresh_candidates(self._clock)
-        notifications = tuple(self.engine.match(batches, candidates, descriptions=descriptions))
+        pool_rebuilt = False
+        try:
+            notifications = tuple(
+                self.engine.match_store(batches, self.store, self._clock, descriptions=descriptions)
+            )
+        except concurrent.futures.BrokenExecutor:
+            # A killed worker broke the process pool mid-pass.  The pool
+            # provider already dropped the broken pool (and no partial
+            # outcomes or pairing totals were merged), so one retry runs the
+            # whole pass against a freshly primed pool.  A second failure is
+            # a real problem and propagates.
+            pool_rebuilt = True
+            notifications = tuple(
+                self.engine.match_store(batches, self.store, self._clock, descriptions=descriptions)
+            )
+        pass_stats = self.engine.last_pass
         pool_starts_after = self.pool.process_pool_starts if self.pool is not None else 0
         report = MatchReport(
             notifications=notifications,
             alerts_evaluated=tuple(batch.alert_id for batch in batches),
-            candidates=len(candidates),
+            candidates=pass_stats.candidates,
             tokens_evaluated=sum(len(batch.tokens) for batch in batches),
             pairings_spent=counter.total - pairings_before,
             plan_reused=self.engine.plan_reuses > reuses_before,
             pool_reprimed=pool_starts_after > pool_starts_before,
+            zones_evaluated=pass_stats.zones_evaluated,
+            zones_skipped=pass_stats.zones_skipped,
+            shipped_ciphertexts=pass_stats.ciphertexts_shipped,
+            bytes_shipped=pass_stats.bytes_shipped,
+            resident_hits=pass_stats.resident_hits,
+            pool_rebuilt=pool_rebuilt,
         )
         self._emit(request_name, report)
         return report
@@ -417,13 +457,20 @@ class AlertService:
             pool_reprimed=report.pool_reprimed if report is not None else False,
             notifications=len(report.notifications) if report is not None else 0,
             candidates=report.candidates if report is not None else 0,
+            zones_evaluated=report.zones_evaluated if report is not None else 0,
+            zones_skipped=report.zones_skipped if report is not None else 0,
+            bytes_shipped=report.bytes_shipped if report is not None else 0,
+            resident_hits=report.resident_hits if report is not None else 0,
+            pool_rebuilt=report.pool_rebuilt if report is not None else False,
         )
         for observer in list(self._observers):
             observer(metrics)
 
     def session_stats(self) -> SessionStats:
-        """Aggregate counters of this session (requests, pairings, pools)."""
+        """Aggregate counters of this session (requests, pairings, pools, shards)."""
         pool = self.pool
+        store = self.store
+        sharded = isinstance(store, ShardedCiphertextStore)
         return SessionStats(
             requests_handled=self._requests_handled,
             pairings_spent=self.pairing_count,
@@ -433,6 +480,10 @@ class AlertService:
             process_pool_starts=pool.process_pool_starts if pool is not None else 0,
             process_pool_reuses=pool.process_pool_reuses if pool is not None else 0,
             pool_reprimes=pool.re_primes if pool is not None else 0,
+            pool_rebuilds=pool.broken_drops if pool is not None else 0,
+            shard_full_ships=store.full_ships if sharded else 0,
+            shard_delta_ships=store.delta_ships if sharded else 0,
+            records_serialized=store.serialized_records if sharded else 0,
         )
 
     # ------------------------------------------------------------------
@@ -484,7 +535,18 @@ class AlertService:
             raise ValueError("payload is not a serialized alert-service state")
         group = self.system.authority.group
         self._clock = float(payload.get("clock", 0.0))
-        self.store = CiphertextStore.from_payload(payload["store"], group)
+        old_store = self.store
+        if self.config.shards > 0:
+            # Keep the configured shard count (membership re-derives from the
+            # pseudonym hash, so a snapshot written with a different count --
+            # or by an unsharded session -- restores cleanly either way).
+            self.store = ShardedCiphertextStore.from_payload(
+                payload["store"], group, shards=self.config.shards
+            )
+        else:
+            self.store = CiphertextStore.from_payload(payload["store"], group)
+        if isinstance(old_store, ShardedCiphertextStore):
+            old_store.close()
         if self.store.matching_state is not None:
             self.engine.import_state(self.store.matching_state)
         else:
@@ -567,6 +629,8 @@ class AlertService:
             self.system.update_sinks.remove(self._store_update)
         if self.pool is not None:
             self.pool.close()
+        if isinstance(self.store, ShardedCiphertextStore):
+            self.store.close()
 
     def __enter__(self) -> "AlertService":
         return self

@@ -1,0 +1,244 @@
+"""Sharded-vs-unsharded matching parity and the per-zone dirty index.
+
+The contract pinned here: routing a pass through a
+:class:`~repro.protocol.shards.ShardedCiphertextStore` -- whatever the shard
+count, executor or incremental setting -- produces *identical* notifications
+and *bit-exact* :class:`~repro.crypto.counting.PairingCounter` totals
+compared to the plain :class:`~repro.protocol.store.CiphertextStore`.  On top
+of parity, the dirty index must actually skip: clean zones report as skipped,
+a fully-warm tick replays without pairings, and a single move dirties every
+zone exactly once.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.protocol.matching import MatchingEngine, MatchingOptions
+from repro.protocol.messages import LocationUpdate, TokenBatch
+from repro.protocol.shards import ShardedCiphertextStore
+from repro.protocol.store import CiphertextStore
+
+N_CELLS = 10
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = random.Random(508)
+    probabilities = [rng.uniform(0.05, 0.95) for _ in range(N_CELLS)]
+    encoding = HuffmanEncodingScheme().build(probabilities)
+    group = BilinearGroup(prime_bits=32, rng=random.Random(509))
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(510))
+    keys = hve.setup()
+    return encoding, hve, keys
+
+
+def _update(world, user_id, cell, sequence=0):
+    encoding, hve, keys = world
+    ciphertext = hve.encrypt(keys.public, encoding.index_of(cell))
+    return LocationUpdate(user_id=user_id, ciphertext=ciphertext, sequence_number=sequence)
+
+
+def _batch(world, alert_id, cells):
+    encoding, hve, keys = world
+    tokens = tuple(hve.generate_tokens(keys.secret, encoding.token_patterns(sorted(cells))))
+    return TokenBatch(alert_id=alert_id, tokens=tokens)
+
+
+def _drive(world, store, options, moves):
+    """One scripted session: ingest, declare, tick, move, tick, purge, tick.
+
+    Returns (per-pass notification keys, total pairings) so two stores can be
+    compared outcome-for-outcome and pairing-for-pairing.
+    """
+    encoding, hve, keys = world
+    engine = MatchingEngine(hve, options)
+    before = hve.group.counter.total
+    for i in range(8):
+        store.ingest(_update(world, f"user-{i:02d}", i % N_CELLS), received_at=0.0)
+    batches = [
+        _batch(world, "alert-a", [0, 1, 2]),
+        _batch(world, "alert-b", [4, 5]),
+    ]
+    passes = []
+    for step, (mover, cell) in enumerate(moves):
+        if mover is not None:
+            store.ingest(_update(world, mover, cell, sequence=step + 1), received_at=float(step))
+        notifications = engine.match_store(batches, store, float(step))
+        passes.append([(n.user_id, n.alert_id) for n in notifications])
+    return passes, hve.group.counter.total - before, engine
+
+
+MOVES = [(None, 0), (None, 0), ("user-03", 1), (None, 0), ("user-06", 7), (None, 0)]
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_inline_parity(self, world, shards, incremental):
+        options = MatchingOptions(incremental=incremental)
+        plain, plain_pairings, _ = _drive(world, CiphertextStore(), options, MOVES)
+        sharded, sharded_pairings, _ = _drive(
+            world, ShardedCiphertextStore(shards=shards), options, MOVES
+        )
+        assert sharded == plain
+        assert sharded_pairings == plain_pairings
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_thread_executor_parity(self, world, incremental):
+        options = MatchingOptions(workers=2, incremental=incremental)
+        plain, plain_pairings, _ = _drive(world, CiphertextStore(), options, MOVES)
+        sharded, sharded_pairings, _ = _drive(
+            world, ShardedCiphertextStore(shards=3), options, MOVES
+        )
+        assert sharded == plain
+        assert sharded_pairings == plain_pairings
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_process_executor_parity(self, world, incremental):
+        options = MatchingOptions(workers=2, executor="process", incremental=incremental)
+        plain, plain_pairings, _ = _drive(world, CiphertextStore(), options, MOVES)
+        sharded, sharded_pairings, _ = _drive(
+            world, ShardedCiphertextStore(shards=3), options, MOVES
+        )
+        assert sharded == plain
+        assert sharded_pairings == plain_pairings
+
+    def test_naive_strategy_parity(self, world):
+        options = MatchingOptions(strategy="naive", order="declared", incremental=True)
+        plain, plain_pairings, _ = _drive(world, CiphertextStore(), options, MOVES)
+        sharded, sharded_pairings, _ = _drive(
+            world, ShardedCiphertextStore(shards=2), options, MOVES
+        )
+        assert sharded == plain
+        assert sharded_pairings == plain_pairings
+
+
+@pytest.fixture(scope="module")
+def world_module(world):
+    return world
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_property_sharded_parity(world_module, data):
+    """Property: random populations, zones, moves and shard counts never
+    change notifications or pairing totals versus the unsharded store."""
+    world = world_module
+    n_users = data.draw(st.integers(min_value=1, max_value=10), label="users")
+    shards = data.draw(st.integers(min_value=1, max_value=6), label="shards")
+    incremental = data.draw(st.booleans(), label="incremental")
+    zone_a = data.draw(
+        st.sets(st.integers(0, N_CELLS - 1), min_size=1, max_size=4), label="zone_a"
+    )
+    zone_b = data.draw(
+        st.sets(st.integers(0, N_CELLS - 1), min_size=1, max_size=3), label="zone_b"
+    )
+    moves = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n_users - 1), st.integers(0, N_CELLS - 1)),
+            min_size=0,
+            max_size=4,
+        ),
+        label="moves",
+    )
+    cells = [data.draw(st.integers(0, N_CELLS - 1), label=f"cell{i}") for i in range(n_users)]
+
+    def drive(store):
+        encoding, hve, keys = world
+        engine = MatchingEngine(hve, MatchingOptions(incremental=incremental))
+        before = hve.group.counter.total
+        for i in range(n_users):
+            store.ingest(_update(world, f"u{i:02d}", cells[i]), received_at=0.0)
+        batches = [_batch(world, "A", zone_a), _batch(world, "B", zone_b)]
+        passes = [[(n.user_id, n.alert_id) for n in engine.match_store(batches, store, 0.0)]]
+        for step, (who, cell) in enumerate(moves):
+            store.ingest(_update(world, f"u{who:02d}", cell, sequence=step + 1), received_at=0.0)
+            passes.append(
+                [(n.user_id, n.alert_id) for n in engine.match_store(batches, store, 0.0)]
+            )
+        # A final warm tick: nothing changed since the last pass.
+        passes.append([(n.user_id, n.alert_id) for n in engine.match_store(batches, store, 0.0)])
+        return passes, hve.group.counter.total - before
+
+    plain, plain_pairings = drive(CiphertextStore())
+    sharded, sharded_pairings = drive(ShardedCiphertextStore(shards=shards))
+    assert sharded == plain
+    assert sharded_pairings == plain_pairings
+
+
+class TestDirtyIndex:
+    def test_warm_tick_skips_every_zone(self, world):
+        encoding, hve, keys = world
+        store = ShardedCiphertextStore(shards=4)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        for i in range(6):
+            store.ingest(_update(world, f"user-{i:02d}", i), received_at=0.0)
+        batches = [_batch(world, "A", [0, 1]), _batch(world, "B", [4])]
+        first = engine.match_store(batches, store, 0.0)
+        assert engine.last_pass.zones_evaluated == 2
+
+        before = hve.group.counter.total
+        second = engine.match_store(batches, store, 0.0)
+        assert engine.last_pass.zones_skipped == 2
+        assert engine.last_pass.zones_evaluated == 0
+        assert hve.group.counter.total == before
+        assert second == first
+
+    def test_move_dirties_zones_for_one_pass(self, world):
+        encoding, hve, keys = world
+        store = ShardedCiphertextStore(shards=4)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        for i in range(6):
+            store.ingest(_update(world, f"user-{i:02d}", i), received_at=0.0)
+        batches = [_batch(world, "A", [0, 1]), _batch(world, "B", [4])]
+        engine.match_store(batches, store, 0.0)
+        store.ingest(_update(world, "user-02", 4, sequence=1), received_at=0.0)
+        engine.match_store(batches, store, 0.0)
+        assert engine.last_pass.zones_evaluated == 2  # frontier behind the dirty shard
+        engine.match_store(batches, store, 0.0)
+        assert engine.last_pass.zones_skipped == 2  # caught up again
+
+    def test_expiry_dirties_via_purge_and_drops_notifications(self, world):
+        encoding, hve, keys = world
+        store = ShardedCiphertextStore(shards=4, max_age_seconds=10.0)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        store.ingest(_update(world, "inside", 0), received_at=0.0)
+        store.ingest(_update(world, "other", 5), received_at=0.0)
+        batches = [_batch(world, "A", [0])]
+        first = engine.match_store(batches, store, 1.0)
+        assert ("inside", "A") in [(n.user_id, n.alert_id) for n in first]
+
+        # Both reports expire; the purge advances shard versions, so the
+        # warm replay cannot resurrect the stale notification.
+        late = engine.match_store(batches, store, 100.0)
+        assert late == []
+        assert len(store) == 0
+        assert engine.last_pass.candidates == 0
+
+    def test_forget_alert_invalidates_frontier(self, world):
+        encoding, hve, keys = world
+        store = ShardedCiphertextStore(shards=4)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        store.ingest(_update(world, "user-00", 0), received_at=0.0)
+        batches = [_batch(world, "A", [0])]
+        first = engine.match_store(batches, store, 0.0)
+        engine.forget_alert("A")
+        again = engine.match_store(batches, store, 0.0)
+        assert engine.last_pass.zones_evaluated == 1  # no stale skip
+        assert again == first
+
+    def test_redeclared_zone_with_new_tokens_is_dirty(self, world):
+        encoding, hve, keys = world
+        store = ShardedCiphertextStore(shards=4)
+        engine = MatchingEngine(hve, MatchingOptions(incremental=True))
+        store.ingest(_update(world, "user-00", 4), received_at=0.0)
+        engine.match_store([_batch(world, "A", [0])], store, 0.0)
+        moved = engine.match_store([_batch(world, "A", [4])], store, 0.0)
+        assert engine.last_pass.zones_evaluated == 1
+        assert [(n.user_id, n.alert_id) for n in moved] == [("user-00", "A")]

@@ -1,0 +1,297 @@
+"""Tests for the sharded ciphertext store: versions, shipping, residency.
+
+Covers the shard lifecycle edges named in the PR: purge-on-expiry advancing
+shard versions, warm (empty-delta) ships doing zero serialization (asserted
+through a counting serializer stub), floor-file rewrites when the delta
+outgrows the shard, resident-state sync (full load, delta apply, idempotent
+re-apply) and persistence-format compatibility with the unsharded store.
+Matching parity over the sharded store lives in
+``test_matching_sharded.py``; the session-level behaviour in
+``tests/service/test_sharded_service.py``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.crypto.serialization import ciphertext_to_wire
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.protocol.messages import LocationUpdate
+from repro.protocol.shards import (
+    DEFAULT_SHARD_COUNT,
+    ResidentShard,
+    ShardedCiphertextStore,
+    shard_of_user,
+)
+from repro.protocol.store import CiphertextStore
+
+PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6, 0.3, 0.25, 0.15]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+    group = BilinearGroup(prime_bits=32, rng=random.Random(171))
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(172))
+    keys = hve.setup()
+    return encoding, hve, keys
+
+
+def _update(setup, user_id, cell, sequence=0):
+    encoding, hve, keys = setup
+    ciphertext = hve.encrypt(keys.public, encoding.index_of(cell))
+    return LocationUpdate(user_id=user_id, ciphertext=ciphertext, sequence_number=sequence)
+
+
+class CountingSerializer:
+    """A serializer stub that counts calls while producing real wire forms."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, ciphertext):
+        self.calls += 1
+        return ciphertext_to_wire(ciphertext)
+
+
+class TestShardStructure:
+    def test_membership_is_deterministic_and_in_range(self):
+        for n in (1, 3, 8):
+            for i in range(50):
+                user = f"user-{i:03d}"
+                shard = shard_of_user(user, n)
+                assert 0 <= shard < n
+                assert shard == shard_of_user(user, n)
+
+    def test_store_places_reports_by_hash(self, setup):
+        store = ShardedCiphertextStore(shards=4)
+        for i in range(12):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        for shard_id in range(4):
+            for user in store.shard_users(shard_id):
+                assert store.shard_of(user) == shard_id
+        assert sum(len(store.shard_users(s)) for s in range(4)) == 12
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardedCiphertextStore(shards=0)
+
+
+class TestVersionClock:
+    def test_ingest_bumps_only_the_owning_shard(self, setup):
+        store = ShardedCiphertextStore(shards=4)
+        before = store.shard_versions()
+        assert before == (0, 0, 0, 0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        after = store.shard_versions()
+        owner = store.shard_of("alice")
+        assert after[owner] == 1
+        assert sum(after) == 1
+
+    def test_stale_ingest_does_not_bump(self, setup):
+        store = ShardedCiphertextStore(shards=4)
+        store.ingest(_update(setup, "alice", 2, sequence=5), received_at=0.0)
+        versions = store.shard_versions()
+        assert not store.ingest(_update(setup, "alice", 3, sequence=4), received_at=1.0)
+        assert store.shard_versions() == versions
+
+    def test_purge_on_expiry_advances_shard_versions(self, setup):
+        store = ShardedCiphertextStore(shards=4, max_age_seconds=60.0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 3), received_at=100.0)
+        owner = store.shard_of("alice")
+        versions = store.shard_versions()
+        assert store.purge_stale(now=110.0) == 1
+        after = store.shard_versions()
+        assert after[owner] == versions[owner] + 1
+        # Only alice's shard moved (unless bob shares it, in which case the
+        # single bump is still alice's removal).
+        assert sum(after) == sum(versions) + 1
+        assert "alice" not in store
+
+
+class TestShipping:
+    def test_first_ship_is_full_then_warm_ships_are_empty_deltas(self, setup):
+        serializer = CountingSerializer()
+        store = ShardedCiphertextStore(shards=2, serializer=serializer)
+        for i in range(6):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        first = [store.ship_plan(s) for s in range(2)]
+        assert all(s.full_ship for s in first)
+        assert serializer.calls == 6
+        assert sum(s.record_count for s in first) == 6
+        assert all(os.path.exists(s.spool_path) for s in first)
+        assert all(s.bytes_shipped > 0 for s in first)
+
+        # Empty-delta passes serialize nothing at all.
+        warm = [store.ship_plan(s) for s in range(2)]
+        assert serializer.calls == 6
+        assert all(not s.full_ship for s in warm)
+        assert all(s.upserts == () and s.removals == () for s in warm)
+        assert all(s.bytes_shipped == 0 for s in warm)
+
+    def test_delta_carries_only_changes_and_caches_their_wire(self, setup):
+        serializer = CountingSerializer()
+        store = ShardedCiphertextStore(shards=1, serializer=serializer)
+        for i in range(5):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        store.ship_plan(0)
+        baseline = serializer.calls
+        store.ingest(_update(setup, "user-01", 4, sequence=1), received_at=1.0)
+        delta = store.ship_plan(0)
+        assert not delta.full_ship
+        assert [u for u, _, _ in delta.upserts] == ["user-01"]
+        assert serializer.calls == baseline + 1
+        # Re-shipping the same delta (another pass before new changes) reuses
+        # the cached wire form.
+        again = store.ship_plan(0)
+        assert [u for u, _, _ in again.upserts] == ["user-01"]
+        assert serializer.calls == baseline + 1
+
+    def test_purge_ships_as_removal(self, setup):
+        store = ShardedCiphertextStore(shards=1, max_age_seconds=60.0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 3), received_at=100.0)
+        store.ship_plan(0)
+        store.purge_stale(now=110.0)
+        delta = store.ship_plan(0)
+        assert delta.removals == ("alice",)
+        assert delta.upserts == ()
+
+    def test_floor_rewrites_when_delta_outgrows_shard(self, setup):
+        store = ShardedCiphertextStore(shards=1)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 3), received_at=0.0)
+        first = store.ship_plan(0)
+        # Churn more changes than the shard holds members: re-shipping the
+        # delta would cost more than a fresh floor, so the floor advances.
+        for sequence in range(1, 4):
+            store.ingest(_update(setup, "alice", 1, sequence=sequence), received_at=0.0)
+            store.ingest(_update(setup, "bob", 1, sequence=sequence), received_at=0.0)
+        store.ingest(_update(setup, "carol", 5), received_at=0.0)
+        rebuilt = store.ship_plan(0)
+        assert rebuilt.full_ship
+        assert rebuilt.floor_version == store.shard_version(0)
+        assert rebuilt.spool_path != first.spool_path
+        assert not os.path.exists(first.spool_path)
+
+    def test_paused_trickle_stops_reshipping_its_delta(self, setup):
+        store = ShardedCiphertextStore(shards=1)
+        for i in range(8):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        store.ship_plan(0)
+        store.ingest(_update(setup, "user-01", 4, sequence=1), received_at=1.0)
+        # The same one-record delta must not be re-shipped forever once the
+        # shard's changes pause: after a few repeats the floor advances and
+        # later warm ships carry nothing.
+        ships = [store.ship_plan(0) for _ in range(8)]
+        assert any(s.full_ship for s in ships)
+        assert ships[-1].upserts == () and ships[-1].bytes_shipped == 0
+
+    def test_close_removes_spool_dir(self, setup):
+        store = ShardedCiphertextStore(shards=1)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        path = store.ship_plan(0).spool_path
+        directory = os.path.dirname(path)
+        assert os.path.isdir(directory)
+        store.close()
+        assert not os.path.exists(directory)
+
+
+class TestResidentShard:
+    def test_full_load_then_delta_then_idempotent_reapply(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=1)
+        for i in range(4):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        resident = ResidentShard(hve.group)
+        resident.sync(store.ship_plan(0).handle())
+        assert resident.spool_loads == 1
+        assert len(resident) == 4
+        rebuilt = resident.ciphertext("user-00")
+        # Cached: the same object serves later passes.
+        assert resident.ciphertext("user-00") is rebuilt
+
+        store.ingest(_update(setup, "user-02", 5, sequence=1), received_at=1.0)
+        handle = store.ship_plan(0).handle()
+        resident.sync(handle)
+        assert resident.spool_loads == 1  # no re-load, delta applied
+        assert resident.deltas_applied == 1
+        assert resident.version == store.shard_version(0)
+        # Unchanged users keep their rebuilt ciphertexts across the delta.
+        assert resident.ciphertext("user-00") is rebuilt
+
+        # Re-applying the same shipment (same version) is a no-op.
+        resident.sync(handle)
+        assert resident.deltas_applied == 1
+
+    def test_stale_resident_below_floor_reloads_spool(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=1)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ship_plan(0)
+        # A brand-new resident (e.g. a worker in a rebuilt pool) has no state
+        # at all and must bootstrap from the spool file.
+        fresh = ResidentShard(hve.group)
+        fresh.sync(store.ship_plan(0).handle())
+        assert fresh.spool_loads == 1
+        assert "alice" in fresh
+
+    def test_removal_drops_resident_entry(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=1, max_age_seconds=60.0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 3), received_at=100.0)
+        resident = ResidentShard(hve.group)
+        resident.sync(store.ship_plan(0).handle())
+        store.purge_stale(now=110.0)
+        resident.sync(store.ship_plan(0).handle())
+        assert "alice" not in resident
+        assert "bob" in resident
+
+
+class TestPersistence:
+    def test_payload_round_trip_keeps_shard_count(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=5)
+        for i in range(6):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=3.0)
+        payload = store.to_payload()
+        assert payload["shards"] == 5
+        restored = ShardedCiphertextStore.from_payload(payload, hve.group)
+        assert restored.shard_count == 5
+        assert len(restored) == 6
+        assert restored.shard_users(2) == store.shard_users(2)
+        # A fresh version history: nothing shipped yet, first ship is full.
+        assert restored.shard_versions() == (0,) * 5
+        assert restored.ship_plan(0).full_ship
+
+    def test_unsharded_class_reads_sharded_payload(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=3)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        plain = CiphertextStore.from_payload(store.to_payload(), hve.group)
+        assert "alice" in plain and len(plain) == 1
+
+    def test_sharded_class_reads_unsharded_payload(self, setup):
+        encoding, hve, keys = setup
+        plain = CiphertextStore()
+        plain.ingest(_update(setup, "alice", 2), received_at=0.0)
+        sharded = ShardedCiphertextStore.from_payload(plain.to_payload(), hve.group)
+        assert sharded.shard_count == DEFAULT_SHARD_COUNT
+        assert "alice" in sharded
+
+    def test_save_load_round_trip(self, setup, tmp_path):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=3, max_age_seconds=120.0)
+        for i in range(4):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=1.0)
+        path = tmp_path / "store.json"
+        store.save(path)
+        restored = ShardedCiphertextStore.load(path, hve.group)
+        assert restored.shard_count == 3
+        assert restored.max_age_seconds == 120.0
+        assert len(restored) == 4

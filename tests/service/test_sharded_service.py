@@ -1,0 +1,254 @@
+"""Session-level behaviour of sharded deployments (``shards > 0``).
+
+End-to-end parity with the unsharded session, shard/zone receipt fields and
+observer metrics, the empty-delta zero-serialization guarantee, snapshot /
+restore (including a re-subscription landing in the correct shard) and the
+transparent rebuild-and-retry of a broken process pool.
+"""
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.crypto.serialization import ciphertext_to_wire
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.grid.alert_zone import AlertZone
+from repro.protocol.shards import ShardedCiphertextStore
+from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
+
+USERS = 10
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(
+        rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=23, extent_meters=600.0
+    )
+
+
+def _drive(scenario, config, steps=4):
+    """A scripted warm session; returns per-pass outcomes and the reports."""
+    rng = random.Random(41)
+    outcomes = []
+    reports = []
+    with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+        for i in range(USERS):
+            cell = rng.randrange(scenario.grid.n_cells)
+            service.subscribe(
+                Subscribe(user_id=f"user-{i:03d}", location=scenario.grid.cell_center(cell))
+            )
+        service.publish_zone(
+            PublishZone(alert_id="zone-a", zone=AlertZone(cell_ids=(5, 6, 7, 11)), evaluate=False)
+        )
+        service.publish_zone(
+            PublishZone(alert_id="zone-b", zone=AlertZone(cell_ids=(20, 21, 26)), evaluate=False)
+        )
+        for step in range(steps):
+            if step % 2 == 1:
+                mover = f"user-{rng.randrange(USERS):03d}"
+                cell = rng.randrange(scenario.grid.n_cells)
+                service.move(Move(user_id=mover, location=scenario.grid.cell_center(cell)))
+            report = service.evaluate_standing()
+            outcomes.append((report.notified_users, report.pairings_spent))
+            reports.append(report)
+        stats = service.session_stats()
+    return outcomes, reports, stats
+
+
+def _config(shards, **overrides):
+    base = dict(prime_bits=32, seed=17, incremental=True, shards=shards)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+class TestShardedSessionParity:
+    def test_inline_parity_and_receipts(self, scenario):
+        plain, _, _ = _drive(scenario, _config(0))
+        sharded, reports, stats = _drive(scenario, _config(6))
+        assert sharded == plain
+        # Cold and post-move passes evaluate; warm ticks skip both zones.
+        assert reports[0].zones_evaluated == 2
+        assert reports[1].zones_evaluated == 2  # step 1 moved a user first
+        assert reports[2].zones_skipped == 2
+        assert reports[3].zones_evaluated == 2  # step 3 moved again
+        assert stats.records_serialized == 0  # inline path never serializes
+
+    def test_process_executor_parity_and_shipping(self, scenario):
+        plain, _, _ = _drive(scenario, _config(0, workers=2, executor="process"))
+        sharded, reports, stats = _drive(scenario, _config(6, workers=2, executor="process"))
+        assert sharded == plain
+        first = reports[0]
+        assert first.shipped_ciphertexts == USERS  # cold pass ships everyone
+        assert first.bytes_shipped > 0
+        # The moved-user pass ships exactly the delta.
+        moved = reports[1]
+        assert moved.shipped_ciphertexts == 1
+        assert stats.shard_full_ships >= 1
+        assert stats.records_serialized >= USERS
+
+    def test_observer_metrics_carry_shard_fields(self, scenario):
+        config = _config(4, workers=2, executor="process")
+        metrics = []
+        rng = random.Random(3)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            service.add_observer(metrics.append)
+            for i in range(6):
+                service.subscribe(
+                    Subscribe(
+                        user_id=f"user-{i:03d}",
+                        location=scenario.grid.cell_center(rng.randrange(36)),
+                    )
+                )
+            service.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(5, 6)), evaluate=False)
+            )
+            service.evaluate_standing()
+            service.evaluate_standing()
+        ticks = [m for m in metrics if m.request == "evaluate_standing"]
+        assert ticks[0].bytes_shipped > 0
+        assert ticks[0].zones_evaluated == 1
+        assert ticks[1].zones_skipped == 1
+        assert ticks[1].bytes_shipped == 0
+
+
+class TestEmptyDeltaSerialization:
+    def test_warm_ticks_serialize_nothing(self, scenario):
+        config = _config(4, workers=2, executor="process")
+        rng = random.Random(9)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            for i in range(6):
+                service.subscribe(
+                    Subscribe(
+                        user_id=f"user-{i:03d}",
+                        location=scenario.grid.cell_center(rng.randrange(36)),
+                    )
+                )
+            service.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(5, 6, 7)), evaluate=False)
+            )
+            service.evaluate_standing()  # cold: full ships
+
+            store = service.store
+            assert isinstance(store, ShardedCiphertextStore)
+            calls = []
+
+            def counting(ciphertext):
+                calls.append(1)
+                return ciphertext_to_wire(ciphertext)
+
+            store.serializer = counting
+            # Incremental answers warm ticks before any shipping; force full
+            # re-evaluation passes through the store by moving one user, then
+            # count over the *other* users: only the mover is serialized.
+            service.move(Move(user_id="user-000", location=scenario.grid.cell_center(8)))
+            service.evaluate_standing()
+            assert len(calls) == 1
+            # A tick with no ingest at all serializes nothing.
+            calls.clear()
+            service.evaluate_standing()
+            assert calls == []
+
+
+class TestSnapshotRestore:
+    def test_restore_and_resubscribe_land_in_correct_shard(self, scenario):
+        config = _config(5)
+        rng = random.Random(13)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            for i in range(6):
+                service.subscribe(
+                    Subscribe(
+                        user_id=f"user-{i:03d}",
+                        location=scenario.grid.cell_center(rng.randrange(36)),
+                    )
+                )
+            service.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(5, 6)), evaluate=False)
+            )
+            first = service.evaluate_standing()
+            snapshot = service.snapshot()
+
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as restored:
+            restored.restore(snapshot)
+            store = restored.store
+            assert isinstance(store, ShardedCiphertextStore)
+            assert store.shard_count == 5
+            for shard_id in range(5):
+                for user in store.shard_users(shard_id):
+                    assert store.shard_of(user) == shard_id
+            # Re-subscribing a known pseudonym continues its sequence and its
+            # fresh report lands in the same shard as before.
+            owner_before = store.shard_of("user-002")
+            receipt = restored.subscribe(
+                Subscribe(user_id="user-002", location=scenario.grid.cell_center(5))
+            )
+            assert receipt.stored
+            assert receipt.sequence_number == store.report_for("user-002").sequence_number
+            assert store.shard_of("user-002") == owner_before
+            report = restored.evaluate_standing()
+            assert "user-002" in report.notified_users
+            # The first post-restore evaluation could not use a stale frontier.
+            assert report.zones_evaluated == 1
+
+    def test_restore_from_unsharded_snapshot(self, scenario):
+        rng = random.Random(29)
+        with AlertService(scenario.grid, scenario.probabilities, config=_config(0)) as plain:
+            for i in range(4):
+                plain.subscribe(
+                    Subscribe(
+                        user_id=f"user-{i:03d}",
+                        location=scenario.grid.cell_center(rng.randrange(36)),
+                    )
+                )
+            plain.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(5, 6)), evaluate=False)
+            )
+            expected = plain.evaluate_standing().notified_users
+            snapshot = plain.snapshot()
+        with AlertService(scenario.grid, scenario.probabilities, config=_config(3)) as sharded:
+            sharded.restore(snapshot)
+            assert isinstance(sharded.store, ShardedCiphertextStore)
+            assert sharded.store.shard_count == 3
+            assert sharded.evaluate_standing().notified_users == expected
+
+
+class TestBrokenPoolRecovery:
+    def test_killed_worker_is_rebuilt_and_pass_retried(self, scenario):
+        config = _config(4, workers=2, executor="process")
+        rng = random.Random(5)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            for i in range(6):
+                service.subscribe(
+                    Subscribe(
+                        user_id=f"user-{i:03d}",
+                        location=scenario.grid.cell_center(rng.randrange(36)),
+                    )
+                )
+            service.publish_zone(
+                PublishZone(alert_id="z", zone=AlertZone(cell_ids=(5, 6, 7, 11)), evaluate=False)
+            )
+            baseline = service.evaluate_standing()
+            assert not baseline.pool_rebuilt
+
+            # Kill one live worker; the next pass must rebuild the pool and
+            # retry transparently instead of surfacing BrokenProcessPool.
+            pool = service.pool._process_pool
+            victim = next(iter(pool._processes.values()))
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while victim.is_alive() and time.time() < deadline:
+                time.sleep(0.01)
+
+            service.move(Move(user_id="user-000", location=scenario.grid.cell_center(6)))
+            report = service.evaluate_standing()
+            assert report.pool_rebuilt
+            stats = service.session_stats()
+            assert stats.pool_rebuilds == 1
+            assert stats.process_pool_starts >= 2
+
+            # The session keeps working normally afterwards.
+            after = service.evaluate_standing()
+            assert not after.pool_rebuilt
+            assert after.notified_users == report.notified_users
