@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail when the warm-path per-step latency regresses >25%.
+
+Compares the freshly generated ``benchmarks/results/BENCH_provider.json``
+(written by ``benchmarks/test_dispatch_affinity.py``) against the committed
+baseline ``benchmarks/BENCH_provider_baseline.json``.
+
+Raw wall-clock is meaningless across machines, so both files carry a
+``calibration_ms`` constant -- the time of a fixed pure-Python workload on the
+same host, in the same run.  What is compared is the *calibrated* per-step
+latency (``mean_step_ms / calibration_ms``): work per unit of host speed.  A
+current value more than ``THRESHOLD`` above the baseline fails the build; an
+*improvement* beyond the threshold prints a hint to refresh the baseline but
+passes.
+
+Usage::
+
+    python benchmarks/check_perf_baseline.py [current.json] [baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+THRESHOLD = 0.25
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_CURRENT = HERE / "results" / "BENCH_provider.json"
+DEFAULT_BASELINE = HERE / "BENCH_provider_baseline.json"
+
+
+def calibrated_step(payload: dict) -> float:
+    """Per-step latency in units of the host calibration workload."""
+    calibration = float(payload["calibration_ms"])
+    if calibration <= 0:
+        raise ValueError("calibration_ms must be positive")
+    return float(payload["warm_sharded_process"]["mean_step_ms"]) / calibration
+
+
+def main(argv: list[str]) -> int:
+    current_path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
+    baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+    if not current_path.exists():
+        print(f"perf gate: no current results at {current_path}; run the benchmark first")
+        return 1
+    if not baseline_path.exists():
+        print(f"perf gate: no committed baseline at {baseline_path}; nothing to compare")
+        return 1
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if current.get("workload") != baseline.get("workload"):
+        print(
+            "perf gate: workload definition changed; refresh the baseline "
+            f"(cp {current_path} {baseline_path})"
+        )
+        return 1
+    now = calibrated_step(current)
+    then = calibrated_step(baseline)
+    change = now / then - 1.0
+    print(
+        f"perf gate: calibrated per-step latency {now:.3f} vs baseline {then:.3f} "
+        f"({change:+.1%}; raw {current['warm_sharded_process']['mean_step_ms']:.2f}ms on a "
+        f"{current['calibration_ms']:.1f}ms-calibration host)"
+    )
+    if change > THRESHOLD:
+        print(f"perf gate: FAIL -- warm-path latency regressed more than {THRESHOLD:.0%}")
+        return 1
+    if change < -THRESHOLD:
+        print(
+            "perf gate: improvement beyond the threshold; consider refreshing the baseline "
+            f"(cp {current_path} {baseline_path})"
+        )
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

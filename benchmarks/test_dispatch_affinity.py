@@ -1,0 +1,237 @@
+"""Warm-path dispatch economics: affinity + acked deltas vs the PR 4 path.
+
+PR 4 made warm sharded-process passes cheap; this benchmark measures what the
+PR 5 dispatch overhaul removes from what was left:
+
+* ``pool.map`` scattering (a shard resident in several workers, cold hits
+  after rebalances) -- gone with rendezvous-pinned worker lanes;
+* floor->current delta re-shipping (a moved user re-transferred every pass
+  until the floor advances) -- gone with the per-worker acked-version
+  handshake.
+
+Four flavours run the same scripted warm standing-zone workload (incremental
+off, so every pass re-evaluates the full population and pairing work is
+identical everywhere -- the differences are pure dispatch):
+
+* ``unsharded/thread`` and ``sharded/thread`` -- the in-process baselines; the
+  sharded store must not tax executors that never ship (asserted >= 0.95x);
+* ``sharded/process/floor`` -- PR 4's path (``affinity=False``);
+* ``sharded/process/affinity`` -- the dispatch overhaul (pinned lanes, acked
+  deltas, in-place re-prime).
+
+Each flavour is measured over alternating rounds (best-of), so a background
+load hitting one round does not skew the comparison -- the ordering artifact
+that made PR 4's table show a phantom sharded-thread regression.
+
+Besides the human-readable table (``results/dispatch_affinity.txt``), the run
+emits ``results/BENCH_provider.json``: the machine-readable per-step
+trajectory of the warm sharded-process session (per-step ms, bytes shipped,
+resident hits) plus a CPU calibration constant.  CI regenerates it on every
+push and ``benchmarks/check_perf_baseline.py`` fails the build if the
+calibrated per-step latency regresses more than 25% against the committed
+baseline -- closing the ROADMAP item on recording provider-side throughput
+across PRs.
+"""
+
+import json
+import random
+import time
+
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.grid.alert_zone import AlertZone
+from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
+
+from .conftest import RESULTS_DIR, publish_table
+
+USERS = 160
+STEPS = 6
+MOVERS_PER_STEP = 2
+WORKERS = 2
+SHARDS = 8
+ROUNDS = 2
+ZONE_CELLS = ((9, 10, 11, 17), (40, 41, 48))
+
+FLAVOURS = {
+    "unsharded/thread": dict(shards=0, executor="thread"),
+    "sharded/thread": dict(shards=SHARDS, executor="thread"),
+    "sharded/process/floor": dict(shards=SHARDS, executor="process", affinity=False),
+    "sharded/process/affinity": dict(shards=SHARDS, executor="process", affinity=True),
+}
+
+
+def _calibration_ms() -> float:
+    """A fixed pure-Python workload, timing the host rather than the code.
+
+    The perf gate divides per-step latency by this constant, so a committed
+    baseline from one machine remains meaningful on another (CI runners, dev
+    laptops): what is compared is work per unit of host speed, not wall-clock.
+    """
+    started = time.perf_counter()
+    acc = 3
+    for _ in range(5000):
+        acc = pow(acc, 65537, (1 << 127) - 1)
+    assert acc != 0
+    return (time.perf_counter() - started) * 1000
+
+
+def _run_flavour(scenario, overrides):
+    """One scripted warm session; returns (per-pass outcomes, measurements)."""
+    config = ServiceConfig(
+        prime_bits=32, seed=3, workers=WORKERS, incremental=False, **overrides
+    )
+    rng = random.Random(11)
+    evaluate_seconds = 0.0
+    outcomes = []
+    per_step_ms = []
+    bytes_shipped = 0
+    ciphertexts_shipped = 0
+    resident_hits = 0
+    acked_bytes = 0
+    with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+        for i in range(USERS):
+            cell = rng.randrange(scenario.grid.n_cells)
+            service.subscribe(
+                Subscribe(user_id=f"user-{i:04d}", location=scenario.grid.cell_center(cell))
+            )
+        for index, cells in enumerate(ZONE_CELLS):
+            service.publish_zone(
+                PublishZone(alert_id=f"zone-{index}", zone=AlertZone(cell_ids=cells), evaluate=False)
+            )
+        # Warm-up: primes plan, pool/lanes and resident shards; the timed
+        # window is the steady state.
+        service.evaluate_standing()
+        for step in range(STEPS):
+            for _ in range(MOVERS_PER_STEP):
+                mover = f"user-{rng.randrange(USERS):04d}"
+                cell = rng.randrange(scenario.grid.n_cells)
+                service.move(Move(user_id=mover, location=scenario.grid.cell_center(cell)))
+            started = time.perf_counter()
+            report = service.evaluate_standing()
+            elapsed = time.perf_counter() - started
+            evaluate_seconds += elapsed
+            per_step_ms.append(round(elapsed * 1000, 3))
+            outcomes.append((report.notified_users, report.pairings_spent))
+            bytes_shipped += report.bytes_shipped
+            ciphertexts_shipped += report.shipped_ciphertexts
+            resident_hits += report.resident_hits
+            acked_bytes += report.acked_delta_bytes
+        stats = service.session_stats()
+    return outcomes, {
+        "total_s": evaluate_seconds,
+        "per_step_ms": per_step_ms,
+        "bytes_shipped": bytes_shipped,
+        "ciphertexts_shipped": ciphertexts_shipped,
+        "resident_hits": resident_hits,
+        "acked_delta_bytes": acked_bytes,
+        "records_serialized": stats.records_serialized,
+        "pool_starts": stats.process_pool_starts,
+    }
+
+
+def test_dispatch_affinity_grid():
+    scenario = make_synthetic_scenario(
+        rows=8, cols=8, sigmoid_a=0.9, sigmoid_b=20, seed=61, extent_meters=800.0
+    )
+    calibration = _calibration_ms()
+
+    outcomes_by_flavour = {}
+    best = {}
+    # Alternating rounds: every flavour sees every phase of the host's
+    # background load, and the kept measurement is its best round.
+    for _ in range(ROUNDS):
+        for name, overrides in FLAVOURS.items():
+            outcomes, measured = _run_flavour(scenario, overrides)
+            previous = outcomes_by_flavour.setdefault(name, outcomes)
+            assert outcomes == previous  # deterministic across rounds
+            if name not in best or measured["total_s"] < best[name]["total_s"]:
+                best[name] = measured
+
+    # Identical protocol work everywhere: same notifications, bit-exact
+    # per-step pairing totals across the whole grid.
+    reference = outcomes_by_flavour["unsharded/thread"]
+    for name, outcomes in outcomes_by_flavour.items():
+        assert outcomes == reference, f"{name} diverged from the unsharded baseline"
+
+    rows = []
+    for name, measured in best.items():
+        rows.append(
+            {
+                "flavour": name,
+                "steps": STEPS,
+                "workers": WORKERS,
+                "total_s": round(measured["total_s"], 3),
+                "per_step_ms": round(measured["total_s"] / STEPS * 1000, 2),
+                "bytes_shipped": measured["bytes_shipped"],
+                "acked_delta_bytes": measured["acked_delta_bytes"],
+                "ciphertexts_shipped": measured["ciphertexts_shipped"],
+                "resident_hits": measured["resident_hits"],
+                "pool_starts": measured["pool_starts"],
+            }
+        )
+    floor = best["sharded/process/floor"]
+    affinity = best["sharded/process/affinity"]
+    for row in rows:
+        if row["flavour"] == "sharded/process/affinity":
+            row["speedup_vs_floor"] = round(floor["total_s"] / max(affinity["total_s"], 1e-9), 2)
+        else:
+            row["speedup_vs_floor"] = ""
+    publish_table(
+        "dispatch_affinity",
+        f"Warm-path dispatch: {USERS} users, {STEPS} warm full-evaluation steps "
+        f"({MOVERS_PER_STEP} moves/step), {len(ZONE_CELLS)} zones, workers={WORKERS}, "
+        f"shards={SHARDS}, best of {ROUNDS} alternating rounds (incremental off; pairing "
+        f"work identical, differences are pure dispatch)",
+        rows,
+    )
+
+    # Acceptance bar 1: warm acked-delta passes ship strictly fewer bytes
+    # than PR 4's floor-based deltas (which re-send every moved user each
+    # pass until the floor advances).  Deterministic counters, not timing.
+    assert affinity["bytes_shipped"] < floor["bytes_shipped"], (
+        f"acked deltas shipped {affinity['bytes_shipped']}B, floor path "
+        f"{floor['bytes_shipped']}B"
+    )
+    assert affinity["acked_delta_bytes"] <= affinity["bytes_shipped"]
+
+    # Acceptance bar 2: the affinity path's warm per-step latency beats the
+    # PR 4 path on the same workload.
+    speedup = floor["total_s"] / max(affinity["total_s"], 1e-9)
+    assert speedup > 1.0, f"affinity dispatch should beat the PR 4 path, got {speedup:.2f}x"
+
+    # Acceptance bar 3: the sharded store no longer taxes the thread
+    # executor -- non-process sessions evaluate straight off the live store.
+    thread_ratio = best["unsharded/thread"]["total_s"] / max(
+        best["sharded/thread"]["total_s"], 1e-9
+    )
+    assert thread_ratio >= 0.95, (
+        f"sharded-thread should match unsharded (>=0.95x), got {thread_ratio:.2f}x"
+    )
+
+    # Machine-readable trajectory for the CI perf gate.
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kind": "provider_warm_path_bench",
+        "workload": {
+            "users": USERS,
+            "steps": STEPS,
+            "movers_per_step": MOVERS_PER_STEP,
+            "workers": WORKERS,
+            "shards": SHARDS,
+            "zones": len(ZONE_CELLS),
+        },
+        "calibration_ms": round(calibration, 3),
+        "warm_sharded_process": {
+            "per_step_ms": affinity["per_step_ms"],
+            "mean_step_ms": round(affinity["total_s"] / STEPS * 1000, 3),
+            "bytes_shipped": affinity["bytes_shipped"],
+            "resident_hits": affinity["resident_hits"],
+            "pool_starts": affinity["pool_starts"],
+        },
+        "floor_reference": {
+            "mean_step_ms": round(floor["total_s"] / STEPS * 1000, 3),
+            "bytes_shipped": floor["bytes_shipped"],
+        },
+    }
+    (RESULTS_DIR / "BENCH_provider.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

@@ -152,7 +152,12 @@ def _run_session_experiment(args: argparse.Namespace) -> int:
     config = (
         ServiceConfig.builder()
         .with_crypto(prime_bits=32, seed=args.seed)
-        .with_executor(executor=args.executor, workers=args.workers)
+        .with_executor(
+            executor=args.executor,
+            workers=args.workers,
+            affinity=args.affinity,
+            ack_deltas=args.ack_deltas,
+        )
         .with_store(shards=args.shards)
         .with_matching(incremental=args.shards > 0)
         .build()
@@ -215,7 +220,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     # config (so every shared knob is plumbed exactly once) and apply the
     # session-only extras on top.
     service_config = dataclasses.replace(
-        ServiceConfig.from_simulation(config), incremental=args.incremental
+        ServiceConfig.from_simulation(config),
+        incremental=args.incremental,
+        affinity=args.affinity,
+        ack_deltas=args.ack_deltas,
     )
     with AlertServiceSimulation(
         scenario.grid, scenario.probabilities, config=config, service_config=service_config
@@ -281,6 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the ciphertext store into N versioned shards (0 keeps the unsharded store); "
         "enables incremental zone targeting for the session experiment",
     )
+    experiment.add_argument(
+        "--affinity",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="pin shards to process workers via rendezvous hashing with acked-version "
+        "deltas and in-place pool re-priming (--no-affinity restores the PR 4 pool.map path)",
+    )
+    experiment.add_argument(
+        "--ack-deltas",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="ship shard deltas against each worker's acked version (--no-ack-deltas ships "
+        "floor-based deltas while keeping affinity routing)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     simulate = subparsers.add_parser("simulate", help="run a small end-to-end service simulation")
@@ -325,6 +347,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="shard the ciphertext store into N versioned shards kept resident in process "
         "workers (0 keeps the unsharded store)",
+    )
+    simulate.add_argument(
+        "--affinity",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="pin shards to process workers via rendezvous hashing with acked-version "
+        "deltas and in-place pool re-priming (--no-affinity restores the PR 4 pool.map path)",
+    )
+    simulate.add_argument(
+        "--ack-deltas",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="ship shard deltas against each worker's acked version (--no-ack-deltas ships "
+        "floor-based deltas while keeping affinity routing)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 

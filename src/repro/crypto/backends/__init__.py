@@ -16,7 +16,7 @@ Selection order for :func:`get_backend` when no explicit choice is given:
 
 Third-party backends register with :func:`register_backend`; anything that
 implements the three-method :class:`GroupBackend` interface (native int
-conversion, ``powmod``, fused ``dot``) plugs in without touching the group,
+conversion, ``powmod``) plugs in without touching the group,
 HVE or protocol layers.
 
 One caveat for custom backends: the process-parallel matching executor

@@ -11,13 +11,13 @@ layer reduces to three operations on large integers:
   stay inside the backend's arithmetic automatically;
 * modular exponentiation (:meth:`GroupBackend.powmod`) -- the pairing work
   factor's cost model burns one large ``powmod`` per simulated pairing, which
-  is exactly the operation a real pairing library spends its time in;
-* fused sums of products (:meth:`GroupBackend.dot`) -- the accumulation core
-  of :meth:`~repro.crypto.group.BilinearGroup.pair_product`, where several
-  pairings' worth of exponent arithmetic is folded together without
-  intermediate element allocations.  (The planned HVE query path keeps its
-  own tight loop, but because every element exponent is a backend-native
-  number, that loop runs on backend arithmetic too.)
+  is exactly the operation a real pairing library spends its time in.
+
+Everything else -- including the fused accumulation in
+:meth:`~repro.crypto.group.BilinearGroup.pair_product` and the planned HVE
+query path -- runs on ordinary operators over the converted numbers: every
+element exponent is a backend-native number, so those loops stay inside the
+backend's arithmetic without any further interface.
 
 Backends must be *drop-in interchangeable*: for identical inputs every backend
 returns numerically identical results (the native number type may differ, but
@@ -72,17 +72,6 @@ class GroupBackend(ABC):
     @abstractmethod
     def powmod(self, base: Any, exponent: Any, modulus: Any) -> Any:
         """``base ** exponent mod modulus`` on native numbers."""
-
-    def dot(self, pairs: Sequence[tuple[Any, Any]]) -> Any:
-        """Fused sum of products ``sum(a * b for a, b in pairs)`` (unreduced).
-
-        The default implementation is correct for any backend; subclasses
-        override it when the native library has a cheaper accumulation path.
-        """
-        acc = 0
-        for a, b in pairs:
-            acc += a * b
-        return acc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -16,7 +16,7 @@ outcomes, same pairing counts.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any
 
 from repro.crypto.backends.base import GroupBackend
 
@@ -52,10 +52,3 @@ class Gmpy2Backend(GroupBackend):
 
     def powmod(self, base: Any, exponent: Any, modulus: Any) -> Any:
         return self._powmod(base, exponent, modulus)
-
-    def dot(self, pairs: Sequence[tuple[Any, Any]]) -> Any:
-        mpz = self._mpz
-        acc = mpz(0)
-        for a, b in pairs:
-            acc += mpz(a) * b
-        return acc

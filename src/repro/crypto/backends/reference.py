@@ -8,8 +8,6 @@ backends are tested against.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.crypto.backends.base import GroupBackend
 
 __all__ = ["ReferenceBackend"]
@@ -26,6 +24,3 @@ class ReferenceBackend(GroupBackend):
 
     def powmod(self, base: int, exponent: int, modulus: int) -> int:
         return pow(base, exponent, modulus)
-
-    def dot(self, pairs: Sequence[tuple[int, int]]) -> int:
-        return sum(a * b for a, b in pairs)

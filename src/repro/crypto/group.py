@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Union
 
 from repro.crypto.backends import GroupBackend, get_backend
 from repro.crypto.counting import PairingCounter
@@ -267,9 +267,14 @@ class BilinearGroup:
         self._prime_bits = prime_bits
         self._pairing_work_factor = pairing_work_factor
         self.counter = counter if counter is not None else PairingCounter()
-        # A fixed odd modulus and base used only to burn pairing work.
+        # A fixed odd modulus, base and exponent used only to burn pairing
+        # work.  The exponent is hoisted here because _burn_pairing_work runs
+        # once per simulated pairing -- the hottest call site in work-factor
+        # benchmarks -- and rebuilding `N | 3` there costs a large-integer
+        # allocation per call.
         self._work_modulus = self._n | 1
         self._work_base = make(0xC0FFEE) % self._work_modulus
+        self._work_exponent = self._n | 3
 
     # ------------------------------------------------------------------
     # Public parameters
@@ -455,30 +460,35 @@ class BilinearGroup:
             for _ in range(count):
                 self._burn_pairing_work()
 
-    def pair_product(self, pairs: Sequence[tuple[GroupElement, GroupElement]]) -> GTElement:
+    def pair_product(self, pairs: Iterable[tuple[GroupElement, GroupElement]]) -> GTElement:
         """Product of pairings ``prod_i e(a_i, b_i)`` via fused exponent arithmetic.
 
         Equivalent to multiplying the results of :meth:`pair` over ``pairs``
         but without allocating one :class:`GTElement` per pairing: the
-        discrete logs are accumulated as plain integers and reduced mod ``N``
-        once at the end.  Exactly ``len(pairs)`` pairings are recorded (and
-        the same pairing work is burned), so cost accounting matches the
-        element-wise path.
+        discrete logs are accumulated directly -- no intermediate list of
+        term tuples either -- and reduced mod ``N`` once at the end.  The
+        exponents are already backend-native numbers (they were reduced
+        modulo the native group order at element construction), so the
+        accumulation runs on backend arithmetic without any conversion.
+        ``pairs`` may be any iterable, including a generator.  Exactly one
+        pairing per pair is recorded (and the same pairing work is burned),
+        so cost accounting matches the element-wise path.
         """
-        terms = []
+        acc = 0
+        count = 0
         for a, b in pairs:
             if a.group is not self or b.group is not self:
                 raise ValueError("pairing arguments must belong to this group")
-            terms.append((a._discrete_log(), b._discrete_log()))
-        acc = self.backend.dot(terms)
-        self.record_pairings(len(pairs))
+            acc += a._exp * b._exp
+            count += 1
+        self.record_pairings(count)
         return GTElement(self, acc)
 
     def _burn_pairing_work(self) -> None:
         """Perform dummy modular exponentiations to emulate pairing cost."""
         acc = self._work_base
         powmod = self.backend.powmod
-        exponent = self._n | 3
+        exponent = self._work_exponent
         for _ in range(self._pairing_work_factor):
             acc = powmod(acc, exponent, self._work_modulus)
         # Prevent the loop from being optimised away conceptually; store result.

@@ -133,6 +133,14 @@ class PassStats:
     no transfer), ``ciphertexts_shipped``/``bytes_shipped`` what actually
     travelled (full shard payloads plus delta upserts); on the unsharded
     process path ``ciphertexts_shipped`` counts the per-call wire forms.
+
+    The affinity-dispatch receipts cover the PR 5 warm path:
+    ``shards_acked`` shipments were acked deltas (built against the pinned
+    worker's confirmed version rather than the floor) and
+    ``acked_delta_bytes`` is what they put on the wire; ``affinity_hits``
+    counts candidates routed to a worker that already held their shard
+    resident; ``inplace_reprimes`` is 1 when a plan change was broadcast to
+    the live pool instead of restarting it.
     """
 
     candidates: int = 0
@@ -141,9 +149,13 @@ class PassStats:
     shards_shipped: int = 0
     shards_full: int = 0
     shards_delta: int = 0
+    shards_acked: int = 0
     ciphertexts_shipped: int = 0
     bytes_shipped: int = 0
     resident_hits: int = 0
+    affinity_hits: int = 0
+    acked_delta_bytes: int = 0
+    inplace_reprimes: int = 0
 
 
 @dataclass(frozen=True)
@@ -616,22 +628,23 @@ def _process_worker_match(chunk: Sequence[tuple[tuple, tuple[int, ...]]]) -> tup
     return rows, counter.total - before
 
 
-def _shard_worker_match(
-    task: tuple[tuple, Sequence[tuple[str, tuple[int, ...]]]]
+def _evaluate_resident_worklist(
+    handle: tuple, worklist: Sequence[tuple[str, tuple[int, ...]]]
 ) -> tuple[list[list[bool]], int]:
-    """Evaluate one shard's worklist from worker-resident ciphertexts.
+    """Sync this worker's resident copy of one shard, then evaluate its worklist.
 
-    ``task`` is ``(shipment handle, worklist)`` where the handle (see
-    :meth:`repro.protocol.shards.ShardShipment.handle`) brings the worker's
-    resident copy of the shard up to the parent's version -- loading the spool
-    file on first contact, applying the state-based delta afterwards -- and
-    the worklist names ``(user_id, needed batch indices)`` jobs.  Unchanged
-    users are evaluated from ciphertexts deserialized in a *previous* pass:
-    nothing about them crossed the process boundary this call.
+    The handle (see :meth:`repro.protocol.shards.ShardShipment.handle`) brings
+    the resident shard up to the parent's version -- loading the spool file on
+    first contact, applying the state-based delta afterwards -- and the
+    worklist names ``(user_id, needed batch indices)`` jobs.  Unchanged users
+    are evaluated from ciphertexts deserialized in a *previous* pass: nothing
+    about them crossed the process boundary this call.  Returns the outcome
+    rows plus the version the resident shard ended at.  Shared by the PR 4
+    pool path and the affinity-dispatch path, so the resident-shard protocol
+    cannot diverge between them.
     """
     from repro.protocol.shards import ResidentShard
 
-    handle, worklist = task
     hve: HVE = _WORKER_STATE["hve"]
     evaluate: Evaluator = _WORKER_STATE["evaluate"]
     residents: dict[tuple[str, int], ResidentShard] = _WORKER_STATE.setdefault("resident_shards", {})
@@ -639,15 +652,102 @@ def _shard_worker_match(
     resident = residents.get(key)
     if resident is None:
         resident = residents[key] = ResidentShard(hve.group)
-    resident.sync(handle)
-    counter = hve.group.counter
-    before = counter.total
+    applied = resident.sync(handle)
     rows: list[list[bool]] = []
     for user_id, needed in worklist:
         shared: dict[int, bool] = {}
         ciphertext = resident.ciphertext(user_id)
         rows.append([evaluate(ciphertext, index, shared) for index in needed])
+    return rows, applied
+
+
+def _shard_worker_match(
+    task: tuple[tuple, Sequence[tuple[str, tuple[int, ...]]]]
+) -> tuple[list[list[bool]], int]:
+    """Evaluate one shard's worklist from worker-resident ciphertexts.
+
+    One ``(shipment handle, worklist)`` task of the PR 4 pool path; returns
+    the outcome rows and the pairings this call recorded on the worker's
+    private counter.
+    """
+    handle, worklist = task
+    counter = _WORKER_STATE["hve"].group.counter
+    before = counter.total
+    rows, _ = _evaluate_resident_worklist(handle, worklist)
     return rows, counter.total - before
+
+
+# ----------------------------------------------------------------------
+# Affinity-dispatch worker protocol (see repro.service.dispatch)
+# ----------------------------------------------------------------------
+# The dispatch layer pins every worker process behind its own single-worker
+# executor ("lane"), which is what makes the functions below meaningful:
+# a task submitted to a lane always lands in the same process, so resident
+# shards survive plan changes and the parent can track exactly which shard
+# versions each worker has applied.
+
+
+def _dispatch_worker_prime(group_wire: tuple, width: int, payload: tuple[str, Any]) -> bool:
+    """(Re)prime this worker in place: rebuild the evaluator, keep residents.
+
+    Unlike :func:`_process_worker_init` -- which runs in a *fresh* process --
+    this runs as an ordinary task inside a live worker whenever the plan
+    changes.  The group object is rebuilt only when the group constants
+    actually changed; keeping it stable is what keeps the worker's resident,
+    already-deserialized ciphertexts usable across plan churn (group elements
+    are bound to their group instance by identity).
+    """
+    group = _WORKER_STATE.get("group")
+    if group is None or _WORKER_STATE.get("group_wire") != group_wire:
+        group = wire_to_group(group_wire)
+        _WORKER_STATE["group"] = group
+        _WORKER_STATE["group_wire"] = group_wire
+        # Residents deserialized against a previous group cannot serve the
+        # new one; drop them so first contact bootstraps from the spool.
+        _WORKER_STATE.pop("resident_shards", None)
+    hve = HVE(width=width, group=group)
+    kind, data = payload
+    if kind == "planned":
+        evaluate = _make_planned_evaluator(hve, TokenPlan.from_wire(group, data))
+    else:
+        token_lists = [[wire_to_token(group, wire) for wire in batch] for batch in data]
+        evaluate = _make_naive_evaluator(hve, token_lists)
+    _WORKER_STATE["hve"] = hve
+    _WORKER_STATE["evaluate"] = evaluate
+    return True
+
+
+def _dispatch_worker_match(
+    tasks: Sequence[tuple[tuple, Sequence[tuple[str, tuple[int, ...]]]]]
+) -> tuple[tuple[tuple[int, list[list[bool]], int], ...], int]:
+    """Evaluate every shard task routed to this lane's worker.
+
+    ``tasks`` is a sequence of ``(shipment handle, worklist)`` pairs -- all
+    the shards the dispatcher pinned to this worker that have work this pass.
+    Returns, per shard, ``(shard_id, outcome rows, applied version)`` -- the
+    applied version is what the parent acks -- plus the pairings recorded by
+    this worker's private counter.  Raises
+    :class:`~repro.protocol.shards.StaleResidentShard` when a delta cannot be
+    anchored (the dispatcher then re-ships from the floor).
+    """
+    counter = _WORKER_STATE["hve"].group.counter
+    before = counter.total
+    out: list[tuple[int, list[list[bool]], int]] = []
+    for handle, worklist in tasks:
+        rows, applied = _evaluate_resident_worklist(handle, worklist)
+        out.append((handle[1], rows, applied))
+    return tuple(out), counter.total - before
+
+
+def _dispatch_worker_evict(keys: Sequence[tuple[str, int]]) -> int:
+    """Drop resident shards this worker no longer owns; returns how many."""
+    residents = _WORKER_STATE.get("resident_shards")
+    evicted = 0
+    if residents:
+        for key in keys:
+            if residents.pop(tuple(key), None) is not None:
+                evicted += 1
+    return evicted
 
 
 class EphemeralPools:
@@ -881,8 +981,18 @@ class MatchingEngine:
             batches,
             store.fresh_candidates(now),
             descriptions=descriptions,
-            sharded_store=store if sharded else None,
+            sharded_store=store if sharded and self._ships_shards() else None,
         )
+
+    def _ships_shards(self) -> bool:
+        """True when this engine's passes cross a process boundary.
+
+        Only the process executor ships anything; inline and thread matching
+        evaluate straight off the live store, so they must never be routed
+        through shipment planning (the sharded store still provides the
+        version clock for zone targeting either way).
+        """
+        return self.options.executor == "process" and self.options.workers > 1
 
     def _match_store_targeted(
         self,
@@ -932,7 +1042,9 @@ class MatchingEngine:
 
         candidates = store.fresh_candidates(now)
         stats.candidates = len(candidates)
-        outcomes = self._evaluate_all(batches, candidates, sharded_store=store)
+        outcomes = self._evaluate_all(
+            batches, candidates, sharded_store=store if self._ships_shards() else None
+        )
         notifications = self._finish(batches, candidates, outcomes, descriptions)
         for batch, signature in zip(batches, signatures):
             self._zone_frontier[batch.alert_id] = (signature, versions)
@@ -1228,6 +1340,12 @@ class MatchingEngine:
         ciphertexts, so a warm pass pays no serialization at either end --
         the term the unsharded path re-pays per call.  Pairing totals merge
         into the parent counter bit-exactly, as in the unsharded path.
+
+        When the pool provider exposes an affinity dispatcher (see
+        :class:`repro.service.dispatch.AffinityDispatcher`), the pass is
+        routed through :meth:`_evaluate_process_affinity` instead: shards are
+        pinned to workers, deltas are computed against each worker's acked
+        version and plan changes re-prime the live pool in place.
         """
         jobs_by_shard: dict[int, list[tuple[int, str, tuple[int, ...]]]] = {}
         for position, (candidate, need) in enumerate(zip(candidates, needed)):
@@ -1237,6 +1355,12 @@ class MatchingEngine:
         evaluated: list[list[bool]] = [[] for _ in candidates]
         if not jobs_by_shard:
             return evaluated
+
+        dispatcher = getattr(self.pools, "dispatcher", None)
+        if dispatcher is not None:
+            return self._evaluate_process_affinity(
+                dispatcher, evaluation, store, jobs_by_shard, evaluated
+            )
 
         group = self.hve.group
         self._require_process_backend(group)
@@ -1270,5 +1394,163 @@ class MatchingEngine:
             worker_pairings += pairings
             for (position, _, _), row in zip(jobs_by_shard[shard_id], rows):
                 evaluated[position] = row
+        group.counter.record_pairing(worker_pairings)
+        return evaluated
+
+    @staticmethod
+    def _record_transport(stats: PassStats, shipment, acked: Optional[int]) -> bool:
+        """Fold one shard shipment's *transport* facts into the pass receipts.
+
+        Recorded at shipping time -- these bytes/records genuinely travelled
+        even if the receiving worker later fails.  Returns whether the
+        shipment was an acked delta; the evaluation-dependent receipts
+        (``resident_hits``, ``affinity_hits``) are recorded separately, only
+        for shipments a worker actually evaluated from.
+        """
+        stats.shards_shipped += 1
+        stats.bytes_shipped += shipment.bytes_shipped
+        stats.ciphertexts_shipped += shipment.record_count
+        if shipment.full_ship:
+            stats.shards_full += 1
+            return False
+        if acked is not None and shipment.delta_base == acked:
+            stats.shards_acked += 1
+            stats.acked_delta_bytes += shipment.bytes_shipped
+            return True
+        stats.shards_delta += 1
+        return False
+
+    def _evaluate_process_affinity(
+        self,
+        dispatcher,
+        evaluation: _CachedEvaluation,
+        store,
+        jobs_by_shard: dict[int, list[tuple[int, str, tuple[int, ...]]]],
+        evaluated: list[list[bool]],
+    ) -> list[list[bool]]:
+        """Affinity-dispatched fan-out: pinned shards, acked deltas, live pool.
+
+        Each shard is routed to the worker lane the dispatcher's rendezvous
+        hash pins it to, and its shipment is computed against that worker's
+        *acked* version -- so a warm pass ships exactly the records the worker
+        has not applied yet (usually none), instead of the whole
+        floor->current span.  Plan changes were already handled by
+        :meth:`~repro.service.dispatch.AffinityDispatcher.ensure`, which
+        re-primes the live workers in place rather than restarting them, so
+        resident shards and warm OS pages survive plan churn.
+
+        Failure handling extends PR 4's broken-pool retry: a lane that cannot
+        anchor an acked delta (:class:`~repro.protocol.shards.StaleResidentShard`)
+        has its acks reset and is re-shipped from the spool floor within the
+        same pass; a lane whose process died is respawned and the pass-level
+        ``BrokenExecutor`` propagates so the session retries once against the
+        replacement worker (which then full-ships its shards).  Pairing totals
+        are merged only when every lane succeeded, keeping the counter
+        bit-exact with the inline path under retries.
+        """
+        from repro.protocol.shards import StaleResidentShard
+
+        group = self.hve.group
+        self._require_process_backend(group)
+        payload = evaluation.payload()
+        stats = self.last_pass
+        stats.inplace_reprimes += dispatcher.ensure(
+            prime_version=evaluation.version,
+            initargs=(group_to_wire(group), self.hve.width, payload),
+        )
+        token = store.store_token
+        per_lane: dict[Any, list[tuple[int, tuple, tuple]]] = {}
+        # Per shard: (worklist, users the applied shipment carried -- None for
+        # a full ship, where nothing is resident -- acked?).  These are the
+        # facts the evaluation-dependent receipts need, kept current when a
+        # stale lane forces a floor re-ship.
+        hit_facts: dict[int, tuple[tuple, Optional[set], bool]] = {}
+        for shard_id in sorted(jobs_by_shard):
+            lane = dispatcher.lane_for(token, shard_id)
+            acked = dispatcher.acked_version(lane, token, shard_id)
+            shipment = store.ship_plan(shard_id, acked_version=acked)
+            worklist = tuple((user_id, need) for _, user_id, need in jobs_by_shard[shard_id])
+            was_acked = self._record_transport(stats, shipment, acked)
+            shipped = None if shipment.full_ship else {u for u, _, _ in shipment.upserts}
+            hit_facts[shard_id] = (worklist, shipped, was_acked)
+            per_lane.setdefault(lane, []).append((shard_id, shipment.handle(), worklist))
+
+        futures = [
+            (
+                lane,
+                tasks,
+                dispatcher.submit(
+                    lane, _dispatch_worker_match, tuple((h, w) for _, h, w in tasks)
+                ),
+            )
+            for lane, tasks in per_lane.items()
+        ]
+        lane_results: list[tuple[Any, list, tuple]] = []
+        stale_lanes: list[tuple[Any, list]] = []
+        broken_error: Optional[BaseException] = None
+        for lane, tasks, future in futures:
+            try:
+                lane_results.append((lane, tasks, future.result()))
+            except StaleResidentShard:
+                stale_lanes.append((lane, tasks))
+            except concurrent.futures.BrokenExecutor as exc:
+                dispatcher.mark_broken(lane)
+                if broken_error is None:
+                    broken_error = exc
+        for lane, tasks in stale_lanes:
+            # The worker cannot anchor at least one acked delta (its resident
+            # state regressed without the parent noticing).  Reset the lane's
+            # acks for these shards and re-ship from the spool floor, which a
+            # cold resident can always bootstrap from.
+            retry: list[tuple[int, tuple, tuple]] = []
+            for shard_id, _, worklist in tasks:
+                dispatcher.clear_ack(lane, token, shard_id)
+                shipment = store.ship_plan(shard_id)
+                self._record_transport(stats, shipment, None)
+                # The re-ship supersedes the failed acked shipment: the hit
+                # receipts must describe what the worker actually evaluates.
+                shipped = None if shipment.full_ship else {u for u, _, _ in shipment.upserts}
+                hit_facts[shard_id] = (worklist, shipped, False)
+                retry.append((shard_id, shipment.handle(), worklist))
+            try:
+                retry_future = dispatcher.submit(
+                    lane, _dispatch_worker_match, tuple((h, w) for _, h, w in retry)
+                )
+            except concurrent.futures.BrokenExecutor as exc:
+                # submit() already respawned the lane.
+                if broken_error is None:
+                    broken_error = exc
+                continue
+            try:
+                lane_results.append((lane, retry, retry_future.result()))
+            except concurrent.futures.BrokenExecutor as exc:
+                dispatcher.mark_broken(lane)
+                if broken_error is None:
+                    broken_error = exc
+        # Acks are recorded even when another lane broke: these workers
+        # genuinely advanced their resident shards, and the session-level
+        # retry then ships them empty acked deltas.
+        for lane, _, (shard_rows, _) in lane_results:
+            for shard_id, _, applied in shard_rows:
+                dispatcher.record_ack(lane, token, shard_id, applied)
+        if broken_error is not None:
+            raise broken_error
+
+        worker_pairings = 0
+        for lane, tasks, (shard_rows, pairings) in lane_results:
+            worker_pairings += pairings
+            rows_by_shard = {shard_id: rows for shard_id, rows, _ in shard_rows}
+            for shard_id, _, _ in tasks:
+                for (position, _, _), row in zip(jobs_by_shard[shard_id], rows_by_shard[shard_id]):
+                    evaluated[position] = row
+                # Hit receipts describe only evaluations that actually ran,
+                # against the shipment the worker actually applied.
+                worklist, shipped, was_acked = hit_facts[shard_id]
+                if shipped is not None:
+                    stats.resident_hits += sum(
+                        1 for user_id, _ in worklist if user_id not in shipped
+                    )
+                if was_acked:
+                    stats.affinity_hits += len(worklist)
         group.counter.record_pairing(worker_pairings)
         return evaluated

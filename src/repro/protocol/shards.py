@@ -11,13 +11,16 @@ store *shard-structured*:
   restores or re-subscriptions;
 * each shard carries a monotonically increasing **version**, bumped by every
   mutation that can change matching outcomes (a stored ingest, a purge);
-* each shard can produce a :class:`ShardShipment`: either a **full ship**
-  (the shard's complete wire payload, written once to an on-disk *spool file*
-  that any worker process can load) or a **delta ship** (only the records
-  ingested / users purged since the last full ship).  Deltas are
+* each shard can produce a :class:`ShardShipment`: a **full ship** (the
+  shard's complete wire payload, written once to an on-disk *spool file* that
+  any worker process can load), a **delta ship** (only the records ingested /
+  users purged since the last full ship), or -- when the caller supplies the
+  target worker's acked version -- an **acked delta** carrying exactly the
+  changes that worker has not yet applied (see
+  :class:`repro.service.dispatch.AffinityDispatcher`).  Deltas are
   *state-based* -- upserts carry the record's current wire form -- so applying
   a delta is idempotent and safe from any resident version at or above the
-  shipment's floor;
+  shipment's ``delta_base``;
 * worker processes keep a :class:`ResidentShard` per (store, shard): the
   first task for a shard loads the spool file, later tasks apply deltas, and
   a warm pass with no changes ships nothing but ``(shard_id, version)``
@@ -59,7 +62,21 @@ __all__ = [
     "ShardShipment",
     "ShardedCiphertextStore",
     "ResidentShard",
+    "StaleResidentShard",
 ]
+
+
+class StaleResidentShard(RuntimeError):
+    """A worker's resident shard cannot anchor the delta it was shipped.
+
+    Raised by :meth:`ResidentShard.sync` when the shipment's ``delta_base``
+    lies above both the resident version and the spool file's version -- the
+    records between the spool and the base are simply not present anywhere in
+    the shipment.  The dispatcher reacts by resetting the worker's acked
+    versions and re-shipping from the spool floor, which is always
+    sufficient.  Carries only a message string, so it pickles cleanly across
+    the process boundary.
+    """
 
 #: Shards used when a payload predates the ``"shards"`` field or no explicit
 #: count is configured.  Small enough that tiny deployments are not scattered,
@@ -84,10 +101,13 @@ class ShardShipment:
     ``store_token`` identifies the owning store (workers of one pool may serve
     several stores across a test session); ``spool_path`` is the on-disk full
     payload at ``floor_version``.  ``upserts`` / ``removals`` carry the
-    state-based delta ``floor_version -> version``; ``full_ship`` is True when
-    the floor file was (re)written by this shipment.  ``bytes_shipped`` counts
-    the wire bytes this shipment serialized or put on the wire (the full
-    payload for a full ship, the upserts for a delta).
+    state-based delta ``delta_base -> version``: ``delta_base`` is the floor
+    for the classic PR 4 delta, or the worker's *acked* version when the
+    dispatcher knows exactly what the target worker has already applied (an
+    acked delta carries strictly no records the worker holds).  ``full_ship``
+    is True when the floor file was (re)written by this shipment.
+    ``bytes_shipped`` counts the wire bytes this shipment serialized or put on
+    the wire (the full payload for a full ship, the upserts for a delta).
     """
 
     store_token: str
@@ -95,6 +115,12 @@ class ShardShipment:
     version: int
     floor_version: int
     spool_path: str
+    #: The resident version this shipment's delta applies on top of: the
+    #: floor for a full/floor ship, the worker's acked version for an acked
+    #: delta.  A worker below this (after a spool bootstrap) cannot be
+    #: brought current by the shipment and must signal
+    #: :class:`StaleResidentShard`.
+    delta_base: int
     upserts: tuple[tuple[str, int, Any], ...]
     removals: tuple[str, ...]
     full_ship: bool
@@ -111,6 +137,7 @@ class ShardShipment:
             self.version,
             self.floor_version,
             self.spool_path,
+            self.delta_base,
             self.upserts,
             self.removals,
         )
@@ -183,9 +210,12 @@ class ShardedCiphertextStore(CiphertextStore):
         self._spool_dir = spool_dir
         self._finalizer: Optional[weakref.finalize] = None
         #: Lifetime counters surfaced by the service metrics and asserted by
-        #: the shard-scaling benchmark.
+        #: the shard-scaling benchmark.  ``acked_ships`` counts deltas built
+        #: against a worker's acked version (the affinity dispatcher's warm
+        #: path) as opposed to floor-based ``delta_ships``.
         self.full_ships = 0
         self.delta_ships = 0
+        self.acked_ships = 0
         self.serialized_records = 0
 
     # ------------------------------------------------------------------
@@ -241,22 +271,30 @@ class ShardedCiphertextStore(CiphertextStore):
         shard = self.shard_of(user_id)
         self._versions[shard] += 1
         self._members[shard].add(user_id)
-        self._changelog[shard][user_id] = _ChangeEntry(
-            version=self._versions[shard], sequence_number=sequence_number
-        )
+        # Changelog entries (and their cached wires) exist to build delta
+        # ships, which only make sense once a full ship has established a
+        # floor.  Before that -- notably for the inline/thread executors,
+        # which evaluate straight off the live store and never ship -- the
+        # mutation is pure version arithmetic: no entry objects, no wire
+        # caching, nothing for a non-shipping session to pay.
+        if self._floor_versions[shard] is not None:
+            self._changelog[shard][user_id] = _ChangeEntry(
+                version=self._versions[shard], sequence_number=sequence_number
+            )
 
     def _record_removal(self, user_id: str) -> None:
         shard = self.shard_of(user_id)
         self._versions[shard] += 1
         self._members[shard].discard(user_id)
-        self._changelog[shard][user_id] = _ChangeEntry(
-            version=self._versions[shard], sequence_number=None
-        )
+        if self._floor_versions[shard] is not None:
+            self._changelog[shard][user_id] = _ChangeEntry(
+                version=self._versions[shard], sequence_number=None
+            )
 
     # ------------------------------------------------------------------
     # Shipping
     # ------------------------------------------------------------------
-    def ship_plan(self, shard_id: int) -> ShardShipment:
+    def ship_plan(self, shard_id: int, acked_version: Optional[int] = None) -> ShardShipment:
         """The cheapest shipment that brings any worker to the shard's version.
 
         First call (or a delta grown past half the shard): a **full ship** --
@@ -265,6 +303,15 @@ class ShardedCiphertextStore(CiphertextStore):
         serialized) and the changelog resets.  Later calls: a **delta ship**
         -- only changed records travel, with their wire forms cached so an
         unchanged store serializes nothing, however many passes evaluate it.
+
+        ``acked_version`` is the version the *target worker* has confirmed
+        applied (the affinity dispatcher's handshake).  When it falls inside
+        the changelog's span, the shipment is an **acked delta** carrying only
+        changes strictly newer than the ack -- a warm unchanged shard ships
+        zero records and zero bytes, where the floor-based delta would re-send
+        the whole floor->current span every pass.  An ack the changelog cannot
+        anchor (unknown worker, restarted worker, advanced floor) transparently
+        falls back to the floor/full logic below.
         """
         if not 0 <= shard_id < self.shard_count:
             raise ValueError(f"shard_id must be in [0, {self.shard_count})")
@@ -272,29 +319,72 @@ class ShardedCiphertextStore(CiphertextStore):
         floor = self._floor_versions[shard_id]
         changelog = self._changelog[shard_id]
         members = self._members[shard_id]
-        # Deltas span floor -> current, so without a floor advance they would
-        # be re-shipped in full every pass forever.  Advance when the delta
-        # covers a sizeable fraction of the shard, or when the *same*
-        # non-empty delta has been shipped a few times already (a
-        # steady-trickle shard whose changes paused): the rewrite merges the
-        # old spool file with the changelog, so it costs file IO, not
-        # re-serialization of unchanged members.
-        if changelog and self._last_shipped[shard_id] == (floor, version):
-            self._repeat_ships[shard_id] += 1
-        else:
-            self._repeat_ships[shard_id] = 0
-        if (
-            floor is None
-            or len(changelog) > max(2, len(members) // 2)
-            or self._repeat_ships[shard_id] >= 3
+        if not (
+            acked_version is not None
+            and floor is not None
+            and floor <= acked_version <= version
+            # A changelog grown far past the membership is mostly history no
+            # acked worker needs; fall through so the full-ship heuristics can
+            # compact it (the acked worker then re-anchors from the new floor).
+            and len(changelog) <= max(4, len(members))
         ):
-            return self._full_ship(shard_id, version, [self._reports[u] for u in members])
-        self._last_shipped[shard_id] = (floor, version)
+            acked_version = None
+        if acked_version is None:
+            # Floor deltas span floor -> current, so without a floor advance
+            # they would be re-shipped in full every pass forever.  Advance
+            # when the delta covers a sizeable fraction of the shard, or when
+            # the *same* non-empty delta has been shipped a few times already
+            # (a steady-trickle shard whose changes paused): the rewrite
+            # merges the old spool file with the changelog, so it costs file
+            # IO, not re-serialization of unchanged members.
+            if changelog and self._last_shipped[shard_id] == (floor, version):
+                self._repeat_ships[shard_id] += 1
+            else:
+                self._repeat_ships[shard_id] = 0
+            if (
+                floor is None
+                or len(changelog) > max(2, len(members) // 2)
+                or self._repeat_ships[shard_id] >= 3
+            ):
+                return self._full_ship(shard_id, version, [self._reports[u] for u in members])
+            self._last_shipped[shard_id] = (floor, version)
+            delta_base = floor
+            self.delta_ships += 1
+        else:
+            delta_base = acked_version
+            self.acked_ships += 1
+        upserts, removals, bytes_shipped = self._delta_records(shard_id, delta_base)
+        return ShardShipment(
+            store_token=self.store_token,
+            shard_id=shard_id,
+            version=version,
+            floor_version=floor,
+            spool_path=self._floor_paths[shard_id],  # type: ignore[arg-type]
+            delta_base=delta_base,
+            upserts=upserts,
+            removals=removals,
+            full_ship=False,
+            bytes_shipped=bytes_shipped,
+            record_count=len(upserts),
+        )
 
+    def _delta_records(
+        self, shard_id: int, newer_than: int
+    ) -> tuple[tuple[tuple[str, int, Any], ...], tuple[str, ...], int]:
+        """The state-based delta ``newer_than -> current`` of one shard.
+
+        Upserts carry the record's current wire form, serialized at most once
+        per revision (cached on the changelog entry); every changelog entry at
+        or below ``newer_than`` is filtered out, which is exactly what makes
+        an acked delta cheaper than a floor delta.
+        """
+        changelog = self._changelog[shard_id]
         upserts: list[tuple[str, int, Any]] = []
         removals: list[str] = []
         bytes_shipped = 0
         for user_id, entry in sorted(changelog.items()):
+            if entry.version <= newer_than:
+                continue
             if entry.sequence_number is None:
                 removals.append(user_id)
                 continue
@@ -311,19 +401,7 @@ class ShardedCiphertextStore(CiphertextStore):
                 self.serialized_records += 1
             upserts.append((user_id, entry.sequence_number, entry.wire))
             bytes_shipped += entry.wire_bytes
-        self.delta_ships += 1
-        return ShardShipment(
-            store_token=self.store_token,
-            shard_id=shard_id,
-            version=version,
-            floor_version=floor,
-            spool_path=self._floor_paths[shard_id],  # type: ignore[arg-type]
-            upserts=tuple(upserts),
-            removals=tuple(removals),
-            full_ship=False,
-            bytes_shipped=bytes_shipped,
-            record_count=len(upserts),
-        )
+        return tuple(upserts), tuple(removals), bytes_shipped
 
     def _full_ship(self, shard_id: int, version: int, members: list[StoredReport]) -> ShardShipment:
         # Wires already on disk (the previous floor file) are reused: a floor
@@ -365,6 +443,7 @@ class ShardedCiphertextStore(CiphertextStore):
             version=version,
             floor_version=version,
             spool_path=path,
+            delta_base=version,
             upserts=(),
             removals=(),
             full_ship=True,
@@ -457,14 +536,26 @@ class ResidentShard:
         self.spool_loads = 0
         self.deltas_applied = 0
 
-    def sync(self, handle: tuple) -> None:
-        """Bring the resident state to the shipment's target version."""
-        _, _, version, floor_version, spool_path, upserts, removals = handle
+    def sync(self, handle: tuple) -> int:
+        """Bring the resident state to the shipment's target version.
+
+        Returns the applied version -- the worker reports it back so the
+        dispatcher can ack it.  Raises :class:`StaleResidentShard` when the
+        shipment's delta base lies above everything this worker can reach
+        (resident state *and* spool file): the delta then provably misses
+        records, and the dispatcher must re-ship from the floor.
+        """
+        _, shard_id, version, _, spool_path, delta_base, upserts, removals = handle
         if self.version is not None and self.version == version:
-            return
-        if self.version is None or self.version < floor_version:
+            return self.version
+        if self.version is None or self.version < delta_base:
             with open(spool_path, "rb") as fh:
                 _, spool_version, records = pickle.load(fh)
+            if spool_version < delta_base:
+                raise StaleResidentShard(
+                    f"shard {shard_id}: resident at {self.version}, spool at "
+                    f"{spool_version}, but the delta applies on top of {delta_base}"
+                )
             self._entries = {
                 user_id: [sequence_number, wire, None]
                 for user_id, sequence_number, wire in records
@@ -480,6 +571,7 @@ class ResidentShard:
         for user_id in removals:
             self._entries.pop(user_id, None)
         self.version = version
+        return self.version
 
     def ciphertext(self, user_id: str) -> HVECiphertext:
         """The rebuilt ciphertext of one resident user (KeyError if absent)."""

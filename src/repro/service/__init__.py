@@ -13,6 +13,7 @@ over this package.
 """
 
 from repro.service.config import ServiceConfig, ServiceConfigBuilder
+from repro.service.dispatch import AffinityDispatcher, WorkerLane
 from repro.service.executor import PersistentExecutorPool
 from repro.service.requests import (
     EvaluateStanding,
@@ -32,9 +33,11 @@ from repro.service.service import AlertService, SessionStats, StandingZone
 
 __all__ = [
     "AlertService",
+    "AffinityDispatcher",
     "ServiceConfig",
     "ServiceConfigBuilder",
     "PersistentExecutorPool",
+    "WorkerLane",
     "SessionStats",
     "StandingZone",
     "Subscribe",

@@ -81,6 +81,19 @@ class ServiceConfig:
         worker count so every process worker has a shard-task per pass;
         beyond that, more shards mean finer deltas at slightly more per-pass
         task overhead.
+    affinity:
+        Route sharded process passes through the
+        :class:`~repro.service.dispatch.AffinityDispatcher` (default): each
+        shard is pinned to one worker by rendezvous hashing, deltas are
+        computed against that worker's acked version, and plan changes
+        re-prime the live pool in place instead of restarting it.  ``False``
+        falls back to the PR 4 ``pool.map`` path (useful for A/B parity and
+        benchmarks).  Only meaningful with ``executor="process"``,
+        ``workers > 1``, ``shards > 0`` and a persistent pool.
+    ack_deltas:
+        Keep the per-worker acked-version handshake (default).  ``False``
+        ships floor-based deltas as PR 4 did while keeping affinity routing
+        and in-place re-priming -- isolates the handshake's contribution.
     """
 
     scheme: str = "huffman"
@@ -99,6 +112,8 @@ class ServiceConfig:
     persistent_pool: bool = True
     max_age_seconds: Optional[float] = None
     shards: int = 0
+    affinity: bool = True
+    ack_deltas: bool = True
 
     def __post_init__(self) -> None:
         # canonical_scheme_name raises a ValueError listing every recognised
@@ -261,13 +276,17 @@ class ServiceConfigBuilder:
         workers: Any = _UNSET,
         chunk_size: Any = _UNSET,
         persistent_pool: Any = _UNSET,
+        affinity: Any = _UNSET,
+        ack_deltas: Any = _UNSET,
     ) -> "ServiceConfigBuilder":
-        """Configure chunked matching: pool flavour, size and lifetime."""
+        """Configure chunked matching: pool flavour, size, lifetime, dispatch."""
         return self._set(
             executor=executor,
             workers=workers,
             chunk_size=chunk_size,
             persistent_pool=persistent_pool,
+            affinity=affinity,
+            ack_deltas=ack_deltas,
         )
 
     def with_store(

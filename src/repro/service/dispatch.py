@@ -1,0 +1,334 @@
+"""Affinity-aware shard dispatch: pinned workers, acked deltas, live re-prime.
+
+PR 4 made shards worker-resident, but left three scheduling terms on the
+warm-path bill:
+
+* ``pool.map`` scattered shard tasks across whichever workers were idle, so a
+  shard ended up resident (and deserialized) in *several* processes and a
+  rebalanced task hit a cold worker;
+* delta ships covered floor -> current, so a hot shard re-transferred its
+  cached wires every pass until the floor advanced;
+* a plan change re-primed the process pool by *recreating* it, losing every
+  resident shard and every warm OS page.
+
+This module closes all three with one object, the :class:`AffinityDispatcher`:
+
+* **Worker lanes.**  Each worker runs behind its own single-process
+  executor (a :class:`WorkerLane`).  A task submitted to a lane always lands
+  in the same OS process, which is the property everything else builds on.
+* **Rendezvous routing.**  Shards are assigned to lanes by rendezvous
+  (highest-random-weight) hashing over the stable lane names: every shard is
+  resident on exactly one worker, routing needs no coordination or stored
+  table, and growing/shrinking the lane set moves only the shards whose
+  winning lane actually changed (:meth:`AffinityDispatcher.resize`).
+* **Acked-version handshake.**  Workers return the shard version they
+  applied with every result; the dispatcher records it per (lane, store,
+  shard) and :meth:`~repro.protocol.shards.ShardedCiphertextStore.ship_plan`
+  then builds deltas against that ack -- a warm unchanged shard ships zero
+  bytes.  A lane that dies (or answers :class:`~repro.protocol.shards.StaleResidentShard`)
+  has its acks reset, so its replacement worker transparently falls back to a
+  full spool bootstrap.
+* **In-place re-prime.**  A plan change is broadcast to the *live* lanes as
+  an ordinary priming task (:func:`~repro.protocol.matching._dispatch_worker_prime`)
+  instead of restarting the pool: the lane set is created exactly once per
+  session, however often the standing zones churn.
+
+The engine consumes this through
+:meth:`~repro.protocol.matching.MatchingEngine._evaluate_process_affinity`;
+sessions switch it on via ``ServiceConfig(affinity=True)`` (the default for
+sharded process deployments) and can fall back to the PR 4 path with
+``affinity=False``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import zlib
+from typing import Any, Callable, Optional
+
+from repro.protocol.matching import _dispatch_worker_evict, _dispatch_worker_prime
+
+__all__ = ["AffinityDispatcher", "WorkerLane", "rendezvous_owner"]
+
+
+def rendezvous_owner(names: list[str], store_token: str, shard_id: int) -> str:
+    """The lane owning ``(store_token, shard_id)`` under rendezvous hashing.
+
+    Every candidate lane scores ``crc32(name | store | shard)`` and the
+    highest score wins.  The scheme is stateless and stable: adding or
+    removing a lane only reassigns the keys whose winner changed (in
+    expectation ``1/n`` of them), which is exactly the "minimal movement"
+    property the rebalance tests assert.  CRC32 rather than :func:`hash` so
+    the assignment is identical across interpreter runs (no hash salting).
+    """
+    if not names:
+        raise ValueError("rendezvous hashing needs at least one lane")
+    suffix = f"|{store_token}|{shard_id}".encode("utf-8")
+    return max(names, key=lambda name: (zlib.crc32(name.encode("utf-8") + suffix), name))
+
+
+class WorkerLane:
+    """One pinned worker: a single-process executor plus its handshake state.
+
+    The lane's ``name`` is its identity in the rendezvous hash; it survives
+    respawns, so a replacement worker inherits exactly the shards its dead
+    predecessor owned (and, with the acks cleared, full-ships them on first
+    contact).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        #: The plan version this lane's worker currently holds (None = unprimed).
+        self.primed_version: Optional[int] = None
+        #: (store_token, shard_id) -> shard version the worker confirmed applied.
+        self.acked: dict[tuple[str, int], int] = {}
+        #: Times this lane's process was replaced after dying.
+        self.respawns = 0
+
+    def start(self) -> None:
+        self.executor = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+
+    def respawn(self) -> None:
+        """Replace a dead worker process; the lane identity (and shard
+        ownership) is unchanged, but the handshake state resets so every owned
+        shard re-ships from its spool floor."""
+        if self.executor is not None:
+            self.executor.shutdown(wait=False)
+        self.start()
+        self.primed_version = None
+        self.acked.clear()
+        self.respawns += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=wait)
+            self.executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerLane({self.name!r}, primed={self.primed_version}, acked={len(self.acked)})"
+
+
+class AffinityDispatcher:
+    """Routes shard tasks to pinned worker lanes (see the module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Number of lanes.  Changeable later via :meth:`resize` (rendezvous
+        keeps the reshuffle minimal).
+    ack_deltas:
+        When False, :meth:`acked_version` always answers ``None`` and every
+        shipment falls back to PR 4's floor-based deltas -- affinity routing
+        and in-place re-priming stay active.  The ``--no-ack-deltas`` CLI knob
+        maps here; mostly useful for A/B-ing the handshake's contribution.
+    """
+
+    def __init__(self, workers: int, ack_deltas: bool = True):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.ack_deltas = ack_deltas
+        self._lanes: list[WorkerLane] = []
+        self._closed = False
+        # (store_token, shard_id) -> lane name, for rebalance accounting: the
+        # rendezvous hash needs no table, but resize() must know which keys
+        # this dispatcher has actually routed to evict/reassign them.
+        self._routed: dict[tuple[str, int], str] = {}
+        #: Lifecycle counters, surfaced through the session stats.
+        self.pool_starts = 0
+        self.inplace_reprimes = 0
+        self.lane_respawns = 0
+        self.shards_reassigned = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / priming
+    # ------------------------------------------------------------------
+    def ensure(self, prime_version: int, initargs: tuple) -> int:
+        """Make every lane live and primed at ``prime_version``.
+
+        Lanes are created exactly once (the session's single pool start);
+        afterwards a changed plan version is *broadcast* to the running
+        workers as a priming task -- resident shards and warm pages survive.
+        Returns 1 when such an in-place re-prime happened, 0 otherwise (cold
+        start, or nothing to do), which the engine folds into
+        :class:`~repro.protocol.matching.PassStats.inplace_reprimes`.
+        """
+        self._ensure_open()
+        if not self._lanes:
+            self._lanes = [WorkerLane(f"worker-{index}") for index in range(self.workers)]
+            for lane in self._lanes:
+                lane.start()
+            self.pool_starts += 1
+        inplace = 0
+        primings = []
+        for lane in self._lanes:
+            if lane.primed_version != prime_version:
+                if lane.primed_version is not None:
+                    inplace += 1
+                primings.append((lane, self.submit(lane, _dispatch_worker_prime, *initargs)))
+        for lane, future in primings:
+            try:
+                future.result()
+            except concurrent.futures.BrokenExecutor:
+                self.mark_broken(lane)
+                raise
+            lane.primed_version = prime_version
+        if inplace:
+            self.inplace_reprimes += 1
+        return 1 if inplace else 0
+
+    def resize(self, workers: int) -> dict[tuple[str, int], tuple[str, str]]:
+        """Grow or shrink the lane set to ``workers`` lanes.
+
+        Rendezvous hashing guarantees the reshuffle is minimal: a key moves
+        only when its winning lane changed (shrink: keys of the removed lanes;
+        grow: keys the new lanes win).  Moved shards are evicted from their
+        old lane's resident cache (best effort) and their acks dropped, so the
+        new owner bootstraps from the spool on first contact.  Returns the
+        moved keys as ``{(store, shard): (old lane, new lane)}`` -- the
+        rebalance tests assert its minimality.
+        """
+        self._ensure_open()
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not self._lanes:
+            # Nothing routed yet; the next ensure() starts the right count.
+            self.workers = workers
+            return {}
+        if workers == len(self._lanes):
+            self.workers = workers
+            return {}
+        old_lanes = {lane.name: lane for lane in self._lanes}
+        if workers > len(self._lanes):
+            for index in range(len(self._lanes), workers):
+                lane = WorkerLane(f"worker-{index}")
+                lane.start()
+                self._lanes.append(lane)
+        else:
+            for lane in self._lanes[workers:]:
+                lane.shutdown(wait=False)
+            del self._lanes[workers:]
+        self.workers = workers
+        names = [lane.name for lane in self._lanes]
+        by_name = {lane.name: lane for lane in self._lanes}
+        moved: dict[tuple[str, int], tuple[str, str]] = {}
+        evictions: dict[str, list[tuple[str, int]]] = {}
+        for key, old_name in list(self._routed.items()):
+            new_name = rendezvous_owner(names, *key)
+            if new_name == old_name:
+                continue
+            moved[key] = (old_name, new_name)
+            self._routed[key] = new_name
+            survivor = by_name.get(old_name)
+            if survivor is not None:
+                survivor.acked.pop(key, None)
+                evictions.setdefault(old_name, []).append(key)
+            else:
+                old_lanes[old_name].acked.pop(key, None)
+        # Evict moved shards from surviving old owners so worker memory
+        # tracks ownership (a removed lane's process is already gone).
+        for name, keys in evictions.items():
+            lane = by_name[name]
+            if lane.executor is not None and lane.primed_version is not None:
+                try:
+                    lane.executor.submit(_dispatch_worker_evict, tuple(keys)).result()
+                except concurrent.futures.BrokenExecutor:
+                    self.mark_broken(lane)
+        self.shards_reassigned += len(moved)
+        return moved
+
+    def close(self) -> None:
+        """Shut every lane down (idempotent); later use raises RuntimeError."""
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes:
+            lane.shutdown(wait=True)
+        self._lanes = []
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("affinity dispatcher is closed; create a new session to keep matching")
+
+    # ------------------------------------------------------------------
+    # Routing and the acked-version handshake
+    # ------------------------------------------------------------------
+    def lane_for(self, store_token: str, shard_id: int) -> WorkerLane:
+        """The lane pinned to ``(store_token, shard_id)``; lanes must be live."""
+        if not self._lanes:
+            raise RuntimeError("dispatcher has no live lanes; call ensure() first")
+        key = (store_token, shard_id)
+        name = rendezvous_owner([lane.name for lane in self._lanes], store_token, shard_id)
+        self._routed[key] = name
+        for lane in self._lanes:
+            if lane.name == name:
+                return lane
+        raise AssertionError(f"rendezvous produced unknown lane {name!r}")  # pragma: no cover
+
+    def acked_version(self, lane: WorkerLane, store_token: str, shard_id: int) -> Optional[int]:
+        """The shard version ``lane``'s worker confirmed, or None (full ship)."""
+        if not self.ack_deltas:
+            return None
+        return lane.acked.get((store_token, shard_id))
+
+    def record_ack(self, lane: WorkerLane, store_token: str, shard_id: int, version: int) -> None:
+        """Record that ``lane``'s worker applied ``shard_id`` at ``version``."""
+        lane.acked[(store_token, shard_id)] = version
+
+    def clear_ack(self, lane: WorkerLane, store_token: str, shard_id: int) -> None:
+        """Forget one shard's ack (the next shipment re-ships from the floor)."""
+        lane.acked.pop((store_token, shard_id), None)
+
+    # ------------------------------------------------------------------
+    # Task submission / failure handling
+    # ------------------------------------------------------------------
+    def submit(self, lane: WorkerLane, fn: Callable, *args: Any) -> concurrent.futures.Future:
+        """Submit a task to ``lane``'s pinned worker process.
+
+        A lane whose process already died can reject the submission itself
+        (rather than failing the returned future); either way the lane is
+        respawned here and the ``BrokenExecutor`` propagates so the caller's
+        retry logic runs against the replacement.
+        """
+        self._ensure_open()
+        if lane.executor is None:
+            raise RuntimeError(f"lane {lane.name!r} is not running")
+        try:
+            return lane.executor.submit(fn, *args)
+        except concurrent.futures.BrokenExecutor:
+            self.mark_broken(lane)
+            raise
+
+    def mark_broken(self, lane: WorkerLane) -> None:
+        """Replace a lane whose process died; its shards full-ship next pass.
+
+        The respawned lane keeps its name -- and therefore its rendezvous
+        ownership -- but loses its primed plan and its acks, so the next pass
+        primes it and bootstraps its shards from their spool floors.  The
+        caller still propagates ``BrokenExecutor`` so the session layer can
+        retry the interrupted pass once (PR 4's recovery contract).
+        """
+        self.lane_respawns += 1
+        lane.respawn()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, stats)
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> tuple[WorkerLane, ...]:
+        """The live lanes, in creation order (empty before the first ensure)."""
+        return tuple(self._lanes)
+
+    def assignment(self, store_token: str, shard_ids: range) -> dict[int, str]:
+        """The lane name owning each shard of ``shard_ids`` (pure function)."""
+        names = [lane.name for lane in self._lanes] or [
+            f"worker-{index}" for index in range(self.workers)
+        ]
+        return {shard_id: rendezvous_owner(names, store_token, shard_id) for shard_id in shard_ids}
+
+    def __enter__(self) -> "AffinityDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

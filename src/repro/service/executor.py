@@ -20,6 +20,13 @@ session and satisfies the same provider interface:
 The pool keeps start/reuse counters that the service surfaces through its
 metrics observers; the session benchmark asserts re-primes happen exactly on
 plan changes.
+
+With ``affinity=True`` (and the process executor) the pool additionally owns
+an :class:`~repro.service.dispatch.AffinityDispatcher`: sharded matching
+passes are then routed through pinned worker lanes with acked-version deltas
+and in-place re-priming instead of the plain pool -- see
+:mod:`repro.service.dispatch`.  The plain process pool is still served for
+unsharded evaluation, so a mixed session keeps working.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import contextlib
 from typing import Iterator, Optional
 
 from repro.protocol.matching import EXECUTORS, _process_worker_init
+from repro.service.dispatch import AffinityDispatcher
 
 __all__ = ["PersistentExecutorPool"]
 
@@ -46,17 +54,34 @@ class PersistentExecutorPool:
         Informational: the flavour the owning session is configured for.
         Both pool kinds are served either way (the engine only asks for the
         one its options select).
+    affinity:
+        Serve sharded process passes through an
+        :class:`~repro.service.dispatch.AffinityDispatcher` (pinned worker
+        lanes, acked deltas, in-place re-prime).  Only meaningful with the
+        process executor; ignored otherwise.
+    ack_deltas:
+        Forwarded to the dispatcher: when False, shipments fall back to
+        floor-based deltas while affinity routing stays on.
     """
 
-    def __init__(self, workers: int, executor: str = "thread"):
+    def __init__(
+        self,
+        workers: int,
+        executor: str = "thread",
+        affinity: bool = False,
+        ack_deltas: bool = True,
+    ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; expected one of {sorted(EXECUTORS)}")
         self.workers = workers
         self.executor = executor
+        self.affinity = bool(affinity and executor == "process")
+        self.ack_deltas = ack_deltas
         self._thread_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._process_pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._dispatcher: Optional[AffinityDispatcher] = None
         self._primed_version: Optional[int] = None
         self._closed = False
         #: Lifecycle counters, surfaced via the service's metrics observers.
@@ -122,12 +147,55 @@ class PersistentExecutorPool:
             raise
 
     # ------------------------------------------------------------------
+    # Affinity dispatch
+    # ------------------------------------------------------------------
+    @property
+    def dispatcher(self) -> Optional[AffinityDispatcher]:
+        """The affinity dispatcher, created lazily; None when affinity is off.
+
+        The matching engine duck-types on this attribute: a pool provider
+        exposing a non-None ``dispatcher`` gets its sharded process passes
+        routed through pinned lanes instead of ``process_pool()``.
+        """
+        if not self.affinity or self._closed:
+            return None
+        if self._dispatcher is None:
+            self._dispatcher = AffinityDispatcher(self.workers, ack_deltas=self.ack_deltas)
+        return self._dispatcher
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property
     def re_primes(self) -> int:
         """Process-pool re-primes beyond the initial priming."""
         return max(0, self.process_pool_starts - 1)
+
+    @property
+    def pool_starts_total(self) -> int:
+        """Plain process-pool starts plus the dispatcher's lane-set start.
+
+        This is the number the in-place re-prime guarantee is asserted on: a
+        sharded affinity session holds it at 1 across arbitrarily many plan
+        changes.
+        """
+        starts = self.process_pool_starts
+        if self._dispatcher is not None:
+            starts += self._dispatcher.pool_starts
+        return starts
+
+    @property
+    def broken_drops_total(self) -> int:
+        """Broken plain pools dropped plus dispatcher lanes respawned."""
+        drops = self.broken_drops
+        if self._dispatcher is not None:
+            drops += self._dispatcher.lane_respawns
+        return drops
+
+    @property
+    def inplace_reprimes(self) -> int:
+        """Plan changes broadcast to live workers instead of restarting them."""
+        return self._dispatcher.inplace_reprimes if self._dispatcher is not None else 0
 
     @property
     def primed_version(self) -> Optional[int]:
@@ -149,6 +217,9 @@ class PersistentExecutorPool:
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
             self._process_pool = None
+        if self._dispatcher is not None:
+            self._dispatcher.close()
+            self._dispatcher = None
         self._primed_version = None
 
     def __enter__(self) -> "PersistentExecutorPool":

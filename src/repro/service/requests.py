@@ -201,6 +201,13 @@ class MatchReport:
     evaluated from ciphertexts already resident in worker processes.
     ``pool_rebuilt`` is True when a broken process pool (a killed worker) was
     transparently rebuilt and the pass retried.
+
+    The affinity-dispatch fields cover ``affinity=True`` deployments:
+    ``affinity_hits`` candidates were routed to the worker already holding
+    their shard resident, ``acked_delta_bytes`` of the shipped bytes
+    travelled in acked deltas (exactly the records the pinned worker had not
+    applied), and ``inplace_reprimes`` is 1 when a plan change was broadcast
+    to the live pool instead of restarting it.
     """
 
     notifications: tuple[Notification, ...]
@@ -216,6 +223,9 @@ class MatchReport:
     bytes_shipped: int = 0
     resident_hits: int = 0
     pool_rebuilt: bool = False
+    affinity_hits: int = 0
+    acked_delta_bytes: int = 0
+    inplace_reprimes: int = 0
 
     @property
     def notified_users(self) -> tuple[str, ...]:
@@ -248,3 +258,6 @@ class RequestMetrics:
     bytes_shipped: int = 0
     resident_hits: int = 0
     pool_rebuilt: bool = False
+    affinity_hits: int = 0
+    acked_delta_bytes: int = 0
+    inplace_reprimes: int = 0

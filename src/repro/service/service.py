@@ -106,13 +106,17 @@ class SessionStats:
     process_pool_reuses: int
     pool_reprimes: int
     #: Broken process pools transparently rebuilt (each paired with one
-    #: retried pass).
+    #: retried pass).  With affinity dispatch this counts respawned lanes.
     pool_rebuilds: int = 0
     #: Shard shipping totals (sharded deployments only): full payload ships,
     #: delta ships, and records serialized over the session's lifetime.
     shard_full_ships: int = 0
     shard_delta_ships: int = 0
     records_serialized: int = 0
+    #: Affinity-dispatch totals: acked-delta ships and plan changes broadcast
+    #: to the live pool instead of restarting it.
+    shard_acked_ships: int = 0
+    inplace_reprimes: int = 0
 
 
 class AlertService:
@@ -197,6 +201,11 @@ class AlertService:
             self.pool = PersistentExecutorPool(
                 workers=self.engine.options.workers,
                 executor=self.engine.options.executor,
+                # The affinity dispatcher only ever engages for sharded
+                # process passes; gating on shards avoids building it (and
+                # its lanes) for deployments that can never use it.
+                affinity=self.config.affinity and self.config.shards > 0,
+                ack_deltas=self.config.ack_deltas,
             )
             self.engine.pools = self.pool
 
@@ -352,7 +361,7 @@ class AlertService:
         counter = self.system.authority.group.counter
         pairings_before = counter.total
         reuses_before = self.engine.plan_reuses
-        pool_starts_before = self.pool.process_pool_starts if self.pool is not None else 0
+        pool_starts_before = self.pool.pool_starts_total if self.pool is not None else 0
 
         pool_rebuilt = False
         try:
@@ -360,17 +369,18 @@ class AlertService:
                 self.engine.match_store(batches, self.store, self._clock, descriptions=descriptions)
             )
         except concurrent.futures.BrokenExecutor:
-            # A killed worker broke the process pool mid-pass.  The pool
-            # provider already dropped the broken pool (and no partial
-            # outcomes or pairing totals were merged), so one retry runs the
-            # whole pass against a freshly primed pool.  A second failure is
-            # a real problem and propagates.
+            # A killed worker broke the process pool (or one dispatch lane)
+            # mid-pass.  The provider already dropped the broken pool --
+            # respectively respawned the dead lane with its acks reset -- and
+            # no partial outcomes or pairing totals were merged, so one retry
+            # runs the whole pass against the replacement workers.  A second
+            # failure is a real problem and propagates.
             pool_rebuilt = True
             notifications = tuple(
                 self.engine.match_store(batches, self.store, self._clock, descriptions=descriptions)
             )
         pass_stats = self.engine.last_pass
-        pool_starts_after = self.pool.process_pool_starts if self.pool is not None else 0
+        pool_starts_after = self.pool.pool_starts_total if self.pool is not None else 0
         report = MatchReport(
             notifications=notifications,
             alerts_evaluated=tuple(batch.alert_id for batch in batches),
@@ -385,6 +395,9 @@ class AlertService:
             bytes_shipped=pass_stats.bytes_shipped,
             resident_hits=pass_stats.resident_hits,
             pool_rebuilt=pool_rebuilt,
+            affinity_hits=pass_stats.affinity_hits,
+            acked_delta_bytes=pass_stats.acked_delta_bytes,
+            inplace_reprimes=pass_stats.inplace_reprimes,
         )
         self._emit(request_name, report)
         return report
@@ -462,6 +475,9 @@ class AlertService:
             bytes_shipped=report.bytes_shipped if report is not None else 0,
             resident_hits=report.resident_hits if report is not None else 0,
             pool_rebuilt=report.pool_rebuilt if report is not None else False,
+            affinity_hits=report.affinity_hits if report is not None else 0,
+            acked_delta_bytes=report.acked_delta_bytes if report is not None else 0,
+            inplace_reprimes=report.inplace_reprimes if report is not None else 0,
         )
         for observer in list(self._observers):
             observer(metrics)
@@ -477,13 +493,15 @@ class AlertService:
             plan_builds=self.engine.plan_builds,
             plan_reuses=self.engine.plan_reuses,
             thread_pool_starts=pool.thread_pool_starts if pool is not None else 0,
-            process_pool_starts=pool.process_pool_starts if pool is not None else 0,
+            process_pool_starts=pool.pool_starts_total if pool is not None else 0,
             process_pool_reuses=pool.process_pool_reuses if pool is not None else 0,
             pool_reprimes=pool.re_primes if pool is not None else 0,
-            pool_rebuilds=pool.broken_drops if pool is not None else 0,
+            pool_rebuilds=pool.broken_drops_total if pool is not None else 0,
             shard_full_ships=store.full_ships if sharded else 0,
             shard_delta_ships=store.delta_ships if sharded else 0,
             records_serialized=store.serialized_records if sharded else 0,
+            shard_acked_ships=store.acked_ships if sharded else 0,
+            inplace_reprimes=pool.inplace_reprimes if pool is not None else 0,
         )
 
     # ------------------------------------------------------------------

@@ -110,8 +110,6 @@ class TestReferenceBackend:
         backend = ReferenceBackend()
         assert backend.make_int(7) == 7
         assert backend.powmod(3, 20, 1000) == pow(3, 20, 1000)
-        assert backend.dot([(2, 3), (5, 7), (-1, 4)]) == 2 * 3 + 5 * 7 - 4
-        assert backend.dot([]) == 0
 
     def test_gmpy2_construction_fails_cleanly_when_missing(self):
         if Gmpy2Backend.available():

@@ -170,6 +170,34 @@ class TestPairProduct:
         assert isinstance(result, GTElement)
         assert group.counter.total == 3
 
+    def test_accepts_a_generator_without_materializing(self, group):
+        # The fused accumulation consumes any iterable in one pass -- no
+        # intermediate list of term tuples -- with identical results and
+        # identical PairingCounter totals to the element-wise path.
+        pairs = [(group.random_g(), group.random_g()) for _ in range(6)]
+        before = group.counter.total
+        fused = group.pair_product(pair for pair in pairs)
+        assert group.counter.total - before == 6
+        elementwise = group.gt_identity()
+        for a, b in pairs:
+            elementwise = elementwise * group.pair(a, b)
+        assert fused == elementwise
+        assert group.counter.total - before == 12  # 6 fused + 6 element-wise
+
+    def test_work_exponent_is_hoisted_and_equivalent(self):
+        # The cached work exponent must be exactly what the seed computed per
+        # burn call, and fused vs element-wise burning must stay in step.
+        group = BilinearGroup(prime_bits=32, rng=random.Random(26), pairing_work_factor=3)
+        assert group._work_exponent == group.order | 3
+        pairs = [(group.random_g(), group.random_g()) for _ in range(2)]
+        group.pair_product(pairs)
+        fused_burn = group._last_work
+        group._last_work = None
+        for a, b in pairs:
+            group.pair(a, b)
+        assert group._last_work == fused_burn  # same burn arithmetic per pairing
+        assert group.counter.total == 4
+
 
 class _ScriptedRandom:
     """Stand-in RNG whose ``randrange`` replays a scripted value sequence."""

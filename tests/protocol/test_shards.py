@@ -24,6 +24,7 @@ from repro.protocol.shards import (
     DEFAULT_SHARD_COUNT,
     ResidentShard,
     ShardedCiphertextStore,
+    StaleResidentShard,
     shard_of_user,
 )
 from repro.protocol.store import CiphertextStore
@@ -191,6 +192,21 @@ class TestShipping:
         assert any(s.full_ship for s in ships)
         assert ships[-1].upserts == () and ships[-1].bytes_shipped == 0
 
+    def test_lazy_changelog_before_first_ship(self, setup):
+        # Non-shipping sessions (inline/thread executors) must pay nothing
+        # per mutation beyond the version clock: changelog entries only start
+        # accumulating once a full ship has established a floor.
+        store = ShardedCiphertextStore(shards=2)
+        for i in range(6):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        assert all(not changelog for changelog in store._changelog)
+        assert sum(store.shard_versions()) == 6
+        store.ship_plan(0)
+        # After the floor exists, mutations of that shard are recorded again.
+        victim = store.shard_users(0)[0]
+        store.ingest(_update(setup, victim, 5, sequence=1), received_at=1.0)
+        assert victim in store._changelog[0]
+
     def test_close_removes_spool_dir(self, setup):
         store = ShardedCiphertextStore(shards=1)
         store.ingest(_update(setup, "alice", 2), received_at=0.0)
@@ -199,6 +215,77 @@ class TestShipping:
         assert os.path.isdir(directory)
         store.close()
         assert not os.path.exists(directory)
+
+
+class TestAckedShips:
+    """The acked-version handshake: deltas built against a worker's ack."""
+
+    def _populated_store(self, setup, users=5):
+        serializer = CountingSerializer()
+        store = ShardedCiphertextStore(shards=1, serializer=serializer)
+        for i in range(users):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        return store, serializer
+
+    def test_ack_at_current_version_ships_nothing(self, setup):
+        store, serializer = self._populated_store(setup)
+        store.ship_plan(0)
+        current = store.shard_version(0)
+        shipment = store.ship_plan(0, acked_version=current)
+        assert not shipment.full_ship
+        assert shipment.delta_base == current
+        assert shipment.upserts == () and shipment.removals == ()
+        assert shipment.bytes_shipped == 0 and shipment.record_count == 0
+        assert store.acked_ships == 1
+
+    def test_acked_delta_ships_strictly_less_than_floor_delta(self, setup):
+        store, serializer = self._populated_store(setup)
+        store.ship_plan(0)
+        store.ingest(_update(setup, "user-00", 4, sequence=1), received_at=1.0)
+        acked_after_first_move = store.shard_version(0)
+        store.ship_plan(0, acked_version=acked_after_first_move)
+        store.ingest(_update(setup, "user-01", 5, sequence=1), received_at=2.0)
+        # The floor delta re-ships both moved users; the acked delta carries
+        # only the one the worker has not applied yet.
+        floor_delta = store.ship_plan(0)
+        acked_delta = store.ship_plan(0, acked_version=acked_after_first_move)
+        assert [u for u, _, _ in floor_delta.upserts] == ["user-00", "user-01"]
+        assert [u for u, _, _ in acked_delta.upserts] == ["user-01"]
+        assert 0 < acked_delta.bytes_shipped < floor_delta.bytes_shipped
+
+    def test_acked_removals_filtered_by_version(self, setup):
+        store = ShardedCiphertextStore(shards=1, max_age_seconds=60.0)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ingest(_update(setup, "bob", 3), received_at=100.0)
+        store.ship_plan(0)
+        store.purge_stale(now=110.0)
+        acked_after_purge = store.shard_version(0)
+        assert store.ship_plan(0, acked_version=acked_after_purge).removals == ()
+        before_purge = acked_after_purge - 1
+        assert store.ship_plan(0, acked_version=before_purge).removals == ("alice",)
+
+    def test_ack_below_floor_falls_back_to_floor_logic(self, setup):
+        store, _ = self._populated_store(setup)
+        store.ship_plan(0)  # floor at the current version
+        floor = store._floor_versions[0]
+        shipment = store.ship_plan(0, acked_version=floor - 1)
+        # Not an acked delta: the changelog cannot reach below the floor.
+        assert shipment.delta_base == shipment.floor_version
+        assert store.acked_ships == 0
+
+    def test_bloated_changelog_compacts_despite_ack(self, setup):
+        # A churned population (mass expiry) leaves a changelog that is mostly
+        # removal tombstones; even with a valid ack the store compacts to a
+        # fresh floor instead of keeping that history forever.
+        store = ShardedCiphertextStore(shards=1, max_age_seconds=60.0)
+        for i in range(6):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        store.ingest(_update(setup, "late", 5), received_at=100.0)
+        store.ship_plan(0)
+        acked = store.shard_version(0)
+        store.purge_stale(now=110.0)  # the six early reports expire
+        shipment = store.ship_plan(0, acked_version=acked)
+        assert shipment.full_ship
 
 
 class TestResidentShard:
@@ -239,6 +326,34 @@ class TestResidentShard:
         fresh.sync(store.ship_plan(0).handle())
         assert fresh.spool_loads == 1
         assert "alice" in fresh
+
+    def test_acked_delta_applies_without_spool_reload(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=1)
+        for i in range(3):
+            store.ingest(_update(setup, f"user-{i:02d}", i % 8), received_at=0.0)
+        resident = ResidentShard(hve.group)
+        applied = resident.sync(store.ship_plan(0).handle())
+        store.ingest(_update(setup, "user-01", 5, sequence=1), received_at=1.0)
+        handle = store.ship_plan(0, acked_version=applied).handle()
+        assert resident.sync(handle) == store.shard_version(0)
+        assert resident.spool_loads == 1  # the acked delta anchored in place
+
+    def test_cold_resident_rejects_acked_delta_it_cannot_anchor(self, setup):
+        encoding, hve, keys = setup
+        store = ShardedCiphertextStore(shards=1)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ship_plan(0)
+        store.ingest(_update(setup, "alice", 3, sequence=1), received_at=1.0)
+        acked = store.shard_version(0)
+        store.ingest(_update(setup, "alice", 4, sequence=2), received_at=2.0)
+        shipment = store.ship_plan(0, acked_version=acked)
+        # A brand-new resident can only reach the spool floor, which lies
+        # below the acked delta's base: the sync must refuse rather than
+        # silently skip the floor->ack records.
+        fresh = ResidentShard(hve.group)
+        with pytest.raises(StaleResidentShard):
+            fresh.sync(shipment.handle())
 
     def test_removal_drops_resident_entry(self, setup):
         encoding, hve, keys = setup

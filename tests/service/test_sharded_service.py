@@ -216,7 +216,10 @@ class TestSnapshotRestore:
 
 class TestBrokenPoolRecovery:
     def test_killed_worker_is_rebuilt_and_pass_retried(self, scenario):
-        config = _config(4, workers=2, executor="process")
+        # affinity=False pins this to the PR 4 plain-pool path; the affinity
+        # dispatcher's worker-kill recovery is covered by
+        # tests/service/test_dispatch.py.
+        config = _config(4, workers=2, executor="process", affinity=False)
         rng = random.Random(5)
         with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
             for i in range(6):
