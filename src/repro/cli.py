@@ -7,6 +7,7 @@ runs without writing Python::
     python -m repro experiment fig07
     python -m repro experiment fig13 --grid-sizes 8 16 32
     python -m repro simulate  --users 30 --steps 10
+    python -m repro chaos     --steps 50 --seed 7
     python -m repro info
 
 The CLI is intentionally a thin layer over :mod:`repro.analysis.experiments`,
@@ -200,6 +201,30 @@ def _run_session_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded chaos soak and report the parity verdict.
+
+    Exit code 0 means the faulted run matched the fault-free run bit-exactly
+    with no torn snapshot and no leaked worker process -- the same bar the
+    CI chaos job enforces.
+    """
+    from repro.service.faults import DEFAULT_CHAOS_SPEC, run_chaos_soak
+
+    outcome = run_chaos_soak(
+        steps=args.steps,
+        seed=args.seed,
+        faults=args.faults if args.faults is not None else DEFAULT_CHAOS_SPEC,
+        users=args.users,
+        shards=args.shards,
+        workers=args.workers,
+        task_deadline=args.task_deadline,
+        hang_seconds=args.hang_seconds,
+    )
+    print(outcome.summary())
+    ok = outcome.matched and outcome.snapshots_intact and outcome.leaked_processes == 0
+    return 0 if ok else 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = make_synthetic_scenario(
         rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
@@ -304,6 +329,38 @@ def build_parser() -> argparse.ArgumentParser:
         "floor-based deltas while keeping affinity routing)",
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault-injection soak and verify bit-exact parity",
+        description="Replay one scripted warm session twice -- fault-free and under a seeded "
+        "FaultPlan -- and verify notifications and pairing totals are bit-exact, snapshots "
+        "are never torn, and no worker process leaks.",
+    )
+    chaos.add_argument("--steps", type=int, default=50, help="scripted session steps (default 50)")
+    chaos.add_argument("--seed", type=int, default=7, help="seed for the script and the fault plan")
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        help='fault spec, e.g. "kill=0.05,hang=0.02,drop_ack=0.1,torn_snapshot=1" '
+        "(default: the built-in chaos mix exercising every fault site)",
+    )
+    chaos.add_argument("--users", type=int, default=10, help="subscribed users (default 10)")
+    chaos.add_argument("--shards", type=int, default=6, help="ciphertext store shards (default 6)")
+    chaos.add_argument("--workers", type=int, default=2, help="process workers (default 2)")
+    chaos.add_argument(
+        "--task-deadline",
+        type=float,
+        default=1.5,
+        help="per-task deadline in seconds enforced on every lane wait (default 1.5)",
+    )
+    chaos.add_argument(
+        "--hang-seconds",
+        type=float,
+        default=12.0,
+        help="how long an injected hang sleeps; must exceed the deadline to matter (default 12)",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     simulate = subparsers.add_parser("simulate", help="run a small end-to-end service simulation")
     add_scenario_options(simulate)

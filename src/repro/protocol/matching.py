@@ -62,6 +62,9 @@ from __future__ import annotations
 
 import concurrent.futures
 import contextlib
+import os
+import signal
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -156,6 +159,15 @@ class PassStats:
     affinity_hits: int = 0
     acked_delta_bytes: int = 0
     inplace_reprimes: int = 0
+    #: Resilience-layer receipts (see :mod:`repro.service.resilience`): how
+    #: many failing process attempts were retried, bounded waits that expired,
+    #: lanes quarantined, passes degraded to inline evaluation, and
+    #: ``StaleResidentShard`` floor resets absorbed during this pass.
+    retries: int = 0
+    deadline_hits: int = 0
+    quarantines: int = 0
+    degraded_passes: int = 0
+    stale_resets: int = 0
 
 
 @dataclass(frozen=True)
@@ -881,6 +893,9 @@ class MatchingEngine:
         # Fully-warm fast path: (key, notifications, candidate count) of the
         # last assembled pass, replayed verbatim when every zone is clean.
         self._warm_pass: Optional[tuple[tuple, tuple[Notification, ...], int]] = None
+        # Private resilience runtime, created lazily when the pool provider
+        # does not carry one (bare engines, EphemeralPools).
+        self._resilience = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -1218,11 +1233,19 @@ class MatchingEngine:
         workers = min(self.options.workers, len(candidates))
 
         if workers > 1 and self.options.executor == "process" and sharded_store is not None:
-            evaluated = self._evaluate_process_sharded(
-                evaluation, sharded_store, candidates, needed, workers
+            evaluated = self._with_resilience(
+                lambda: self._evaluate_process_sharded(
+                    evaluation, sharded_store, candidates, needed, workers
+                ),
+                lambda: self._evaluate_inline(evaluation, candidates, needed),
             )
         elif workers > 1 and self.options.executor == "process":
-            evaluated = self._evaluate_process(evaluation, candidates, needed, workers)
+            evaluated = self._with_resilience(
+                lambda: self._evaluate_process(evaluation, candidates, needed, workers),
+                lambda: self._evaluate_inline(evaluation, candidates, needed),
+            )
+        elif workers <= 1:
+            evaluated = self._evaluate_inline(evaluation, candidates, needed)
         else:
             evaluate = evaluation.evaluator
 
@@ -1232,14 +1255,11 @@ class MatchingEngine:
                 return [evaluate(candidate.ciphertext, index, shared) for index in need]
 
             jobs = list(zip(candidates, needed))
-            if workers <= 1:
-                evaluated = [evaluate_candidate(job) for job in jobs]
-            else:
-                chunk_size = self._chunk_size(len(jobs), workers)
-                chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
-                with self.pools.thread_pool(workers) as pool:
-                    chunk_rows = list(pool.map(lambda chunk: [evaluate_candidate(j) for j in chunk], chunks))
-                evaluated = [row for chunk in chunk_rows for row in chunk]
+            chunk_size = self._chunk_size(len(jobs), workers)
+            chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+            with self.pools.thread_pool(workers) as pool:
+                chunk_rows = list(pool.map(lambda chunk: [evaluate_candidate(j) for j in chunk], chunks))
+            evaluated = [row for chunk in chunk_rows for row in chunk]
 
         for row, need, results in zip(rows, needed, evaluated):
             for index, outcome in zip(need, results):
@@ -1251,6 +1271,123 @@ class MatchingEngine:
         if chunk_size is None:
             chunk_size = -(-n_jobs // workers)  # ceil: every worker gets a chunk
         return chunk_size
+
+    # ------------------------------------------------------------------
+    # Resilience: bounded waits, retries, graceful degradation
+    # ------------------------------------------------------------------
+    @property
+    def resilience(self):
+        """The session's :class:`~repro.service.resilience.ResilienceRuntime`.
+
+        Shared with the dispatcher through the pool provider when it carries
+        one (:class:`~repro.service.executor.PersistentExecutorPool`); bare
+        engines lazily build a private default-policy runtime, so the process
+        paths are *always* deadline-bounded.  Imported lazily -- ``service``
+        imports this module during package init.
+        """
+        runtime = getattr(self.pools, "resilience", None)
+        if runtime is not None:
+            return runtime
+        if self._resilience is None:
+            from repro.service.resilience import ResilienceRuntime
+
+            self._resilience = ResilienceRuntime()
+        return self._resilience
+
+    def _evaluate_inline(
+        self,
+        evaluation: _CachedEvaluation,
+        candidates: Sequence[MatchCandidate],
+        needed: Sequence[tuple[int, ...]],
+    ) -> list[list[bool]]:
+        """Single-threaded evaluation of the outstanding (candidate, batch) work.
+
+        The reference path the executor tiers must agree with bit-exactly --
+        and therefore also the graceful-degradation fallback: a pass whose
+        process tier keeps failing is answered here, burning the same
+        pairings on the parent counter that the workers would have merged.
+        """
+        evaluate = evaluation.evaluator
+        evaluated: list[list[bool]] = []
+        for candidate, need in zip(candidates, needed):
+            shared: dict[int, bool] = {}
+            evaluated.append([evaluate(candidate.ciphertext, index, shared) for index in need])
+        return evaluated
+
+    def _with_resilience(
+        self,
+        attempt: Callable[[], list[list[bool]]],
+        inline_fallback: Callable[[], list[list[bool]]],
+    ) -> list[list[bool]]:
+        """Run one process-tier evaluation attempt under the resilience policy.
+
+        Failures the layer knows how to recover from -- a broken pool, an
+        expired task deadline, a quarantined lane, a stale resident that
+        could not be repaired in-pass -- are retried up to ``max_retries``
+        times with seeded-jitter backoff (each retry runs against freshly
+        respawned workers, so pairing totals stay bit-exact: a failed
+        attempt's worker counters are never merged).  When the retries are
+        exhausted the pass degrades to :meth:`_evaluate_inline` and still
+        returns a correct result, unless the policy demands propagation.
+        The runtime counter deltas are folded into :class:`PassStats` either
+        way, so the session metrics see every retry and degradation.
+        """
+        from repro.protocol.shards import StaleResidentShard
+        from repro.service.resilience import LaneQuarantined, TaskDeadlineExceeded
+
+        runtime = self.resilience
+        runtime.begin_pass()
+        before = runtime.snapshot()
+        stats = self.last_pass
+        try:
+            failure: Optional[BaseException] = None
+            for attempt_no in range(runtime.policy.max_retries + 1):
+                if attempt_no:
+                    runtime.record_retry()
+                    delay = runtime.backoff_seconds(attempt_no - 1)
+                    if delay > 0:
+                        time.sleep(delay)
+                try:
+                    return attempt()
+                except (
+                    concurrent.futures.BrokenExecutor,
+                    TaskDeadlineExceeded,
+                    LaneQuarantined,
+                    StaleResidentShard,
+                ) as exc:
+                    failure = exc
+            if not runtime.policy.degrade_inline:
+                raise failure  # type: ignore[misc]  # loop ran at least once
+            runtime.record_degraded_pass()
+            return inline_fallback()
+        finally:
+            after = runtime.snapshot()
+            stats.retries += after["retries"] - before["retries"]
+            stats.deadline_hits += after["deadline_hits"] - before["deadline_hits"]
+            stats.quarantines += after["quarantines"] - before["quarantines"]
+            stats.degraded_passes += after["degraded_passes"] - before["degraded_passes"]
+            stats.stale_resets += after["stale_resets"] - before["stale_resets"]
+
+    @staticmethod
+    def _kill_executor_processes(executor, join_timeout: float = 5.0) -> None:
+        """SIGKILL a plain process pool's workers (deadline-hit escalation).
+
+        Mirrors :meth:`repro.service.dispatch.WorkerLane.kill_processes`: a
+        worker wedged inside a task ignores ``shutdown``'s exit request and
+        would leak -- and an ephemeral pool's ``shutdown(wait=True)`` would
+        block on it forever.  Killing first makes both shutdown flavours
+        terminate promptly.
+        """
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
+            if process.is_alive() and process.pid is not None:
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+        deadline = time.time() + join_timeout
+        for process in processes:
+            process.join(max(0.0, deadline - time.time()))
 
     def _evaluate_process(
         self,
@@ -1293,9 +1430,10 @@ class MatchingEngine:
             prime_version=evaluation.version,
             initargs=(group_to_wire(group), self.hve.width, payload),
         ) as pool:
-            chunk_results = list(
-                pool.map(_process_worker_match, [[job for _, job in chunk] for chunk in chunks])
-            )
+            futures = [
+                pool.submit(_process_worker_match, [job for _, job in chunk]) for chunk in chunks
+            ]
+            chunk_results = [self._chunk_result(pool, future) for future in futures]
         worker_pairings = 0
         for chunk, (rows, pairings) in zip(chunks, chunk_results):
             worker_pairings += pairings
@@ -1303,6 +1441,28 @@ class MatchingEngine:
                 evaluated[position] = row
         group.counter.record_pairing(worker_pairings)
         return evaluated
+
+    def _chunk_result(self, pool, future: concurrent.futures.Future):
+        """Await one plain-pool chunk under the resilience task deadline.
+
+        A timeout SIGKILLs the (hung) pool workers -- otherwise the pool's
+        shutdown would block on them forever -- and raises
+        :class:`~repro.service.resilience.TaskDeadlineExceeded`, which the
+        pool provider treats like a broken pool (drop and restart) and
+        :meth:`_with_resilience` retries or degrades.
+        """
+        from repro.service.resilience import TaskDeadlineExceeded
+
+        runtime = self.resilience
+        try:
+            return future.result(timeout=runtime.task_deadline)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            runtime.deadline_hits += 1
+            self._kill_executor_processes(pool)
+            raise TaskDeadlineExceeded(
+                f"process-pool chunk exceeded the {runtime.task_deadline:.3g}s task deadline"
+            ) from None
 
     @staticmethod
     def _require_process_backend(group) -> None:
@@ -1383,12 +1543,22 @@ class MatchingEngine:
                 stats.resident_hits += sum(
                     1 for user_id, _ in worklist if user_id not in shipped_users
                 )
-        with self.pools.process_pool(
-            workers=min(workers, len(tasks)),
-            prime_version=evaluation.version,
-            initargs=(group_to_wire(group), self.hve.width, payload),
-        ) as pool:
-            shard_results = list(pool.map(_shard_worker_match, tasks))
+        from repro.protocol.shards import CorruptShardShipment
+
+        try:
+            with self.pools.process_pool(
+                workers=min(workers, len(tasks)),
+                prime_version=evaluation.version,
+                initargs=(group_to_wire(group), self.hve.width, payload),
+            ) as pool:
+                futures = [pool.submit(_shard_worker_match, task) for task in tasks]
+                shard_results = [self._chunk_result(pool, future) for future in futures]
+        except CorruptShardShipment as exc:
+            # The spool file backing this shard's floor failed its checksum
+            # in the worker.  Drop the floor so the retry full-ships the
+            # shard from the live reports (rewriting a clean spool).
+            store.invalidate_floor(exc.shard_id)
+            raise
         worker_pairings = 0
         for shard_id, (rows, pairings) in zip(ordered_shards, shard_results):
             worker_pairings += pairings
@@ -1442,13 +1612,20 @@ class MatchingEngine:
         Failure handling extends PR 4's broken-pool retry: a lane that cannot
         anchor an acked delta (:class:`~repro.protocol.shards.StaleResidentShard`)
         has its acks reset and is re-shipped from the spool floor within the
-        same pass; a lane whose process died is respawned and the pass-level
-        ``BrokenExecutor`` propagates so the session retries once against the
-        replacement worker (which then full-ships its shards).  Pairing totals
-        are merged only when every lane succeeded, keeping the counter
+        same pass; a corrupt spool (:class:`~repro.protocol.shards.CorruptShardShipment`)
+        additionally invalidates the floor so the re-ship rewrites it from the
+        live reports.  Every wait runs through the dispatcher's bounded
+        :meth:`~repro.service.dispatch.AffinityDispatcher.result_within` -- a
+        hung worker is killed at the task deadline, not awaited forever -- and
+        a lane whose stale-reset streak caps out is quarantined (respawned
+        under the same name) instead of re-shipped.  The terminal error of
+        each flavour propagates to :meth:`_with_resilience`, which retries the
+        whole pass against the respawned lanes or degrades inline.  Pairing
+        totals are merged only when every lane succeeded, keeping the counter
         bit-exact with the inline path under retries.
         """
-        from repro.protocol.shards import StaleResidentShard
+        from repro.protocol.shards import CorruptShardShipment, StaleResidentShard
+        from repro.service.resilience import LaneQuarantined, TaskDeadlineExceeded
 
         group = self.hve.group
         self._require_process_backend(group)
@@ -1485,23 +1662,45 @@ class MatchingEngine:
             )
             for lane, tasks in per_lane.items()
         ]
+        runtime = dispatcher.resilience
         lane_results: list[tuple[Any, list, tuple]] = []
-        stale_lanes: list[tuple[Any, list]] = []
+        stale_lanes: list[tuple[Any, list, BaseException]] = []
         broken_error: Optional[BaseException] = None
         for lane, tasks, future in futures:
             try:
-                lane_results.append((lane, tasks, future.result()))
-            except StaleResidentShard:
-                stale_lanes.append((lane, tasks))
-            except concurrent.futures.BrokenExecutor as exc:
-                dispatcher.mark_broken(lane)
+                lane_results.append(
+                    (lane, tasks, dispatcher.result_within(lane, future, label="match"))
+                )
+            except StaleResidentShard as exc:
+                stale_lanes.append((lane, tasks, exc))
+            except (concurrent.futures.BrokenExecutor, TaskDeadlineExceeded) as exc:
+                # result_within already struck the lane and respawned it.
                 if broken_error is None:
                     broken_error = exc
-        for lane, tasks in stale_lanes:
+        for lane, tasks, stale_exc in stale_lanes:
             # The worker cannot anchor at least one acked delta (its resident
-            # state regressed without the parent noticing).  Reset the lane's
-            # acks for these shards and re-ship from the spool floor, which a
-            # cold resident can always bootstrap from.
+            # state regressed without the parent noticing), or its spool
+            # failed its checksum.  A corrupt spool first invalidates the
+            # floor so the re-ship rewrites it from the live reports -- a
+            # floor re-ship of the same file would fail identically forever.
+            if isinstance(stale_exc, CorruptShardShipment):
+                store.invalidate_floor(stale_exc.shard_id)
+            if runtime.record_stale(lane.name):
+                # The lane's consecutive-stale streak capped out: quarantine
+                # it (respawn under the same name) rather than feed it yet
+                # another floor ship.  The replacement worker is unprimed, so
+                # this attempt cannot resubmit to it -- the pass-level retry
+                # re-runs through ensure() against the fresh lane.
+                dispatcher.mark_broken(lane)
+                if broken_error is None:
+                    broken_error = LaneQuarantined(
+                        f"lane {lane.name!r} hit the consecutive stale-reset cap "
+                        f"({runtime.policy.max_stale_resets}) and was quarantined",
+                        lane=lane.name,
+                    )
+                continue
+            # Reset the lane's acks for these shards and re-ship from the
+            # spool floor, which a cold resident can always bootstrap from.
             retry: list[tuple[int, tuple, tuple]] = []
             for shard_id, _, worklist in tasks:
                 dispatcher.clear_ack(lane, token, shard_id)
@@ -1522,11 +1721,28 @@ class MatchingEngine:
                     broken_error = exc
                 continue
             try:
-                lane_results.append((lane, retry, retry_future.result()))
-            except concurrent.futures.BrokenExecutor as exc:
-                dispatcher.mark_broken(lane)
+                lane_results.append(
+                    (lane, retry, dispatcher.result_within(lane, retry_future, label="re-ship"))
+                )
+            except StaleResidentShard as exc:
+                # The floor re-ship itself failed (e.g. the freshly written
+                # spool was corrupted again).  Repair what can be repaired
+                # and fail the attempt; the pass-level retry starts clean.
+                if isinstance(exc, CorruptShardShipment):
+                    store.invalidate_floor(exc.shard_id)
+                runtime.record_stale(lane.name)
                 if broken_error is None:
                     broken_error = exc
+            except (concurrent.futures.BrokenExecutor, TaskDeadlineExceeded) as exc:
+                if broken_error is None:
+                    broken_error = exc
+        # Lanes that completed this attempt without needing a stale reset end
+        # their consecutive-stale streak (the satellite cap counts *unbroken*
+        # streaks across passes).
+        stale_names = {lane.name for lane, _, _ in stale_lanes}
+        for lane, _, _ in lane_results:
+            if lane.name not in stale_names:
+                runtime.clear_stale(lane.name)
         # Acks are recorded even when another lane broke: these workers
         # genuinely advanced their resident shards, and the session-level
         # retry then ships them empty acked deltas.

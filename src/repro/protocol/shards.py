@@ -53,6 +53,7 @@ from typing import Any, Callable, Optional
 from repro.crypto.group import BilinearGroup
 from repro.crypto.hve import HVECiphertext
 from repro.crypto.serialization import ciphertext_to_wire, wire_size_bytes, wire_to_ciphertext
+from repro.durability import atomic_write_bytes, checksum_bytes
 from repro.protocol.store import CiphertextStore, StoredReport
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "ShardedCiphertextStore",
     "ResidentShard",
     "StaleResidentShard",
+    "CorruptShardShipment",
 ]
 
 
@@ -77,6 +79,27 @@ class StaleResidentShard(RuntimeError):
     sufficient.  Carries only a message string, so it pickles cleanly across
     the process boundary.
     """
+
+
+class CorruptShardShipment(StaleResidentShard):
+    """A spool file failed its integrity check (or would not even unpickle).
+
+    Subclasses :class:`StaleResidentShard` because the *recovery contract* is
+    the same -- reset the worker's acks and reship -- with one addition: the
+    floor file itself is bad, so the parent must invalidate the shard's floor
+    (:meth:`ShardedCiphertextStore.invalidate_floor`) and let the reship
+    rewrite the spool rather than point the worker at the same corrupt bytes
+    again.  ``shard_id`` identifies the shard to invalidate; ``__reduce__``
+    keeps it across the process boundary (worker exceptions are pickled back
+    to the parent).
+    """
+
+    def __init__(self, message: str, shard_id: Optional[int] = None):
+        super().__init__(message)
+        self.shard_id = shard_id
+
+    def __reduce__(self):
+        return (CorruptShardShipment, (self.args[0] if self.args else "", self.shard_id))
 
 #: Shards used when a payload predates the ``"shards"`` field or no explicit
 #: count is configured.  Small enough that tiny deployments are not scattered,
@@ -128,6 +151,11 @@ class ShardShipment:
     #: Records this shipment put on the wire: the whole shard for a full
     #: ship, the upserts for a delta.
     record_count: int
+    #: CRC32 of the spool file's bytes as written.  Workers verify it before
+    #: unpickling, so a spool corrupted on disk surfaces as a
+    #: :class:`CorruptShardShipment` instead of garbage resident state.
+    #: ``None`` for shipments whose spool predates checksumming.
+    spool_crc: Optional[int] = None
 
     def handle(self) -> tuple:
         """The picklable task form shipped to worker processes."""
@@ -140,6 +168,7 @@ class ShardShipment:
             self.delta_base,
             self.upserts,
             self.removals,
+            self.spool_crc,
         )
 
 
@@ -207,6 +236,7 @@ class ShardedCiphertextStore(CiphertextStore):
         self._last_shipped: list[Optional[tuple[int, int]]] = [None] * shards
         self._floor_versions: list[Optional[int]] = [None] * shards
         self._floor_paths: list[Optional[str]] = [None] * shards
+        self._floor_crcs: list[Optional[int]] = [None] * shards
         self._spool_dir = spool_dir
         self._finalizer: Optional[weakref.finalize] = None
         #: Lifetime counters surfaced by the service metrics and asserted by
@@ -366,6 +396,7 @@ class ShardedCiphertextStore(CiphertextStore):
             full_ship=False,
             bytes_shipped=bytes_shipped,
             record_count=len(upserts),
+            spool_crc=self._floor_crcs[shard_id],
         )
 
     def _delta_records(
@@ -449,7 +480,33 @@ class ShardedCiphertextStore(CiphertextStore):
             full_ship=True,
             bytes_shipped=bytes_shipped,
             record_count=len(records),
+            spool_crc=self._floor_crcs[shard_id],
         )
+
+    def invalidate_floor(self, shard_id: int) -> None:
+        """Forget a shard's floor file (it proved corrupt); next ship rewrites it.
+
+        Called by the engine when a worker answers
+        :class:`CorruptShardShipment`: the changelog's cached wires anchored
+        on the bad floor are dropped with it, so the forced full ship
+        re-serializes from the live reports -- the one source the corruption
+        cannot have touched.  The corrupt file itself is left for the rewrite
+        to replace (same shard, same spool naming).
+        """
+        if not 0 <= shard_id < self.shard_count:
+            raise ValueError(f"shard_id must be in [0, {self.shard_count})")
+        path = self._floor_paths[shard_id]
+        if path is not None and os.path.exists(path):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._floor_versions[shard_id] = None
+        self._floor_paths[shard_id] = None
+        self._floor_crcs[shard_id] = None
+        self._changelog[shard_id].clear()
+        self._repeat_ships[shard_id] = 0
+        self._last_shipped[shard_id] = None
 
     def _ensure_spool_dir(self) -> str:
         if self._spool_dir is None:
@@ -465,17 +522,21 @@ class ShardedCiphertextStore(CiphertextStore):
         Written to a temp name and renamed so a worker never observes a
         half-written file; the previous floor file is deleted only after the
         new one is in place (passes are synchronous, so no task in flight
-        still references it).
+        still references it).  The payload's CRC32 is remembered and shipped
+        with every handle anchored on this floor, so workers detect on-disk
+        corruption before unpickling (no fsync: the spool is a rebuildable
+        cache, integrity matters here, durability does not).
         """
         directory = self._ensure_spool_dir()
         path = os.path.join(directory, f"shard-{shard_id:04d}-v{version}.pkl")
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            pickle.dump((shard_id, version, records), handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_path, path)
+        blob = pickle.dumps((shard_id, version, records), protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(path, blob, fsync=False)
+        self._floor_crcs[shard_id] = checksum_bytes(blob)
         previous = self._floor_paths[shard_id]
         if previous is not None and previous != path and os.path.exists(previous):
             os.remove(previous)
+        if self.fault_injector is not None:
+            self.fault_injector.spool_written(path)
         return path
 
     def close(self) -> None:
@@ -543,14 +604,36 @@ class ResidentShard:
         dispatcher can ack it.  Raises :class:`StaleResidentShard` when the
         shipment's delta base lies above everything this worker can reach
         (resident state *and* spool file): the delta then provably misses
-        records, and the dispatcher must re-ship from the floor.
+        records, and the dispatcher must re-ship from the floor.  Raises
+        :class:`CorruptShardShipment` when the spool file fails its CRC (or
+        cannot be read or unpickled at all): the parent must then invalidate
+        the floor and reship a rewritten spool.
         """
-        _, shard_id, version, _, spool_path, delta_base, upserts, removals = handle
+        _, shard_id, version, _, spool_path, delta_base, upserts, removals, spool_crc = handle
         if self.version is not None and self.version == version:
             return self.version
         if self.version is None or self.version < delta_base:
-            with open(spool_path, "rb") as fh:
-                _, spool_version, records = pickle.load(fh)
+            try:
+                with open(spool_path, "rb") as fh:
+                    blob = fh.read()
+            except OSError as exc:
+                raise CorruptShardShipment(
+                    f"shard {shard_id}: spool file {spool_path!r} unreadable ({exc})", shard_id
+                )
+            if spool_crc is not None and zlib.crc32(blob) & 0xFFFFFFFF != spool_crc:
+                raise CorruptShardShipment(
+                    f"shard {shard_id}: spool file {spool_path!r} failed its integrity "
+                    f"check (expected crc {spool_crc:#010x})",
+                    shard_id,
+                )
+            try:
+                _, spool_version, records = pickle.loads(blob)
+            except Exception:
+                # Arbitrary corruption surfaces as arbitrary unpickling
+                # errors; all of them mean the same thing here.
+                raise CorruptShardShipment(
+                    f"shard {shard_id}: spool file {spool_path!r} would not unpickle", shard_id
+                )
             if spool_version < delta_base:
                 raise StaleResidentShard(
                     f"shard {shard_id}: resident at {self.version}, spool at "

@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 from repro.crypto.group import BilinearGroup
 from repro.crypto.hve import HVE, HVECiphertext
 from repro.crypto.serialization import deserialize_ciphertext, serialize_ciphertext
+from repro.durability import atomic_write_bytes
 from repro.protocol.matching import MatchCandidate, MatchingEngine, MatchingOptions
 from repro.protocol.messages import LocationUpdate, Notification, TokenBatch
 
@@ -66,6 +67,10 @@ class CiphertextStore:
         #: Matching-engine state snapshot found by :meth:`load` (``None`` when
         #: the file predates state persistence or none was saved).
         self.matching_state: Optional[dict] = None
+        #: Optional :class:`~repro.service.faults.FaultInjector` hook; the
+        #: session wires it in for chaos runs (snapshot tears here, plus the
+        #: spool faults in the sharded subclass).  ``None`` in production.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -204,8 +209,15 @@ class CiphertextStore:
         When ``engine`` is given, its incremental re-evaluation state is
         embedded in the same file, so a provider restart restores both the
         ciphertexts and the standing-alert caches in one step.
+
+        The write is atomic (tmp file + fsync + rename): a crash mid-save
+        leaves the previous snapshot intact instead of a torn JSON file that
+        :meth:`load` would choke on.
         """
-        pathlib.Path(path).write_text(json.dumps(self.to_payload(engine)), encoding="utf-8")
+        payload = json.dumps(self.to_payload(engine)).encode("utf-8")
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_tear_snapshot(path, payload)
+        atomic_write_bytes(path, payload)
 
     @classmethod
     def load(

@@ -15,6 +15,14 @@ over this package.
 from repro.service.config import ServiceConfig, ServiceConfigBuilder
 from repro.service.dispatch import AffinityDispatcher, WorkerLane
 from repro.service.executor import PersistentExecutorPool
+from repro.service.faults import ChaosSoakOutcome, FaultInjector, FaultPlan, run_chaos_soak
+from repro.service.journal import RequestJournal
+from repro.service.resilience import (
+    LaneQuarantined,
+    ResiliencePolicy,
+    ResilienceRuntime,
+    TaskDeadlineExceeded,
+)
 from repro.service.requests import (
     EvaluateStanding,
     IngestBatch,
@@ -52,4 +60,13 @@ __all__ = [
     "MatchReport",
     "RequestMetrics",
     "Notification",
+    "ResiliencePolicy",
+    "ResilienceRuntime",
+    "TaskDeadlineExceeded",
+    "LaneQuarantined",
+    "FaultPlan",
+    "FaultInjector",
+    "ChaosSoakOutcome",
+    "run_chaos_soak",
+    "RequestJournal",
 ]

@@ -94,6 +94,30 @@ class ServiceConfig:
         Keep the per-worker acked-version handshake (default).  ``False``
         ships floor-based deltas as PR 4 did while keeping affinity routing
         and in-place re-priming -- isolates the handshake's contribution.
+
+    Resilience
+    ----------
+    task_deadline_seconds / max_retries / backoff_base_seconds /
+    quarantine_strikes / quarantine_passes / max_stale_resets / degrade_inline:
+        The :class:`~repro.service.resilience.ResiliencePolicy` knobs (see
+        that class for semantics): every worker wait is bounded by the task
+        deadline, failing process passes are retried with backoff up to
+        ``max_retries`` times, a lane accumulating ``quarantine_strikes``
+        failures (or ``max_stale_resets`` consecutive stale resets) is
+        quarantined, and an exhausted pass degrades to inline evaluation when
+        ``degrade_inline`` is on.
+    faults / fault_seed:
+        Fault-injection spec for chaos runs (see
+        :meth:`~repro.service.faults.FaultPlan.parse`), e.g.
+        ``"kill=0.05,hang=0.02,corrupt_spool=0.06"``, with a seed making the
+        run a named reproducible workload.  ``None`` (default) injects
+        nothing and adds zero overhead to the hot paths.
+    journal_path:
+        Write-ahead request journal file.  When set, every mutating request
+        is durably appended *before* it executes;
+        :meth:`~repro.service.service.AlertService.restore` replays entries
+        newer than the restored snapshot, and a snapshot written to a file
+        checkpoints (truncates) the journal behind itself.
     """
 
     scheme: str = "huffman"
@@ -114,6 +138,16 @@ class ServiceConfig:
     shards: int = 0
     affinity: bool = True
     ack_deltas: bool = True
+    task_deadline_seconds: Optional[float] = 60.0
+    max_retries: int = 2
+    backoff_base_seconds: float = 0.05
+    quarantine_strikes: int = 3
+    quarantine_passes: int = 2
+    max_stale_resets: int = 3
+    degrade_inline: bool = True
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    journal_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         # canonical_scheme_name raises a ValueError listing every recognised
@@ -141,6 +175,10 @@ class ServiceConfig:
             raise ValueError("max_age_seconds must be positive (or None to disable expiry)")
         if self.shards < 0:
             raise ValueError("shards must be non-negative (0 keeps the unsharded store)")
+        # Fail on bad resilience/fault values at construction, with the
+        # specialised validators' own messages.
+        self.resilience_policy()
+        self.fault_plan()
 
     # ------------------------------------------------------------------
     # Derived views
@@ -157,6 +195,28 @@ class ServiceConfig:
             chunk_size=self.chunk_size,
             incremental=self.incremental,
         )
+
+    def resilience_policy(self):
+        """The :class:`~repro.service.resilience.ResiliencePolicy` this config implies."""
+        from repro.service.resilience import ResiliencePolicy
+
+        return ResiliencePolicy(
+            task_deadline_seconds=self.task_deadline_seconds,
+            max_retries=self.max_retries,
+            backoff_base_seconds=self.backoff_base_seconds,
+            quarantine_strikes=self.quarantine_strikes,
+            quarantine_passes=self.quarantine_passes,
+            max_stale_resets=self.max_stale_resets,
+            degrade_inline=self.degrade_inline,
+        )
+
+    def fault_plan(self):
+        """The parsed :class:`~repro.service.faults.FaultPlan`, or None."""
+        if self.faults is None:
+            return None
+        from repro.service.faults import FaultPlan
+
+        return FaultPlan.parse(self.faults, seed=self.fault_seed)
 
     # ------------------------------------------------------------------
     # Legacy translations
@@ -290,10 +350,40 @@ class ServiceConfigBuilder:
         )
 
     def with_store(
-        self, max_age_seconds: Any = _UNSET, shards: Any = _UNSET
+        self,
+        max_age_seconds: Any = _UNSET,
+        shards: Any = _UNSET,
+        journal_path: Any = _UNSET,
     ) -> "ServiceConfigBuilder":
-        """Configure the ciphertext store: report freshness and sharding."""
-        return self._set(max_age_seconds=max_age_seconds, shards=shards)
+        """Configure the ciphertext store: freshness, sharding, WAL journal."""
+        return self._set(
+            max_age_seconds=max_age_seconds, shards=shards, journal_path=journal_path
+        )
+
+    def with_resilience(
+        self,
+        task_deadline_seconds: Any = _UNSET,
+        max_retries: Any = _UNSET,
+        backoff_base_seconds: Any = _UNSET,
+        quarantine_strikes: Any = _UNSET,
+        quarantine_passes: Any = _UNSET,
+        max_stale_resets: Any = _UNSET,
+        degrade_inline: Any = _UNSET,
+    ) -> "ServiceConfigBuilder":
+        """Configure deadlines, retries, quarantine and degradation."""
+        return self._set(
+            task_deadline_seconds=task_deadline_seconds,
+            max_retries=max_retries,
+            backoff_base_seconds=backoff_base_seconds,
+            quarantine_strikes=quarantine_strikes,
+            quarantine_passes=quarantine_passes,
+            max_stale_resets=max_stale_resets,
+            degrade_inline=degrade_inline,
+        )
+
+    def with_faults(self, faults: Any = _UNSET, fault_seed: Any = _UNSET) -> "ServiceConfigBuilder":
+        """Configure fault injection for a reproducible chaos run."""
+        return self._set(faults=faults, fault_seed=fault_seed)
 
     def build(self) -> ServiceConfig:
         """Validate and produce the config (raises ``ValueError`` on bad values)."""

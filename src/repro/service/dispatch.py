@@ -43,10 +43,15 @@ sharded process deployments) and can fall back to the PR 4 path with
 from __future__ import annotations
 
 import concurrent.futures
+import os
+import signal
+import time
 import zlib
 from typing import Any, Callable, Optional
 
 from repro.protocol.matching import _dispatch_worker_evict, _dispatch_worker_prime
+from repro.service.faults import _delayed_call
+from repro.service.resilience import ResilienceRuntime, TaskDeadlineExceeded
 
 __all__ = ["AffinityDispatcher", "WorkerLane", "rendezvous_owner"]
 
@@ -89,21 +94,71 @@ class WorkerLane:
     def start(self) -> None:
         self.executor = concurrent.futures.ProcessPoolExecutor(max_workers=1)
 
+    def kill_processes(self, join_timeout: float = 5.0) -> int:
+        """SIGKILL this lane's worker process(es); returns how many were shot.
+
+        ``Executor.shutdown(wait=False)`` only *asks* workers to exit -- a
+        worker wedged inside a task never reads the request and leaks.  A
+        deadline hit therefore escalates to SIGKILL before the executor is
+        discarded; the short join keeps zombies from accumulating.
+        """
+        processes = list(getattr(self.executor, "_processes", {}).values()) if self.executor else []
+        killed = 0
+        for process in processes:
+            if process.is_alive() and process.pid is not None:
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                    killed += 1
+                except OSError:
+                    pass
+        deadline = time.time() + join_timeout
+        for process in processes:
+            process.join(max(0.0, deadline - time.time()))
+        return killed
+
     def respawn(self) -> None:
         """Replace a dead worker process; the lane identity (and shard
         ownership) is unchanged, but the handshake state resets so every owned
-        shard re-ships from its spool floor."""
+        shard re-ships from its spool floor.  The old process is SIGKILLed
+        first: for a *dead* worker that is a no-op, for a *hung* one it is the
+        only thing that actually frees the process (and avoids the leak a
+        bare ``shutdown(wait=False)`` would leave)."""
         if self.executor is not None:
+            self.kill_processes()
             self.executor.shutdown(wait=False)
         self.start()
         self.primed_version = None
         self.acked.clear()
         self.respawns += 1
 
-    def shutdown(self, wait: bool = True) -> None:
-        if self.executor is not None:
-            self.executor.shutdown(wait=wait)
-            self.executor = None
+    def shutdown(self, wait: bool = True, grace: float = 5.0) -> None:
+        """Shut the lane down in bounded time.
+
+        Queued tasks are cancelled and the worker gets ``grace`` seconds to
+        finish its current task and exit; one still alive after that is hung
+        inside a task and is SIGKILLed -- closing a session must never wait
+        out a stuck pairing computation (``shutdown(wait=True)`` alone would
+        sleep until the wedged task returned, which may be never).
+        """
+        if self.executor is None:
+            return
+        executor, self.executor = self.executor, None
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        if not wait:
+            return
+        deadline = time.time() + grace
+        for process in processes:
+            process.join(max(0.0, deadline - time.time()))
+        hung = [p for p in processes if p.is_alive()]
+        for process in hung:
+            if process.pid is not None:
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+        for process in hung:
+            process.join(5.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WorkerLane({self.name!r}, primed={self.primed_version}, acked={len(self.acked)})"
@@ -122,13 +177,31 @@ class AffinityDispatcher:
         shipment falls back to PR 4's floor-based deltas -- affinity routing
         and in-place re-priming stay active.  The ``--no-ack-deltas`` CLI knob
         maps here; mostly useful for A/B-ing the handshake's contribution.
+    resilience:
+        The session's :class:`~repro.service.resilience.ResilienceRuntime`.
+        Every lane wait goes through :meth:`result_within` under its task
+        deadline, and lane failures feed its strike ledger.  A private
+        default-policy runtime is created when none is supplied, so no
+        dispatcher ever waits unboundedly.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector`: lane tasks are
+        then subject to the plan's kill/hang/delay faults and ack recording to
+        its drop/corrupt faults.  ``None`` in production.
     """
 
-    def __init__(self, workers: int, ack_deltas: bool = True):
+    def __init__(
+        self,
+        workers: int,
+        ack_deltas: bool = True,
+        resilience: Optional[ResilienceRuntime] = None,
+        fault_injector=None,
+    ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.ack_deltas = ack_deltas
+        self.resilience = resilience if resilience is not None else ResilienceRuntime()
+        self.fault_injector = fault_injector
         self._lanes: list[WorkerLane] = []
         self._closed = False
         # (store_token, shard_id) -> lane name, for rebalance accounting: the
@@ -168,11 +241,7 @@ class AffinityDispatcher:
                     inplace += 1
                 primings.append((lane, self.submit(lane, _dispatch_worker_prime, *initargs)))
         for lane, future in primings:
-            try:
-                future.result()
-            except concurrent.futures.BrokenExecutor:
-                self.mark_broken(lane)
-                raise
+            self.result_within(lane, future, label="prime")
             lane.primed_version = prime_version
         if inplace:
             self.inplace_reprimes += 1
@@ -232,9 +301,15 @@ class AffinityDispatcher:
             lane = by_name[name]
             if lane.executor is not None and lane.primed_version is not None:
                 try:
-                    lane.executor.submit(_dispatch_worker_evict, tuple(keys)).result()
-                except concurrent.futures.BrokenExecutor:
-                    self.mark_broken(lane)
+                    self.result_within(
+                        lane,
+                        lane.executor.submit(_dispatch_worker_evict, tuple(keys)),
+                        label="evict",
+                    )
+                except (concurrent.futures.BrokenExecutor, TaskDeadlineExceeded):
+                    # result_within already respawned the lane; eviction is
+                    # best effort (the replacement worker starts empty anyway).
+                    pass
         self.shards_reassigned += len(moved)
         return moved
 
@@ -273,7 +348,16 @@ class AffinityDispatcher:
         return lane.acked.get((store_token, shard_id))
 
     def record_ack(self, lane: WorkerLane, store_token: str, shard_id: int, version: int) -> None:
-        """Record that ``lane``'s worker applied ``shard_id`` at ``version``."""
+        """Record that ``lane``'s worker applied ``shard_id`` at ``version``.
+
+        Under fault injection the ack may be dropped (the next delta is merely
+        larger -- shipments are idempotent) or corrupted (caught downstream by
+        ``ship_plan``'s anchor guard or the worker's ``StaleResidentShard``).
+        """
+        if self.fault_injector is not None:
+            record, version = self.fault_injector.ack_action(lane.name, version)
+            if not record:
+                return
         lane.acked[(store_token, shard_id)] = version
 
     def clear_ack(self, lane: WorkerLane, store_token: str, shard_id: int) -> None:
@@ -294,11 +378,47 @@ class AffinityDispatcher:
         self._ensure_open()
         if lane.executor is None:
             raise RuntimeError(f"lane {lane.name!r} is not running")
+        if self.fault_injector is not None:
+            action = self.fault_injector.lane_task(lane.name)
+            if action is not None:
+                if action[0] == "kill":
+                    self.fault_injector.kill_lane_process(lane)
+                else:  # hang or delay: stall the task inside the worker
+                    args = (action[1], fn) + args
+                    fn = _delayed_call
         try:
             return lane.executor.submit(fn, *args)
         except concurrent.futures.BrokenExecutor:
             self.mark_broken(lane)
             raise
+
+    def result_within(self, lane: WorkerLane, future: concurrent.futures.Future, label: str = "task") -> Any:
+        """Await ``future`` under the policy's task deadline.
+
+        The single bounded-wait choke point of the dispatch layer: no caller
+        waits on a lane future directly.  A timeout counts as a deadline hit
+        against the lane, SIGKILLs its (hung) worker via respawn and raises
+        :class:`~repro.service.resilience.TaskDeadlineExceeded`; a broken pool
+        takes the same strike-and-respawn path and re-raises.  Success clears
+        the lane's strike ledger.
+        """
+        try:
+            result = future.result(timeout=self.resilience.task_deadline)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            self.resilience.record_failure(lane.name, deadline=True)
+            self.mark_broken(lane)
+            raise TaskDeadlineExceeded(
+                f"{label} on lane {lane.name!r} exceeded the "
+                f"{self.resilience.task_deadline:.3g}s task deadline",
+                lane=lane.name,
+            ) from None
+        except concurrent.futures.BrokenExecutor:
+            self.resilience.record_failure(lane.name)
+            self.mark_broken(lane)
+            raise
+        self.resilience.record_success(lane.name)
+        return result
 
     def mark_broken(self, lane: WorkerLane) -> None:
         """Replace a lane whose process died; its shards full-ship next pass.

@@ -37,6 +37,7 @@ from typing import Iterator, Optional
 
 from repro.protocol.matching import EXECUTORS, _process_worker_init
 from repro.service.dispatch import AffinityDispatcher
+from repro.service.resilience import ResilienceRuntime, TaskDeadlineExceeded
 
 __all__ = ["PersistentExecutorPool"]
 
@@ -62,6 +63,14 @@ class PersistentExecutorPool:
     ack_deltas:
         Forwarded to the dispatcher: when False, shipments fall back to
         floor-based deltas while affinity routing stays on.
+    resilience:
+        The session's :class:`~repro.service.resilience.ResilienceRuntime`,
+        shared by the engine (which reads it through this provider) and the
+        dispatcher (which bounds its lane waits with it).  A default-policy
+        runtime is built when none is given.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector`, forwarded to
+        the dispatcher so chaos runs can kill/hang lanes and garble acks.
     """
 
     def __init__(
@@ -70,6 +79,8 @@ class PersistentExecutorPool:
         executor: str = "thread",
         affinity: bool = False,
         ack_deltas: bool = True,
+        resilience: Optional[ResilienceRuntime] = None,
+        fault_injector=None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -79,6 +90,8 @@ class PersistentExecutorPool:
         self.executor = executor
         self.affinity = bool(affinity and executor == "process")
         self.ack_deltas = ack_deltas
+        self.resilience = resilience if resilience is not None else ResilienceRuntime()
+        self.fault_injector = fault_injector
         self._thread_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._process_pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._dispatcher: Optional[AffinityDispatcher] = None
@@ -133,12 +146,12 @@ class PersistentExecutorPool:
             self.process_pool_reuses += 1
         try:
             yield self._process_pool
-        except concurrent.futures.BrokenExecutor:
-            # A crashed worker leaves the executor permanently unusable.
-            # Drop it so the next pass re-primes a fresh pool instead of
-            # re-raising BrokenProcessPool for the rest of the session; the
-            # session layer catches the exception and retries the pass once
-            # against the freshly built pool.
+        except (concurrent.futures.BrokenExecutor, TaskDeadlineExceeded):
+            # A crashed worker leaves the executor permanently unusable, and
+            # a deadline hit means its (now SIGKILLed) workers are gone too.
+            # Drop the pool so the next attempt re-primes a fresh one instead
+            # of re-raising BrokenProcessPool for the rest of the session;
+            # the engine's resilience wrapper retries the pass against it.
             broken, self._process_pool = self._process_pool, None
             self._primed_version = None
             self.broken_drops += 1
@@ -160,7 +173,12 @@ class PersistentExecutorPool:
         if not self.affinity or self._closed:
             return None
         if self._dispatcher is None:
-            self._dispatcher = AffinityDispatcher(self.workers, ack_deltas=self.ack_deltas)
+            self._dispatcher = AffinityDispatcher(
+                self.workers,
+                ack_deltas=self.ack_deltas,
+                resilience=self.resilience,
+                fault_injector=self.fault_injector,
+            )
         return self._dispatcher
 
     # ------------------------------------------------------------------

@@ -1,0 +1,306 @@
+"""Write-ahead request journal: crash-safe durability between snapshots.
+
+A snapshot (:meth:`~repro.service.service.AlertService.snapshot`) is a point
+in time; everything the session mutates *after* it would be lost to a crash.
+The :class:`RequestJournal` closes that window with the classic write-ahead
+rule: every mutating request is appended -- flushed and fsynced -- **before**
+it executes, so after a ``kill -9`` the session restores the latest snapshot
+and replays the journal's newer entries to land exactly where it crashed.
+
+Format: one entry per line, ``crc32_hex<TAB>json``, where the JSON body
+carries a monotonically increasing ``seq`` and the request payload
+(:func:`request_to_payload`).  The per-line checksum makes the journal
+self-validating: a torn tail (the crash hit mid-append) fails its CRC and
+replay stops cleanly at the last durable entry instead of raising.  Snapshots
+record the journal sequence they cover (``journal_seq``); a later
+:meth:`RequestJournal.checkpoint` drops the entries the snapshot already
+embodies, bounding the file.
+
+Requests serialize to plain JSON: client-side requests carry plaintext
+coordinates (the service re-encrypts on replay, exactly as the live request
+did), provider-side :class:`~repro.service.requests.IngestBatch` entries use
+the ciphertext wire form -- the journal never stores anything the provider
+does not legitimately hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Optional
+
+from repro.crypto.serialization import deserialize_ciphertext, serialize_ciphertext
+from repro.durability import atomic_write_text, checksum_text
+from repro.grid.alert_zone import AlertZone
+from repro.grid.geometry import Point
+from repro.protocol.messages import LocationUpdate
+from repro.service.requests import (
+    EvaluateStanding,
+    IngestBatch,
+    Move,
+    PublishZone,
+    Request,
+    RetractZone,
+    Subscribe,
+)
+
+__all__ = ["RequestJournal", "request_to_payload", "request_from_payload"]
+
+
+# ----------------------------------------------------------------------
+# Request (de)serialization
+# ----------------------------------------------------------------------
+def _point(point: Optional[Point]) -> Optional[list[float]]:
+    return None if point is None else [point.x, point.y]
+
+
+def request_to_payload(request: Request) -> dict:
+    """JSON-compatible form of one mutating service request."""
+    if isinstance(request, Subscribe):
+        return {
+            "type": "subscribe",
+            "user_id": request.user_id,
+            "location": _point(request.location),
+            "at": request.at,
+        }
+    if isinstance(request, Move):
+        return {
+            "type": "move",
+            "user_id": request.user_id,
+            "location": _point(request.location),
+            "at": request.at,
+        }
+    if isinstance(request, PublishZone):
+        return {
+            "type": "publish_zone",
+            "alert_id": request.alert_id,
+            "cells": list(request.zone.cell_ids) if request.zone is not None else None,
+            "epicenter": _point(request.epicenter),
+            "radius": request.radius,
+            "description": request.description,
+            "standing": request.standing,
+            "evaluate": request.evaluate,
+            "at": request.at,
+        }
+    if isinstance(request, RetractZone):
+        return {"type": "retract_zone", "alert_id": request.alert_id, "at": request.at}
+    if isinstance(request, EvaluateStanding):
+        return {"type": "evaluate_standing", "at": request.at}
+    if isinstance(request, IngestBatch):
+        return {
+            "type": "ingest_batch",
+            "updates": [
+                {
+                    "user_id": update.user_id,
+                    "sequence_number": update.sequence_number,
+                    "ciphertext": serialize_ciphertext(update.ciphertext),
+                }
+                for update in request.updates
+            ],
+            "evaluate": request.evaluate,
+            "at": request.at,
+        }
+    raise TypeError(f"cannot journal request type {type(request).__name__}")
+
+
+def request_from_payload(payload: dict, group) -> Request:
+    """Rebuild the request :func:`request_to_payload` serialized.
+
+    ``group`` (the deployment's :class:`~repro.crypto.group.BilinearGroup`)
+    is only needed for ``ingest_batch`` ciphertexts.
+    """
+    kind = payload.get("type")
+    if kind == "subscribe":
+        return Subscribe(
+            user_id=payload["user_id"],
+            location=Point(*payload["location"]),
+            at=payload.get("at"),
+        )
+    if kind == "move":
+        return Move(
+            user_id=payload["user_id"],
+            location=Point(*payload["location"]),
+            at=payload.get("at"),
+        )
+    if kind == "publish_zone":
+        cells = payload.get("cells")
+        epicenter = payload.get("epicenter")
+        return PublishZone(
+            alert_id=payload["alert_id"],
+            zone=AlertZone(cell_ids=tuple(cells)) if cells is not None else None,
+            epicenter=Point(*epicenter) if epicenter is not None else None,
+            radius=payload.get("radius"),
+            description=payload.get("description", ""),
+            standing=payload.get("standing", True),
+            evaluate=payload.get("evaluate", True),
+            at=payload.get("at"),
+        )
+    if kind == "retract_zone":
+        return RetractZone(alert_id=payload["alert_id"], at=payload.get("at"))
+    if kind == "evaluate_standing":
+        return EvaluateStanding(at=payload.get("at"))
+    if kind == "ingest_batch":
+        updates = tuple(
+            LocationUpdate(
+                user_id=entry["user_id"],
+                ciphertext=deserialize_ciphertext(group, entry["ciphertext"]),
+                sequence_number=int(entry["sequence_number"]),
+            )
+            for entry in payload["updates"]
+        )
+        return IngestBatch(
+            updates=updates, evaluate=payload.get("evaluate", True), at=payload.get("at")
+        )
+    raise ValueError(f"unknown journaled request type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# The journal file
+# ----------------------------------------------------------------------
+class RequestJournal:
+    """Append-only, checksummed, fsynced journal of request payloads.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created on first append, re-opened for append when
+        it already exists (the sequence resumes after the last valid entry,
+        so a restarted session keeps appending where the crashed one stopped).
+    fsync:
+        Fsync after every append (default).  Disable only for tests that
+        hammer the journal and do not care about power-loss durability.
+    """
+
+    def __init__(self, path: str | pathlib.Path, fsync: bool = True):
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self._seq = 0
+        if self.path.exists():
+            self._truncate_torn_tail()
+        existing = self.entries()
+        if existing:
+            self._seq = existing[-1][0]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent durable entry (0 = none)."""
+        return self._seq
+
+    def append(self, request: Request) -> int:
+        """Durably append one request; returns its sequence number.
+
+        The entry is flushed and fsynced before this returns -- the caller
+        may only *execute* the request afterwards (the write-ahead rule).
+        """
+        seq = self._seq + 1
+        body = json.dumps(
+            {"seq": seq, "request": request_to_payload(request)}, separators=(",", ":")
+        )
+        self._file.write(f"{checksum_text(body):08x}\t{body}\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._seq = seq
+        return seq
+
+    @staticmethod
+    def _parse_line(line: str) -> Optional[tuple[int, dict]]:
+        """One ``crc<TAB>json`` line as ``(seq, request)``, or None if invalid."""
+        crc_hex, sep, body = line.partition("\t")
+        if not sep:
+            return None
+        try:
+            expected = int(crc_hex, 16)
+        except ValueError:
+            return None
+        if checksum_text(body) != expected:
+            return None
+        try:
+            record = json.loads(body)
+        except ValueError:
+            return None
+        seq = record.get("seq")
+        if not isinstance(seq, int) or "request" not in record:
+            return None
+        return (seq, record["request"])
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut a crash's half-written last line off the file.
+
+        Without this, re-opening in append mode would concatenate the *next*
+        entry onto the torn fragment, invalidating a perfectly durable write.
+        The write-ahead rule guarantees the torn request never executed, so
+        dropping the fragment loses nothing.
+        """
+        raw = self.path.read_bytes()
+        durable = 0
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break
+            text = line[:-1].decode("utf-8", errors="replace")
+            if text and self._parse_line(text) is None:
+                break
+            durable += len(line)
+        if durable < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(durable)
+
+    def entries(self) -> list[tuple[int, dict]]:
+        """All valid ``(seq, request payload)`` entries, in order.
+
+        Parsing stops at the first line that fails its checksum or does not
+        parse -- by construction that can only be a torn tail from a crash
+        mid-append, and the write-ahead rule means the request it described
+        never executed, so dropping it is exactly right.
+        """
+        if not self.path.exists():
+            return []
+        entries: list[tuple[int, dict]] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                parsed = self._parse_line(line)
+                if parsed is None:
+                    break
+                entries.append(parsed)
+        return entries
+
+    def replay_after(self, seq: int) -> list[tuple[int, dict]]:
+        """The entries newer than ``seq`` (what a snapshot at ``seq`` misses)."""
+        return [(s, payload) for s, payload in self.entries() if s > seq]
+
+    def checkpoint(self, upto_seq: int) -> int:
+        """Drop entries covered by a snapshot at ``upto_seq``; returns how many.
+
+        The surviving tail is rewritten atomically (tmp + fsync + rename), so
+        a crash mid-checkpoint leaves either the old or the new journal --
+        never a half-truncated one.  Sequence numbers keep counting from
+        where they were.
+        """
+        kept = self.replay_after(upto_seq)
+        dropped = len(self.entries()) - len(kept)
+        if dropped <= 0:
+            return 0
+        lines = []
+        for seq, payload in kept:
+            body = json.dumps({"seq": seq, "request": payload}, separators=(",", ":"))
+            lines.append(f"{checksum_text(body):08x}\t{body}\n")
+        self._file.close()
+        atomic_write_text(self.path, "".join(lines))
+        self._file = open(self.path, "a", encoding="utf-8")
+        return dropped
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -202,6 +202,14 @@ class MatchReport:
     ``pool_rebuilt`` is True when a broken process pool (a killed worker) was
     transparently rebuilt and the pass retried.
 
+    The resilience fields mirror :class:`~repro.protocol.matching.PassStats`:
+    ``retries`` failing process attempts were re-run, ``deadline_hits``
+    bounded waits expired (each killing a hung worker), ``quarantines`` lanes
+    struck out and were respawned under quarantine, ``degraded_passes`` is 1
+    when the pass exhausted its retries and was answered by inline
+    evaluation (still a correct report), and ``stale_resets`` counts
+    in-pass ``StaleResidentShard`` floor re-ships.
+
     The affinity-dispatch fields cover ``affinity=True`` deployments:
     ``affinity_hits`` candidates were routed to the worker already holding
     their shard resident, ``acked_delta_bytes`` of the shipped bytes
@@ -226,6 +234,11 @@ class MatchReport:
     affinity_hits: int = 0
     acked_delta_bytes: int = 0
     inplace_reprimes: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    quarantines: int = 0
+    degraded_passes: int = 0
+    stale_resets: int = 0
 
     @property
     def notified_users(self) -> tuple[str, ...]:
@@ -261,3 +274,8 @@ class RequestMetrics:
     affinity_hits: int = 0
     acked_delta_bytes: int = 0
     inplace_reprimes: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    quarantines: int = 0
+    degraded_passes: int = 0
+    stale_resets: int = 0

@@ -1,0 +1,288 @@
+"""Deadline / retry / quarantine policy for the process matching tiers.
+
+The dispatch layer (:mod:`repro.service.dispatch`) and the matching engine's
+process paths historically handled exactly one fault: a dead worker raising
+:class:`concurrent.futures.process.BrokenProcessPool`, caught once per pass by
+the session facade.  Every ``future.result()`` waited unboundedly, so a *hung*
+worker (as opposed to a dead one) wedged the whole session, and a lane that
+kept failing was respawned forever with no memory of its record.
+
+This module is the policy half of the resilience layer:
+
+* :class:`ResiliencePolicy` -- the frozen knob set: per-task deadline applied
+  to every lane/pool wait, bounded retries with exponential backoff + jitter,
+  K-strikes lane quarantine, a cap on consecutive
+  :class:`~repro.protocol.shards.StaleResidentShard` resets per lane, and
+  graceful degradation (a pass whose process tier keeps failing is evaluated
+  inline and still returns a correct report).
+* :class:`ResilienceRuntime` -- the mutable per-session state that applies the
+  policy: strike ledgers per lane, quarantine bookkeeping, the seeded jitter
+  stream, and the counters (``retries`` / ``deadline_hits`` / ``quarantines``
+  / ``degraded_passes`` / ``stale_resets``) surfaced through
+  ``PassStats`` → ``MatchReport`` / ``RequestMetrics`` → ``SessionStats``.
+* :class:`TaskDeadlineExceeded` -- raised when a bounded wait expires; the
+  engine treats it like a broken pool (kill + respawn / retry / degrade), and
+  the executor pool drops its plain pool on it just as it does on
+  ``BrokenExecutor``.
+
+Quarantining a lane **respawns it under the same name**: lane names are the
+rendezvous-hash identities (:func:`repro.service.dispatch.rendezvous_owner`),
+so the replacement inherits the quarantined lane's shard ownership and the
+assignment stays stable -- quarantine is a health action, not a topology
+change.  The quarantine then holds the *lane name* out of strike-amnesty for
+``quarantine_passes`` evaluation passes so a persistently sick host is
+re-checked rather than trusted immediately.
+
+Import note: :mod:`repro.protocol.matching` uses this module but must not
+import it at module scope (``service`` imports ``matching`` during package
+init); the engine pulls it in lazily.  This module therefore imports nothing
+from the protocol layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "TaskDeadlineExceeded",
+    "LaneQuarantined",
+    "ResiliencePolicy",
+    "ResilienceRuntime",
+]
+
+
+class TaskDeadlineExceeded(RuntimeError):
+    """A bounded wait on a worker task expired.
+
+    Raised by the dispatch/matching layers when ``future.result(timeout=...)``
+    times out under the policy's ``task_deadline_seconds``.  Handled exactly
+    like a broken pool: the hung workers are killed (a hung process is not
+    recovered by ``shutdown(wait=False)``), the lane or pool is respawned,
+    and the attempt is retried or degraded inline.
+    """
+
+    def __init__(self, message: str, lane: Optional[str] = None):
+        super().__init__(message)
+        self.lane = lane
+
+
+class LaneQuarantined(RuntimeError):
+    """A lane struck out mid-pass and was respawned under quarantine.
+
+    Raised (or collected) by the engine's affinity pass when a lane's strike
+    or stale-reset ledger caps out: the replacement worker is unprimed, so
+    the attempt cannot simply resubmit to it -- the pass-level retry re-runs
+    through ``ensure()`` against the fresh lane instead.
+    """
+
+    def __init__(self, message: str, lane: Optional[str] = None):
+        super().__init__(message)
+        self.lane = lane
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The resilience knob set of one session (see module docstring).
+
+    Parameters
+    ----------
+    task_deadline_seconds:
+        Upper bound on every individual wait for a worker-task result
+        (prime, match, evict, plain-pool chunk).  ``None`` disables deadlines
+        and restores the historical unbounded waits -- only sensible in
+        debuggers.
+    max_retries:
+        How many times a failing process attempt (broken pool, deadline hit)
+        is retried before the pass degrades inline.  ``0`` degrades on the
+        first failure.
+    backoff_base_seconds / backoff_cap_seconds / backoff_jitter:
+        Exponential backoff between retries: attempt *n* sleeps
+        ``min(cap, base * 2**n)`` plus a seeded jitter fraction.  The default
+        base is small -- respawning a lane already costs a pool start-up, the
+        backoff only needs to let an overloaded host breathe.
+    quarantine_strikes:
+        Consecutive failures (deadline hits, broken lanes) a single lane may
+        accumulate before it is quarantined.
+    quarantine_passes:
+        For how many evaluation passes a quarantined lane name keeps its
+        strike ledger primed at ``quarantine_strikes - 1`` (one more failure
+        re-quarantines immediately) instead of getting full amnesty.
+    max_stale_resets:
+        Consecutive :class:`~repro.protocol.shards.StaleResidentShard` resets
+        a lane may trigger before being treated as a strike-out and
+        quarantined -- bounds the forged/garbled-ack fallback loop.
+    degrade_inline:
+        When True (default), a pass that exhausts its retries falls back to
+        inline evaluation on the session thread and still returns a correct
+        report (marked via ``degraded_passes``).  When False the final error
+        propagates to the caller.
+    """
+
+    task_deadline_seconds: Optional[float] = 60.0
+    max_retries: int = 2
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    backoff_jitter: float = 0.25
+    quarantine_strikes: int = 3
+    quarantine_passes: int = 2
+    max_stale_resets: int = 3
+    degrade_inline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.task_deadline_seconds is not None and self.task_deadline_seconds <= 0:
+            raise ValueError("task_deadline_seconds must be positive (or None to disable)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ValueError("backoff_jitter must be within [0, 1]")
+        if self.quarantine_strikes < 1:
+            raise ValueError("quarantine_strikes must be at least 1")
+        if self.quarantine_passes < 0:
+            raise ValueError("quarantine_passes must be non-negative")
+        if self.max_stale_resets < 1:
+            raise ValueError("max_stale_resets must be at least 1")
+
+    def backoff_seconds(self, attempt: int, jitter: float) -> float:
+        """Sleep before retry ``attempt`` (0-based), with ``jitter`` in [0, 1)."""
+        base = min(self.backoff_cap_seconds, self.backoff_base_seconds * (2.0**attempt))
+        return base * (1.0 + self.backoff_jitter * jitter)
+
+
+@dataclass
+class ResilienceRuntime:
+    """Mutable per-session application of a :class:`ResiliencePolicy`.
+
+    One instance lives on the session's pool provider and is shared by the
+    dispatcher and the matching engine; a session without a provider (bare
+    engine) gets a private one from the engine.  All state is keyed by lane
+    *name* so it survives lane respawns -- the whole point of the strike
+    ledger is remembering a host's record across its reincarnations.
+    """
+
+    policy: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    seed: Optional[int] = None
+
+    #: Counters surfaced through PassStats/RequestMetrics/SessionStats.
+    retries: int = 0
+    deadline_hits: int = 0
+    quarantines: int = 0
+    degraded_passes: int = 0
+    stale_resets: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._strikes: Dict[str, int] = {}
+        self._stale_streaks: Dict[str, int] = {}
+        self._cooldowns: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Deadlines and backoff
+    # ------------------------------------------------------------------
+    @property
+    def task_deadline(self) -> Optional[float]:
+        """The timeout to pass to every ``future.result()`` (None = unbounded)."""
+        return self.policy.task_deadline_seconds
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Seeded-jitter backoff before retry ``attempt`` (0-based)."""
+        return self.policy.backoff_seconds(attempt, self._rng.random())
+
+    # ------------------------------------------------------------------
+    # Strike ledger
+    # ------------------------------------------------------------------
+    def record_failure(self, lane: str, deadline: bool = False) -> bool:
+        """Record one failure of ``lane``; True when it must be quarantined.
+
+        ``deadline=True`` marks the failure as a deadline hit (counted
+        separately).  Quarantine resets the stale streak -- the respawned
+        lane starts with a clean spool state anyway.
+        """
+        if deadline:
+            self.deadline_hits += 1
+        strikes = self._strikes.get(lane, 0) + 1
+        self._strikes[lane] = strikes
+        if strikes >= self.policy.quarantine_strikes:
+            self._quarantine(lane)
+            return True
+        return False
+
+    def record_stale(self, lane: str) -> bool:
+        """Record one ``StaleResidentShard`` reset; True when the streak caps out.
+
+        Stale resets are normal after a respawn (acks reset, floor reship) --
+        only an unbroken streak of them *across passes*, the signature of a
+        lane that keeps garbling its acks, converts into a quarantine.  The
+        streak is therefore cleared by :meth:`clear_stale` (a pass where the
+        lane needed no reset), not by individual task successes: the in-pass
+        floor reship that resolves each reset always succeeds, and must not
+        grant amnesty for the next pass's reset.
+        """
+        self.stale_resets += 1
+        streak = self._stale_streaks.get(lane, 0) + 1
+        self._stale_streaks[lane] = streak
+        if streak >= self.policy.max_stale_resets:
+            self._quarantine(lane)
+            return True
+        return False
+
+    def clear_stale(self, lane: str) -> None:
+        """``lane`` completed a pass without a stale reset: end its streak."""
+        self._stale_streaks.pop(lane, None)
+
+    def record_success(self, lane: str) -> None:
+        """A completed task on ``lane``: clear its failure strikes."""
+        self._strikes.pop(lane, None)
+
+    def record_degraded_pass(self) -> None:
+        """A pass fell back to inline evaluation after exhausting retries."""
+        self.degraded_passes += 1
+
+    def record_retry(self) -> None:
+        """A failing process attempt is being retried."""
+        self.retries += 1
+
+    def _quarantine(self, lane: str) -> None:
+        self.quarantines += 1
+        self._stale_streaks.pop(lane, None)
+        # Keep the ledger one strike below the bar for the cooldown window:
+        # a quarantined host that fails again right after respawn goes
+        # straight back into quarantine instead of earning three fresh lives.
+        if self.policy.quarantine_passes > 0:
+            self._strikes[lane] = self.policy.quarantine_strikes - 1
+            self._cooldowns[lane] = self.policy.quarantine_passes
+        else:
+            self._strikes.pop(lane, None)
+
+    def begin_pass(self) -> None:
+        """Advance the quarantine cooldowns at the start of an evaluation pass."""
+        expired = []
+        for lane, remaining in self._cooldowns.items():
+            if remaining <= 1:
+                expired.append(lane)
+            else:
+                self._cooldowns[lane] = remaining - 1
+        for lane in expired:
+            del self._cooldowns[lane]
+            self._strikes.pop(lane, None)
+
+    def strikes(self, lane: str) -> int:
+        """Current strike count of ``lane`` (0 when clean)."""
+        return self._strikes.get(lane, 0)
+
+    def stale_streak(self, lane: str) -> int:
+        """Current consecutive-stale-reset streak of ``lane``."""
+        return self._stale_streaks.get(lane, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (for metrics/session stats)."""
+        return {
+            "retries": self.retries,
+            "deadline_hits": self.deadline_hits,
+            "quarantines": self.quarantines,
+            "degraded_passes": self.degraded_passes,
+            "stale_resets": self.stale_resets,
+        }

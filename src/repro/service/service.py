@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.crypto.serialization import deserialize_token, serialize_token
+from repro.durability import atomic_write_bytes
 from repro.encoding import scheme_by_name
 from repro.encoding.base import EncodingScheme
 from repro.grid.alert_zone import AlertZone, circular_alert_zone
@@ -56,6 +57,9 @@ from repro.protocol.shards import ShardedCiphertextStore
 from repro.protocol.store import CiphertextStore
 from repro.service.config import ServiceConfig
 from repro.service.executor import PersistentExecutorPool
+from repro.service.faults import FaultInjector
+from repro.service.journal import RequestJournal, request_from_payload
+from repro.service.resilience import ResilienceRuntime, TaskDeadlineExceeded
 from repro.service.requests import (
     EvaluateStanding,
     IngestBatch,
@@ -117,6 +121,14 @@ class SessionStats:
     #: to the live pool instead of restarting it.
     shard_acked_ships: int = 0
     inplace_reprimes: int = 0
+    #: Resilience-layer totals (see :mod:`repro.service.resilience`):
+    #: retried process attempts, expired bounded waits, quarantined lanes,
+    #: passes degraded to inline evaluation, stale-shard floor resets.
+    retries: int = 0
+    deadline_hits: int = 0
+    quarantines: int = 0
+    degraded_passes: int = 0
+    stale_resets: int = 0
 
 
 class AlertService:
@@ -187,7 +199,27 @@ class AlertService:
             )
         self.system = system
         self.engine: MatchingEngine = system.provider.engine
+        #: The session's resilience runtime: one strike ledger / counter set
+        #: shared by the dispatcher, the engine's retry wrapper and the stats.
+        self.resilience = ResilienceRuntime(
+            policy=self.config.resilience_policy(), seed=self.config.seed
+        )
+        fault_plan = self.config.fault_plan()
+        #: Non-None only for chaos runs (``config.faults``); wired into the
+        #: store's spool/snapshot writes and the dispatcher's task/ack paths.
+        self.fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None and fault_plan.any_active else None
+        )
         self.store = self._build_store()
+        self.store.fault_injector = self.fault_injector
+        #: Write-ahead request journal (``config.journal_path``); mutating
+        #: requests are durably appended before they execute.
+        self.journal: Optional[RequestJournal] = (
+            RequestJournal(self.config.journal_path)
+            if self.config.journal_path is not None
+            else None
+        )
+        self._replaying = False
         self._clock = 0.0
         self._zones: dict[str, StandingZone] = {}
         self._observers: list[Observer] = []
@@ -206,8 +238,13 @@ class AlertService:
                 # its lanes) for deployments that can never use it.
                 affinity=self.config.affinity and self.config.shards > 0,
                 ack_deltas=self.config.ack_deltas,
+                resilience=self.resilience,
+                fault_injector=self.fault_injector,
             )
             self.engine.pools = self.pool
+        # The no-pool paths (inline fallback, ephemeral pools) must share the
+        # same runtime so every counter lands in one place.
+        self.engine._resilience = self.resilience
 
         # Every upload the system performs from now on also lands in the
         # session store; ciphertexts uploaded before adoption are back-filled.
@@ -236,6 +273,7 @@ class AlertService:
         fresh upload supersedes the restored report instead of starting over
         at zero and being dropped as stale.
         """
+        self._journal_append(request)
         self._set_clock(request.at)
         if request.user_id not in self.system.users and request.user_id in self.store:
             sequence = self.store.report_for(request.user_id).sequence_number + 1
@@ -254,6 +292,7 @@ class AlertService:
         (typical after :meth:`restore`) is transparently re-attached with the
         next sequence number before the upload.
         """
+        self._journal_append(request)
         self._set_clock(request.at)
         if request.user_id not in self.system.users:
             if request.user_id not in self.store:
@@ -267,6 +306,7 @@ class AlertService:
 
     def ingest_batch(self, request: IngestBatch) -> MatchReport:
         """Ingest raw encrypted updates, then evaluate every standing zone."""
+        self._journal_append(request)
         self._set_clock(request.at)
         for update in request.updates:
             self.system.provider.receive_update(update)
@@ -279,6 +319,7 @@ class AlertService:
 
     def publish_zone(self, request: PublishZone) -> MatchReport:
         """Mint tokens for a zone, optionally keep it standing, and evaluate it."""
+        self._journal_append(request)
         self._set_clock(request.at)
         zone = request.zone
         if zone is None:
@@ -303,6 +344,7 @@ class AlertService:
 
     def retract_zone(self, request: RetractZone) -> RetractReceipt:
         """Retire a standing zone and drop its cached outcomes."""
+        self._journal_append(request)
         self._set_clock(request.at)
         existed = request.alert_id in self._zones
         self._zones.pop(request.alert_id, None)
@@ -362,25 +404,30 @@ class AlertService:
         pairings_before = counter.total
         reuses_before = self.engine.plan_reuses
         pool_starts_before = self.pool.pool_starts_total if self.pool is not None else 0
+        drops_before = self.pool.broken_drops_total if self.pool is not None else 0
 
-        pool_rebuilt = False
         try:
             notifications = tuple(
                 self.engine.match_store(batches, self.store, self._clock, descriptions=descriptions)
             )
-        except concurrent.futures.BrokenExecutor:
-            # A killed worker broke the process pool (or one dispatch lane)
-            # mid-pass.  The provider already dropped the broken pool --
-            # respectively respawned the dead lane with its acks reset -- and
-            # no partial outcomes or pairing totals were merged, so one retry
-            # runs the whole pass against the replacement workers.  A second
-            # failure is a real problem and propagates.
-            pool_rebuilt = True
+        except (concurrent.futures.BrokenExecutor, TaskDeadlineExceeded):
+            # Normally the engine's resilience wrapper retries (and, at the
+            # policy default, degrades inline) before this can escape; it is
+            # reachable when the policy disables degradation.  One session-
+            # level retry then preserves the PR 4 recovery contract: the
+            # provider already dropped the broken pool / respawned the dead
+            # lane and no partial outcomes or pairing totals were merged.  A
+            # second failure is a real problem and propagates.
             notifications = tuple(
                 self.engine.match_store(batches, self.store, self._clock, descriptions=descriptions)
             )
         pass_stats = self.engine.last_pass
         pool_starts_after = self.pool.pool_starts_total if self.pool is not None else 0
+        drops_after = self.pool.broken_drops_total if self.pool is not None else 0
+        # A lane respawn or pool drop anywhere in the pass (including the
+        # engine's internal retries, which swallow the exception) surfaces as
+        # a rebuilt pool in the report.
+        pool_rebuilt = drops_after > drops_before
         report = MatchReport(
             notifications=notifications,
             alerts_evaluated=tuple(batch.alert_id for batch in batches),
@@ -398,6 +445,11 @@ class AlertService:
             affinity_hits=pass_stats.affinity_hits,
             acked_delta_bytes=pass_stats.acked_delta_bytes,
             inplace_reprimes=pass_stats.inplace_reprimes,
+            retries=pass_stats.retries,
+            deadline_hits=pass_stats.deadline_hits,
+            quarantines=pass_stats.quarantines,
+            degraded_passes=pass_stats.degraded_passes,
+            stale_resets=pass_stats.stale_resets,
         )
         self._emit(request_name, report)
         return report
@@ -447,6 +499,15 @@ class AlertService:
         report = self.store.report_for(user_id)
         return IngestReceipt(user_id=user_id, sequence_number=report.sequence_number, stored=True)
 
+    def _journal_append(self, request: Request) -> None:
+        """Write-ahead: durably record a mutating request before executing it.
+
+        No-op without a configured journal, and during :meth:`restore`'s
+        replay (replayed requests are already in the journal).
+        """
+        if self.journal is not None and not self._replaying:
+            self.journal.append(request)
+
     # ------------------------------------------------------------------
     # Observer hooks and stats
     # ------------------------------------------------------------------
@@ -478,6 +539,11 @@ class AlertService:
             affinity_hits=report.affinity_hits if report is not None else 0,
             acked_delta_bytes=report.acked_delta_bytes if report is not None else 0,
             inplace_reprimes=report.inplace_reprimes if report is not None else 0,
+            retries=report.retries if report is not None else 0,
+            deadline_hits=report.deadline_hits if report is not None else 0,
+            quarantines=report.quarantines if report is not None else 0,
+            degraded_passes=report.degraded_passes if report is not None else 0,
+            stale_resets=report.stale_resets if report is not None else 0,
         )
         for observer in list(self._observers):
             observer(metrics)
@@ -502,6 +568,11 @@ class AlertService:
             records_serialized=store.serialized_records if sharded else 0,
             shard_acked_ships=store.acked_ships if sharded else 0,
             inplace_reprimes=pool.inplace_reprimes if pool is not None else 0,
+            retries=self.resilience.retries,
+            deadline_hits=self.resilience.deadline_hits,
+            quarantines=self.resilience.quarantines,
+            degraded_passes=self.resilience.degraded_passes,
+            stale_resets=self.resilience.stale_resets,
         )
 
     # ------------------------------------------------------------------
@@ -517,10 +588,18 @@ class AlertService:
         given.  Plaintext user locations are client-side state and are *not*
         part of a snapshot: after :meth:`restore`, a :class:`Move` request
         transparently re-attaches a known pseudonym.
+
+        The file write is atomic (tmp + fsync + rename): a crash mid-save
+        leaves the previous snapshot intact instead of a torn JSON file.
+        With a journal configured the payload records the journal sequence it
+        covers (``journal_seq``), and a successful file write checkpoints the
+        journal behind itself -- :meth:`restore` then replays only the
+        entries newer than the snapshot.
         """
         payload = {
             "kind": "alert_service_state",
             "clock": self._clock,
+            "journal_seq": self.journal.last_seq if self.journal is not None else 0,
             "store": self.store.to_payload(engine=self.engine),
             "zones": [
                 {
@@ -533,7 +612,12 @@ class AlertService:
             ],
         }
         if path is not None:
-            pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+            data = json.dumps(payload).encode("utf-8")
+            if self.fault_injector is not None:
+                self.fault_injector.maybe_tear_snapshot(path, data)
+            atomic_write_bytes(path, data)
+            if self.journal is not None:
+                self.journal.checkpoint(payload["journal_seq"])
         return payload
 
     def restore(self, source: Union[dict, str, pathlib.Path]) -> None:
@@ -563,6 +647,8 @@ class AlertService:
             )
         else:
             self.store = CiphertextStore.from_payload(payload["store"], group)
+        # The replacement store inherits the chaos wiring of the old one.
+        self.store.fault_injector = self.fault_injector
         if isinstance(old_store, ShardedCiphertextStore):
             old_store.close()
         if self.store.matching_state is not None:
@@ -594,6 +680,20 @@ class AlertService:
                 )
             else:
                 del self.system.users[user_id]
+        # Write-ahead recovery: requests journaled after the snapshot was
+        # taken executed (or were about to execute) in the crashed session --
+        # re-execute them in order to land exactly where it stopped.  The
+        # replay flag keeps them from being re-appended.
+        if self.journal is not None:
+            snapshot_seq = int(payload.get("journal_seq", 0) or 0)
+            tail = self.journal.replay_after(snapshot_seq)
+            if tail:
+                self._replaying = True
+                try:
+                    for _, request_payload in tail:
+                        self.handle(request_from_payload(request_payload, group))
+                finally:
+                    self._replaying = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -649,6 +749,8 @@ class AlertService:
             self.pool.close()
         if isinstance(self.store, ShardedCiphertextStore):
             self.store.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "AlertService":
         return self

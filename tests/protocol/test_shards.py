@@ -410,3 +410,37 @@ class TestPersistence:
         assert restored.shard_count == 3
         assert restored.max_age_seconds == 120.0
         assert len(restored) == 4
+
+
+class TestSpoolLifecycle:
+    def test_two_stores_never_share_a_spool_dir(self, setup):
+        first = ShardedCiphertextStore(shards=2)
+        second = ShardedCiphertextStore(shards=2)
+        try:
+            assert first.store_token != second.store_token
+            assert os.path.isdir(first.store_token)
+            assert os.path.isdir(second.store_token)
+        finally:
+            first.close()
+            second.close()
+
+    def test_close_removes_the_spool_dir_and_is_idempotent(self, setup):
+        store = ShardedCiphertextStore(shards=2)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        shipment = store.ship_plan(store.shard_of("alice"))
+        spool_dir = store.store_token
+        assert shipment.spool_path is not None
+        assert os.path.isdir(spool_dir)
+        store.close()
+        assert not os.path.exists(spool_dir)
+        store.close()  # idempotent
+
+    def test_finalizer_cleans_up_without_an_explicit_close(self, setup):
+        store = ShardedCiphertextStore(shards=2)
+        store.ingest(_update(setup, "alice", 2), received_at=0.0)
+        store.ship_plan(store.shard_of("alice"))
+        spool_dir = store.store_token
+        finalizer = store._finalizer
+        del store
+        finalizer()  # what GC would run
+        assert not os.path.exists(spool_dir)

@@ -282,3 +282,38 @@ class TestBatchMatcher:
         before = counter.total
         matcher.process([batch], now=1.0)
         assert counter.total - before <= bound
+
+
+class TestAtomicSave:
+    def test_torn_write_leaves_the_previous_snapshot_intact(
+        self, setup, tmp_path, monkeypatch
+    ):
+        """Regression: a crash mid-save (simulated by failing the atomic
+        rename) must leave the previous file readable, never a torn one."""
+        encoding, hve, keys = setup
+        store = CiphertextStore()
+        store.ingest(_update(setup, "alice", 2), received_at=10.0)
+        path = tmp_path / "store.json"
+        store.save(path)
+        before = path.read_bytes()
+
+        store.ingest(_update(setup, "bob", 5), received_at=20.0)
+        import repro.durability as durability
+
+        def crash_rename(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(durability.os, "replace", crash_rename)
+        with pytest.raises(OSError):
+            store.save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        restored = CiphertextStore.load(path, hve.group)
+        assert len(restored) == 1 and "alice" in restored
+        # The failed attempt's temp file was cleaned up, not left behind.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["store.json"]
+
+        # And a later healthy save completes normally.
+        store.save(path)
+        assert len(CiphertextStore.load(path, hve.group)) == 2

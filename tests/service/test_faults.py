@@ -1,0 +1,165 @@
+"""The fault-injection harness and the seeded chaos soak.
+
+What is pinned here:
+
+* :meth:`FaultPlan.parse` accepts the compact spec grammar (aliases included)
+  and rejects unknown faults, bad values and out-of-range probabilities;
+* a :class:`FaultInjector` is deterministic -- the same plan + seed replays
+  the identical fault sequence -- and its per-site streams are independent
+  (drawing acks never perturbs when lane faults fire);
+* the spool mangler and the torn-snapshot budget do what the chaos soak
+  relies on: corrupt/truncate the file in place, crash *before* the atomic
+  rename while the budget lasts;
+* the CLI exposes the soak as ``repro chaos``;
+* the acceptance criterion of the whole resilience layer: a 50-step seeded
+  chaos soak -- worker kills, hangs, dropped/corrupted acks, mangled spool
+  files, one torn snapshot -- completes with notifications and pairing
+  totals bit-exact against the fault-free run, every snapshot readable, and
+  zero leaked worker processes.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser
+from repro.service.faults import (
+    DEFAULT_CHAOS_SPEC,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    run_chaos_soak,
+)
+
+
+class TestFaultPlanParse:
+    def test_spec_round_trip(self):
+        plan = FaultPlan.parse("kill=0.05,hang=0.02,drop_ack=0.1,torn_snapshot=2", seed=9)
+        assert plan.kill == pytest.approx(0.05)
+        assert plan.hang == pytest.approx(0.02)
+        assert plan.drop_ack == pytest.approx(0.1)
+        assert plan.torn_snapshots == 2
+        assert plan.seed == 9
+        assert plan.any_active
+
+    def test_empty_spec_is_the_null_plan(self):
+        plan = FaultPlan.parse("", seed=3)
+        assert not plan.any_active
+
+    def test_hang_seconds_clause(self):
+        plan = FaultPlan.parse("hang=1.0,hang_seconds=30")
+        assert plan.hang_seconds == pytest.approx(30.0)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["explode=0.5", "kill", "kill=maybe", "kill=1.5", "drop_ack=-0.1", "seed=4"],
+    )
+    def test_bad_specs_are_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_with_seed_changes_only_the_seed(self):
+        plan = FaultPlan.parse("kill=0.1", seed=1)
+        reseeded = plan.with_seed(42)
+        assert reseeded.seed == 42
+        assert reseeded.kill == plan.kill
+
+    def test_default_chaos_spec_exercises_every_site(self):
+        plan = FaultPlan.parse(DEFAULT_CHAOS_SPEC, seed=7)
+        assert plan.kill > 0 and plan.hang > 0 and plan.delay > 0
+        assert plan.drop_ack > 0 and plan.corrupt_ack > 0
+        assert plan.corrupt_spool > 0 and plan.truncate_spool > 0
+        assert plan.torn_snapshots >= 1
+
+
+class TestInjectorDeterminism:
+    PLAN = FaultPlan.parse("kill=0.2,hang=0.1,delay=0.1,drop_ack=0.3,corrupt_ack=0.2", seed=11)
+
+    def test_same_plan_replays_the_identical_fault_sequence(self):
+        a = FaultInjector(self.PLAN)
+        b = FaultInjector(self.PLAN)
+        assert [a.lane_task("w0") for _ in range(300)] == [
+            b.lane_task("w0") for _ in range(300)
+        ]
+        assert [a.ack_action("w0", v) for v in range(300)] == [
+            b.ack_action("w0", v) for v in range(300)
+        ]
+        assert a.counts == b.counts
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(self.PLAN)
+        b = FaultInjector(self.PLAN.with_seed(12))
+        assert [a.lane_task("w0") for _ in range(300)] != [
+            b.lane_task("w0") for _ in range(300)
+        ]
+
+    def test_fault_sites_draw_from_independent_streams(self):
+        # Interleaving ack draws must not perturb when lane faults fire.
+        pure = FaultInjector(self.PLAN)
+        interleaved = FaultInjector(self.PLAN)
+        lane_only = [pure.lane_task("w0") for _ in range(200)]
+        lane_mixed = []
+        for v in range(200):
+            interleaved.ack_action("w0", v)
+            lane_mixed.append(interleaved.lane_task("w0"))
+        assert lane_mixed == lane_only
+
+
+class TestSpoolAndSnapshotFaults:
+    def test_corrupt_spool_mangles_the_file_in_place(self, tmp_path):
+        path = tmp_path / "shard-0000-v1.pkl"
+        original = bytes(range(256)) * 4
+        path.write_bytes(original)
+        injector = FaultInjector(FaultPlan.parse("corrupt_spool=1.0", seed=5))
+        assert injector.spool_written(path) == "corrupt_spool"
+        mangled = path.read_bytes()
+        assert mangled != original
+        assert len(mangled) == len(original)
+        assert injector.counts["corrupt_spool"] == 1
+
+    def test_truncate_spool_cuts_the_file_short(self, tmp_path):
+        path = tmp_path / "shard-0000-v1.pkl"
+        path.write_bytes(b"x" * 100)
+        injector = FaultInjector(FaultPlan.parse("truncate_spool=1.0", seed=5))
+        assert injector.spool_written(path) == "truncate_spool"
+        assert len(path.read_bytes()) < 100
+
+    def test_torn_snapshot_budget_crashes_before_the_rename(self, tmp_path):
+        target = tmp_path / "state.json"
+        target.write_bytes(b'{"previous": true}')
+        injector = FaultInjector(FaultPlan.parse("torn_snapshot=1", seed=5))
+        with pytest.raises(InjectedFault):
+            injector.maybe_tear_snapshot(target, b'{"next": true}')
+        # The crash happened *before* the atomic rename: the target is the
+        # previous snapshot, the torn half landed in a side file.
+        assert target.read_bytes() == b'{"previous": true}'
+        assert pathlib.Path(str(target) + ".torn").exists()
+        # Budget spent: later snapshots succeed.
+        assert injector.maybe_tear_snapshot(target, b'{"next": true}') is None
+
+
+class TestChaosCli:
+    def test_chaos_subcommand_is_wired(self):
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "--steps", "5", "--seed", "3"])
+        assert args.steps == 5 and args.seed == 3
+        assert callable(args.handler)
+
+
+class TestChaosSoak:
+    def test_fifty_step_soak_is_bit_exact_with_zero_leaks(self):
+        """The acceptance bar of the resilience layer, end to end."""
+        outcome = run_chaos_soak(steps=50, seed=7)
+        assert outcome.matched, (
+            "chaos run diverged from the fault-free run:\n" + outcome.summary()
+        )
+        assert outcome.snapshots_intact
+        assert outcome.leaked_processes == 0
+        assert outcome.faulted_pairings == outcome.baseline_pairings > 0
+        # The plan actually exercised the interesting sites on this seed.
+        assert outcome.fault_counts.get("kill", 0) > 0
+        assert outcome.fault_counts.get("hang", 0) > 0
+        assert outcome.fault_counts.get("drop_ack", 0) > 0
+        assert outcome.fault_counts.get("torn_snapshot", 0) == 1
+        assert outcome.resilience["deadline_hits"] >= 1
+        assert "BIT-EXACT" in outcome.summary()

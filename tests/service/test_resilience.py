@@ -1,0 +1,325 @@
+"""The deadline/retry/quarantine resilience layer.
+
+What is pinned here:
+
+* the policy knob set validates its ranges and the backoff doubles, caps and
+  jitters exactly as documented;
+* the strike ledger: failures accumulate per lane *name*, successes grant
+  amnesty, K strikes quarantine, and a quarantined name stays one strike from
+  the bar for ``quarantine_passes`` evaluation passes;
+* the stale-reset streak: consecutive ``StaleResidentShard`` resets cap out
+  into a quarantine, individual task successes do *not* clear the streak
+  (only a pass without a reset does);
+* a hung worker -- a lane task that sleeps far past the deadline -- is
+  detected by the bounded wait, the process is killed, and the pass still
+  completes in bounded time with a bit-exact report (degraded inline when
+  retries exhaust);
+* with degradation disabled the deadline error propagates to the caller, and
+  the session context manager still removes the spool directory on the way
+  out;
+* forged acks that keep triggering floor re-ships hit the
+  ``max_stale_resets`` cap and quarantine the lane (the satellite regression
+  for the garbled-ack loop).
+"""
+
+import multiprocessing
+import os
+import random
+import time
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.grid.alert_zone import AlertZone
+from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
+from repro.service.resilience import (
+    LaneQuarantined,
+    ResiliencePolicy,
+    ResilienceRuntime,
+    TaskDeadlineExceeded,
+)
+
+USERS = 10
+SHARDS = 6
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(
+        rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=31, extent_meters=600.0
+    )
+
+
+def _config(**overrides):
+    base = dict(
+        prime_bits=32,
+        seed=19,
+        incremental=False,
+        shards=SHARDS,
+        workers=2,
+        executor="process",
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def _populate(service, scenario, rng):
+    for i in range(USERS):
+        cell = rng.randrange(scenario.grid.n_cells)
+        service.subscribe(
+            Subscribe(user_id=f"user-{i:03d}", location=scenario.grid.cell_center(cell))
+        )
+    service.publish_zone(
+        PublishZone(alert_id="zone-a", zone=AlertZone(cell_ids=(5, 6, 7, 11)), evaluate=False)
+    )
+
+
+def _await_no_children(timeout=10.0):
+    deadline = time.time() + timeout
+    children = multiprocessing.active_children()
+    while children and time.time() < deadline:
+        time.sleep(0.05)
+        children = multiprocessing.active_children()
+    return children
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(task_deadline_seconds=0.0),
+            dict(task_deadline_seconds=-1.0),
+            dict(max_retries=-1),
+            dict(backoff_base_seconds=-0.1),
+            dict(backoff_cap_seconds=-0.1),
+            dict(backoff_jitter=-0.1),
+            dict(backoff_jitter=1.5),
+            dict(quarantine_strikes=0),
+            dict(quarantine_passes=-1),
+            dict(max_stale_resets=0),
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+    def test_deadline_can_be_disabled_with_none(self):
+        policy = ResiliencePolicy(task_deadline_seconds=None)
+        assert ResilienceRuntime(policy=policy).task_deadline is None
+
+    def test_backoff_doubles_caps_and_jitters(self):
+        policy = ResiliencePolicy(
+            backoff_base_seconds=0.1, backoff_cap_seconds=0.5, backoff_jitter=0.5
+        )
+        assert policy.backoff_seconds(0, 0.0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(1, 0.0) == pytest.approx(0.2)
+        assert policy.backoff_seconds(2, 0.0) == pytest.approx(0.4)
+        assert policy.backoff_seconds(3, 0.0) == pytest.approx(0.5)  # capped
+        assert policy.backoff_seconds(0, 1.0) == pytest.approx(0.15)  # +50% jitter
+
+    def test_runtime_jitter_is_seeded(self):
+        a = ResilienceRuntime(seed=5)
+        b = ResilienceRuntime(seed=5)
+        assert [a.backoff_seconds(i) for i in range(4)] == [
+            b.backoff_seconds(i) for i in range(4)
+        ]
+
+
+class TestStrikeLedger:
+    def test_success_grants_amnesty(self):
+        runtime = ResilienceRuntime(policy=ResiliencePolicy(quarantine_strikes=3))
+        assert not runtime.record_failure("w0")
+        assert not runtime.record_failure("w0")
+        assert runtime.strikes("w0") == 2
+        runtime.record_success("w0")
+        assert runtime.strikes("w0") == 0
+        assert runtime.quarantines == 0
+
+    def test_k_strikes_quarantine(self):
+        runtime = ResilienceRuntime(policy=ResiliencePolicy(quarantine_strikes=3))
+        assert not runtime.record_failure("w0")
+        assert not runtime.record_failure("w0")
+        assert runtime.record_failure("w0")
+        assert runtime.quarantines == 1
+        # Other lanes' ledgers are untouched.
+        assert runtime.strikes("w1") == 0
+
+    def test_deadline_failures_are_counted_separately(self):
+        runtime = ResilienceRuntime()
+        runtime.record_failure("w0", deadline=True)
+        runtime.record_failure("w0")
+        assert runtime.deadline_hits == 1
+        assert runtime.snapshot()["deadline_hits"] == 1
+
+    def test_quarantined_lane_stays_one_strike_from_the_bar(self):
+        runtime = ResilienceRuntime(
+            policy=ResiliencePolicy(quarantine_strikes=3, quarantine_passes=2)
+        )
+        for _ in range(3):
+            runtime.record_failure("w0")
+        assert runtime.strikes("w0") == 2  # primed at K-1 for the cooldown
+        # One more failure right after the respawn re-quarantines immediately.
+        assert runtime.record_failure("w0")
+        assert runtime.quarantines == 2
+
+    def test_cooldown_expires_after_quarantine_passes(self):
+        runtime = ResilienceRuntime(
+            policy=ResiliencePolicy(quarantine_strikes=3, quarantine_passes=2)
+        )
+        for _ in range(3):
+            runtime.record_failure("w0")
+        runtime.begin_pass()
+        assert runtime.strikes("w0") == 2  # still under cooldown
+        runtime.begin_pass()
+        assert runtime.strikes("w0") == 0  # full amnesty
+
+    def test_stale_streak_caps_into_quarantine(self):
+        runtime = ResilienceRuntime(policy=ResiliencePolicy(max_stale_resets=2))
+        assert not runtime.record_stale("w0")
+        assert runtime.stale_streak("w0") == 1
+        # Task successes must NOT clear the streak: the in-pass floor reship
+        # that resolves each reset always succeeds.
+        runtime.record_success("w0")
+        assert runtime.stale_streak("w0") == 1
+        assert runtime.record_stale("w0")
+        assert runtime.quarantines == 1
+        assert runtime.stale_streak("w0") == 0  # respawn starts clean
+        assert runtime.stale_resets == 2
+
+    def test_clean_pass_clears_the_stale_streak(self):
+        runtime = ResilienceRuntime(policy=ResiliencePolicy(max_stale_resets=2))
+        runtime.record_stale("w0")
+        runtime.clear_stale("w0")
+        assert not runtime.record_stale("w0")  # streak restarted at 1
+        assert runtime.quarantines == 0
+
+
+class TestHungLaneDeadline:
+    """A hang is only recoverable through the bounded wait + kill path."""
+
+    HANG = "hang=1.0,hang_seconds=30"
+
+    def test_hung_lane_is_detected_killed_and_the_pass_completes_bounded(self, scenario):
+        rng = random.Random(67)
+        with AlertService(
+            scenario.grid, scenario.probabilities, config=_config()
+        ) as service:
+            _populate(service, scenario, rng)
+            baseline = service.evaluate_standing()
+
+        config = _config(
+            faults=self.HANG,
+            fault_seed=3,
+            task_deadline_seconds=0.5,
+            max_retries=1,
+            quarantine_strikes=1,
+            degrade_inline=True,
+        )
+        rng = random.Random(67)
+        started = time.monotonic()
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            _populate(service, scenario, rng)
+            report = service.evaluate_standing()
+            stats = service.session_stats()
+        elapsed = time.monotonic() - started
+        # Bounded: worlds away from the 30 s the hang would have wedged the
+        # session for, even with priming, retries and backoff on top.
+        assert elapsed < 20.0
+        assert report.deadline_hits >= 1
+        assert report.degraded_passes == 1
+        assert stats.quarantines >= 1  # one strike suffices at strikes=1
+        # Degraded inline is still a *correct* pass, bit-exact on both the
+        # notifications and the pairing spend.
+        assert report.notified_users == baseline.notified_users
+        assert report.pairings_spent == baseline.pairings_spent
+        # The hung workers were killed, not leaked.
+        assert _await_no_children() == []
+
+    def test_without_degradation_the_deadline_error_propagates(self, scenario):
+        config = _config(
+            faults=self.HANG,
+            fault_seed=3,
+            task_deadline_seconds=0.4,
+            max_retries=0,
+            quarantine_strikes=1,
+            degrade_inline=False,
+        )
+        rng = random.Random(67)
+        spool = None
+        with pytest.raises(TaskDeadlineExceeded):
+            with AlertService(
+                scenario.grid, scenario.probabilities, config=config
+            ) as service:
+                _populate(service, scenario, rng)
+                spool = service.store.store_token
+                assert os.path.isdir(spool)
+                service.evaluate_standing()
+        # The session context manager cleaned up even though the pass raised:
+        # no spool directory, no worker processes.
+        assert spool is not None and not os.path.exists(spool)
+        assert _await_no_children() == []
+
+
+class TestStaleResetCap:
+    def test_forged_acks_every_pass_quarantine_the_lane(self, scenario):
+        """The satellite regression: a lane that garbles its acks pass after
+        pass is quarantined after ``max_stale_resets`` consecutive resets
+        instead of looping on floor re-ships forever."""
+        rng = random.Random(71)
+        config = _config(max_stale_resets=2, quarantine_strikes=3)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            _populate(service, scenario, rng)
+            service.evaluate_standing()
+            service.move(Move(user_id="user-000", location=scenario.grid.cell_center(6)))
+            baseline = service.evaluate_standing()
+
+            dispatcher = service.pool.dispatcher
+            token = service.store.store_token
+            shard = service.store.shard_of("user-000")
+            cells = [11, 7]
+            for round_index, cell in enumerate(cells):
+                victim = dispatcher.lane_for(token, shard)
+                forged = dict(victim.acked)
+                victim.respawn()
+                victim.acked.update(forged)
+                service.move(
+                    Move(user_id="user-000", location=scenario.grid.cell_center(cell))
+                )
+                report = service.evaluate_standing()
+                # Every pass still answers correctly -- the cap changes *how*
+                # (floor reship vs quarantine + retry), never the outcome.
+                assert "user-000" in report.notified_users
+
+            stats = service.session_stats()
+            assert stats.stale_resets == 2
+            assert stats.quarantines == 1
+            # And the session recovers: a clean warm pass follows.
+            final = service.evaluate_standing()
+            assert final.notified_users == baseline.notified_users
+            assert final.stale_resets == 0
+        assert _await_no_children() == []
+
+
+class TestReportPlumbing:
+    def test_resilience_counters_reach_reports_metrics_and_session_stats(self, scenario):
+        rng = random.Random(73)
+        metrics = []
+        config = _config(
+            faults="hang=1.0,hang_seconds=30",
+            fault_seed=5,
+            task_deadline_seconds=0.5,
+            max_retries=0,
+            quarantine_strikes=1,
+        )
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            service.add_observer(metrics.append)
+            _populate(service, scenario, rng)
+            report = service.evaluate_standing()
+            stats = service.session_stats()
+        assert report.deadline_hits >= 1 and report.degraded_passes == 1
+        evaluation = [m for m in metrics if m.request == "evaluate_standing"][-1]
+        assert evaluation.deadline_hits == report.deadline_hits
+        assert evaluation.degraded_passes == report.degraded_passes
+        assert stats.deadline_hits >= report.deadline_hits
+        assert stats.degraded_passes >= 1
+        assert _await_no_children() == []
