@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""CI perf gate: fail when the warm-path per-step latency regresses >25%.
+"""CI perf gate: fail when a tracked provider-side latency regresses >25%.
 
 Compares the freshly generated ``benchmarks/results/BENCH_provider.json``
-(written by ``benchmarks/test_dispatch_affinity.py``) against the committed
-baseline ``benchmarks/BENCH_provider_baseline.json``.
+against the committed baseline ``benchmarks/BENCH_provider_baseline.json``.
+The file carries one section per feeding benchmark:
 
-Raw wall-clock is meaningless across machines, so both files carry a
+``dispatch``
+    Warm sharded-process per-step latency, written by
+    ``benchmarks/test_dispatch_affinity.py``.
+``crypto_core``
+    Fused packed-worklist matching latency at the 1k-user tier, written by
+    ``benchmarks/test_matching_engine.py::test_crypto_core_fused_tier``.
+
+Raw wall-clock is meaningless across machines, so every section carries a
 ``calibration_ms`` constant -- the time of a fixed pure-Python workload on the
-same host, in the same run.  What is compared is the *calibrated* per-step
-latency (``mean_step_ms / calibration_ms``): work per unit of host speed.  A
+same host, in the same run.  What is compared is the *calibrated* latency
+(section metric divided by calibration): work per unit of host speed.  A
 current value more than ``THRESHOLD`` above the baseline fails the build; an
 *improvement* beyond the threshold prints a hint to refresh the baseline but
-passes.
+passes.  Sections in the baseline must exist in the current results with an
+identical workload definition; a new section only in the current results is
+reported but not gated (its first baseline lands with the refresh).
 
 Usage::
 
@@ -30,44 +39,77 @@ HERE = pathlib.Path(__file__).parent
 DEFAULT_CURRENT = HERE / "results" / "BENCH_provider.json"
 DEFAULT_BASELINE = HERE / "BENCH_provider_baseline.json"
 
+#: section name -> (label, metric extractor over the section payload).
+SECTION_METRICS = {
+    "dispatch": (
+        "warm per-step latency",
+        lambda section: float(section["warm_sharded_process"]["mean_step_ms"]),
+    ),
+    "crypto_core": (
+        "fused 1k-tier matching latency",
+        lambda section: float(section["fused_tier"]["fused_ms"]),
+    ),
+}
 
-def calibrated_step(payload: dict) -> float:
-    """Per-step latency in units of the host calibration workload."""
-    calibration = float(payload["calibration_ms"])
+
+def calibrated(section: dict, metric) -> float:
+    """A section's metric in units of its host calibration workload."""
+    calibration = float(section["calibration_ms"])
     if calibration <= 0:
         raise ValueError("calibration_ms must be positive")
-    return float(payload["warm_sharded_process"]["mean_step_ms"]) / calibration
+    return metric(section) / calibration
 
 
 def main(argv: list[str]) -> int:
     current_path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
     baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
     if not current_path.exists():
-        print(f"perf gate: no current results at {current_path}; run the benchmark first")
+        print(f"perf gate: no current results at {current_path}; run the benchmarks first")
         return 1
     if not baseline_path.exists():
         print(f"perf gate: no committed baseline at {baseline_path}; nothing to compare")
         return 1
-    current = json.loads(current_path.read_text(encoding="utf-8"))
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    if current.get("workload") != baseline.get("workload"):
+    current = json.loads(current_path.read_text(encoding="utf-8")).get("sections", {})
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8")).get("sections", {})
+    if not baseline:
+        print(f"perf gate: baseline {baseline_path} has no sections; refresh it")
+        return 1
+
+    failed = False
+    improved = False
+    for name, (label, metric) in SECTION_METRICS.items():
+        if name not in baseline:
+            if name in current:
+                print(f"perf gate: [{name}] new section (no baseline yet); not gated")
+            continue
+        if name not in current:
+            print(f"perf gate: [{name}] missing from current results; run its benchmark")
+            failed = True
+            continue
+        if current[name].get("workload") != baseline[name].get("workload"):
+            print(
+                f"perf gate: [{name}] workload definition changed; refresh the baseline "
+                f"(cp {current_path} {baseline_path})"
+            )
+            failed = True
+            continue
+        now = calibrated(current[name], metric)
+        then = calibrated(baseline[name], metric)
+        change = now / then - 1.0
         print(
-            "perf gate: workload definition changed; refresh the baseline "
-            f"(cp {current_path} {baseline_path})"
+            f"perf gate: [{name}] calibrated {label} {now:.3f} vs baseline {then:.3f} "
+            f"({change:+.1%}; raw {metric(current[name]):.2f}ms on a "
+            f"{float(current[name]['calibration_ms']):.1f}ms-calibration host)"
         )
+        if change > THRESHOLD:
+            print(f"perf gate: [{name}] FAIL -- {label} regressed more than {THRESHOLD:.0%}")
+            failed = True
+        elif change < -THRESHOLD:
+            improved = True
+
+    if failed:
         return 1
-    now = calibrated_step(current)
-    then = calibrated_step(baseline)
-    change = now / then - 1.0
-    print(
-        f"perf gate: calibrated per-step latency {now:.3f} vs baseline {then:.3f} "
-        f"({change:+.1%}; raw {current['warm_sharded_process']['mean_step_ms']:.2f}ms on a "
-        f"{current['calibration_ms']:.1f}ms-calibration host)"
-    )
-    if change > THRESHOLD:
-        print(f"perf gate: FAIL -- warm-path latency regressed more than {THRESHOLD:.0%}")
-        return 1
-    if change < -THRESHOLD:
+    if improved:
         print(
             "perf gate: improvement beyond the threshold; consider refreshing the baseline "
             f"(cp {current_path} {baseline_path})"

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 from typing import Iterable, Mapping, Sequence
 
 import pytest
@@ -36,6 +38,46 @@ def publish_table(name: str, title: str, rows: Sequence[Mapping[str, object]]) -
     (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
     print("\n" + text)
     return text
+
+
+def calibration_ms() -> float:
+    """A fixed pure-Python workload, timing the host rather than the code.
+
+    The perf gate divides benchmark latencies by this constant, so a committed
+    baseline from one machine remains meaningful on another (CI runners, dev
+    laptops): what is compared is work per unit of host speed, not wall-clock.
+    """
+    started = time.perf_counter()
+    acc = 3
+    for _ in range(5000):
+        acc = pow(acc, 65537, (1 << 127) - 1)
+    assert acc != 0
+    return (time.perf_counter() - started) * 1000
+
+
+def merge_bench_provider(section: str, payload: Mapping[str, object]) -> pathlib.Path:
+    """Merge one benchmark's machine-readable payload into BENCH_provider.json.
+
+    Several benchmark modules feed the provider-side perf gate
+    (``benchmarks/check_perf_baseline.py``); each owns one key under
+    ``sections`` and must not clobber the others, so writes go through this
+    read-modify-write.  A corrupt or legacy (pre-``sections``) file is
+    replaced rather than merged.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_provider.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = None
+        if isinstance(existing, dict) and isinstance(existing.get("sections"), dict):
+            data = existing
+    data["kind"] = "bench_provider_v2"
+    data.setdefault("sections", {})[section] = dict(payload)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session")

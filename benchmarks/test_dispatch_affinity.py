@@ -24,16 +24,15 @@ load hitting one round does not skew the comparison -- the ordering artifact
 that made PR 4's table show a phantom sharded-thread regression.
 
 Besides the human-readable table (``results/dispatch_affinity.txt``), the run
-emits ``results/BENCH_provider.json``: the machine-readable per-step
-trajectory of the warm sharded-process session (per-step ms, bytes shipped,
-resident hits) plus a CPU calibration constant.  CI regenerates it on every
-push and ``benchmarks/check_perf_baseline.py`` fails the build if the
-calibrated per-step latency regresses more than 25% against the committed
-baseline -- closing the ROADMAP item on recording provider-side throughput
-across PRs.
+merges a ``dispatch`` section into ``results/BENCH_provider.json``: the
+machine-readable per-step trajectory of the warm sharded-process session
+(per-step ms, bytes shipped, resident hits) plus a CPU calibration constant.
+CI regenerates it on every push and ``benchmarks/check_perf_baseline.py``
+fails the build if the calibrated per-step latency regresses more than 25%
+against the committed baseline -- closing the ROADMAP item on recording
+provider-side throughput across PRs.
 """
 
-import json
 import random
 import time
 
@@ -41,7 +40,7 @@ from repro.datasets.synthetic import make_synthetic_scenario
 from repro.grid.alert_zone import AlertZone
 from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
 
-from .conftest import RESULTS_DIR, publish_table
+from .conftest import calibration_ms, merge_bench_provider, publish_table
 
 USERS = 160
 STEPS = 6
@@ -57,21 +56,6 @@ FLAVOURS = {
     "sharded/process/floor": dict(shards=SHARDS, executor="process", affinity=False),
     "sharded/process/affinity": dict(shards=SHARDS, executor="process", affinity=True),
 }
-
-
-def _calibration_ms() -> float:
-    """A fixed pure-Python workload, timing the host rather than the code.
-
-    The perf gate divides per-step latency by this constant, so a committed
-    baseline from one machine remains meaningful on another (CI runners, dev
-    laptops): what is compared is work per unit of host speed, not wall-clock.
-    """
-    started = time.perf_counter()
-    acc = 3
-    for _ in range(5000):
-        acc = pow(acc, 65537, (1 << 127) - 1)
-    assert acc != 0
-    return (time.perf_counter() - started) * 1000
 
 
 def _run_flavour(scenario, overrides):
@@ -132,7 +116,7 @@ def test_dispatch_affinity_grid():
     scenario = make_synthetic_scenario(
         rows=8, cols=8, sigmoid_a=0.9, sigmoid_b=20, seed=61, extent_meters=800.0
     )
-    calibration = _calibration_ms()
+    calibration = calibration_ms()
 
     outcomes_by_flavour = {}
     best = {}
@@ -208,30 +192,29 @@ def test_dispatch_affinity_grid():
     )
 
     # Machine-readable trajectory for the CI perf gate.
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "kind": "provider_warm_path_bench",
-        "workload": {
-            "users": USERS,
-            "steps": STEPS,
-            "movers_per_step": MOVERS_PER_STEP,
-            "workers": WORKERS,
-            "shards": SHARDS,
-            "zones": len(ZONE_CELLS),
+    merge_bench_provider(
+        "dispatch",
+        {
+            "kind": "provider_warm_path_bench",
+            "workload": {
+                "users": USERS,
+                "steps": STEPS,
+                "movers_per_step": MOVERS_PER_STEP,
+                "workers": WORKERS,
+                "shards": SHARDS,
+                "zones": len(ZONE_CELLS),
+            },
+            "calibration_ms": round(calibration, 3),
+            "warm_sharded_process": {
+                "per_step_ms": affinity["per_step_ms"],
+                "mean_step_ms": round(affinity["total_s"] / STEPS * 1000, 3),
+                "bytes_shipped": affinity["bytes_shipped"],
+                "resident_hits": affinity["resident_hits"],
+                "pool_starts": affinity["pool_starts"],
+            },
+            "floor_reference": {
+                "mean_step_ms": round(floor["total_s"] / STEPS * 1000, 3),
+                "bytes_shipped": floor["bytes_shipped"],
+            },
         },
-        "calibration_ms": round(calibration, 3),
-        "warm_sharded_process": {
-            "per_step_ms": affinity["per_step_ms"],
-            "mean_step_ms": round(affinity["total_s"] / STEPS * 1000, 3),
-            "bytes_shipped": affinity["bytes_shipped"],
-            "resident_hits": affinity["resident_hits"],
-            "pool_starts": affinity["pool_starts"],
-        },
-        "floor_reference": {
-            "mean_step_ms": round(floor["total_s"] / STEPS * 1000, 3),
-            "bytes_shipped": floor["bytes_shipped"],
-        },
-    }
-    (RESULTS_DIR / "BENCH_provider.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

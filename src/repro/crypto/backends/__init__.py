@@ -15,9 +15,11 @@ Selection order for :func:`get_backend` when no explicit choice is given:
 2. the available registered backend with the highest ``priority``.
 
 Third-party backends register with :func:`register_backend`; anything that
-implements the three-method :class:`GroupBackend` interface (native int
-conversion, ``powmod``) plugs in without touching the group,
-HVE or protocol layers.
+implements the two abstract :class:`GroupBackend` methods (native int
+conversion, ``powmod``) plugs in without touching the group, HVE or protocol
+layers -- the vectorized contract (``powmod_base_fixed``, ``multi_powmod``,
+``burn_powmods``, ``fused_eval``) has generic implementations a backend only
+overrides when it can do better natively.
 
 One caveat for custom backends: the process-parallel matching executor
 resolves backends *by registry name inside worker processes*.  Workers that
@@ -33,12 +35,16 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
-from repro.crypto.backends.base import GroupBackend
+from repro.crypto.backends.base import FusedProgram, FusedWorklist, GroupBackend
+from repro.crypto.backends.fixedbase import FixedBaseTable
 from repro.crypto.backends.gmp import Gmpy2Backend
 from repro.crypto.backends.reference import ReferenceBackend
 
 __all__ = [
     "GroupBackend",
+    "FusedProgram",
+    "FusedWorklist",
+    "FixedBaseTable",
     "ReferenceBackend",
     "Gmpy2Backend",
     "register_backend",

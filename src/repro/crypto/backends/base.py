@@ -2,8 +2,8 @@
 
 A backend supplies the big-integer arithmetic a
 :class:`~repro.crypto.group.BilinearGroup` runs on.  The ideal-group model
-represents every group element by its discrete logarithm, so the entire crypto
-layer reduces to three operations on large integers:
+represents every group element by its discrete logarithm, so the scalar core
+of the crypto layer reduces to two operations on large integers:
 
 * conversion of a Python ``int`` into the backend's native number type
   (:meth:`GroupBackend.make_int`) -- the group stores its order and prime
@@ -13,17 +13,37 @@ layer reduces to three operations on large integers:
   factor's cost model burns one large ``powmod`` per simulated pairing, which
   is exactly the operation a real pairing library spends its time in.
 
-Everything else -- including the fused accumulation in
-:meth:`~repro.crypto.group.BilinearGroup.pair_product` and the planned HVE
-query path -- runs on ordinary operators over the converted numbers: every
-element exponent is a backend-native number, so those loops stay inside the
-backend's arithmetic without any further interface.
+On top of the scalar core sits the *vectorized contract*: batch entry points
+that let a backend run whole work lists without bouncing through per-call
+Python dispatch.
+
+* :meth:`GroupBackend.powmod_base_fixed` / :meth:`GroupBackend.make_fixed_base`
+  -- fixed-base exponentiation through a windowed precomputation table
+  (:class:`~repro.crypto.backends.fixedbase.FixedBaseTable`), built once per
+  (group, base) and reused for every burn;
+* :meth:`GroupBackend.multi_powmod` -- one product of powers
+  ``prod_i bases[i]**exponents[i] mod m`` via Straus-style interleaving
+  (shared squarings across all bases);
+* :meth:`GroupBackend.burn_powmods` -- the pairing-work burn loop itself.
+  Burns are a *cost model*: every scheduled exponentiation must actually
+  execute, however redundant it looks -- a backend must never cache, batch
+  away or otherwise elide burn work, only compute each exponentiation faster;
+* :meth:`GroupBackend.fused_eval` -- a whole per-user HVE evaluation (every
+  (ciphertext, token) pair of a worklist, including slot sharing and
+  subsumption propagation) in one call, returning outcome rows plus the
+  pairing count to account;
+* :meth:`GroupBackend.make_fused_worklist` -- a resident packed-column form
+  (:class:`FusedWorklist`) of a recurring worklist: ciphertext exponents are
+  reduced modulo one prime factor and packed into big-integer columns, so a
+  token evaluates against *every* user in a handful of huge multiplications
+  instead of a Python loop per user.  A CRT argument keeps the packed path
+  bit-exact with :meth:`GroupBackend.fused_eval`.
 
 Backends must be *drop-in interchangeable*: for identical inputs every backend
 returns numerically identical results (the native number type may differ, but
 must compare equal to the Python ``int`` of the same value and support the
-same operator set).  The protocol layer above never needs to know which
-backend is active.
+same operator set), identical match outcomes and identical pairing counts.
+The protocol layer above never needs to know which backend is active.
 
 Backends register themselves with :func:`repro.crypto.backends.register_backend`;
 selection (auto-detection, environment override, explicit request) lives in
@@ -33,9 +53,47 @@ selection (auto-detection, environment override, explicit request) lives in
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Sequence
+from dataclasses import dataclass
+from typing import Any, ClassVar, Optional, Sequence
 
-__all__ = ["GroupBackend"]
+from repro.crypto.backends.fixedbase import FixedBaseTable
+
+__all__ = ["GroupBackend", "FusedProgram", "FusedWorklist"]
+
+
+@dataclass(frozen=True)
+class FusedProgram:
+    """A compiled, backend-executable form of one token-plan evaluation.
+
+    Produced once per plan (see
+    :func:`repro.protocol.matching._compile_fused_program`) and replayed by
+    :meth:`GroupBackend.fused_eval` against many ciphertexts.  Everything is
+    pre-resolved to native numbers and flat tuples so the evaluation loop
+    touches no group objects, no method dispatch and no locks:
+
+    ``batches``
+        Per alert batch, the planned entries in evaluation order.  Each entry
+        is ``(slot, k0, pairs, cost)`` where ``slot`` indexes the shared
+        outcome cache, ``k0`` is the token's ``K_0`` discrete log, ``pairs``
+        holds ``(position, k1, k2)`` triples for the non-star positions and
+        ``cost = 1 + 2 * len(pairs)`` is the pairing charge of a fresh
+        evaluation.
+    ``generalizers``
+        The plan's per-slot subsumption edges (``None`` when subsumption is
+        off), walked exactly like the scalar planned evaluator walks them.
+    ``match_exp`` / ``modulus``
+        The canonical match message's discrete log and the group order, both
+        backend-native.
+    """
+
+    modulus: Any
+    match_exp: Any
+    batches: tuple[tuple[tuple, ...], ...]
+    generalizers: Optional[tuple[tuple[int, ...], ...]]
+    #: The group order's prime factorisation ``(p, q)`` -- the ideal-group
+    #: simulator knows it, and :class:`FusedWorklist` uses it for the CRT
+    #: residue pre-filter.  ``None`` disables the packed resident path.
+    factors: Optional[tuple[Any, Any]] = None
 
 
 class GroupBackend(ABC):
@@ -48,10 +106,17 @@ class GroupBackend(ABC):
     priority:
         Auto-selection rank; when no backend is requested explicitly the
         available backend with the highest priority wins.
+    fixed_base_min_bits:
+        Smallest modulus bit length at which this backend's fixed-base table
+        walk beats its own scalar :meth:`powmod`; ``None`` when tables never
+        pay off (the group then skips building one).  The pure-Python walk
+        wins from ~96 bits on CPython; a C-accelerated ``powmod`` is usually
+        unbeatable by interpreted table walks at any size.
     """
 
     name: ClassVar[str]
     priority: ClassVar[int] = 0
+    fixed_base_min_bits: ClassVar[Optional[int]] = None
 
     @classmethod
     def available(cls) -> bool:
@@ -73,5 +138,431 @@ class GroupBackend(ABC):
     def powmod(self, base: Any, exponent: Any, modulus: Any) -> Any:
         """``base ** exponent mod modulus`` on native numbers."""
 
+    # ------------------------------------------------------------------
+    # Vectorized contract (generic implementations; backends may override)
+    # ------------------------------------------------------------------
+    def make_fixed_base(self, base: Any, modulus: Any, max_bits: int) -> FixedBaseTable:
+        """Build a windowed precomputation table for ``base`` mod ``modulus``.
+
+        ``max_bits`` sizes the table for the exponents the caller intends to
+        feed it (oversized exponents still evaluate correctly, just slower).
+        """
+        return FixedBaseTable(base, modulus, max_bits)
+
+    def powmod_base_fixed(
+        self, base: Any, exponents: Sequence[Any], modulus: Any, table: Optional[FixedBaseTable] = None
+    ) -> list:
+        """``[base ** e mod modulus for e in exponents]`` for one fixed base.
+
+        With ``table`` (a matching :meth:`make_fixed_base` product) each
+        exponentiation is a table walk; without one the batch falls back to
+        scalar :meth:`powmod` -- same results either way.
+        """
+        if table is not None:
+            tpow = table.pow
+            return [tpow(e) for e in exponents]
+        powmod = self.powmod
+        return [powmod(base, e, modulus) for e in exponents]
+
+    def multi_powmod(self, bases: Sequence[Any], exponents: Sequence[Any], modulus: Any) -> Any:
+        """``prod_i bases[i] ** exponents[i] mod modulus`` (one interleaved pass).
+
+        The generic implementation is Straus's algorithm: bases are processed
+        in chunks whose bit columns share one squaring chain, with a
+        per-chunk table of subset products.  Exponents must be non-negative.
+        """
+        if len(bases) != len(exponents):
+            raise ValueError("multi_powmod needs one exponent per base")
+        if any(e < 0 for e in exponents):
+            raise ValueError("multi_powmod exponents must be non-negative")
+        result = 1 % modulus
+        chunk = 6  # 2**6 subset products per table: small build, few mults
+        for start in range(0, len(bases), chunk):
+            group_bases = [b % modulus for b in bases[start : start + chunk]]
+            group_exps = list(exponents[start : start + chunk])
+            combos = [1] * (1 << len(group_bases))
+            for i, b in enumerate(group_bases):
+                step = 1 << i
+                for s in range(step):
+                    combos[step + s] = combos[s] * b % modulus
+            max_bits = max((e.bit_length() for e in group_exps), default=0)
+            acc = 1
+            for bit in range(max_bits - 1, -1, -1):
+                acc = acc * acc % modulus
+                index = 0
+                for i, e in enumerate(group_exps):
+                    index |= ((e >> bit) & 1) << i
+                if index:
+                    acc = acc * combos[index] % modulus
+            result = result * acc % modulus
+        return result
+
+    def burn_powmods(
+        self,
+        base: Any,
+        exponents: Sequence[Any],
+        modulus: Any,
+        repeats: int = 1,
+        table: Optional[FixedBaseTable] = None,
+    ) -> Any:
+        """Execute the pairing-work burn schedule; returns the last power.
+
+        Performs ``repeats`` rounds of ``base ** e mod modulus`` over
+        ``exponents`` -- ``repeats * len(exponents)`` modular exponentiations
+        in total.  This is a *cost model*, not a computation to optimise
+        away: implementations MUST perform every scheduled exponentiation
+        (identical inputs included) and may only make each one cheaper, e.g.
+        via the fixed-base ``table``.  The returned value feeds the group's
+        ``_last_work`` witness, which parity tests compare across paths and
+        backends.
+        """
+        acc = base
+        if table is not None:
+            tpow = table.pow
+            for _ in range(repeats):
+                for e in exponents:
+                    acc = tpow(e)
+        else:
+            powmod = self.powmod
+            for _ in range(repeats):
+                for e in exponents:
+                    acc = powmod(base, e, modulus)
+        return acc
+
+    def fused_eval(
+        self, program: FusedProgram, jobs: Sequence[tuple]
+    ) -> tuple[list[list[bool]], int]:
+        """Run one compiled evaluation over a worklist of ciphertext jobs.
+
+        Each job is ``(c_prime, c0, c1, c2, needed)``: the ciphertext's
+        discrete logs (``c1``/``c2`` indexable by position) plus the batch
+        indices still requiring evaluation.  Returns per-job outcome rows
+        aligned with ``needed`` and the total pairings consumed, which the
+        caller must account via
+        :meth:`~repro.crypto.group.BilinearGroup.record_pairings` -- this
+        method itself touches no counter and burns no work.
+
+        Semantics replicate the scalar planned evaluator bit-exactly: shared
+        slot outcomes per job, ancestor-failure short-circuits and
+        true-backfill along the subsumption edges, per-batch short-circuit on
+        the first matching token, and a charge of ``cost`` pairings for
+        exactly the entries that are freshly evaluated.
+        """
+        modulus = program.modulus
+        match_exp = program.match_exp
+        batches = program.batches
+        generalizers = program.generalizers
+        pairings = 0
+        rows: list[list[bool]] = []
+        for c_prime, c0, c1, c2, needed in jobs:
+            shared: dict[int, bool] = {}
+            shared_get = shared.get
+            row: list[bool] = []
+            for index in needed:
+                matched = False
+                for slot, k0, pairs, cost in batches[index]:
+                    outcome = shared_get(slot)
+                    if outcome is None:
+                        if (
+                            generalizers is not None
+                            and generalizers[slot]
+                            and _ancestor_failed(generalizers, slot, shared)
+                        ):
+                            outcome = False
+                        else:
+                            denominator = c0 * k0
+                            for position, k1, k2 in pairs:
+                                denominator -= c1[position] * k1 + c2[position] * k2
+                            pairings += cost
+                            outcome = (c_prime - denominator - match_exp) % modulus == 0
+                            if outcome and generalizers is not None and generalizers[slot]:
+                                _backfill_true(generalizers, slot, shared)
+                        shared[slot] = outcome
+                    if outcome:
+                        matched = True
+                        break
+                row.append(matched)
+            rows.append(row)
+        return rows, pairings
+
+    def make_fused_worklist(self, program: FusedProgram) -> "FusedWorklist":
+        """Build a resident packed-column evaluator for ``program``.
+
+        Pays off when the same (plan, population) pair is evaluated
+        repeatedly -- the matching engine keeps the worklist across passes
+        and refreshes only the users whose ciphertexts changed.  Requires
+        ``program.factors``; raises :class:`ValueError` without it.
+        """
+        return FusedWorklist(program)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FusedWorklist:
+    """Resident packed-column form of a fused worklist.
+
+    The ideal-group match test for one (token, ciphertext) pair is a linear
+    combination of the ciphertext's exponents::
+
+        x = c' - (c0*k0 - sum_p(c1[p]*k1 + c2[p]*k2)) - match_exp
+        outcome = x % N == 0
+
+    with ``N = p*q``.  Because the simulator knows the factorisation,
+    ``x % N == 0  iff  x % p == 0 and x % q == 0`` (CRT), and ``x % p`` only
+    depends on the inputs mod ``p``.  The worklist exploits this two ways:
+
+    * **Pre-filter mod p.**  All per-user exponents are reduced mod ``p``
+      once, at build/refresh time.  A random non-match survives the mod-``p``
+      test with probability ~``1/p``, so almost every outcome is settled by
+      single-word residues instead of full-width arithmetic.
+    * **Packed columns.**  The reduced exponents are packed, one fixed-width
+      limb per user, into big-integer *columns* (one per ciphertext
+      component).  Evaluating a token against the whole population is then
+      one linear combination of a handful of columns -- CPython executes it
+      in ``_mul``/``_add`` over machine words, amortising all interpreter
+      dispatch across users.  The limb width is sized so per-limb sums cannot
+      carry into a neighbour (see ``_limb_bits``), making per-user extraction
+      a byte-slice.
+
+    The rare mod-``p`` survivors are confirmed against the full modulus with
+    the exact scalar formula, so outcome rows are bit-identical to
+    :meth:`GroupBackend.fused_eval` -- and the bookkeeping pass in
+    :meth:`evaluate` replays the scalar control flow (shared slots, ancestor
+    short-circuits, true-backfill, per-batch first-match break) over the
+    vectorised outcomes, so pairing charges are bit-identical too.
+
+    Residency: :meth:`evaluate` takes per-job ``keys`` (any hashable identity
+    for a job's ciphertext, e.g. ``(user_id, sequence_number)``).  Unchanged
+    keys reuse the packed columns as-is; a small fraction of changed keys is
+    patched in place with limb surgery (``column += (new - old) << shift``,
+    sound because limbs never borrow below zero or carry past their width);
+    anything larger rebuilds.
+    """
+
+    def __init__(self, program: FusedProgram):
+        if program.factors is None:
+            raise ValueError("FusedWorklist needs program.factors=(p, q)")
+        self._program = program
+        self._modulus = program.modulus
+        self._match_exp = program.match_exp
+        p = int(program.factors[0])
+        self._p = p
+        self._match_exp_p = int(program.match_exp) % p
+        # Per-limb sums are bounded by (2 + 2*pairs) * p**2 (one c' residue,
+        # one c0*(p - k0) term, two p*p products per pair); 18 slack bits on
+        # top of 2*p.bit_length() keep sums carry-free up to ~130k pairs.
+        self._limb_bits = -(-(2 * p.bit_length() + 18) // 8) * 8
+        self._limb_bytes = self._limb_bits // 8
+        # Deduplicate plan entries: one column-combination per distinct slot.
+        # _slots holds mod-p token residues for the packed pre-filter;
+        # _slots_full keeps the native-precision originals for confirmation.
+        slots: dict[int, tuple[int, tuple[tuple[int, int, int], ...]]] = {}
+        slots_full: dict[int, tuple[Any, tuple]] = {}
+        for batch in program.batches:
+            for slot, k0, pairs, _cost in batch:
+                if slot not in slots:
+                    slots[slot] = (
+                        int(k0) % p,
+                        tuple((pos, int(k1) % p, int(k2) % p) for pos, k1, k2 in pairs),
+                    )
+                    slots_full[slot] = (k0, pairs)
+        self._slots = slots
+        self._slots_full = slots_full
+        self._positions = sorted(
+            {pos for _, pairs in slots.values() for pos, _k1, _k2 in pairs}
+        )
+        self._position_index = {pos: i for i, pos in enumerate(self._positions)}
+        self._keys: Optional[list] = None
+        self._rows_p: list[list[int]] = []  # per job, layout mirrors _columns
+        self._columns: list[int] = []
+        # Residue vectors are pure functions of the packed columns, so they
+        # stay valid until a refresh touches the columns; static populations
+        # then pay only the bookkeeping pass on repeat evaluations.
+        self._vectors: dict[int, list[bool]] = {}
+        #: Passes served from already-packed columns (no full rebuild); the
+        #: group folds this into its ``precomp_hits`` observability counter.
+        self.column_hits = 0
+
+    # -- packing -------------------------------------------------------
+    def _reduce_row(self, job: tuple) -> list[int]:
+        """One job's packed layout: [(c'-ME) % p, c0 % p, c1[pos].., c2[pos]..]."""
+        c_prime, c0, c1, c2 = job[0], job[1], job[2], job[3]
+        p = self._p
+        row = [(int(c_prime) - self._match_exp_p) % p, int(c0) % p]
+        row.extend(int(c1[pos]) % p for pos in self._positions)
+        row.extend(int(c2[pos]) % p for pos in self._positions)
+        return row
+
+    def _build(self, jobs: Sequence[tuple], keys: list) -> None:
+        rows = [self._reduce_row(job) for job in jobs]
+        nbytes = self._limb_bytes
+        ncols = 2 + 2 * len(self._positions)
+        self._columns = [
+            int.from_bytes(
+                b"".join(row[col].to_bytes(nbytes, "little") for row in rows), "little"
+            )
+            for col in range(ncols)
+        ]
+        self._rows_p = rows
+        self._keys = keys
+        self._vectors.clear()
+
+    def _refresh(self, jobs: Sequence[tuple], keys: list) -> None:
+        if self._keys == keys:
+            self.column_hits += 1
+            return
+        if self._keys is not None and len(self._keys) == len(keys):
+            changed = [i for i, (a, b) in enumerate(zip(keys, self._keys)) if a != b]
+            if len(changed) * 8 <= len(keys):  # <= 1/8 churn: patch in place
+                columns = self._columns
+                for i in changed:
+                    new_row = self._reduce_row(jobs[i])
+                    old_row = self._rows_p[i]
+                    shift = i * self._limb_bits
+                    for col, (new_v, old_v) in enumerate(zip(new_row, old_row)):
+                        if new_v != old_v:
+                            columns[col] += (new_v - old_v) << shift
+                    self._rows_p[i] = new_row
+                self._keys = keys
+                self._vectors.clear()
+                self.column_hits += 1
+                return
+        self._build(jobs, keys)
+
+    # -- evaluation ----------------------------------------------------
+    def _residue_vector(self, slot: int) -> list[bool]:
+        """``x % p == 0`` for every packed job, via one column combination.
+
+        Cached until the next refresh invalidates the columns.
+        """
+        cached = self._vectors.get(slot)
+        if cached is not None:
+            return cached
+        k0_p, pairs = self._slots[slot]
+        p = self._p
+        columns = self._columns
+        pos_index = self._position_index
+        npos = len(self._positions)
+        # All terms positive: -c0*k0 is folded as +c0*(p - k0) mod p.
+        acc = columns[0] + columns[1] * (p - k0_p)
+        for pos, k1_p, k2_p in pairs:
+            i = pos_index[pos]
+            acc = acc + columns[2 + i] * k1_p + columns[2 + npos + i] * k2_p
+        nbytes = self._limb_bytes
+        njobs = len(self._keys)
+        raw = acc.to_bytes(njobs * nbytes + nbytes, "little")
+        from_bytes = int.from_bytes
+        vector = [
+            from_bytes(raw[offset : offset + nbytes], "little") % p == 0
+            for offset in range(0, njobs * nbytes, nbytes)
+        ]
+        self._vectors[slot] = vector
+        return vector
+
+    def _confirm(self, slot: int, job: tuple) -> bool:
+        """Full-modulus check for a mod-p survivor: the exact scalar formula."""
+        c_prime, c0, c1, c2 = job[0], job[1], job[2], job[3]
+        k0, pairs = self._slots_full[slot]
+        denominator = c0 * k0
+        for position, k1, k2 in pairs:
+            denominator -= c1[position] * k1 + c2[position] * k2
+        return (c_prime - denominator - self._match_exp) % self._modulus == 0
+
+    def evaluate(
+        self, jobs: Sequence[tuple], keys: Sequence
+    ) -> tuple[list[list[bool]], int]:
+        """Drop-in for :meth:`GroupBackend.fused_eval`, same jobs and returns.
+
+        ``keys`` carries one hashable identity per job (aligned with
+        ``jobs``) used to decide column reuse vs. surgery vs. rebuild.
+        """
+        if keys is None:
+            raise ValueError("a packed worklist needs per-job keys")
+        keys = list(keys)
+        if len(keys) != len(jobs):
+            raise ValueError("evaluate needs one key per job")
+        self._refresh(jobs, keys)
+        program = self._program
+        batches = program.batches
+        generalizers = program.generalizers
+        residue_vector = self._residue_vector
+        vectors_get = self._vectors.get  # bound once: hit per fresh entry
+        confirm = self._confirm
+        pairings = 0
+        rows: list[list[bool]] = []
+        for j, job in enumerate(jobs):
+            needed = job[4]
+            if not needed:
+                rows.append([])
+                continue
+            shared: dict[int, bool] = {}
+            shared_get = shared.get
+            row: list[bool] = []
+            for index in needed:
+                matched = False
+                for slot, _k0, _pairs, cost in batches[index]:
+                    outcome = shared_get(slot)
+                    if outcome is None:
+                        if (
+                            generalizers is not None
+                            and generalizers[slot]
+                            and _ancestor_failed(generalizers, slot, shared)
+                        ):
+                            outcome = False
+                        else:
+                            pairings += cost
+                            vector = vectors_get(slot)
+                            if vector is None:
+                                vector = residue_vector(slot)
+                            outcome = vector[j] and confirm(slot, job)
+                            if outcome and generalizers is not None and generalizers[slot]:
+                                _backfill_true(generalizers, slot, shared)
+                        shared[slot] = outcome
+                    if outcome:
+                        matched = True
+                        break
+                row.append(matched)
+            rows.append(row)
+        return rows, pairings
+
+
+def _ancestor_failed(
+    generalizers: Sequence[tuple[int, ...]], slot: int, shared: dict[int, bool]
+) -> bool:
+    """A cached False at any (transitive) generaliser settles ``slot`` as False.
+
+    Identical walk to the scalar planned evaluator's ``ancestor_failed``:
+    recursion through the (possibly transitively reduced) edges, stopping at
+    cached-True branches, so fused and scalar paths agree on which entries
+    are answered without pairings.
+    """
+    stack = list(generalizers[slot])
+    seen: set[int] = set()
+    while stack:
+        g = stack.pop()
+        if g in seen:
+            continue
+        seen.add(g)
+        outcome = shared.get(g)
+        if outcome is False:
+            return True
+        if outcome is None:
+            stack.extend(generalizers[g])
+    return False
+
+
+def _backfill_true(
+    generalizers: Sequence[tuple[int, ...]], slot: int, shared: dict[int, bool]
+) -> None:
+    """A fresh True at ``slot`` answers every pattern that subsumes it."""
+    stack = list(generalizers[slot])
+    seen: set[int] = set()
+    while stack:
+        g = stack.pop()
+        if g in seen:
+            continue
+        seen.add(g)
+        if shared.get(g) is None:
+            shared[g] = True
+        stack.extend(generalizers[g])

@@ -12,13 +12,23 @@ Because ``mpz`` compares and hashes equal to the same-valued ``int`` and
 supports the full operator set, groups built on this backend are numerically
 indistinguishable from reference-backend groups: same elements, same match
 outcomes, same pairing counts.
+
+The vectorized contract is implemented as native loops: GMP's C ``powmod``
+outruns any interpreted windowing, so ``fixed_base_min_bits`` is ``None``
+(the group never builds a table for this backend -- an inherited wire table
+is likewise ignored) and ``multi_powmod``/``burn_powmods`` are straight
+``gmpy2.powmod`` loops with native multiplication, hoisting every attribute
+lookup out of the hot loop.  The fused evaluator is inherited from the base
+class: its arithmetic runs on whatever numbers the program carries, which are
+``mpz`` for groups bound to this backend.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional, Sequence
 
 from repro.crypto.backends.base import GroupBackend
+from repro.crypto.backends.fixedbase import FixedBaseTable
 
 __all__ = ["Gmpy2Backend"]
 
@@ -33,6 +43,9 @@ class Gmpy2Backend(GroupBackend):
 
     name = "gmpy2"
     priority = 100
+    # GMP's C powmod beats a Python-interpreted table walk at every modulus
+    # size, so fixed-base precomputation never pays off on this backend.
+    fixed_base_min_bits = None
 
     def __init__(self) -> None:
         if _gmpy2 is None:
@@ -52,3 +65,42 @@ class Gmpy2Backend(GroupBackend):
 
     def powmod(self, base: Any, exponent: Any, modulus: Any) -> Any:
         return self._powmod(base, exponent, modulus)
+
+    # ------------------------------------------------------------------
+    # Vectorized contract (gmpy2-native loops)
+    # ------------------------------------------------------------------
+    def powmod_base_fixed(
+        self, base: Any, exponents: Sequence[Any], modulus: Any, table: Optional[FixedBaseTable] = None
+    ) -> list:
+        # A table walk would *slow this backend down*; ignore any table and
+        # run the C powmod per exponent (numerically identical either way).
+        powmod = self._powmod
+        return [powmod(base, e, modulus) for e in exponents]
+
+    def multi_powmod(self, bases: Sequence[Any], exponents: Sequence[Any], modulus: Any) -> Any:
+        if len(bases) != len(exponents):
+            raise ValueError("multi_powmod needs one exponent per base")
+        if any(e < 0 for e in exponents):
+            raise ValueError("multi_powmod exponents must be non-negative")
+        powmod = self._powmod
+        result = self._mpz(1) % modulus
+        for base, exponent in zip(bases, exponents):
+            result = result * powmod(base, exponent, modulus) % modulus
+        return result
+
+    def burn_powmods(
+        self,
+        base: Any,
+        exponents: Sequence[Any],
+        modulus: Any,
+        repeats: int = 1,
+        table: Optional[FixedBaseTable] = None,
+    ) -> Any:
+        # Burns are a cost model: every scheduled powmod executes (see the
+        # base-class contract); only the per-call dispatch is cheaper here.
+        powmod = self._powmod
+        acc = base
+        for _ in range(repeats):
+            for e in exponents:
+                acc = powmod(base, e, modulus)
+        return acc

@@ -36,9 +36,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from time import perf_counter
+from typing import Iterable, Optional, Sequence, Union
 
-from repro.crypto.backends import GroupBackend, get_backend
+from repro.crypto.backends import (
+    FixedBaseTable,
+    FusedProgram,
+    FusedWorklist,
+    GroupBackend,
+    get_backend,
+)
 from repro.crypto.counting import PairingCounter
 from repro.crypto.primes import generate_distinct_primes
 
@@ -97,6 +104,12 @@ class GroupElement:
     def __pow__(self, scalar: int) -> "GroupElement":
         if not isinstance(scalar, int):
             return NotImplemented
+        # Exponentiation is multiplication in dlog space; a scalar wider than
+        # the group order is reduced first so the intermediate product stays
+        # bounded by ~2x the order's size (the constructor reduces the result
+        # anyway, so outcomes are unchanged).
+        if scalar.bit_length() > self._group._order_bits:
+            scalar %= self._group._n
         return GroupElement(self._group, self._exp * scalar)
 
     def inverse(self) -> "GroupElement":
@@ -157,6 +170,9 @@ class GTElement:
     def __pow__(self, scalar: int) -> "GTElement":
         if not isinstance(scalar, int):
             return NotImplemented
+        # See GroupElement.__pow__: pre-reduce oversized scalars mod N.
+        if scalar.bit_length() > self._group._order_bits:
+            scalar %= self._group._n
         return GTElement(self._group, self._exp * scalar)
 
     def inverse(self) -> "GTElement":
@@ -266,15 +282,34 @@ class BilinearGroup:
         self._n = self._p * self._q
         self._prime_bits = prime_bits
         self._pairing_work_factor = pairing_work_factor
+        self._order_bits = int(self._n).bit_length()
         self.counter = counter if counter is not None else PairingCounter()
-        # A fixed odd modulus, base and exponent used only to burn pairing
-        # work.  The exponent is hoisted here because _burn_pairing_work runs
-        # once per simulated pairing -- the hottest call site in work-factor
-        # benchmarks -- and rebuilding `N | 3` there costs a large-integer
-        # allocation per call.
+        # A fixed odd modulus, base and exponent schedule used only to burn
+        # pairing work.  Everything is converted to backend-native numbers
+        # here, once: the burn loop is the hottest call site in work-factor
+        # benchmarks, and a per-call conversion (or rebuilding `N | 3` per
+        # call) would cost a large-integer allocation per burned powmod.
+        # Each simulated pairing burns ``pairing_work_factor`` *fixed-base*
+        # exponentiations of the work base; the exponents vary per scheduled
+        # step (the hoisted ``N | 3`` plus a small even offset, so each stays
+        # odd and full-width) -- equal work to the seed's burn, but open to
+        # fixed-base precomputation.
         self._work_modulus = self._n | 1
         self._work_base = make(0xC0FFEE) % self._work_modulus
         self._work_exponent = self._n | 3
+        self._work_exponents = tuple(
+            self._work_exponent + (step << 1) for step in range(pairing_work_factor)
+        )
+        # The fixed-base table for the work base: built lazily on the first
+        # burn (or eagerly via warm_precomputation) when the backend says the
+        # modulus is big enough for the table walk to win.
+        self._work_table: Optional[FixedBaseTable] = None
+        self._work_table_decided = False
+        #: Modular exponentiations served from fixed-base precomputation
+        #: tables (plus HVE per-key program hits); surfaced through
+        #: :class:`~repro.protocol.matching.PassStats` as ``precomp_hits``.
+        self.precomp_hits = 0
+        self._last_work = None
 
     # ------------------------------------------------------------------
     # Public parameters
@@ -379,19 +414,37 @@ class BilinearGroup:
         """Uniform random element of the full group ``G``."""
         return GroupElement(self, self.random_zn())
 
+    def random_gp_exponent(self) -> int:
+        """Discrete log of a uniform random ``G_p`` element (backend-native).
+
+        The exponent-space twin of :meth:`random_gp` -- same rng consumption,
+        same distribution -- used by the HVE per-key programs, which work in
+        raw exponent arithmetic and must stay bit-identical with the
+        element-wise path.
+        """
+        return self._q * self.random_zp()
+
+    def random_gq_exponent(self) -> int:
+        """Discrete log of a uniform random ``G_q`` element (backend-native).
+
+        Exponent-space twin of :meth:`random_gq`; see
+        :meth:`random_gp_exponent`.
+        """
+        return self._p * self.random_zq()
+
     def random_gp(self) -> GroupElement:
         """Uniform random element of the order-``P`` subgroup ``G_p``.
 
         Elements of ``G_p`` are exactly the powers of ``g^Q``.
         """
-        return GroupElement(self, self._q * self.random_zp())
+        return GroupElement(self, self.random_gp_exponent())
 
     def random_gq(self) -> GroupElement:
         """Uniform random element of the order-``Q`` subgroup ``G_q``.
 
         Elements of ``G_q`` are exactly the powers of ``g^P``.
         """
-        return GroupElement(self, self._p * self.random_zq())
+        return GroupElement(self, self.random_gq_exponent())
 
     def gp_generator(self) -> GroupElement:
         """The canonical generator ``g^Q`` of ``G_p``."""
@@ -457,8 +510,7 @@ class BilinearGroup:
             return
         self.counter.record_pairing(count)
         if self._pairing_work_factor:
-            for _ in range(count):
-                self._burn_pairing_work()
+            self._burn(count)
 
     def pair_product(self, pairs: Iterable[tuple[GroupElement, GroupElement]]) -> GTElement:
         """Product of pairings ``prod_i e(a_i, b_i)`` via fused exponent arithmetic.
@@ -485,14 +537,129 @@ class BilinearGroup:
         return GTElement(self, acc)
 
     def _burn_pairing_work(self) -> None:
-        """Perform dummy modular exponentiations to emulate pairing cost."""
-        acc = self._work_base
-        powmod = self.backend.powmod
-        exponent = self._work_exponent
-        for _ in range(self._pairing_work_factor):
-            acc = powmod(acc, exponent, self._work_modulus)
-        # Prevent the loop from being optimised away conceptually; store result.
-        self._last_work = acc
+        """Burn one pairing's worth of modular exponentiations (cost model)."""
+        self._burn(1)
+
+    def _burn(self, pairings: int) -> None:
+        """Burn ``pairings`` rounds of the work schedule in one backend call.
+
+        Every round performs ``pairing_work_factor`` fixed-base modular
+        exponentiations -- the same count whether the burns arrive one
+        :meth:`pair` at a time or batched through :meth:`record_pairings`,
+        and whether or not the fixed-base table serves them.  The last power
+        is stored as the ``_last_work`` witness parity tests compare across
+        paths and backends.
+        """
+        table = self._work_table
+        if table is None and not self._work_table_decided:
+            table = self._ensure_work_table()
+        self._last_work = self.backend.burn_powmods(
+            self._work_base,
+            self._work_exponents,
+            self._work_modulus,
+            repeats=pairings,
+            table=table,
+        )
+        if table is not None:
+            self.precomp_hits += pairings * len(self._work_exponents)
+
+    # ------------------------------------------------------------------
+    # Fixed-base precomputation (work-burn acceleration)
+    # ------------------------------------------------------------------
+    def _ensure_work_table(self) -> Optional[FixedBaseTable]:
+        """Build the work-base table if this backend/modulus profits from one."""
+        self._work_table_decided = True
+        if not self._pairing_work_factor:
+            return None
+        threshold = self.backend.fixed_base_min_bits
+        if threshold is None or int(self._work_modulus).bit_length() < threshold:
+            return None
+        # +2 bits of headroom: the schedule's exponents are N|3 plus a small
+        # offset, and an undersized table would fall back to scalar powmods
+        # for the top bits.
+        self._work_table = self.backend.make_fixed_base(
+            self._work_base, self._work_modulus, max_bits=self._order_bits + 2
+        )
+        return self._work_table
+
+    def warm_precomputation(self, force: bool = False) -> float:
+        """Build the fixed-base work table now; returns the build seconds.
+
+        Idempotent and cheap when nothing is to build (work factor 0, table
+        already decided, or the backend declares tables unprofitable for this
+        modulus -- override the latter with ``force=True``, used by parity
+        tests on deliberately tiny groups).  Benchmarks call this before
+        timing so first-pass numbers do not include table construction.
+        """
+        start = perf_counter()
+        if self._work_table is None:
+            if force and self._pairing_work_factor:
+                self._work_table_decided = True
+                self._work_table = self.backend.make_fixed_base(
+                    self._work_base, self._work_modulus, max_bits=self._order_bits + 2
+                )
+            elif not self._work_table_decided:
+                self._ensure_work_table()
+        return perf_counter() - start
+
+    def precomputation_to_wire(self) -> Optional[tuple]:
+        """Wire form of the work table (``None`` when no table is active).
+
+        Called by :func:`repro.crypto.serialization.group_to_wire` after
+        warming, so worker lanes inherit the parent's precomputation instead
+        of rebuilding it per process.
+        """
+        if self._work_table is None:
+            return None
+        return self._work_table.to_wire()
+
+    def install_precomputation(self, wire: Optional[tuple]) -> None:
+        """Adopt a table shipped by :meth:`precomputation_to_wire`.
+
+        Ignored when there is nothing to install, when this backend never
+        profits from tables, or when a table is already live (tables for one
+        (base, modulus) pair are interchangeable, so the resident one wins).
+        """
+        if wire is None or self._work_table is not None:
+            return
+        if self.backend.fixed_base_min_bits is None:
+            return
+        self._work_table = FixedBaseTable.from_wire(wire, self.backend.make_int)
+        self._work_table_decided = True
+
+    # ------------------------------------------------------------------
+    # Fused evaluation (backend-executed worklists)
+    # ------------------------------------------------------------------
+    def fused_eval(
+        self,
+        program: FusedProgram,
+        jobs: Sequence[tuple],
+        worklist: Optional[FusedWorklist] = None,
+        keys: Optional[Sequence] = None,
+    ) -> tuple[list[list[bool]], int]:
+        """Run a compiled evaluation worklist on the backend, fully accounted.
+
+        Hands the whole worklist to
+        :meth:`~repro.crypto.backends.base.GroupBackend.fused_eval` -- no
+        per-pairing Python dispatch, one counter-lock acquisition and one
+        batched burn for the entire list -- then records exactly the pairings
+        the backend charged, keeping :class:`PairingCounter` totals and burn
+        counts bit-exact with the element-wise and planned scalar paths.
+
+        With a resident ``worklist``
+        (:meth:`~repro.crypto.backends.base.GroupBackend.make_fused_worklist`)
+        and per-job ``keys``, the packed-column path runs instead -- same
+        rows, same pairings; passes served from already-packed columns are
+        counted as precomputation hits.
+        """
+        if worklist is not None:
+            hits_before = worklist.column_hits
+            rows, pairings = worklist.evaluate(jobs, keys)
+            self.precomp_hits += worklist.column_hits - hits_before
+        else:
+            rows, pairings = self.backend.fused_eval(program, jobs)
+        self.record_pairings(pairings)
+        return rows, pairings
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

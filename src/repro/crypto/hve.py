@@ -151,6 +151,22 @@ class HVECiphertext:
         if len(self.c1) != self.width or len(self.c2) != self.width:
             raise ValueError("ciphertext component count must equal the HVE width")
 
+    @cached_property
+    def _exponent_rows(self) -> tuple:
+        """The ciphertext's discrete logs as flat native tuples (cached).
+
+        This is the job form the fused evaluation path feeds to
+        :meth:`~repro.crypto.group.BilinearGroup.fused_eval`; caching it on
+        the (immutable) ciphertext means a standing alert re-evaluated every
+        tick extracts each resident ciphertext's exponents exactly once.
+        """
+        return (
+            self.c_prime._discrete_log(),
+            self.c0._discrete_log(),
+            tuple(e._discrete_log() for e in self.c1),
+            tuple(e._discrete_log() for e in self.c2),
+        )
+
 
 @dataclass(frozen=True)
 class HVEToken:
@@ -189,6 +205,55 @@ class HVEToken:
     def pairing_cost(self) -> int:
         """Pairings needed to evaluate this token against one ciphertext."""
         return 1 + 2 * self.non_star_count
+
+
+class _EncryptProgram:
+    """Per-public-key precomputation for :meth:`HVE.encrypt`.
+
+    Encryption exponentiates the *same* key elements for every ciphertext
+    (``A``, ``V``, and per position ``U_i * H_i`` / ``H_i`` / ``W_i``) -- the
+    fixed-base pattern.  In the ideal-group model a fixed-base table
+    degenerates to caching those elements' discrete logs once per key, after
+    which each ciphertext component is raw native exponent arithmetic with no
+    element allocation and no operator dispatch.  Random sampling order is
+    identical to the element-wise path, so ciphertexts are bit-identical.
+    """
+
+    __slots__ = ("a_pair", "v", "h", "uh", "w")
+
+    def __init__(self, public_key: HVEPublicKey):
+        group_order = public_key.group.order
+        self.a_pair = public_key.a_pair._discrete_log()
+        self.v = public_key.v_blinded._discrete_log()
+        self.h = tuple(e._discrete_log() for e in public_key.h_blinded)
+        # The "bit is 1" base (U_i * H_i), pre-reduced like the element
+        # product would be.
+        self.uh = tuple(
+            (u._discrete_log() + h) % group_order
+            for u, h in zip(public_key.u_blinded, self.h)
+        )
+        self.w = tuple(e._discrete_log() for e in public_key.w_blinded)
+
+
+class _TokenProgram:
+    """Per-secret-key precomputation for :meth:`HVE.generate_token`.
+
+    Same idea as :class:`_EncryptProgram` for the token side: the fixed bases
+    ``g^a``, ``V`` and per position ``U_i * H_i`` / ``H_i`` / ``W_i`` are
+    resolved to native discrete logs once per key.
+    """
+
+    __slots__ = ("k0_base", "v", "h", "uh", "w")
+
+    def __init__(self, secret_key: HVESecretKey):
+        group_order = secret_key.group.order
+        self.k0_base = secret_key.g._discrete_log() * secret_key.a % group_order
+        self.v = secret_key.v._discrete_log()
+        self.h = tuple(e._discrete_log() for e in secret_key.h)
+        self.uh = tuple(
+            (u._discrete_log() + h) % group_order for u, h in zip(secret_key.u, self.h)
+        )
+        self.w = tuple(e._discrete_log() for e in secret_key.w)
 
 
 class HVE:
@@ -241,6 +306,61 @@ class HVE:
         # cancel, and being a fixed public constant lets the service provider
         # recognise a successful match without learning anything else.
         self._match_message = self.group.gt_element_from_exponent(self.group.q * self.group.q)
+        self._match_exp = self._match_message._discrete_log()
+        # Per-key precomputed programs (the HVE face of the fixed-base
+        # contract): keyed by key-object identity, capped small -- a
+        # deployment works with one key pair, tests with a handful.  Values
+        # hold a strong reference to the key, so an id() can never be reused
+        # while its entry is alive.
+        self._encrypt_programs: dict[int, tuple[HVEPublicKey, _EncryptProgram]] = {}
+        self._token_programs: dict[int, tuple[HVESecretKey, _TokenProgram]] = {}
+
+    _PROGRAM_CACHE_SIZE = 4
+
+    def _encrypt_program(self, public_key: HVEPublicKey) -> _EncryptProgram:
+        entry = self._encrypt_programs.get(id(public_key))
+        if entry is not None and entry[0] is public_key:
+            self.group.precomp_hits += 1
+            return entry[1]
+        program = _EncryptProgram(public_key)
+        cache = self._encrypt_programs
+        cache[id(public_key)] = (public_key, program)
+        while len(cache) > self._PROGRAM_CACHE_SIZE:
+            cache.pop(next(iter(cache)))
+        return program
+
+    def _token_program(self, secret_key: HVESecretKey) -> _TokenProgram:
+        entry = self._token_programs.get(id(secret_key))
+        if entry is not None and entry[0] is secret_key:
+            self.group.precomp_hits += 1
+            return entry[1]
+        program = _TokenProgram(secret_key)
+        cache = self._token_programs
+        cache[id(secret_key)] = (secret_key, program)
+        while len(cache) > self._PROGRAM_CACHE_SIZE:
+            cache.pop(next(iter(cache)))
+        return program
+
+    def warm_precomputation(
+        self,
+        public_key: Optional[HVEPublicKey] = None,
+        secret_key: Optional[HVESecretKey] = None,
+    ) -> float:
+        """Build the group work table and per-key programs now; returns seconds.
+
+        Benchmarks call this before their timed region so throughput numbers
+        never include one-off precomputation; the build cost is reported as
+        its own column instead.
+        """
+        import time
+
+        start = time.perf_counter()
+        self.group.warm_precomputation()
+        if public_key is not None:
+            self._encrypt_program(public_key)
+        if secret_key is not None:
+            self._token_program(secret_key)
+        return time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Setup
@@ -258,12 +378,26 @@ class HVE:
 
         secret = HVESecretKey(group=group, width=self.width, g_q=g_q, a=a, g=g, v=v, u=u, h=h, w=w)
 
-        r_v = group.random_gq()
-        v_blinded = v * r_v
+        # Blinding multiplies each fixed key element by a fresh G_q sample --
+        # raw exponent adds here (same rng draws, same reductions) instead of
+        # one element allocation per component.  The pairing for ``A`` stays
+        # an honest :meth:`BilinearGroup.pair` call: it is counted and burned
+        # like every other pairing.
+        element = GroupElement
+        v_blinded = element(group, v._discrete_log() + group.random_gq_exponent())
         a_pair = group.pair(g, v) ** a
-        u_blinded = tuple(u[i] * group.random_gq() for i in range(self.width))
-        h_blinded = tuple(h[i] * group.random_gq() for i in range(self.width))
-        w_blinded = tuple(w[i] * group.random_gq() for i in range(self.width))
+        u_blinded = tuple(
+            element(group, u[i]._discrete_log() + group.random_gq_exponent())
+            for i in range(self.width)
+        )
+        h_blinded = tuple(
+            element(group, h[i]._discrete_log() + group.random_gq_exponent())
+            for i in range(self.width)
+        )
+        w_blinded = tuple(
+            element(group, w[i]._discrete_log() + group.random_gq_exponent())
+            for i in range(self.width)
+        )
 
         public = HVEPublicKey(
             group=group,
@@ -304,23 +438,32 @@ class HVE:
         _validate_index(index, self.width)
         group = self.group
         if message is None:
-            message = self._match_message
+            message_exp = self._match_exp
         elif message.group is not group:
             raise ValueError("message must belong to this HVE instance's group")
+        else:
+            message_exp = message._discrete_log()
 
+        # Raw exponent arithmetic over the per-key program: each component is
+        # one multiply-add on native numbers, with rng draws in exactly the
+        # element-wise order (s; z; then z_i1, z_i2 per position), so the
+        # ciphertext is bit-identical to the seed path's.
+        program = self._encrypt_program(public_key)
+        element = GroupElement
         s = group.random_zn()
-        z = group.random_gq()
-        c_prime = message * (public_key.a_pair ** s)
-        c0 = (public_key.v_blinded ** s) * z
+        z = group.random_gq_exponent()
+        c_prime = GTElement(group, message_exp + program.a_pair * s)
+        c0 = element(group, program.v * s + z)
 
+        h, uh, w = program.h, program.uh, program.w
         c1: list[GroupElement] = []
         c2: list[GroupElement] = []
         for i, bit in enumerate(index):
-            z_i1 = group.random_gq()
-            z_i2 = group.random_gq()
-            u_term = public_key.u_blinded[i] ** int(bit)
-            c1.append(((u_term * public_key.h_blinded[i]) ** s) * z_i1)
-            c2.append((public_key.w_blinded[i] ** s) * z_i2)
+            z_i1 = group.random_gq_exponent()
+            z_i2 = group.random_gq_exponent()
+            base = uh[i] if bit == "1" else h[i]
+            c1.append(element(group, base * s + z_i1))
+            c2.append(element(group, w[i] * s + z_i2))
 
         return HVECiphertext(width=self.width, c_prime=c_prime, c0=c0, c1=tuple(c1), c2=tuple(c2))
 
@@ -338,20 +481,26 @@ class HVE:
         _validate_pattern(pattern, self.width)
         group = self.group
 
-        non_star = [i for i, symbol in enumerate(pattern) if symbol != STAR]
-        k0 = secret_key.g ** secret_key.a
+        # Same program-driven exponent arithmetic as encrypt: K_0 accumulates
+        # native multiply-adds, K_1/K_2 are single products, rng draws stay in
+        # the element-wise order (r_i1, r_i2 per non-star position).
+        program = self._token_program(secret_key)
+        element = GroupElement
+        h, uh, w, v = program.h, program.uh, program.w, program.v
+        k0_exp = program.k0_base
         k1: dict[int, GroupElement] = {}
         k2: dict[int, GroupElement] = {}
-        for i in non_star:
+        for i, symbol in enumerate(pattern):
+            if symbol == STAR:
+                continue
             r_i1 = group.random_zp()
             r_i2 = group.random_zp()
-            bit = int(pattern[i])
-            u_term = secret_key.u[i] ** bit
-            k0 = k0 * (((u_term * secret_key.h[i]) ** r_i1) * (secret_key.w[i] ** r_i2))
-            k1[i] = secret_key.v ** r_i1
-            k2[i] = secret_key.v ** r_i2
+            base = uh[i] if symbol == "1" else h[i]
+            k0_exp += base * r_i1 + w[i] * r_i2
+            k1[i] = element(group, v * r_i1)
+            k2[i] = element(group, v * r_i2)
 
-        return HVEToken(pattern=pattern, k0=k0, k1=k1, k2=k2)
+        return HVEToken(pattern=pattern, k0=element(group, k0_exp), k1=k1, k2=k2)
 
     def generate_tokens(self, secret_key: HVESecretKey, patterns: Sequence[str]) -> list[HVEToken]:
         """Derive one token per pattern."""
@@ -425,7 +574,7 @@ class HVE:
             raise ValueError("ciphertext/token width does not match this HVE instance")
         positions = token.non_star_positions if non_star_positions is None else non_star_positions
         exponent = self._query_exponent(ciphertext, token, positions)
-        return exponent % self.group.order == self._match_message._discrete_log()
+        return exponent % self.group.order == self._match_exp
 
     def matches(self, ciphertext: HVECiphertext, token: HVEToken) -> bool:
         """True if the ciphertext's attribute vector satisfies the token's pattern.

@@ -217,22 +217,44 @@ def deserialize_token(group: BilinearGroup, payload: dict[str, Any]) -> HVEToken
 # Everything is normalised to plain ``int``/``str``/``tuple``, so the forms
 # pickle identically whatever arithmetic backend produced them.
 
-def group_to_wire(group: BilinearGroup) -> tuple[int, int, int, str]:
-    """Compact picklable form of a group: ``(p, q, work_factor, backend)``.
+def group_to_wire(group: BilinearGroup) -> tuple[int, int, int, str, Any]:
+    """Compact picklable form of a group: ``(p, q, work_factor, backend, precomp)``.
 
     Carries the prime factorisation, so this must only ever travel between a
     process and its own workers (the in-process group object exposes the same
     factors).  The receiving side rebuilds a numerically identical group with
     :func:`wire_to_group`; backends resolve by registry name, so the worker
     runs the same arithmetic the parent selected.
+
+    The fifth slot ships the group's fixed-base precomputation table (or
+    ``None``): serialization warms the table so every worker inherits it
+    instead of paying the build cost per process.  The first four slots alone
+    identify the group -- consumers that key caches on group identity compare
+    ``wire[:4]`` so a table arriving later does not read as a different group.
     """
-    return (int(group.p), int(group.q), group.pairing_work_factor, group.backend_name)
+    precomp = None
+    if group.pairing_work_factor:
+        group.warm_precomputation()
+        precomp = group.precomputation_to_wire()
+    return (
+        int(group.p),
+        int(group.q),
+        group.pairing_work_factor,
+        group.backend_name,
+        precomp,
+    )
 
 
-def wire_to_group(wire: tuple[int, int, int, str]) -> BilinearGroup:
-    """Rebuild a :class:`BilinearGroup` from :func:`group_to_wire` output."""
-    p, q, work_factor, backend = wire
-    return BilinearGroup.from_primes(p, q, pairing_work_factor=work_factor, backend=backend)
+def wire_to_group(wire: tuple) -> BilinearGroup:
+    """Rebuild a :class:`BilinearGroup` from :func:`group_to_wire` output.
+
+    Accepts both the current 5-tuple and the legacy 4-tuple (no precomp slot).
+    """
+    p, q, work_factor, backend = wire[:4]
+    group = BilinearGroup.from_primes(p, q, pairing_work_factor=work_factor, backend=backend)
+    if len(wire) > 4 and wire[4] is not None:
+        group.install_precomputation(wire[4])
+    return group
 
 
 def element_to_wire(element: GroupElement) -> int:

@@ -68,6 +68,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
+from repro.crypto.backends import FusedProgram
 from repro.crypto.hve import HVE, STAR, HVECiphertext, HVEToken
 from repro.crypto.serialization import (
     ciphertext_to_wire,
@@ -168,6 +169,14 @@ class PassStats:
     quarantines: int = 0
     degraded_passes: int = 0
     stale_resets: int = 0
+    #: Vectorized-crypto receipts: ``fused_evals`` counts backend
+    #: :meth:`~repro.crypto.backends.base.GroupBackend.fused_eval` worklist
+    #: calls (inline passes make one for the whole candidate list; thread and
+    #: process passes one per chunk / shard worklist), ``precomp_hits`` counts
+    #: exponentiations served from fixed-base precomputation tables plus
+    #: per-key program-cache hits, parent- and worker-side combined.
+    fused_evals: int = 0
+    precomp_hits: int = 0
 
 
 @dataclass(frozen=True)
@@ -225,6 +234,25 @@ class MatchingOptions:
     incremental:
         Remember per-alert outcomes keyed by (user, sequence number) and skip
         users whose sequence number is unchanged on re-evaluation.
+    fused:
+        Hand whole evaluation worklists to the crypto backend as one
+        :class:`~repro.crypto.backends.base.FusedProgram` call instead of
+        evaluating (candidate, token) pairs through per-call Python dispatch.
+        Only effective with the planned strategy; notifications and
+        :class:`~repro.crypto.counting.PairingCounter` totals are bit-exact
+        with the scalar path (property-tested), so this is purely a
+        performance switch.  ``False`` forces the scalar planned evaluator
+        everywhere, including worker processes.
+    fused_pack_min_jobs:
+        Worklist size from which the inline fused path switches to the
+        resident packed-column evaluator
+        (:class:`~repro.crypto.backends.base.FusedWorklist`): ciphertext
+        exponents packed into big-integer columns, evaluated per token in a
+        handful of huge multiplications, refreshed incrementally as users
+        move.  Below the threshold (or on worker chunks) the plain fused call
+        runs -- packing has a per-worklist build cost that only amortises
+        over enough users.  Bit-exact either way; parity tests force ``1`` to
+        exercise the packed path on tiny worklists.
     """
 
     strategy: str = "planned"
@@ -235,6 +263,8 @@ class MatchingOptions:
     executor: str = "thread"
     chunk_size: Optional[int] = None
     incremental: bool = False
+    fused: bool = True
+    fused_pack_min_jobs: int = 64
 
     def __post_init__(self) -> None:
         if self.strategy not in MATCHING_STRATEGIES:
@@ -247,6 +277,8 @@ class MatchingOptions:
             raise ValueError("workers must be at least 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1 (or None to split evenly across workers)")
+        if self.fused_pack_min_jobs < 1:
+            raise ValueError("fused_pack_min_jobs must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -594,6 +626,43 @@ def _make_planned_evaluator(hve: HVE, plan: TokenPlan) -> Evaluator:
     return evaluate
 
 
+def _compile_fused_program(hve: HVE, plan: TokenPlan) -> FusedProgram:
+    """Flatten a :class:`TokenPlan` into a backend-executable fused program.
+
+    Token discrete logs are resolved once here; the backend's evaluation loop
+    then touches no group objects at all.  Entry order, slots, costs and
+    subsumption edges are taken verbatim from the plan, which is what keeps
+    the fused path's outcomes and pairing charges bit-exact with the scalar
+    planned evaluator.
+    """
+    batches = tuple(
+        tuple(
+            (
+                entry.slot,
+                entry.token.k0._discrete_log(),
+                tuple(
+                    (
+                        position,
+                        entry.token.k1[position]._discrete_log(),
+                        entry.token.k2[position]._discrete_log(),
+                    )
+                    for position in entry.positions
+                ),
+                entry.cost,
+            )
+            for entry in entries
+        )
+        for _, entries in plan.entries_by_alert
+    )
+    return FusedProgram(
+        modulus=hve.group.order,
+        match_exp=hve._match_exp,
+        batches=batches,
+        generalizers=plan.generalizers,
+        factors=(hve.group.p, hve.group.q),
+    )
+
+
 # ----------------------------------------------------------------------
 # Process-pool worker protocol
 # ----------------------------------------------------------------------
@@ -608,41 +677,75 @@ def _make_planned_evaluator(hve: HVE, plan: TokenPlan) -> Evaluator:
 _WORKER_STATE: dict[str, Any] = {}
 
 
-def _process_worker_init(group_wire: tuple, width: int, payload: tuple[str, Any]) -> None:
-    """Pool initializer: rebuild the group, HVE and evaluator in this process."""
-    group = wire_to_group(group_wire)
+def _build_worker_evaluation(group, width: int, payload: tuple[str, Any]) -> None:
+    """Install the HVE, evaluator and (optional) fused program for ``payload``.
+
+    Shared by the pool initializer and the in-place dispatch re-prime, so the
+    two worker flavours cannot diverge on how a payload is interpreted.  The
+    ``"planned_fused"`` payload kind carries the same plan wire as
+    ``"planned"``; the worker additionally compiles it into a
+    :class:`~repro.crypto.backends.base.FusedProgram` so its match calls run
+    the backend's fused loop instead of per-token dispatch.
+    """
     hve = HVE(width=width, group=group)
     kind, data = payload
-    if kind == "planned":
-        evaluate = _make_planned_evaluator(hve, TokenPlan.from_wire(group, data))
+    fused_program = None
+    if kind in ("planned", "planned_fused"):
+        plan = TokenPlan.from_wire(group, data)
+        evaluate = _make_planned_evaluator(hve, plan)
+        if kind == "planned_fused":
+            fused_program = _compile_fused_program(hve, plan)
     else:
         token_lists = [[wire_to_token(group, wire) for wire in batch] for batch in data]
         evaluate = _make_naive_evaluator(hve, token_lists)
     _WORKER_STATE["hve"] = hve
     _WORKER_STATE["evaluate"] = evaluate
+    _WORKER_STATE["fused_program"] = fused_program
 
 
-def _process_worker_match(chunk: Sequence[tuple[tuple, tuple[int, ...]]]) -> tuple[list[list[bool]], int]:
+def _process_worker_init(group_wire: tuple, width: int, payload: tuple[str, Any]) -> None:
+    """Pool initializer: rebuild the group, HVE and evaluator in this process."""
+    _build_worker_evaluation(wire_to_group(group_wire), width, payload)
+
+
+def _process_worker_match(
+    chunk: Sequence[tuple[tuple, tuple[int, ...]]],
+) -> tuple[list[list[bool]], int, int, int]:
     """Evaluate one chunk of ``(ciphertext wire, needed batch indices)`` jobs.
 
-    Returns the per-candidate outcome rows (aligned with the needed indices)
-    and the pairings this call recorded on the worker's private counter.
+    Returns the per-candidate outcome rows (aligned with the needed indices),
+    the pairings this call recorded on the worker's private counter, the
+    fused worklist calls made and the precomputation hits they scored.
+
+    On the fused path the ciphertext wire forms *are* the evaluation jobs:
+    the wire already carries the discrete logs the backend loop consumes, so
+    no group elements are materialised at all.
     """
     hve: HVE = _WORKER_STATE["hve"]
-    evaluate: Evaluator = _WORKER_STATE["evaluate"]
-    counter = hve.group.counter
+    group = hve.group
+    counter = group.counter
     before = counter.total
-    rows: list[list[bool]] = []
-    for ciphertext_wire, needed in chunk:
-        ciphertext = wire_to_ciphertext(hve.group, ciphertext_wire)
-        shared: dict[int, bool] = {}
-        rows.append([evaluate(ciphertext, index, shared) for index in needed])
-    return rows, counter.total - before
+    hits_before = group.precomp_hits
+    program: Optional[FusedProgram] = _WORKER_STATE.get("fused_program")
+    fused_evals = 0
+    if program is not None:
+        rows, _ = group.fused_eval(
+            program, [ciphertext_wire + (needed,) for ciphertext_wire, needed in chunk]
+        )
+        fused_evals = 1
+    else:
+        evaluate: Evaluator = _WORKER_STATE["evaluate"]
+        rows = []
+        for ciphertext_wire, needed in chunk:
+            ciphertext = wire_to_ciphertext(group, ciphertext_wire)
+            shared: dict[int, bool] = {}
+            rows.append([evaluate(ciphertext, index, shared) for index in needed])
+    return rows, counter.total - before, fused_evals, group.precomp_hits - hits_before
 
 
 def _evaluate_resident_worklist(
     handle: tuple, worklist: Sequence[tuple[str, tuple[int, ...]]]
-) -> tuple[list[list[bool]], int]:
+) -> tuple[list[list[bool]], int, int]:
     """Sync this worker's resident copy of one shard, then evaluate its worklist.
 
     The handle (see :meth:`repro.protocol.shards.ShardShipment.handle`) brings
@@ -650,43 +753,59 @@ def _evaluate_resident_worklist(
     first contact, applying the state-based delta afterwards -- and the
     worklist names ``(user_id, needed batch indices)`` jobs.  Unchanged users
     are evaluated from ciphertexts deserialized in a *previous* pass: nothing
-    about them crossed the process boundary this call.  Returns the outcome
-    rows plus the version the resident shard ended at.  Shared by the PR 4
-    pool path and the affinity-dispatch path, so the resident-shard protocol
-    cannot diverge between them.
+    about them crossed the process boundary this call.  When a fused program
+    is primed the whole worklist runs as one backend
+    :meth:`~repro.crypto.backends.base.GroupBackend.fused_eval` call over the
+    resident ciphertexts' cached exponent rows.  Returns the outcome rows,
+    the version the resident shard ended at and the fused calls made (0 or
+    1).  Shared by the PR 4 pool path and the affinity-dispatch path, so the
+    resident-shard protocol cannot diverge between them.
     """
     from repro.protocol.shards import ResidentShard
 
     hve: HVE = _WORKER_STATE["hve"]
-    evaluate: Evaluator = _WORKER_STATE["evaluate"]
     residents: dict[tuple[str, int], ResidentShard] = _WORKER_STATE.setdefault("resident_shards", {})
     key = (handle[0], handle[1])  # (store token, shard id)
     resident = residents.get(key)
     if resident is None:
         resident = residents[key] = ResidentShard(hve.group)
     applied = resident.sync(handle)
+    program: Optional[FusedProgram] = _WORKER_STATE.get("fused_program")
+    if program is not None and worklist:
+        rows, _ = hve.group.fused_eval(
+            program,
+            [
+                resident.ciphertext(user_id)._exponent_rows + (needed,)
+                for user_id, needed in worklist
+            ],
+        )
+        return rows, applied, 1
+    evaluate: Evaluator = _WORKER_STATE["evaluate"]
     rows: list[list[bool]] = []
     for user_id, needed in worklist:
         shared: dict[int, bool] = {}
         ciphertext = resident.ciphertext(user_id)
         rows.append([evaluate(ciphertext, index, shared) for index in needed])
-    return rows, applied
+    return rows, applied, 0
 
 
 def _shard_worker_match(
     task: tuple[tuple, Sequence[tuple[str, tuple[int, ...]]]]
-) -> tuple[list[list[bool]], int]:
+) -> tuple[list[list[bool]], int, int, int]:
     """Evaluate one shard's worklist from worker-resident ciphertexts.
 
     One ``(shipment handle, worklist)`` task of the PR 4 pool path; returns
-    the outcome rows and the pairings this call recorded on the worker's
-    private counter.
+    the outcome rows, the pairings this call recorded on the worker's private
+    counter, the fused worklist calls made and the precomputation hits they
+    scored.
     """
     handle, worklist = task
-    counter = _WORKER_STATE["hve"].group.counter
+    group = _WORKER_STATE["hve"].group
+    counter = group.counter
     before = counter.total
-    rows, _ = _evaluate_resident_worklist(handle, worklist)
-    return rows, counter.total - before
+    hits_before = group.precomp_hits
+    rows, _, fused_evals = _evaluate_resident_worklist(handle, worklist)
+    return rows, counter.total - before, fused_evals, group.precomp_hits - hits_before
 
 
 # ----------------------------------------------------------------------
@@ -704,51 +823,53 @@ def _dispatch_worker_prime(group_wire: tuple, width: int, payload: tuple[str, An
 
     Unlike :func:`_process_worker_init` -- which runs in a *fresh* process --
     this runs as an ordinary task inside a live worker whenever the plan
-    changes.  The group object is rebuilt only when the group constants
-    actually changed; keeping it stable is what keeps the worker's resident,
-    already-deserialized ciphertexts usable across plan churn (group elements
-    are bound to their group instance by identity).
+    changes.  The group object is rebuilt only when the group *constants*
+    actually changed -- the comparison deliberately ignores the wire's
+    precomputation slot, so a table the parent built between passes arrives
+    without invalidating the worker's resident, already-deserialized
+    ciphertexts (group elements are bound to their group instance by
+    identity); the table is instead installed into the live group.
     """
     group = _WORKER_STATE.get("group")
-    if group is None or _WORKER_STATE.get("group_wire") != group_wire:
+    cached_wire = _WORKER_STATE.get("group_wire")
+    if group is None or cached_wire is None or tuple(cached_wire[:4]) != tuple(group_wire[:4]):
         group = wire_to_group(group_wire)
         _WORKER_STATE["group"] = group
         _WORKER_STATE["group_wire"] = group_wire
         # Residents deserialized against a previous group cannot serve the
         # new one; drop them so first contact bootstraps from the spool.
         _WORKER_STATE.pop("resident_shards", None)
-    hve = HVE(width=width, group=group)
-    kind, data = payload
-    if kind == "planned":
-        evaluate = _make_planned_evaluator(hve, TokenPlan.from_wire(group, data))
-    else:
-        token_lists = [[wire_to_token(group, wire) for wire in batch] for batch in data]
-        evaluate = _make_naive_evaluator(hve, token_lists)
-    _WORKER_STATE["hve"] = hve
-    _WORKER_STATE["evaluate"] = evaluate
+    elif len(group_wire) > 4 and group_wire[4] is not None:
+        group.install_precomputation(group_wire[4])
+    _build_worker_evaluation(group, width, payload)
     return True
 
 
 def _dispatch_worker_match(
     tasks: Sequence[tuple[tuple, Sequence[tuple[str, tuple[int, ...]]]]]
-) -> tuple[tuple[tuple[int, list[list[bool]], int], ...], int]:
+) -> tuple[tuple[tuple[int, list[list[bool]], int], ...], int, int, int]:
     """Evaluate every shard task routed to this lane's worker.
 
     ``tasks`` is a sequence of ``(shipment handle, worklist)`` pairs -- all
     the shards the dispatcher pinned to this worker that have work this pass.
     Returns, per shard, ``(shard_id, outcome rows, applied version)`` -- the
     applied version is what the parent acks -- plus the pairings recorded by
-    this worker's private counter.  Raises
+    this worker's private counter, the fused worklist calls made and the
+    precomputation hits they scored.  Raises
     :class:`~repro.protocol.shards.StaleResidentShard` when a delta cannot be
     anchored (the dispatcher then re-ships from the floor).
     """
-    counter = _WORKER_STATE["hve"].group.counter
+    group = _WORKER_STATE["hve"].group
+    counter = group.counter
     before = counter.total
+    hits_before = group.precomp_hits
+    fused_evals = 0
     out: list[tuple[int, list[list[bool]], int]] = []
     for handle, worklist in tasks:
-        rows, applied = _evaluate_resident_worklist(handle, worklist)
+        rows, applied, fused = _evaluate_resident_worklist(handle, worklist)
+        fused_evals += fused
         out.append((handle[1], rows, applied))
-    return tuple(out), counter.total - before
+    return tuple(out), counter.total - before, fused_evals, group.precomp_hits - hits_before
 
 
 def _dispatch_worker_evict(keys: Sequence[tuple[str, int]]) -> int:
@@ -819,6 +940,15 @@ class _CachedEvaluation:
     version: int
     evaluator: Evaluator
     plan: Optional[TokenPlan]
+    #: Compiled once per plan when the engine's ``fused`` option is on; the
+    #: worker payload kind then becomes ``"planned_fused"`` so worker
+    #: processes compile their own copy from the same plan wire.
+    fused_program: Optional[FusedProgram] = None
+    #: Lazily-built resident packed worklist for the inline fused path
+    #: (:class:`~repro.crypto.backends.base.FusedWorklist`); lives with the
+    #: plan so its packed columns survive across passes and refresh
+    #: incrementally as the candidate population drifts.
+    fused_worklist: Optional[Any] = field(default=None, repr=False)
     _payload: Optional[tuple[str, Any]] = field(default=None, repr=False)
 
     def matches(self, batches: Sequence[TokenBatch]) -> bool:
@@ -830,7 +960,8 @@ class _CachedEvaluation:
         """The picklable worker payload, serialized once per plan version."""
         if self._payload is None:
             if self.plan is not None:
-                self._payload = ("planned", self.plan.to_wire())
+                kind = "planned" if self.fused_program is None else "planned_fused"
+                self._payload = (kind, self.plan.to_wire())
             else:
                 self._payload = (
                     "naive",
@@ -1157,14 +1288,17 @@ class MatchingEngine:
         if self.options.strategy == "planned":
             plan: Optional[TokenPlan] = self.plan(batches)
             evaluator = _make_planned_evaluator(self.hve, plan)
+            fused_program = _compile_fused_program(self.hve, plan) if self.options.fused else None
         else:
             plan = None
+            fused_program = None
             evaluator = _make_naive_evaluator(self.hve, [list(batch.tokens) for batch in batches])
         cached = _CachedEvaluation(
             batches=tuple(batches),
             version=self._plan_version,
             evaluator=evaluator,
             plan=plan,
+            fused_program=fused_program,
         )
         self._cache_entries.insert(0, cached)
         del self._cache_entries[self._PLAN_CACHE_SIZE :]
@@ -1231,6 +1365,10 @@ class MatchingEngine:
             return rows  # type: ignore[return-value]
         evaluation = self._evaluation_for(batches)
         workers = min(self.options.workers, len(candidates))
+        # Parent-side precomputation hits (table-served burns, program-cache
+        # hits) accrue on the live group; worker-side deltas are merged by the
+        # process-path consumers.
+        hits_before = self.hve.group.precomp_hits
 
         if workers > 1 and self.options.executor == "process" and sharded_store is not None:
             evaluated = self._with_resilience(
@@ -1247,6 +1385,45 @@ class MatchingEngine:
         elif workers <= 1:
             evaluated = self._evaluate_inline(evaluation, candidates, needed)
         else:
+            evaluated = self._evaluate_threads(evaluation, candidates, needed, workers)
+
+        self.last_pass.precomp_hits += self.hve.group.precomp_hits - hits_before
+        for row, need, results in zip(rows, needed, evaluated):
+            for index, outcome in zip(need, results):
+                row[index] = outcome
+        return rows  # type: ignore[return-value]  # every None has been filled
+
+    def _evaluate_threads(
+        self,
+        evaluation: _CachedEvaluation,
+        candidates: Sequence[MatchCandidate],
+        needed: Sequence[tuple[int, ...]],
+        workers: int,
+    ) -> list[list[bool]]:
+        """Chunked evaluation over a thread pool sharing the parent group.
+
+        With a fused program each chunk becomes one backend worklist call;
+        otherwise candidates are evaluated one scalar job at a time, exactly
+        as before.  Chunk results concatenate in order either way.
+        """
+        program = evaluation.fused_program
+        jobs = list(zip(candidates, needed))
+        chunk_size = self._chunk_size(len(jobs), workers)
+        chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+        if program is not None:
+            group = self.hve.group
+
+            def run_chunk(chunk: list) -> list[list[bool]]:
+                rows, _ = group.fused_eval(
+                    program,
+                    [
+                        candidate.ciphertext._exponent_rows + (need,)
+                        for candidate, need in chunk
+                    ],
+                )
+                return rows
+
+        else:
             evaluate = evaluation.evaluator
 
             def evaluate_candidate(job: tuple[MatchCandidate, tuple[int, ...]]) -> list[bool]:
@@ -1254,17 +1431,14 @@ class MatchingEngine:
                 shared: dict[int, bool] = {}
                 return [evaluate(candidate.ciphertext, index, shared) for index in need]
 
-            jobs = list(zip(candidates, needed))
-            chunk_size = self._chunk_size(len(jobs), workers)
-            chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
-            with self.pools.thread_pool(workers) as pool:
-                chunk_rows = list(pool.map(lambda chunk: [evaluate_candidate(j) for j in chunk], chunks))
-            evaluated = [row for chunk in chunk_rows for row in chunk]
+            def run_chunk(chunk: list) -> list[list[bool]]:
+                return [evaluate_candidate(job) for job in chunk]
 
-        for row, need, results in zip(rows, needed, evaluated):
-            for index, outcome in zip(need, results):
-                row[index] = outcome
-        return rows  # type: ignore[return-value]  # every None has been filled
+        with self.pools.thread_pool(workers) as pool:
+            chunk_rows = list(pool.map(run_chunk, chunks))
+        if program is not None:
+            self.last_pass.fused_evals += len(chunks)
+        return [row for chunk in chunk_rows for row in chunk]
 
     def _chunk_size(self, n_jobs: int, workers: int) -> int:
         chunk_size = self.options.chunk_size
@@ -1306,7 +1480,37 @@ class MatchingEngine:
         and therefore also the graceful-degradation fallback: a pass whose
         process tier keeps failing is answered here, burning the same
         pairings on the parent counter that the workers would have merged.
+
+        With a fused program the *entire* outstanding worklist is one backend
+        call: per candidate the cached exponent rows plus the needed batch
+        indices, no per-token Python dispatch at all.  From
+        ``fused_pack_min_jobs`` candidates up, the call runs through the
+        plan's resident :class:`~repro.crypto.backends.base.FusedWorklist`,
+        keyed by ``(user_id, sequence_number)`` so repeat passes reuse the
+        packed columns and movers are patched in place.
         """
+        program = evaluation.fused_program
+        if program is not None:
+            jobs = [
+                candidate.ciphertext._exponent_rows + (need,)
+                for candidate, need in zip(candidates, needed)
+            ]
+            worklist = keys = None
+            if len(jobs) >= self.options.fused_pack_min_jobs:
+                worklist = evaluation.fused_worklist
+                if worklist is None:
+                    worklist = evaluation.fused_worklist = (
+                        self.hve.group.backend.make_fused_worklist(program)
+                    )
+                keys = [
+                    (candidate.user_id, candidate.sequence_number)
+                    for candidate in candidates
+                ]
+            evaluated, _ = self.hve.group.fused_eval(
+                program, jobs, worklist=worklist, keys=keys
+            )
+            self.last_pass.fused_evals += 1
+            return evaluated
         evaluate = evaluation.evaluator
         evaluated: list[list[bool]] = []
         for candidate, need in zip(candidates, needed):
@@ -1435,8 +1639,11 @@ class MatchingEngine:
             ]
             chunk_results = [self._chunk_result(pool, future) for future in futures]
         worker_pairings = 0
-        for chunk, (rows, pairings) in zip(chunks, chunk_results):
+        stats = self.last_pass
+        for chunk, (rows, pairings, fused_evals, precomp_hits) in zip(chunks, chunk_results):
             worker_pairings += pairings
+            stats.fused_evals += fused_evals
+            stats.precomp_hits += precomp_hits
             for (position, _), row in zip(chunk, rows):
                 evaluated[position] = row
         group.counter.record_pairing(worker_pairings)
@@ -1560,8 +1767,12 @@ class MatchingEngine:
             store.invalidate_floor(exc.shard_id)
             raise
         worker_pairings = 0
-        for shard_id, (rows, pairings) in zip(ordered_shards, shard_results):
+        for shard_id, (rows, pairings, fused_evals, precomp_hits) in zip(
+            ordered_shards, shard_results
+        ):
             worker_pairings += pairings
+            stats.fused_evals += fused_evals
+            stats.precomp_hits += precomp_hits
             for (position, _, _), row in zip(jobs_by_shard[shard_id], rows):
                 evaluated[position] = row
         group.counter.record_pairing(worker_pairings)
@@ -1746,15 +1957,17 @@ class MatchingEngine:
         # Acks are recorded even when another lane broke: these workers
         # genuinely advanced their resident shards, and the session-level
         # retry then ships them empty acked deltas.
-        for lane, _, (shard_rows, _) in lane_results:
+        for lane, _, (shard_rows, *_) in lane_results:
             for shard_id, _, applied in shard_rows:
                 dispatcher.record_ack(lane, token, shard_id, applied)
         if broken_error is not None:
             raise broken_error
 
         worker_pairings = 0
-        for lane, tasks, (shard_rows, pairings) in lane_results:
+        for lane, tasks, (shard_rows, pairings, fused_evals, precomp_hits) in lane_results:
             worker_pairings += pairings
+            stats.fused_evals += fused_evals
+            stats.precomp_hits += precomp_hits
             rows_by_shard = {shard_id: rows for shard_id, rows, _ in shard_rows}
             for shard_id, _, _ in tasks:
                 for (position, _, _), row in zip(jobs_by_shard[shard_id], rows_by_shard[shard_id]):

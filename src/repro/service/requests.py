@@ -239,6 +239,12 @@ class MatchReport:
     quarantines: int = 0
     degraded_passes: int = 0
     stale_resets: int = 0
+    #: Vectorized-crypto receipts (see
+    #: :class:`~repro.protocol.matching.PassStats`): backend fused-worklist
+    #: calls and precomputation-table / program-cache hits this pass scored,
+    #: parent- and worker-side combined.
+    fused_evals: int = 0
+    precomp_hits: int = 0
 
     @property
     def notified_users(self) -> tuple[str, ...]:
@@ -279,3 +285,5 @@ class RequestMetrics:
     quarantines: int = 0
     degraded_passes: int = 0
     stale_resets: int = 0
+    fused_evals: int = 0
+    precomp_hits: int = 0

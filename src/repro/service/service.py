@@ -450,6 +450,8 @@ class AlertService:
             quarantines=pass_stats.quarantines,
             degraded_passes=pass_stats.degraded_passes,
             stale_resets=pass_stats.stale_resets,
+            fused_evals=pass_stats.fused_evals,
+            precomp_hits=pass_stats.precomp_hits,
         )
         self._emit(request_name, report)
         return report
@@ -544,6 +546,8 @@ class AlertService:
             quarantines=report.quarantines if report is not None else 0,
             degraded_passes=report.degraded_passes if report is not None else 0,
             stale_resets=report.stale_resets if report is not None else 0,
+            fused_evals=report.fused_evals if report is not None else 0,
+            precomp_hits=report.precomp_hits if report is not None else 0,
         )
         for observer in list(self._observers):
             observer(metrics)

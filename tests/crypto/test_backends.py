@@ -206,3 +206,46 @@ class TestFromPrimes:
         assert group.pairing_work_factor == 2
         group.pair(group.generator, group.generator)
         assert counter.total == 1
+
+
+class TestNativeWorkConstants:
+    """The hot paths run on constants converted once at group construction.
+
+    A backend whose ``make_int`` is expensive (GMP allocation, FFI) must pay
+    that conversion only while the group binds its numbers: pairings, burns,
+    planned matching and fused evaluation afterwards operate purely on the
+    hoisted natives.  The counting backend proves it by construction.
+    """
+
+    def test_hot_paths_perform_no_per_call_conversion(self):
+        class CountingBackend(ReferenceBackend):
+            name = "counting-conversions"
+            priority = -1
+
+            def __init__(self):
+                self.make_int_calls = 0
+
+            def make_int(self, value):
+                self.make_int_calls += 1
+                return int(value)
+
+        backend = CountingBackend()
+        group = BilinearGroup(
+            prime_bits=32, rng=random.Random(61), pairing_work_factor=2, backend=backend
+        )
+        hve = HVE(width=4, group=group)
+        keys = hve.setup()
+        ciphertext = hve.encrypt(keys.public, "0110")
+        token = hve.generate_token(keys.secret, "01*0")
+        # Warm every lazy decision (work-table probe, per-key programs).
+        group.record_pairings(1)
+        hve.matches(ciphertext, token)
+        hve.matches_via_plan(ciphertext, token)
+        baseline = backend.make_int_calls
+        for _ in range(25):
+            assert hve.matches(ciphertext, token)
+            assert hve.matches_via_plan(ciphertext, token)
+            group.record_pairings(3)
+            fresh = hve.encrypt(keys.public, "1001")
+            assert not hve.matches_via_plan(fresh, token)
+        assert backend.make_int_calls == baseline

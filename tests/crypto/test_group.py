@@ -252,3 +252,33 @@ class TestElementConstructors:
         assert 1 <= group.random_zn() < group.order
         assert 1 <= group.random_zp() < group.p
         assert 1 <= group.random_zq() < group.q
+
+
+class TestExponentReduction:
+    """Scalars are reduced modulo the group order before exponent multiplies.
+
+    Without the reduction a chain of ``**`` with oversized scalars makes the
+    intermediate product grow by the scalar's width every step -- correctness
+    survives (the constructor reduces), but the arithmetic degrades from
+    fixed-width to unbounded big-int multiplies.  The regression pins both
+    facts: results unchanged, magnitude bounded.
+    """
+
+    def test_oversized_pow_scalar_is_reduced(self, group):
+        g = group.random_g()
+        huge = int(group.order) * 12345 + 7
+        assert g ** huge == g ** (huge % group.order)
+        gt = group.random_gt()
+        assert gt ** huge == gt ** (huge % group.order)
+
+    def test_exponent_magnitude_stays_bounded_over_many_ops(self, group):
+        n = int(group.order)
+        order_bits = n.bit_length()
+        g = group.random_g()
+        start = int(g._discrete_log())
+        huge = n * 0x1F00DCAFE + 3
+        acc = g
+        for _ in range(10_000):
+            acc = acc ** huge
+        assert int(acc._discrete_log()).bit_length() <= order_bits
+        assert int(acc._discrete_log()) == start * pow(huge, 10_000, n) % n

@@ -83,12 +83,43 @@ class TestWireForms:
     def test_group_wire_round_trip_preserves_constants(self, setup):
         group, _, _, _, _ = setup
         wire = group_to_wire(group)
-        assert all(isinstance(v, (int, str)) for v in wire)
+        assert all(isinstance(v, (int, str)) for v in wire[:4])
+        assert wire[4] is None or isinstance(wire[4], tuple)
         restored = wire_to_group(wire)
         assert restored.order == group.order
         assert restored.p == group.p and restored.q == group.q
         assert restored.pairing_work_factor == group.pairing_work_factor
         assert restored.backend_name == group.backend_name
+
+    def test_group_wire_accepts_legacy_four_tuple(self, setup):
+        group, _, _, _, _ = setup
+        restored = wire_to_group(group_to_wire(group)[:4])
+        assert restored.order == group.order
+
+    def test_group_wire_ships_warm_precomputation(self):
+        """Large-modulus groups ship their fixed-base table to workers."""
+        import random
+
+        from repro.crypto.group import BilinearGroup
+
+        group = BilinearGroup(
+            prime_bits=64,
+            rng=random.Random(11),
+            pairing_work_factor=2,
+            backend="reference",
+        )
+        wire = group_to_wire(group)
+        if group.backend.fixed_base_min_bits is None:
+            assert wire[4] is None
+            return
+        assert wire[4] is not None
+        restored = wire_to_group(wire)
+        # The inherited table serves burns without a rebuild: identical last
+        # work witness, and hits are recorded against the shipped table.
+        group.record_pairings(3)
+        restored.record_pairings(3)
+        assert restored._last_work == group._last_work
+        assert restored.precomp_hits > 0
 
     def test_group_wire_survives_pickle(self, setup):
         import pickle
