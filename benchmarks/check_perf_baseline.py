@@ -11,6 +11,10 @@ The file carries one section per feeding benchmark:
 ``crypto_core``
     Fused packed-worklist matching latency at the 1k-user tier, written by
     ``benchmarks/test_matching_engine.py::test_crypto_core_fused_tier``.
+``net_tier``
+    Open-loop p99 latency at the sweep's lowest (uncongested) offered rate
+    against a live ``repro serve`` process, written by
+    ``benchmarks/test_net_tier.py``.
 
 Raw wall-clock is meaningless across machines, so every section carries a
 ``calibration_ms`` constant -- the time of a fixed pure-Python workload on the
@@ -48,6 +52,10 @@ SECTION_METRICS = {
     "crypto_core": (
         "fused 1k-tier matching latency",
         lambda section: float(section["fused_tier"]["fused_ms"]),
+    ),
+    "net_tier": (
+        "open-loop p99 latency",
+        lambda section: float(section["gate"]["p99_ms"]),
     ),
 }
 

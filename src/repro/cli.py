@@ -8,6 +8,8 @@ runs without writing Python::
     python -m repro experiment fig13 --grid-sizes 8 16 32
     python -m repro simulate  --users 30 --steps 10
     python -m repro chaos     --steps 50 --seed 7
+    python -m repro serve     --rows 6 --cols 6 --port 7425
+    python -m repro loadgen   --spawn --rates 30 60 120 240 --duration 2
     python -m repro info
 
 The CLI is intentionally a thin layer over :mod:`repro.analysis.experiments`,
@@ -37,7 +39,7 @@ from repro.crypto.backends import available_backends, backend_names, default_bac
 from repro.datasets.synthetic import make_synthetic_scenario
 from repro.protocol.matching import EXECUTORS, MATCHING_STRATEGIES
 from repro.protocol.simulation import AlertServiceSimulation, SimulationConfig
-from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
+from repro.service import AlertService, Move, NetOptions, PublishZone, ServiceConfig, Subscribe
 
 __all__ = ["build_parser", "main"]
 
@@ -206,9 +208,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     Exit code 0 means the faulted run matched the fault-free run bit-exactly
     with no torn snapshot and no leaked worker process -- the same bar the
-    CI chaos job enforces.
+    CI chaos job enforces.  ``--net`` swaps in the network-tier soak: the
+    scripted session over TCP under conn_drop/frame_corrupt/slow_client
+    faults must notify exactly the same users as the in-process run.
     """
     from repro.service.faults import DEFAULT_CHAOS_SPEC, run_chaos_soak
+
+    if args.net:
+        from repro.net import DEFAULT_NET_CHAOS_SPEC, run_net_chaos_soak
+
+        outcome = run_net_chaos_soak(
+            steps=args.steps,
+            seed=args.seed,
+            faults=args.faults if args.faults is not None else DEFAULT_NET_CHAOS_SPEC,
+            users=args.users,
+        )
+        print(outcome.summary())
+        return 0 if outcome.matched else 1
 
     outcome = run_chaos_soak(
         steps=args.steps,
@@ -259,6 +275,144 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"totals: {result.total_reports} reports, {result.total_alerts} alerts, "
         f"{result.total_notifications} notifications, {result.total_pairings} pairings"
     )
+    return 0
+
+
+def _serve_config(args: argparse.Namespace) -> ServiceConfig:
+    """The ServiceConfig both ``serve`` and a spawned loadgen server use."""
+    return ServiceConfig(
+        prime_bits=args.prime_bits,
+        seed=args.service_seed,
+        journal_path=args.journal,
+        net=NetOptions(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            batch_max=args.batch_max,
+            batch_window_ms=args.batch_window_ms,
+        ),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve one AlertService session over TCP until SIGINT/SIGTERM.
+
+    Prints ``listening on HOST:PORT`` (flushed) once the socket is bound so
+    harnesses -- the loadgen ``--spawn`` path, the CI smoke job -- can block
+    on readiness by watching stdout.  Shutdown is graceful: inflight requests
+    drain and are answered, then (with ``--snapshot``) the session state is
+    snapshotted, which also checkpoints the write-ahead journal.
+    """
+    import asyncio
+    import signal
+
+    from repro.net import AlertServiceServer
+
+    scenario = make_synthetic_scenario(
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+    )
+    config = _serve_config(args)
+    with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+        if args.snapshot is not None:
+            import pathlib
+
+            snapshot = pathlib.Path(args.snapshot)
+            if snapshot.exists():
+                # A previous graceful stop (or crash + journal) left durable
+                # state: resume the session instead of starting empty.
+                service.restore(snapshot)
+                print(f"restored session from {snapshot}", flush=True)
+        server = AlertServiceServer(service, snapshot_path=args.snapshot)
+
+        async def run() -> None:
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+            await server.start()
+            print(f"listening on {server.options.host}:{server.port}", flush=True)
+            await stop.wait()
+            print("draining...", flush=True)
+            await server.stop()
+            stats = server.stats
+            print(
+                f"served {stats.responses_sent} responses "
+                f"({stats.errors_returned} errors, {stats.busy_rejections} busy, "
+                f"{stats.requests_coalesced} coalesced)",
+                flush=True,
+            )
+
+        asyncio.run(run())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load sweep against a live server (optionally spawned here)."""
+    import asyncio
+
+    from repro.net import publish_sweep, render_table, run_sweep
+
+    scenario = make_synthetic_scenario(
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+    )
+    process = None
+    host, port = args.host, args.port
+    try:
+        if args.spawn:
+            import subprocess
+
+            serve_args = [
+                sys.executable, "-m", "repro", "serve",
+                "--rows", str(args.rows), "--cols", str(args.cols),
+                "--sigmoid-a", str(args.sigmoid_a), "--sigmoid-b", str(args.sigmoid_b),
+                "--seed", str(args.seed),
+                "--host", host, "--port", str(port),
+                "--prime-bits", str(args.prime_bits),
+                "--service-seed", str(args.service_seed),
+                "--max-inflight", str(args.max_inflight),
+            ]
+            process = subprocess.Popen(
+                serve_args, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+            )
+            deadline = time.time() + 120.0
+            while True:
+                line = process.stdout.readline()
+                if line.startswith("listening on "):
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+                if (not line and process.poll() is not None) or time.time() > deadline:
+                    print("spawned server never became ready", file=sys.stderr)
+                    return 1
+        sweep = asyncio.run(
+            run_sweep(
+                host,
+                port,
+                scenario,
+                rates=args.rates,
+                duration=args.duration,
+                seed=args.seed,
+                users=args.users,
+                connections=args.connections,
+                prime_bits=args.prime_bits,
+                service_seed=args.service_seed,
+            )
+        )
+    finally:
+        if process is not None:
+            import signal as _signal
+
+            process.send_signal(_signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except Exception:
+                process.kill()
+    print(render_table(sweep))
+    if args.results_dir is not None:
+        path = publish_sweep(sweep, args.results_dir)
+        print(f"wrote {path}")
+    if args.assert_clean and sweep.total_dropped > 0:
+        print(f"FAIL: {sweep.total_dropped} requests dropped/errored", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -360,7 +514,84 @@ def build_parser() -> argparse.ArgumentParser:
         default=12.0,
         help="how long an injected hang sleeps; must exceed the deadline to matter (default 12)",
     )
+    chaos.add_argument(
+        "--net",
+        action="store_true",
+        help="run the network-tier soak instead: a scripted session over TCP under "
+        "conn_drop/frame_corrupt/slow_client faults must notify exactly the same "
+        "users as the in-process run",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    def add_net_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--host", default="127.0.0.1", help="bind/connect address")
+        sub.add_argument("--port", type=int, default=7425, help="TCP port (0 = kernel-assigned)")
+        sub.add_argument("--prime-bits", type=int, default=32, help="prime size of the HVE group")
+        sub.add_argument(
+            "--service-seed",
+            type=int,
+            default=11,
+            help="ServiceConfig.seed: drives key generation, so a loadgen with the same "
+            "seed can mint valid device ciphertexts",
+        )
+        sub.add_argument(
+            "--max-inflight",
+            type=int,
+            default=256,
+            help="backpressure high-water mark: queued+executing requests before BUSY",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve an AlertService session over TCP",
+        description="Start the asyncio network front over one AlertService session and run "
+        "until SIGINT/SIGTERM; shutdown drains inflight requests and (with --snapshot) "
+        "checkpoints durable state.",
+    )
+    add_scenario_options(serve)
+    add_net_options(serve)
+    serve.add_argument("--batch-max", type=int, default=64, help="max coalesced ingest batch size")
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, help="ingest coalescing wait in milliseconds"
+    )
+    serve.add_argument("--journal", default=None, help="write-ahead journal path (enables replay)")
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="session snapshot path: restored on start when present, written on graceful stop",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="open-loop load sweep against a live `repro serve`",
+        description="Fire seeded Poisson arrivals at the configured offered rates, measuring "
+        "latency from each request's *scheduled* arrival (queueing included), and report "
+        "p50/p99/p99.9 plus the saturation throughput.",
+    )
+    add_scenario_options(loadgen)
+    add_net_options(loadgen)
+    loadgen.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn `repro serve` as a subprocess (same scenario/crypto flags) and stop it after",
+    )
+    loadgen.add_argument(
+        "--rates", type=float, nargs="+", default=[30.0, 60.0, 120.0, 240.0],
+        help="offered load points in requests/second",
+    )
+    loadgen.add_argument("--duration", type=float, default=2.0, help="seconds per rate point")
+    loadgen.add_argument("--users", type=int, default=16, help="subscribed user population")
+    loadgen.add_argument("--connections", type=int, default=4, help="client TCP connections")
+    loadgen.add_argument(
+        "--results-dir", default=None, help="write results/net_tier.txt under this directory"
+    )
+    loadgen.add_argument(
+        "--assert-clean",
+        action="store_true",
+        help="exit non-zero when any request was dropped, errored, or timed out (the CI smoke bar)",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     simulate = subparsers.add_parser("simulate", help="run a small end-to-end service simulation")
     add_scenario_options(simulate)

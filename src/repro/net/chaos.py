@@ -1,0 +1,194 @@
+"""Network-tier chaos soak: TCP under injected faults vs. fault-free truth.
+
+The PR 6 chaos soak (:func:`repro.service.faults.run_chaos_soak`) proved the
+matching core survives killed workers and torn writes bit-exactly.  This soak
+extends the bar to the wire: a scripted session is run **twice** --
+
+1. in-process against a plain :class:`AlertService` (the fault-free truth);
+2. over TCP against an :class:`AlertServiceServer` whose fault injector fires
+   ``conn_drop`` / ``frame_corrupt`` / ``slow_client`` on the frame paths,
+   while the client leans on :meth:`AlertServiceClient.request_with_retry`
+   to reconnect and re-send.
+
+The verdict demands the per-step notified pseudonyms **bit-exact** between
+the runs.  The script is deliberately built from retry-idempotent *outcomes*
+(moves, standing-zone publish/retract with ``evaluate=False``, evaluation
+ticks): a retried request may spend extra pairings, but it can never change
+who gets notified -- which is exactly the guarantee a device fleet on a lossy
+network needs.  Subscriptions happen during a fault-free warmup because
+registering the same pseudonym twice is an error by design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.grid.alert_zone import AlertZone
+from repro.net.client import AlertServiceClient
+from repro.net.server import AlertServiceServer
+from repro.service.config import NetOptions, ServiceConfig
+from repro.service.faults import FaultInjector, FaultPlan
+from repro.service.requests import (
+    EvaluateStanding,
+    Move,
+    PublishZone,
+    RetractZone,
+    Subscribe,
+)
+
+__all__ = ["DEFAULT_NET_CHAOS_SPEC", "NetChaosOutcome", "run_net_chaos_soak"]
+
+#: The spec the CLI / CI seed matrix runs: every network fault site active.
+DEFAULT_NET_CHAOS_SPEC = "conn_drop=0.04,frame_corrupt=0.04,slow_client=0.05"
+
+
+@dataclass
+class NetChaosOutcome:
+    """Result of one :func:`run_net_chaos_soak`: parity verdict + evidence."""
+
+    steps: int
+    seed: int
+    faults: str
+    matched: bool
+    baseline_passes: List[Tuple[str, ...]]
+    faulted_passes: List[Tuple[str, ...]]
+    fault_counts: dict
+    client_reconnects: int
+    server_stats: dict
+
+    def summary(self) -> str:
+        verdict = "BIT-EXACT" if self.matched else "DIVERGED"
+        fired = ", ".join(f"{k}={v}" for k, v in sorted(self.fault_counts.items())) or "none"
+        return (
+            f"net chaos soak: {self.steps} steps, seed {self.seed} -> {verdict}\n"
+            f"  faults fired:      {fired}\n"
+            f"  client reconnects: {self.client_reconnects}\n"
+            f"  server responses:  {self.server_stats.get('responses_sent', 0)} "
+            f"({self.server_stats.get('errors_returned', 0)} errors, "
+            f"{self.server_stats.get('connections_dropped', 0)} conns dropped)"
+        )
+
+
+def _net_script(steps: int, seed: int, n_cells: int, users: int) -> List[Tuple[str, int]]:
+    """Deterministic per-step ops; every outcome is idempotent under retry."""
+    rng = random.Random(seed)
+    script: List[Tuple[str, int]] = []
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.60:
+            action = "move"
+        elif roll < 0.75:
+            action = "publish"
+        elif roll < 0.85:
+            action = "retract"
+        else:
+            action = "tick"
+        script.append((action, rng.randrange(n_cells)))
+    return script
+
+
+def _step_request(action: str, cell: int, grid, users: int):
+    if action == "move":
+        return Move(user_id=f"user-{cell % users:03d}", location=grid.cell_center(cell))
+    if action == "publish":
+        return PublishZone(
+            alert_id="zone-x",
+            zone=AlertZone(cell_ids=(cell, (cell + 1) % grid.n_cells)),
+            evaluate=False,
+        )
+    if action == "retract":
+        return RetractZone(alert_id="zone-x")
+    return EvaluateStanding()
+
+
+def _warmup_requests(scenario, users: int):
+    rng = random.Random(1009)
+    for i in range(users):
+        cell = rng.randrange(scenario.grid.n_cells)
+        yield Subscribe(user_id=f"user-{i:03d}", location=scenario.grid.cell_center(cell))
+    yield PublishZone(alert_id="zone-a", zone=AlertZone(cell_ids=(5, 6, 7, 11)), evaluate=False)
+
+
+def _run_inprocess(scenario, config, script, users: int) -> List[Tuple[str, ...]]:
+    from repro.service.service import AlertService
+
+    passes: List[Tuple[str, ...]] = []
+    with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+        for request in _warmup_requests(scenario, users):
+            service.handle(request)
+        for action, cell in script:
+            service.handle(_step_request(action, cell, scenario.grid, users))
+            report = service.handle(EvaluateStanding())
+            passes.append(report.notified_users)
+    return passes
+
+
+async def _run_over_tcp(
+    scenario, config, script, users: int, plan: FaultPlan
+) -> Tuple[List[Tuple[str, ...]], dict, int, dict]:
+    from repro.service.service import AlertService
+
+    passes: List[Tuple[str, ...]] = []
+    options = NetOptions(host="127.0.0.1", port=0, max_inflight=32)
+    with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+        server = AlertServiceServer(service, options)
+        await server.start()
+        client = AlertServiceClient("127.0.0.1", server.port, timeout=10.0)
+        try:
+            # Warmup is fault-free: subscriptions are not retry-idempotent.
+            for request in _warmup_requests(scenario, users):
+                await client.request_with_retry(request)
+            # Arm the network fault sites; the server reads this attribute on
+            # every frame exchange, so swapping it in mid-session is the
+            # supported way to scope chaos to steady state.
+            service.fault_injector = FaultInjector(plan)
+            for action, cell in script:
+                await client.request_with_retry(
+                    _step_request(action, cell, scenario.grid, users), attempts=10
+                )
+                report = await client.request_with_retry(EvaluateStanding(), attempts=10)
+                passes.append(report.notified_users)
+            reconnects = client.reconnects
+        finally:
+            await client.close()
+            await server.stop()
+        counts = dict(service.fault_injector.counts)
+        stats = server.stats.snapshot()
+    return passes, counts, reconnects, stats
+
+
+def run_net_chaos_soak(
+    steps: int = 40,
+    seed: int = 7,
+    faults: str = DEFAULT_NET_CHAOS_SPEC,
+    users: int = 8,
+) -> NetChaosOutcome:
+    """Run the scripted session in-process and over faulty TCP; compare."""
+    from repro.datasets.synthetic import make_synthetic_scenario
+
+    scenario = make_synthetic_scenario(
+        rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=31, extent_meters=600.0
+    )
+    script = _net_script(steps, seed, scenario.grid.n_cells, users)
+    plan = FaultPlan.parse(faults or "", seed=seed)
+    # Both sessions share the crypto seed, so key material is identical and
+    # only the transport differs between the runs.
+    make_config = lambda: ServiceConfig(prime_bits=32, seed=19, incremental=False)  # noqa: E731
+    baseline = _run_inprocess(scenario, make_config(), script, users)
+    faulted, counts, reconnects, stats = asyncio.run(
+        _run_over_tcp(scenario, make_config(), script, users, plan)
+    )
+    return NetChaosOutcome(
+        steps=steps,
+        seed=seed,
+        faults=faults,
+        matched=faulted == baseline,
+        baseline_passes=baseline,
+        faulted_passes=faulted,
+        fault_counts=counts,
+        client_reconnects=reconnects,
+        server_stats=stats,
+    )

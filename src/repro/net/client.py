@@ -1,0 +1,250 @@
+"""Asyncio client for the alert-service wire protocol.
+
+One :class:`AlertServiceClient` owns one TCP connection and **pipelines**
+requests over it: every request carries a fresh integer id, responses are
+matched back to their futures by id, so many requests can be outstanding at
+once without head-of-line blocking on the client side (the server still
+executes them in arrival order -- that is the service's consistency model).
+
+Failure handling mirrors the server's contract:
+
+- an ``error`` frame becomes a typed exception -- :class:`ServerBusy` for the
+  backpressure rejection, :class:`RemoteRequestError` (carrying the remote
+  exception name and, for unknown requests, the server's list of recognised
+  types) for everything else;
+- a lost/corrupt connection fails every pending request with
+  :class:`ConnectionLost`; :meth:`request_with_retry` transparently
+  reconnects and retries with exponential backoff, which is also how a
+  client rides out a server restart (PR 6's restore path brings the session
+  back, the client simply reconnects and continues);
+- :class:`RequestTimeout` bounds how long a caller waits for any one
+  response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Dict, Optional
+
+from repro.net.wire import WireError, read_frame, resolve_wire_format, write_frame
+from repro.service.config import NetOptions
+from repro.service.requests import (
+    ErrorResponse,
+    Request,
+    request_to_wire,
+    response_from_wire,
+)
+
+__all__ = [
+    "AlertServiceClient",
+    "ClientError",
+    "ConnectionLost",
+    "RemoteRequestError",
+    "RequestTimeout",
+    "ServerBusy",
+]
+
+
+class ClientError(Exception):
+    """Base class for client-side failures."""
+
+
+class ConnectionLost(ClientError):
+    """The connection died (EOF, reset, or a corrupt frame) mid-conversation."""
+
+
+class RequestTimeout(ClientError):
+    """No response arrived within the caller's timeout."""
+
+
+class RemoteRequestError(ClientError):
+    """The server answered with an ``error`` frame.
+
+    Carries the remote exception's name (``error``), message, and -- when the
+    failure was an unrecognised request -- the ``expected`` tuple of request
+    type names the service does handle.
+    """
+
+    def __init__(self, response: ErrorResponse):
+        self.error = response.error
+        self.expected = response.expected
+        detail = f" (expected one of {sorted(response.expected)})" if response.expected else ""
+        super().__init__(f"{response.error}: {response.message}{detail}")
+
+
+class ServerBusy(RemoteRequestError):
+    """The backpressure rejection: retry after a backoff."""
+
+
+class AlertServiceClient:
+    """Pipelined wire-protocol client; safe for many concurrent awaiters.
+
+    Parameters
+    ----------
+    host, port:
+        The server endpoint.
+    options:
+        Optional :class:`NetOptions` supplying ``max_frame_bytes`` and the
+        preferred ``wire_format`` (both default sensibly).
+    timeout:
+        Default per-request response timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7425,
+        *,
+        options: Optional[NetOptions] = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.options = options if options is not None else NetOptions(host=host, port=port)
+        self.timeout = timeout
+        self.wire_format = resolve_wire_format(self.options.wire_format)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._receiver: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._send_lock = asyncio.Lock()
+        self._connect_lock = asyncio.Lock()
+        self.reconnects = 0
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def connect(self) -> None:
+        async with self._connect_lock:  # concurrent callers share one dial
+            if self.connected:
+                return
+            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+            self._receiver = asyncio.create_task(self._receive_loop(self._reader))
+
+    async def close(self) -> None:
+        await self._teardown(ConnectionLost("client closed"))
+
+    async def __aenter__(self) -> "AlertServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _teardown(self, error: Exception) -> None:
+        receiver, self._receiver = self._receiver, None
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(writer.wait_closed(), timeout=1.0)
+        if receiver is not None and receiver is not asyncio.current_task():
+            receiver.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await receiver
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Receive loop: route responses to their futures by id
+    # ------------------------------------------------------------------
+    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
+        # The reader is bound at connect time: a reconnect starts a fresh
+        # loop on the fresh reader, and a stale loop can never steal from it.
+        error: Exception = ConnectionLost("server closed the connection")
+        try:
+            while True:
+                frame = await read_frame(reader, self.options.max_frame_bytes)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.get("id"), None)
+                if future is None or future.done():
+                    continue  # late response to a timed-out/abandoned request
+                try:
+                    response = response_from_wire(frame.get("payload") or {})
+                except Exception as exc:  # undecodable payload: fail just this call
+                    future.set_exception(ClientError(f"bad response payload: {exc}"))
+                    continue
+                if isinstance(response, ErrorResponse):
+                    exc_cls = ServerBusy if response.error == "ServerBusy" else RemoteRequestError
+                    future.set_exception(exc_cls(response))
+                else:
+                    future.set_result(response)
+        except (WireError, ConnectionError, OSError) as exc:
+            error = ConnectionLost(str(exc))
+        except asyncio.CancelledError:
+            raise
+        # EOF or a fatal wire error: every pending request fails over to retry.
+        self._receiver = None
+        await self._teardown(error)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def request(self, request: Request, timeout: Optional[float] = None) -> object:
+        """Send one request and await its typed response (pipelining-safe)."""
+        if not self.connected:
+            await self.connect()
+        self._next_id += 1
+        req_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        envelope = {"id": req_id, "kind": "request", "payload": request_to_wire(request)}
+        try:
+            async with self._send_lock:
+                if self._writer is None:
+                    raise ConnectionLost("connection lost before send")
+                await write_frame(self._writer, envelope, self.wire_format)
+            self.requests_sent += 1
+        except ConnectionLost:
+            self._pending.pop(req_id, None)
+            raise
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(req_id, None)
+            await self._teardown(ConnectionLost(str(exc)))
+            raise ConnectionLost(str(exc)) from exc
+        try:
+            return await asyncio.wait_for(future, timeout if timeout is not None else self.timeout)
+        except asyncio.TimeoutError as exc:
+            self._pending.pop(req_id, None)
+            raise RequestTimeout(f"no response to request {req_id} in time") from exc
+
+    async def request_with_retry(
+        self,
+        request: Request,
+        *,
+        attempts: int = 6,
+        base_delay: float = 0.05,
+        timeout: Optional[float] = None,
+    ) -> object:
+        """:meth:`request` that rides out BUSY rejections and reconnects.
+
+        Retries (with exponential backoff) on :class:`ServerBusy` and
+        :class:`ConnectionLost` -- the two failures the protocol *expects*
+        clients to absorb.  Remote request errors are the caller's bug and
+        propagate immediately.
+        """
+        delay = base_delay
+        last: Exception = ClientError("no attempts made")
+        for _ in range(attempts):
+            try:
+                return await self.request(request, timeout=timeout)
+            except ServerBusy as exc:
+                last = exc
+            except (ConnectionLost, RequestTimeout) as exc:
+                last = exc
+                self.reconnects += 1
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, 2.0)
+        raise last

@@ -1,0 +1,421 @@
+"""Asyncio front for :class:`~repro.service.service.AlertService`.
+
+The service object is single-threaded by design (its matching engine owns
+process pools, its store a write-ahead journal); the server's job is to put
+thousands of concurrent TCP conversations in front of it without ever letting
+two requests race into the session.  The shape:
+
+- One **reader coroutine per connection** parses frames
+  (:mod:`repro.net.wire`), performs admission control, and enqueues typed
+  requests.
+- One **dispatcher coroutine** drains the queue in arrival order and executes
+  each request on a single-worker thread so the event loop stays responsive
+  while a matching pass runs.  Consecutive queued :class:`IngestBatch`
+  requests are **coalesced** into one store pass (all members receive that
+  tick's :class:`MatchReport` -- the documented batching semantic).
+- **Backpressure** is explicit: ``inflight`` counts queued + executing
+  requests; a request arriving at ``max_inflight`` is answered with a
+  structured BUSY :class:`ErrorResponse` and the connection's reader pauses
+  until inflight falls to ``low_water``, so a flooding client is throttled
+  instead of ballooning the queue.
+- **Graceful shutdown** stops accepting, drains every inflight request,
+  answers it, then (when the session journals) checkpoints durability state
+  via :meth:`AlertService.snapshot` before closing connections.
+
+Handler exceptions never kill a connection: anything :meth:`AlertService.handle`
+raises -- including :class:`UnknownRequestError` with its list of recognised
+request types -- comes back as an ``error`` frame and the conversation
+continues.
+
+Chaos hooks: when the service carries a :class:`FaultInjector` whose plan
+enables ``conn_drop`` / ``frame_corrupt`` / ``slow_client``, the injector's
+``net`` stream decides the fate of each frame exchange in the read and write
+paths (see :mod:`repro.net.chaos` for the parity soak built on top).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.net.wire import (
+    FrameCorrupt,
+    FrameTooLarge,
+    WireVersionError,
+    encode_frame,
+    read_frame,
+    resolve_wire_format,
+)
+from repro.service.config import NetOptions
+from repro.service.requests import (
+    ErrorResponse,
+    IngestBatch,
+    request_from_wire,
+    response_to_wire,
+)
+
+__all__ = ["AlertServiceServer", "ServerStats", "BUSY_ERROR", "SHUTTING_DOWN_ERROR"]
+
+#: ``ErrorResponse.error`` tag for a request rejected at the high-water mark.
+BUSY_ERROR = "ServerBusy"
+#: ``ErrorResponse.error`` tag for a request arriving during drain.
+SHUTTING_DOWN_ERROR = "ServerShuttingDown"
+
+_SENTINEL = object()
+
+
+@dataclass
+class ServerStats:
+    """Counters the server accumulates; exposed for tests, CLI, and loadgen."""
+
+    connections_accepted: int = 0
+    connections_dropped: int = 0
+    requests_received: int = 0
+    responses_sent: int = 0
+    errors_returned: int = 0
+    busy_rejections: int = 0
+    shutdown_rejections: int = 0
+    batches_executed: int = 0
+    requests_coalesced: int = 0
+    reader_pauses: int = 0
+    faults_injected: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass(eq=False)  # identity hashing: connections live in a set
+class _Connection:
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    closed: bool = False
+
+
+@dataclass
+class _Pending:
+    conn: _Connection
+    req_id: int
+    request: object
+
+
+class AlertServiceServer:
+    """Serve one :class:`AlertService` session over TCP.
+
+    Parameters
+    ----------
+    service:
+        The session to front.  The server serializes every ``handle`` call
+        onto a private single-worker thread; nothing else may drive the
+        session while the server runs.
+    options:
+        :class:`~repro.service.config.NetOptions`; defaults to
+        ``service.config.net`` and falls back to ``NetOptions()``.
+    snapshot_path:
+        When set, a graceful :meth:`stop` writes a session snapshot here --
+        which also checkpoints the write-ahead journal -- so a restarted
+        server resumes from drained, durable state.
+    """
+
+    def __init__(
+        self,
+        service,
+        options: Optional[NetOptions] = None,
+        *,
+        snapshot_path: Optional[str | pathlib.Path] = None,
+    ):
+        if options is None:
+            options = getattr(service.config, "net", None) or NetOptions()
+        self.service = service
+        self.options = options
+        self.snapshot_path = pathlib.Path(snapshot_path) if snapshot_path is not None else None
+        self.stats = ServerStats()
+        self.wire_format = resolve_wire_format(options.wire_format)
+        self._group = service.system.authority.group
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._leftover: Optional[object] = None
+        self._inflight = 0
+        self._draining = False
+        self._resume = asyncio.Event()
+        self._resume.set()
+        self._connections: Set[_Connection] = set()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="alert-service"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None or not self._server.sockets:
+            return self.options.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.options.host, port=self.options.port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self, graceful: bool = True) -> None:
+        """Stop the server; graceful stops drain and answer every inflight request."""
+        self._draining = True
+        self._resume.set()  # paused readers must wake to observe the drain
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            await self._queue.put(_SENTINEL)
+            if graceful:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._dispatcher, timeout=self.options.drain_timeout_seconds
+                    )
+            if not self._dispatcher.done():
+                self._dispatcher.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._dispatcher
+        if graceful and self.snapshot_path is not None:
+            # Snapshotting also checkpoints the write-ahead journal, so the
+            # drained state is durable before the last connection closes.
+            self.service.snapshot(self.snapshot_path)
+        for conn in list(self._connections):
+            await self._close_connection(conn)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AlertServiceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Run until ``stop_event`` fires, then stop gracefully (CLI entry)."""
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Per-connection reader
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader=reader, writer=writer)
+        self._connections.add(conn)
+        self.stats.connections_accepted += 1
+        try:
+            await self._read_loop(conn)
+        except (FrameCorrupt, FrameTooLarge, WireVersionError):
+            self.stats.connections_dropped += 1
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            self.stats.connections_dropped += 1
+        finally:
+            await self._close_connection(conn)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        injector = getattr(self.service, "fault_injector", None)
+        while not conn.closed:
+            frame = await read_frame(conn.reader, self.options.max_frame_bytes)
+            if frame is None:
+                return
+            if injector is not None:
+                fate = injector.net_frame("read")
+                if fate is not None:
+                    self.stats.faults_injected += 1
+                    if fate[0] == "conn_drop":
+                        self.stats.connections_dropped += 1
+                        return
+                    if fate[0] == "slow_client":
+                        await asyncio.sleep(fate[1])
+            self.stats.requests_received += 1
+            req_id = frame.get("id")
+            if not isinstance(req_id, int) or frame.get("kind") != "request":
+                await self._send_error(
+                    conn,
+                    req_id if isinstance(req_id, int) else -1,
+                    ErrorResponse(
+                        error="BadEnvelope",
+                        message="frames must carry an integer 'id' and kind='request'",
+                    ),
+                )
+                continue
+            if self._draining:
+                self.stats.shutdown_rejections += 1
+                await self._send_error(
+                    conn,
+                    req_id,
+                    ErrorResponse(error=SHUTTING_DOWN_ERROR, message="server is draining"),
+                )
+                continue
+            if self._inflight >= self.options.max_inflight:
+                # Past high-water: reject this request and pause the reader
+                # until the dispatcher drains back below low-water.
+                self.stats.busy_rejections += 1
+                await self._send_error(
+                    conn,
+                    req_id,
+                    ErrorResponse(
+                        error=BUSY_ERROR,
+                        message=(
+                            f"inflight limit {self.options.max_inflight} reached; "
+                            "retry after a backoff"
+                        ),
+                    ),
+                )
+                self.stats.reader_pauses += 1
+                self._resume.clear()
+                await self._resume.wait()
+                continue
+            try:
+                request = request_from_wire(frame.get("payload") or {}, group=self._group)
+            except Exception as exc:
+                await self._send_error(conn, req_id, ErrorResponse.from_exception(exc))
+                continue
+            self._inflight += 1
+            await self._queue.put(_Pending(conn=conn, req_id=req_id, request=request))
+
+    # ------------------------------------------------------------------
+    # Dispatcher: the only path into service.handle
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if self._leftover is not None:
+                item, self._leftover = self._leftover, None
+            else:
+                item = await self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch = [item]
+            if isinstance(item.request, IngestBatch) and self.options.batch_max > 1:
+                batch.extend(await self._coalesce_ingest())
+            await self._execute(batch)
+
+    async def _coalesce_ingest(self) -> list:
+        """Pull consecutive queued ``IngestBatch`` requests into this tick.
+
+        When the queue is empty, wait one ``batch_window_ms`` beat first so a
+        burst arriving "together" (an open-loop pulse) shares a single store
+        pass instead of paying one pass per request.
+        """
+        members: list = []
+        if self._queue.empty() and self.options.batch_window_ms > 0:
+            await asyncio.sleep(self.options.batch_window_ms / 1000.0)
+        while len(members) + 1 < self.options.batch_max:
+            try:
+                nxt = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if nxt is _SENTINEL or not isinstance(nxt.request, IngestBatch):
+                self._leftover = nxt  # processed right after this batch
+                break
+            members.append(nxt)
+        return members
+
+    async def _execute(self, batch: list) -> None:
+        if len(batch) == 1:
+            request = batch[0].request
+        else:
+            # One merged store pass; every member shares the tick's report.
+            self.stats.requests_coalesced += len(batch) - 1
+            updates = tuple(u for member in batch for u in member.request.updates)
+            request = IngestBatch(
+                updates=updates,
+                evaluate=any(member.request.evaluate for member in batch),
+                at=batch[-1].request.at,
+            )
+        self.stats.batches_executed += 1
+        loop = asyncio.get_running_loop()
+        try:
+            response = await loop.run_in_executor(self._executor, self.service.handle, request)
+            payload = response_to_wire(response)
+            is_error = False
+        except Exception as exc:  # noqa: BLE001 - mapped to a structured frame
+            payload = ErrorResponse.from_exception(exc).to_wire()
+            is_error = True
+        for member in batch:
+            self._inflight -= 1
+            if is_error:
+                self.stats.errors_returned += 1
+            await self._send(
+                member.conn, {"id": member.req_id, "kind": "response", "payload": payload}
+            )
+        if self._inflight <= self.options.resolved_low_water:
+            self._resume.set()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    async def _send_error(self, conn: _Connection, req_id: int, error: ErrorResponse) -> None:
+        self.stats.errors_returned += 1
+        await self._send(conn, {"id": req_id, "kind": "response", "payload": error.to_wire()})
+
+    async def _send(self, conn: _Connection, envelope: dict) -> None:
+        if conn.closed:
+            return
+        data = encode_frame(envelope, self.wire_format)
+        injector = getattr(self.service, "fault_injector", None)
+        if injector is not None:
+            fate = injector.net_frame("write")
+            if fate is not None:
+                self.stats.faults_injected += 1
+                if fate[0] == "conn_drop":
+                    await self._close_connection(conn)
+                    self.stats.connections_dropped += 1
+                    return
+                if fate[0] == "frame_corrupt":
+                    # Flip a byte run in the body; the client's CRC check
+                    # rejects the frame and treats the connection as lost.
+                    at = len(data) // 2
+                    data = data[:at] + bytes(b ^ 0xA5 for b in data[at : at + 4]) + data[at + 4 :]
+                elif fate[0] == "slow_client":
+                    await asyncio.sleep(fate[1])
+        try:
+            async with conn.write_lock:
+                conn.writer.write(data)
+                await conn.writer.drain()
+            self.stats.responses_sent += 1
+        except (ConnectionError, OSError):
+            await self._close_connection(conn)
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._connections.discard(conn)
+        with contextlib.suppress(ConnectionError, OSError):
+            conn.writer.close()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(conn.writer.wait_closed(), timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def describe(self) -> dict:
+        """One JSON-compatible status blob (CLI banner, tests)."""
+        return {
+            "host": self.options.host,
+            "port": self.port,
+            "wire_format": self.wire_format,
+            "max_inflight": self.options.max_inflight,
+            "low_water": self.options.resolved_low_water,
+            "batch_max": self.options.batch_max,
+            "stats": self.stats.snapshot(),
+            "time": time.time(),
+        }

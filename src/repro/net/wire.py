@@ -1,0 +1,207 @@
+"""Length-prefixed, checksummed frames for the network service tier.
+
+Every message on the wire -- request or response -- is one *frame*:
+
+.. code-block:: text
+
+    +--------+---------+-------+----------+---------+===========+
+    | magic  | version | flags | length   | crc32   | body      |
+    | 2B  BE | 1B      | 1B    | 4B  BE   | 4B  BE  | length B  |
+    +--------+---------+-------+----------+---------+===========+
+
+``magic`` is ``0x5245`` (``"RE"``), ``version`` is :data:`WIRE_VERSION`,
+``flags`` bit 0 (:data:`FLAG_MSGPACK`) selects the body codec: JSON (the
+stdlib default, always available) or msgpack (used only when the optional
+``msgpack`` package is importable -- it is **not** vendored, so "auto"
+degrades to JSON on a bare interpreter).  ``crc32`` covers the body, so a
+mangled frame is rejected deterministically instead of being parsed into
+garbage, and ``length`` is bounded by the receiver's ``max_frame_bytes`` so
+one bad peer cannot balloon memory.
+
+The payloads themselves are the wire forms of
+:mod:`repro.service.requests` (``to_wire``/``from_wire``) wrapped in an
+envelope carrying the pipelining request id::
+
+    {"id": 17, "kind": "request", "payload": {...}}
+    {"id": 17, "kind": "response", "payload": {...}}
+
+The same payload shapes are what the PR 6 request journal stores -- a
+journaled request and a framed request are byte-for-byte identical JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import zlib
+from typing import Optional, Tuple
+
+try:  # optional accelerator; never a hard dependency
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - exercised implicitly on bare images
+    msgpack = None
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "FLAG_MSGPACK",
+    "HEADER",
+    "HEADER_SIZE",
+    "WireError",
+    "FrameCorrupt",
+    "FrameTooLarge",
+    "WireVersionError",
+    "msgpack_available",
+    "resolve_wire_format",
+    "encode_frame",
+    "decode_frame",
+    "split_frame",
+    "read_frame",
+    "write_frame",
+]
+
+WIRE_MAGIC = 0x5245  # "RE"
+WIRE_VERSION = 1
+FLAG_MSGPACK = 0x01
+
+HEADER = struct.Struct(">HBBII")  # magic, version, flags, body length, body crc32
+HEADER_SIZE = HEADER.size
+
+
+class WireError(Exception):
+    """Base class for framing violations; the connection is unusable after one."""
+
+
+class FrameCorrupt(WireError):
+    """Bad magic, failed CRC, or an undecodable body."""
+
+
+class FrameTooLarge(WireError):
+    """Declared body length exceeds the receiver's ``max_frame_bytes``."""
+
+
+class WireVersionError(WireError):
+    """Peer speaks a frame version this codec does not."""
+
+
+def msgpack_available() -> bool:
+    return msgpack is not None
+
+
+def resolve_wire_format(preference: str) -> str:
+    """Map a ``NetOptions.wire_format`` preference to the codec actually used.
+
+    ``"auto"`` means msgpack when importable, JSON otherwise; asking for
+    ``"msgpack"`` explicitly on an image without it is an error (silent
+    fallback would hide a misconfiguration).
+    """
+    if preference == "auto":
+        return "msgpack" if msgpack_available() else "json"
+    if preference == "msgpack" and not msgpack_available():
+        raise WireError("wire_format='msgpack' requested but msgpack is not importable")
+    if preference not in ("json", "msgpack"):
+        raise WireError(f"unknown wire format {preference!r}")
+    return preference
+
+
+def _encode_body(payload: dict, fmt: str) -> Tuple[bytes, int]:
+    if fmt == "msgpack":
+        return msgpack.packb(payload, use_bin_type=True), FLAG_MSGPACK
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8"), 0
+
+
+def _decode_body(body: bytes, flags: int) -> dict:
+    if flags & FLAG_MSGPACK:
+        if msgpack is None:
+            raise WireError("received a msgpack frame but msgpack is not importable")
+        decoded = msgpack.unpackb(body, raw=False)
+    else:
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise FrameCorrupt(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise FrameCorrupt(f"frame body must decode to an object, got {type(decoded).__name__}")
+    return decoded
+
+
+def encode_frame(payload: dict, fmt: str = "json") -> bytes:
+    """One complete frame (header + body) for ``payload``."""
+    body, flags = _encode_body(payload, fmt)
+    header = HEADER.pack(WIRE_MAGIC, WIRE_VERSION, flags, len(body), zlib.crc32(body))
+    return header + body
+
+
+def _check_header(data: bytes, max_frame_bytes: Optional[int]) -> Tuple[int, int, int]:
+    magic, version, flags, length, crc = HEADER.unpack(data[:HEADER_SIZE])
+    if magic != WIRE_MAGIC:
+        raise FrameCorrupt(f"bad frame magic 0x{magic:04x} (expected 0x{WIRE_MAGIC:04x})")
+    if version != WIRE_VERSION:
+        raise WireVersionError(f"unsupported wire version {version} (speaking {WIRE_VERSION})")
+    if max_frame_bytes is not None and length > max_frame_bytes:
+        raise FrameTooLarge(f"declared body of {length} bytes exceeds limit {max_frame_bytes}")
+    return flags, length, crc
+
+
+def decode_frame(data: bytes, max_frame_bytes: Optional[int] = None) -> dict:
+    """Decode one complete frame; raises :class:`WireError` subclasses on damage."""
+    if len(data) < HEADER_SIZE:
+        raise FrameCorrupt(f"frame shorter than its {HEADER_SIZE}-byte header")
+    flags, length, crc = _check_header(data, max_frame_bytes)
+    body = data[HEADER_SIZE : HEADER_SIZE + length]
+    if len(body) != length:
+        raise FrameCorrupt(f"truncated frame: header declares {length} bytes, got {len(body)}")
+    if zlib.crc32(body) != crc:
+        raise FrameCorrupt("frame body failed its CRC32 check")
+    return _decode_body(body, flags)
+
+
+def split_frame(buffer: bytes, max_frame_bytes: Optional[int] = None) -> Optional[Tuple[dict, bytes]]:
+    """Try to peel one frame off a byte buffer: ``(payload, rest)`` or None.
+
+    The synchronous streaming entry point (the asyncio paths use
+    :func:`read_frame`): returns None while the buffer holds less than one
+    complete frame, so callers can loop ``recv -> split`` without tracking
+    partial-header state themselves.
+    """
+    if len(buffer) < HEADER_SIZE:
+        return None
+    flags, length, crc = _check_header(buffer, max_frame_bytes)
+    end = HEADER_SIZE + length
+    if len(buffer) < end:
+        return None
+    body = buffer[HEADER_SIZE:end]
+    if zlib.crc32(body) != crc:
+        raise FrameCorrupt("frame body failed its CRC32 check")
+    return _decode_body(body, flags), buffer[end:]
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: Optional[int] = None
+) -> Optional[dict]:
+    """Read exactly one frame from ``reader``; None on clean EOF at a boundary.
+
+    EOF *inside* a frame (header or body cut short) is a :class:`FrameCorrupt`
+    -- the peer died mid-send and the tail cannot be trusted.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise FrameCorrupt("connection closed mid-header") from exc
+    flags, length, crc = _check_header(header, max_frame_bytes)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameCorrupt("connection closed mid-body") from exc
+    if zlib.crc32(body) != crc:
+        raise FrameCorrupt("frame body failed its CRC32 check")
+    return _decode_body(body, flags)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict, fmt: str = "json") -> None:
+    """Encode and send one frame, honouring the transport's write backpressure."""
+    writer.write(encode_frame(payload, fmt))
+    await writer.drain()

@@ -44,6 +44,27 @@ class LocationUpdate:
         if self.sequence_number < 0:
             raise ValueError("sequence_number must be non-negative")
 
+    def to_wire(self) -> dict:
+        """JSON-compatible form; the ciphertext uses the crypto wire encoding."""
+        from repro.crypto.serialization import serialize_ciphertext
+
+        return {
+            "user_id": self.user_id,
+            "sequence_number": self.sequence_number,
+            "ciphertext": serialize_ciphertext(self.ciphertext),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, group) -> "LocationUpdate":
+        """Rebuild from :meth:`to_wire`; ``group`` anchors the ciphertext."""
+        from repro.crypto.serialization import deserialize_ciphertext
+
+        return cls(
+            user_id=payload["user_id"],
+            ciphertext=deserialize_ciphertext(group, payload["ciphertext"]),
+            sequence_number=int(payload["sequence_number"]),
+        )
+
 
 @dataclass(frozen=True)
 class AlertDeclaration:
@@ -89,3 +110,19 @@ class Notification:
     user_id: str
     alert_id: str
     description: str = ""
+
+    def to_wire(self) -> dict:
+        """JSON-compatible form (no secret material: ids and label only)."""
+        return {
+            "user_id": self.user_id,
+            "alert_id": self.alert_id,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Notification":
+        return cls(
+            user_id=payload["user_id"],
+            alert_id=payload["alert_id"],
+            description=payload.get("description", ""),
+        )

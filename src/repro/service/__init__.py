@@ -12,7 +12,7 @@ The legacy front doors (:class:`~repro.core.pipeline.SecureAlertPipeline`,
 over this package.
 """
 
-from repro.service.config import ServiceConfig, ServiceConfigBuilder
+from repro.service.config import NetOptions, ServiceConfig, ServiceConfigBuilder
 from repro.service.dispatch import AffinityDispatcher, WorkerLane
 from repro.service.executor import PersistentExecutorPool
 from repro.service.faults import ChaosSoakOutcome, FaultInjector, FaultPlan, run_chaos_soak
@@ -24,6 +24,7 @@ from repro.service.resilience import (
     TaskDeadlineExceeded,
 )
 from repro.service.requests import (
+    ErrorResponse,
     EvaluateStanding,
     IngestBatch,
     IngestReceipt,
@@ -36,12 +37,18 @@ from repro.service.requests import (
     RetractReceipt,
     RetractZone,
     Subscribe,
+    UnknownRequestError,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
 )
 from repro.service.service import AlertService, SessionStats, StandingZone
 
 __all__ = [
     "AlertService",
     "AffinityDispatcher",
+    "NetOptions",
     "ServiceConfig",
     "ServiceConfigBuilder",
     "PersistentExecutorPool",
@@ -60,6 +67,12 @@ __all__ = [
     "MatchReport",
     "RequestMetrics",
     "Notification",
+    "ErrorResponse",
+    "UnknownRequestError",
+    "request_to_wire",
+    "request_from_wire",
+    "response_to_wire",
+    "response_from_wire",
     "ResiliencePolicy",
     "ResilienceRuntime",
     "TaskDeadlineExceeded",

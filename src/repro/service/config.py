@@ -30,12 +30,83 @@ from repro.protocol.matching import (
     MatchingOptions,
 )
 
-__all__ = ["ServiceConfig", "ServiceConfigBuilder"]
+__all__ = ["NetOptions", "ServiceConfig", "ServiceConfigBuilder"]
 
 
 def _require_choice(value: str, choices: tuple[str, ...], what: str) -> None:
     if value not in choices:
         raise ValueError(f"unknown {what} {value!r}; expected one of {sorted(choices)}")
+
+
+#: Wire formats the network tier accepts (``auto`` prefers msgpack when the
+#: optional dependency is importable, falling back to stdlib JSON).
+WIRE_FORMATS = ("auto", "json", "msgpack")
+
+
+@dataclass(frozen=True)
+class NetOptions:
+    """The network tier's knobs: address, backpressure, batching, framing.
+
+    host / port:
+        Listen address of :class:`~repro.net.server.AlertServiceServer`;
+        ``port=0`` binds an ephemeral port (the bound port is reported by
+        ``server.port``).
+    max_inflight:
+        High-water mark on requests admitted but not yet answered (queued +
+        executing, across all connections).  A request arriving at the mark
+        is answered with a ``BUSY`` frame immediately and the offending
+        connection's reader is paused until the backlog drains below
+        ``low_water`` -- explicit backpressure instead of unbounded queueing.
+    low_water:
+        Resume-reading threshold; defaults to ``max_inflight // 2``.
+    batch_max / batch_window_ms:
+        Ingest coalescing per tick: consecutive queued :class:`IngestBatch`
+        requests are merged (up to ``batch_max`` of them, waiting at most
+        ``batch_window_ms`` for stragglers) into one store pass; every member
+        receives the tick's shared :class:`MatchReport`.
+    max_frame_bytes:
+        Reject frames larger than this before allocating their body.
+    wire_format:
+        ``"auto"`` | ``"json"`` | ``"msgpack"`` -- ``auto`` uses msgpack when
+        importable, else the stdlib JSON fallback.
+    drain_timeout_seconds:
+        Graceful-shutdown budget: how long ``stop()`` waits for the inflight
+        queue to drain before closing connections anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7425
+    max_inflight: int = 256
+    low_water: Optional[int] = None
+    batch_max: int = 64
+    batch_window_ms: float = 2.0
+    max_frame_bytes: int = 8 << 20
+    wire_format: str = "auto"
+    drain_timeout_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535] (0 binds an ephemeral port)")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.low_water is not None and not 0 <= self.low_water < self.max_inflight:
+            raise ValueError("low_water must satisfy 0 <= low_water < max_inflight (or None)")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
+        if self.max_frame_bytes < 1024:
+            raise ValueError("max_frame_bytes must be at least 1024")
+        _require_choice(self.wire_format, WIRE_FORMATS, "wire format")
+        if self.drain_timeout_seconds < 0:
+            raise ValueError("drain_timeout_seconds must be non-negative")
+
+    @property
+    def resolved_low_water(self) -> int:
+        """The effective resume threshold (default: half the high water)."""
+        return self.low_water if self.low_water is not None else self.max_inflight // 2
 
 
 @dataclass(frozen=True)
@@ -118,6 +189,16 @@ class ServiceConfig:
         :meth:`~repro.service.service.AlertService.restore` replays entries
         newer than the restored snapshot, and a snapshot written to a file
         checkpoints (truncates) the journal behind itself.
+
+    Network tier
+    ------------
+    net:
+        The validated :class:`NetOptions` block consumed by
+        :class:`~repro.net.server.AlertServiceServer` and the ``repro serve``
+        CLI: listen address, inflight high/low water (backpressure), ingest
+        coalescing, frame limits and wire format.  ``None`` (default) means
+        the session is not network-facing; a plain dict of NetOptions fields
+        is accepted and normalised.
     """
 
     scheme: str = "huffman"
@@ -148,8 +229,17 @@ class ServiceConfig:
     faults: Optional[str] = None
     fault_seed: int = 0
     journal_path: Optional[str] = None
+    net: Optional[NetOptions] = None
 
     def __post_init__(self) -> None:
+        # The net block accepts a plain dict (handy for JSON-borne configs)
+        # and normalises it through NetOptions' own validators.
+        if isinstance(self.net, dict):
+            object.__setattr__(self, "net", NetOptions(**self.net))
+        if self.net is not None and not isinstance(self.net, NetOptions):
+            raise ValueError(
+                f"net must be a NetOptions (or a dict of its fields), got {type(self.net).__name__}"
+            )
         # canonical_scheme_name raises a ValueError listing every recognised
         # scheme; store the normalised form so equal configs compare equal.
         object.__setattr__(self, "scheme", canonical_scheme_name(self.scheme))
@@ -384,6 +474,14 @@ class ServiceConfigBuilder:
     def with_faults(self, faults: Any = _UNSET, fault_seed: Any = _UNSET) -> "ServiceConfigBuilder":
         """Configure fault injection for a reproducible chaos run."""
         return self._set(faults=faults, fault_seed=fault_seed)
+
+    def with_net(self, options: Any = _UNSET, **fields: Any) -> "ServiceConfigBuilder":
+        """Configure the network tier: pass a :class:`NetOptions` or its fields."""
+        if options is not self._UNSET and fields:
+            raise ValueError("pass either a NetOptions instance or keyword fields, not both")
+        if options is self._UNSET:
+            options = NetOptions(**fields)
+        return self._set(net=options)
 
     def build(self) -> ServiceConfig:
         """Validate and produce the config (raises ``ValueError`` on bad values)."""

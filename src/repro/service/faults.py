@@ -27,6 +27,17 @@ fault                    injection site
                          :meth:`AlertService.snapshot` -- the write "crashes"
                          after emitting half the payload (a budgeted count,
                          not a probability)
+``conn_drop``            the network tier's per-frame read/write paths
+                         (:class:`~repro.net.server.AlertServiceServer`) --
+                         the connection is aborted mid-exchange, forcing the
+                         client through its reconnect + retry path
+``frame_corrupt``        the server's write path -- bytes of an outgoing
+                         frame are flipped after encoding, so the client's
+                         CRC check rejects it and treats the connection as
+                         lost
+``slow_client``          both network paths -- the exchange is delayed by
+                         ``slow_client_seconds``, modelling a slow consumer
+                         without changing any outcome
 =======================  =====================================================
 
 Every stream is seeded per site, so a plan replays bit-identically: the same
@@ -100,27 +111,38 @@ class FaultPlan:
     corrupt_spool: float = 0.0
     truncate_spool: float = 0.0
     torn_snapshots: int = 0
+    conn_drop: float = 0.0
+    frame_corrupt: float = 0.0
+    slow_client: float = 0.0
     hang_seconds: float = 15.0
     delay_seconds: float = 0.02
+    slow_client_seconds: float = 0.05
     seed: int = 0
 
+    _PROBABILITIES = (
+        "kill",
+        "hang",
+        "delay",
+        "drop_ack",
+        "corrupt_ack",
+        "corrupt_spool",
+        "truncate_spool",
+        "conn_drop",
+        "frame_corrupt",
+        "slow_client",
+    )
+
     def __post_init__(self) -> None:
-        for name in (
-            "kill",
-            "hang",
-            "delay",
-            "drop_ack",
-            "corrupt_ack",
-            "corrupt_spool",
-            "truncate_spool",
-        ):
+        for name in self._PROBABILITIES:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
         if self.torn_snapshots < 0:
             raise ValueError("torn_snapshots must be non-negative")
-        if self.hang_seconds < 0 or self.delay_seconds < 0:
-            raise ValueError("hang_seconds/delay_seconds must be non-negative")
+        if self.hang_seconds < 0 or self.delay_seconds < 0 or self.slow_client_seconds < 0:
+            raise ValueError(
+                "hang_seconds/delay_seconds/slow_client_seconds must be non-negative"
+            )
 
     @classmethod
     def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
@@ -161,18 +183,7 @@ class FaultPlan:
     def any_active(self) -> bool:
         """True when the plan can fire at least one fault."""
         return (
-            any(
-                getattr(self, name) > 0
-                for name in (
-                    "kill",
-                    "hang",
-                    "delay",
-                    "drop_ack",
-                    "corrupt_ack",
-                    "corrupt_spool",
-                    "truncate_spool",
-                )
-            )
+            any(getattr(self, name) > 0 for name in self._PROBABILITIES)
             or self.torn_snapshots > 0
         )
 
@@ -187,7 +198,7 @@ class FaultInjector:
     ``counts`` records what actually fired, for assertions and CLI reports.
     """
 
-    _SITES = ("lane", "ack", "spool", "snapshot")
+    _SITES = ("lane", "ack", "spool", "snapshot", "net")
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
@@ -298,6 +309,36 @@ class FaultInjector:
         spool.write_bytes(blob)
         self.counts[fault] += 1
         return fault
+
+    # ------------------------------------------------------------------
+    # Network frames (AlertServiceServer read/write paths)
+    # ------------------------------------------------------------------
+    def net_frame(self, direction: str) -> Optional[Tuple]:
+        """Decide the fate of one frame exchange on ``direction`` ("read"/"write").
+
+        Returns None (deliver normally), ``("conn_drop",)`` (abort the
+        connection), ``("frame_corrupt",)`` (flip bytes of the encoded frame
+        -- write path only; the server skips it on reads), or
+        ``("slow_client", seconds)`` (delay the exchange).  Like every other
+        site this draws from its own seeded stream, so the same plan fires
+        the same network faults at the same frames of the same workload.
+        """
+        rng = self._rngs["net"]
+        roll = rng.random()
+        if roll < self.plan.conn_drop:
+            self.counts["conn_drop"] += 1
+            return ("conn_drop",)
+        roll -= self.plan.conn_drop
+        if roll < self.plan.frame_corrupt:
+            if direction == "write":
+                self.counts["frame_corrupt"] += 1
+                return ("frame_corrupt",)
+            return None
+        roll -= self.plan.frame_corrupt
+        if roll < self.plan.slow_client:
+            self.counts["slow_client"] += 1
+            return ("slow_client", self.plan.slow_client_seconds)
+        return None
 
     # ------------------------------------------------------------------
     # Snapshots (CiphertextStore.save, AlertService.snapshot)

@@ -30,20 +30,8 @@ import os
 import pathlib
 from typing import Optional
 
-from repro.crypto.serialization import deserialize_ciphertext, serialize_ciphertext
 from repro.durability import atomic_write_text, checksum_text
-from repro.grid.alert_zone import AlertZone
-from repro.grid.geometry import Point
-from repro.protocol.messages import LocationUpdate
-from repro.service.requests import (
-    EvaluateStanding,
-    IngestBatch,
-    Move,
-    PublishZone,
-    Request,
-    RetractZone,
-    Subscribe,
-)
+from repro.service.requests import Request, request_from_wire, request_to_wire
 
 __all__ = ["RequestJournal", "request_to_payload", "request_from_payload"]
 
@@ -51,57 +39,13 @@ __all__ = ["RequestJournal", "request_to_payload", "request_from_payload"]
 # ----------------------------------------------------------------------
 # Request (de)serialization
 # ----------------------------------------------------------------------
-def _point(point: Optional[Point]) -> Optional[list[float]]:
-    return None if point is None else [point.x, point.y]
-
-
+# The journal entry format *is* the request wire form (the dataclasses'
+# ``to_wire``/``from_wire`` -- the same payloads the network codec frames),
+# so a journaled request and a framed request are byte-for-byte identical.
+# These aliases keep the journal's historical entry-point names.
 def request_to_payload(request: Request) -> dict:
     """JSON-compatible form of one mutating service request."""
-    if isinstance(request, Subscribe):
-        return {
-            "type": "subscribe",
-            "user_id": request.user_id,
-            "location": _point(request.location),
-            "at": request.at,
-        }
-    if isinstance(request, Move):
-        return {
-            "type": "move",
-            "user_id": request.user_id,
-            "location": _point(request.location),
-            "at": request.at,
-        }
-    if isinstance(request, PublishZone):
-        return {
-            "type": "publish_zone",
-            "alert_id": request.alert_id,
-            "cells": list(request.zone.cell_ids) if request.zone is not None else None,
-            "epicenter": _point(request.epicenter),
-            "radius": request.radius,
-            "description": request.description,
-            "standing": request.standing,
-            "evaluate": request.evaluate,
-            "at": request.at,
-        }
-    if isinstance(request, RetractZone):
-        return {"type": "retract_zone", "alert_id": request.alert_id, "at": request.at}
-    if isinstance(request, EvaluateStanding):
-        return {"type": "evaluate_standing", "at": request.at}
-    if isinstance(request, IngestBatch):
-        return {
-            "type": "ingest_batch",
-            "updates": [
-                {
-                    "user_id": update.user_id,
-                    "sequence_number": update.sequence_number,
-                    "ciphertext": serialize_ciphertext(update.ciphertext),
-                }
-                for update in request.updates
-            ],
-            "evaluate": request.evaluate,
-            "at": request.at,
-        }
-    raise TypeError(f"cannot journal request type {type(request).__name__}")
+    return request_to_wire(request)
 
 
 def request_from_payload(payload: dict, group) -> Request:
@@ -110,49 +54,7 @@ def request_from_payload(payload: dict, group) -> Request:
     ``group`` (the deployment's :class:`~repro.crypto.group.BilinearGroup`)
     is only needed for ``ingest_batch`` ciphertexts.
     """
-    kind = payload.get("type")
-    if kind == "subscribe":
-        return Subscribe(
-            user_id=payload["user_id"],
-            location=Point(*payload["location"]),
-            at=payload.get("at"),
-        )
-    if kind == "move":
-        return Move(
-            user_id=payload["user_id"],
-            location=Point(*payload["location"]),
-            at=payload.get("at"),
-        )
-    if kind == "publish_zone":
-        cells = payload.get("cells")
-        epicenter = payload.get("epicenter")
-        return PublishZone(
-            alert_id=payload["alert_id"],
-            zone=AlertZone(cell_ids=tuple(cells)) if cells is not None else None,
-            epicenter=Point(*epicenter) if epicenter is not None else None,
-            radius=payload.get("radius"),
-            description=payload.get("description", ""),
-            standing=payload.get("standing", True),
-            evaluate=payload.get("evaluate", True),
-            at=payload.get("at"),
-        )
-    if kind == "retract_zone":
-        return RetractZone(alert_id=payload["alert_id"], at=payload.get("at"))
-    if kind == "evaluate_standing":
-        return EvaluateStanding(at=payload.get("at"))
-    if kind == "ingest_batch":
-        updates = tuple(
-            LocationUpdate(
-                user_id=entry["user_id"],
-                ciphertext=deserialize_ciphertext(group, entry["ciphertext"]),
-                sequence_number=int(entry["sequence_number"]),
-            )
-            for entry in payload["updates"]
-        )
-        return IngestBatch(
-            updates=updates, evaluate=payload.get("evaluate", True), at=payload.get("at")
-        )
-    raise ValueError(f"unknown journaled request type {kind!r}")
+    return request_from_wire(payload, group=group)
 
 
 # ----------------------------------------------------------------------

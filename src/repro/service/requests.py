@@ -28,12 +28,28 @@ Responses
   session-health facts (plan reuse, pool re-prime) the observer metrics also
   carry.
 * :class:`RetractReceipt` -- whether the retracted zone existed.
+* :class:`ErrorResponse` -- the structured failure form the network tier
+  returns instead of dropping a connection.
 * :class:`RequestMetrics` -- the per-request record handed to observer hooks.
+
+Wire forms
+----------
+Every dataclass here carries ``to_wire()`` / ``from_wire()``: a stable,
+JSON-compatible dict representation.  These are the substrate of the network
+codec (:mod:`repro.net.wire`), the write-ahead journal
+(:mod:`repro.service.journal`) and snapshots -- the shapes are shared, so a
+journaled request and a framed request are byte-for-byte the same payload.
+Client-side requests carry plaintext coordinates (the service re-encrypts, as
+the live request path does); :class:`IngestBatch` carries ciphertext wire
+forms and therefore needs the deployment's group to deserialize.  The
+module-level :func:`request_to_wire` / :func:`request_from_wire` and
+:func:`response_to_wire` / :func:`response_from_wire` dispatch on the
+``"type"`` tag.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional, Union
 
 from repro.grid.alert_zone import AlertZone
@@ -51,9 +67,44 @@ __all__ = [
     "IngestReceipt",
     "RetractReceipt",
     "MatchReport",
+    "ErrorResponse",
     "RequestMetrics",
     "Notification",
+    "UnknownRequestError",
+    "REQUEST_WIRE_TYPES",
+    "RESPONSE_WIRE_TYPES",
+    "request_to_wire",
+    "request_from_wire",
+    "response_to_wire",
+    "response_from_wire",
 ]
+
+
+class UnknownRequestError(TypeError, ValueError):
+    """Raised for an unrecognised request -- wrong Python type or wire tag.
+
+    Subclasses both :class:`TypeError` (what :meth:`AlertService.handle`
+    historically raised for a foreign object) and :class:`ValueError` (what
+    the journal raised for an unknown payload tag) so existing callers keep
+    working, and carries the offending name plus the full list of recognised
+    request types -- the network tier forwards both in its
+    :class:`ErrorResponse` so a remote client learns what *would* have worked.
+    """
+
+    def __init__(self, received: str, expected: tuple[str, ...] = ()):
+        self.received = received
+        self.expected = tuple(expected)
+        super().__init__(
+            f"unsupported request type {received}; expected one of {sorted(self.expected)}"
+        )
+
+
+def _point_to_wire(point: Optional[Point]) -> Optional[list]:
+    return None if point is None else [point.x, point.y]
+
+
+def _point_from_wire(value) -> Optional[Point]:
+    return None if value is None else Point(*value)
 
 
 # ----------------------------------------------------------------------
@@ -75,6 +126,22 @@ class Subscribe:
         if not self.user_id:
             raise ValueError("user_id must be non-empty")
 
+    def to_wire(self) -> dict:
+        return {
+            "type": "subscribe",
+            "user_id": self.user_id,
+            "location": _point_to_wire(self.location),
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "Subscribe":
+        return cls(
+            user_id=payload["user_id"],
+            location=_point_from_wire(payload["location"]),
+            at=payload.get("at"),
+        )
+
 
 @dataclass(frozen=True)
 class Move:
@@ -87,6 +154,22 @@ class Move:
     def __post_init__(self) -> None:
         if not self.user_id:
             raise ValueError("user_id must be non-empty")
+
+    def to_wire(self) -> dict:
+        return {
+            "type": "move",
+            "user_id": self.user_id,
+            "location": _point_to_wire(self.location),
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "Move":
+        return cls(
+            user_id=payload["user_id"],
+            location=_point_from_wire(payload["location"]),
+            at=payload.get("at"),
+        )
 
 
 @dataclass(frozen=True)
@@ -122,6 +205,33 @@ class PublishZone:
             if self.radius <= 0:
                 raise ValueError("radius must be positive")
 
+    def to_wire(self) -> dict:
+        return {
+            "type": "publish_zone",
+            "alert_id": self.alert_id,
+            "cells": list(self.zone.cell_ids) if self.zone is not None else None,
+            "epicenter": _point_to_wire(self.epicenter),
+            "radius": self.radius,
+            "description": self.description,
+            "standing": self.standing,
+            "evaluate": self.evaluate,
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "PublishZone":
+        cells = payload.get("cells")
+        return cls(
+            alert_id=payload["alert_id"],
+            zone=AlertZone(cell_ids=tuple(cells)) if cells is not None else None,
+            epicenter=_point_from_wire(payload.get("epicenter")),
+            radius=payload.get("radius"),
+            description=payload.get("description", ""),
+            standing=payload.get("standing", True),
+            evaluate=payload.get("evaluate", True),
+            at=payload.get("at"),
+        )
+
 
 @dataclass(frozen=True)
 class RetractZone:
@@ -133,6 +243,13 @@ class RetractZone:
     def __post_init__(self) -> None:
         if not self.alert_id:
             raise ValueError("alert_id must be non-empty")
+
+    def to_wire(self) -> dict:
+        return {"type": "retract_zone", "alert_id": self.alert_id, "at": self.at}
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "RetractZone":
+        return cls(alert_id=payload["alert_id"], at=payload.get("at"))
 
 
 @dataclass(frozen=True)
@@ -152,12 +269,37 @@ class IngestBatch:
         if not isinstance(self.updates, tuple):
             object.__setattr__(self, "updates", tuple(self.updates))
 
+    def to_wire(self) -> dict:
+        return {
+            "type": "ingest_batch",
+            "updates": [update.to_wire() for update in self.updates],
+            "evaluate": self.evaluate,
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "IngestBatch":
+        if group is None:
+            raise ValueError("deserializing an ingest_batch needs the deployment's group")
+        return cls(
+            updates=tuple(LocationUpdate.from_wire(entry, group) for entry in payload["updates"]),
+            evaluate=payload.get("evaluate", True),
+            at=payload.get("at"),
+        )
+
 
 @dataclass(frozen=True)
 class EvaluateStanding:
     """The periodic tick: re-match every standing zone against fresh reports."""
 
     at: Optional[float] = None
+
+    def to_wire(self) -> dict:
+        return {"type": "evaluate_standing", "at": self.at}
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "EvaluateStanding":
+        return cls(at=payload.get("at"))
 
 
 Request = Union[Subscribe, Move, PublishZone, RetractZone, IngestBatch, EvaluateStanding]
@@ -174,6 +316,22 @@ class IngestReceipt:
     sequence_number: int
     stored: bool
 
+    def to_wire(self) -> dict:
+        return {
+            "type": "ingest_receipt",
+            "user_id": self.user_id,
+            "sequence_number": self.sequence_number,
+            "stored": self.stored,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "IngestReceipt":
+        return cls(
+            user_id=payload["user_id"],
+            sequence_number=int(payload["sequence_number"]),
+            stored=bool(payload["stored"]),
+        )
+
 
 @dataclass(frozen=True)
 class RetractReceipt:
@@ -181,6 +339,13 @@ class RetractReceipt:
 
     alert_id: str
     existed: bool
+
+    def to_wire(self) -> dict:
+        return {"type": "retract_receipt", "alert_id": self.alert_id, "existed": self.existed}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "RetractReceipt":
+        return cls(alert_id=payload["alert_id"], existed=bool(payload["existed"]))
 
 
 @dataclass(frozen=True)
@@ -255,6 +420,34 @@ class MatchReport:
         """The notifications belonging to one alert of the pass."""
         return tuple(n for n in self.notifications if n.alert_id == alert_id)
 
+    _WIRE_SPECIAL = ("notifications", "alerts_evaluated")
+
+    def to_wire(self) -> dict:
+        # Scalar fields are enumerated so a new counter added to the report
+        # automatically rides the wire without touching this method.
+        payload: dict = {
+            "type": "match_report",
+            "notifications": [n.to_wire() for n in self.notifications],
+            "alerts_evaluated": list(self.alerts_evaluated),
+        }
+        for spec in fields(self):
+            if spec.name not in self._WIRE_SPECIAL:
+                payload[spec.name] = getattr(self, spec.name)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "MatchReport":
+        kwargs = {
+            spec.name: payload[spec.name]
+            for spec in fields(cls)
+            if spec.name not in cls._WIRE_SPECIAL and spec.name in payload
+        }
+        return cls(
+            notifications=tuple(Notification.from_wire(n) for n in payload["notifications"]),
+            alerts_evaluated=tuple(payload["alerts_evaluated"]),
+            **kwargs,
+        )
+
 
 @dataclass(frozen=True)
 class RequestMetrics:
@@ -287,3 +480,120 @@ class RequestMetrics:
     stale_resets: int = 0
     fused_evals: int = 0
     precomp_hits: int = 0
+
+    def to_wire(self) -> dict:
+        payload: dict = {"type": "request_metrics"}
+        for spec in fields(self):
+            payload[spec.name] = getattr(self, spec.name)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "RequestMetrics":
+        return cls(**{spec.name: payload[spec.name] for spec in fields(cls) if spec.name in payload})
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A structured failure: what the network tier returns instead of dying.
+
+    ``error`` is the exception type name, ``message`` its rendering, and
+    ``expected`` (for :class:`UnknownRequestError`) the request types the
+    service *does* recognise, so a remote client can self-correct.
+    """
+
+    error: str
+    message: str
+    expected: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.expected, tuple):
+            object.__setattr__(self, "expected", tuple(self.expected))
+
+    def to_wire(self) -> dict:
+        return {
+            "type": "error",
+            "error": self.error,
+            "message": self.message,
+            "expected": list(self.expected),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "ErrorResponse":
+        return cls(
+            error=payload["error"],
+            message=payload.get("message", ""),
+            expected=tuple(payload.get("expected", ())),
+        )
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorResponse":
+        return cls(
+            error=type(exc).__name__,
+            message=str(exc),
+            expected=tuple(getattr(exc, "expected", ())),
+        )
+
+
+# ----------------------------------------------------------------------
+# Wire dispatch
+# ----------------------------------------------------------------------
+#: ``"type"`` tag -> request class, the codec's and journal's shared registry.
+REQUEST_WIRE_TYPES: dict[str, type] = {
+    "subscribe": Subscribe,
+    "move": Move,
+    "publish_zone": PublishZone,
+    "retract_zone": RetractZone,
+    "ingest_batch": IngestBatch,
+    "evaluate_standing": EvaluateStanding,
+}
+
+#: ``"type"`` tag -> response class.
+RESPONSE_WIRE_TYPES: dict[str, type] = {
+    "ingest_receipt": IngestReceipt,
+    "retract_receipt": RetractReceipt,
+    "match_report": MatchReport,
+    "request_metrics": RequestMetrics,
+    "error": ErrorResponse,
+}
+
+
+def request_to_wire(request: Request) -> dict:
+    """The tagged wire payload of any typed request."""
+    to_wire = getattr(request, "to_wire", None)
+    if to_wire is None or type(request) not in REQUEST_WIRE_TYPES.values():
+        raise UnknownRequestError(type(request).__name__, tuple(REQUEST_WIRE_TYPES))
+    return to_wire()
+
+
+def request_from_wire(payload: dict, group=None) -> Request:
+    """Rebuild the request :func:`request_to_wire` serialized.
+
+    ``group`` (the deployment's :class:`~repro.crypto.group.BilinearGroup`)
+    is only needed for ``ingest_batch`` ciphertexts.
+    """
+    kind = payload.get("type")
+    request_cls = REQUEST_WIRE_TYPES.get(kind)
+    if request_cls is None:
+        raise UnknownRequestError(repr(kind), tuple(REQUEST_WIRE_TYPES))
+    return request_cls.from_wire(payload, group=group)
+
+
+def response_to_wire(response) -> dict:
+    """The tagged wire payload of any typed response."""
+    if type(response) not in RESPONSE_WIRE_TYPES.values():
+        raise TypeError(
+            f"unsupported response type {type(response).__name__}; "
+            f"expected one of {sorted(c.__name__ for c in RESPONSE_WIRE_TYPES.values())}"
+        )
+    return response.to_wire()
+
+
+def response_from_wire(payload: dict):
+    """Rebuild the response :func:`response_to_wire` serialized."""
+    kind = payload.get("type")
+    response_cls = RESPONSE_WIRE_TYPES.get(kind)
+    if response_cls is None:
+        raise ValueError(
+            f"unknown response type {kind!r}; expected one of {sorted(RESPONSE_WIRE_TYPES)}"
+        )
+    return response_cls.from_wire(payload)

@@ -72,6 +72,7 @@ from repro.service.requests import (
     RetractReceipt,
     RetractZone,
     Subscribe,
+    UnknownRequestError,
 )
 
 __all__ = ["AlertService", "SessionStats", "StandingZone"]
@@ -256,12 +257,17 @@ class AlertService:
     # Request dispatch
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
-        """Dispatch any typed request to its handler."""
+        """Dispatch any typed request to its handler.
+
+        Raises :class:`~repro.service.requests.UnknownRequestError` (a
+        :class:`TypeError` subclass carrying the recognised type names) for
+        anything that is not a typed request -- the network tier forwards the
+        list so remote clients learn what would have worked.
+        """
         handler = self._HANDLERS.get(type(request))
         if handler is None:
-            expected = sorted(t.__name__ for t in self._HANDLERS)
-            raise TypeError(
-                f"unsupported request type {type(request).__name__}; expected one of {expected}"
+            raise UnknownRequestError(
+                type(request).__name__, tuple(t.__name__ for t in self._HANDLERS)
             )
         return handler(self, request)
 

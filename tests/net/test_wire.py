@@ -1,0 +1,170 @@
+"""The frame codec: length-prefixed, versioned, checksummed, bounded.
+
+Pinned here:
+
+* encode/decode round-trips (including through a byte stream split at
+  arbitrary points -- the codec owns reassembly, callers just feed bytes);
+* every damage mode is a *typed* rejection: bad magic, wrong version,
+  failed CRC, truncated body, oversized declaration;
+* the async reader distinguishes clean EOF at a frame boundary (``None``)
+  from EOF mid-frame (:class:`FrameCorrupt`);
+* JSON is the always-available default; msgpack frames are only produced
+  when the optional package is importable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+
+import pytest
+
+from repro.net.wire import (
+    FLAG_MSGPACK,
+    HEADER,
+    HEADER_SIZE,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameCorrupt,
+    FrameTooLarge,
+    WireError,
+    WireVersionError,
+    decode_frame,
+    encode_frame,
+    msgpack_available,
+    read_frame,
+    resolve_wire_format,
+    split_frame,
+)
+
+PAYLOAD = {"id": 7, "kind": "request", "payload": {"type": "evaluate_standing", "at": None}}
+
+
+def test_encode_decode_round_trip():
+    frame = encode_frame(PAYLOAD, "json")
+    assert decode_frame(frame) == PAYLOAD
+
+
+def test_header_layout_is_pinned():
+    # The first frame byte layout is a compatibility promise: magic, version,
+    # flags, length, crc32 -- big-endian, 12 bytes.
+    frame = encode_frame(PAYLOAD, "json")
+    magic, version, flags, length, crc = HEADER.unpack(frame[:HEADER_SIZE])
+    assert (magic, version, flags) == (WIRE_MAGIC, WIRE_VERSION, 0)
+    body = frame[HEADER_SIZE:]
+    assert length == len(body)
+    assert crc == zlib.crc32(body)
+
+
+def test_bad_magic_is_rejected():
+    frame = bytearray(encode_frame(PAYLOAD, "json"))
+    frame[0] ^= 0xFF
+    with pytest.raises(FrameCorrupt, match="magic"):
+        decode_frame(bytes(frame))
+
+
+def test_unknown_version_is_rejected():
+    frame = bytearray(encode_frame(PAYLOAD, "json"))
+    frame[2] = WIRE_VERSION + 1
+    with pytest.raises(WireVersionError):
+        decode_frame(bytes(frame))
+
+
+def test_corrupt_body_fails_crc():
+    frame = bytearray(encode_frame(PAYLOAD, "json"))
+    frame[HEADER_SIZE + 3] ^= 0xA5
+    with pytest.raises(FrameCorrupt, match="CRC"):
+        decode_frame(bytes(frame))
+
+
+def test_truncated_body_is_rejected():
+    frame = encode_frame(PAYLOAD, "json")
+    with pytest.raises(FrameCorrupt, match="truncated"):
+        decode_frame(frame[:-2])
+
+
+def test_oversized_declaration_is_rejected_before_reading_the_body():
+    frame = encode_frame(PAYLOAD, "json")
+    limit = (len(frame) - HEADER_SIZE) - 1
+    with pytest.raises(FrameTooLarge):
+        decode_frame(frame, max_frame_bytes=limit)
+
+
+def test_non_object_body_is_rejected():
+    body = b"[1,2,3]"
+    frame = HEADER.pack(WIRE_MAGIC, WIRE_VERSION, 0, len(body), zlib.crc32(body)) + body
+    with pytest.raises(FrameCorrupt, match="object"):
+        decode_frame(frame)
+
+
+def test_split_frame_streams_across_arbitrary_chunk_boundaries():
+    frames = [encode_frame({"id": i, "kind": "request", "payload": {}}, "json") for i in range(5)]
+    stream = b"".join(frames)
+    # Feed the stream one byte at a time; every frame must pop out intact.
+    buffer = b""
+    seen = []
+    for byte in stream:
+        buffer += bytes([byte])
+        while True:
+            popped = split_frame(buffer)
+            if popped is None:
+                break
+            payload, buffer = popped
+            seen.append(payload["id"])
+    assert seen == [0, 1, 2, 3, 4]
+    assert buffer == b""
+
+
+def test_async_reader_round_trip_and_clean_eof():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame(PAYLOAD, "json"))
+        reader.feed_data(encode_frame({"id": 8, "kind": "request", "payload": {}}, "json"))
+        reader.feed_eof()
+        first = await read_frame(reader)
+        second = await read_frame(reader)
+        third = await read_frame(reader)
+        return first, second, third
+
+    first, second, third = asyncio.run(scenario())
+    assert first == PAYLOAD
+    assert second["id"] == 8
+    assert third is None  # clean EOF at a frame boundary
+
+
+def test_async_reader_rejects_eof_mid_frame():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame(PAYLOAD, "json")[:-3])
+        reader.feed_eof()
+        with pytest.raises(FrameCorrupt, match="mid-body"):
+            await read_frame(reader)
+        # And mid-header too.
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"\x52")
+        reader.feed_eof()
+        with pytest.raises(FrameCorrupt, match="mid-header"):
+            await read_frame(reader)
+
+    asyncio.run(scenario())
+
+
+def test_format_resolution_degrades_auto_to_json_without_msgpack():
+    resolved = resolve_wire_format("auto")
+    if msgpack_available():
+        assert resolved == "msgpack"
+    else:
+        assert resolved == "json"
+        with pytest.raises(WireError, match="msgpack"):
+            resolve_wire_format("msgpack")
+    with pytest.raises(WireError, match="unknown"):
+        resolve_wire_format("yaml")
+
+
+def test_msgpack_frames_round_trip_when_available():
+    if not msgpack_available():
+        pytest.skip("msgpack not importable in this environment")
+    frame = encode_frame(PAYLOAD, "msgpack")
+    flags = HEADER.unpack(frame[:HEADER_SIZE])[2]
+    assert flags & FLAG_MSGPACK
+    assert decode_frame(frame) == PAYLOAD
