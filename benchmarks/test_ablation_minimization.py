@@ -42,12 +42,19 @@ def test_ablation_minimization(benchmark):
     scenario = make_synthetic_scenario(rows=32, cols=32, sigmoid_a=0.95, sigmoid_b=100.0, seed=2030)
     huffman = HuffmanEncodingScheme().build(scenario.probabilities)
     fixed = FixedLengthEncodingScheme().build(scenario.probabilities)
+    # Drawn once, outside the timed body: scenario.workloads shares one
+    # stateful RNG, and pytest-benchmark repeats run() a timing-dependent
+    # number of rounds -- sampling inside would make the published token
+    # counts depend on how many rounds happened to run.
+    zones_by_radius = {
+        radius: list(scenario.workloads.triggered_radius_workload(radius, NUM_ZONES))
+        for radius in RADII
+    }
 
     def run():
         rows = []
         for radius in RADII:
-            workload = scenario.workloads.triggered_radius_workload(radius, NUM_ZONES)
-            zones = list(workload)
+            zones = zones_by_radius[radius]
             huffman_min = sum(
                 pairing_cost_of_tokens(huffman.token_patterns(list(zone.cell_ids))) for zone in zones
             )

@@ -9,6 +9,7 @@ that analytic counts equal the pairing counter of the real crypto layer.
 
 from __future__ import annotations
 
+import gc
 import random
 import time
 from dataclasses import dataclass, field
@@ -322,8 +323,15 @@ def init_timing_sweep(
     sigmoid_b: float = 20.0,
     seed: int = 23,
     schemes: Optional[Mapping[str, EncodingScheme]] = None,
+    repeats: int = 3,
 ) -> list[InitTimingPoint]:
-    """Time the index / coding-tree generation for increasing grid sizes (Fig. 14)."""
+    """Time the index / coding-tree generation for increasing grid sizes (Fig. 14).
+
+    Each point is the best of ``repeats`` builds, with a GC collection before
+    every attempt: a fast build (SGO is ~ms even at 9216 cells) timed once,
+    right after the allocation-heavy Huffman/balanced builds, can absorb a
+    cyclic-GC pass an order of magnitude larger than the build itself.
+    """
     schemes = dict(schemes) if schemes is not None else {"huffman": HuffmanEncodingScheme()}
     points = []
     for size in grid_sizes:
@@ -331,9 +339,12 @@ def init_timing_sweep(
         model = SigmoidProbabilityModel(a=sigmoid_a, b=sigmoid_b, seed=seed)
         probabilities = model.cell_probabilities(n_cells)
         for name, scheme in schemes.items():
-            start = time.perf_counter()
-            encoding = scheme.build(probabilities)
-            elapsed = time.perf_counter() - start
+            elapsed = float("inf")
+            for _ in range(max(1, repeats)):
+                gc.collect()
+                start = time.perf_counter()
+                encoding = scheme.build(probabilities)
+                elapsed = min(elapsed, time.perf_counter() - start)
             points.append(
                 InitTimingPoint(
                     n_cells=n_cells,

@@ -395,6 +395,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 connections=args.connections,
                 prime_bits=args.prime_bits,
                 service_seed=args.service_seed,
+                warmup_seconds=args.warmup_seconds,
             )
         )
     finally:
@@ -581,6 +582,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="offered load points in requests/second",
     )
     loadgen.add_argument("--duration", type=float, default=2.0, help="seconds per rate point")
+    loadgen.add_argument(
+        "--warmup-seconds",
+        type=float,
+        default=1.0,
+        help="unmeasured low-rate burst before the first point, so cold-start cost "
+        "stays out of the gated lowest-rate p99 (0 disables)",
+    )
     loadgen.add_argument("--users", type=int, default=16, help="subscribed user population")
     loadgen.add_argument("--connections", type=int, default=4, help="client TCP connections")
     loadgen.add_argument(

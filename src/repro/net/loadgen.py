@@ -9,8 +9,10 @@ finished, and latency is measured **from the scheduled arrival**, so queueing
 delay -- the thing overload actually costs -- lands in the percentiles.
 
 The scenario mix is seeded and deterministic: a warmup subscribes the user
-population, then the steady-state stream samples ``move`` / ``ingest`` /
-``publish`` / ``retract`` per the :class:`LoadMix` weights.  Ingest requests
+population and fires an unmeasured low-rate burst (so server cold-start cost
+never lands on the gated lowest-rate point), then the steady-state stream
+samples ``move`` / ``ingest`` / ``publish`` / ``retract`` per the
+:class:`LoadMix` weights.  Ingest requests
 carry *real* HVE ciphertexts minted by a **shadow encryptor**: an in-process
 :class:`AlertService` built from the same scenario and crypto seed as the
 server, whose key material is therefore identical (``ServiceConfig.seed``
@@ -356,12 +358,19 @@ async def run_sweep(
     timeout: float = 30.0,
     retry_busy: bool = False,
     settle_seconds: float = 0.2,
+    warmup_seconds: float = 1.0,
 ) -> SweepResult:
     """One :func:`run_point` per offered rate, low to high, plus warmup.
 
     The warmup subscribes the ``users`` population once (subscriptions are
-    not idempotent -- re-registering a pseudonym is an error by design) and
-    primes the connection pool before the first measured point.
+    not idempotent -- re-registering a pseudonym is an error by design), then
+    fires an **unmeasured** open-loop burst of ``warmup_seconds`` at the
+    lowest swept rate.  The burst exercises every request kind end to end so
+    first-touch costs (server code paths, allocator/bytecode caches, worker
+    pool spin-up) are paid before measurement starts -- without it those
+    costs land entirely on the *lowest*-rate point, which is exactly the one
+    the perf gate tracks, and the sweep shows the nonsensical signature of
+    p99 improving as offered load quadruples.
     """
     encryptor = ShadowEncryptor(
         scenario, prime_bits=prime_bits, seed=service_seed, devices=max(4, users // 2)
@@ -374,6 +383,31 @@ async def run_sweep(
                 await warmup.request_with_retry(
                     Subscribe(user_id=f"user-{i:03d}", location=scenario.grid.cell_center(cell))
                 )
+        if warmup_seconds > 0 and rates:
+            warmup_rate = min(float(r) for r in rates)
+            warmup_schedule = build_schedule(
+                scenario,
+                rate=warmup_rate,
+                duration=warmup_seconds,
+                seed=seed + 500_000,
+                users=users,
+                mix=mix,
+                encryptor=encryptor,
+            )
+            # Result intentionally discarded; retry on BUSY so the warmup
+            # completes even against a tightly bounded inflight queue.
+            await run_point(
+                host,
+                port,
+                warmup_schedule,
+                rate=warmup_rate,
+                duration=warmup_seconds,
+                connections=connections,
+                timeout=timeout,
+                retry_busy=True,
+            )
+            if settle_seconds > 0:
+                await asyncio.sleep(settle_seconds)
         points: List[PointResult] = []
         for index, rate in enumerate(sorted(rates)):
             schedule = build_schedule(

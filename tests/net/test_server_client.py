@@ -185,3 +185,40 @@ def test_consecutive_ingest_requests_coalesce_into_one_pass(scenario):
             assert stats.batches_executed < 8
 
     asyncio.run(drive())
+
+
+def test_sweep_warmup_burst_runs_before_measured_points(scenario):
+    """run_sweep fires an unmeasured warmup burst before the first point.
+
+    Without it, server cold-start cost lands entirely on the lowest-rate
+    point -- exactly the one the perf gate tracks -- and the sweep shows the
+    nonsensical signature of p99 improving as offered load quadruples.
+    """
+    from repro.net.loadgen import run_sweep
+
+    async def drive():
+        with AlertService(scenario.grid, scenario.probabilities, config=make_config()) as service:
+            async with AlertServiceServer(service, NetOptions(port=0)) as server:
+                sweep = await run_sweep(
+                    "127.0.0.1",
+                    server.port,
+                    scenario,
+                    rates=(25.0,),
+                    duration=0.4,
+                    seed=7,
+                    users=4,
+                    connections=2,
+                    prime_bits=32,
+                    service_seed=19,
+                    warmup_seconds=0.4,
+                    settle_seconds=0.0,
+                )
+                received = server.stats.requests_received
+            return sweep, received
+
+    sweep, received = asyncio.run(drive())
+    [point] = sweep.points
+    assert point.dropped == 0
+    # The server saw the 4 subscribes plus the measured schedule plus a
+    # strictly positive number of unmeasured warmup requests.
+    assert received > 4 + point.offered
