@@ -13,18 +13,23 @@ The file carries one section per feeding benchmark:
     ``benchmarks/test_matching_engine.py::test_crypto_core_fused_tier``.
 ``net_tier``
     Open-loop p99 latency at the sweep's lowest (uncongested) offered rate
-    against a live ``repro serve`` process, written by
-    ``benchmarks/test_net_tier.py``.
+    *and* the sweep's saturation throughput, both against a live ``repro
+    serve`` process, written by ``benchmarks/test_net_tier.py``.
 
 Raw wall-clock is meaningless across machines, so every section carries a
 ``calibration_ms`` constant -- the time of a fixed pure-Python workload on the
-same host, in the same run.  What is compared is the *calibrated* latency
-(section metric divided by calibration): work per unit of host speed.  A
-current value more than ``THRESHOLD`` above the baseline fails the build; an
-*improvement* beyond the threshold prints a hint to refresh the baseline but
-passes.  Sections in the baseline must exist in the current results with an
-identical workload definition; a new section only in the current results is
-reported but not gated (its first baseline lands with the refresh).
+same host, in the same run.  What is compared is the *calibrated* metric:
+latencies divide by the calibration (work per unit of host speed), while
+throughputs multiply by it (a slower host completes proportionally fewer
+requests per second, so rps x calibration is the host-independent quantity).
+Each tracked metric declares its direction: a ``lower``-is-better metric
+fails when it rises more than ``THRESHOLD`` above the baseline, a
+``higher``-is-better one fails when it *drops* more than ``THRESHOLD``
+below it.  An improvement beyond the threshold prints a hint to refresh the
+baseline but passes.  Sections in the baseline must exist in the current
+results with an identical workload definition; a new section or metric only
+in the current results is reported but not gated (its first baseline lands
+with the refresh).
 
 Usage::
 
@@ -43,28 +48,46 @@ HERE = pathlib.Path(__file__).parent
 DEFAULT_CURRENT = HERE / "results" / "BENCH_provider.json"
 DEFAULT_BASELINE = HERE / "BENCH_provider_baseline.json"
 
-#: section name -> (label, metric extractor over the section payload).
+#: section name -> list of (label, metric extractor, direction).  ``lower``
+#: metrics are latencies (calibrated by division), ``higher`` metrics are
+#: throughputs (calibrated by multiplication).
 SECTION_METRICS = {
-    "dispatch": (
-        "warm per-step latency",
-        lambda section: float(section["warm_sharded_process"]["mean_step_ms"]),
-    ),
-    "crypto_core": (
-        "fused 1k-tier matching latency",
-        lambda section: float(section["fused_tier"]["fused_ms"]),
-    ),
-    "net_tier": (
-        "open-loop p99 latency",
-        lambda section: float(section["gate"]["p99_ms"]),
-    ),
+    "dispatch": [
+        (
+            "warm per-step latency",
+            lambda section: float(section["warm_sharded_process"]["mean_step_ms"]),
+            "lower",
+        ),
+    ],
+    "crypto_core": [
+        (
+            "fused 1k-tier matching latency",
+            lambda section: float(section["fused_tier"]["fused_ms"]),
+            "lower",
+        ),
+    ],
+    "net_tier": [
+        (
+            "open-loop p99 latency",
+            lambda section: float(section["gate"]["p99_ms"]),
+            "lower",
+        ),
+        (
+            "saturation throughput",
+            lambda section: float(section["saturation_rps"]),
+            "higher",
+        ),
+    ],
 }
 
 
-def calibrated(section: dict, metric) -> float:
+def calibrated(section: dict, metric, direction: str) -> float:
     """A section's metric in units of its host calibration workload."""
     calibration = float(section["calibration_ms"])
     if calibration <= 0:
         raise ValueError("calibration_ms must be positive")
+    if direction == "higher":
+        return metric(section) * calibration
     return metric(section) / calibration
 
 
@@ -85,7 +108,7 @@ def main(argv: list[str]) -> int:
 
     failed = False
     improved = False
-    for name, (label, metric) in SECTION_METRICS.items():
+    for name, metrics in SECTION_METRICS.items():
         if name not in baseline:
             if name in current:
                 print(f"perf gate: [{name}] new section (no baseline yet); not gated")
@@ -101,19 +124,27 @@ def main(argv: list[str]) -> int:
             )
             failed = True
             continue
-        now = calibrated(current[name], metric)
-        then = calibrated(baseline[name], metric)
-        change = now / then - 1.0
-        print(
-            f"perf gate: [{name}] calibrated {label} {now:.3f} vs baseline {then:.3f} "
-            f"({change:+.1%}; raw {metric(current[name]):.2f}ms on a "
-            f"{float(current[name]['calibration_ms']):.1f}ms-calibration host)"
-        )
-        if change > THRESHOLD:
-            print(f"perf gate: [{name}] FAIL -- {label} regressed more than {THRESHOLD:.0%}")
-            failed = True
-        elif change < -THRESHOLD:
-            improved = True
+        for label, metric, direction in metrics:
+            try:
+                then = calibrated(baseline[name], metric, direction)
+            except (KeyError, TypeError):
+                print(f"perf gate: [{name}] {label}: not in the baseline yet; not gated")
+                continue
+            now = calibrated(current[name], metric, direction)
+            change = now / then - 1.0
+            unit = "rps" if direction == "higher" else "ms"
+            print(
+                f"perf gate: [{name}] calibrated {label} {now:.3f} vs baseline {then:.3f} "
+                f"({change:+.1%}; raw {metric(current[name]):.2f}{unit} on a "
+                f"{float(current[name]['calibration_ms']):.1f}ms-calibration host)"
+            )
+            regressed = change > THRESHOLD if direction == "lower" else change < -THRESHOLD
+            if regressed:
+                verb = "regressed" if direction == "lower" else "dropped"
+                print(f"perf gate: [{name}] FAIL -- {label} {verb} more than {THRESHOLD:.0%}")
+                failed = True
+            elif (change < -THRESHOLD) if direction == "lower" else (change > THRESHOLD):
+                improved = True
 
     if failed:
         return 1

@@ -4,21 +4,29 @@ This is the honest end of the load story: the server is a **separate
 process** started exactly as an operator would start it (``python -m repro
 serve``), the generator is the open-loop harness of
 :mod:`repro.net.loadgen` (Poisson arrivals, latency measured from each
-request's scheduled instant), and the sweep covers four offered-load points
+request's scheduled instant), and the sweep covers five offered-load points
 so the table shows the latency knee, not a single flattering number.
 
-The run feeds the perf gate: the ``net_tier`` section of
-``BENCH_provider.json`` carries the p99 at the lowest (uncongested) rate,
-calibrated against the host-speed constant, and
-``benchmarks/check_perf_baseline.py`` fails CI when it regresses more than
-25% against the committed baseline.
+The run feeds the perf gate twice: the ``net_tier`` section of
+``BENCH_provider.json`` carries the p99 at the lowest (uncongested) rate
+*and* the sweep's saturation throughput, both calibrated against the
+host-speed constant; ``benchmarks/check_perf_baseline.py`` fails CI when the
+p99 regresses or the saturation drops more than 25% against the committed
+baseline.
+
+The ablation run answers "what did the pipeline buy": the same burst fired
+at a ``--serial`` server (identical tick batching and coalescing semantics,
+no stage overlap) and at the default pipelined one, published side by side
+in ``results/net_tier_ablation.txt``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import os
 import pathlib
+import signal
 import subprocess
 import sys
 import time
@@ -36,12 +44,14 @@ ROWS = COLS = 6
 SCENARIO_SEED = 31
 SERVICE_SEED = 11
 PRIME_BITS = 32
-RATES = (40.0, 80.0, 160.0, 320.0)
+RATES = (40.0, 80.0, 160.0, 320.0, 640.0)
 DURATION = 1.5
+ABLATION_RATES = (160.0, 320.0, 640.0)
+ABLATION_DURATION = 1.0
 
 
-@pytest.fixture(scope="module")
-def served_endpoint():
+@contextlib.contextmanager
+def _serve(extra_args=()):
     """A real ``repro serve`` subprocess; yields (host, port), stops it after."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
@@ -54,6 +64,7 @@ def served_endpoint():
             "--host", "127.0.0.1", "--port", "0",
             "--prime-bits", str(PRIME_BITS),
             "--service-seed", str(SERVICE_SEED),
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -75,8 +86,6 @@ def served_endpoint():
     try:
         yield ("127.0.0.1", port)
     finally:
-        import signal
-
         process.send_signal(signal.SIGINT)
         try:
             process.wait(timeout=30)
@@ -84,20 +93,29 @@ def served_endpoint():
             process.kill()
 
 
-def test_net_tier_open_loop_sweep(served_endpoint):
-    host, port = served_endpoint
+@pytest.fixture(scope="module")
+def served_endpoint():
+    with _serve() as endpoint:
+        yield endpoint
+
+
+@pytest.fixture(scope="module")
+def scenario():
     # Must match the scenario the served process builds from the same flags
     # (the CLI uses the default extent).
-    scenario = make_synthetic_scenario(
+    return make_synthetic_scenario(
         rows=ROWS, cols=COLS, sigmoid_a=0.9, sigmoid_b=20, seed=SCENARIO_SEED
     )
-    sweep = asyncio.run(
+
+
+def _sweep(host, port, scenario, rates, duration):
+    return asyncio.run(
         run_sweep(
             host,
             port,
             scenario,
-            rates=RATES,
-            duration=DURATION,
+            rates=rates,
+            duration=duration,
             seed=7,
             users=16,
             connections=4,
@@ -105,11 +123,16 @@ def test_net_tier_open_loop_sweep(served_endpoint):
             service_seed=SERVICE_SEED,
         )
     )
+
+
+def test_net_tier_open_loop_sweep(served_endpoint, scenario):
+    host, port = served_endpoint
+    sweep = _sweep(host, port, scenario, RATES, DURATION)
     table = render_table(sweep)
     print("\n" + table)
     publish_sweep(sweep, RESULTS_DIR)
 
-    assert len(sweep.points) >= 4, "the sweep must cover at least 4 offered-load points"
+    assert len(sweep.points) >= 5, "the sweep must cover at least 5 offered-load points"
     # The two uncongested points must be clean: an open-loop harness that
     # drops requests at trivial load is measuring its own bugs.
     for point in sorted(sweep.points, key=lambda p: p.rate)[:2]:
@@ -124,3 +147,36 @@ def test_net_tier_open_loop_sweep(served_endpoint):
             "calibration_ms": calibration_ms(),
         },
     )
+
+
+def test_net_tier_pipelined_vs_serial_ablation(scenario):
+    """What stage overlap buys: the same burst against ``--serial``.
+
+    The serial server shares every tick semantic (admission, coalescing,
+    group commit) and differs only in running admit -> execute -> send
+    back-to-back; the default server double-buffers the stages.  Both
+    servers are fresh spawns (a sweep subscribes its user fleet, so an
+    already-driven server cannot be reused).  The floor assertion is
+    deliberately loose -- a shared-CI box is noisy -- the real bound on
+    pipelined throughput is the calibrated ``saturation_rps`` perf gate
+    above.
+    """
+    with _serve() as (host, port):
+        pipelined = _sweep(host, port, scenario, ABLATION_RATES, ABLATION_DURATION)
+    with _serve(("--serial",)) as (serial_host, serial_port):
+        serial = _sweep(serial_host, serial_port, scenario, ABLATION_RATES, ABLATION_DURATION)
+
+    lines = ["pipelined (default)", render_table(pipelined), "", "serial (--serial)",
+             render_table(serial), "",
+             f"saturation: pipelined {pipelined.saturation_rps:.1f} rps "
+             f"vs serial {serial.saturation_rps:.1f} rps "
+             f"({pipelined.saturation_rps / max(serial.saturation_rps, 1e-9):.2f}x)"]
+    report = "\n".join(lines)
+    print("\n" + report)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "net_tier_ablation.txt").write_text(report + "\n", encoding="utf-8")
+
+    assert serial.saturation_rps > 0 and pipelined.saturation_rps > 0
+    # Sanity floor, not the perf claim: the pipeline must never *cost*
+    # meaningful throughput against its own serial ablation.
+    assert pipelined.saturation_rps >= 0.7 * serial.saturation_rps

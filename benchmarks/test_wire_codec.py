@@ -1,0 +1,105 @@
+"""Wire-codec microbench: the encode/decode split per frame body codec.
+
+The service tier's codec pool exists because frame encode/decode is real
+work at saturation; this benchmark quantifies it per payload shape --
+a small plaintext request (``move``) and a large ciphertext-bearing one
+(``ingest_batch``) -- and per body codec (JSON always; msgpack only when
+the optional package is importable, mirroring ``wire_format="auto"``).
+
+Decode timings go through :func:`split_frame`, i.e. they include the CRC
+check the server pays on every received frame, so the numbers are the ones
+the codec-offload threshold (``NetOptions.codec_offload_bytes``) actually
+trades against.  Results land in ``results/wire_codec.txt`` and the CI
+benchmark job publishes them to its summary.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.crypto.group import BilinearGroup
+from repro.crypto.hve import HVE
+from repro.encoding.huffman import HuffmanEncodingScheme
+from repro.grid.geometry import Point
+from repro.net.wire import encode_frame, msgpack_available, split_frame
+from repro.protocol.messages import LocationUpdate
+from repro.service.requests import IngestBatch, Move, request_to_wire
+
+from benchmarks.conftest import publish_table
+
+PROBABILITIES = [0.2, 0.1, 0.5, 0.4, 0.6, 0.3, 0.25, 0.15]
+
+
+def _payloads() -> dict[str, dict]:
+    """Envelopes shaped like live traffic: one small, one ciphertext-heavy."""
+    encoding = HuffmanEncodingScheme().build(PROBABILITIES)
+    group = BilinearGroup(prime_bits=32, rng=random.Random(171))
+    hve = HVE(width=encoding.reference_length, group=group, rng=random.Random(172))
+    keys = hve.setup()
+    updates = tuple(
+        LocationUpdate(
+            user_id=f"user-{i:03d}",
+            ciphertext=hve.encrypt(keys.public, encoding.index_of(i % len(PROBABILITIES))),
+            sequence_number=i,
+        )
+        for i in range(8)
+    )
+    return {
+        "move": {
+            "id": 1,
+            "kind": "request",
+            "payload": request_to_wire(Move(user_id="user-001", location=Point(12.5, 48.25))),
+        },
+        "ingest_batch": {
+            "id": 2,
+            "kind": "request",
+            "payload": request_to_wire(IngestBatch(updates=updates, evaluate=True, at=9.0)),
+        },
+    }
+
+
+def _mean_us(fn, repeats: int) -> float:
+    fn()  # warm
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - started) * 1e6 / repeats
+
+
+def test_wire_codec_encode_decode_split():
+    formats = ["json"] + (["msgpack"] if msgpack_available() else [])
+    rows = []
+    for name, envelope in _payloads().items():
+        for fmt in formats:
+            frame = encode_frame(envelope, fmt)
+            repeats = 2000 if len(frame) < 4096 else 300
+            encode_us = _mean_us(lambda: encode_frame(envelope, fmt), repeats)
+            decode_us = _mean_us(lambda: split_frame(frame), repeats)
+            decoded, rest = split_frame(frame)
+            assert decoded == envelope and rest == b""
+            rows.append(
+                {
+                    "payload": name,
+                    "codec": fmt,
+                    "frame_bytes": len(frame),
+                    "encode_us": f"{encode_us:.1f}",
+                    "decode_us": f"{decode_us:.1f}",
+                }
+            )
+    if not msgpack_available():
+        rows.append(
+            {
+                "payload": "(msgpack not importable on this image; json only)",
+                "codec": "-",
+                "frame_bytes": "-",
+                "encode_us": "-",
+                "decode_us": "-",
+            }
+        )
+    publish_table(
+        "wire_codec",
+        "wire codec encode/decode split (mean us per frame, CRC included in decode)",
+        rows,
+    )
+    assert any(row["codec"] == "json" for row in rows)

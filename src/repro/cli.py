@@ -284,12 +284,20 @@ def _serve_config(args: argparse.Namespace) -> ServiceConfig:
         prime_bits=args.prime_bits,
         seed=args.service_seed,
         journal_path=args.journal,
+        workers=args.workers,
+        executor=args.executor,
+        shards=args.shards,
+        autoscale=args.autoscale,
+        autoscale_min_lanes=args.autoscale_min_lanes,
+        autoscale_max_lanes=args.autoscale_max_lanes,
         net=NetOptions(
             host=args.host,
             port=args.port,
             max_inflight=args.max_inflight,
+            max_inflight_per_conn=args.per_conn_inflight,
             batch_max=args.batch_max,
             batch_window_ms=args.batch_window_ms,
+            pipelined=not args.serial,
         ),
     )
 
@@ -313,15 +321,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     config = _serve_config(args)
     with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
-        if args.snapshot is not None:
-            import pathlib
+        import pathlib
 
+        restored = False
+        if args.snapshot is not None:
             snapshot = pathlib.Path(args.snapshot)
             if snapshot.exists():
                 # A previous graceful stop (or crash + journal) left durable
                 # state: resume the session instead of starting empty.
                 service.restore(snapshot)
                 print(f"restored session from {snapshot}", flush=True)
+                restored = True
+        if not restored and args.journal is not None and pathlib.Path(args.journal).exists():
+            # No snapshot to anchor on, but the write-ahead journal survived
+            # (e.g. a crash before the first snapshot): replay its fsynced
+            # prefix so journaled-but-unexecuted requests are not lost.
+            replayed = service.replay_journal()
+            if replayed:
+                print(f"replayed {replayed} journal entries from {args.journal}", flush=True)
         server = AlertServiceServer(service, snapshot_path=args.snapshot)
 
         async def run() -> None:
@@ -341,6 +358,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{stats.requests_coalesced} coalesced)",
                 flush=True,
             )
+            print(
+                f"pipeline: {stats.ticks_executed} ticks "
+                f"({stats.ticks_overlapped} overlapped), "
+                f"{stats.group_commits} group commits ({stats.fsyncs_saved} fsyncs saved), "
+                f"stages journal={stats.stage_journal_ms:.1f}ms "
+                f"execute={stats.stage_execute_ms:.1f}ms "
+                f"encode={stats.stage_encode_ms:.1f}ms",
+                flush=True,
+            )
+            session = service.session_stats()
+            if session.lane_resizes:
+                print(
+                    f"autoscale: {session.lane_resizes} resizes "
+                    f"(+{session.lanes_added}/-{session.lanes_removed} lanes)",
+                    flush=True,
+                )
 
         asyncio.run(run())
     return 0
@@ -371,6 +404,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 "--service-seed", str(args.service_seed),
                 "--max-inflight", str(args.max_inflight),
             ]
+            if args.serial:
+                serve_args.append("--serial")
             process = subprocess.Popen(
                 serve_args, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
             )
@@ -405,6 +440,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             process.send_signal(_signal.SIGINT)
             try:
                 process.wait(timeout=30)
+                # Relay the server's drain report (pipeline stage timings,
+                # group-commit and autoscale counters) into our output.
+                for line in process.stdout.read().splitlines():
+                    if line and not line.startswith("draining"):
+                        print(f"server: {line}")
             except Exception:
                 process.kill()
     print(render_table(sweep))
@@ -561,6 +601,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="session snapshot path: restored on start when present, written on graceful stop",
     )
+    serve.add_argument(
+        "--serial",
+        action="store_true",
+        help="disable the stage-parallel dispatch pipeline (the ablation baseline)",
+    )
+    serve.add_argument(
+        "--per-conn-inflight",
+        type=int,
+        default=None,
+        help="per-connection inflight quota: a flooding client hits its own BUSY "
+        "ceiling before it can starve other connections (default: no per-connection cap)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="matching workers (pair with --executor process --shards N for lane dispatch)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="thread",
+        help="matching executor flavour",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="ciphertext store shards (0 = unsharded); required for affinity lanes",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="grow/shrink affinity worker lanes with load (process executor + shards only)",
+    )
+    serve.add_argument(
+        "--autoscale-min-lanes", type=int, default=1, help="autoscale lower bound on lanes"
+    )
+    serve.add_argument(
+        "--autoscale-max-lanes", type=int, default=8, help="autoscale upper bound on lanes"
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadgen = subparsers.add_parser(
@@ -576,6 +657,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--spawn",
         action="store_true",
         help="spawn `repro serve` as a subprocess (same scenario/crypto flags) and stop it after",
+    )
+    loadgen.add_argument(
+        "--serial",
+        action="store_true",
+        help="with --spawn: start the server with its dispatch pipeline disabled "
+        "(the pipelined-vs-serial ablation baseline)",
     )
     loadgen.add_argument(
         "--rates", type=float, nargs="+", default=[30.0, 60.0, 120.0, 240.0],

@@ -40,10 +40,13 @@ from repro.net.wire import (
     FrameTooLarge,
     WireError,
     WireVersionError,
+    decode_body_checked,
     decode_frame,
     encode_frame,
+    encode_frame_parts,
     msgpack_available,
     read_frame,
+    read_frame_raw,
     write_frame,
 )
 from repro.service.config import NetOptions
@@ -63,8 +66,11 @@ __all__ = [
     "FrameTooLarge",
     "WireVersionError",
     "encode_frame",
+    "encode_frame_parts",
     "decode_frame",
+    "decode_body_checked",
     "read_frame",
+    "read_frame_raw",
     "write_frame",
     "msgpack_available",
     "LoadMix",

@@ -3,24 +3,37 @@
 The service object is single-threaded by design (its matching engine owns
 process pools, its store a write-ahead journal); the server's job is to put
 thousands of concurrent TCP conversations in front of it without ever letting
-two requests race into the session.  The shape:
+two requests race into the session.  The shape is a three-stage pipeline:
 
 - One **reader coroutine per connection** parses frames
   (:mod:`repro.net.wire`), performs admission control, and enqueues typed
-  requests.
-- One **dispatcher coroutine** drains the queue in arrival order and executes
-  each request on a single-worker thread so the event loop stays responsive
-  while a matching pass runs.  Consecutive queued :class:`IngestBatch`
-  requests are **coalesced** into one store pass (all members receive that
-  tick's :class:`MatchReport` -- the documented batching semantic).
-- **Backpressure** is explicit: ``inflight`` counts queued + executing
-  requests; a request arriving at ``max_inflight`` is answered with a
-  structured BUSY :class:`ErrorResponse` and the connection's reader pauses
-  until inflight falls to ``low_water``, so a flooding client is throttled
-  instead of ballooning the queue.
-- **Graceful shutdown** stops accepting, drains every inflight request,
-  answers it, then (when the session journals) checkpoints durability state
-  via :meth:`AlertService.snapshot` before closing connections.
+  requests.  Large frame bodies are CRC-checked and decoded on a small
+  **codec pool** instead of the event loop.
+- An **admit/journal stage** drains the queue in arrival order into *ticks*
+  of up to ``batch_max`` requests.  Consecutive :class:`IngestBatch` requests
+  inside a tick are **coalesced** into one store pass (all members receive
+  that tick's :class:`MatchReport` -- the documented batching semantic), and
+  when the session journals, the whole tick is appended under **one**
+  group-committed fsync before any of it executes (the PR 6 write-ahead
+  contract, paid once per tick instead of once per request).
+- An **execute stage** runs each tick's requests on a single-worker thread;
+  with ``pipelined=True`` (default) it is double-buffered behind the admit
+  stage, so tick N+1 is admitted, decoded and journaled while tick N's
+  matching pass runs.  A **send stage** encodes responses off the loop
+  (zero-copy ``(header, body)`` parts through ``writelines``) and streams
+  each response as soon as its request completes.
+- **Backpressure** is explicit and unchanged: ``inflight`` counts queued +
+  executing requests across all stages; a request arriving at
+  ``max_inflight`` is answered with a structured BUSY
+  :class:`ErrorResponse` and the connection's reader pauses until inflight
+  falls to ``low_water``.  A per-connection quota
+  (``max_inflight_per_conn``) additionally makes a flooding client hit its
+  *own* BUSY ceiling -- and pause only its own reader -- before it can
+  occupy the whole global window and starve polite connections.
+- **Graceful shutdown** stops accepting, drains every inflight request
+  through all stages, answers it, then (when the session journals)
+  checkpoints durability state via :meth:`AlertService.snapshot` before
+  closing connections.
 
 Handler exceptions never kill a connection: anything :meth:`AlertService.handle`
 raises -- including :class:`UnknownRequestError` with its list of recognised
@@ -38,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import functools
 import pathlib
 import time
 from dataclasses import dataclass, field
@@ -47,8 +61,9 @@ from repro.net.wire import (
     FrameCorrupt,
     FrameTooLarge,
     WireVersionError,
-    encode_frame,
-    read_frame,
+    decode_body_checked,
+    encode_frame_parts,
+    read_frame_raw,
     resolve_wire_format,
 )
 from repro.service.config import NetOptions
@@ -79,11 +94,25 @@ class ServerStats:
     responses_sent: int = 0
     errors_returned: int = 0
     busy_rejections: int = 0
+    per_conn_busy_rejections: int = 0
     shutdown_rejections: int = 0
     batches_executed: int = 0
     requests_coalesced: int = 0
     reader_pauses: int = 0
     faults_injected: int = 0
+    #: Pipeline shape: ticks run, and how many were admitted/journaled while
+    #: the previous tick was still executing (the double-buffering win).
+    ticks_executed: int = 0
+    ticks_overlapped: int = 0
+    #: Journal group-commit totals, mirrored from the session's journal.
+    group_commits: int = 0
+    fsyncs_saved: int = 0
+    #: Frame decodes/encodes run on the codec pool instead of the event loop.
+    codec_offloads: int = 0
+    #: Cumulative per-stage wall time (milliseconds).
+    stage_journal_ms: float = 0.0
+    stage_execute_ms: float = 0.0
+    stage_encode_ms: float = 0.0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -95,6 +124,13 @@ class _Connection:
     writer: asyncio.StreamWriter
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     closed: bool = False
+    #: Requests this connection has admitted but not yet been answered.
+    inflight: int = 0
+    #: Per-connection resume gate for the ``max_inflight_per_conn`` quota.
+    resume: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def __post_init__(self) -> None:
+        self.resume.set()
 
 
 @dataclass
@@ -139,16 +175,37 @@ class AlertServiceServer:
         self._group = service.system.authority.group
         self._server: Optional[asyncio.base_events.Server] = None
         self._queue: asyncio.Queue = asyncio.Queue()
-        self._leftover: Optional[object] = None
+        # Double buffer between the admit/journal stage and the execute
+        # stage: depth 1 means exactly one journaled tick can wait while the
+        # previous one runs -- stage overlap without unbounded buildup (the
+        # global buildup bound stays max_inflight).
+        self._exec_queue: asyncio.Queue = asyncio.Queue(maxsize=1)
+        self._send_queue: asyncio.Queue = asyncio.Queue()
         self._inflight = 0
         self._draining = False
+        self._stopping = False
+        self._exec_busy = False
         self._resume = asyncio.Event()
         self._resume.set()
         self._connections: Set[_Connection] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._exec_task: Optional[asyncio.Task] = None
+        self._send_task: Optional[asyncio.Task] = None
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="alert-service"
         )
+        # The journal writer gets its own single thread so a tick's fsync
+        # overlaps the previous tick's matching pass instead of queueing
+        # behind it on the service thread.
+        self._journal_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="alert-journal"
+        )
+        self._codec: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        if options.codec_threads > 0:
+            self._codec = concurrent.futures.ThreadPoolExecutor(
+                max_workers=options.codec_threads, thread_name_prefix="alert-codec"
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -161,29 +218,37 @@ class AlertServiceServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.options.host, port=self.options.port
         )
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.options.pipelined:
+            self._exec_task = asyncio.create_task(self._exec_loop())
+            self._send_task = asyncio.create_task(self._send_loop())
 
     async def stop(self, graceful: bool = True) -> None:
         """Stop the server; graceful stops drain and answer every inflight request."""
         self._draining = True
         self._resume.set()  # paused readers must wake to observe the drain
+        for conn in list(self._connections):
+            conn.resume.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._dispatcher is not None:
+        tasks = [t for t in (self._dispatcher, self._exec_task, self._send_task) if t is not None]
+        if tasks:
             await self._queue.put(_SENTINEL)
             if graceful:
                 with contextlib.suppress(asyncio.TimeoutError):
                     await asyncio.wait_for(
-                        self._dispatcher, timeout=self.options.drain_timeout_seconds
+                        asyncio.gather(*tasks), timeout=self.options.drain_timeout_seconds
                     )
-            if not self._dispatcher.done():
-                self._dispatcher.cancel()
-                with contextlib.suppress(asyncio.CancelledError):
-                    await self._dispatcher
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
         if graceful and self.snapshot_path is not None:
             # Snapshotting also checkpoints the write-ahead journal, so the
             # drained state is durable before the last connection closes.
@@ -191,6 +256,9 @@ class AlertServiceServer:
         for conn in list(self._connections):
             await self._close_connection(conn)
         self._executor.shutdown(wait=True)
+        self._journal_executor.shutdown(wait=True)
+        if self._codec is not None:
+            self._codec.shutdown(wait=True)
 
     async def __aenter__(self) -> "AlertServiceServer":
         await self.start()
@@ -227,10 +295,13 @@ class AlertServiceServer:
 
     async def _read_loop(self, conn: _Connection) -> None:
         injector = getattr(self.service, "fault_injector", None)
+        quota = self.options.max_inflight_per_conn  # None = per-conn gate off
+        offload_at = self.options.codec_offload_bytes
         while not conn.closed:
-            frame = await read_frame(conn.reader, self.options.max_frame_bytes)
-            if frame is None:
+            raw = await read_frame_raw(conn.reader, self.options.max_frame_bytes)
+            if raw is None:
                 return
+            flags, crc, body = raw
             if injector is not None:
                 fate = injector.net_frame("read")
                 if fate is not None:
@@ -240,6 +311,17 @@ class AlertServiceServer:
                         return
                     if fate[0] == "slow_client":
                         await asyncio.sleep(fate[1])
+            # CRC + parse of a large body runs on the codec pool; small
+            # frames decode inline (the handoff would cost more than the
+            # parse, which shows up as uncongested-latency regression).
+            offload = self._codec is not None and len(body) >= offload_at
+            if offload:
+                self.stats.codec_offloads += 1
+                frame = await self._loop.run_in_executor(
+                    self._codec, decode_body_checked, body, flags, crc
+                )
+            else:
+                frame = decode_body_checked(body, flags, crc)
             self.stats.requests_received += 1
             req_id = frame.get("id")
             if not isinstance(req_id, int) or frame.get("kind") != "request":
@@ -260,6 +342,30 @@ class AlertServiceServer:
                     ErrorResponse(error=SHUTTING_DOWN_ERROR, message="server is draining"),
                 )
                 continue
+            if quota is not None and conn.inflight >= quota:
+                # This connection is over its own share of the admission
+                # window: reject and pause only *its* reader.  The global
+                # gate below stays untouched for everyone else.
+                self.stats.busy_rejections += 1
+                self.stats.per_conn_busy_rejections += 1
+                await self._send_error(
+                    conn,
+                    req_id,
+                    ErrorResponse(
+                        error=BUSY_ERROR,
+                        message=(
+                            f"per-connection inflight quota {quota} reached; "
+                            "retry after a backoff"
+                        ),
+                    ),
+                )
+                self.stats.reader_pauses += 1
+                conn.resume.clear()
+                # Lost-wakeup guard: a completion may have landed while the
+                # BUSY frame was being sent (the await above yields).
+                self._check_conn_resume(conn)
+                await conn.resume.wait()
+                continue
             if self._inflight >= self.options.max_inflight:
                 # Past high-water: reject this request and pause the reader
                 # until the dispatcher drains back below low-water.
@@ -277,83 +383,247 @@ class AlertServiceServer:
                 )
                 self.stats.reader_pauses += 1
                 self._resume.clear()
+                # Lost-wakeup guard: the drain below low-water may have
+                # happened during the awaited BUSY send above, in which case
+                # the set() we would wait for has already fired.
+                self._check_resume()
                 await self._resume.wait()
                 continue
             try:
-                request = request_from_wire(frame.get("payload") or {}, group=self._group)
+                payload = frame.get("payload") or {}
+                if offload:
+                    request = await self._loop.run_in_executor(
+                        self._codec,
+                        functools.partial(request_from_wire, payload, group=self._group),
+                    )
+                else:
+                    request = request_from_wire(payload, group=self._group)
             except Exception as exc:
                 await self._send_error(conn, req_id, ErrorResponse.from_exception(exc))
                 continue
             self._inflight += 1
+            conn.inflight += 1
             await self._queue.put(_Pending(conn=conn, req_id=req_id, request=request))
 
     # ------------------------------------------------------------------
-    # Dispatcher: the only path into service.handle
+    # Stage 1: admit + group-commit journal
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
         while True:
-            if self._leftover is not None:
-                item, self._leftover = self._leftover, None
+            tick = await self._collect_tick()
+            if tick is None:
+                break
+            plan = self._plan_tick(tick)
+            try:
+                await self._journal_tick(plan)
+            except Exception as exc:  # noqa: BLE001 - durability failure, not a crash
+                # The write-ahead rule forbids executing anything that did
+                # not make it to the journal: answer the whole tick with the
+                # failure and keep serving (matching the serial server,
+                # where the in-handler append raised into an error frame).
+                payload = ErrorResponse.from_exception(exc).to_wire()
+                for members, _ in plan:
+                    await self._deliver(members, payload, True)
+                if self._stopping:
+                    break
+                continue
+            self.stats.ticks_executed += 1
+            self.stats.batches_executed += len(plan)
+            if self.options.pipelined:
+                if self._exec_busy:
+                    self.stats.ticks_overlapped += 1
+                await self._exec_queue.put(plan)
             else:
-                item = await self._queue.get()
-            if item is _SENTINEL:
-                return
-            batch = [item]
-            if isinstance(item.request, IngestBatch) and self.options.batch_max > 1:
-                batch.extend(await self._coalesce_ingest())
-            await self._execute(batch)
+                # Serial (ablation) mode: the same tick semantics without
+                # stage overlap -- journal, execute and send back-to-back.
+                started = time.perf_counter()
+                results = await self._loop.run_in_executor(
+                    self._executor, self._run_tick, plan, False
+                )
+                self.stats.stage_execute_ms += (time.perf_counter() - started) * 1000.0
+                for members, payload, is_error in results:
+                    await self._deliver(members, payload, is_error)
+            if self._stopping:
+                break
+        if self.options.pipelined:
+            await self._exec_queue.put(_SENTINEL)
 
-    async def _coalesce_ingest(self) -> list:
-        """Pull consecutive queued ``IngestBatch`` requests into this tick.
+    async def _collect_tick(self) -> Optional[list]:
+        """One tick: the queue's head plus everything already waiting.
 
-        When the queue is empty, wait one ``batch_window_ms`` beat first so a
-        burst arriving "together" (an open-loop pulse) shares a single store
-        pass instead of paying one pass per request.
+        An uncongested request forms a singleton tick with zero added
+        latency; under load the tick grows toward ``batch_max`` and the
+        per-tick costs (journal fsync, worker-thread round-trip) amortize
+        across it.  An ingest-led tick waits one ``batch_window_ms`` beat
+        when the queue is empty, so an open-loop pulse arriving "together"
+        shares a single store pass (the PR 8 coalescing semantic).
         """
-        members: list = []
-        if self._queue.empty() and self.options.batch_window_ms > 0:
+        item = await self._queue.get()
+        if item is _SENTINEL:
+            return None
+        # Re-check the resume gate on dequeue as well as on completion: a
+        # reader pausing concurrently with this dequeue must not miss the
+        # level it is waiting on.
+        self._check_resume()
+        tick = [item]
+        if (
+            isinstance(item.request, IngestBatch)
+            and self.options.batch_max > 1
+            and self.options.batch_window_ms > 0
+            and self._queue.empty()
+        ):
             await asyncio.sleep(self.options.batch_window_ms / 1000.0)
-        while len(members) + 1 < self.options.batch_max:
+        while len(tick) < self.options.batch_max:
             try:
                 nxt = self._queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
-            if nxt is _SENTINEL or not isinstance(nxt.request, IngestBatch):
-                self._leftover = nxt  # processed right after this batch
+            if nxt is _SENTINEL:
+                self._stopping = True
                 break
-            members.append(nxt)
-        return members
+            tick.append(nxt)
+        return tick
 
-    async def _execute(self, batch: list) -> None:
-        if len(batch) == 1:
-            request = batch[0].request
-        else:
-            # One merged store pass; every member shares the tick's report.
-            self.stats.requests_coalesced += len(batch) - 1
-            updates = tuple(u for member in batch for u in member.request.updates)
-            request = IngestBatch(
-                updates=updates,
-                evaluate=any(member.request.evaluate for member in batch),
-                at=batch[-1].request.at,
+    def _plan_tick(self, tick: list) -> list:
+        """Group a tick into executable units: ``[(members, request), ...]``.
+
+        Consecutive ``IngestBatch`` requests merge into one store pass whose
+        shared report every member receives; everything else executes as
+        itself, in arrival order.
+        """
+        plan: list = []
+        i = 0
+        while i < len(tick):
+            member = tick[i]
+            if isinstance(member.request, IngestBatch):
+                run = [member]
+                while i + 1 < len(tick) and isinstance(tick[i + 1].request, IngestBatch):
+                    i += 1
+                    run.append(tick[i])
+                if len(run) == 1:
+                    plan.append((run, member.request))
+                else:
+                    self.stats.requests_coalesced += len(run) - 1
+                    merged = IngestBatch(
+                        updates=tuple(u for m in run for u in m.request.updates),
+                        evaluate=any(m.request.evaluate for m in run),
+                        at=run[-1].request.at,
+                    )
+                    plan.append((run, merged))
+            else:
+                plan.append(([member], member.request))
+            i += 1
+        return plan
+
+    async def _journal_tick(self, plan: list) -> None:
+        """Group-commit the tick: every request durable under one fsync.
+
+        Runs on a dedicated journal thread so the fsync overlaps the
+        previous tick's matching pass.  The write-ahead contract is
+        per-tick what it was per-request: nothing in the tick may execute
+        until this returns.
+        """
+        service = self.service
+        if getattr(service, "journal", None) is None:
+            return
+        requests = [request for _, request in plan]
+        started = time.perf_counter()
+        await self._loop.run_in_executor(
+            self._journal_executor, service.journal_requests, requests
+        )
+        self.stats.stage_journal_ms += (time.perf_counter() - started) * 1000.0
+        self.stats.group_commits = service.journal.group_commits
+        self.stats.fsyncs_saved = service.journal.fsyncs_saved
+
+    # ------------------------------------------------------------------
+    # Stage 2: execute (the only path into service.handle)
+    # ------------------------------------------------------------------
+    async def _exec_loop(self) -> None:
+        while True:
+            plan = await self._exec_queue.get()
+            if plan is _SENTINEL:
+                break
+            self._exec_busy = True
+            try:
+                started = time.perf_counter()
+                await self._loop.run_in_executor(self._executor, self._run_tick, plan, True)
+                self.stats.stage_execute_ms += (time.perf_counter() - started) * 1000.0
+            finally:
+                self._exec_busy = False
+        self._send_queue.put_nowait(_SENTINEL)
+
+    def _run_tick(self, plan: list, push: bool) -> Optional[list]:
+        """Execute a tick's units in order on the service thread.
+
+        With ``push`` (pipelined mode) each completed unit is handed to the
+        send stage immediately -- the first response of a tick goes out
+        while later units still run.  Serial mode returns the results for
+        inline delivery.  ``response_to_wire`` runs here too, keeping
+        serialization off the event loop.
+        """
+        results: Optional[list] = None if push else []
+        for members, request in plan:
+            try:
+                payload = response_to_wire(self.service.handle(request))
+                is_error = False
+            except Exception as exc:  # noqa: BLE001 - mapped to a structured frame
+                payload = ErrorResponse.from_exception(exc).to_wire()
+                is_error = True
+            if push:
+                self._loop.call_soon_threadsafe(
+                    self._send_queue.put_nowait, (members, payload, is_error)
+                )
+            else:
+                results.append((members, payload, is_error))
+        return results
+
+    # ------------------------------------------------------------------
+    # Stage 3: encode + send
+    # ------------------------------------------------------------------
+    async def _send_loop(self) -> None:
+        while True:
+            item = await self._send_queue.get()
+            if item is _SENTINEL:
+                return
+            members, payload, is_error = item
+            await self._deliver(members, payload, is_error)
+
+    async def _deliver(self, members: list, payload: dict, is_error: bool) -> None:
+        envelopes = [
+            {"id": member.req_id, "kind": "response", "payload": payload} for member in members
+        ]
+        started = time.perf_counter()
+        if self._codec is not None and len(envelopes) > 1:
+            self.stats.codec_offloads += 1
+            frames = await self._loop.run_in_executor(
+                self._codec, self._encode_envelopes, envelopes
             )
-        self.stats.batches_executed += 1
-        loop = asyncio.get_running_loop()
-        try:
-            response = await loop.run_in_executor(self._executor, self.service.handle, request)
-            payload = response_to_wire(response)
-            is_error = False
-        except Exception as exc:  # noqa: BLE001 - mapped to a structured frame
-            payload = ErrorResponse.from_exception(exc).to_wire()
-            is_error = True
-        for member in batch:
+        else:
+            frames = self._encode_envelopes(envelopes)
+        self.stats.stage_encode_ms += (time.perf_counter() - started) * 1000.0
+        per_conn: dict = {}
+        for member, parts in zip(members, frames):
             self._inflight -= 1
+            member.conn.inflight -= 1
             if is_error:
                 self.stats.errors_returned += 1
-            await self._send(
-                member.conn, {"id": member.req_id, "kind": "response", "payload": payload}
-            )
-        if self._inflight <= self.options.resolved_low_water:
+            per_conn.setdefault(member.conn, []).append(parts)
+        for conn, conn_frames in per_conn.items():
+            await self._write_frames(conn, conn_frames)
+            self._check_conn_resume(conn)
+        self._check_resume()
+
+    def _encode_envelopes(self, envelopes: list) -> list:
+        return [encode_frame_parts(envelope, self.wire_format) for envelope in envelopes]
+
+    def _check_resume(self) -> None:
+        if self._draining or self._inflight <= self.options.resolved_low_water:
             self._resume.set()
+
+    def _check_conn_resume(self, conn: _Connection) -> None:
+        quota = self.options.max_inflight_per_conn
+        if self._draining or conn.closed or quota is None or conn.inflight < quota:
+            conn.resume.set()
 
     # ------------------------------------------------------------------
     # Write path
@@ -363,30 +633,56 @@ class AlertServiceServer:
         await self._send(conn, {"id": req_id, "kind": "response", "payload": error.to_wire()})
 
     async def _send(self, conn: _Connection, envelope: dict) -> None:
+        await self._write_frames(conn, [encode_frame_parts(envelope, self.wire_format)])
+
+    async def _write_frames(self, conn: _Connection, frames: list) -> None:
+        """Send pre-encoded ``(header, body)`` frames on one connection.
+
+        The fault-free path batches every frame into a single ``writelines``
+        + drain (zero-copy: the parts are never concatenated).  With an
+        injector armed, frames go one at a time so each gets its own fate
+        decision, exactly as the serial server gave them.
+        """
         if conn.closed:
             return
-        data = encode_frame(envelope, self.wire_format)
         injector = getattr(self.service, "fault_injector", None)
-        if injector is not None:
-            fate = injector.net_frame("write")
-            if fate is not None:
-                self.stats.faults_injected += 1
-                if fate[0] == "conn_drop":
-                    await self._close_connection(conn)
-                    self.stats.connections_dropped += 1
-                    return
-                if fate[0] == "frame_corrupt":
-                    # Flip a byte run in the body; the client's CRC check
-                    # rejects the frame and treats the connection as lost.
-                    at = len(data) // 2
-                    data = data[:at] + bytes(b ^ 0xA5 for b in data[at : at + 4]) + data[at + 4 :]
-                elif fate[0] == "slow_client":
-                    await asyncio.sleep(fate[1])
         try:
             async with conn.write_lock:
-                conn.writer.write(data)
-                await conn.writer.drain()
-            self.stats.responses_sent += 1
+                if injector is None:
+                    buffers: list = []
+                    for header, body in frames:
+                        buffers.append(header)
+                        buffers.append(body)
+                    conn.writer.writelines(buffers)
+                    await conn.writer.drain()
+                    self.stats.responses_sent += len(frames)
+                    return
+                for header, body in frames:
+                    if conn.closed:
+                        return
+                    data = header + body
+                    fate = injector.net_frame("write")
+                    if fate is not None:
+                        self.stats.faults_injected += 1
+                        if fate[0] == "conn_drop":
+                            await self._close_connection(conn)
+                            self.stats.connections_dropped += 1
+                            return
+                        if fate[0] == "frame_corrupt":
+                            # Flip a byte run in the body; the client's CRC
+                            # check rejects the frame and treats the
+                            # connection as lost.
+                            at = len(data) // 2
+                            data = (
+                                data[:at]
+                                + bytes(b ^ 0xA5 for b in data[at : at + 4])
+                                + data[at + 4 :]
+                            )
+                        elif fate[0] == "slow_client":
+                            await asyncio.sleep(fate[1])
+                    conn.writer.write(data)
+                    await conn.writer.drain()
+                    self.stats.responses_sent += 1
         except (ConnectionError, OSError):
             await self._close_connection(conn)
 
@@ -394,6 +690,7 @@ class AlertServiceServer:
         if conn.closed:
             return
         conn.closed = True
+        conn.resume.set()  # a reader parked on its quota must wake to exit
         self._connections.discard(conn)
         with contextlib.suppress(ConnectionError, OSError):
             conn.writer.close()
@@ -415,7 +712,10 @@ class AlertServiceServer:
             "wire_format": self.wire_format,
             "max_inflight": self.options.max_inflight,
             "low_water": self.options.resolved_low_water,
+            "per_conn_quota": self.options.resolved_per_conn_quota,
             "batch_max": self.options.batch_max,
+            "pipelined": self.options.pipelined,
+            "codec_threads": self.options.codec_threads,
             "stats": self.stats.snapshot(),
             "time": time.time(),
         }

@@ -55,9 +55,12 @@ __all__ = [
     "msgpack_available",
     "resolve_wire_format",
     "encode_frame",
+    "encode_frame_parts",
     "decode_frame",
+    "decode_body_checked",
     "split_frame",
     "read_frame",
+    "read_frame_raw",
     "write_frame",
 ]
 
@@ -111,14 +114,15 @@ def _encode_body(payload: dict, fmt: str) -> Tuple[bytes, int]:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8"), 0
 
 
-def _decode_body(body: bytes, flags: int) -> dict:
+def _decode_body(body: bytes | memoryview, flags: int) -> dict:
     if flags & FLAG_MSGPACK:
         if msgpack is None:
             raise WireError("received a msgpack frame but msgpack is not importable")
         decoded = msgpack.unpackb(body, raw=False)
     else:
         try:
-            decoded = json.loads(body.decode("utf-8"))
+            raw = body.tobytes() if isinstance(body, memoryview) else body
+            decoded = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise FrameCorrupt(f"frame body is not valid JSON: {exc}") from exc
     if not isinstance(decoded, dict):
@@ -126,11 +130,36 @@ def _decode_body(body: bytes, flags: int) -> dict:
     return decoded
 
 
-def encode_frame(payload: dict, fmt: str = "json") -> bytes:
-    """One complete frame (header + body) for ``payload``."""
+def encode_frame_parts(payload: dict, fmt: str = "json") -> Tuple[bytes, bytes]:
+    """One frame as its ``(header, body)`` parts, uncombined.
+
+    The zero-copy send path: callers hand both parts straight to
+    ``StreamWriter.writelines`` instead of paying a concatenation copy per
+    frame (the batched response path sends a whole tick's frames through one
+    ``writelines``).
+    """
     body, flags = _encode_body(payload, fmt)
     header = HEADER.pack(WIRE_MAGIC, WIRE_VERSION, flags, len(body), zlib.crc32(body))
+    return header, body
+
+
+def encode_frame(payload: dict, fmt: str = "json") -> bytes:
+    """One complete frame (header + body) for ``payload``."""
+    header, body = encode_frame_parts(payload, fmt)
     return header + body
+
+
+def decode_body_checked(body: bytes | memoryview, flags: int, crc: int) -> dict:
+    """CRC-check and decode a frame body already peeled from its header.
+
+    The second half of :func:`read_frame_raw`: keeping it separate lets a
+    server run the (potentially large) checksum + parse on a codec thread
+    instead of the event loop.  Accepts a memoryview so slicing callers
+    need not copy the body first.
+    """
+    if zlib.crc32(body) != crc:
+        raise FrameCorrupt("frame body failed its CRC32 check")
+    return _decode_body(body, flags)
 
 
 def _check_header(data: bytes, max_frame_bytes: Optional[int]) -> Tuple[int, int, int]:
@@ -171,19 +200,22 @@ def split_frame(buffer: bytes, max_frame_bytes: Optional[int] = None) -> Optiona
     end = HEADER_SIZE + length
     if len(buffer) < end:
         return None
-    body = buffer[HEADER_SIZE:end]
-    if zlib.crc32(body) != crc:
-        raise FrameCorrupt("frame body failed its CRC32 check")
-    return _decode_body(body, flags), buffer[end:]
+    # Peel the body through a memoryview: the CRC and decode read it in
+    # place, so only the (usually small) remainder is materialised as bytes.
+    body = memoryview(buffer)[HEADER_SIZE:end]
+    return decode_body_checked(body, flags, crc), buffer[end:]
 
 
-async def read_frame(
+async def read_frame_raw(
     reader: asyncio.StreamReader, max_frame_bytes: Optional[int] = None
-) -> Optional[dict]:
-    """Read exactly one frame from ``reader``; None on clean EOF at a boundary.
+) -> Optional[Tuple[int, int, bytes]]:
+    """Read one frame's ``(flags, crc, body)`` without decoding the body.
 
-    EOF *inside* a frame (header or body cut short) is a :class:`FrameCorrupt`
-    -- the peer died mid-send and the tail cannot be trusted.
+    The header is validated (magic, version, length bound) but the body's
+    CRC check and parse are deferred to :func:`decode_body_checked`, so a
+    server can run them off the event loop.  None on clean EOF at a frame
+    boundary; EOF *inside* a frame is a :class:`FrameCorrupt` -- the peer
+    died mid-send and the tail cannot be trusted.
     """
     try:
         header = await reader.readexactly(HEADER_SIZE)
@@ -196,9 +228,22 @@ async def read_frame(
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise FrameCorrupt("connection closed mid-body") from exc
-    if zlib.crc32(body) != crc:
-        raise FrameCorrupt("frame body failed its CRC32 check")
-    return _decode_body(body, flags)
+    return flags, crc, body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: Optional[int] = None
+) -> Optional[dict]:
+    """Read exactly one frame from ``reader``; None on clean EOF at a boundary.
+
+    EOF *inside* a frame (header or body cut short) is a :class:`FrameCorrupt`
+    -- the peer died mid-send and the tail cannot be trusted.
+    """
+    raw = await read_frame_raw(reader, max_frame_bytes)
+    if raw is None:
+        return None
+    flags, crc, body = raw
+    return decode_body_checked(body, flags, crc)
 
 
 async def write_frame(writer: asyncio.StreamWriter, payload: dict, fmt: str = "json") -> None:

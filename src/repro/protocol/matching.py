@@ -1870,6 +1870,7 @@ class MatchingEngine:
                 dispatcher.submit(
                     lane, _dispatch_worker_match, tuple((h, w) for _, h, w in tasks)
                 ),
+                time.perf_counter(),
             )
             for lane, tasks in per_lane.items()
         ]
@@ -1877,11 +1878,14 @@ class MatchingEngine:
         lane_results: list[tuple[Any, list, tuple]] = []
         stale_lanes: list[tuple[Any, list, BaseException]] = []
         broken_error: Optional[BaseException] = None
-        for lane, tasks, future in futures:
+        for lane, tasks, future, submitted in futures:
             try:
                 lane_results.append(
                     (lane, tasks, dispatcher.result_within(lane, future, label="match"))
                 )
+                # Load sample for the autoscaler: this lane's queue depth
+                # (shard-tasks this pass) and submit->receipt latency.
+                dispatcher.observe_load(lane, len(tasks), time.perf_counter() - submitted)
             except StaleResidentShard as exc:
                 stale_lanes.append((lane, tasks, exc))
             except (concurrent.futures.BrokenExecutor, TaskDeadlineExceeded) as exc:
@@ -1982,4 +1986,7 @@ class MatchingEngine:
                 if was_acked:
                     stats.affinity_hits += len(worklist)
         group.counter.record_pairing(worker_pairings)
+        # End of a successful pass: let the dispatcher act on the load
+        # samples (no-op unless an AutoscalePolicy is configured).
+        dispatcher.maybe_autoscale()
         return evaluated

@@ -72,6 +72,25 @@ class NetOptions:
     drain_timeout_seconds:
         Graceful-shutdown budget: how long ``stop()`` waits for the inflight
         queue to drain before closing connections anyway.
+    max_inflight_per_conn:
+        Per-connection inflight quota.  A single flooding client hits its own
+        ``BUSY`` ceiling (and only *its* reader pauses) before it can occupy
+        the whole global window and starve polite connections.  ``None``
+        (default) disables the per-connection cap; must not exceed
+        ``max_inflight`` when set.
+    pipelined:
+        Run the server's dispatch loop in stage-parallel (double-buffered)
+        mode: tick N+1 is admitted, decoded and journaled while tick N's
+        matching pass runs on the worker thread.  ``False`` falls back to the
+        strictly serial loop (the pipelined-vs-serial ablation's baseline).
+    codec_threads:
+        Size of the codec offload pool that moves frame decode + response
+        encode off the event loop.  ``0`` keeps all codec work on the loop.
+    codec_offload_bytes:
+        Frame bodies at or above this size are decoded on the codec pool;
+        smaller frames decode inline (offloading a 100-byte JSON parse costs
+        more in handoff than it saves, which would show up as uncongested
+        p99 regression).
     """
 
     host: str = "127.0.0.1"
@@ -83,6 +102,10 @@ class NetOptions:
     max_frame_bytes: int = 8 << 20
     wire_format: str = "auto"
     drain_timeout_seconds: float = 10.0
+    max_inflight_per_conn: Optional[int] = None
+    pipelined: bool = True
+    codec_threads: int = 2
+    codec_offload_bytes: int = 2048
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -102,11 +125,33 @@ class NetOptions:
         _require_choice(self.wire_format, WIRE_FORMATS, "wire format")
         if self.drain_timeout_seconds < 0:
             raise ValueError("drain_timeout_seconds must be non-negative")
+        if self.max_inflight_per_conn is not None and not (
+            1 <= self.max_inflight_per_conn <= self.max_inflight
+        ):
+            raise ValueError(
+                "max_inflight_per_conn must satisfy 1 <= quota <= max_inflight (or None)"
+            )
+        if self.codec_threads < 0:
+            raise ValueError("codec_threads must be non-negative (0 keeps codec on the loop)")
+        if self.codec_offload_bytes < 0:
+            raise ValueError("codec_offload_bytes must be non-negative")
 
     @property
     def resolved_low_water(self) -> int:
         """The effective resume threshold (default: half the high water)."""
         return self.low_water if self.low_water is not None else self.max_inflight // 2
+
+    @property
+    def resolved_per_conn_quota(self) -> int:
+        """The effective per-connection inflight quota.
+
+        ``None`` resolves to the full global window -- per-connection
+        fairness is opt-in, so single-client deployments keep the exact
+        global-only admission semantics they had before the knob existed.
+        """
+        if self.max_inflight_per_conn is not None:
+            return self.max_inflight_per_conn
+        return self.max_inflight
 
 
 @dataclass(frozen=True)
@@ -165,6 +210,18 @@ class ServiceConfig:
         Keep the per-worker acked-version handshake (default).  ``False``
         ships floor-based deltas as PR 4 did while keeping affinity routing
         and in-place re-priming -- isolates the handshake's contribution.
+    autoscale + autoscale_* knobs:
+        Load-driven lane resizing for the affinity dispatcher.  When
+        ``autoscale`` is on, the engine samples per-lane queue depth and
+        receipt latency each sharded pass and the dispatcher grows/shrinks
+        its lane set between ``autoscale_min_lanes`` and
+        ``autoscale_max_lanes`` (riding the minimal-movement ``resize()``),
+        with hysteresis: growth re-arms only after
+        ``autoscale_cooldown_passes`` quiet passes, shrink only after
+        ``autoscale_calm_passes`` consecutive calm passes.  See
+        :class:`~repro.service.resilience.AutoscalePolicy` for the threshold
+        semantics.  Only meaningful where affinity dispatch is (process
+        executor, shards > 0).
 
     Resilience
     ----------
@@ -219,6 +276,15 @@ class ServiceConfig:
     shards: int = 0
     affinity: bool = True
     ack_deltas: bool = True
+    autoscale: bool = False
+    autoscale_min_lanes: int = 1
+    autoscale_max_lanes: int = 8
+    autoscale_grow_depth: float = 2.0
+    autoscale_grow_latency_ms: float = 0.0
+    autoscale_shrink_depth: float = 0.75
+    autoscale_cooldown_passes: int = 2
+    autoscale_calm_passes: int = 5
+    autoscale_step: int = 1
     task_deadline_seconds: Optional[float] = 60.0
     max_retries: int = 2
     backoff_base_seconds: float = 0.05
@@ -265,10 +331,11 @@ class ServiceConfig:
             raise ValueError("max_age_seconds must be positive (or None to disable expiry)")
         if self.shards < 0:
             raise ValueError("shards must be non-negative (0 keeps the unsharded store)")
-        # Fail on bad resilience/fault values at construction, with the
-        # specialised validators' own messages.
+        # Fail on bad resilience/fault/autoscale values at construction, with
+        # the specialised validators' own messages.
         self.resilience_policy()
         self.fault_plan()
+        self.autoscale_policy()
 
     # ------------------------------------------------------------------
     # Derived views
@@ -307,6 +374,23 @@ class ServiceConfig:
         from repro.service.faults import FaultPlan
 
         return FaultPlan.parse(self.faults, seed=self.fault_seed)
+
+    def autoscale_policy(self):
+        """The :class:`~repro.service.resilience.AutoscalePolicy`, or None when off."""
+        if not self.autoscale:
+            return None
+        from repro.service.resilience import AutoscalePolicy
+
+        return AutoscalePolicy(
+            min_lanes=self.autoscale_min_lanes,
+            max_lanes=self.autoscale_max_lanes,
+            grow_depth=self.autoscale_grow_depth,
+            grow_latency_ms=self.autoscale_grow_latency_ms,
+            shrink_depth=self.autoscale_shrink_depth,
+            cooldown_passes=self.autoscale_cooldown_passes,
+            calm_passes=self.autoscale_calm_passes,
+            step=self.autoscale_step,
+        )
 
     # ------------------------------------------------------------------
     # Legacy translations
@@ -469,6 +553,31 @@ class ServiceConfigBuilder:
             quarantine_passes=quarantine_passes,
             max_stale_resets=max_stale_resets,
             degrade_inline=degrade_inline,
+        )
+
+    def with_autoscale(
+        self,
+        enabled: Any = _UNSET,
+        min_lanes: Any = _UNSET,
+        max_lanes: Any = _UNSET,
+        grow_depth: Any = _UNSET,
+        grow_latency_ms: Any = _UNSET,
+        shrink_depth: Any = _UNSET,
+        cooldown_passes: Any = _UNSET,
+        calm_passes: Any = _UNSET,
+        step: Any = _UNSET,
+    ) -> "ServiceConfigBuilder":
+        """Configure load-driven lane resizing for the affinity dispatcher."""
+        return self._set(
+            autoscale=enabled,
+            autoscale_min_lanes=min_lanes,
+            autoscale_max_lanes=max_lanes,
+            autoscale_grow_depth=grow_depth,
+            autoscale_grow_latency_ms=grow_latency_ms,
+            autoscale_shrink_depth=shrink_depth,
+            autoscale_cooldown_passes=cooldown_passes,
+            autoscale_calm_passes=calm_passes,
+            autoscale_step=step,
         )
 
     def with_faults(self, faults: Any = _UNSET, fault_seed: Any = _UNSET) -> "ServiceConfigBuilder":

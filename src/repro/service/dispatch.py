@@ -51,7 +51,7 @@ from typing import Any, Callable, Optional
 
 from repro.protocol.matching import _dispatch_worker_evict, _dispatch_worker_prime
 from repro.service.faults import _delayed_call
-from repro.service.resilience import ResilienceRuntime, TaskDeadlineExceeded
+from repro.service.resilience import AutoscalePolicy, ResilienceRuntime, TaskDeadlineExceeded
 
 __all__ = ["AffinityDispatcher", "WorkerLane", "rendezvous_owner"]
 
@@ -187,6 +187,12 @@ class AffinityDispatcher:
         Optional :class:`~repro.service.faults.FaultInjector`: lane tasks are
         then subject to the plan's kill/hang/delay faults and ack recording to
         its drop/corrupt faults.  ``None`` in production.
+    autoscale:
+        Optional :class:`~repro.service.resilience.AutoscalePolicy`: the
+        engine's affinity pass feeds per-lane load samples through
+        :meth:`observe_load` and calls :meth:`maybe_autoscale` between
+        passes, which grows/shrinks the lane set via :meth:`resize` under the
+        policy's hysteresis.  ``None`` (default) keeps the lane count fixed.
     """
 
     def __init__(
@@ -195,6 +201,7 @@ class AffinityDispatcher:
         ack_deltas: bool = True,
         resilience: Optional[ResilienceRuntime] = None,
         fault_injector=None,
+        autoscale: Optional[AutoscalePolicy] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -202,6 +209,7 @@ class AffinityDispatcher:
         self.ack_deltas = ack_deltas
         self.resilience = resilience if resilience is not None else ResilienceRuntime()
         self.fault_injector = fault_injector
+        self.autoscale = autoscale
         self._lanes: list[WorkerLane] = []
         self._closed = False
         # (store_token, shard_id) -> lane name, for rebalance accounting: the
@@ -213,6 +221,18 @@ class AffinityDispatcher:
         self.inplace_reprimes = 0
         self.lane_respawns = 0
         self.shards_reassigned = 0
+        #: Autoscale state: per-pass load accumulators, hysteresis counters,
+        #: and the applied resize events (surfaced through the session stats).
+        self.lane_resizes = 0
+        self.lanes_added = 0
+        self.lanes_removed = 0
+        self.resize_events: list[dict] = []
+        self._pass_index = 0
+        self._pass_depth = 0
+        self._pass_samples = 0
+        self._pass_receipt_seconds = 0.0
+        self._scale_cooldown = 0
+        self._calm_streak = 0
 
     # ------------------------------------------------------------------
     # Lifecycle / priming
@@ -312,6 +332,89 @@ class AffinityDispatcher:
                     pass
         self.shards_reassigned += len(moved)
         return moved
+
+    # ------------------------------------------------------------------
+    # Load-driven autoscale
+    # ------------------------------------------------------------------
+    def observe_load(self, lane: WorkerLane, depth: int, receipt_seconds: float) -> None:
+        """Record one lane's load sample for the current evaluation pass.
+
+        ``depth`` is the lane's queue depth this pass (match tasks routed to
+        it), ``receipt_seconds`` the submit-to-result receipt latency of its
+        worklist.  Cheap no-op without an autoscale policy.
+        """
+        if self.autoscale is None:
+            return
+        self._pass_depth += depth
+        self._pass_samples += 1
+        self._pass_receipt_seconds += receipt_seconds
+
+    def maybe_autoscale(self) -> Optional[dict]:
+        """Close out one pass's load window and maybe resize the lane set.
+
+        Called by the engine after each affinity pass.  Grows by
+        ``policy.step`` when the pass ran hot (average per-lane depth above
+        ``grow_depth``, or mean receipt latency above ``grow_latency_ms``);
+        shrinks only after ``calm_passes`` consecutive calm passes; holds
+        still for ``cooldown_passes`` after any resize.  Returns the resize
+        event applied (also appended to :attr:`resize_events`), or None.
+        """
+        policy = self.autoscale
+        depth_sum = self._pass_depth
+        samples = self._pass_samples
+        receipt_total = self._pass_receipt_seconds
+        self._pass_depth = 0
+        self._pass_samples = 0
+        self._pass_receipt_seconds = 0.0
+        if policy is None or not self._lanes or samples == 0:
+            return None
+        self._pass_index += 1
+        lanes_now = len(self._lanes)
+        # Idle lanes contribute depth 0: dividing by the live lane count (not
+        # the sample count) makes "half the lanes saw two tasks" read as an
+        # average depth of 1, which is the balance signal we actually want.
+        avg_depth = depth_sum / lanes_now
+        avg_receipt_ms = (receipt_total / samples) * 1000.0
+        if self._scale_cooldown > 0:
+            self._scale_cooldown -= 1
+            return None
+        hot = avg_depth > policy.grow_depth or (
+            policy.grow_latency_ms > 0 and avg_receipt_ms > policy.grow_latency_ms
+        )
+        action: Optional[str] = None
+        target = lanes_now
+        if hot and lanes_now < policy.max_lanes:
+            action = "grow"
+            target = min(policy.max_lanes, lanes_now + policy.step)
+            self._calm_streak = 0
+        elif not hot and avg_depth < policy.shrink_depth:
+            self._calm_streak += 1
+            if self._calm_streak >= policy.calm_passes and lanes_now > policy.min_lanes:
+                action = "shrink"
+                target = max(policy.min_lanes, lanes_now - policy.step)
+                self._calm_streak = 0
+        else:
+            self._calm_streak = 0
+        if action is None or target == lanes_now:
+            return None
+        moved = self.resize(target)
+        self._scale_cooldown = policy.cooldown_passes
+        self.lane_resizes += 1
+        if target > lanes_now:
+            self.lanes_added += target - lanes_now
+        else:
+            self.lanes_removed += lanes_now - target
+        event = {
+            "pass": self._pass_index,
+            "action": action,
+            "from_lanes": lanes_now,
+            "to_lanes": target,
+            "avg_depth": round(avg_depth, 3),
+            "avg_receipt_ms": round(avg_receipt_ms, 3),
+            "shards_moved": len(moved),
+        }
+        self.resize_events.append(event)
+        return event
 
     def close(self) -> None:
         """Shut every lane down (idempotent); later use raises RuntimeError."""

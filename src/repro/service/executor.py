@@ -71,6 +71,12 @@ class PersistentExecutorPool:
     fault_injector:
         Optional :class:`~repro.service.faults.FaultInjector`, forwarded to
         the dispatcher so chaos runs can kill/hang lanes and garble acks.
+    autoscale:
+        Optional :class:`~repro.service.resilience.AutoscalePolicy`, forwarded
+        to the dispatcher: the engine feeds per-lane load samples back after
+        every sharded pass and the dispatcher grows/shrinks its lane set
+        between the policy's bounds.  None (default) keeps the lane count
+        fixed at ``workers``.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class PersistentExecutorPool:
         ack_deltas: bool = True,
         resilience: Optional[ResilienceRuntime] = None,
         fault_injector=None,
+        autoscale=None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -92,6 +99,7 @@ class PersistentExecutorPool:
         self.ack_deltas = ack_deltas
         self.resilience = resilience if resilience is not None else ResilienceRuntime()
         self.fault_injector = fault_injector
+        self.autoscale = autoscale
         self._thread_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._process_pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._dispatcher: Optional[AffinityDispatcher] = None
@@ -178,6 +186,7 @@ class PersistentExecutorPool:
                 ack_deltas=self.ack_deltas,
                 resilience=self.resilience,
                 fault_injector=self.fault_injector,
+                autoscale=self.autoscale,
             )
         return self._dispatcher
 
@@ -214,6 +223,26 @@ class PersistentExecutorPool:
     def inplace_reprimes(self) -> int:
         """Plan changes broadcast to live workers instead of restarting them."""
         return self._dispatcher.inplace_reprimes if self._dispatcher is not None else 0
+
+    @property
+    def lane_resizes(self) -> int:
+        """Autoscale-driven lane-set resizes (grow + shrink)."""
+        return self._dispatcher.lane_resizes if self._dispatcher is not None else 0
+
+    @property
+    def lanes_added(self) -> int:
+        """Lanes added by autoscale grows over the session."""
+        return self._dispatcher.lanes_added if self._dispatcher is not None else 0
+
+    @property
+    def lanes_removed(self) -> int:
+        """Lanes removed by autoscale shrinks over the session."""
+        return self._dispatcher.lanes_removed if self._dispatcher is not None else 0
+
+    @property
+    def resize_events(self) -> list:
+        """The dispatcher's per-resize event log (empty without a dispatcher)."""
+        return list(self._dispatcher.resize_events) if self._dispatcher is not None else []
 
     @property
     def primed_version(self) -> Optional[int]:

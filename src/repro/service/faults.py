@@ -38,6 +38,10 @@ fault                    injection site
 ``slow_client``          both network paths -- the exchange is delayed by
                          ``slow_client_seconds``, modelling a slow consumer
                          without changing any outcome
+``fsync_delay``          :meth:`RequestJournal._sync` -- the durable sync of
+                         a journal append (or group-commit batch) is delayed
+                         by ``fsync_delay_seconds``, modelling slow durable
+                         storage; the sync still happens, so no outcome moves
 =======================  =====================================================
 
 Every stream is seeded per site, so a plan replays bit-identically: the same
@@ -114,9 +118,11 @@ class FaultPlan:
     conn_drop: float = 0.0
     frame_corrupt: float = 0.0
     slow_client: float = 0.0
+    fsync_delay: float = 0.0
     hang_seconds: float = 15.0
     delay_seconds: float = 0.02
     slow_client_seconds: float = 0.05
+    fsync_delay_seconds: float = 0.02
     seed: int = 0
 
     _PROBABILITIES = (
@@ -130,6 +136,7 @@ class FaultPlan:
         "conn_drop",
         "frame_corrupt",
         "slow_client",
+        "fsync_delay",
     )
 
     def __post_init__(self) -> None:
@@ -139,9 +146,15 @@ class FaultPlan:
                 raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
         if self.torn_snapshots < 0:
             raise ValueError("torn_snapshots must be non-negative")
-        if self.hang_seconds < 0 or self.delay_seconds < 0 or self.slow_client_seconds < 0:
+        if (
+            self.hang_seconds < 0
+            or self.delay_seconds < 0
+            or self.slow_client_seconds < 0
+            or self.fsync_delay_seconds < 0
+        ):
             raise ValueError(
-                "hang_seconds/delay_seconds/slow_client_seconds must be non-negative"
+                "hang_seconds/delay_seconds/slow_client_seconds/fsync_delay_seconds "
+                "must be non-negative"
             )
 
     @classmethod
@@ -198,7 +211,7 @@ class FaultInjector:
     ``counts`` records what actually fired, for assertions and CLI reports.
     """
 
-    _SITES = ("lane", "ack", "spool", "snapshot", "net")
+    _SITES = ("lane", "ack", "spool", "snapshot", "net", "journal")
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
@@ -341,6 +354,22 @@ class FaultInjector:
         return None
 
     # ------------------------------------------------------------------
+    # Journal syncs (RequestJournal._sync)
+    # ------------------------------------------------------------------
+    def journal_fsync(self) -> None:
+        """Maybe delay one durable journal sync (slow-storage model).
+
+        Draws from the dedicated ``journal`` stream so arming this site never
+        perturbs when any other fault fires.  The sync itself always
+        proceeds -- the fault models latency, not loss -- so group-commit
+        batches land intact, just late.
+        """
+        rng = self._rngs["journal"]
+        if rng.random() < self.plan.fsync_delay:
+            self.counts["fsync_delay"] += 1
+            time.sleep(self.plan.fsync_delay_seconds)
+
+    # ------------------------------------------------------------------
     # Snapshots (CiphertextStore.save, AlertService.snapshot)
     # ------------------------------------------------------------------
     def maybe_tear_snapshot(self, path, payload: bytes) -> None:
@@ -366,7 +395,7 @@ class FaultInjector:
 # ----------------------------------------------------------------------
 DEFAULT_CHAOS_SPEC = (
     "kill=0.05,hang=0.02,delay=0.06,drop_ack=0.10,corrupt_ack=0.05,"
-    "corrupt_spool=0.06,truncate_spool=0.03,torn_snapshot=1"
+    "corrupt_spool=0.06,truncate_spool=0.03,torn_snapshot=1,fsync_delay=0.10"
 )
 
 
@@ -530,8 +559,17 @@ def run_chaos_soak(
         faulted_dir = tmp_path / "faulted"
         baseline_dir.mkdir()
         faulted_dir.mkdir()
-        baseline_config = ServiceConfig(**base_kwargs)
-        faulted_config = ServiceConfig(**base_kwargs, faults=fault_spec, fault_seed=seed)
+        # Both runs journal ahead of execution so the fsync_delay site has a
+        # real durable path to slow down; each run gets its own WAL file.
+        baseline_config = ServiceConfig(
+            **base_kwargs, journal_path=str(baseline_dir / "wal.log")
+        )
+        faulted_config = ServiceConfig(
+            **base_kwargs,
+            journal_path=str(faulted_dir / "wal.log"),
+            faults=fault_spec,
+            fault_seed=seed,
+        )
         baseline_passes, baseline_stats, baseline_intact, _ = _run_scripted_session(
             scenario, baseline_config, script, users, baseline_dir
         )

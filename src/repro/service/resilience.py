@@ -48,6 +48,7 @@ from typing import Dict, Optional
 __all__ = [
     "TaskDeadlineExceeded",
     "LaneQuarantined",
+    "AutoscalePolicy",
     "ResiliencePolicy",
     "ResilienceRuntime",
 ]
@@ -80,6 +81,65 @@ class LaneQuarantined(RuntimeError):
     def __init__(self, message: str, lane: Optional[str] = None):
         super().__init__(message)
         self.lane = lane
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Load-driven lane scaling: when the dispatcher grows/shrinks its lanes.
+
+    The dispatcher samples per-lane queue depth (match tasks per lane) and
+    receipt latency (submit-to-result) on every evaluation pass and applies
+    this policy between passes, riding on the rendezvous ``resize()`` so only
+    reassigned shards re-ship.  Scaling is deliberately hysteretic -- grow
+    fast under pressure, shrink only after sustained calm -- because a resize
+    costs a pool start (grow) or shard re-ships (both directions).
+
+    Parameters
+    ----------
+    min_lanes / max_lanes:
+        Hard bounds on the lane count; the initial worker count is clamped
+        into this band on the first scaled pass.
+    grow_depth:
+        Grow when the average per-lane task depth of a pass exceeds this.
+    grow_latency_ms:
+        Also grow when the mean submit-to-result receipt latency of a pass
+        exceeds this many milliseconds (``0`` disables the latency trigger).
+    shrink_depth:
+        A pass with average depth strictly below this counts as *calm*.
+    cooldown_passes:
+        Passes to hold still after any resize before another is considered.
+    calm_passes:
+        Consecutive calm passes required before shrinking by ``step``.
+    step:
+        Lanes added or removed per resize event.
+    """
+
+    min_lanes: int = 1
+    max_lanes: int = 8
+    grow_depth: float = 2.0
+    grow_latency_ms: float = 0.0
+    shrink_depth: float = 0.75
+    cooldown_passes: int = 2
+    calm_passes: int = 5
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_lanes < 1:
+            raise ValueError("min_lanes must be at least 1")
+        if self.max_lanes < self.min_lanes:
+            raise ValueError("max_lanes must be >= min_lanes")
+        if self.grow_depth <= 0:
+            raise ValueError("grow_depth must be positive")
+        if self.grow_latency_ms < 0:
+            raise ValueError("grow_latency_ms must be non-negative (0 disables)")
+        if not 0 <= self.shrink_depth < self.grow_depth:
+            raise ValueError("shrink_depth must satisfy 0 <= shrink_depth < grow_depth")
+        if self.cooldown_passes < 0:
+            raise ValueError("cooldown_passes must be non-negative")
+        if self.calm_passes < 1:
+            raise ValueError("calm_passes must be at least 1")
+        if self.step < 1:
+            raise ValueError("step must be at least 1")
 
 
 @dataclass(frozen=True)

@@ -130,6 +130,16 @@ class SessionStats:
     quarantines: int = 0
     degraded_passes: int = 0
     stale_resets: int = 0
+    #: Journal group-commit totals (the network tier's tick batching):
+    #: multi-entry batches landed under one fsync, and the fsyncs batching
+    #: avoided versus the per-request write-ahead path.
+    journal_group_commits: int = 0
+    journal_fsyncs_saved: int = 0
+    #: Load-driven lane autoscale totals: resize events applied and lanes
+    #: added/removed across the session (see ``AutoscalePolicy``).
+    lane_resizes: int = 0
+    lanes_added: int = 0
+    lanes_removed: int = 0
 
 
 class AlertService:
@@ -214,13 +224,19 @@ class AlertService:
         self.store = self._build_store()
         self.store.fault_injector = self.fault_injector
         #: Write-ahead request journal (``config.journal_path``); mutating
-        #: requests are durably appended before they execute.
+        #: requests are durably appended before they execute.  The network
+        #: tier group-commits whole ticks through :meth:`journal_requests`.
         self.journal: Optional[RequestJournal] = (
-            RequestJournal(self.config.journal_path)
+            RequestJournal(self.config.journal_path, fault_injector=self.fault_injector)
             if self.config.journal_path is not None
             else None
         )
         self._replaying = False
+        # Identities of requests already covered by a group commit: their
+        # handlers must not append a duplicate entry.  Ids are added by the
+        # journal stage (before execution starts) and discarded by the
+        # handler's append check, so membership is strictly ahead of use.
+        self._prejournaled: set[int] = set()
         self._clock = 0.0
         self._zones: dict[str, StandingZone] = {}
         self._observers: list[Observer] = []
@@ -241,6 +257,7 @@ class AlertService:
                 ack_deltas=self.config.ack_deltas,
                 resilience=self.resilience,
                 fault_injector=self.fault_injector,
+                autoscale=self.config.autoscale_policy(),
             )
             self.engine.pools = self.pool
         # The no-pool paths (inline fallback, ephemeral pools) must share the
@@ -510,11 +527,60 @@ class AlertService:
     def _journal_append(self, request: Request) -> None:
         """Write-ahead: durably record a mutating request before executing it.
 
-        No-op without a configured journal, and during :meth:`restore`'s
-        replay (replayed requests are already in the journal).
+        No-op without a configured journal, during :meth:`restore`'s replay
+        (replayed requests are already in the journal), and for requests a
+        tick's :meth:`journal_requests` group commit already made durable.
         """
-        if self.journal is not None and not self._replaying:
-            self.journal.append(request)
+        if self.journal is None or self._replaying:
+            return
+        if self._prejournaled and id(request) in self._prejournaled:
+            self._prejournaled.discard(id(request))
+            return
+        self.journal.append(request)
+
+    def journal_requests(self, requests: Sequence[Request]) -> int:
+        """Group-commit a tick's mutating requests ahead of their execution.
+
+        The network tier's journal stage: every journal-able request of one
+        coalesced tick (everything except :class:`EvaluateStanding`, which
+        mutates nothing) is appended under a **single** buffered write +
+        fsync, then marked pre-journaled so the per-request handlers skip the
+        duplicate append.  The write-ahead contract is exactly the per-request
+        one -- all entries are durable before any of them executes -- at one
+        fsync per tick instead of one per request.  Returns how many entries
+        were written.
+        """
+        if self.journal is None or self._replaying:
+            return 0
+        batch = [request for request in requests if not isinstance(request, EvaluateStanding)]
+        if not batch:
+            return 0
+        self.journal.append_batch(batch)
+        for request in batch:
+            self._prejournaled.add(id(request))
+        return len(batch)
+
+    def replay_journal(self) -> int:
+        """Journal-only recovery: re-execute every durable entry, in order.
+
+        The snapshotless counterpart of :meth:`restore`: a fresh session
+        whose journal file survived a crash replays the fsynced prefix
+        exactly (a torn tail was already truncated on open) and lands where
+        the crashed session durably stopped.  Returns the entries replayed.
+        """
+        if self.journal is None:
+            return 0
+        entries = self.journal.entries()
+        if not entries:
+            return 0
+        group = self.system.authority.group
+        self._replaying = True
+        try:
+            for _, request_payload in entries:
+                self.handle(request_from_payload(request_payload, group))
+        finally:
+            self._replaying = False
+        return len(entries)
 
     # ------------------------------------------------------------------
     # Observer hooks and stats
@@ -583,6 +649,11 @@ class AlertService:
             quarantines=self.resilience.quarantines,
             degraded_passes=self.resilience.degraded_passes,
             stale_resets=self.resilience.stale_resets,
+            journal_group_commits=self.journal.group_commits if self.journal is not None else 0,
+            journal_fsyncs_saved=self.journal.fsyncs_saved if self.journal is not None else 0,
+            lane_resizes=pool.lane_resizes if pool is not None else 0,
+            lanes_added=pool.lanes_added if pool is not None else 0,
+            lanes_removed=pool.lanes_removed if pool is not None else 0,
         )
 
     # ------------------------------------------------------------------

@@ -178,3 +178,105 @@ def test_client_reconnects_after_restart_and_sees_restored_session(scenario, tmp
     assert after_users == before_users == ("alice",)
 
     asyncio.run(asyncio.sleep(0))  # flush any lingering event-loop callbacks
+
+
+def test_per_connection_quota_isolates_a_flooding_client(scenario):
+    """A flooder hits its *own* BUSY ceiling; a polite peer is never rejected."""
+
+    async def drive():
+        config = ServiceConfig(prime_bits=32, seed=19)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(5)))
+            service.subscribe(Subscribe(user_id="bob", location=scenario.grid.cell_center(7)))
+            slow_handle(service, 0.02)
+            options = NetOptions(port=0, max_inflight=8, max_inflight_per_conn=2, batch_max=1)
+            async with AlertServiceServer(service, options) as server:
+                async with AlertServiceClient(
+                    "127.0.0.1", server.port, timeout=30.0
+                ) as flooder, AlertServiceClient(
+                    "127.0.0.1", server.port, timeout=30.0
+                ) as polite:
+                    flood = [
+                        asyncio.create_task(
+                            flooder.request(
+                                Move(user_id="alice", location=scenario.grid.cell_center(i % 36))
+                            )
+                        )
+                        for i in range(12)
+                    ]
+                    # The polite client works sequentially while the flood
+                    # rages: one request inflight at a time, well under both
+                    # its own quota and the global window.
+                    polite_results = []
+                    for i in range(5):
+                        polite_results.append(
+                            await polite.request(
+                                Move(user_id="bob", location=scenario.grid.cell_center(i))
+                            )
+                        )
+                    flood_results = await asyncio.gather(*flood, return_exceptions=True)
+                stats = server.stats
+        busy = [r for r in flood_results if isinstance(r, ServerBusy)]
+        completed = [r for r in flood_results if not isinstance(r, Exception)]
+        unexpected = [
+            r for r in flood_results if isinstance(r, Exception) and not isinstance(r, ServerBusy)
+        ]
+        assert not unexpected, unexpected
+        # The flooder overran its quota of 2 and was rejected -- before the
+        # global window (8) was ever threatened, so every rejection is the
+        # per-connection kind.
+        assert busy
+        assert len(busy) + len(completed) == 12
+        assert stats.per_conn_busy_rejections == len(busy)
+        assert stats.busy_rejections == len(busy)
+        # The polite client rode through the whole flood without one BUSY.
+        assert len(polite_results) == 5
+
+    asyncio.run(drive())
+
+
+def test_low_water_resume_rechecked_after_busy_send(scenario):
+    """Regression: the resume level must be re-checked after the BUSY send.
+
+    ``_read_loop`` awaits the BUSY error frame *before* clearing the resume
+    event.  If the backlog drains below ``low_water`` during that await, the
+    wake-up lands before the reader starts waiting -- and was then lost,
+    parking the reader forever even though the server is idle.  The hold
+    below pins the reader inside that yield window until the admitted
+    request has completed, making the lost wake-up deterministic.
+    """
+
+    async def drive():
+        config = ServiceConfig(prime_bits=32, seed=19)
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            service.subscribe(Subscribe(user_id="alice", location=scenario.grid.cell_center(5)))
+            slow_handle(service, 0.03)
+            options = NetOptions(port=0, max_inflight=1, low_water=0, batch_max=1)
+            async with AlertServiceServer(service, options) as server:
+                first_done = asyncio.Event()
+                original_send_error = server._send_error
+
+                async def held_send_error(conn, req_id, error):
+                    await original_send_error(conn, req_id, error)
+                    await asyncio.wait_for(first_done.wait(), timeout=15.0)
+
+                server._send_error = held_send_error
+                async with AlertServiceClient("127.0.0.1", server.port, timeout=2.0) as client:
+                    first = asyncio.create_task(
+                        client.request(Move(user_id="alice", location=scenario.grid.cell_center(1)))
+                    )
+                    await asyncio.sleep(0.005)  # let the first frame be admitted
+                    second = asyncio.create_task(
+                        client.request_with_retry(
+                            Move(user_id="alice", location=scenario.grid.cell_center(2)),
+                            attempts=6,
+                        )
+                    )
+                    await asyncio.wait_for(first, timeout=10.0)
+                    first_done.set()  # release the reader into clear+wait
+                    # Without the re-check the reader is now parked forever
+                    # and the retried request can never be admitted.
+                    await asyncio.wait_for(second, timeout=15.0)
+                assert server.stats.reader_pauses >= 1
+
+    asyncio.run(drive())

@@ -378,3 +378,93 @@ class TestDispatchParity:
         reference = outcomes["inline"]
         for name, passes in outcomes.items():
             assert passes == reference, f"{name} diverged from inline"
+
+
+class TestAutoscale:
+    """The load-driven lane controller: grow fast, shrink slow, hold still.
+
+    These drive :meth:`observe_load` / :meth:`maybe_autoscale` directly with
+    synthetic per-pass samples (no real lanes: ``resize`` is stubbed to a
+    bookkeeping double), so every hysteresis branch is pinned without paying
+    for process pools.
+    """
+
+    def _dispatcher(self, lanes=2, **overrides):
+        from repro.service.resilience import AutoscalePolicy
+
+        knobs = dict(
+            min_lanes=1,
+            max_lanes=4,
+            grow_depth=2.0,
+            shrink_depth=0.75,
+            cooldown_passes=1,
+            calm_passes=2,
+            step=1,
+        )
+        knobs.update(overrides)
+        dispatcher = AffinityDispatcher(workers=lanes, autoscale=AutoscalePolicy(**knobs))
+        dispatcher._lanes = [object() for _ in range(lanes)]
+
+        def fake_resize(target):
+            dispatcher._lanes[:] = [object() for _ in range(target)]
+            return []
+
+        dispatcher.resize = fake_resize
+        return dispatcher
+
+    def _run_pass(self, dispatcher, depths, receipt_seconds=0.0):
+        for depth in depths:
+            dispatcher.observe_load(None, depth, receipt_seconds)
+        return dispatcher.maybe_autoscale()
+
+    def test_hot_pass_grows_by_step_and_records_the_event(self):
+        dispatcher = self._dispatcher(lanes=2)
+        event = self._run_pass(dispatcher, depths=[5, 5])  # avg depth 5 > 2
+        assert event is not None and event["action"] == "grow"
+        assert (event["from_lanes"], event["to_lanes"]) == (2, 3)
+        assert len(dispatcher._lanes) == 3
+        assert dispatcher.lane_resizes == 1 and dispatcher.lanes_added == 1
+        assert dispatcher.resize_events == [event]
+
+    def test_receipt_latency_alone_triggers_growth(self):
+        dispatcher = self._dispatcher(lanes=2, grow_latency_ms=50.0)
+        # Depth is calm, but every receipt took 200ms against a 50ms bar.
+        event = self._run_pass(dispatcher, depths=[1, 1], receipt_seconds=0.2)
+        assert event is not None and event["action"] == "grow"
+
+    def test_cooldown_holds_still_after_a_resize(self):
+        dispatcher = self._dispatcher(lanes=2, cooldown_passes=1)
+        assert self._run_pass(dispatcher, depths=[5, 5])["action"] == "grow"
+        assert self._run_pass(dispatcher, depths=[5, 5, 5]) is None  # cooling down
+        event = self._run_pass(dispatcher, depths=[5, 5, 5])
+        assert event is not None and event["to_lanes"] == 4
+
+    def test_shrink_requires_a_calm_streak(self):
+        dispatcher = self._dispatcher(lanes=3, calm_passes=2, cooldown_passes=0)
+        assert self._run_pass(dispatcher, depths=[0, 0, 1]) is None  # calm pass 1
+        event = self._run_pass(dispatcher, depths=[0, 0, 1])  # calm pass 2
+        assert event is not None and event["action"] == "shrink"
+        assert (event["from_lanes"], event["to_lanes"]) == (3, 2)
+        assert dispatcher.lanes_removed == 1
+
+    def test_a_busy_pass_resets_the_calm_streak(self):
+        dispatcher = self._dispatcher(lanes=3, calm_passes=2, cooldown_passes=0)
+        assert self._run_pass(dispatcher, depths=[0, 0, 1]) is None  # calm pass 1
+        # Average depth 1.0 sits between shrink (0.75) and grow (2.0): the
+        # lane set is neither hot nor calm, and the streak starts over.
+        assert self._run_pass(dispatcher, depths=[1, 1, 1]) is None
+        assert self._run_pass(dispatcher, depths=[0, 0, 1]) is None  # calm pass 1 again
+        assert self._run_pass(dispatcher, depths=[0, 0, 1]) is not None
+
+    def test_bounds_are_hard(self):
+        dispatcher = self._dispatcher(lanes=4, max_lanes=4, cooldown_passes=0)
+        assert self._run_pass(dispatcher, depths=[9, 9, 9, 9]) is None  # at max
+        dispatcher = self._dispatcher(lanes=1, min_lanes=1, calm_passes=1, cooldown_passes=0)
+        assert self._run_pass(dispatcher, depths=[0]) is None  # at min
+
+    def test_no_samples_or_no_policy_is_a_no_op(self):
+        dispatcher = self._dispatcher(lanes=2)
+        assert dispatcher.maybe_autoscale() is None  # nothing observed
+        plain = AffinityDispatcher(workers=2)
+        plain.observe_load(None, 10, 1.0)  # cheap no-op without a policy
+        assert plain.maybe_autoscale() is None

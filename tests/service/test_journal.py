@@ -164,6 +164,66 @@ class TestJournalFile:
         assert [seq for seq, _ in _entries(path)] == [3, 4]
 
 
+class TestGroupCommit:
+    def _requests(self):
+        return [
+            Subscribe(user_id="alice", location=Point(1.0, 2.0)),
+            Move(user_id="alice", location=Point(3.0, 4.0)),
+            RetractZone(alert_id="z1"),
+        ]
+
+    def test_append_batch_assigns_sequences_under_one_fsync(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with RequestJournal(path) as journal:
+            assert journal.append_batch(self._requests()) == [1, 2, 3]
+            assert journal.last_seq == 3
+            assert journal.group_commits == 1
+            assert journal.fsyncs_saved == 2
+            # Empty and singleton batches are not group commits.
+            assert journal.append_batch([]) == []
+            assert journal.append_batch([self._requests()[0]]) == [4]
+            assert journal.group_commits == 1 and journal.fsyncs_saved == 2
+            # Per-request appends keep counting from the batched sequence.
+            assert journal.append(self._requests()[1]) == 5
+        assert [seq for seq, _ in _entries(path)] == [1, 2, 3, 4, 5]
+
+    def test_torn_tail_after_a_group_commit_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with RequestJournal(path) as journal:
+            journal.append_batch(self._requests())
+        # A crash mid-append after the batch leaves a half-written line;
+        # the whole group-committed batch stays durable behind it.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('deadbeef\t{"seq": 4, "requ')
+        with RequestJournal(path) as journal:
+            assert journal.last_seq == 3
+            assert journal.append(self._requests()[0]) == 4
+        assert [seq for seq, _ in _entries(path)] == [1, 2, 3, 4]
+
+    def test_journal_requests_prejournals_a_tick_without_duplicates(self, tmp_path, scenario):
+        config = _recovery_config(tmp_path / "wal.log")
+        with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
+            requests = [
+                Subscribe(user_id="alice", location=scenario.grid.cell_center(2)),
+                Move(user_id="alice", location=scenario.grid.cell_center(3)),
+                EvaluateStanding(),
+            ]
+            # The network tier's journal stage: everything mutating in the
+            # tick lands under one group commit...
+            assert service.journal_requests(requests) == 2
+            assert service.journal.last_seq == 2
+            assert service.journal.group_commits == 1
+            # ...and the per-request handlers skip the duplicate append.
+            for request in requests:
+                service.handle(request)
+            assert service.journal.last_seq == 2
+            # A request no group commit covered appends exactly as before.
+            service.move(Move(user_id="alice", location=scenario.grid.cell_center(4)))
+            assert service.journal.last_seq == 3
+            types = [payload["type"] for _, payload in service.journal.entries()]
+            assert types == ["subscribe", "move", "move"]
+
+
 def _recovery_config(journal_path):
     return ServiceConfig(
         prime_bits=32,

@@ -33,6 +33,7 @@ from repro.datasets.synthetic import make_synthetic_scenario
 from repro.grid.alert_zone import AlertZone
 from repro.service import AlertService, Move, PublishZone, ServiceConfig, Subscribe
 from repro.service.resilience import (
+    AutoscalePolicy,
     LaneQuarantined,
     ResiliencePolicy,
     ResilienceRuntime,
@@ -123,6 +124,30 @@ class TestPolicyValidation:
         assert [a.backoff_seconds(i) for i in range(4)] == [
             b.backoff_seconds(i) for i in range(4)
         ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_lanes=0),
+            dict(min_lanes=4, max_lanes=2),
+            dict(grow_depth=0.0),
+            dict(grow_depth=-1.0),
+            dict(grow_latency_ms=-1.0),
+            dict(shrink_depth=-0.1),
+            dict(shrink_depth=2.0),  # must stay strictly below grow_depth
+            dict(cooldown_passes=-1),
+            dict(calm_passes=0),
+            dict(step=0),
+        ],
+    )
+    def test_bad_autoscale_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(**kwargs)
+
+    def test_autoscale_defaults_are_valid_and_latency_trigger_is_optional(self):
+        policy = AutoscalePolicy()
+        assert policy.min_lanes == 1 and policy.max_lanes >= policy.min_lanes
+        assert policy.grow_latency_ms == 0.0  # 0 disables the latency trigger
 
 
 class TestStrikeLedger:
