@@ -12,9 +12,11 @@ The file carries one section per feeding benchmark:
     Fused packed-worklist matching latency at the 1k-user tier, written by
     ``benchmarks/test_matching_engine.py::test_crypto_core_fused_tier``.
 ``net_tier``
-    Open-loop p99 latency at the sweep's lowest (uncongested) offered rate
-    *and* the sweep's saturation throughput, both against a live ``repro
-    serve`` process, written by ``benchmarks/test_net_tier.py``.
+    Open-loop p99 latency pooled over the sweep's clean uncongested points
+    (lower half of the offered rates, zero drops/BUSY -- several hundred
+    samples instead of one ~60-sample point) *and* the sweep's saturation
+    throughput, both against a live ``repro serve`` process, written by
+    ``benchmarks/test_net_tier.py``.
 
 Raw wall-clock is meaningless across machines, so every section carries a
 ``calibration_ms`` constant -- the time of a fixed pure-Python workload on the

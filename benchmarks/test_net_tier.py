@@ -8,16 +8,19 @@ request's scheduled instant), and the sweep covers five offered-load points
 so the table shows the latency knee, not a single flattering number.
 
 The run feeds the perf gate twice: the ``net_tier`` section of
-``BENCH_provider.json`` carries the p99 at the lowest (uncongested) rate
-*and* the sweep's saturation throughput, both calibrated against the
-host-speed constant; ``benchmarks/check_perf_baseline.py`` fails CI when the
-p99 regresses or the saturation drops more than 25% against the committed
-baseline.
+``BENCH_provider.json`` carries the p99 pooled over the sweep's clean
+uncongested points *and* the sweep's saturation throughput, both calibrated
+against the host-speed constant; ``benchmarks/check_perf_baseline.py``
+fails CI when the p99 regresses or the saturation drops more than 25%
+against the committed baseline.
 
-The ablation run answers "what did the pipeline buy": the same burst fired
-at a ``--serial`` server (identical tick batching and coalescing semantics,
-no stage overlap) and at the default pipelined one, published side by side
-in ``results/net_tier_ablation.txt``.
+The ablation run answers "what did stage overlap buy": the same burst fired
+at a ``--serial`` server (identical tick batching, coalescing and
+group-commit semantics, no stage overlap) and at the default pipelined one,
+best-of-N reps per mode, published side by side with an explicit measured
+verdict in ``results/net_tier_ablation.txt``.  The measured answer on this
+workload is *nothing* -- the PR 9 throughput gain lives in tick batching +
+group-commit, which both modes share -- and the artifact says so.
 """
 
 from __future__ import annotations
@@ -46,8 +49,9 @@ SERVICE_SEED = 11
 PRIME_BITS = 32
 RATES = (40.0, 80.0, 160.0, 320.0, 640.0)
 DURATION = 1.5
-ABLATION_RATES = (160.0, 320.0, 640.0)
-ABLATION_DURATION = 1.0
+ABLATION_RATES = (320.0, 640.0, 1280.0, 2560.0)
+ABLATION_DURATION = 1.5
+ABLATION_REPS = 3
 
 
 @contextlib.contextmanager
@@ -149,28 +153,90 @@ def test_net_tier_open_loop_sweep(served_endpoint, scenario):
     )
 
 
+def _median_p99(sweep) -> float:
+    ordered = sorted(p.p99_ms for p in sweep.points)
+    return ordered[len(ordered) // 2] if ordered else 0.0
+
+
+def _best_ablation_sweep(scenario, extra_args):
+    """Best of ``ABLATION_REPS`` fresh-server sweeps, ranked by median p99.
+
+    One rep on a shared box is a coin flip -- a background compile during
+    either server's run flips the comparison (an earlier committed artifact
+    showed serial 2-3x worse purely from run-order contention, the refresh
+    showed the opposite).  Taking the rep with the lower median p99 per mode
+    discards contention, which only ever adds latency.
+    """
+    sweeps = []
+    for _ in range(ABLATION_REPS):
+        with _serve(extra_args) as (host, port):
+            sweeps.append(_sweep(host, port, scenario, ABLATION_RATES, ABLATION_DURATION))
+    return min(sweeps, key=_median_p99)
+
+
 def test_net_tier_pipelined_vs_serial_ablation(scenario):
     """What stage overlap buys: the same burst against ``--serial``.
 
     The serial server shares every tick semantic (admission, coalescing,
     group commit) and differs only in running admit -> execute -> send
-    back-to-back; the default server double-buffers the stages.  Both
-    servers are fresh spawns (a sweep subscribes its user fleet, so an
-    already-driven server cannot be reused).  The floor assertion is
-    deliberately loose -- a shared-CI box is noisy -- the real bound on
-    pipelined throughput is the calibrated ``saturation_rps`` perf gate
-    above.
-    """
-    with _serve() as (host, port):
-        pipelined = _sweep(host, port, scenario, ABLATION_RATES, ABLATION_DURATION)
-    with _serve(("--serial",)) as (serial_host, serial_port):
-        serial = _sweep(serial_host, serial_port, scenario, ABLATION_RATES, ABLATION_DURATION)
+    back-to-back; the default server double-buffers the stages.  Servers
+    are fresh spawns (a sweep subscribes its user fleet, so an
+    already-driven server cannot be reused), each mode runs
+    ``ABLATION_REPS`` times and keeps its quietest rep, and the rates push
+    well past the gated sweep's top so the comparison covers overload, not
+    just the uncongested regime.
 
-    lines = ["pipelined (default)", render_table(pipelined), "", "serial (--serial)",
-             render_table(serial), "",
-             f"saturation: pipelined {pipelined.saturation_rps:.1f} rps "
-             f"vs serial {serial.saturation_rps:.1f} rps "
-             f"({pipelined.saturation_rps / max(serial.saturation_rps, 1e-9):.2f}x)"]
+    **Measured finding (kept honest in the published artifact):** on this
+    single-process deployment the two modes are within noise of each other
+    at every rate.  The throughput win over PR 8 (~309 -> ~600+ rps) comes
+    from tick batching and journal group-commit, which ``--serial`` shares;
+    the stage *overlap* itself buys nothing measurable here because the
+    admit/journal and execute stages are both GIL-bound Python (the only
+    overlappable blocking work, the per-tick fsync, is ~0.15ms on local
+    disk) -- overlap can only pay on genuinely slow durable storage.  The
+    artifact states the measured verdict rather than assuming the design
+    won; the floor assertion only guards against the pipeline *costing*
+    throughput.
+    """
+    pipelined = _best_ablation_sweep(scenario, ())
+    serial = _best_ablation_sweep(scenario, ("--serial",))
+
+    ratio = pipelined.saturation_rps / max(serial.saturation_rps, 1e-9)
+    p99_ratio = _median_p99(pipelined) / max(_median_p99(serial), 1e-9)
+    if ratio >= 1.15:
+        throughput_verdict = f"stage overlap ADDS throughput ({ratio:.2f}x serial)"
+    elif ratio <= 0.87:
+        throughput_verdict = f"stage overlap COSTS throughput ({ratio:.2f}x serial)"
+    else:
+        throughput_verdict = (
+            f"stage overlap buys NO throughput ({ratio:.2f}x serial).  Both modes "
+            "share tick batching + journal group-commit -- that is where the PR 9 "
+            "gain over PR 8 lives; admit/journal and execute are both GIL-bound "
+            "Python, so double-buffering them cannot add CPU throughput, and the "
+            "only blocking stage work (fsync) is too fast on local disk (~0.15ms) "
+            "to be worth hiding.  Overlap is expected to pay only on slow durable "
+            "storage (see the chaos fsync_delay site)"
+        )
+    if p99_ratio >= 1.3:
+        latency_verdict = (
+            f"serial shows the better tail (median p99 {p99_ratio:.2f}x): the "
+            "double buffer admits an extra tick, so overload queues one tick deeper"
+        )
+    elif p99_ratio <= 0.77:
+        latency_verdict = f"pipelined shows the better tail (median p99 {p99_ratio:.2f}x serial)"
+    else:
+        latency_verdict = f"tail latency is comparable (median p99 {p99_ratio:.2f}x serial)"
+    verdict = f"verdict: {throughput_verdict}.\n{latency_verdict}."
+
+    lines = [
+        f"pipelined (default), best of {ABLATION_REPS} reps by median p99",
+        render_table(pipelined), "",
+        f"serial (--serial), best of {ABLATION_REPS} reps by median p99",
+        render_table(serial), "",
+        f"saturation: pipelined {pipelined.saturation_rps:.1f} rps "
+        f"vs serial {serial.saturation_rps:.1f} rps ({ratio:.2f}x)", "",
+        verdict,
+    ]
     report = "\n".join(lines)
     print("\n" + report)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
