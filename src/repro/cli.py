@@ -78,6 +78,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         sigmoid_a=args.sigmoid_a,
         sigmoid_b=args.sigmoid_b,
         seed=args.seed,
+        extent_meters=args.extent_meters,
     )
     workload = scenario.workloads.triggered_radius_workload(args.radius, args.zones)
     comparison = compare_schemes_on_workload(scenario.probabilities, workload)
@@ -150,7 +151,8 @@ def _run_session_experiment(args: argparse.Namespace) -> int:
     once, the executor pool is primed once, and every later tick reuses both.
     """
     scenario = make_synthetic_scenario(
-        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b,
+        seed=args.seed, extent_meters=args.extent_meters,
     )
     config = (
         ServiceConfig.builder()
@@ -214,6 +216,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     """
     from repro.service.faults import DEFAULT_CHAOS_SPEC, run_chaos_soak
 
+    if args.net and args.crash_restart:
+        from repro.net import DEFAULT_NET_CHAOS_SPEC, run_crash_restart_soak
+
+        outcome = run_crash_restart_soak(
+            steps=args.steps,
+            seed=args.seed,
+            # SIGKILLs land on top of the frame-level fault sites by default:
+            # the retrying load must survive both at once.
+            faults=args.faults if args.faults is not None else DEFAULT_NET_CHAOS_SPEC,
+            users=args.users,
+            kills=args.kills,
+        )
+        print(outcome.summary())
+        return 0 if outcome.matched and outcome.leaked_processes == 0 else 1
+
     if args.net:
         from repro.net import DEFAULT_NET_CHAOS_SPEC, run_net_chaos_soak
 
@@ -243,7 +260,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = make_synthetic_scenario(
-        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b,
+        seed=args.seed, extent_meters=args.extent_meters,
     )
     config = SimulationConfig(
         num_users=args.users,
@@ -290,6 +308,8 @@ def _serve_config(args: argparse.Namespace) -> ServiceConfig:
         autoscale=args.autoscale,
         autoscale_min_lanes=args.autoscale_min_lanes,
         autoscale_max_lanes=args.autoscale_max_lanes,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
         net=NetOptions(
             host=args.host,
             port=args.port,
@@ -302,6 +322,119 @@ def _serve_config(args: argparse.Namespace) -> ServiceConfig:
     )
 
 
+def _serve_child_argv(args: argparse.Namespace, port: int) -> list:
+    """Rebuild the ``repro serve`` argv for a supervised child process.
+
+    ``--supervise`` itself is dropped (the child serves directly) and the
+    port is pinned to ``port`` so every restart rebinds the same address.
+    """
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--rows", str(args.rows), "--cols", str(args.cols),
+        "--sigmoid-a", str(args.sigmoid_a), "--sigmoid-b", str(args.sigmoid_b),
+        "--seed", str(args.seed), "--extent-meters", str(args.extent_meters),
+        "--host", args.host, "--port", str(port),
+        "--prime-bits", str(args.prime_bits),
+        "--service-seed", str(args.service_seed),
+        "--max-inflight", str(args.max_inflight),
+        "--batch-max", str(args.batch_max),
+        "--batch-window-ms", str(args.batch_window_ms),
+        "--workers", str(args.workers),
+        "--executor", args.executor,
+        "--shards", str(args.shards),
+        "--autoscale-min-lanes", str(args.autoscale_min_lanes),
+        "--autoscale-max-lanes", str(args.autoscale_max_lanes),
+    ]
+    if args.journal is not None:
+        argv += ["--journal", args.journal]
+    if args.snapshot is not None:
+        argv += ["--snapshot", args.snapshot]
+    if args.serial:
+        argv.append("--serial")
+    if args.per_conn_inflight is not None:
+        argv += ["--per-conn-inflight", str(args.per_conn_inflight)]
+    if args.autoscale:
+        argv.append("--autoscale")
+    if args.faults is not None:
+        argv += ["--faults", args.faults, "--fault-seed", str(args.fault_seed)]
+    return argv
+
+
+def _run_supervisor(args: argparse.Namespace) -> int:
+    """Watchdog around ``repro serve``: restart the server whenever it crashes.
+
+    The child's stdout (including its ``listening on HOST:PORT`` readiness
+    line) is relayed verbatim, prefixed by one ``supervisor: serving pid=N``
+    line per (re)start so harnesses can track the live server process.  A
+    kernel-assigned port (``--port 0``) is pinned after the first bind, so
+    restarts rebind the same address and clients ride through on retries.
+    Crash-looping is bounded by exponential backoff (0.1s doubling to 5s),
+    reset once a child stays up 5 seconds.  SIGINT/SIGTERM are forwarded to
+    the child, which drains and (with ``--snapshot``) checkpoints; a clean
+    child exit ends supervision.
+    """
+    import signal
+    import subprocess
+
+    if args.journal is None and args.snapshot is None:
+        print(
+            "warning: --supervise without --journal/--snapshot restarts from an empty session",
+            file=sys.stderr,
+        )
+    port = args.port
+    stopping = False
+    child: Optional[subprocess.Popen] = None
+
+    def _forward(signum: int, frame: object) -> None:
+        nonlocal stopping
+        stopping = True
+        if child is not None and child.poll() is None:
+            child.send_signal(signum)
+
+    previous = {s: signal.signal(s, _forward) for s in (signal.SIGINT, signal.SIGTERM)}
+    backoff = 0.1
+    restarts = 0
+    try:
+        while not stopping:
+            child = subprocess.Popen(
+                _serve_child_argv(args, port),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            started = time.time()
+            print(f"supervisor: serving pid={child.pid} restarts={restarts}", flush=True)
+            for line in child.stdout:
+                line = line.rstrip("\n")
+                print(line, flush=True)
+                if line.startswith("listening on "):
+                    port = int(line.rsplit(":", 1)[1])
+            rc = child.wait()
+            uptime = time.time() - started
+            if stopping or rc == 0:
+                return rc
+            restarts += 1
+            if uptime >= 5.0:
+                backoff = 0.1  # a stable run earns a fresh backoff schedule
+            print(
+                f"supervisor: server pid={child.pid} exited rc={rc} after {uptime:.1f}s; "
+                f"restarting in {backoff:.1f}s",
+                flush=True,
+            )
+            time.sleep(backoff)
+            backoff = min(backoff * 2.0, 5.0)
+        return 0
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if child is not None and child.poll() is None:
+            child.send_signal(signal.SIGTERM)
+            try:
+                child.wait(timeout=30)
+            except Exception:
+                child.kill()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve one AlertService session over TCP until SIGINT/SIGTERM.
 
@@ -309,15 +442,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     harnesses -- the loadgen ``--spawn`` path, the CI smoke job -- can block
     on readiness by watching stdout.  Shutdown is graceful: inflight requests
     drain and are answered, then (with ``--snapshot``) the session state is
-    snapshotted, which also checkpoints the write-ahead journal.
+    snapshotted, which also checkpoints the write-ahead journal.  With
+    ``--supervise`` this process instead becomes a watchdog that runs the
+    server as a child and restarts it on crash (see :func:`_run_supervisor`).
     """
     import asyncio
     import signal
 
     from repro.net import AlertServiceServer
 
+    if args.supervise:
+        return _run_supervisor(args)
+
     scenario = make_synthetic_scenario(
-        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b,
+        seed=args.seed, extent_meters=args.extent_meters,
     )
     config = _serve_config(args)
     with AlertService(scenario.grid, scenario.probabilities, config=config) as service:
@@ -386,7 +525,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.net import publish_sweep, render_table, run_sweep
 
     scenario = make_synthetic_scenario(
-        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b, seed=args.seed
+        rows=args.rows, cols=args.cols, sigmoid_a=args.sigmoid_a, sigmoid_b=args.sigmoid_b,
+        seed=args.seed, extent_meters=args.extent_meters,
     )
     process = None
     host, port = args.host, args.port
@@ -398,7 +538,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 sys.executable, "-m", "repro", "serve",
                 "--rows", str(args.rows), "--cols", str(args.cols),
                 "--sigmoid-a", str(args.sigmoid_a), "--sigmoid-b", str(args.sigmoid_b),
-                "--seed", str(args.seed),
+                "--seed", str(args.seed), "--extent-meters", str(args.extent_meters),
                 "--host", host, "--port", str(port),
                 "--prime-bits", str(args.prime_bits),
                 "--service-seed", str(args.service_seed),
@@ -431,6 +571,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 prime_bits=args.prime_bits,
                 service_seed=args.service_seed,
                 warmup_seconds=args.warmup_seconds,
+                retry_busy=args.retry,
             )
         )
     finally:
@@ -475,6 +616,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--sigmoid-a", type=float, default=0.95, help="sigmoid inflection point")
         sub.add_argument("--sigmoid-b", type=float, default=100.0, help="sigmoid gradient")
         sub.add_argument("--seed", type=int, default=7, help="random seed")
+        sub.add_argument(
+            "--extent-meters",
+            type=float,
+            default=3200.0,
+            help="planar domain size per side in meters (default 3200)",
+        )
 
     compare = subparsers.add_parser("compare", help="compare all encoding schemes on one workload")
     add_scenario_options(compare)
@@ -558,9 +705,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--net",
         action="store_true",
-        help="run the network-tier soak instead: a scripted session over TCP under "
-        "conn_drop/frame_corrupt/slow_client faults must notify exactly the same "
-        "users as the in-process run",
+        help="run the network-tier soak instead: a scripted full-mix session over TCP "
+        "under conn_drop/frame_corrupt/slow_client faults must produce bit-exact "
+        "per-request outcomes vs. the in-process run",
+    )
+    chaos.add_argument(
+        "--crash-restart",
+        action="store_true",
+        help="with --net: SIGKILL a supervised `repro serve` at seeded script points "
+        "while the client rides through on retries; demands bit-exact outcomes, zero "
+        "duplicate executions, and zero leaked server processes",
+    )
+    chaos.add_argument(
+        "--kills",
+        type=int,
+        default=3,
+        help="with --crash-restart: how many SIGKILLs to deliver (default 3)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 
@@ -642,6 +802,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--autoscale-max-lanes", type=int, default=8, help="autoscale upper bound on lanes"
     )
+    serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run as a watchdog: serve in a child process, restart it on crash with "
+        "bounded exponential backoff, restoring from --journal/--snapshot each time",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        help='arm a seeded FaultPlan inside the server, e.g. "conn_drop=0.04,'
+        'journal_write_fail=0.02" (chaos harness hook; default: no injection)',
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the --faults plan"
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadgen = subparsers.add_parser(
@@ -685,6 +860,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-clean",
         action="store_true",
         help="exit non-zero when any request was dropped, errored, or timed out (the CI smoke bar)",
+    )
+    loadgen.add_argument(
+        "--retry",
+        action="store_true",
+        help="ride out BUSY rejections and connection loss via request_with_retry "
+        "(exactly-once safe against a handshaken server; pair with --assert-clean "
+        "for the supervised-restart smoke)",
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
 

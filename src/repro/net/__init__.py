@@ -14,11 +14,19 @@ Everything speaks stdlib JSON on the wire by default; msgpack is used only
 when the optional package is importable (``NetOptions.wire_format="auto"``).
 """
 
-from repro.net.chaos import DEFAULT_NET_CHAOS_SPEC, NetChaosOutcome, run_net_chaos_soak
+from repro.net.chaos import (
+    DEFAULT_NET_CHAOS_SPEC,
+    CrashRestartOutcome,
+    NetChaosOutcome,
+    build_soak_script,
+    run_crash_restart_soak,
+    run_net_chaos_soak,
+)
 from repro.net.client import (
     AlertServiceClient,
     ClientError,
     ConnectionLost,
+    ConnectTimeout,
     RemoteRequestError,
     RequestTimeout,
     ServerBusy,
@@ -36,6 +44,8 @@ from repro.net.loadgen import (
 )
 from repro.net.server import AlertServiceServer, ServerStats
 from repro.net.wire import (
+    BASELINE_WIRE_VERSION,
+    WIRE_VERSION,
     FrameCorrupt,
     FrameTooLarge,
     WireError,
@@ -58,10 +68,13 @@ __all__ = [
     "NetOptions",
     "ClientError",
     "ConnectionLost",
+    "ConnectTimeout",
     "RemoteRequestError",
     "RequestTimeout",
     "ServerBusy",
     "WireError",
+    "WIRE_VERSION",
+    "BASELINE_WIRE_VERSION",
     "FrameCorrupt",
     "FrameTooLarge",
     "WireVersionError",
@@ -85,4 +98,7 @@ __all__ = [
     "DEFAULT_NET_CHAOS_SPEC",
     "NetChaosOutcome",
     "run_net_chaos_soak",
+    "CrashRestartOutcome",
+    "run_crash_restart_soak",
+    "build_soak_script",
 ]

@@ -1,10 +1,24 @@
 """Asyncio client for the alert-service wire protocol.
 
 One :class:`AlertServiceClient` owns one TCP connection and **pipelines**
-requests over it: every request carries a fresh integer id, responses are
-matched back to their futures by id, so many requests can be outstanding at
-once without head-of-line blocking on the client side (the server still
-executes them in arrival order -- that is the service's consistency model).
+requests over it: every request carries an integer id, responses are matched
+back to their futures by id, so many requests can be outstanding at once
+without head-of-line blocking on the client side (the server still executes
+them in arrival order -- that is the service's consistency model).
+
+Exactly-once identity
+---------------------
+The client carries a stable ``client_id`` and a per-instance ``epoch``, and
+opens every connection with a hello handshake (:class:`ClientHello` /
+:class:`HelloAck` of :mod:`repro.service.requests`).  Request ids are
+monotonic **per client object**, not per connection -- a reconnect keeps
+counting -- and :meth:`request_with_retry` re-sends the *same* id on every
+attempt, so the server's per-client idempotency table can recognise a resend
+of a request it already executed and answer from cache instead of executing
+twice.  Every request piggybacks the client's answered low-watermark
+(``acked``), bounding that table.  A legacy (v1) server answers the hello
+with a ``BadEnvelope`` error; the client downgrades to the plain PR 8
+envelope and keeps working (without the exactly-once guarantee).
 
 Failure handling mirrors the server's contract:
 
@@ -14,9 +28,13 @@ Failure handling mirrors the server's contract:
   types) for everything else;
 - a lost/corrupt connection fails every pending request with
   :class:`ConnectionLost`; :meth:`request_with_retry` transparently
-  reconnects and retries with exponential backoff, which is also how a
-  client rides out a server restart (PR 6's restore path brings the session
-  back, the client simply reconnects and continues);
+  reconnects and retries with seeded-jitter exponential backoff, which is
+  also how a client rides out a server restart (supervised or not: the
+  restore path brings the session back, the client simply reconnects and
+  continues);
+- :meth:`connect` is bounded: a dial or handshake that stalls past
+  ``connect_timeout`` raises :class:`ConnectTimeout` (a
+  :class:`ConnectionLost`, so the retry path absorbs it);
 - :class:`RequestTimeout` bounds how long a caller waits for any one
   response.
 """
@@ -25,12 +43,24 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Dict, Optional
+import os
+import random
+import zlib
+from typing import Dict, Optional, Set
 
-from repro.net.wire import WireError, read_frame, resolve_wire_format, write_frame
+from repro.net.wire import (
+    BASELINE_WIRE_VERSION,
+    WIRE_VERSION,
+    WireError,
+    read_frame,
+    resolve_wire_format,
+    write_frame,
+)
 from repro.service.config import NetOptions
 from repro.service.requests import (
+    ClientHello,
     ErrorResponse,
+    HelloAck,
     Request,
     request_to_wire,
     response_from_wire,
@@ -40,6 +70,7 @@ __all__ = [
     "AlertServiceClient",
     "ClientError",
     "ConnectionLost",
+    "ConnectTimeout",
     "RemoteRequestError",
     "RequestTimeout",
     "ServerBusy",
@@ -52,6 +83,14 @@ class ClientError(Exception):
 
 class ConnectionLost(ClientError):
     """The connection died (EOF, reset, or a corrupt frame) mid-conversation."""
+
+
+class ConnectTimeout(ConnectionLost):
+    """Dial or handshake exceeded ``connect_timeout``.
+
+    Subclasses :class:`ConnectionLost` so :meth:`request_with_retry` treats a
+    stalled listener exactly like a dead one: back off and try again.
+    """
 
 
 class RequestTimeout(ClientError):
@@ -89,6 +128,21 @@ class AlertServiceClient:
         preferred ``wire_format`` (both default sensibly).
     timeout:
         Default per-request response timeout in seconds.
+    client_id:
+        Stable client identity for the exactly-once handshake.  Defaults to a
+        random id (fresh identity per client object); pin it to survive
+        process restarts or to make chaos scripts deterministic.
+    epoch:
+        Identifies this client *instance*.  Reconnects keep the epoch (the
+        server resumes the idempotency state); a new instance reusing a
+        ``client_id`` should start a new epoch (the default random one does),
+        which resets the server-side state for that id.
+    connect_timeout:
+        Bound on one dial + handshake; exceeding it raises
+        :class:`ConnectTimeout`.
+    handshake:
+        Set False to skip the hello entirely and speak the legacy v1
+        envelope (mainly for compatibility tests).
     """
 
     def __init__(
@@ -98,21 +152,40 @@ class AlertServiceClient:
         *,
         options: Optional[NetOptions] = None,
         timeout: float = 30.0,
+        client_id: Optional[str] = None,
+        epoch: Optional[int] = None,
+        connect_timeout: float = 10.0,
+        handshake: bool = True,
     ):
         self.host = host
         self.port = port
         self.options = options if options is not None else NetOptions(host=host, port=port)
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.handshake = handshake
+        self.client_id = client_id if client_id else f"c-{os.urandom(6).hex()}"
+        self.epoch = epoch if epoch is not None else int.from_bytes(os.urandom(6), "big")
         self.wire_format = resolve_wire_format(self.options.wire_format)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._receiver: Optional[asyncio.Task] = None
         self._pending: Dict[int, asyncio.Future] = {}
-        self._next_id = 0
+        self._next_id = 0  # monotonic per client *object*: survives reconnects
         self._send_lock = asyncio.Lock()
         self._connect_lock = asyncio.Lock()
+        self._session_active = False
+        self._wire_version = BASELINE_WIRE_VERSION
+        self._acked = 0  # every request id <= this has been answered
+        self._answered: Set[int] = set()
+        # Seeded per-client jitter stream: many clients restarting together
+        # de-synchronize their retries, yet the same (client_id, epoch)
+        # replays the same backoff schedule -- chaos soaks stay reproducible.
+        self._retry_rng = random.Random(
+            (zlib.crc32(self.client_id.encode("utf-8")) << 32) ^ (self.epoch & 0xFFFFFFFF)
+        )
         self.reconnects = 0
         self.requests_sent = 0
+        self.last_hello_resumed = False
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -121,12 +194,90 @@ class AlertServiceClient:
     def connected(self) -> bool:
         return self._writer is not None and not self._writer.is_closing()
 
+    @property
+    def session_active(self) -> bool:
+        """True when the current connection negotiated the exactly-once session."""
+        return self.connected and self._session_active
+
+    @property
+    def negotiated_wire_version(self) -> int:
+        return self._wire_version
+
+    @property
+    def acked_watermark(self) -> int:
+        return self._acked
+
     async def connect(self) -> None:
         async with self._connect_lock:  # concurrent callers share one dial
             if self.connected:
                 return
-            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
-            self._receiver = asyncio.create_task(self._receive_loop(self._reader))
+            try:
+                reader, writer = await asyncio.wait_for(self._dial(), self.connect_timeout)
+            except asyncio.TimeoutError as exc:
+                raise ConnectTimeout(
+                    f"connect to {self.host}:{self.port} exceeded {self.connect_timeout}s"
+                ) from exc
+            self._reader, self._writer = reader, writer
+            self._receiver = asyncio.create_task(self._receive_loop(reader))
+
+    async def _dial(self):
+        """Open the socket and run the hello handshake; maps failures to
+        :class:`ConnectionLost` so the retry path absorbs restart windows."""
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionLost(f"connect to {self.host}:{self.port} failed: {exc}") from exc
+        try:
+            if self.handshake:
+                await self._handshake(reader, writer)
+            else:
+                self._session_active = False
+                self._wire_version = BASELINE_WIRE_VERSION
+        except (WireError, ConnectionError, OSError) as exc:
+            writer.close()
+            raise ConnectionLost(f"handshake failed: {exc}") from exc
+        except BaseException:
+            # Includes the CancelledError injected by connect()'s wait_for on
+            # timeout: never leak a half-open socket.
+            writer.close()
+            raise
+        return reader, writer
+
+    async def _handshake(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """One hello/ack exchange, run before the receive loop starts.
+
+        The hello itself is a **baseline-version** frame (a v1 peer must be
+        able to parse it); only after a :class:`HelloAck` do both sides stamp
+        the negotiated version.  A v1 server answers the unknown envelope
+        kind with a ``BadEnvelope`` error -- the downgrade signal.
+        """
+        hello = ClientHello(
+            client_id=self.client_id,
+            epoch=self.epoch,
+            wire_version=WIRE_VERSION,
+            acked=self._acked,
+        )
+        envelope = {"id": 0, "kind": "hello", "payload": hello.to_wire()}
+        await write_frame(writer, envelope, self.wire_format)
+        frame = await read_frame(reader, self.options.max_frame_bytes)
+        if frame is None:
+            raise ConnectionLost("server closed the connection during the handshake")
+        payload = frame.get("payload") or {}
+        kind = payload.get("type")
+        if kind == "hello_ack":
+            ack = HelloAck.from_wire(payload)
+            self._session_active = True
+            self._wire_version = max(
+                BASELINE_WIRE_VERSION, min(int(ack.wire_version), WIRE_VERSION)
+            )
+            self.last_hello_resumed = ack.resumed
+        elif kind == "error" and payload.get("error") == "BadEnvelope":
+            # Legacy peer: no exactly-once session, plain v1 envelopes.
+            self._session_active = False
+            self._wire_version = BASELINE_WIRE_VERSION
+            self.last_hello_resumed = False
+        else:
+            raise ClientError(f"unexpected handshake reply {kind!r}")
 
     async def close(self) -> None:
         await self._teardown(ConnectionLost("client closed"))
@@ -142,6 +293,7 @@ class AlertServiceClient:
         receiver, self._receiver = self._receiver, None
         writer, self._writer = self._writer, None
         self._reader = None
+        self._session_active = False
         if writer is not None:
             with contextlib.suppress(ConnectionError, OSError):
                 writer.close()
@@ -159,6 +311,25 @@ class AlertServiceClient:
     # ------------------------------------------------------------------
     # Receive loop: route responses to their futures by id
     # ------------------------------------------------------------------
+    def _mark_answered(self, req_id: int) -> None:
+        """Advance the answered low-watermark: largest N with all ids <= N
+        *finished* -- answered or permanently abandoned.
+
+        The watermark is a promise that the client will never re-send an id
+        at or below it, so an id may only be marked once its caller is done
+        with it (result delivered, non-retryable error, or retries
+        exhausted).  Marking on mere response *arrival* would be wrong: a
+        BUSY or late response to an id the retry loop is about to re-send
+        would advance the watermark past it, and the server would prune the
+        cached answer and reject the retry as stale.
+        """
+        if req_id <= self._acked:
+            return
+        self._answered.add(req_id)
+        while self._acked + 1 in self._answered:
+            self._answered.discard(self._acked + 1)
+            self._acked += 1
+
     async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
         # The reader is bound at connect time: a reconnect starts a fresh
         # loop on the fresh reader, and a stale loop can never steal from it.
@@ -192,33 +363,67 @@ class AlertServiceClient:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    async def request(self, request: Request, timeout: Optional[float] = None) -> object:
-        """Send one request and await its typed response (pipelining-safe)."""
+    def allocate_request_id(self) -> int:
+        """Mint the next monotonic request id (ids survive reconnects)."""
+        self._next_id += 1
+        return self._next_id
+
+    async def request(
+        self,
+        request: Request,
+        timeout: Optional[float] = None,
+        *,
+        req_id: Optional[int] = None,
+    ) -> object:
+        """Send one request and await its typed response (pipelining-safe).
+
+        ``req_id`` lets a retry loop re-send under the id of a previous
+        attempt -- the cornerstone of the exactly-once contract; plain calls
+        leave it unset and get a fresh id.
+        """
         if not self.connected:
             await self.connect()
-        self._next_id += 1
-        req_id = self._next_id
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[req_id] = future
-        envelope = {"id": req_id, "kind": "request", "payload": request_to_wire(request)}
+        # An explicitly passed id belongs to a retry loop, which owns its
+        # watermark bookkeeping; an auto-allocated id is single-shot, so this
+        # call is its whole lifetime and marks it finished on every exit.
+        auto_id = req_id is None
+        if req_id is None:
+            req_id = self.allocate_request_id()
         try:
-            async with self._send_lock:
-                if self._writer is None:
-                    raise ConnectionLost("connection lost before send")
-                await write_frame(self._writer, envelope, self.wire_format)
-            self.requests_sent += 1
-        except ConnectionLost:
-            self._pending.pop(req_id, None)
-            raise
-        except (ConnectionError, OSError) as exc:
-            self._pending.pop(req_id, None)
-            await self._teardown(ConnectionLost(str(exc)))
-            raise ConnectionLost(str(exc)) from exc
-        try:
-            return await asyncio.wait_for(future, timeout if timeout is not None else self.timeout)
-        except asyncio.TimeoutError as exc:
-            self._pending.pop(req_id, None)
-            raise RequestTimeout(f"no response to request {req_id} in time") from exc
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending[req_id] = future
+            envelope = {"id": req_id, "kind": "request", "payload": request_to_wire(request)}
+            if self._session_active:
+                envelope["acked"] = self._acked
+            try:
+                async with self._send_lock:
+                    if self._writer is None:
+                        raise ConnectionLost("connection lost before send")
+                    await write_frame(self._writer, envelope, self.wire_format, self._wire_version)
+                self.requests_sent += 1
+            except ConnectionLost:
+                self._pending.pop(req_id, None)
+                raise
+            except (ConnectionError, OSError) as exc:
+                self._pending.pop(req_id, None)
+                await self._teardown(ConnectionLost(str(exc)))
+                raise ConnectionLost(str(exc)) from exc
+            try:
+                return await asyncio.wait_for(
+                    future, timeout if timeout is not None else self.timeout
+                )
+            except asyncio.TimeoutError as exc:
+                self._pending.pop(req_id, None)
+                raise RequestTimeout(f"no response to request {req_id} in time") from exc
+        finally:
+            if auto_id:
+                self._mark_answered(req_id)
+
+    def _backoff(self, delay: float) -> float:
+        """Jittered sleep for one retry: 50-100% of ``delay``, from the
+        per-client seeded stream (no synchronized retry storms, yet
+        reproducible per client)."""
+        return delay * (0.5 + 0.5 * self._retry_rng.random())
 
     async def request_with_retry(
         self,
@@ -228,23 +433,34 @@ class AlertServiceClient:
         base_delay: float = 0.05,
         timeout: Optional[float] = None,
     ) -> object:
-        """:meth:`request` that rides out BUSY rejections and reconnects.
+        """:meth:`request` that rides out BUSY rejections, reconnects and
+        restarts -- safe for **all** request types against a handshaken server.
 
-        Retries (with exponential backoff) on :class:`ServerBusy` and
-        :class:`ConnectionLost` -- the two failures the protocol *expects*
-        clients to absorb.  Remote request errors are the caller's bug and
-        propagate immediately.
+        Every attempt re-sends under the same request id, so a
+        :class:`RequestTimeout` whose original attempt the server *did*
+        execute is answered from the server's idempotency cache instead of
+        executing twice (against a legacy v1 server the id is simply fresh
+        state each connection, i.e. the historical at-least-once behaviour).
+        Retries on :class:`ServerBusy`, :class:`ConnectionLost` (including
+        :class:`ConnectTimeout`) and :class:`RequestTimeout`; remote request
+        errors are the caller's bug and propagate immediately.
         """
         delay = base_delay
         last: Exception = ClientError("no attempts made")
-        for _ in range(attempts):
-            try:
-                return await self.request(request, timeout=timeout)
-            except ServerBusy as exc:
-                last = exc
-            except (ConnectionLost, RequestTimeout) as exc:
-                last = exc
-                self.reconnects += 1
-            await asyncio.sleep(delay)
-            delay = min(delay * 2, 2.0)
-        raise last
+        req_id = self.allocate_request_id()
+        try:
+            for _ in range(attempts):
+                try:
+                    return await self.request(request, timeout=timeout, req_id=req_id)
+                except ServerBusy as exc:
+                    last = exc
+                except (ConnectionLost, RequestTimeout) as exc:
+                    last = exc
+                    self.reconnects += 1
+                await asyncio.sleep(self._backoff(delay))
+                delay = min(delay * 2, 2.0)
+            raise last
+        finally:
+            # Finished with this id on every exit -- success, a non-retryable
+            # remote error, or exhausted attempts -- never mid-retry.
+            self._mark_answered(req_id)

@@ -328,10 +328,25 @@ async def run_point(
     connections: int = 4,
     timeout: float = 30.0,
     retry_busy: bool = False,
+    client_seed: Optional[int] = None,
 ) -> PointResult:
-    """Fire one schedule open-loop against a live server and measure."""
+    """Fire one schedule open-loop against a live server and measure.
+
+    ``client_seed`` pins deterministic per-connection client identities for
+    the exactly-once handshake (each point of a sweep gets its own seed, so
+    identities never collide across points); None keeps random identities.
+    """
     result = PointResult(rate=rate, duration=duration, offered=len(schedule))
-    clients = [AlertServiceClient(host, port, timeout=timeout) for _ in range(max(1, connections))]
+    clients = [
+        AlertServiceClient(
+            host,
+            port,
+            timeout=timeout,
+            client_id=None if client_seed is None else f"lg-{client_seed}-{i}",
+            epoch=None if client_seed is None else client_seed,
+        )
+        for i in range(max(1, connections))
+    ]
     for client in clients:
         await client.connect()
     loop = asyncio.get_running_loop()
@@ -344,7 +359,11 @@ async def run_point(
             await asyncio.sleep(delay)
         try:
             if retry_busy:
-                await client.request_with_retry(op.request, timeout=timeout)
+                # A bigger retry budget than the client default: under
+                # ``--retry`` the sweep is expected to ride through server
+                # restarts (supervised crash-restart), whose rebind can
+                # outlast the default backoff schedule.
+                await client.request_with_retry(op.request, timeout=timeout, attempts=10)
             else:
                 await client.request(op.request, timeout=timeout)
         except ServerBusy:
@@ -437,6 +456,7 @@ async def run_sweep(
                 connections=connections,
                 timeout=timeout,
                 retry_busy=True,
+                client_seed=seed * 1000 + 999,
             )
             if settle_seconds > 0:
                 await asyncio.sleep(settle_seconds)
@@ -461,6 +481,7 @@ async def run_sweep(
                     connections=connections,
                     timeout=timeout,
                     retry_busy=retry_busy,
+                    client_seed=seed * 1000 + index,
                 )
             )
             if settle_seconds > 0:

@@ -35,6 +35,15 @@ two requests race into the session.  The shape is a three-stage pipeline:
   checkpoints durability state via :meth:`AlertService.snapshot` before
   closing connections.
 
+Exactly-once admission: a client that opens with a ``hello`` handshake binds
+its connection to a stable ``(client_id, epoch)`` identity, and the admit
+stage then consults the session's :class:`~repro.service.admission.AdmissionLedger`
+before queueing work -- a retry of an already-executed request id is answered
+from the idempotency cache, a retry of an in-flight id parks as a waiter on
+the single execution, and journal entries carry their origin pairs so replay
+rebuilds the cache after a crash.  Legacy clients that skip the handshake are
+served exactly as before, with no dedup tracking.
+
 Handler exceptions never kill a connection: anything :meth:`AlertService.handle`
 raises -- including :class:`UnknownRequestError` with its list of recognised
 request types -- comes back as an ``error`` frame and the conversation
@@ -58,6 +67,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro.net.wire import (
+    BASELINE_WIRE_VERSION,
+    WIRE_VERSION,
     FrameCorrupt,
     FrameTooLarge,
     WireVersionError,
@@ -68,18 +79,29 @@ from repro.net.wire import (
 )
 from repro.service.config import NetOptions
 from repro.service.requests import (
+    ClientHello,
     ErrorResponse,
+    HelloAck,
     IngestBatch,
     request_from_wire,
     response_to_wire,
 )
 
-__all__ = ["AlertServiceServer", "ServerStats", "BUSY_ERROR", "SHUTTING_DOWN_ERROR"]
+__all__ = [
+    "AlertServiceServer",
+    "ServerStats",
+    "BUSY_ERROR",
+    "SHUTTING_DOWN_ERROR",
+    "STALE_REQUEST_ERROR",
+]
 
 #: ``ErrorResponse.error`` tag for a request rejected at the high-water mark.
 BUSY_ERROR = "ServerBusy"
 #: ``ErrorResponse.error`` tag for a request arriving during drain.
 SHUTTING_DOWN_ERROR = "ServerShuttingDown"
+#: ``ErrorResponse.error`` tag for a request id at or below the client's own
+#: acked watermark with no cached answer (a protocol violation by the client).
+STALE_REQUEST_ERROR = "StaleRequest"
 
 _SENTINEL = object()
 
@@ -109,6 +131,13 @@ class ServerStats:
     fsyncs_saved: int = 0
     #: Frame decodes/encodes run on the codec pool instead of the event loop.
     codec_offloads: int = 0
+    #: Exactly-once admission: hellos answered, retries answered straight from
+    #: the idempotency cache, duplicates parked on an in-flight execution, and
+    #: requests rejected below the client's own acked watermark.
+    handshakes: int = 0
+    dedup_hits: int = 0
+    dup_waiters: int = 0
+    stale_rejections: int = 0
     #: Cumulative per-stage wall time (milliseconds).
     stage_journal_ms: float = 0.0
     stage_execute_ms: float = 0.0
@@ -128,6 +157,12 @@ class _Connection:
     inflight: int = 0
     #: Per-connection resume gate for the ``max_inflight_per_conn`` quota.
     resume: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Exactly-once identity, bound by the hello handshake (None = legacy peer
+    #: speaking the baseline envelope, which gets no dedup tracking).
+    client_id: Optional[str] = None
+    epoch: int = 0
+    #: Envelope version negotiated at hello; replies are encoded with it.
+    wire_version: int = BASELINE_WIRE_VERSION
 
     def __post_init__(self) -> None:
         self.resume.set()
@@ -138,6 +173,8 @@ class _Pending:
     conn: _Connection
     req_id: int
     request: object
+    #: ``(client_id, epoch, request_id)`` for identified clients, else None.
+    origin: Optional[tuple] = None
 
 
 class AlertServiceServer:
@@ -187,6 +224,9 @@ class AlertServiceServer:
         self._exec_busy = False
         self._resume = asyncio.Event()
         self._resume.set()
+        # Retries of a request that is still executing park here; the single
+        # execution's answer fans out to every parked connection.
+        self._dup_waiters: dict = {}
         self._connections: Set[_Connection] = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -322,6 +362,12 @@ class AlertServiceServer:
                 )
             else:
                 frame = decode_body_checked(body, flags, crc)
+            if frame.get("kind") == "hello":
+                # Session handshake: not a request (never journaled, never
+                # counted in requests_received), answered even while draining
+                # so a reconnecting client can learn its resumed watermark.
+                await self._handle_hello(conn, frame)
+                continue
             self.stats.requests_received += 1
             req_id = frame.get("id")
             if not isinstance(req_id, int) or frame.get("kind") != "request":
@@ -334,6 +380,41 @@ class AlertServiceServer:
                     ),
                 )
                 continue
+            if conn.client_id is not None:
+                # Exactly-once admission for identified clients: apply the
+                # piggybacked acked watermark, then answer retries from the
+                # idempotency cache (or park them on the in-flight original)
+                # before any backpressure or drain check -- a cached answer
+                # is always safe to serve and costs no inflight slot.
+                acked = frame.get("acked")
+                if isinstance(acked, int) and acked > 0:
+                    self.service.admission.advance(conn.client_id, acked)
+                decision = self.service.admission.classify(conn.client_id, req_id)
+                if decision.cached:
+                    self.stats.dedup_hits += 1
+                    await self._send(
+                        conn, {"id": req_id, "kind": "response", "payload": decision.response}
+                    )
+                    continue
+                if decision.duplicate:
+                    self.stats.dup_waiters += 1
+                    key = (conn.client_id, req_id)
+                    self._dup_waiters.setdefault(key, []).append(conn)
+                    continue
+                if decision.stale:
+                    self.stats.stale_rejections += 1
+                    await self._send_error(
+                        conn,
+                        req_id,
+                        ErrorResponse(
+                            error=STALE_REQUEST_ERROR,
+                            message=(
+                                f"request id {req_id} is at or below this client's "
+                                "acked watermark and has no cached answer"
+                            ),
+                        ),
+                    )
+                    continue
             if self._draining:
                 self.stats.shutdown_rejections += 1
                 await self._send_error(
@@ -401,9 +482,36 @@ class AlertServiceServer:
             except Exception as exc:
                 await self._send_error(conn, req_id, ErrorResponse.from_exception(exc))
                 continue
+            origin = None
+            if conn.client_id is not None:
+                # Only now -- past every rejection path -- does the pair count
+                # as executing; a BUSY-rejected id must stay retryable.
+                self.service.admission.begin(conn.client_id, req_id)
+                origin = (conn.client_id, conn.epoch, req_id)
             self._inflight += 1
             conn.inflight += 1
-            await self._queue.put(_Pending(conn=conn, req_id=req_id, request=request))
+            await self._queue.put(
+                _Pending(conn=conn, req_id=req_id, request=request, origin=origin)
+            )
+
+    async def _handle_hello(self, conn: _Connection, frame: dict) -> None:
+        """Bind a connection to its client identity and negotiate the envelope."""
+        req_id = frame.get("id")
+        req_id = req_id if isinstance(req_id, int) else 0
+        try:
+            hello = ClientHello.from_wire(frame.get("payload") or {})
+        except Exception as exc:  # noqa: BLE001 - mapped to a structured frame
+            await self._send_error(conn, req_id, ErrorResponse.from_exception(exc))
+            return
+        resumed, acked = self.service.admission.register(hello.client_id, hello.epoch)
+        conn.client_id = hello.client_id
+        conn.epoch = hello.epoch
+        conn.wire_version = max(BASELINE_WIRE_VERSION, min(hello.wire_version, WIRE_VERSION))
+        if hello.acked > 0:
+            self.service.admission.advance(hello.client_id, hello.acked)
+        self.stats.handshakes += 1
+        ack = HelloAck(wire_version=conn.wire_version, resumed=resumed, acked=acked)
+        await self._send(conn, {"id": req_id, "kind": "response", "payload": ack.to_wire()})
 
     # ------------------------------------------------------------------
     # Stage 1: admit + group-commit journal
@@ -527,9 +635,17 @@ class AlertServiceServer:
         if getattr(service, "journal", None) is None:
             return
         requests = [request for _, request in plan]
+        # Each journaled entry carries the (client_id, epoch, request_id)
+        # origins it answers -- a coalesced ingest run lists every member --
+        # so post-crash replay can rebuild the idempotency cache.
+        origins = [
+            [m.origin for m in members if m.origin is not None] or None
+            for members, _ in plan
+        ]
         started = time.perf_counter()
         await self._loop.run_in_executor(
-            self._journal_executor, service.journal_requests, requests
+            self._journal_executor,
+            functools.partial(service.journal_requests, requests, origins),
         )
         self.stats.stage_journal_ms += (time.perf_counter() - started) * 1000.0
         self.stats.group_commits = service.journal.group_commits
@@ -589,9 +705,28 @@ class AlertServiceServer:
             await self._deliver(members, payload, is_error)
 
     async def _deliver(self, members: list, payload: dict, is_error: bool) -> None:
+        # Record each identified execution's outcome (successes become
+        # cached answers for retries) and collect any retries that parked
+        # while it ran -- they receive this same payload.
+        waiters: list = []
+        for member in members:
+            if member.origin is None:
+                continue
+            client_id, epoch, rid = member.origin
+            self.service.admission.complete(client_id, epoch, rid, payload, is_error)
+            for waiter_conn in self._dup_waiters.pop((client_id, rid), ()):
+                waiters.append((waiter_conn, rid))
         envelopes = [
-            {"id": member.req_id, "kind": "response", "payload": payload} for member in members
+            (
+                {"id": member.req_id, "kind": "response", "payload": payload},
+                member.conn.wire_version,
+            )
+            for member in members
         ]
+        envelopes.extend(
+            ({"id": rid, "kind": "response", "payload": payload}, waiter_conn.wire_version)
+            for waiter_conn, rid in waiters
+        )
         started = time.perf_counter()
         if self._codec is not None and len(envelopes) > 1:
             self.stats.codec_offloads += 1
@@ -608,13 +743,19 @@ class AlertServiceServer:
             if is_error:
                 self.stats.errors_returned += 1
             per_conn.setdefault(member.conn, []).append(parts)
+        # Parked duplicates hold no inflight slot; they only get the frame.
+        for (waiter_conn, _), parts in zip(waiters, frames[len(members) :]):
+            per_conn.setdefault(waiter_conn, []).append(parts)
         for conn, conn_frames in per_conn.items():
             await self._write_frames(conn, conn_frames)
             self._check_conn_resume(conn)
         self._check_resume()
 
     def _encode_envelopes(self, envelopes: list) -> list:
-        return [encode_frame_parts(envelope, self.wire_format) for envelope in envelopes]
+        return [
+            encode_frame_parts(envelope, self.wire_format, version)
+            for envelope, version in envelopes
+        ]
 
     def _check_resume(self) -> None:
         if self._draining or self._inflight <= self.options.resolved_low_water:
@@ -633,7 +774,9 @@ class AlertServiceServer:
         await self._send(conn, {"id": req_id, "kind": "response", "payload": error.to_wire()})
 
     async def _send(self, conn: _Connection, envelope: dict) -> None:
-        await self._write_frames(conn, [encode_frame_parts(envelope, self.wire_format)])
+        await self._write_frames(
+            conn, [encode_frame_parts(envelope, self.wire_format, conn.wire_version)]
+        )
 
     async def _write_frames(self, conn: _Connection, frames: list) -> None:
         """Send pre-encoded ``(header, body)`` frames on one connection.

@@ -9,8 +9,11 @@ Every message on the wire -- request or response -- is one *frame*:
     | 2B  BE | 1B      | 1B    | 4B  BE   | 4B  BE  | length B  |
     +--------+---------+-------+----------+---------+===========+
 
-``magic`` is ``0x5245`` (``"RE"``), ``version`` is :data:`WIRE_VERSION`,
-``flags`` bit 0 (:data:`FLAG_MSGPACK`) selects the body codec: JSON (the
+``magic`` is ``0x5245`` (``"RE"``), ``version`` is any version in the
+accepted range :data:`BASELINE_WIRE_VERSION` .. :data:`WIRE_VERSION` (frames
+are *encoded* at the baseline unless a session has negotiated higher via the
+client hello handshake, so a pre-handshake peer never sees a version byte it
+cannot parse), ``flags`` bit 0 (:data:`FLAG_MSGPACK`) selects the body codec: JSON (the
 stdlib default, always available) or msgpack (used only when the optional
 ``msgpack`` package is importable -- it is **not** vendored, so "auto"
 degrades to JSON on a bare interpreter).  ``crc32`` covers the body, so a
@@ -24,6 +27,16 @@ envelope carrying the pipelining request id::
 
     {"id": 17, "kind": "request", "payload": {...}}
     {"id": 17, "kind": "response", "payload": {...}}
+
+Version 2 sessions (both peers spoke the hello handshake) extend the request
+envelope with the exactly-once fields::
+
+    {"id": 0,  "kind": "hello",   "payload": {"type": "client_hello", ...}}
+    {"id": 17, "kind": "request", "payload": {...}, "acked": 12}
+
+where ``acked`` is the client's answered low-watermark -- every request id at
+or below it has been answered, so the server may prune its per-client
+idempotency cache up to that point.
 
 The same payload shapes are what the PR 6 request journal stores -- a
 journaled request and a framed request are byte-for-byte identical JSON.
@@ -45,6 +58,7 @@ except ImportError:  # pragma: no cover - exercised implicitly on bare images
 __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "BASELINE_WIRE_VERSION",
     "FLAG_MSGPACK",
     "HEADER",
     "HEADER_SIZE",
@@ -65,7 +79,13 @@ __all__ = [
 ]
 
 WIRE_MAGIC = 0x5245  # "RE"
-WIRE_VERSION = 1
+# Highest frame version this codec speaks.  v2 adds the exactly-once envelope
+# fields (client hello handshake, per-request ``acked`` watermark); v1 is the
+# PR 8 envelope.  Encoders default to the baseline so that the handshake frame
+# itself -- and every frame sent to a peer that never negotiated -- stays
+# readable by v1-only peers.
+WIRE_VERSION = 2
+BASELINE_WIRE_VERSION = 1
 FLAG_MSGPACK = 0x01
 
 HEADER = struct.Struct(">HBBII")  # magic, version, flags, body length, body crc32
@@ -130,22 +150,30 @@ def _decode_body(body: bytes | memoryview, flags: int) -> dict:
     return decoded
 
 
-def encode_frame_parts(payload: dict, fmt: str = "json") -> Tuple[bytes, bytes]:
+def encode_frame_parts(
+    payload: dict, fmt: str = "json", version: Optional[int] = None
+) -> Tuple[bytes, bytes]:
     """One frame as its ``(header, body)`` parts, uncombined.
 
     The zero-copy send path: callers hand both parts straight to
     ``StreamWriter.writelines`` instead of paying a concatenation copy per
     frame (the batched response path sends a whole tick's frames through one
-    ``writelines``).
+    ``writelines``).  ``version`` stamps the header; it defaults to
+    :data:`BASELINE_WIRE_VERSION` so only sessions that negotiated a higher
+    version ever emit it.
     """
+    if version is None:
+        version = BASELINE_WIRE_VERSION
+    if not BASELINE_WIRE_VERSION <= version <= WIRE_VERSION:
+        raise WireVersionError(f"cannot encode wire version {version} (speaking {WIRE_VERSION})")
     body, flags = _encode_body(payload, fmt)
-    header = HEADER.pack(WIRE_MAGIC, WIRE_VERSION, flags, len(body), zlib.crc32(body))
+    header = HEADER.pack(WIRE_MAGIC, version, flags, len(body), zlib.crc32(body))
     return header, body
 
 
-def encode_frame(payload: dict, fmt: str = "json") -> bytes:
+def encode_frame(payload: dict, fmt: str = "json", version: Optional[int] = None) -> bytes:
     """One complete frame (header + body) for ``payload``."""
-    header, body = encode_frame_parts(payload, fmt)
+    header, body = encode_frame_parts(payload, fmt, version)
     return header + body
 
 
@@ -166,7 +194,7 @@ def _check_header(data: bytes, max_frame_bytes: Optional[int]) -> Tuple[int, int
     magic, version, flags, length, crc = HEADER.unpack(data[:HEADER_SIZE])
     if magic != WIRE_MAGIC:
         raise FrameCorrupt(f"bad frame magic 0x{magic:04x} (expected 0x{WIRE_MAGIC:04x})")
-    if version != WIRE_VERSION:
+    if not BASELINE_WIRE_VERSION <= version <= WIRE_VERSION:
         raise WireVersionError(f"unsupported wire version {version} (speaking {WIRE_VERSION})")
     if max_frame_bytes is not None and length > max_frame_bytes:
         raise FrameTooLarge(f"declared body of {length} bytes exceeds limit {max_frame_bytes}")
@@ -246,7 +274,9 @@ async def read_frame(
     return decode_body_checked(body, flags, crc)
 
 
-async def write_frame(writer: asyncio.StreamWriter, payload: dict, fmt: str = "json") -> None:
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: dict, fmt: str = "json", version: Optional[int] = None
+) -> None:
     """Encode and send one frame, honouring the transport's write backpressure."""
-    writer.write(encode_frame(payload, fmt))
+    writer.write(encode_frame(payload, fmt, version))
     await writer.drain()

@@ -16,7 +16,8 @@ from repro.service.config import NetOptions, ServiceConfig, ServiceConfigBuilder
 from repro.service.dispatch import AffinityDispatcher, WorkerLane
 from repro.service.executor import PersistentExecutorPool
 from repro.service.faults import ChaosSoakOutcome, FaultInjector, FaultPlan, run_chaos_soak
-from repro.service.journal import RequestJournal
+from repro.service.admission import AdmissionDecision, AdmissionLedger
+from repro.service.journal import JournalWriteError, RequestJournal
 from repro.service.resilience import (
     LaneQuarantined,
     ResiliencePolicy,
@@ -24,8 +25,10 @@ from repro.service.resilience import (
     TaskDeadlineExceeded,
 )
 from repro.service.requests import (
+    ClientHello,
     ErrorResponse,
     EvaluateStanding,
+    HelloAck,
     IngestBatch,
     IngestReceipt,
     MatchReport,
@@ -82,4 +85,9 @@ __all__ = [
     "ChaosSoakOutcome",
     "run_chaos_soak",
     "RequestJournal",
+    "JournalWriteError",
+    "AdmissionLedger",
+    "AdmissionDecision",
+    "ClientHello",
+    "HelloAck",
 ]

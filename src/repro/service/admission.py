@@ -1,0 +1,215 @@
+"""Per-client exactly-once admission state for the network tier.
+
+The :class:`AdmissionLedger` is the server side of the retry contract: every
+network request from a handshaken client carries a ``(client_id, request_id)``
+pair, and the ledger remembers -- per client epoch -- which of those pairs are
+currently executing and what the finished ones answered.  The admit stage
+consults it before queueing work:
+
+* a pair with a cached response is answered from the cache (the client's
+  retry of a request the server already ran -- the response is replayed, the
+  request is **not** re-executed);
+* a pair that is still executing parks the duplicate as a waiter -- both the
+  original connection and the retrying one get the single execution's answer;
+* anything else is new work.
+
+The ledger lives on the :class:`~repro.service.service.AlertService` rather
+than the server because crash recovery must rebuild it: journal entries carry
+their origin pairs, so replay re-caches the response each origin is owed.  A
+journaled-then-crashed request that the client retries after the restart gets
+its cached response, not a second execution.
+
+Boundedness: clients piggyback an ``acked`` low-watermark on every request
+(all ids at or below it have been answered), which prunes the cache; a
+``max_cached`` cap per client bounds the worst case of a client that never
+acks (oldest ids are evicted first -- exactly the ones a well-behaved client
+can no longer retry).
+
+Error responses are deliberately **not** cached: a failed request is answered
+but may legitimately be retried for a fresh attempt (e.g. after a transient
+journal write failure), so only successful executions are pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["AdmissionDecision", "ClientAdmissionState", "AdmissionLedger"]
+
+#: One journal-entry origin: ``(client_id, epoch, request_id)``.
+Origin = Tuple[str, int, int]
+
+
+@dataclass
+class ClientAdmissionState:
+    """What the ledger knows about one client instance (one epoch)."""
+
+    epoch: int
+    acked: int = 0
+    #: request_id -> cached response payload (wire form), successes only.
+    cache: Dict[int, dict] = field(default_factory=dict)
+    #: request ids admitted but not yet answered.
+    executing: Set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of :meth:`AdmissionLedger.admit` for one incoming request.
+
+    Exactly one of the flags is set: ``cached`` (answer from ``response``),
+    ``duplicate`` (park as waiter on the in-flight execution), ``stale``
+    (below the acked watermark with no cached answer -- a protocol error),
+    or none of them (``fresh`` -- admit as new work).
+    """
+
+    cached: bool = False
+    duplicate: bool = False
+    stale: bool = False
+    response: Optional[dict] = None
+
+    @property
+    def fresh(self) -> bool:
+        return not (self.cached or self.duplicate or self.stale)
+
+
+class AdmissionLedger:
+    """The per-client idempotency table; all methods are event-loop-thread only."""
+
+    def __init__(self, max_cached: int = 4096):
+        if max_cached < 1:
+            raise ValueError("max_cached must be >= 1")
+        self.max_cached = max_cached
+        self._clients: Dict[str, ClientAdmissionState] = {}
+
+    # -- handshake ------------------------------------------------------
+    def register(self, client_id: str, epoch: int) -> Tuple[bool, int]:
+        """Bind a hello to its state: ``(resumed, acked)``.
+
+        Same epoch resumes the existing state (reconnect / post-restart
+        replay); a different epoch is a fresh client instance reusing the id,
+        whose old state is discarded.
+        """
+        state = self._clients.get(client_id)
+        if state is not None and state.epoch == epoch:
+            return True, state.acked
+        self._clients[client_id] = ClientAdmissionState(epoch=epoch)
+        return False, 0
+
+    def state_for(self, client_id: str) -> Optional[ClientAdmissionState]:
+        return self._clients.get(client_id)
+
+    # -- admit path -----------------------------------------------------
+    def classify(self, client_id: str, request_id: int) -> AdmissionDecision:
+        """Classify one incoming ``(client_id, request_id)``; side-effect-free.
+
+        A fresh pair is only marked executing by an explicit :meth:`begin` --
+        the server calls that *after* its backpressure checks pass, so a
+        BUSY-rejected request (which the client retries under the same id)
+        never gets stuck looking like an in-flight duplicate.
+        """
+        state = self._clients.get(client_id)
+        if state is None:
+            # No hello on record (e.g. state evicted): treat as fresh but
+            # untracked -- the caller only tracks identified clients.
+            return AdmissionDecision()
+        cached = state.cache.get(request_id)
+        if cached is not None:
+            return AdmissionDecision(cached=True, response=cached)
+        if request_id in state.executing:
+            return AdmissionDecision(duplicate=True)
+        if request_id <= state.acked:
+            return AdmissionDecision(stale=True)
+        return AdmissionDecision()
+
+    def begin(self, client_id: str, request_id: int) -> None:
+        """Mark an admitted pair as executing (until :meth:`complete`)."""
+        state = self._clients.get(client_id)
+        if state is not None:
+            state.executing.add(request_id)
+
+    def complete(
+        self, client_id: str, epoch: int, request_id: int, response: Optional[dict], is_error: bool
+    ) -> None:
+        """Record one execution's outcome; successes are cached for retries."""
+        state = self._clients.get(client_id)
+        if state is None or state.epoch != epoch:
+            return  # client re-registered under a new epoch mid-flight
+        state.executing.discard(request_id)
+        if is_error or response is None or request_id <= state.acked:
+            return
+        state.cache[request_id] = response
+        self._evict(state)
+
+    def advance(self, client_id: str, acked: int) -> None:
+        """Apply a client's piggybacked answered low-watermark."""
+        state = self._clients.get(client_id)
+        if state is None or acked <= state.acked:
+            return
+        previous = state.acked
+        state.acked = acked
+        # Hot path: the watermark usually moves by a handful of ids per
+        # request (pipelining depth), so prune the covered id range rather
+        # than scanning the whole cache -- unless the jump is larger than
+        # the cache itself (e.g. a resumed client catching up after replay).
+        if acked - previous <= len(state.cache):
+            for request_id in range(previous + 1, acked + 1):
+                state.cache.pop(request_id, None)
+        else:
+            for request_id in [rid for rid in state.cache if rid <= acked]:
+                del state.cache[request_id]
+
+    def _evict(self, state: ClientAdmissionState) -> None:
+        while len(state.cache) > self.max_cached:
+            del state.cache[min(state.cache)]
+
+    # -- crash recovery -------------------------------------------------
+    def record_replayed(self, origin: Origin, response: dict) -> None:
+        """Re-cache a journal-replayed execution's response for its origin.
+
+        Later journal entries win on epoch conflicts: an origin with a newer
+        epoch than the recorded state resets the client (mirroring what
+        :meth:`register` did live), an older one is a stale leftover.
+        """
+        client_id, epoch, request_id = origin
+        state = self._clients.get(client_id)
+        if state is None or state.epoch != epoch:
+            if state is not None and epoch < state.epoch:
+                return
+            state = ClientAdmissionState(epoch=epoch)
+            self._clients[client_id] = state
+        if request_id <= state.acked:
+            return
+        state.cache[request_id] = response
+        self._evict(state)
+
+    # -- snapshot forms -------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-compatible snapshot form (executing sets are transient and
+        deliberately dropped -- after a crash those requests never answered)."""
+        clients: List[dict] = []
+        for client_id in sorted(self._clients):
+            state = self._clients[client_id]
+            clients.append(
+                {
+                    "client_id": client_id,
+                    "epoch": state.epoch,
+                    "acked": state.acked,
+                    "cache": [[rid, state.cache[rid]] for rid in sorted(state.cache)],
+                }
+            )
+        return {"max_cached": self.max_cached, "clients": clients}
+
+    @classmethod
+    def from_payload(cls, payload: Optional[dict]) -> "AdmissionLedger":
+        if not payload:
+            return cls()
+        ledger = cls(max_cached=int(payload.get("max_cached", 4096)))
+        for entry in payload.get("clients", ()):
+            state = ClientAdmissionState(
+                epoch=int(entry["epoch"]), acked=int(entry.get("acked", 0))
+            )
+            for rid, response in entry.get("cache", ()):
+                state.cache[int(rid)] = response
+            ledger._clients[entry["client_id"]] = state
+        return ledger

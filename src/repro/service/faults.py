@@ -119,6 +119,7 @@ class FaultPlan:
     frame_corrupt: float = 0.0
     slow_client: float = 0.0
     fsync_delay: float = 0.0
+    journal_write_fail: float = 0.0
     hang_seconds: float = 15.0
     delay_seconds: float = 0.02
     slow_client_seconds: float = 0.05
@@ -137,6 +138,7 @@ class FaultPlan:
         "frame_corrupt",
         "slow_client",
         "fsync_delay",
+        "journal_write_fail",
     )
 
     def __post_init__(self) -> None:
@@ -211,7 +213,7 @@ class FaultInjector:
     ``counts`` records what actually fired, for assertions and CLI reports.
     """
 
-    _SITES = ("lane", "ack", "spool", "snapshot", "net", "journal")
+    _SITES = ("lane", "ack", "spool", "snapshot", "net", "journal", "journal_write")
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
@@ -368,6 +370,22 @@ class FaultInjector:
         if rng.random() < self.plan.fsync_delay:
             self.counts["fsync_delay"] += 1
             time.sleep(self.plan.fsync_delay_seconds)
+
+    def journal_write(self) -> None:
+        """Maybe fail one durable journal append (ENOSPC / yanked-volume model).
+
+        Raises :class:`InjectedFault` *before* anything hits the file, so the
+        journal's rollback contract is exercised from a clean pre-write state;
+        the journal wraps it into the typed
+        :class:`~repro.service.journal.JournalWriteError` the server answers
+        with.  Unlike ``fsync_delay`` this fault is **not** outcome-neutral
+        (the affected requests fail instead of executing), so it belongs in
+        dedicated failure tests, not the bit-exact parity soaks.
+        """
+        rng = self._rngs["journal_write"]
+        if rng.random() < self.plan.journal_write_fail:
+            self.counts["journal_write_fail"] += 1
+            raise InjectedFault("injected journal append failure")
 
     # ------------------------------------------------------------------
     # Snapshots (CiphertextStore.save, AlertService.snapshot)

@@ -70,6 +70,8 @@ __all__ = [
     "ErrorResponse",
     "RequestMetrics",
     "Notification",
+    "ClientHello",
+    "HelloAck",
     "UnknownRequestError",
     "REQUEST_WIRE_TYPES",
     "RESPONSE_WIRE_TYPES",
@@ -531,6 +533,90 @@ class ErrorResponse:
             error=type(exc).__name__,
             message=str(exc),
             expected=tuple(getattr(exc, "expected", ())),
+        )
+
+
+# ----------------------------------------------------------------------
+# Session handshake (network tier)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClientHello:
+    """The first frame of an exactly-once network session.
+
+    ``client_id`` is the client's stable identity (survives reconnects and
+    process restarts when the caller pins it); ``epoch`` identifies one client
+    *instance* -- a reconnecting client keeps its epoch so the server resumes
+    its idempotency state, while a fresh instance reusing the id starts a new
+    epoch and resets it.  ``wire_version`` is the highest frame version the
+    client speaks; the server answers with the negotiated minimum.  ``acked``
+    is the client's answered low-watermark at connect time (every request id
+    at or below it has been answered), letting the server prune immediately.
+
+    These are session-control payloads, deliberately *not* registered in
+    :data:`REQUEST_WIRE_TYPES`: they never reach
+    :meth:`~repro.service.service.AlertService.handle` and are never
+    journaled.  A pre-handshake (v1) server answers the hello envelope with a
+    ``BadEnvelope`` :class:`ErrorResponse`, which the client treats as
+    "legacy peer" and downgrades.
+    """
+
+    client_id: str
+    epoch: int
+    wire_version: int = 2
+    acked: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.client_id:
+            raise ValueError("client_id must be non-empty")
+
+    def to_wire(self) -> dict:
+        return {
+            "type": "client_hello",
+            "client_id": self.client_id,
+            "epoch": self.epoch,
+            "wire_version": self.wire_version,
+            "acked": self.acked,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, group=None) -> "ClientHello":
+        return cls(
+            client_id=payload["client_id"],
+            epoch=int(payload["epoch"]),
+            wire_version=int(payload.get("wire_version", 1)),
+            acked=int(payload.get("acked", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """The server's answer to a :class:`ClientHello`.
+
+    ``wire_version`` is the negotiated frame version both peers will stamp
+    from now on; ``resumed`` is True when the server still held idempotency
+    state for this ``(client_id, epoch)`` (reconnect, or a supervised restart
+    that rebuilt the table from the journal); ``acked`` echoes the server's
+    recorded low-watermark for the client.
+    """
+
+    wire_version: int
+    resumed: bool = False
+    acked: int = 0
+
+    def to_wire(self) -> dict:
+        return {
+            "type": "hello_ack",
+            "wire_version": self.wire_version,
+            "resumed": self.resumed,
+            "acked": self.acked,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "HelloAck":
+        return cls(
+            wire_version=int(payload["wire_version"]),
+            resumed=bool(payload.get("resumed", False)),
+            acked=int(payload.get("acked", 0)),
         )
 
 

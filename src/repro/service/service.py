@@ -55,6 +55,7 @@ from repro.protocol.matching import MatchingEngine
 from repro.protocol.messages import LocationUpdate, TokenBatch
 from repro.protocol.shards import ShardedCiphertextStore
 from repro.protocol.store import CiphertextStore
+from repro.service.admission import AdmissionLedger
 from repro.service.config import ServiceConfig
 from repro.service.executor import PersistentExecutorPool
 from repro.service.faults import FaultInjector
@@ -73,6 +74,7 @@ from repro.service.requests import (
     RetractZone,
     Subscribe,
     UnknownRequestError,
+    response_to_wire,
 )
 
 __all__ = ["AlertService", "SessionStats", "StandingZone"]
@@ -237,6 +239,12 @@ class AlertService:
         # journal stage (before execution starts) and discarded by the
         # handler's append check, so membership is strictly ahead of use.
         self._prejournaled: set[int] = set()
+        #: Per-client exactly-once state for the network tier.  Lives here
+        #: (not on the server) because crash recovery owns it: journal
+        #: entries carry their admission origins, and replay/restore re-cache
+        #: each origin's response so a post-crash retry is answered, not
+        #: re-executed.
+        self.admission = AdmissionLedger()
         self._clock = 0.0
         self._zones: dict[str, StandingZone] = {}
         self._observers: list[Observer] = []
@@ -538,7 +546,9 @@ class AlertService:
             return
         self.journal.append(request)
 
-    def journal_requests(self, requests: Sequence[Request]) -> int:
+    def journal_requests(
+        self, requests: Sequence[Request], origins: Optional[Sequence] = None
+    ) -> int:
         """Group-commit a tick's mutating requests ahead of their execution.
 
         The network tier's journal stage: every journal-able request of one
@@ -547,18 +557,30 @@ class AlertService:
         fsync, then marked pre-journaled so the per-request handlers skip the
         duplicate append.  The write-ahead contract is exactly the per-request
         one -- all entries are durable before any of them executes -- at one
-        fsync per tick instead of one per request.  Returns how many entries
-        were written.
+        fsync per tick instead of one per request.  ``origins``, when given,
+        aligns with ``requests`` (one list of ``(client_id, epoch,
+        request_id)`` admission pairs, or None, per request) and is journaled
+        alongside each entry so replay can rebuild the idempotency table.
+        Returns how many entries were written.
         """
         if self.journal is None or self._replaying:
             return 0
-        batch = [request for request in requests if not isinstance(request, EvaluateStanding)]
-        if not batch:
+        if origins is None:
+            origins = [None] * len(requests)
+        paired = [
+            (request, entry_origins)
+            for request, entry_origins in zip(requests, origins)
+            if not isinstance(request, EvaluateStanding)
+        ]
+        if not paired:
             return 0
-        self.journal.append_batch(batch)
-        for request in batch:
+        self.journal.append_batch(
+            [request for request, _ in paired],
+            origins=[entry_origins for _, entry_origins in paired],
+        )
+        for request, _ in paired:
             self._prejournaled.add(id(request))
-        return len(batch)
+        return len(paired)
 
     def replay_journal(self) -> int:
         """Journal-only recovery: re-execute every durable entry, in order.
@@ -570,17 +592,31 @@ class AlertService:
         """
         if self.journal is None:
             return 0
-        entries = self.journal.entries()
-        if not entries:
+        records = self.journal.records()
+        if not records:
             return 0
         group = self.system.authority.group
         self._replaying = True
         try:
-            for _, request_payload in entries:
-                self.handle(request_from_payload(request_payload, group))
+            for _, request_payload, origins in records:
+                self._replay_one(request_payload, origins, group)
         finally:
             self._replaying = False
-        return len(entries)
+        return len(records)
+
+    def _replay_one(self, request_payload: dict, origins: Sequence, group) -> None:
+        """Re-execute one journal record and re-cache its admission answers.
+
+        Every origin the entry was admitted under is owed the (single)
+        execution's response: a client that was journaled-then-crashed and
+        retries after the restart must get this cached answer, not a second
+        execution.
+        """
+        response = self.handle(request_from_payload(request_payload, group))
+        if origins:
+            payload = response_to_wire(response)
+            for origin in origins:
+                self.admission.record_replayed(tuple(origin), payload)
 
     # ------------------------------------------------------------------
     # Observer hooks and stats
@@ -682,6 +718,7 @@ class AlertService:
             "clock": self._clock,
             "journal_seq": self.journal.last_seq if self.journal is not None else 0,
             "store": self.store.to_payload(engine=self.engine),
+            "admission": self.admission.to_payload(),
             "zones": [
                 {
                     "alert_id": standing.alert_id,
@@ -761,18 +798,22 @@ class AlertService:
                 )
             else:
                 del self.system.users[user_id]
+        # The idempotency table restores from the snapshot (pre-admission
+        # snapshots restore an empty one), then the journal tail re-caches
+        # the answers of entries the snapshot missed.
+        self.admission = AdmissionLedger.from_payload(payload.get("admission"))
         # Write-ahead recovery: requests journaled after the snapshot was
         # taken executed (or were about to execute) in the crashed session --
         # re-execute them in order to land exactly where it stopped.  The
         # replay flag keeps them from being re-appended.
         if self.journal is not None:
             snapshot_seq = int(payload.get("journal_seq", 0) or 0)
-            tail = self.journal.replay_after(snapshot_seq)
+            tail = self.journal.replay_records_after(snapshot_seq)
             if tail:
                 self._replaying = True
                 try:
-                    for _, request_payload in tail:
-                        self.handle(request_from_payload(request_payload, group))
+                    for _, request_payload, origins in tail:
+                        self._replay_one(request_payload, origins, group)
                 finally:
                     self._replaying = False
 

@@ -1,0 +1,339 @@
+"""Exactly-once request admission: the retry contract, end to end.
+
+Pinned here:
+
+* **the pre-PR duplicate is fixed**: a request whose response is lost to a
+  client-side timeout used to execute twice when retried -- fatally for
+  non-idempotent requests (re-registering a Subscribe errors, a duplicated
+  IngestBatch burns sequence numbers).  With the hello handshake and the
+  server's idempotency table, the retry re-sends the *same* request id and
+  the server answers from the in-flight execution or its cached response:
+  exactly one execution, a clean answer;
+* **version negotiation interoperates both ways**: a handshake-less client
+  against the new server gets the legacy at-least-once behaviour, and the
+  new client downgrades cleanly when a v1 server answers its hello with
+  ``BadEnvelope``;
+* **connect() is bounded**: a listener that accepts and then stalls raises
+  :class:`ConnectTimeout` instead of hanging the caller;
+* **retry backoff jitter is seeded per client**: same ``(client_id, epoch)``
+  replays the same schedule, different clients de-synchronize;
+* **a journal write failure is a structured error, not a crash**: the
+  ``journal_write_fail`` fault site makes the append raise
+  :class:`JournalWriteError`, the requester gets an error frame, and the
+  server keeps serving (non-journaled requests still succeed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.net import (
+    BASELINE_WIRE_VERSION,
+    AlertServiceClient,
+    AlertServiceServer,
+    ShadowEncryptor,
+)
+from repro.net.client import ConnectionLost, ConnectTimeout, RemoteRequestError
+from repro.net.wire import read_frame, write_frame
+from repro.service import (
+    AlertService,
+    ErrorResponse,
+    EvaluateStanding,
+    IngestBatch,
+    IngestReceipt,
+    MatchReport,
+    Move,
+    NetOptions,
+    ServiceConfig,
+    Subscribe,
+    response_to_wire,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_synthetic_scenario(
+        rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=31, extent_meters=600.0
+    )
+
+
+def make_service(scenario, **overrides) -> AlertService:
+    config = ServiceConfig(prime_bits=32, seed=19, **overrides)
+    return AlertService(scenario.grid, scenario.probabilities, config=config)
+
+
+def count_executions(service, kind, delay_first: float = 0.0) -> dict:
+    """Wrap ``service.handle`` counting executions of ``kind`` (slow first)."""
+    original = service.handle
+    counts = {"n": 0}
+
+    def wrapped(request):
+        if isinstance(request, kind):
+            counts["n"] += 1
+            if counts["n"] == 1 and delay_first:
+                time.sleep(delay_first)
+        return original(request)
+
+    service.handle = wrapped  # instance attribute shadows the method
+    return counts
+
+
+# ----------------------------------------------------------------------
+# The duplicate-execution regression, pinned fixed
+# ----------------------------------------------------------------------
+def test_timed_out_subscribe_retry_executes_exactly_once(scenario):
+    """Timeout -> retry -> ONE execution; the duplicate would have errored.
+
+    Before this PR a Subscribe retried after a response timeout re-executed,
+    and re-registering the pseudonym raised -- the chaos soak had to do
+    subscriptions during a fault-free warmup.  Now the retry re-sends the
+    same request id: the server parks it on the in-flight execution (or
+    serves the cached receipt) and the client gets the single execution's
+    answer.
+    """
+
+    async def drive():
+        with make_service(scenario) as service:
+            counts = count_executions(service, Subscribe, delay_first=0.6)
+            options = NetOptions(port=0, max_inflight=16, batch_max=1)
+            async with AlertServiceServer(service, options) as server:
+                async with AlertServiceClient("127.0.0.1", server.port) as client:
+                    assert client.session_active
+                    response = await client.request_with_retry(
+                        Subscribe(user_id="alice", location=scenario.grid.cell_center(5)),
+                        attempts=8,
+                        timeout=0.15,
+                    )
+                stats = server.stats
+        return counts["n"], response, stats
+
+    executions, response, stats = asyncio.run(drive())
+    assert executions == 1
+    assert isinstance(response, IngestReceipt) and response.user_id == "alice"
+    # The retry was recognised: parked on the in-flight original and/or
+    # answered from the idempotency cache -- never re-admitted as new work.
+    assert stats.dup_waiters + stats.dedup_hits >= 1
+
+
+def test_timed_out_ingest_retry_executes_exactly_once(scenario):
+    """Same contract for ciphertext ingests: one store pass, one report."""
+
+    async def drive():
+        encryptor = ShadowEncryptor(scenario, prime_bits=32, seed=19, devices=2)
+        try:
+            batch = IngestBatch(updates=(encryptor.mint(),), evaluate=False)
+        finally:
+            encryptor.close()
+        with make_service(scenario) as service:
+            counts = count_executions(service, IngestBatch, delay_first=0.6)
+            options = NetOptions(port=0, max_inflight=16, batch_max=1)
+            async with AlertServiceServer(service, options) as server:
+                async with AlertServiceClient("127.0.0.1", server.port) as client:
+                    response = await client.request_with_retry(
+                        batch, attempts=8, timeout=0.15
+                    )
+                stats = server.stats
+        return counts["n"], response, stats
+
+    executions, response, stats = asyncio.run(drive())
+    assert executions == 1
+    assert isinstance(response, MatchReport)
+    assert stats.dup_waiters + stats.dedup_hits >= 1
+
+
+def test_completed_request_retried_is_served_from_cache(scenario):
+    """A bare resend of an answered id must hit the cache, not re-execute."""
+
+    async def drive():
+        with make_service(scenario) as service:
+            counts = count_executions(service, Subscribe)
+            options = NetOptions(port=0, max_inflight=16, batch_max=1)
+            async with AlertServiceServer(service, options) as server:
+                async with AlertServiceClient("127.0.0.1", server.port) as client:
+                    req_id = client.allocate_request_id()
+                    request = Subscribe(user_id="bob", location=scenario.grid.cell_center(7))
+                    first = await client.request(request, req_id=req_id)
+                    second = await client.request(request, req_id=req_id)
+                stats = server.stats
+        return counts["n"], first, second, stats
+
+    executions, first, second, stats = asyncio.run(drive())
+    assert executions == 1
+    assert first == second
+    assert stats.dedup_hits == 1
+
+
+def test_request_ids_survive_reconnect_and_watermark_advances(scenario):
+    async def drive():
+        with make_service(scenario) as service:
+            options = NetOptions(port=0, max_inflight=16)
+            async with AlertServiceServer(service, options) as server:
+                client = AlertServiceClient("127.0.0.1", server.port, client_id="c1", epoch=3)
+                await client.request(
+                    Subscribe(user_id="alice", location=scenario.grid.cell_center(5))
+                )
+                await client.request(Move(user_id="alice", location=scenario.grid.cell_center(6)))
+                assert client.acked_watermark == 2
+                first_resumed = client.last_hello_resumed
+                # Drop the connection; the next request reconnects, resumes
+                # the same epoch, and keeps counting ids from where it was.
+                await client.close()
+                await client.request(Move(user_id="alice", location=scenario.grid.cell_center(7)))
+                resumed = client.last_hello_resumed
+                next_id = client.allocate_request_id()
+                await client.close()
+        return first_resumed, resumed, next_id
+
+    first_resumed, resumed, next_id = asyncio.run(drive())
+    assert first_resumed is False  # fresh epoch on first contact
+    assert resumed is True  # the server recognised (client_id, epoch)
+    assert next_id == 4  # ids are monotonic per client object, not per conn
+
+
+# ----------------------------------------------------------------------
+# Version negotiation: old peers on either side keep working
+# ----------------------------------------------------------------------
+def test_handshakeless_client_gets_legacy_behaviour_against_new_server(scenario):
+    async def drive():
+        with make_service(scenario) as service:
+            options = NetOptions(port=0, max_inflight=16)
+            async with AlertServiceServer(service, options) as server:
+                client = AlertServiceClient("127.0.0.1", server.port, handshake=False)
+                async with client:
+                    assert not client.session_active
+                    assert client.negotiated_wire_version == BASELINE_WIRE_VERSION
+                    response = await client.request(
+                        Subscribe(user_id="alice", location=scenario.grid.cell_center(5))
+                    )
+                stats = server.stats
+        return response, stats
+
+    response, stats = asyncio.run(drive())
+    assert isinstance(response, IngestReceipt)
+    assert stats.handshakes == 0  # no hello, no admission tracking
+
+
+def test_new_client_downgrades_against_a_v1_server():
+    """A v1 server answers the hello with BadEnvelope; the client downgrades."""
+
+    async def v1_server(reader, writer):
+        # The legacy loop: anything that is not kind="request" is rejected
+        # with a structured BadEnvelope, requests get a canned receipt.
+        while True:
+            frame = await read_frame(reader, 1 << 20)
+            if frame is None:
+                break
+            req_id = frame.get("id")
+            req_id = req_id if isinstance(req_id, int) else -1
+            if frame.get("kind") != "request":
+                payload = ErrorResponse(
+                    error="BadEnvelope",
+                    message="frames must carry an integer 'id' and kind='request'",
+                ).to_wire()
+            else:
+                payload = response_to_wire(
+                    IngestReceipt(user_id="legacy", sequence_number=1, stored=True)
+                )
+            await write_frame(writer, {"id": req_id, "kind": "response", "payload": payload})
+
+    async def drive():
+        server = await asyncio.start_server(v1_server, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = AlertServiceClient("127.0.0.1", port, client_id="c1", epoch=1)
+            async with client:
+                assert not client.session_active
+                assert client.negotiated_wire_version == BASELINE_WIRE_VERSION
+                response = await client.request(EvaluateStanding())
+            return response
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    response = asyncio.run(drive())
+    assert isinstance(response, IngestReceipt) and response.user_id == "legacy"
+
+
+# ----------------------------------------------------------------------
+# Bounded connect
+# ----------------------------------------------------------------------
+def test_connect_times_out_against_a_stalling_listener():
+    """A listener that accepts but never answers the hello must not hang."""
+
+    async def stall(reader, writer):
+        await asyncio.sleep(30)
+
+    async def drive():
+        server = await asyncio.start_server(stall, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = AlertServiceClient("127.0.0.1", port, connect_timeout=0.2)
+            started = time.monotonic()
+            with pytest.raises(ConnectTimeout):
+                await client.connect()
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0  # bounded by connect_timeout, not the stall
+            assert not client.connected  # no half-open socket left behind
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(drive())
+
+
+def test_connect_timeout_is_retryable_as_connection_lost():
+    # request_with_retry catches ConnectionLost; the subclass relation is the
+    # contract that makes a stalled listener retryable.
+    assert issubclass(ConnectTimeout, ConnectionLost)
+
+
+# ----------------------------------------------------------------------
+# Seeded retry jitter
+# ----------------------------------------------------------------------
+def test_retry_jitter_is_reproducible_per_client_identity():
+    a1 = AlertServiceClient(client_id="alpha", epoch=7)
+    a2 = AlertServiceClient(client_id="alpha", epoch=7)
+    b = AlertServiceClient(client_id="beta", epoch=7)
+    seq_a1 = [a1._backoff(1.0) for _ in range(6)]
+    seq_a2 = [a2._backoff(1.0) for _ in range(6)]
+    seq_b = [b._backoff(1.0) for _ in range(6)]
+    assert seq_a1 == seq_a2  # same (client_id, epoch) -> same schedule
+    assert seq_a1 != seq_b  # different clients de-synchronize
+    assert all(0.5 <= s <= 1.0 for s in seq_a1)  # 50-100% of the base delay
+
+
+# ----------------------------------------------------------------------
+# Journal write failure: structured error, server keeps serving
+# ----------------------------------------------------------------------
+def test_journal_write_failure_is_structured_and_server_keeps_serving(scenario, tmp_path):
+    async def drive():
+        with make_service(
+            scenario,
+            journal_path=str(tmp_path / "wal.log"),
+            faults="journal_write_fail=1.0",
+            fault_seed=3,
+        ) as service:
+            options = NetOptions(port=0, max_inflight=16, batch_max=1)
+            async with AlertServiceServer(service, options) as server:
+                async with AlertServiceClient("127.0.0.1", server.port) as client:
+                    # Journaled request: the append fails by injection and the
+                    # answer is a typed error frame, not a dead connection.
+                    with pytest.raises(RemoteRequestError) as excinfo:
+                        await client.request(
+                            Move(user_id="alice", location=scenario.grid.cell_center(5))
+                        )
+                    # Non-journaled request on the same connection: served.
+                    report = await client.request(EvaluateStanding())
+            counts = dict(service.fault_injector.counts)
+            seq = service.journal.last_seq
+        return excinfo.value.error, report, counts, seq
+
+    error, report, counts, seq = asyncio.run(drive())
+    assert error == "JournalWriteError"
+    assert isinstance(report, MatchReport)
+    assert counts.get("journal_write_fail", 0) >= 1
+    assert seq == 0  # the failed append never consumed a sequence number

@@ -1,0 +1,155 @@
+"""``repro serve --supervise``: the crash-restart watchdog, end to end.
+
+These tests drive the real CLI in a subprocess: the supervisor must announce
+each server generation (``supervisor: serving pid=N``), relay the child's
+``listening on HOST:PORT`` readiness line, restart a SIGKILLed server with
+its journal/snapshot restore flags intact, and -- on SIGTERM -- take the
+child down with it and exit 0.  Clients ride through a restart on
+``request_with_retry`` and land on the replay-restored session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_scenario
+from repro.net import AlertServiceClient
+from repro.net.chaos import _watch_supervisor, run_crash_restart_soak
+from repro.service import EvaluateStanding, IngestReceipt, MatchReport, Move, Subscribe
+
+
+def start_supervisor(tmp_path):
+    argv = [
+        sys.executable, "-m", "repro", "serve", "--supervise",
+        "--rows", "6", "--cols", "6",
+        "--sigmoid-a", "0.9", "--sigmoid-b", "20",
+        "--seed", "31", "--extent-meters", "600.0",
+        "--host", "127.0.0.1", "--port", "0",
+        "--prime-bits", "32", "--service-seed", "19",
+        "--journal", str(tmp_path / "wal.log"),
+        "--snapshot", str(tmp_path / "snap.json"),
+    ]
+    state = {
+        "pid": None,
+        "pids": [],
+        "port": None,
+        "readiness": 0,
+        "ready": threading.Event(),
+        "lines": [],
+    }
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ["src", env.get("PYTHONPATH", "")] if p
+    )
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    )
+    watcher = threading.Thread(target=_watch_supervisor, args=(proc.stdout, state), daemon=True)
+    watcher.start()
+    return proc, state, watcher
+
+
+def stop_supervisor(proc, watcher):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        rc = proc.wait()
+    watcher.join(timeout=10)
+    return rc
+
+
+def assert_pids_gone(pids):
+    for pid in set(pids):
+        for _ in range(50):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail(f"server pid {pid} leaked past supervisor shutdown")
+
+
+def test_supervisor_restarts_killed_server_and_client_rides_through(tmp_path):
+    scenario = make_synthetic_scenario(
+        rows=6, cols=6, sigmoid_a=0.9, sigmoid_b=20, seed=31, extent_meters=600.0
+    )
+    proc, state, watcher = start_supervisor(tmp_path)
+    try:
+        assert state["ready"].wait(timeout=120.0), "server never became ready"
+        first_pid = state["pid"]
+        assert first_pid is not None and first_pid != proc.pid
+
+        async def drive():
+            client = AlertServiceClient(
+                "127.0.0.1", state["port"],
+                timeout=15.0, connect_timeout=5.0,
+                client_id="supervise-test", epoch=1,
+            )
+            try:
+                before = await client.request_with_retry(
+                    Subscribe(user_id="alice", location=scenario.grid.cell_center(5))
+                )
+                os.kill(first_pid, signal.SIGKILL)
+                # The very next request rides through the restart: retries
+                # reconnect once the supervisor brings a new server up on the
+                # same pinned port, which replays the journal first.
+                after = await client.request_with_retry(
+                    Move(user_id="alice", location=scenario.grid.cell_center(6)),
+                    attempts=16,
+                )
+                report = await client.request_with_retry(EvaluateStanding(), attempts=16)
+                return before, after, report, client.reconnects
+            finally:
+                await client.close()
+
+        before, after, report, reconnects = asyncio.run(drive())
+        assert isinstance(before, IngestReceipt) and before.sequence_number == 0
+        # The journaled Subscribe survived the kill: the restored session
+        # keeps counting alice's sequence numbers instead of starting over.
+        assert isinstance(after, IngestReceipt) and after.sequence_number == 1
+        assert isinstance(report, MatchReport)
+        assert reconnects >= 1
+
+        # A second generation came up (new pid, fresh readiness line).
+        assert state["readiness"] >= 2
+        assert len(set(state["pids"])) >= 2
+        assert state["pids"][-1] != first_pid
+    finally:
+        rc = stop_supervisor(proc, watcher)
+
+    assert rc == 0  # SIGTERM is a clean shutdown, not a crash to restart
+    assert_pids_gone(state["pids"])
+    # The restart was announced, with the backoff delay in the log line.
+    assert any("restarting in" in line for line in state["lines"])
+
+
+def test_supervisor_sigterm_before_any_crash_exits_clean(tmp_path):
+    proc, state, watcher = start_supervisor(tmp_path)
+    try:
+        assert state["ready"].wait(timeout=120.0)
+    finally:
+        rc = stop_supervisor(proc, watcher)
+    assert rc == 0
+    assert state["readiness"] == 1  # no spurious restarts
+    assert_pids_gone(state["pids"])
+
+
+def test_crash_restart_soak_smoke():
+    outcome = run_crash_restart_soak(steps=8, seed=7, kills=1, attempts=16)
+    assert outcome.matched, outcome.summary()
+    assert outcome.kills_delivered == 1
+    assert outcome.leaked_processes == 0
+    assert outcome.restarts_observed >= 1

@@ -20,6 +20,7 @@ import zlib
 import pytest
 
 from repro.net.wire import (
+    BASELINE_WIRE_VERSION,
     FLAG_MSGPACK,
     HEADER,
     HEADER_SIZE,
@@ -47,13 +48,25 @@ def test_encode_decode_round_trip():
 
 def test_header_layout_is_pinned():
     # The first frame byte layout is a compatibility promise: magic, version,
-    # flags, length, crc32 -- big-endian, 12 bytes.
+    # flags, length, crc32 -- big-endian, 12 bytes.  Encoders stamp the v1
+    # baseline unless a session negotiated higher, so pre-handshake peers
+    # never see a version byte they cannot parse.
     frame = encode_frame(PAYLOAD, "json")
     magic, version, flags, length, crc = HEADER.unpack(frame[:HEADER_SIZE])
-    assert (magic, version, flags) == (WIRE_MAGIC, WIRE_VERSION, 0)
+    assert (magic, version, flags) == (WIRE_MAGIC, BASELINE_WIRE_VERSION, 0)
     body = frame[HEADER_SIZE:]
     assert length == len(body)
     assert crc == zlib.crc32(body)
+
+
+def test_negotiated_version_round_trips_and_decoders_accept_the_range():
+    # A v2 session stamps WIRE_VERSION; every version in the accepted range
+    # decodes, anything above is a typed rejection (tested below).
+    frame = encode_frame(PAYLOAD, "json", version=WIRE_VERSION)
+    assert HEADER.unpack(frame[:HEADER_SIZE])[1] == WIRE_VERSION
+    assert decode_frame(frame) == PAYLOAD
+    with pytest.raises(WireVersionError):
+        encode_frame(PAYLOAD, "json", version=WIRE_VERSION + 1)
 
 
 def test_bad_magic_is_rejected():

@@ -368,3 +368,83 @@ class TestCrashRecovery:
             _drive_session(service, scenario)
             payload = service.snapshot(tmp_path / "state.json")
         assert payload["journal_seq"] == 0
+
+
+class TestOriginsAndWriteFailures:
+    """Admission origins on journal entries + the typed write-failure path."""
+
+    ORIGIN_A = ("client-a", 7, 3)
+    ORIGIN_B = ("client-b", 9, 12)
+
+    def _requests(self):
+        return [
+            Subscribe(user_id="alice", location=Point(1.0, 2.0)),
+            Move(user_id="alice", location=Point(3.0, 4.0)),
+        ]
+
+    def test_origins_round_trip_and_survive_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        reqs = self._requests()
+        with RequestJournal(path) as journal:
+            journal.append(reqs[0], origins=[self.ORIGIN_A])
+            journal.append(reqs[1])  # local caller: no origin
+            journal.append_batch(reqs, origins=[[self.ORIGIN_A, self.ORIGIN_B], None])
+            records = journal.records()
+        assert [origins for _, _, origins in records] == [
+            [self.ORIGIN_A], [], [self.ORIGIN_A, self.ORIGIN_B], []
+        ]
+        # Reopen: parsed back off disk, typed tuples intact.
+        with RequestJournal(path) as journal:
+            assert [o for _, _, o in journal.replay_records_after(1)] == [
+                [], [self.ORIGIN_A, self.ORIGIN_B], []
+            ]
+
+    def test_pre_origin_journals_replay_with_empty_origins(self, tmp_path):
+        # Journals written before the origins field must replay unchanged.
+        path = tmp_path / "wal.log"
+        with RequestJournal(path) as journal:
+            journal.append(self._requests()[0])
+        with RequestJournal(path) as journal:
+            (seq, payload, origins), = journal.records()
+        assert (seq, origins) == (1, [])
+        assert "origins" not in path.read_text(encoding="utf-8")
+
+    def test_append_batch_rejects_misaligned_origins(self, tmp_path):
+        with RequestJournal(tmp_path / "wal.log") as journal:
+            with pytest.raises(ValueError, match="align"):
+                journal.append_batch(self._requests(), origins=[[self.ORIGIN_A]])
+
+    def test_checkpoint_preserves_origins_on_surviving_entries(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with RequestJournal(path) as journal:
+            journal.append(self._requests()[0], origins=[self.ORIGIN_A])
+            journal.append(self._requests()[1], origins=[self.ORIGIN_B])
+            journal.checkpoint(1)
+            (seq, _, origins), = journal.records()
+        assert (seq, origins) == (2, [self.ORIGIN_B])
+
+    def test_injected_write_failure_raises_typed_error_and_rolls_back(self, tmp_path):
+        from repro.service.faults import FaultInjector, FaultPlan
+        from repro.service.journal import JournalWriteError
+
+        path = tmp_path / "wal.log"
+        with RequestJournal(path) as journal:
+            journal.append(self._requests()[0])
+            durable = path.read_bytes()
+            journal.fault_injector = FaultInjector(
+                FaultPlan.parse("journal_write_fail=1.0", seed=3)
+            )
+            with pytest.raises(JournalWriteError):
+                journal.append(self._requests()[1], origins=[self.ORIGIN_A])
+            with pytest.raises(JournalWriteError):
+                journal.append_batch(self._requests())
+            # The failure consumed no sequence numbers and left no partial
+            # bytes -- the file is byte-identical to the last durable state.
+            assert journal.last_seq == 1
+            assert path.read_bytes() == durable
+            assert journal.fault_injector.counts["journal_write_fail"] == 2
+            # Disarm: the next append lands on the next sequence number with
+            # no gap and no duplicate.
+            journal.fault_injector = None
+            assert journal.append(self._requests()[1]) == 2
+        assert [seq for seq, _ in _entries(path)] == [1, 2]

@@ -26,7 +26,9 @@ from repro.protocol.messages import LocationUpdate, Notification
 from repro.service.requests import (
     REQUEST_WIRE_TYPES,
     RESPONSE_WIRE_TYPES,
+    ClientHello,
     ErrorResponse,
+    HelloAck,
     EvaluateStanding,
     IngestBatch,
     IngestReceipt,
@@ -165,6 +167,54 @@ def test_dispatch_tags_are_stable(request):
     # written by earlier sessions depend on these exact strings.
     payload = request_to_wire(request)
     assert REQUEST_WIRE_TYPES[payload["type"]] is type(request)
+
+
+# ----------------------------------------------------------------------
+# Session handshake payloads (the exactly-once hello/ack exchange)
+# ----------------------------------------------------------------------
+hellos = st.builds(
+    ClientHello,
+    client_id=ids,
+    epoch=st.integers(min_value=0, max_value=2**48),
+    wire_version=st.integers(min_value=1, max_value=255),
+    acked=st.integers(min_value=0, max_value=2**31),
+)
+hello_acks = st.builds(
+    HelloAck,
+    wire_version=st.integers(min_value=1, max_value=255),
+    resumed=st.booleans(),
+    acked=st.integers(min_value=0, max_value=2**31),
+)
+
+
+@RELAXED
+@given(hello=hellos)
+def test_client_hello_round_trips_through_json(hello):
+    payload = hello.to_wire()
+    assert payload["type"] == "client_hello"
+    rebuilt = ClientHello.from_wire(json_round_trip(payload))
+    assert rebuilt == hello
+
+
+@RELAXED
+@given(ack=hello_acks)
+def test_hello_ack_round_trips_through_json(ack):
+    payload = ack.to_wire()
+    assert payload["type"] == "hello_ack"
+    rebuilt = HelloAck.from_wire(json_round_trip(payload))
+    assert rebuilt == ack
+
+
+def test_handshake_payloads_are_not_requests_or_responses():
+    # Session control must never be journaled or dispatched into handle():
+    # deliberately absent from both wire registries.
+    assert "client_hello" not in REQUEST_WIRE_TYPES
+    assert "hello_ack" not in RESPONSE_WIRE_TYPES
+
+
+def test_client_hello_rejects_empty_client_id():
+    with pytest.raises(ValueError, match="client_id"):
+        ClientHello(client_id="", epoch=1)
 
 
 # ----------------------------------------------------------------------
